@@ -1,0 +1,167 @@
+//===- bench/BenchUtil.h - Shared helpers for the figure benches --------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every figure of the paper has a bench binary that regenerates the
+/// artifact the figure shows and prints paper-expected vs measured.
+/// These helpers keep those binaries short and their output uniform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_BENCH_BENCHUTIL_H
+#define JSLICE_BENCH_BENCHUTIL_H
+
+#include "corpus/PaperPrograms.h"
+#include "jslice/jslice.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace jslice {
+namespace bench {
+
+/// Collects pass/fail rows; the binary's exit code is the failure count.
+class Report {
+public:
+  explicit Report(const std::string &Title) {
+    std::printf("==== %s ====\n", Title.c_str());
+  }
+
+  void section(const std::string &Name) {
+    std::printf("\n-- %s --\n", Name.c_str());
+  }
+
+  void note(const std::string &Text) { std::printf("%s\n", Text.c_str()); }
+
+  /// One paper-vs-measured row for a line set.
+  void expectLines(const std::string &What, const std::set<unsigned> &Got,
+                   const std::set<unsigned> &Expected) {
+    bool Ok = Got == Expected;
+    std::printf("%-34s paper=%-28s measured=%-28s %s\n", What.c_str(),
+                formatLineSet(Expected).c_str(), formatLineSet(Got).c_str(),
+                Ok ? "MATCH" : "MISMATCH");
+    Failures += Ok ? 0 : 1;
+  }
+
+  /// One paper-vs-measured row for a scalar.
+  void expectValue(const std::string &What, unsigned Got, unsigned Expected) {
+    bool Ok = Got == Expected;
+    std::printf("%-34s paper=%-28u measured=%-28u %s\n", What.c_str(),
+                Expected, Got, Ok ? "MATCH" : "MISMATCH");
+    Failures += Ok ? 0 : 1;
+  }
+
+  /// A row with no golden value (informational).
+  void measured(const std::string &What, const std::string &Value) {
+    std::printf("%-34s measured=%s\n", What.c_str(), Value.c_str());
+  }
+
+  int finish() {
+    std::printf("\n%s (%d mismatch%s)\n",
+                Failures == 0 ? "REPRODUCED" : "NOT REPRODUCED", Failures,
+                Failures == 1 ? "" : "es");
+    return Failures;
+  }
+
+private:
+  int Failures = 0;
+};
+
+/// Loads and analyzes a corpus program; aborts the bench on failure.
+inline Analysis analyzeExample(const PaperExample &Ex) {
+  ErrorOr<Analysis> A = Analysis::fromSource(Ex.Source);
+  if (!A) {
+    std::fprintf(stderr, "corpus program %s failed to analyze:\n%s\n",
+                 Ex.Name.c_str(), A.diags().str().c_str());
+    std::abort();
+  }
+  return std::move(*A);
+}
+
+/// Prints the program with the paper's line numbers.
+inline void printNumberedSource(const PaperExample &Ex) {
+  unsigned Line = 1;
+  for (const std::string &Text : splitLines(Ex.Source))
+    std::printf("%3u: %s\n", Line++, Text.c_str());
+}
+
+/// Lines of the re-associated labels of a slice, as "L -> line" rows.
+inline std::string formatReassociations(const Analysis &A,
+                                        const SliceResult &R) {
+  std::string Out;
+  for (const auto &[Label, Node] : R.ReassociatedLabels) {
+    if (!Out.empty())
+      Out += ", ";
+    const Stmt *S = A.cfg().node(Node).S;
+    Out += Label + " -> " + (S ? std::to_string(S->getLoc().Line) : "exit");
+  }
+  return Out.empty() ? "(none)" : Out;
+}
+
+/// Prints the structures the paper's graph figures draw for a program:
+/// flowgraph, postdominator tree, control dependence graph, and lexical
+/// successor tree — as stable text edge lists with line-number labels.
+inline void printGraphs(const Analysis &A) {
+  NodeLabelFn Label = [&A](unsigned Node) { return A.cfg().labelOf(Node); };
+  std::printf("flowgraph (a):\n%s",
+              toEdgeListText(A.cfg().graph(), Label).c_str());
+  std::printf("postdominator tree (b), child: parent\n%s",
+              domTreeToText(A.pdt(), Label).c_str());
+  std::printf("control dependence graph (c):\n%s",
+              toEdgeListText(A.pdg().Control, Label).c_str());
+  Digraph Lst(A.cfg().numNodes());
+  for (unsigned Node = 0; Node != A.cfg().numNodes(); ++Node)
+    if (A.lst().parent(Node) >= 0)
+      Lst.addEdge(static_cast<unsigned>(A.lst().parent(Node)), Node);
+  std::printf("lexical successor tree (d), parent -> children\n%s",
+              toEdgeListText(Lst, Label).c_str());
+}
+
+/// The unique node on \p Line (use only on lines with one statement).
+inline unsigned nodeOn(const Analysis &A, unsigned Line) {
+  return A.cfg().nodesOnLine(Line).front();
+}
+
+/// "child: parent" assertion helper for tree figures, in line numbers.
+inline void expectIpdomLine(Report &R, const Analysis &A, unsigned Line,
+                            unsigned ExpectedLine) {
+  int Parent = A.pdt().idom(nodeOn(A, Line));
+  const Stmt *S = Parent >= 0
+                      ? A.cfg().node(static_cast<unsigned>(Parent)).S
+                      : nullptr;
+  R.expectValue("ipdom(line " + std::to_string(Line) + ")",
+                S ? S->getLoc().Line : 0u, ExpectedLine);
+}
+
+/// Same for the lexical successor tree (0 = exit).
+inline void expectIlsLine(Report &R, const Analysis &A, unsigned Line,
+                          unsigned ExpectedLine) {
+  int Parent = A.lst().parent(nodeOn(A, Line));
+  const Stmt *S = Parent >= 0
+                      ? A.cfg().node(static_cast<unsigned>(Parent)).S
+                      : nullptr;
+  R.expectValue("ils(line " + std::to_string(Line) + ")",
+                S ? S->getLoc().Line : 0u, ExpectedLine);
+}
+
+/// Wall-clock of \p Fn over \p Iters runs, in microseconds per run.
+template <typename Callable>
+double timeMicros(unsigned Iters, Callable Fn) {
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I != Iters; ++I)
+    Fn();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(End - Start).count() /
+         Iters;
+}
+
+} // namespace bench
+} // namespace jslice
+
+#endif // JSLICE_BENCH_BENCHUTIL_H

@@ -1,0 +1,43 @@
+//===- bench/fig05_continue_slices.cpp - Figure 5 reproduction ----------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 5: the continue version of the running example (5-a), its
+/// incorrect conventional slice (5-b), and the correct slice (5-c),
+/// which keeps the continue on line 7 but not the one on line 11.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace jslice;
+using namespace jslice::bench;
+
+int main() {
+  Report R("Figure 5: slicing the continue program");
+  const PaperExample &Ex = paperExample("fig5a");
+  Analysis A = analyzeExample(Ex);
+
+  R.section("Figure 5-a (program)");
+  printNumberedSource(Ex);
+
+  SliceResult Conv = *computeSlice(A, Ex.Crit, SliceAlgorithm::Conventional);
+  R.section("Figure 5-b (conventional slice, incorrect)");
+  std::printf("%s", printSlice(A, Conv).c_str());
+
+  SliceResult New = *computeSlice(A, Ex.Crit, SliceAlgorithm::Agrawal);
+  R.section("Figure 5-c (the new algorithm's slice)");
+  std::printf("%s", printSlice(A, New).c_str());
+
+  R.section("paper vs measured");
+  R.expectLines("conventional slice", Conv.lineSet(A.cfg()),
+                Ex.ConventionalLines);
+  R.expectLines("figure-7 slice", New.lineSet(A.cfg()), Ex.AgrawalLines);
+  R.expectValue("continue on 7 kept", New.lineSet(A.cfg()).count(7), 1);
+  R.expectValue("continue on 11 dropped",
+                New.lineSet(A.cfg()).count(11), 0);
+  return R.finish();
+}

@@ -1,0 +1,37 @@
+//===- bench/fig06_graphs.cpp - Figure 6 reproduction -------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 6: graphs of the continue program 5-a. Section 3's decisive
+/// facts are checked: for the continue on line 7 the nearest
+/// postdominator (the loop head, 3) differs from the immediate lexical
+/// successor (line 8), while for the continue on line 11 both walks
+/// reach line 3 / line 12 -> 3.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace jslice;
+using namespace jslice::bench;
+
+int main() {
+  Report R("Figure 6: graphs of the program in Figure 5-a");
+  const PaperExample &Ex = paperExample("fig5a");
+  Analysis A = analyzeExample(Ex);
+
+  R.section("graphs");
+  printGraphs(A);
+
+  R.section("paper vs measured (Section 3 walkthrough)");
+  expectIpdomLine(R, A, 7, 3);
+  expectIlsLine(R, A, 7, 8);
+  expectIpdomLine(R, A, 11, 3);
+  expectIlsLine(R, A, 11, 12);
+  expectIlsLine(R, A, 12, 3);
+  expectIlsLine(R, A, 3, 13);
+  return R.finish();
+}

@@ -1,0 +1,44 @@
+//===- bench/fig09_graphs.cpp - Figure 9 reproduction -------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 9: graphs of the direct-goto program 8-a. Checks the
+/// walkthrough facts: the back-jumps' postdominator is the loop head
+/// (line 3); nodes 11 and 13 are control dependent on the predicate on
+/// line 9.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace jslice;
+using namespace jslice::bench;
+
+int main() {
+  Report R("Figure 9: graphs of the program in Figure 8-a");
+  const PaperExample &Ex = paperExample("fig8a");
+  Analysis A = analyzeExample(Ex);
+
+  R.section("graphs");
+  printGraphs(A);
+
+  R.section("paper vs measured (Section 3 walkthrough)");
+  expectIpdomLine(R, A, 7, 3);
+  expectIpdomLine(R, A, 11, 3);
+  expectIpdomLine(R, A, 13, 3);
+  expectIlsLine(R, A, 11, 12);
+  expectIlsLine(R, A, 13, 14);
+
+  for (unsigned Line : {11u, 13u}) {
+    std::set<unsigned> Ctrl;
+    for (unsigned Node : A.pdg().Control.preds(nodeOn(A, Line)))
+      if (const Stmt *S = A.cfg().node(Node).S)
+        Ctrl.insert(S->getLoc().Line);
+    R.expectLines("node " + std::to_string(Line) + " control dependent on",
+                  Ctrl, {9});
+  }
+  return R.finish();
+}

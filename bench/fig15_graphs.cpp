@@ -1,0 +1,43 @@
+//===- bench/fig15_graphs.cpp - Figure 15 reproduction ------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 15: graphs of the switch program 14-a. Checks the break
+/// geometry Section 4 relies on: break@3's nearest postdominator is
+/// write(x)@8 while its lexical successor is the next clause (line 4);
+/// all clause bodies are control dependent on the switch predicate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace jslice;
+using namespace jslice::bench;
+
+int main() {
+  Report R("Figure 15: graphs of the program in Figure 14-a");
+  const PaperExample &Ex = paperExample("fig14a");
+  Analysis A = analyzeExample(Ex);
+
+  R.section("graphs");
+  printGraphs(A);
+
+  R.section("paper vs measured");
+  expectIpdomLine(R, A, 3, 8);
+  expectIlsLine(R, A, 3, 4);
+  expectIpdomLine(R, A, 5, 8);
+  expectIlsLine(R, A, 5, 6);
+  expectIpdomLine(R, A, 7, 8);
+  expectIlsLine(R, A, 7, 8);
+
+  std::set<unsigned> Controlled;
+  for (unsigned Node : A.pdg().Control.succs(nodeOn(A, 1)))
+    if (const Stmt *S = A.cfg().node(Node).S)
+      Controlled.insert(S->getLoc().Line);
+  R.expectLines("switch predicate controls", Controlled,
+                {2, 3, 4, 5, 6, 7});
+  return R.finish();
+}

@@ -1,0 +1,94 @@
+//===- examples/debug_assist.cpp - Slicing as a debugging aid -----------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's introduction motivates slicing with debugging: when a
+/// variable holds a wrong value at some output, the slice on that
+/// (variable, line) is exactly the code that could have produced it —
+/// *provided the slicer understands jumps*.
+///
+/// This example stages a realistic hunt: a billing routine written with
+/// early-exit style (`continue` guards) computes a wrong total because
+/// one guard continues past the accumulation. The slice on the bad
+/// output contains the guilty guard; everything it omits is provably
+/// irrelevant and need not be read at all.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jslice/jslice.h"
+
+#include <cstdio>
+
+using namespace jslice;
+
+int main() {
+  // An order-processing loop: per record, read a price and a quantity
+  // code; bulk orders (code 2) should get a rebate but the guard on
+  // line 7 skips *all* further processing for them — the bug.
+  const char *Source = "total = 0;\n"
+                       "rebates = 0;\n"
+                       "while (!eof()) {\n"
+                       "read(price);\n"
+                       "read(code);\n"
+                       "if (price <= 0) {\n"
+                       "continue;\n"
+                       "}\n"
+                       "if (code == 2) {\n"
+                       "rebates = rebates + 1;\n"
+                       "continue;\n"
+                       "}\n"
+                       "total = total + price;\n"
+                       "}\n"
+                       "write(total);\n"
+                       "write(rebates);\n";
+
+  ErrorOr<Analysis> A = Analysis::fromSource(Source);
+  if (!A) {
+    std::fprintf(stderr, "%s\n", A.diags().str().c_str());
+    return 1;
+  }
+
+  // Symptom: total at line 15 is too small whenever bulk orders occur.
+  Criterion Symptom(15, {"total"});
+  SliceResult Slice = *computeSlice(*A, Symptom, SliceAlgorithm::Agrawal);
+
+  std::printf("symptom: wrong value of 'total' printed on line 15\n\n");
+  std::printf("== slice on (total, line 15) ==\n%s\n",
+              printSlice(*A, Slice).c_str());
+
+  std::set<unsigned> Lines = Slice.lineSet(A->cfg());
+  std::printf("the slicer keeps %zu of 16 lines; line 10 (the rebate "
+              "counter)\nis *not* among them, so the fault must be in "
+              "the kept control\nstructure — and indeed line 11's "
+              "continue is in the slice because\nit decides whether "
+              "line 13 accumulates.\n\n",
+              Lines.size());
+
+  // Show the conventional slicer would have hidden the culprit.
+  SliceResult Naive = *computeSlice(*A, Symptom,
+                                    SliceAlgorithm::Conventional);
+  bool NaiveHasContinue = Naive.lineSet(A->cfg()).count(11) != 0;
+  bool JumpAwareHasContinue = Lines.count(11) != 0;
+  std::printf("continue on line 11 in conventional slice: %s\n",
+              NaiveHasContinue ? "yes" : "no (bug hidden!)");
+  std::printf("continue on line 11 in figure-7 slice:     %s\n",
+              JumpAwareHasContinue ? "yes (bug visible)" : "no");
+
+  // Confirm behaviourally: replay a failing input on the slice alone.
+  ResolvedCriterion RC = *resolveCriterion(*A, Symptom);
+  ExecOptions Opts;
+  Opts.Input = {10, 1, 25, 2, 5, 1}; // the bulk order (25, 2) is lost
+  ExecResult Orig = runOriginal(*A, RC.Node, RC.VarIds, Opts);
+  std::set<unsigned> Kept = Slice.Nodes;
+  Kept.insert(A->cfg().exit());
+  ExecResult Replay = runProjection(*A, Kept, RC.Node, RC.VarIds, Opts);
+  std::printf("\nreplay on the slice reproduces the faulty total: "
+              "original=%lld slice=%lld (expected 40, rebate bug "
+              "loses the 25)\n",
+              static_cast<long long>(Orig.CriterionValues.at(0)),
+              static_cast<long long>(Replay.CriterionValues.at(0)));
+  return 0;
+}

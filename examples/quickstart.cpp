@@ -1,0 +1,91 @@
+//===- examples/quickstart.cpp - Five-minute tour of the jslice API -----------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Parses a small Mini-C program with a goto, computes its slice with
+/// the paper's Figure 7 algorithm, and shows why the conventional slice
+/// is wrong. Build and run:
+///
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "jslice/jslice.h"
+
+#include <cstdio>
+
+using namespace jslice;
+
+int main() {
+  // The paper's Figure 3-a: a goto-structured summation loop.
+  const char *Source = "sum = 0;\n"
+                       "positives = 0;\n"
+                       "L3: if (eof()) goto L14;\n"
+                       "read(x);\n"
+                       "if (x > 0) goto L8;\n"
+                       "sum = sum + f1(x);\n"
+                       "goto L13;\n"
+                       "L8: positives = positives + 1;\n"
+                       "if (x % 2 != 0) goto L12;\n"
+                       "sum = sum + f2(x);\n"
+                       "goto L13;\n"
+                       "L12: sum = sum + f3(x);\n"
+                       "L13: goto L3;\n"
+                       "L14: write(sum);\n"
+                       "write(positives);\n";
+
+  // 1. Parse + semantic checks + CFG/PDG/tree construction, in one call.
+  ErrorOr<Analysis> A = Analysis::fromSource(Source);
+  if (!A) {
+    std::fprintf(stderr, "%s\n", A.diags().str().c_str());
+    return 1;
+  }
+
+  // 2. Name the criterion the way the paper does: a variable at a line.
+  Criterion Crit(15, {"positives"});
+
+  // 3. Slice. Conventional slicing drops every unconditional jump...
+  SliceResult Conventional =
+      *computeSlice(*A, Crit, SliceAlgorithm::Conventional);
+  std::printf("== conventional slice (misses the jumps) ==\n%s\n",
+              printSlice(*A, Conventional).c_str());
+
+  // ...while the paper's Figure 7 algorithm adds the required ones
+  // (lines 7 and 13) and re-associates the orphaned label L14.
+  SliceResult Correct = *computeSlice(*A, Crit, SliceAlgorithm::Agrawal);
+  std::printf("== Figure 7 slice ==\n%s\n",
+              printSlice(*A, Correct).c_str());
+  std::printf("lines: %s, %u productive traversal(s)\n",
+              summarizeSlice(*A, Correct).c_str(),
+              Correct.ProductiveTraversals);
+
+  // 4. Slices are executable: run both against the same input and watch
+  // the conventional slice compute the wrong count.
+  ResolvedCriterion RC = *resolveCriterion(*A, Crit);
+  ExecOptions Opts;
+  Opts.Input = {4, -2, 9, 3}; // three positives
+  ExecResult Orig = runOriginal(*A, RC.Node, RC.VarIds, Opts);
+
+  auto Project = [&](const SliceResult &R) {
+    std::set<unsigned> Kept = R.Nodes;
+    Kept.insert(A->cfg().exit());
+    return runProjection(*A, Kept, RC.Node, RC.VarIds, Opts);
+  };
+  ExecResult Bad = Project(Conventional);
+  ExecResult Good = Project(Correct);
+
+  auto Show = [](const char *Name, const ExecResult &R) {
+    std::printf("%-22s positives at line 15 =", Name);
+    for (int64_t V : R.CriterionValues)
+      std::printf(" %lld", static_cast<long long>(V));
+    std::printf("\n");
+  };
+  Show("original program:", Orig);
+  Show("figure-7 slice:", Good);
+  Show("conventional slice:", Bad);
+  return 0;
+}

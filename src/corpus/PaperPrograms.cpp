@@ -1,0 +1,239 @@
+//===- corpus/PaperPrograms.cpp - The paper's figure programs -----------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/PaperPrograms.h"
+
+#include <cassert>
+
+using namespace jslice;
+
+namespace {
+
+std::vector<PaperExample> buildExamples() {
+  std::vector<PaperExample> Out;
+
+  // Figure 1-a: the jump-free running example. Slice w.r.t. positives
+  // on line 12 (Figure 1-b).
+  {
+    PaperExample Ex;
+    Ex.Name = "fig1a";
+    Ex.Caption = "jump-free example program (Figure 1-a)";
+    Ex.Source = "sum = 0;\n"
+                "positives = 0;\n"
+                "while (!eof()) {\n"
+                "read(x);\n"
+                "if (x <= 0)\n"
+                "sum = sum + f1(x); else {\n"
+                "positives = positives + 1;\n"
+                "if (x % 2 == 0)\n"
+                "sum = sum + f2(x); else\n"
+                "sum = sum + f3(x); } }\n"
+                "write(sum);\n"
+                "write(positives);\n";
+    Ex.Crit = Criterion(12, {"positives"});
+    Ex.Structured = true;
+    Ex.ConventionalLines = {2, 3, 4, 5, 7, 12};
+    Ex.AgrawalLines = {2, 3, 4, 5, 7, 12};
+    Ex.StructuredLines = Ex.AgrawalLines;
+    Ex.ConservativeLines = Ex.AgrawalLines;
+    Ex.ExpectedProductiveTraversals = 0;
+    Out.push_back(std::move(Ex));
+  }
+
+  // Figure 3-a: goto version via an indirect `L13: goto L3`. Slice
+  // w.r.t. positives on line 15 (Figures 3-b and 3-c).
+  {
+    PaperExample Ex;
+    Ex.Name = "fig3a";
+    Ex.Caption = "goto version with indirect back-jump (Figure 3-a)";
+    Ex.Source = "sum = 0;\n"
+                "positives = 0;\n"
+                "L3: if (eof()) goto L14;\n"
+                "read(x);\n"
+                "if (x > 0) goto L8;\n"
+                "sum = sum + f1(x);\n"
+                "goto L13;\n"
+                "L8: positives = positives + 1;\n"
+                "if (x % 2 != 0) goto L12;\n"
+                "sum = sum + f2(x);\n"
+                "goto L13;\n"
+                "L12: sum = sum + f3(x);\n"
+                "L13: goto L3;\n"
+                "L14: write(sum);\n"
+                "write(positives);\n";
+    Ex.Crit = Criterion(15, {"positives"});
+    Ex.Structured = false;
+    Ex.ConventionalLines = {2, 3, 4, 5, 8, 15};
+    Ex.AgrawalLines = {2, 3, 4, 5, 7, 8, 13, 15};
+    Ex.ExpectedReassociations = {{"L14", 15}};
+    Ex.ExpectedProductiveTraversals = 1;
+    Out.push_back(std::move(Ex));
+  }
+
+  // Figure 5-a: continue version. Slice w.r.t. positives on line 14
+  // (Figures 5-b and 5-c).
+  {
+    PaperExample Ex;
+    Ex.Name = "fig5a";
+    Ex.Caption = "continue version of the running example (Figure 5-a)";
+    Ex.Source = "sum = 0;\n"
+                "positives = 0;\n"
+                "while (!eof()) {\n"
+                "read(x);\n"
+                "if (x <= 0) {\n"
+                "sum = sum + f1(x);\n"
+                "continue; }\n"
+                "positives = positives + 1;\n"
+                "if (x % 2 == 0) {\n"
+                "sum = sum + f2(x);\n"
+                "continue; }\n"
+                "sum = sum + f3(x); }\n"
+                "write(sum);\n"
+                "write(positives);\n";
+    Ex.Crit = Criterion(14, {"positives"});
+    Ex.Structured = true;
+    Ex.ConventionalLines = {2, 3, 4, 5, 8, 14};
+    Ex.AgrawalLines = {2, 3, 4, 5, 7, 8, 14};
+    Ex.StructuredLines = Ex.AgrawalLines;
+    Ex.ConservativeLines = Ex.AgrawalLines;
+    Ex.ExpectedProductiveTraversals = 1;
+    Out.push_back(std::move(Ex));
+  }
+
+  // Figure 8-a: goto version with direct back-jumps. Slice w.r.t.
+  // positives on line 15 (Figures 8-b and 8-c). Also the program on
+  // which the Jiang–Zhou–Robson rules miss lines 11 and 13.
+  {
+    PaperExample Ex;
+    Ex.Name = "fig8a";
+    Ex.Caption = "goto version with direct back-jumps (Figure 8-a)";
+    Ex.Source = "sum = 0;\n"
+                "positives = 0;\n"
+                "L3: if (eof()) goto L14;\n"
+                "read(x);\n"
+                "if (x > 0) goto L8;\n"
+                "sum = sum + f1(x);\n"
+                "goto L3;\n"
+                "L8: positives = positives + 1;\n"
+                "if (x % 2 != 0) goto L12;\n"
+                "sum = sum + f2(x);\n"
+                "goto L3;\n"
+                "L12: sum = sum + f3(x);\n"
+                "goto L3;\n"
+                "L14: write(sum);\n"
+                "write(positives);\n";
+    Ex.Crit = Criterion(15, {"positives"});
+    Ex.Structured = false;
+    Ex.ConventionalLines = {2, 3, 4, 5, 8, 15};
+    Ex.AgrawalLines = {2, 3, 4, 5, 7, 8, 9, 11, 13, 15};
+    Ex.JzrLines = std::set<unsigned>{2, 3, 4, 5, 7, 8, 15};
+    Ex.ExpectedReassociations = {{"L14", 15}, {"L12", 13}};
+    Ex.ExpectedProductiveTraversals = 1;
+    Out.push_back(std::move(Ex));
+  }
+
+  // Figure 10-a: the unstructured program that needs two traversals.
+  // Slice w.r.t. y on line 9 (Figure 10-b). The paper writes the
+  // assignments as "..."; distinct literals stand in for them.
+  {
+    PaperExample Ex;
+    Ex.Name = "fig10a";
+    Ex.Caption = "unstructured program needing two traversals (Fig. 10-a)";
+    Ex.Source = "if (c1) {\n"
+                "goto L6;\n"
+                "L3: y = 1;\n"
+                "goto L8; }\n"
+                "z = 2;\n"
+                "L6: x = 3;\n"
+                "goto L3;\n"
+                "L8: write(x);\n"
+                "write(y);\n"
+                "write(z);\n";
+    Ex.Crit = Criterion(9, {"y"});
+    Ex.Structured = false;
+    Ex.ConventionalLines = {3, 9};
+    Ex.AgrawalLines = {1, 2, 3, 4, 7, 9};
+    Ex.ExpectedReassociations = {{"L6", 7}, {"L8", 9}};
+    Ex.ExpectedProductiveTraversals = 2;
+    Out.push_back(std::move(Ex));
+  }
+
+  // Figure 14-a: the switch program separating Figure 12 from
+  // Figure 13. Slices w.r.t. y on line 9 (Figures 14-b and 14-c).
+  {
+    PaperExample Ex;
+    Ex.Name = "fig14a";
+    Ex.Caption = "switch program where Figures 12 and 13 differ (14-a)";
+    Ex.Source = "switch (c) { case 1:\n"
+                "x = 1;\n"
+                "break; case 2:\n"
+                "y = 2;\n"
+                "break; case 3:\n"
+                "z = 3;\n"
+                "break; }\n"
+                "write(x);\n"
+                "write(y);\n"
+                "write(z);\n";
+    Ex.Crit = Criterion(9, {"y"});
+    Ex.Structured = true;
+    Ex.ConventionalLines = {1, 4, 9};
+    Ex.AgrawalLines = {1, 3, 4, 9};
+    Ex.StructuredLines = std::set<unsigned>{1, 3, 4, 9};
+    Ex.ConservativeLines = std::set<unsigned>{1, 3, 4, 5, 7, 9};
+    Ex.ExpectedProductiveTraversals = 1;
+    Out.push_back(std::move(Ex));
+  }
+
+  // Figure 16-a: the program on which Gallagher's rule loses the goto
+  // on line 4. Slice w.r.t. y on line 10 (Figures 16-b and 16-c). Both
+  // gotos are forward to lexical successors, so the program is
+  // structured in the paper's sense.
+  {
+    PaperExample Ex;
+    Ex.Name = "fig16a";
+    Ex.Caption = "program where Gallagher's rule fails (Figure 16-a)";
+    Ex.Source = "read(x);\n"
+                "if (x < 0) {\n"
+                "y = f1(x);\n"
+                "goto L6; }\n"
+                "y = f2(x);\n"
+                "L6: if (y < 0) {\n"
+                "z = g1(y);\n"
+                "goto L10; }\n"
+                "z = g2(y);\n"
+                "L10: write(y);\n"
+                "write(z);\n";
+    Ex.Crit = Criterion(10, {"y"});
+    Ex.Structured = true;
+    Ex.ConventionalLines = {1, 2, 3, 5, 10};
+    Ex.AgrawalLines = {1, 2, 3, 4, 5, 10};
+    Ex.StructuredLines = std::set<unsigned>{1, 2, 3, 4, 5, 10};
+    Ex.ConservativeLines = std::set<unsigned>{1, 2, 3, 4, 5, 10};
+    Ex.GallagherLines = std::set<unsigned>{1, 2, 3, 5, 10};
+    Ex.ExpectedReassociations = {{"L6", 10}};
+    Ex.ExpectedProductiveTraversals = 1;
+    Out.push_back(std::move(Ex));
+  }
+
+  return Out;
+}
+
+} // namespace
+
+const std::vector<PaperExample> &jslice::paperExamples() {
+  static const std::vector<PaperExample> Examples = buildExamples();
+  return Examples;
+}
+
+const PaperExample &jslice::paperExample(const std::string &Name) {
+  for (const PaperExample &Ex : paperExamples())
+    if (Ex.Name == Name)
+      return Ex;
+  assert(false && "unknown paper example");
+  static const PaperExample Empty;
+  return Empty;
+}

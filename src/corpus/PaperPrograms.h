@@ -1,0 +1,67 @@
+//===- corpus/PaperPrograms.h - The paper's figure programs -------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every example program from the paper's figures, as Mini-C sources
+/// whose statements sit on exactly the line numbers the paper uses, plus
+/// the slices the paper reports for them. Golden tests and the figure
+/// benches consume these.
+///
+/// Where the paper leaves an expression as "...", a distinct literal or
+/// intrinsic call is substituted (documented in DESIGN.md); this never
+/// changes dependences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_CORPUS_PAPERPROGRAMS_H
+#define JSLICE_CORPUS_PAPERPROGRAMS_H
+
+#include "slicer/Criterion.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace jslice {
+
+/// One figure program with the paper's expected results.
+struct PaperExample {
+  std::string Name;    ///< "fig1a", "fig3a", ...
+  std::string Caption; ///< What the paper uses it for.
+  std::string Source;  ///< Mini-C, line numbers matching the paper.
+  Criterion Crit;      ///< The paper's slicing criterion.
+
+  /// True when every jump is structured (Section 4's precondition).
+  bool Structured = false;
+
+  /// Expected line sets, per the paper's figures. Empty optionals mean
+  /// the paper does not show that slice for this program.
+  std::set<unsigned> ConventionalLines;           ///< The "(b)" figures.
+  std::set<unsigned> AgrawalLines;                ///< Figure 7's result.
+  std::optional<std::set<unsigned>> StructuredLines;   ///< Figure 12.
+  std::optional<std::set<unsigned>> ConservativeLines; ///< Figure 13.
+  std::optional<std::set<unsigned>> GallagherLines;    ///< Figure 16-b.
+  std::optional<std::set<unsigned>> JzrLines;          ///< Figure 8 claim.
+
+  /// Labels the paper shows re-associated, label -> carrier line.
+  std::map<std::string, unsigned> ExpectedReassociations;
+
+  /// The number of productive Figure-7 traversals the paper reports.
+  unsigned ExpectedProductiveTraversals = 0;
+};
+
+/// All figure programs, in paper order.
+const std::vector<PaperExample> &paperExamples();
+
+/// Lookup by name; asserts the name exists.
+const PaperExample &paperExample(const std::string &Name);
+
+} // namespace jslice
+
+#endif // JSLICE_CORPUS_PAPERPROGRAMS_H

@@ -1,0 +1,78 @@
+//===- dataflow/DefUse.cpp - Per-node definitions and uses ------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/DefUse.h"
+
+#include "lang/AstWalk.h"
+
+#include <algorithm>
+
+using namespace jslice;
+
+unsigned DefUse::intern(const std::string &Name) {
+  auto [It, Inserted] = Ids.emplace(Name, numVars());
+  if (Inserted)
+    Names.push_back(Name);
+  return It->second;
+}
+
+DefUse DefUse::build(const Cfg &C) {
+  DefUse Result;
+  unsigned N = C.numNodes();
+  Result.Defs.resize(N);
+  Result.Uses.resize(N);
+
+  for (unsigned Node = 0; Node != N; ++Node) {
+    const CfgNode &Info = C.node(Node);
+    if (!Info.S && !Info.Cond)
+      continue; // Entry/Exit.
+
+    std::set<std::string> Used;
+    bool UsesInput = false;
+
+    auto ScanExpr = [&](const Expr *Root) {
+      walkExprTree(Root, [&](const Expr *E) {
+        if (const auto *Var = dyn_cast<VarRefExpr>(E))
+          Used.insert(Var->getName());
+        else if (const auto *Call = dyn_cast<CallExpr>(E))
+          if (Call->getCallee() == "eof" && Call->getArgs().empty())
+            UsesInput = true;
+      });
+    };
+
+    // Definitions.
+    if (Info.Kind == CfgNodeKind::Statement) {
+      if (const auto *Assign = dyn_cast<AssignStmt>(Info.S)) {
+        Result.Defs[Node].push_back(Result.intern(Assign->getTarget()));
+      } else if (const auto *Read = dyn_cast<ReadStmt>(Info.S)) {
+        // A read defines its target from the stream, advances the
+        // stream, and depends on the stream position set by prior reads.
+        Result.Defs[Node].push_back(Result.intern(Read->getTarget()));
+        Result.Defs[Node].push_back(Result.intern(InputVarName));
+        UsesInput = true;
+      }
+    }
+
+    // Uses: the node's own expression(s). Predicate nodes own the
+    // compound's condition; statement nodes own the statement's
+    // expressions.
+    if (Info.Kind == CfgNodeKind::Predicate) {
+      if (Info.Cond)
+        ScanExpr(Info.Cond);
+    } else {
+      forEachStmtExpr(Info.S, ScanExpr);
+    }
+
+    for (const std::string &Name : Used)
+      Result.Uses[Node].push_back(Result.intern(Name));
+    if (UsesInput)
+      Result.Uses[Node].push_back(Result.intern(InputVarName));
+    std::sort(Result.Uses[Node].begin(), Result.Uses[Node].end());
+    std::sort(Result.Defs[Node].begin(), Result.Defs[Node].end());
+  }
+  return Result;
+}

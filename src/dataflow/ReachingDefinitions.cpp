@@ -1,0 +1,82 @@
+//===- dataflow/ReachingDefinitions.cpp - Classic RD dataflow ---------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/ReachingDefinitions.h"
+
+using namespace jslice;
+
+ReachingDefinitions ReachingDefinitions::compute(const Cfg &C,
+                                                 const DefUse &DU) {
+  ReachingDefinitions Result;
+  unsigned N = C.numNodes();
+
+  // Enumerate definition sites; a node may host several (a read defines
+  // its target and the $input pseudo-variable).
+  std::vector<std::vector<unsigned>> DefIdsOf(N);
+  for (unsigned Node = 0; Node != N; ++Node) {
+    for (unsigned Var : DU.defsOf(Node)) {
+      DefIdsOf[Node].push_back(static_cast<unsigned>(Result.DefNode.size()));
+      Result.DefNode.push_back(Node);
+      Result.DefVar.push_back(Var);
+    }
+  }
+  unsigned D = Result.numDefSites();
+
+  // Per-variable kill masks.
+  std::vector<BitVector> VarDefs(DU.numVars(), BitVector(D));
+  for (unsigned DefId = 0; DefId != D; ++DefId)
+    VarDefs[Result.DefVar[DefId]].set(DefId);
+
+  std::vector<BitVector> In(N, BitVector(D));
+  std::vector<BitVector> Out(N, BitVector(D));
+
+  std::vector<unsigned> RPO = reversePostorder(C.graph(), C.entry());
+  bool Changed = true;
+  BitVector Tmp(D);
+  while (Changed) {
+    Changed = false;
+    for (unsigned Node : RPO) {
+      Tmp.clear();
+      for (unsigned Pred : C.graph().preds(Node))
+        Tmp |= Out[Pred];
+      In[Node] = Tmp;
+
+      // Transfer: Out = Gen ∪ (In − Kill).
+      for (unsigned Var : DU.defsOf(Node))
+        Tmp.resetOf(VarDefs[Var]);
+      for (unsigned DefId : DefIdsOf[Node])
+        Tmp.set(DefId);
+      if (Tmp != Out[Node]) {
+        Out[Node] = Tmp;
+        Changed = true;
+      }
+    }
+  }
+
+  Result.In = std::move(In);
+  return Result;
+}
+
+std::vector<unsigned>
+ReachingDefinitions::reachingDefNodes(unsigned Node, unsigned Var) const {
+  std::vector<unsigned> Out;
+  In[Node].forEachSetBit([&](size_t DefId) {
+    if (DefVar[DefId] == Var)
+      Out.push_back(DefNode[DefId]);
+  });
+  return Out;
+}
+
+Digraph jslice::buildDataDependence(const Cfg &C, const DefUse &DU,
+                                    const ReachingDefinitions &RD) {
+  Digraph DD(C.numNodes());
+  for (unsigned Node = 0, N = C.numNodes(); Node != N; ++Node)
+    for (unsigned Var : DU.usesOf(Node))
+      for (unsigned DefNode : RD.reachingDefNodes(Node, Var))
+        DD.addEdge(DefNode, Node);
+  return DD;
+}

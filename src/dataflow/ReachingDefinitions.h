@@ -1,0 +1,61 @@
+//===- dataflow/ReachingDefinitions.h - Classic RD dataflow -----------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward may-analysis of reaching definitions over the CFG, solved
+/// with bit vectors in reverse postorder. Data dependence (the paper's
+/// data dependence graph, e.g. Figure 2-b) is derived from it: node U is
+/// data dependent on node D when D defines a variable U uses and that
+/// definition reaches U.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_DATAFLOW_REACHINGDEFINITIONS_H
+#define JSLICE_DATAFLOW_REACHINGDEFINITIONS_H
+
+#include "cfg/Cfg.h"
+#include "dataflow/DefUse.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace jslice {
+
+/// Solved reaching-definitions facts. Definition *sites* are the CFG
+/// nodes with non-empty defsOf; the bit index of a site is its dense def id.
+class ReachingDefinitions {
+public:
+  static ReachingDefinitions compute(const Cfg &C, const DefUse &DU);
+
+  unsigned numDefSites() const {
+    return static_cast<unsigned>(DefNode.size());
+  }
+  unsigned defSiteNode(unsigned DefId) const { return DefNode[DefId]; }
+  unsigned defSiteVar(unsigned DefId) const { return DefVar[DefId]; }
+
+  /// Definitions reaching the *entry* of \p Node.
+  const BitVector &in(unsigned Node) const { return In[Node]; }
+
+  /// CFG nodes whose definition of \p Var reaches the entry of \p Node —
+  /// the data-dependence predecessors for a use of Var at Node, and the
+  /// seeds of a (Var, loc) slicing criterion.
+  std::vector<unsigned> reachingDefNodes(unsigned Node, unsigned Var) const;
+
+private:
+  std::vector<unsigned> DefNode;
+  std::vector<unsigned> DefVar;
+  std::vector<BitVector> In;
+};
+
+/// Builds the data dependence graph: an edge D -> U for every definition
+/// D reaching a use at U. Slicing walks these edges backwards (preds).
+Digraph buildDataDependence(const Cfg &C, const DefUse &DU,
+                            const ReachingDefinitions &RD);
+
+} // namespace jslice
+
+#endif // JSLICE_DATAFLOW_REACHINGDEFINITIONS_H

@@ -1,0 +1,282 @@
+//===- gen/ProgramGenerator.cpp - Seeded random Mini-C programs ---------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/ProgramGenerator.h"
+
+#include "lang/AstWalk.h"
+#include "slicer/Analysis.h"
+
+#include <random>
+
+using namespace jslice;
+
+namespace {
+
+class Generator {
+public:
+  explicit Generator(const GenOptions &Opts)
+      : Opts(Opts), Rng(Opts.Seed), Remaining(Opts.TargetStmts) {}
+
+  std::string run() {
+    // Keep emitting top-level statements until the budget is spent (a
+    // top-level unconditional jump ends the program — anything after it
+    // would be dead code).
+    while (Remaining > 0)
+      if (genStmt(/*Depth=*/0))
+        break;
+    if (!EmittedWrite)
+      emitLine("write(" + varName(0) + ");");
+    // Park any labels still dangling on trailing empty statements
+    // (emitRaw: emitLine would attach a second pending label to the
+    // same line, producing an invalid double label).
+    for (unsigned Label : PendingLabels)
+      emitRaw("L" + std::to_string(Label) + ": ;");
+    PendingLabels.clear();
+    return Out;
+  }
+
+private:
+  unsigned randint(unsigned Lo, unsigned Hi) {
+    return std::uniform_int_distribution<unsigned>(Lo, Hi)(Rng);
+  }
+  bool chance(unsigned Percent) { return randint(1, 100) <= Percent; }
+
+  std::string varName(unsigned Index) {
+    return "x" + std::to_string(Index % std::max(1u, Opts.NumVars));
+  }
+  std::string randomVar() { return varName(randint(0, Opts.NumVars - 1)); }
+
+  /// A small side-effect-free expression.
+  std::string genExpr(unsigned Depth) {
+    switch (randint(0, Depth >= 2 ? 2 : 5)) {
+    case 0:
+      return std::to_string(randint(0, 9));
+    case 1:
+    case 2:
+      return randomVar();
+    case 3:
+      return "f" + std::to_string(randint(1, 3)) + "(" + randomVar() + ")";
+    default: {
+      static const char *Ops[] = {"+", "-", "*", "%"};
+      return genExpr(Depth + 1) + " " + Ops[randint(0, 3)] + " " +
+             genExpr(Depth + 1);
+    }
+    }
+  }
+
+  /// A condition; biased toward eof() inside loops so generated loops
+  /// usually terminate on a finite input stream.
+  std::string genCond(bool ForLoop) {
+    if (ForLoop && chance(50))
+      return "!eof()";
+    static const char *Rels[] = {"<", "<=", ">", ">=", "==", "!="};
+    return genExpr(1) + " " + Rels[randint(0, 5)] + " " + genExpr(1);
+  }
+
+  void emitLine(const std::string &Text) {
+    std::string Prefix;
+    // Attach a dangling forward-goto label here — always when the
+    // previous line was a goto (keeping the line after a goto reachable
+    // and the generated program free of dead code), sometimes otherwise.
+    if (!PendingLabels.empty() && (ForceLabel || chance(40))) {
+      Prefix = "L" + std::to_string(PendingLabels.back()) + ": ";
+      PendingLabels.pop_back();
+    }
+    ForceLabel = false;
+    Out += Prefix + Text + "\n";
+  }
+
+  /// Emits a line that opens or continues compound syntax; labels are
+  /// never attached to these (they carry no fresh statement).
+  void emitRaw(const std::string &Text) { Out += Text + "\n"; }
+
+  void genStmtList(unsigned Depth) {
+    unsigned Count = randint(1, 4 + Depth);
+    for (unsigned I = 0; I != Count && Remaining > 0; ++I) {
+      // Never emit a statement directly after an unconditional jump:
+      // it would be unreachable, and dead jump statements void the
+      // paper's guarantees (see Cfg::unreachableNodes).
+      if (genStmt(Depth))
+        break;
+    }
+  }
+
+  /// Returns true when the emitted statement unconditionally transfers
+  /// control (the rest of the current list would be dead code).
+  bool genStmt(unsigned Depth) {
+    if (Remaining == 0)
+      return false;
+    --Remaining;
+
+    bool AtDepthLimit = Depth >= Opts.MaxDepth;
+    unsigned Roll = randint(1, 100);
+
+    // Simple statements — always available.
+    if (AtDepthLimit || Roll <= 45) {
+      switch (randint(0, 5)) {
+      case 0:
+      case 1:
+        emitLine(randomVar() + " = " + genExpr(0) + ";");
+        return false;
+      case 2:
+        emitLine("read(" + randomVar() + ");");
+        return false;
+      case 3:
+      case 4:
+        emitLine("write(" + genExpr(1) + ");");
+        EmittedWrite = true;
+        return false;
+      default:
+        return genJumpOrAssign(Depth);
+      }
+    }
+
+    if (Roll <= 65) { // if / if-else
+      emitLine("if (" + genCond(false) + ") {");
+      genStmtList(Depth + 1);
+      if (chance(40)) {
+        emitRaw("} else {");
+        genStmtList(Depth + 1);
+      }
+      emitRaw("}");
+      return false;
+    }
+
+    if (Roll <= 80) { // while
+      emitLine("while (" + genCond(true) + ") {");
+      ++LoopDepth;
+      genStmtList(Depth + 1);
+      --LoopDepth;
+      emitRaw("}");
+      return false;
+    }
+
+    if (Roll <= 87) { // do-while
+      emitLine("do {");
+      ++LoopDepth;
+      genStmtList(Depth + 1);
+      --LoopDepth;
+      emitRaw("} while (" + genCond(true) + ");");
+      return false;
+    }
+
+    if (Roll <= 94 || !Opts.AllowSwitch) { // for
+      std::string Var = randomVar();
+      emitLine("for (" + Var + " = 0; " + Var + " < " +
+               std::to_string(randint(1, 5)) + "; " + Var + " = " + Var +
+               " + 1) {");
+      ++LoopDepth;
+      genStmtList(Depth + 1);
+      --LoopDepth;
+      emitRaw("}");
+      return false;
+    }
+
+    // switch
+    unsigned Clauses = randint(1, 3);
+    emitLine("switch (" + genExpr(1) + ") { case 0:");
+    ++SwitchDepth;
+    bool UsedDefault = false;
+    for (unsigned Clause = 0; Clause != Clauses; ++Clause) {
+      genStmtList(Depth + 1);
+      if (Clause + 1 == Clauses)
+        continue;
+      if (!UsedDefault && chance(25)) {
+        emitRaw("default:");
+        UsedDefault = true;
+      } else {
+        emitRaw("case " + std::to_string(Clause + 1) + ":");
+      }
+    }
+    --SwitchDepth;
+    emitRaw("}");
+    return false;
+  }
+
+  /// Returns true when a jump was emitted.
+  bool genJumpOrAssign(unsigned Depth) {
+    (void)Depth;
+    // Pick among the jump kinds the options and context allow; fall back
+    // to an assignment.
+    if (Opts.AllowGotos && chance(50)) {
+      unsigned Label = NextLabel++;
+      // Emit before registering the label so it can never land on this
+      // very goto (`L0: goto L0;` would be an exit-unreachable cycle).
+      emitLine("goto L" + std::to_string(Label) + ";");
+      PendingLabels.push_back(Label);
+      // The next emitted line takes this label, so generation can keep
+      // going without creating dead code.
+      ForceLabel = true;
+      return false;
+    }
+    if (Opts.AllowStructuredJumps) {
+      unsigned Kind = randint(0, 9);
+      if (Kind <= 3 && (LoopDepth > 0 || SwitchDepth > 0)) {
+        emitLine("break;");
+        return true;
+      }
+      if (Kind <= 6 && LoopDepth > 0) {
+        emitLine("continue;");
+        return true;
+      }
+      if (Kind == 7 && Opts.AllowReturn) {
+        emitLine(chance(50) ? "return;" : "return " + genExpr(1) + ";");
+        return true;
+      }
+    }
+    emitLine(randomVar() + " = " + genExpr(0) + ";");
+    return false;
+  }
+
+  const GenOptions &Opts;
+  std::mt19937_64 Rng;
+  unsigned Remaining;
+  std::string Out;
+  unsigned LoopDepth = 0;
+  unsigned SwitchDepth = 0;
+  unsigned NextLabel = 0;
+  bool ForceLabel = false;
+  std::vector<unsigned> PendingLabels;
+  bool EmittedWrite = false;
+};
+
+} // namespace
+
+std::string jslice::generateProgram(const GenOptions &Opts) {
+  return Generator(Opts).run();
+}
+
+std::vector<Criterion> jslice::writeCriteria(const Program &Prog) {
+  std::vector<Criterion> Out;
+  for (const Stmt *Top : Prog.topLevel()) {
+    walkStmtTree(Top, [&](const Stmt *S) {
+      const auto *Write = dyn_cast<WriteStmt>(S);
+      if (!Write)
+        return;
+      std::set<std::string> Used;
+      collectUsedVars(S, Used);
+      Out.emplace_back(S->getLoc().Line,
+                       std::vector<std::string>(Used.begin(), Used.end()));
+    });
+  }
+  return Out;
+}
+
+std::vector<Criterion> jslice::reachableWriteCriteria(const Analysis &A) {
+  std::vector<bool> Reachable =
+      reachableFrom(A.cfg().graph(), A.cfg().entry());
+  std::vector<Criterion> Out;
+  for (const Criterion &Crit : writeCriteria(A.program())) {
+    bool Live = false;
+    for (unsigned Node : A.cfg().nodesOnLine(Crit.Line))
+      if (Reachable[Node])
+        Live = true;
+    if (Live)
+      Out.push_back(Crit);
+  }
+  return Out;
+}

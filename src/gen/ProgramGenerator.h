@@ -1,0 +1,84 @@
+//===- gen/ProgramGenerator.h - Seeded random Mini-C programs -----------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded random program generator producing Mini-C source text, used
+/// by the property tests (slice correctness over thousands of programs)
+/// and the scaling benchmarks. Two dialects:
+///
+///  * structured mode — if/while/do/for/switch plus break, continue,
+///    and return (every jump is structured in the paper's sense);
+///  * unstructured mode — additionally forward gotos, including jumps
+///    into and out of compound statements (unstructured control flow
+///    with exit-reachability guaranteed by construction: all gotos jump
+///    forward in the text, so the only back edges are loop back edges,
+///    which always carry a structural exit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_GEN_PROGRAMGENERATOR_H
+#define JSLICE_GEN_PROGRAMGENERATOR_H
+
+#include "lang/Ast.h"
+#include "slicer/Criterion.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jslice {
+
+/// Generation knobs.
+struct GenOptions {
+  uint64_t Seed = 1;
+
+  /// Approximate number of statements to emit.
+  unsigned TargetStmts = 30;
+
+  /// Maximum nesting depth of compound statements.
+  unsigned MaxDepth = 4;
+
+  /// Number of scalar variables (x0..x{n-1}).
+  unsigned NumVars = 4;
+
+  /// Emit forward gotos (unstructured mode).
+  bool AllowGotos = false;
+
+  /// Emit break/continue/return.
+  bool AllowStructuredJumps = true;
+
+  /// Emit return statements. Returns are multi-level exits; they are
+  /// the ingredient of the Section-4 property-2 counterexample (see
+  /// DESIGN.md), so the Figure-12/13 property tests turn them off.
+  bool AllowReturn = true;
+
+  /// Emit switch statements. C's clause fall-through makes a switch
+  /// behave jump-like even without break statements — it breaks the
+  /// LST == PDT identity for jump-free programs (see DESIGN.md) — so
+  /// the property test for that identity turns switches off.
+  bool AllowSwitch = true;
+};
+
+/// Generates one program as Mini-C source text (one statement per line,
+/// so line numbers are usable as criteria). The result always parses,
+/// passes sema, and builds a CFG (exit-reachable by construction).
+std::string generateProgram(const GenOptions &Opts);
+
+/// Criteria worth slicing on: one per write statement (its line, the
+/// variables it uses), in source order.
+std::vector<Criterion> writeCriteria(const Program &Prog);
+
+/// Like writeCriteria, but restricted to writes reachable from program
+/// entry. Criteria in dead code are degenerate — the criterion never
+/// executes, every slice is behaviour-preserving, and the paper's
+/// equivalence theorems (Figure 7 == Ball–Horwitz, Figure 12 ==
+/// Figure 7) do not apply — so the property tests use this filter.
+std::vector<Criterion> reachableWriteCriteria(const Analysis &A);
+
+} // namespace jslice
+
+#endif // JSLICE_GEN_PROGRAMGENERATOR_H

@@ -1,0 +1,55 @@
+//===- graph/Digraph.cpp - Simple directed graph ----------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Digraph.h"
+
+using namespace jslice;
+
+std::vector<bool> jslice::reachableFrom(const Digraph &G, unsigned Root) {
+  std::vector<bool> Seen(G.numNodes(), false);
+  if (Root >= G.numNodes())
+    return Seen;
+  std::vector<unsigned> Worklist = {Root};
+  Seen[Root] = true;
+  while (!Worklist.empty()) {
+    unsigned Node = Worklist.back();
+    Worklist.pop_back();
+    for (unsigned Succ : G.succs(Node)) {
+      if (Seen[Succ])
+        continue;
+      Seen[Succ] = true;
+      Worklist.push_back(Succ);
+    }
+  }
+  return Seen;
+}
+
+std::vector<unsigned> jslice::reversePostorder(const Digraph &G,
+                                               unsigned Root) {
+  std::vector<unsigned> Postorder;
+  std::vector<uint8_t> State(G.numNodes(), 0); // 0 new, 1 open, 2 done.
+  // Iterative DFS storing (node, next-successor-index) frames.
+  std::vector<std::pair<unsigned, size_t>> Stack;
+  Stack.emplace_back(Root, 0);
+  State[Root] = 1;
+  while (!Stack.empty()) {
+    auto &[Node, NextIdx] = Stack.back();
+    const auto &Succs = G.succs(Node);
+    if (NextIdx < Succs.size()) {
+      unsigned Succ = Succs[NextIdx++];
+      if (State[Succ] == 0) {
+        State[Succ] = 1;
+        Stack.emplace_back(Succ, 0);
+      }
+      continue;
+    }
+    State[Node] = 2;
+    Postorder.push_back(Node);
+    Stack.pop_back();
+  }
+  return std::vector<unsigned>(Postorder.rbegin(), Postorder.rend());
+}

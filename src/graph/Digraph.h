@@ -1,0 +1,99 @@
+//===- graph/Digraph.h - Simple directed graph ------------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, index-based directed graph used for control flowgraphs and
+/// dependence graphs. Nodes are the integers [0, numNodes()); payloads
+/// live in parallel side tables owned by the clients (cfg/, pdg/).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_GRAPH_DIGRAPH_H
+#define JSLICE_GRAPH_DIGRAPH_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace jslice {
+
+/// Dense directed graph with parallel-edge suppression.
+class Digraph {
+public:
+  Digraph() = default;
+  explicit Digraph(unsigned NumNodes)
+      : Succs(NumNodes), Preds(NumNodes) {}
+
+  unsigned numNodes() const { return static_cast<unsigned>(Succs.size()); }
+
+  /// Appends a fresh node and returns its index.
+  unsigned addNode() {
+    Succs.emplace_back();
+    Preds.emplace_back();
+    return numNodes() - 1;
+  }
+
+  /// Adds the edge From -> To; duplicate edges are ignored.
+  void addEdge(unsigned From, unsigned To) {
+    assert(From < numNodes() && To < numNodes() && "edge endpoint missing");
+    for (unsigned Succ : Succs[From])
+      if (Succ == To)
+        return;
+    Succs[From].push_back(To);
+    Preds[To].push_back(From);
+  }
+
+  bool hasEdge(unsigned From, unsigned To) const {
+    assert(From < numNodes() && "edge endpoint missing");
+    for (unsigned Succ : Succs[From])
+      if (Succ == To)
+        return true;
+    return false;
+  }
+
+  const std::vector<unsigned> &succs(unsigned Node) const {
+    assert(Node < numNodes() && "node out of range");
+    return Succs[Node];
+  }
+  const std::vector<unsigned> &preds(unsigned Node) const {
+    assert(Node < numNodes() && "node out of range");
+    return Preds[Node];
+  }
+
+  size_t numEdges() const {
+    size_t N = 0;
+    for (const auto &Out : Succs)
+      N += Out.size();
+    return N;
+  }
+
+  /// Returns the graph with every edge direction flipped.
+  Digraph reversed() const {
+    Digraph Rev(numNodes());
+    for (unsigned From = 0, E = numNodes(); From != E; ++From)
+      for (unsigned To : Succs[From])
+        Rev.addEdge(To, From);
+    return Rev;
+  }
+
+private:
+  std::vector<std::vector<unsigned>> Succs;
+  std::vector<std::vector<unsigned>> Preds;
+};
+
+/// Nodes reachable from \p Root along forward edges (as a bool-per-node
+/// vector).
+std::vector<bool> reachableFrom(const Digraph &G, unsigned Root);
+
+/// Reverse postorder of the subgraph reachable from \p Root.
+std::vector<unsigned> reversePostorder(const Digraph &G, unsigned Root);
+
+} // namespace jslice
+
+#endif // JSLICE_GRAPH_DIGRAPH_H

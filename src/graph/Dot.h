@@ -1,0 +1,48 @@
+//===- graph/Dot.h - Graphviz and text rendering ----------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rendering of digraphs and dominator trees to Graphviz DOT and to a
+/// plain-text edge list (the form the figure benches print and the tests
+/// golden-match).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_GRAPH_DOT_H
+#define JSLICE_GRAPH_DOT_H
+
+#include "graph/Digraph.h"
+#include "graph/Dominators.h"
+
+#include <functional>
+#include <string>
+
+namespace jslice {
+
+/// Node-id -> display-label callback used by the renderers.
+using NodeLabelFn = std::function<std::string(unsigned)>;
+
+/// Renders \p G as a DOT digraph named \p Name. \p Highlight, when
+/// non-null, marks nodes to shade (the paper shades in-slice nodes).
+std::string toDot(const Digraph &G, const std::string &Name,
+                  const NodeLabelFn &Label,
+                  const std::function<bool(unsigned)> *Highlight = nullptr);
+
+/// Renders the parent edges of \p Tree as a DOT digraph named \p Name.
+std::string domTreeToDot(const DomTree &Tree, const std::string &Name,
+                         const NodeLabelFn &Label);
+
+/// One "a -> b, c" line per node that has successors, in node order.
+std::string toEdgeListText(const Digraph &G, const NodeLabelFn &Label);
+
+/// One "child: parent" line per reachable non-root node, in node order —
+/// a stable, diff-friendly tree dump.
+std::string domTreeToText(const DomTree &Tree, const NodeLabelFn &Label);
+
+} // namespace jslice
+
+#endif // JSLICE_GRAPH_DOT_H

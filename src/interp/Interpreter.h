@@ -1,0 +1,92 @@
+//===- interp/Interpreter.h - Projection-semantics interpreter ---------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a Mini-C program — or any *projection* of it onto a CFG node
+/// subset — with the paper's deletion semantics:
+///
+///  * control reaching a deleted node falls to the node's immediate
+///    lexical successor (that is precisely what deleting the statement
+///    from the text does);
+///  * an executed goto whose target was deleted lands on the target's
+///    nearest postdominator in the kept set (the paper's label
+///    re-association rule, Figure 7's final step);
+///  * a break/continue to a deleted target lands on the target and
+///    falls lexically from there (what executing the printed slice
+///    does).
+///
+/// Running the full node set is ordinary execution. Property tests use
+/// this to check Weiser's criterion behaviourally: the sequence of
+/// criterion-variable values observed at the criterion line must be
+/// identical for the original program and for a correct slice.
+///
+/// Determinism: variables start at 0; `read` past the end of input
+/// yields 0; `eof()` reports input exhaustion; division/remainder by
+/// zero yield 0; every other intrinsic call is a deterministic hash of
+/// its name and argument values, reduced to [-100, 100].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_INTERP_INTERPRETER_H
+#define JSLICE_INTERP_INTERPRETER_H
+
+#include "slicer/Analysis.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace jslice {
+
+/// Inputs and resource limits for one execution.
+struct ExecOptions {
+  std::vector<int64_t> Input;
+  uint64_t MaxSteps = 200000;
+};
+
+/// Observations from one execution.
+struct ExecResult {
+  /// False when the step limit was hit (potential non-termination).
+  bool Completed = false;
+  uint64_t Steps = 0;
+
+  /// Values written (by write and value-returning return), in order.
+  std::vector<int64_t> Output;
+
+  /// For each visit of the criterion node, the values of the criterion
+  /// variables sampled just before the node executes (flattened,
+  /// VarIds.size() entries per visit).
+  std::vector<int64_t> CriterionValues;
+};
+
+/// Executes the projection of \p A's program onto \p Kept.
+/// \p CriterionNode / \p CriterionVars select what CriterionValues
+/// samples (pass the resolved criterion; CriterionNode must be in
+/// \p Kept or sampling never triggers).
+ExecResult runProjection(const Analysis &A, const std::set<unsigned> &Kept,
+                         unsigned CriterionNode,
+                         const std::vector<unsigned> &CriterionVars,
+                         const ExecOptions &Opts);
+
+/// Executes the original program (every node kept).
+ExecResult runOriginal(const Analysis &A, unsigned CriterionNode,
+                       const std::vector<unsigned> &CriterionVars,
+                       const ExecOptions &Opts);
+
+/// Executes a *synthesized* slice (slicer/ChoiFerranteSynthesis.h):
+/// control never visits a deleted node — every raw transfer is
+/// redirected to the target's nearest kept postdominator, the semantics
+/// of the synthesized jumps. \p Kept must not contain jump nodes.
+ExecResult runTransferProjection(const Analysis &A,
+                                 const std::set<unsigned> &Kept,
+                                 unsigned CriterionNode,
+                                 const std::vector<unsigned> &CriterionVars,
+                                 const ExecOptions &Opts);
+
+} // namespace jslice
+
+#endif // JSLICE_INTERP_INTERPRETER_H

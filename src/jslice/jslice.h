@@ -1,0 +1,44 @@
+//===- jslice/jslice.h - Umbrella public API ----------------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella for library users. Typical use:
+///
+/// \code
+///   auto A = jslice::Analysis::fromSource(Source);
+///   if (!A) { report(A.diags()); return; }
+///   auto Slice = jslice::computeSlice(*A, jslice::Criterion(12, {"x"}),
+///                                     jslice::SliceAlgorithm::Agrawal);
+///   std::cout << jslice::printSlice(*A, *Slice);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_JSLICE_H
+#define JSLICE_JSLICE_H
+
+#include "cfg/Cfg.h"
+#include "cfg/LexicalSuccessorTree.h"
+#include "dataflow/DefUse.h"
+#include "dataflow/ReachingDefinitions.h"
+#include "graph/Digraph.h"
+#include "graph/Dominators.h"
+#include "graph/Dot.h"
+#include "interp/Interpreter.h"
+#include "lang/Ast.h"
+#include "lang/Parser.h"
+#include "lang/PrettyPrinter.h"
+#include "pdg/ControlDependence.h"
+#include "pdg/Pdg.h"
+#include "slicer/Analysis.h"
+#include "slicer/Criterion.h"
+#include "slicer/ChoiFerranteSynthesis.h"
+#include "slicer/SlicePrinter.h"
+#include "slicer/Slicers.h"
+#include "slicer/WeiserSlicer.h"
+
+#endif // JSLICE_JSLICE_H

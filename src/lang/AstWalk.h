@@ -1,0 +1,54 @@
+//===- lang/AstWalk.h - Generic AST traversal helpers ----------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small traversal helpers shared by semantic analysis, the CFG builder,
+/// dataflow def/use extraction, and the printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_LANG_ASTWALK_H
+#define JSLICE_LANG_ASTWALK_H
+
+#include "lang/Ast.h"
+
+#include <functional>
+#include <set>
+#include <string>
+
+namespace jslice {
+
+/// Invokes \p Fn on every direct child statement of \p S, in lexical
+/// order (then-branch before else-branch, for-init before for-step, case
+/// clauses in source order).
+void forEachChildStmt(const Stmt *S,
+                      const std::function<void(const Stmt *)> &Fn);
+
+/// Invokes \p Fn on \p S and every transitive child, preorder.
+void walkStmtTree(const Stmt *S,
+                  const std::function<void(const Stmt *)> &Fn);
+
+/// Invokes \p Fn on every expression directly attached to \p S (the
+/// condition of an if/while/..., the RHS of an assignment, the operand of
+/// write/return). Does not descend into child statements.
+void forEachStmtExpr(const Stmt *S,
+                     const std::function<void(const Expr *)> &Fn);
+
+/// Invokes \p Fn on \p E and every subexpression, preorder.
+void walkExprTree(const Expr *E,
+                  const std::function<void(const Expr *)> &Fn);
+
+/// Collects the names of all variables a statement's own expressions use
+/// (not descending into child statements).
+void collectUsedVars(const Stmt *S, std::set<std::string> &Out);
+
+/// Names of all variables mentioned anywhere in the program, sorted.
+std::set<std::string> collectProgramVars(const Program &Prog);
+
+} // namespace jslice
+
+#endif // JSLICE_LANG_ASTWALK_H

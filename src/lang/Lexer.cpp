@@ -1,0 +1,304 @@
+//===- lang/Lexer.cpp - Mini-C lexer ---------------------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace jslice;
+
+const char *jslice::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwSwitch:
+    return "'switch'";
+  case TokenKind::KwCase:
+    return "'case'";
+  case TokenKind::KwDefault:
+    return "'default'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwGoto:
+    return "'goto'";
+  case TokenKind::KwRead:
+    return "'read'";
+  case TokenKind::KwWrite:
+    return "'write'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Not:
+    return "'!'";
+  }
+  return "<unknown token>";
+}
+
+char Lexer::peek(size_t Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advancing past end of buffer");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia(DiagList &Diags) {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      bool Closed = false;
+      while (!atEnd()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.report(Start, "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},     {"do", TokenKind::KwDo},
+      {"for", TokenKind::KwFor},         {"switch", TokenKind::KwSwitch},
+      {"case", TokenKind::KwCase},       {"default", TokenKind::KwDefault},
+      {"break", TokenKind::KwBreak},     {"continue", TokenKind::KwContinue},
+      {"return", TokenKind::KwReturn},   {"goto", TokenKind::KwGoto},
+      {"read", TokenKind::KwRead},       {"write", TokenKind::KwWrite},
+  };
+
+  Token Tok;
+  Tok.Loc = here();
+  std::string Text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    Text += advance();
+  auto It = Keywords.find(Text);
+  Tok.Kind = It != Keywords.end() ? It->second : TokenKind::Identifier;
+  Tok.Text = std::move(Text);
+  return Tok;
+}
+
+Token Lexer::lexNumber() {
+  Token Tok;
+  Tok.Kind = TokenKind::IntLiteral;
+  Tok.Loc = here();
+  int64_t Value = 0;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+    Value = Value * 10 + (advance() - '0');
+  Tok.IntValue = Value;
+  return Tok;
+}
+
+Token Lexer::lexToken(DiagList &Diags) {
+  skipTrivia(Diags);
+
+  Token Tok;
+  Tok.Loc = here();
+  if (atEnd()) {
+    Tok.Kind = TokenKind::Eof;
+    return Tok;
+  }
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+
+  advance();
+  switch (C) {
+  case '(':
+    Tok.Kind = TokenKind::LParen;
+    return Tok;
+  case ')':
+    Tok.Kind = TokenKind::RParen;
+    return Tok;
+  case '{':
+    Tok.Kind = TokenKind::LBrace;
+    return Tok;
+  case '}':
+    Tok.Kind = TokenKind::RBrace;
+    return Tok;
+  case ';':
+    Tok.Kind = TokenKind::Semi;
+    return Tok;
+  case ':':
+    Tok.Kind = TokenKind::Colon;
+    return Tok;
+  case ',':
+    Tok.Kind = TokenKind::Comma;
+    return Tok;
+  case '+':
+    Tok.Kind = TokenKind::Plus;
+    return Tok;
+  case '-':
+    Tok.Kind = TokenKind::Minus;
+    return Tok;
+  case '*':
+    Tok.Kind = TokenKind::Star;
+    return Tok;
+  case '/':
+    Tok.Kind = TokenKind::Slash;
+    return Tok;
+  case '%':
+    Tok.Kind = TokenKind::Percent;
+    return Tok;
+  case '=':
+    if (peek() == '=') {
+      advance();
+      Tok.Kind = TokenKind::EqEq;
+    } else {
+      Tok.Kind = TokenKind::Assign;
+    }
+    return Tok;
+  case '<':
+    if (peek() == '=') {
+      advance();
+      Tok.Kind = TokenKind::Le;
+    } else {
+      Tok.Kind = TokenKind::Lt;
+    }
+    return Tok;
+  case '>':
+    if (peek() == '=') {
+      advance();
+      Tok.Kind = TokenKind::Ge;
+    } else {
+      Tok.Kind = TokenKind::Gt;
+    }
+    return Tok;
+  case '!':
+    if (peek() == '=') {
+      advance();
+      Tok.Kind = TokenKind::NotEq;
+    } else {
+      Tok.Kind = TokenKind::Not;
+    }
+    return Tok;
+  case '&':
+    if (peek() == '&') {
+      advance();
+      Tok.Kind = TokenKind::AmpAmp;
+      return Tok;
+    }
+    break;
+  case '|':
+    if (peek() == '|') {
+      advance();
+      Tok.Kind = TokenKind::PipePipe;
+      return Tok;
+    }
+    break;
+  default:
+    break;
+  }
+
+  Diags.report(Tok.Loc, std::string("unexpected character '") + C + "'");
+  Tok.Kind = TokenKind::Error;
+  return Tok;
+}
+
+std::vector<Token> Lexer::lexAll(DiagList &Diags) {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token Tok = lexToken(Diags);
+    bool IsEof = Tok.is(TokenKind::Eof);
+    Tokens.push_back(std::move(Tok));
+    if (IsEof)
+      break;
+  }
+  return Tokens;
+}

@@ -1,0 +1,56 @@
+//===- lang/Lexer.h - Mini-C lexer -----------------------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A one-pass lexer for Mini-C. Supports `//` and `/* */` comments and
+/// tracks 1-based line/column positions; statement line numbers are how
+/// slicing criteria are named, so positions matter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_LANG_LEXER_H
+#define JSLICE_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace jslice {
+
+/// Lexes a complete Mini-C buffer into a token vector ending in Eof.
+class Lexer {
+public:
+  explicit Lexer(std::string Source) : Source(std::move(Source)) {}
+
+  /// Lexes the whole buffer. On malformed input (stray characters,
+  /// unterminated comments) diagnostics are produced and an Error token
+  /// marks each bad position, but lexing continues so the parser can see
+  /// the Eof.
+  std::vector<Token> lexAll(DiagList &Diags);
+
+private:
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLoc here() const { return SourceLoc(Line, Col); }
+
+  void skipTrivia(DiagList &Diags);
+  Token lexToken(DiagList &Diags);
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+
+  std::string Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace jslice
+
+#endif // JSLICE_LANG_LEXER_H

@@ -1,0 +1,308 @@
+//===- lang/PrettyPrinter.cpp - Mini-C printing ----------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/PrettyPrinter.h"
+
+#include "lang/AstWalk.h"
+#include "support/StringUtils.h"
+
+using namespace jslice;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Binding strength; larger binds tighter.
+int precedenceOf(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Or:
+    return 1;
+  case BinaryOp::And:
+    return 2;
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    return 3;
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+    return 4;
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+    return 5;
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::Rem:
+    return 6;
+  }
+  return 0;
+}
+
+constexpr int UnaryPrecedence = 7;
+
+std::string printExprPrec(const Expr *E, int ParentPrec) {
+  switch (E->getKind()) {
+  case ExprKind::IntLit:
+    return std::to_string(cast<IntLitExpr>(E)->getValue());
+  case ExprKind::VarRef:
+    return cast<VarRefExpr>(E)->getName();
+  case ExprKind::Unary: {
+    const auto *Un = cast<UnaryExpr>(E);
+    std::string Inner = printExprPrec(Un->getOperand(), UnaryPrecedence);
+    std::string Text =
+        (Un->getOp() == UnaryOp::Neg ? "-" : "!") + Inner;
+    return ParentPrec > UnaryPrecedence ? "(" + Text + ")" : Text;
+  }
+  case ExprKind::Binary: {
+    const auto *Bin = cast<BinaryExpr>(E);
+    int Prec = precedenceOf(Bin->getOp());
+    // Left associativity: the right child needs strictly tighter binding.
+    std::string Text = printExprPrec(Bin->getLHS(), Prec) + " " +
+                       binaryOpSpelling(Bin->getOp()) + " " +
+                       printExprPrec(Bin->getRHS(), Prec + 1);
+    return Prec < ParentPrec ? "(" + Text + ")" : Text;
+  }
+  case ExprKind::Call: {
+    const auto *Call = cast<CallExpr>(E);
+    std::vector<std::string> Args;
+    for (const Expr *Arg : Call->getArgs())
+      Args.push_back(printExprPrec(Arg, 0));
+    return Call->getCallee() + "(" + join(Args, ", ") + ")";
+  }
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string jslice::printExpr(const Expr *E) { return printExprPrec(E, 0); }
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class StmtPrinter {
+public:
+  StmtPrinter(const PrintOptions &Opts) : Opts(Opts) {}
+
+  std::string run(const Program &Prog) {
+    printStmtList(Prog.topLevel(), 0);
+    printExitLabels();
+    return std::move(Out);
+  }
+
+private:
+  bool isKept(const Stmt *S) const {
+    return !Opts.KeepIds || Opts.KeepIds->count(S->getId());
+  }
+
+  bool anyKept(const Stmt *S) const {
+    if (isKept(S))
+      return true;
+    bool Found = false;
+    forEachChildStmt(S, [&](const Stmt *Child) {
+      if (!Found && anyKept(Child))
+        Found = true;
+    });
+    return Found;
+  }
+
+  /// The `NN: ` prefix (paper style) plus labels for this statement.
+  std::string prefixFor(const Stmt *S) const {
+    std::string Prefix;
+    if (Opts.ShowLineNumbers && S->getLoc().isValid())
+      Prefix += std::to_string(S->getLoc().Line) + ": ";
+    if (Opts.ExtraLabels) {
+      auto It = Opts.ExtraLabels->find(S->getId());
+      if (It != Opts.ExtraLabels->end())
+        for (const std::string &Label : It->second)
+          Prefix += Label + ": ";
+    }
+    if (S->hasLabel())
+      Prefix += S->getLabel() + ": ";
+    return Prefix;
+  }
+
+  void line(unsigned Indent, const std::string &Text) {
+    Out += indent(Indent) + Text + "\n";
+  }
+
+  /// Prints the statements of \p List that survive the projection,
+  /// hoisting kept descendants of dropped constructs to this level.
+  void printStmtList(const std::vector<const Stmt *> &List, unsigned Indent) {
+    for (const Stmt *S : List)
+      printMaybeDropped(S, Indent);
+  }
+
+  void printMaybeDropped(const Stmt *S, unsigned Indent) {
+    // Blocks are pure syntax: keep-sets never contain them, so route
+    // through their children directly.
+    if (const auto *Block = dyn_cast<BlockStmt>(S)) {
+      printStmtList(Block->getBody(), Indent);
+      return;
+    }
+    if (isKept(S)) {
+      printStmt(S, Indent);
+      return;
+    }
+    if (!anyKept(S))
+      return;
+    // Dropped construct with kept descendants (occurs when printing
+    // conventional slices of jump programs): hoist them, in order.
+    forEachChildStmt(S, [&](const Stmt *Child) {
+      printMaybeDropped(Child, Indent);
+    });
+  }
+
+  /// Prints a construct body as a braced, filtered statement list.
+  void printBody(const Stmt *Body, unsigned Indent) {
+    Out.erase(Out.end() - 1); // Replace trailing newline with " {".
+    Out += " {\n";
+    printMaybeDropped(Body, Indent + 1);
+    line(Indent, "}");
+  }
+
+  void printStmt(const Stmt *S, unsigned Indent) {
+    std::string Prefix = prefixFor(S);
+    switch (S->getKind()) {
+    case StmtKind::Assign: {
+      const auto *Assign = cast<AssignStmt>(S);
+      line(Indent, Prefix + Assign->getTarget() + " = " +
+                       printExpr(Assign->getValue()) + ";");
+      return;
+    }
+    case StmtKind::Read:
+      line(Indent, Prefix + "read(" + cast<ReadStmt>(S)->getTarget() + ");");
+      return;
+    case StmtKind::Write:
+      line(Indent,
+           Prefix + "write(" + printExpr(cast<WriteStmt>(S)->getValue()) +
+               ");");
+      return;
+    case StmtKind::Goto:
+      line(Indent,
+           Prefix + "goto " + cast<GotoStmt>(S)->getTargetLabel() + ";");
+      return;
+    case StmtKind::Break:
+      line(Indent, Prefix + "break;");
+      return;
+    case StmtKind::Continue:
+      line(Indent, Prefix + "continue;");
+      return;
+    case StmtKind::Return: {
+      const auto *Ret = cast<ReturnStmt>(S);
+      line(Indent, Prefix + (Ret->hasValue()
+                                 ? "return " + printExpr(Ret->getValue()) + ";"
+                                 : "return;"));
+      return;
+    }
+    case StmtKind::Empty:
+      line(Indent, Prefix + ";");
+      return;
+    case StmtKind::Block:
+      // Reached only for explicitly printed blocks (no projection).
+      line(Indent, Prefix + "{");
+      printStmtList(cast<BlockStmt>(S)->getBody(), Indent + 1);
+      line(Indent, "}");
+      return;
+    case StmtKind::If: {
+      const auto *If = cast<IfStmt>(S);
+      line(Indent, Prefix + "if (" + printExpr(If->getCond()) + ")");
+      printBody(If->getThen(), Indent);
+      if (If->hasElse() && (!Opts.KeepIds || anyKept(If->getElse()))) {
+        line(Indent, "else");
+        printBody(If->getElse(), Indent);
+      }
+      return;
+    }
+    case StmtKind::While: {
+      const auto *While = cast<WhileStmt>(S);
+      line(Indent, Prefix + "while (" + printExpr(While->getCond()) + ")");
+      printBody(While->getBody(), Indent);
+      return;
+    }
+    case StmtKind::DoWhile: {
+      const auto *Do = cast<DoWhileStmt>(S);
+      line(Indent, Prefix + "do");
+      printBody(Do->getBody(), Indent);
+      Out.erase(Out.end() - 1);
+      Out += " while (" + printExpr(Do->getCond()) + ");\n";
+      return;
+    }
+    case StmtKind::For: {
+      const auto *For = cast<ForStmt>(S);
+      std::string Header = Prefix + "for (";
+      if (For->getInit())
+        Header += printForClause(For->getInit());
+      Header += "; ";
+      if (For->getCond())
+        Header += printExpr(For->getCond());
+      Header += "; ";
+      if (For->getStep())
+        Header += printForClause(For->getStep());
+      Header += ")";
+      line(Indent, Header);
+      printBody(For->getBody(), Indent);
+      return;
+    }
+    case StmtKind::Switch: {
+      const auto *Switch = cast<SwitchStmt>(S);
+      line(Indent,
+           Prefix + "switch (" + printExpr(Switch->getCond()) + ") {");
+      for (const CaseClause &Clause : Switch->getClauses()) {
+        bool ClauseHasContent = false;
+        for (const Stmt *Child : Clause.Body)
+          if (anyKept(Child))
+            ClauseHasContent = true;
+        if (Opts.KeepIds && !ClauseHasContent)
+          continue;
+        line(Indent + 1, Clause.IsDefault
+                             ? "default:"
+                             : "case " + std::to_string(Clause.Value) + ":");
+        for (const Stmt *Child : Clause.Body)
+          printMaybeDropped(Child, Indent + 2);
+      }
+      line(Indent, "}");
+      return;
+    }
+    }
+  }
+
+  /// Renders a for-header clause without its trailing ';'.
+  std::string printForClause(const Stmt *S) {
+    if (const auto *Assign = dyn_cast<AssignStmt>(S))
+      return Assign->getTarget() + " = " + printExpr(Assign->getValue());
+    if (const auto *Read = dyn_cast<ReadStmt>(S))
+      return "read(" + Read->getTarget() + ")";
+    assert(false && "for-clause must be an assignment or read");
+    return ";";
+  }
+
+  void printExitLabels() {
+    if (!Opts.ExtraLabels)
+      return;
+    auto It = Opts.ExtraLabels->find(PrintOptions::ExitLabelKey);
+    if (It == Opts.ExtraLabels->end())
+      return;
+    for (const std::string &Label : It->second)
+      line(0, Label + ":");
+  }
+
+  const PrintOptions &Opts;
+  std::string Out;
+};
+
+} // namespace
+
+std::string jslice::printProgram(const Program &Prog,
+                                 const PrintOptions &Opts) {
+  return StmtPrinter(Opts).run(Prog);
+}

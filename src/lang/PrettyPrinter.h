@@ -1,0 +1,65 @@
+//===- lang/PrettyPrinter.h - Mini-C printing ------------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical-form printing of Mini-C programs and of *projections* of
+/// programs onto a statement subset — the textual form of a slice, in the
+/// style of the paper's figures (optionally with `NN:` line prefixes).
+///
+/// Projection printing is presentation only: behavioural questions about
+/// a slice are answered by the projection interpreter (interp/), never by
+/// re-parsing printed text. When a kept statement's enclosing construct
+/// was dropped, the statement is hoisted to the enclosing level, which is
+/// exactly how the paper's figures render conventional (incorrect) slices
+/// of goto programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_LANG_PRETTYPRINTER_H
+#define JSLICE_LANG_PRETTYPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace jslice {
+
+/// Options for printProgram.
+struct PrintOptions {
+  /// Prefix each simple statement / predicate with its original source
+  /// line number, paper style ("7:  positives = positives + 1;").
+  bool ShowLineNumbers = false;
+
+  /// When non-null, print only statements whose id is in the set (plus
+  /// the construct syntax of kept compound statements). Null prints all.
+  const std::set<unsigned> *KeepIds = nullptr;
+
+  /// Labels to print before a statement *in addition to* its own label:
+  /// statement id -> label names. This is how the slicer's re-associated
+  /// labels (paper, Figure 7, final step) reach the output; a label with
+  /// no statement left to attach to (re-associated to program exit) is
+  /// keyed by `ExitLabelKey`.
+  const std::map<unsigned, std::vector<std::string>> *ExtraLabels = nullptr;
+
+  /// Pseudo statement id for labels re-associated past the last printed
+  /// statement (they render as a trailing `L:` line).
+  static constexpr unsigned ExitLabelKey = ~0u;
+};
+
+/// Renders a whole program (or its projection; see PrintOptions).
+std::string printProgram(const Program &Prog, const PrintOptions &Opts = {});
+
+/// Renders one expression in canonical form (minimal parentheses,
+/// explicit where precedence requires them).
+std::string printExpr(const Expr *E);
+
+} // namespace jslice
+
+#endif // JSLICE_LANG_PRETTYPRINTER_H

@@ -1,0 +1,124 @@
+//===- lang/Sema.cpp - Mini-C semantic analysis ----------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include "lang/AstWalk.h"
+
+#include <unordered_map>
+
+using namespace jslice;
+
+namespace {
+
+/// One pass over the statement tree carrying the enclosing-construct
+/// context needed to bind break/continue, plus the global label table.
+class SemaPass {
+public:
+  SemaPass(Program &Prog, DiagList &Diags) : Prog(Prog), Diags(Diags) {}
+
+  bool run() {
+    collectLabels();
+    for (const Stmt *Top : Prog.topLevel())
+      visit(Top, /*Parent=*/nullptr);
+    resolveGotos();
+    return !HadError;
+  }
+
+private:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.report(Loc, std::move(Message));
+    HadError = true;
+  }
+
+  void collectLabels() {
+    for (const Stmt *Top : Prog.topLevel()) {
+      walkStmtTree(Top, [&](const Stmt *S) {
+        if (!S->hasLabel())
+          return;
+        auto [It, Inserted] = Labels.emplace(S->getLabel(), S);
+        if (!Inserted)
+          error(S->getLoc(), "duplicate label '" + S->getLabel() + "'");
+        (void)It;
+      });
+    }
+  }
+
+  void resolveGotos() {
+    for (const Stmt *Top : Prog.topLevel()) {
+      walkStmtTree(Top, [&](const Stmt *S) {
+        const auto *Goto = dyn_cast<GotoStmt>(S);
+        if (!Goto)
+          return;
+        auto It = Labels.find(Goto->getTargetLabel());
+        if (It == Labels.end()) {
+          error(Goto->getLoc(),
+                "goto to undefined label '" + Goto->getTargetLabel() + "'");
+          return;
+        }
+        // Resolution mutates analysis-result fields of otherwise-immutable
+        // nodes; Sema is the single sanctioned writer.
+        const_cast<GotoStmt *>(Goto)->setTarget(It->second);
+      });
+    }
+  }
+
+  void visit(const Stmt *S, const Stmt *Parent) {
+    const_cast<Stmt *>(S)->setParent(Parent);
+
+    switch (S->getKind()) {
+    case StmtKind::Break: {
+      if (Breakables.empty()) {
+        error(S->getLoc(), "'break' outside of a loop or switch");
+        return;
+      }
+      const_cast<BreakStmt *>(cast<BreakStmt>(S))
+          ->setTarget(Breakables.back());
+      return;
+    }
+    case StmtKind::Continue: {
+      if (Loops.empty()) {
+        error(S->getLoc(), "'continue' outside of a loop");
+        return;
+      }
+      const_cast<ContinueStmt *>(cast<ContinueStmt>(S))
+          ->setTarget(Loops.back());
+      return;
+    }
+    case StmtKind::While:
+    case StmtKind::DoWhile:
+    case StmtKind::For:
+      Breakables.push_back(S);
+      Loops.push_back(S);
+      forEachChildStmt(S, [&](const Stmt *Child) { visit(Child, S); });
+      Loops.pop_back();
+      Breakables.pop_back();
+      return;
+    case StmtKind::Switch:
+      Breakables.push_back(S);
+      forEachChildStmt(S, [&](const Stmt *Child) { visit(Child, S); });
+      Breakables.pop_back();
+      return;
+    default:
+      forEachChildStmt(S, [&](const Stmt *Child) { visit(Child, S); });
+      return;
+    }
+  }
+
+  Program &Prog;
+  DiagList &Diags;
+  std::unordered_map<std::string, const Stmt *> Labels;
+  std::vector<const Stmt *> Breakables;
+  std::vector<const Stmt *> Loops;
+  bool HadError = false;
+};
+
+} // namespace
+
+bool jslice::runSema(Program &Prog, DiagList &Diags) {
+  return SemaPass(Prog, Diags).run();
+}

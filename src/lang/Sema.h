@@ -1,0 +1,33 @@
+//===- lang/Sema.h - Mini-C semantic analysis ------------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Post-parse checks and resolutions:
+///  * parent links for every statement;
+///  * label table (duplicate labels rejected), goto target resolution;
+///  * break/continue binding to the enclosing loop/switch (errors when
+///    there is none);
+///  * uniqueness of statement line numbers is NOT required, but the
+///    helpers in slicer/ that look statements up by line report ambiguity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_LANG_SEMA_H
+#define JSLICE_LANG_SEMA_H
+
+#include "lang/Ast.h"
+#include "support/Error.h"
+
+namespace jslice {
+
+/// Runs all semantic checks and resolutions over \p Prog.
+/// Returns false and fills \p Diags when the program is ill-formed.
+bool runSema(Program &Prog, DiagList &Diags);
+
+} // namespace jslice
+
+#endif // JSLICE_LANG_SEMA_H

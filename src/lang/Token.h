@@ -1,0 +1,94 @@
+//===- lang/Token.h - Mini-C token definitions ----------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token record produced by the Mini-C lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_LANG_TOKEN_H
+#define JSLICE_LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace jslice {
+
+/// Lexical classes of Mini-C.
+enum class TokenKind {
+  // Sentinels.
+  Eof,
+  Error,
+
+  // Literals and names.
+  Identifier,
+  IntLiteral,
+
+  // Keywords.
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  KwGoto,
+  KwRead,
+  KwWrite,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Semi,
+  Colon,
+  Comma,
+
+  // Operators.
+  Assign,   // =
+  Plus,     // +
+  Minus,    // -
+  Star,     // *
+  Slash,    // /
+  Percent,  // %
+  Lt,       // <
+  Le,       // <=
+  Gt,       // >
+  Ge,       // >=
+  EqEq,     // ==
+  NotEq,    // !=
+  AmpAmp,   // &&
+  PipePipe, // ||
+  Not,      // !
+};
+
+/// Returns a human-readable spelling class for diagnostics ("';'", "'if'",
+/// "identifier", ...).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. `Text` holds the spelling for identifiers; `IntValue`
+/// holds the decoded value for integer literals.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+};
+
+} // namespace jslice
+
+#endif // JSLICE_LANG_TOKEN_H

@@ -1,0 +1,71 @@
+//===- slicer/Analysis.cpp - One-stop analysis bundle ------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicer/Analysis.h"
+
+#include "lang/AstWalk.h"
+
+using namespace jslice;
+
+namespace {
+
+/// Unwraps single-statement blocks: `{ { goto L; } }` -> `goto L;`.
+const Stmt *unwrapSingleton(const Stmt *S) {
+  while (const auto *Block = dyn_cast<BlockStmt>(S)) {
+    if (Block->getBody().size() != 1)
+      return S;
+    S = Block->getBody().front();
+  }
+  return S;
+}
+
+/// Collects the (predicate, jump) node pairs of conditional-jump
+/// statements: an if without else whose entire body is one unconditional
+/// jump. The paper's conventional-algorithm adaptation ties the two.
+std::vector<std::pair<unsigned, unsigned>> findCondJumpPairs(const Cfg &C) {
+  std::vector<std::pair<unsigned, unsigned>> Pairs;
+  for (const Stmt *Top : C.program().topLevel()) {
+    walkStmtTree(Top, [&](const Stmt *S) {
+      const auto *If = dyn_cast<IfStmt>(S);
+      if (!If || If->hasElse())
+        return;
+      const Stmt *Body = unwrapSingleton(If->getThen());
+      if (!Body->isJump())
+        return;
+      Pairs.emplace_back(C.nodeOf(S), C.nodeOf(Body));
+    });
+  }
+  return Pairs;
+}
+
+} // namespace
+
+Analysis::Analysis(std::unique_ptr<Program> Prog, Cfg Built)
+    : ProgPtr(std::move(Prog)), C(std::move(Built)),
+      Lst(buildLexicalSuccessorTree(C)),
+      Pdt(computePostDominators(C.graph(), C.exit())), DU(DefUse::build(C)),
+      RD(ReachingDefinitions::compute(C, DU)),
+      P(buildControlDependence(C.graph(), Pdt),
+        buildDataDependence(C, DU, RD)),
+      AugGraph(C.buildAugmentedGraph(Lst.parents())),
+      AugPdt(computePostDominators(AugGraph, C.exit())),
+      AugP(buildControlDependence(AugGraph, AugPdt), P.Data),
+      CondJumps(findCondJumpPairs(C)) {}
+
+ErrorOr<Analysis> Analysis::fromSource(const std::string &Source) {
+  ErrorOr<std::unique_ptr<Program>> Prog = parseProgram(Source);
+  if (!Prog)
+    return Prog.diags();
+  return fromProgram(std::move(*Prog));
+}
+
+ErrorOr<Analysis> Analysis::fromProgram(std::unique_ptr<Program> Prog) {
+  ErrorOr<Cfg> Built = Cfg::build(*Prog);
+  if (!Built)
+    return Built.diags();
+  return Analysis(std::move(Prog), std::move(*Built));
+}

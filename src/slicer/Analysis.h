@@ -1,0 +1,87 @@
+//===- slicer/Analysis.h - One-stop analysis bundle --------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Everything the slicing algorithms consume, built once per program:
+/// the CFG, the lexical successor tree, the postdominator tree, def/use
+/// and reaching definitions, the program dependence graph, and — for the
+/// Ball–Horwitz / Choi–Ferrante baseline — the augmented flowgraph with
+/// its own postdominator tree and control dependence graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SLICER_ANALYSIS_H
+#define JSLICE_SLICER_ANALYSIS_H
+
+#include "cfg/Cfg.h"
+#include "cfg/LexicalSuccessorTree.h"
+#include "dataflow/DefUse.h"
+#include "dataflow/ReachingDefinitions.h"
+#include "graph/Dominators.h"
+#include "lang/Parser.h"
+#include "pdg/ControlDependence.h"
+#include "pdg/Pdg.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jslice {
+
+/// Immutable analysis results for one program. Move-only.
+class Analysis {
+public:
+  /// Parses, checks, and analyzes \p Source.
+  static ErrorOr<Analysis> fromSource(const std::string &Source);
+
+  /// Analyzes an already-checked program (takes ownership).
+  static ErrorOr<Analysis> fromProgram(std::unique_ptr<Program> Prog);
+
+  const Program &program() const { return *ProgPtr; }
+  const Cfg &cfg() const { return C; }
+  const LexicalSuccessorTree &lst() const { return Lst; }
+  const DomTree &pdt() const { return Pdt; }
+  const DefUse &defUse() const { return DU; }
+  const ReachingDefinitions &reachingDefs() const { return RD; }
+
+  /// Dependence graphs from the *unaugmented* flowgraph (the paper's
+  /// preferred construction — both graphs left intact).
+  const Pdg &pdg() const { return P; }
+
+  /// The Ball–Horwitz / Choi–Ferrante augmented flowgraph and the
+  /// dependence graphs built from it (control from augmented, data from
+  /// plain).
+  const Digraph &augGraph() const { return AugGraph; }
+  const DomTree &augPdt() const { return AugPdt; }
+  const Pdg &augPdg() const { return AugP; }
+
+  /// (Predicate node, jump node) pairs for every conditional-jump
+  /// statement `if (p) goto/break/continue/return` — the paper's
+  /// adaptation of the conventional algorithm needs them.
+  const std::vector<std::pair<unsigned, unsigned>> &condJumpPairs() const {
+    return CondJumps;
+  }
+
+private:
+  Analysis(std::unique_ptr<Program> Prog, Cfg Built);
+
+  std::unique_ptr<Program> ProgPtr;
+  Cfg C;
+  LexicalSuccessorTree Lst;
+  DomTree Pdt;
+  DefUse DU;
+  ReachingDefinitions RD;
+  Pdg P;
+  Digraph AugGraph;
+  DomTree AugPdt;
+  Pdg AugP;
+  std::vector<std::pair<unsigned, unsigned>> CondJumps;
+};
+
+} // namespace jslice
+
+#endif // JSLICE_SLICER_ANALYSIS_H

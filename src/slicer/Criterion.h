@@ -1,0 +1,61 @@
+//===- slicer/Criterion.h - Slicing criteria ----------------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Weiser slicing criterion (variables, location). Locations are
+/// source line numbers, matching how the paper names them ("the slice
+/// with respect to positives on line 12").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SLICER_CRITERION_H
+#define JSLICE_SLICER_CRITERION_H
+
+#include "slicer/Analysis.h"
+
+#include <string>
+#include <vector>
+
+namespace jslice {
+
+/// User-facing criterion: a line and variable names. An empty Vars list
+/// means "the variables used at that line".
+struct Criterion {
+  unsigned Line = 0;
+  std::vector<std::string> Vars;
+
+  Criterion() = default;
+  Criterion(unsigned Line, std::vector<std::string> Vars)
+      : Line(Line), Vars(std::move(Vars)) {}
+};
+
+/// Criterion resolved against a program: the CFG node at the location,
+/// the interned variable ids, and the slice seeds (the criterion node
+/// plus every definition of a criterion variable reaching it).
+struct ResolvedCriterion {
+  unsigned Node = 0;
+  std::vector<unsigned> VarIds;
+  std::vector<unsigned> Seeds;
+};
+
+/// Resolves \p Crit against \p A. Fails when the line holds no
+/// statement or names an unknown variable. When several nodes start on
+/// the line (e.g. `if (p) goto L;` is a predicate plus a jump), the
+/// leftmost node is the criterion.
+ErrorOr<ResolvedCriterion> resolveCriterion(const Analysis &A,
+                                            const Criterion &Crit);
+
+/// Weiser's general criterion is a *set* of (location, variables)
+/// pairs; the slice must preserve all of them at once. Resolves each
+/// and merges the seeds; the first location becomes the nominal
+/// criterion node. Fails if \p Crits is empty or any member fails.
+ErrorOr<ResolvedCriterion> resolveCriteria(const Analysis &A,
+                                           const std::vector<Criterion> &Crits);
+
+} // namespace jslice
+
+#endif // JSLICE_SLICER_CRITERION_H

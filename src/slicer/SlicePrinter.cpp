@@ -1,0 +1,43 @@
+//===- slicer/SlicePrinter.cpp - Textual slices --------------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicer/SlicePrinter.h"
+
+#include "lang/PrettyPrinter.h"
+#include "support/StringUtils.h"
+
+using namespace jslice;
+
+std::string jslice::printSlice(const Analysis &A, const SliceResult &R,
+                               const SlicePrintOptions &Opts) {
+  std::set<unsigned> KeepIds = R.stmtIds(A.cfg());
+
+  // Re-associated labels keyed by the carrier statement's id (or the
+  // trailing-exit key when the label outlived every statement).
+  std::map<unsigned, std::vector<std::string>> ExtraLabels;
+  for (const auto &[Label, Node] : R.ReassociatedLabels) {
+    if (Node == A.cfg().exit()) {
+      ExtraLabels[PrintOptions::ExitLabelKey].push_back(Label);
+      continue;
+    }
+    const Stmt *Carrier = A.cfg().node(Node).S;
+    assert(Carrier && "label re-associated to a non-statement node");
+    ExtraLabels[Carrier->getId()].push_back(Label);
+  }
+
+  PrintOptions PO;
+  PO.ShowLineNumbers = Opts.ShowLineNumbers;
+  PO.KeepIds = &KeepIds;
+  PO.ExtraLabels = &ExtraLabels;
+  return printProgram(A.program(), PO);
+}
+
+std::string jslice::summarizeSlice(const Analysis &A, const SliceResult &R) {
+  std::set<unsigned> Lines = R.lineSet(A.cfg());
+  return formatLineSet(Lines) + " (" + std::to_string(Lines.size()) +
+         " lines)";
+}

@@ -1,0 +1,38 @@
+//===- slicer/SlicePrinter.h - Textual slices ---------------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a SliceResult as program text in the style of the paper's
+/// figures: the surviving statements with their original line numbers,
+/// and re-associated labels attached to their new carrier statements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SLICER_SLICEPRINTER_H
+#define JSLICE_SLICER_SLICEPRINTER_H
+
+#include "slicer/Slicers.h"
+
+#include <string>
+
+namespace jslice {
+
+/// Options for printSlice.
+struct SlicePrintOptions {
+  bool ShowLineNumbers = true;
+};
+
+/// The slice as Mini-C text (a projection of the original program).
+std::string printSlice(const Analysis &A, const SliceResult &R,
+                       const SlicePrintOptions &Opts = {});
+
+/// One-line summary: "{2, 3, 4, 5, 8, 15} (6 lines)".
+std::string summarizeSlice(const Analysis &A, const SliceResult &R);
+
+} // namespace jslice
+
+#endif // JSLICE_SLICER_SLICEPRINTER_H

@@ -1,0 +1,41 @@
+//===- slicer/WeiserSlicer.h - Weiser's iterative dataflow slicer -------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Weiser's original slicing algorithm [29 in the paper], reconstructed
+/// from its classic description: iterate *relevant-variable* sets
+/// backward over the flowgraph, take the statements that define a
+/// relevant variable, then repeatedly add branch statements whose
+/// influence range contains a slice statement (their condition
+/// variables become relevant at every point in the range) until a
+/// fixpoint.
+///
+/// The paper's Section 5 makes two claims about it that the test suite
+/// verifies:
+///  * it determines the right *predicates* even in the presence of
+///    jump statements (the influence ranges come from postdominators,
+///    which are defined for arbitrary flowgraphs); and
+///  * it makes no attempt to include the jump statements themselves —
+///    the defect the paper exists to fix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SLICER_WEISERSLICER_H
+#define JSLICE_SLICER_WEISERSLICER_H
+
+#include "slicer/Slicers.h"
+
+namespace jslice {
+
+/// Weiser's dataflow slice of \p RC. The result's node set never
+/// contains a jump node; labels are re-associated for printing just
+/// like the other slicers' results.
+SliceResult sliceWeiser(const Analysis &A, const ResolvedCriterion &RC);
+
+} // namespace jslice
+
+#endif // JSLICE_SLICER_WEISERSLICER_H

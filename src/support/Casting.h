@@ -1,0 +1,84 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled, opt-in RTTI in the style of llvm/Support/Casting.h.
+///
+/// A class hierarchy participates by exposing a discriminator through a
+/// static member function `classof`:
+///
+/// \code
+///   struct Stmt { StmtKind getKind() const; ... };
+///   struct GotoStmt : Stmt {
+///     static bool classof(const Stmt *S) {
+///       return S->getKind() == StmtKind::Goto;
+///     }
+///   };
+/// \endcode
+///
+/// Then `isa<GotoStmt>(S)`, `cast<GotoStmt>(S)`, and `dyn_cast<GotoStmt>(S)`
+/// behave like their LLVM counterparts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SUPPORT_CASTING_H
+#define JSLICE_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace jslice {
+
+/// Returns true if \p Val is an instance of \p To (or a subclass).
+/// \p Val must be non-null.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Variadic form: true if \p Val is an instance of any of the listed types.
+template <typename To, typename Second, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<Second, Rest...>(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast, const overload.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast, const overload.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates a null input (returning null).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+/// Like dyn_cast_if_present, const overload.
+template <typename To, typename From>
+const To *dyn_cast_if_present(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace jslice
+
+#endif // JSLICE_SUPPORT_CASTING_H

@@ -1,0 +1,112 @@
+//===- support/Error.h - Recoverable-error plumbing -----------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal recoverable-error machinery in the spirit of llvm::Expected.
+/// Library code never throws; fallible operations return ErrorOr<T>, and
+/// malformed-input conditions are reported as Diag records that carry the
+/// offending source location.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SUPPORT_ERROR_H
+#define JSLICE_SUPPORT_ERROR_H
+
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace jslice {
+
+/// One diagnostic: a message anchored at a source location.
+/// Messages follow the LLVM style: lowercase first word, no trailing period.
+struct Diag {
+  SourceLoc Loc;
+  std::string Message;
+
+  Diag() = default;
+  Diag(SourceLoc Loc, std::string Message)
+      : Loc(Loc), Message(std::move(Message)) {}
+
+  /// Renders as "line:col: error: message".
+  std::string str() const { return Loc.str() + ": error: " + Message; }
+};
+
+/// An ordered list of diagnostics produced by one fallible operation.
+class DiagList {
+public:
+  void report(SourceLoc Loc, std::string Message) {
+    Diags.emplace_back(Loc, std::move(Message));
+  }
+
+  bool empty() const { return Diags.empty(); }
+  size_t size() const { return Diags.size(); }
+  const std::vector<Diag> &diags() const { return Diags; }
+
+  /// All diagnostics joined with newlines, for test failure messages.
+  std::string str() const {
+    std::string Out;
+    for (const Diag &D : Diags) {
+      if (!Out.empty())
+        Out += '\n';
+      Out += D.str();
+    }
+    return Out;
+  }
+
+private:
+  std::vector<Diag> Diags;
+};
+
+/// Either a value or the diagnostics explaining why there is none.
+///
+/// Unlike llvm::Expected there is no checked-flag discipline; this type is
+/// a plain sum. Use `if (!R) ... R.diags() ...` then `*R` / `R->`.
+template <typename T> class ErrorOr {
+public:
+  /*implicit*/ ErrorOr(T Value) : Storage(std::move(Value)) {}
+  /*implicit*/ ErrorOr(DiagList Errors) : Storage(std::move(Errors)) {
+    assert(!std::get<DiagList>(Storage).empty() &&
+           "error state requires at least one diagnostic");
+  }
+  /*implicit*/ ErrorOr(Diag Error) : Storage(DiagList()) {
+    std::get<DiagList>(Storage).report(Error.Loc, std::move(Error.Message));
+  }
+
+  bool hasValue() const { return std::holds_alternative<T>(Storage); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &get() {
+    assert(hasValue() && "accessing value of an error result");
+    return std::get<T>(Storage);
+  }
+  const T &get() const {
+    assert(hasValue() && "accessing value of an error result");
+    return std::get<T>(Storage);
+  }
+
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  const DiagList &diags() const {
+    assert(!hasValue() && "accessing diagnostics of a success result");
+    return std::get<DiagList>(Storage);
+  }
+
+private:
+  std::variant<T, DiagList> Storage;
+};
+
+} // namespace jslice
+
+#endif // JSLICE_SUPPORT_ERROR_H

@@ -1,0 +1,54 @@
+//===- support/SourceLoc.h - Source positions and ranges ------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column positions for diagnostics and for naming slicing criteria.
+/// The paper identifies statements by source line number; jslice follows
+/// suit, so `SourceLoc::Line` doubles as the user-facing statement id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SUPPORT_SOURCELOC_H
+#define JSLICE_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace jslice {
+
+/// A 1-based (line, column) position in a Mini-C source buffer.
+/// Line 0 denotes "unknown"; synthesized nodes carry it.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  constexpr bool isValid() const { return Line != 0; }
+
+  friend constexpr bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+  friend constexpr bool operator!=(SourceLoc A, SourceLoc B) {
+    return !(A == B);
+  }
+  friend constexpr bool operator<(SourceLoc A, SourceLoc B) {
+    return A.Line != B.Line ? A.Line < B.Line : A.Col < B.Col;
+  }
+
+  /// Renders as "line:col" (or "<unknown>" for invalid locations).
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace jslice
+
+#endif // JSLICE_SUPPORT_SOURCELOC_H

@@ -1,0 +1,39 @@
+//===- support/StringUtils.h - Small string helpers -----------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Joining, indentation, and line-set formatting helpers shared by the
+/// pretty-printer, the DOT exporter, and the bench harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SUPPORT_STRINGUTILS_H
+#define JSLICE_SUPPORT_STRINGUTILS_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace jslice {
+
+/// Joins \p Parts with \p Sep ("a, b, c" for Sep = ", ").
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Renders a set of statement line numbers as "{1, 4, 7}".
+std::string formatLineSet(const std::set<unsigned> &Lines);
+
+/// Splits \p Text into lines (without terminators). A trailing newline
+/// does not produce an empty final element.
+std::vector<std::string> splitLines(const std::string &Text);
+
+/// Returns \p Count copies of two-space indentation.
+std::string indent(unsigned Count);
+
+} // namespace jslice
+
+#endif // JSLICE_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,140 @@
+//===- tests/GeneratorTest.cpp - Random program generator tests ---------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/ProgramGenerator.h"
+#include "jslice/jslice.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace jslice;
+
+namespace {
+
+TEST(GeneratorTest, IsDeterministicPerSeed) {
+  GenOptions Opts;
+  Opts.Seed = 42;
+  EXPECT_EQ(generateProgram(Opts), generateProgram(Opts));
+  GenOptions Other = Opts;
+  Other.Seed = 43;
+  EXPECT_NE(generateProgram(Opts), generateProgram(Other));
+}
+
+TEST(GeneratorTest, AlwaysContainsAWrite) {
+  for (unsigned Seed = 1; Seed <= 20; ++Seed) {
+    GenOptions Opts;
+    Opts.Seed = Seed;
+    Opts.TargetStmts = 3;
+    EXPECT_NE(generateProgram(Opts).find("write("), std::string::npos);
+  }
+}
+
+class GeneratorSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GeneratorSweep, StructuredModeParsesAnalyzesAndIsStructured) {
+  GenOptions Opts;
+  Opts.Seed = GetParam();
+  Opts.TargetStmts = 60;
+  Opts.AllowGotos = false;
+  std::string Source = generateProgram(Opts);
+  ErrorOr<Analysis> A = Analysis::fromSource(Source);
+  ASSERT_TRUE(A.hasValue())
+      << (A.hasValue() ? "" : A.diags().str()) << "\n"
+      << Source;
+  EXPECT_TRUE(isStructuredProgram(A->cfg(), A->lst())) << Source;
+}
+
+TEST_P(GeneratorSweep, GotoModeParsesAndAnalyzes) {
+  GenOptions Opts;
+  Opts.Seed = GetParam();
+  Opts.TargetStmts = 60;
+  Opts.AllowGotos = true;
+  std::string Source = generateProgram(Opts);
+  ErrorOr<Analysis> A = Analysis::fromSource(Source);
+  ASSERT_TRUE(A.hasValue())
+      << (A.hasValue() ? "" : A.diags().str()) << "\n"
+      << Source;
+}
+
+TEST_P(GeneratorSweep, JumpFreeModeEmitsNoJumps) {
+  GenOptions Opts;
+  Opts.Seed = GetParam();
+  Opts.AllowGotos = false;
+  Opts.AllowStructuredJumps = false;
+  std::string Source = generateProgram(Opts);
+  ErrorOr<Analysis> A = Analysis::fromSource(Source);
+  ASSERT_TRUE(A.hasValue()) << Source;
+  for (unsigned Node = 0; Node != A->cfg().numNodes(); ++Node)
+    EXPECT_FALSE(A->cfg().node(Node).isJump()) << Source;
+}
+
+TEST_P(GeneratorSweep, NoReturnModeEmitsNoReturns) {
+  GenOptions Opts;
+  Opts.Seed = GetParam();
+  Opts.AllowReturn = false;
+  std::string Source = generateProgram(Opts);
+  EXPECT_EQ(Source.find("return"), std::string::npos) << Source;
+}
+
+TEST_P(GeneratorSweep, NoTriviallyDeadCode) {
+  // The generator never emits a statement straight after an
+  // unconditional jump; residual dead code (both branches jumping) must
+  // be rare. This asserts only the trivial guarantee.
+  GenOptions Opts;
+  Opts.Seed = GetParam();
+  Opts.AllowGotos = true;
+  std::string Source = generateProgram(Opts);
+  std::vector<std::string> Lines = splitLines(Source);
+  for (size_t I = 0; I + 1 < Lines.size(); ++I) {
+    bool IsJump = Lines[I].find("goto") == 0 || Lines[I] == "break;" ||
+                  Lines[I] == "continue;" || Lines[I].find("return") == 0;
+    if (!IsJump)
+      continue;
+    const std::string &Next = Lines[I + 1];
+    bool NextIsStructural = Next.empty() || Next[0] == '}' ||
+                            Next.find("case ") == 0 ||
+                            Next.find("default:") == 0 ||
+                            Next.find(": ;") != std::string::npos ||
+                            Next.find("L") == 0; // labeled = reachable
+    EXPECT_TRUE(NextIsStructural)
+        << "statement after jump at line " << I + 1 << ":\n"
+        << Source;
+  }
+}
+
+TEST_P(GeneratorSweep, WriteCriteriaResolve) {
+  GenOptions Opts;
+  Opts.Seed = GetParam();
+  std::string Source = generateProgram(Opts);
+  ErrorOr<Analysis> A = Analysis::fromSource(Source);
+  ASSERT_TRUE(A.hasValue());
+  std::vector<Criterion> Crits = writeCriteria(A->program());
+  EXPECT_FALSE(Crits.empty());
+  for (const Criterion &Crit : Crits)
+    EXPECT_TRUE(resolveCriterion(*A, Crit).hasValue())
+        << "line " << Crit.Line << "\n"
+        << Source;
+  // The reachable subset is never larger.
+  EXPECT_LE(reachableWriteCriteria(*A).size(), Crits.size());
+}
+
+TEST_P(GeneratorSweep, SizeKnobTracksStatementCount) {
+  GenOptions Opts;
+  Opts.Seed = GetParam();
+  Opts.TargetStmts = 200;
+  std::string Source = generateProgram(Opts);
+  ErrorOr<Analysis> A = Analysis::fromSource(Source);
+  ASSERT_TRUE(A.hasValue());
+  // Compound statements add predicate/init/step nodes, so the node
+  // count comfortably exceeds the simple-statement budget.
+  EXPECT_GE(A->cfg().numNodes(), 150u);
+  EXPECT_LE(A->cfg().numNodes(), 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSweep, ::testing::Range(1u, 26u));
+
+} // namespace

@@ -1,0 +1,199 @@
+//===- tests/GraphTest.cpp - Digraph and dominator tests ----------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Digraph.h"
+#include "graph/Dominators.h"
+#include "graph/Dot.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace jslice;
+
+namespace {
+
+TEST(DigraphTest, AddEdgeIgnoresDuplicates) {
+  Digraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  EXPECT_EQ(G.succs(0).size(), 2u);
+  EXPECT_EQ(G.numEdges(), 2u);
+  EXPECT_TRUE(G.hasEdge(0, 1));
+  EXPECT_FALSE(G.hasEdge(1, 0));
+}
+
+TEST(DigraphTest, ReversedFlipsEveryEdge) {
+  Digraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+  Digraph R = G.reversed();
+  EXPECT_TRUE(R.hasEdge(1, 0));
+  EXPECT_TRUE(R.hasEdge(3, 2));
+  EXPECT_EQ(R.numEdges(), G.numEdges());
+}
+
+TEST(DigraphTest, ReachabilityStopsAtUnconnectedComponents) {
+  Digraph G(5);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(3, 4); // disconnected from 0
+  std::vector<bool> Reach = reachableFrom(G, 0);
+  EXPECT_TRUE(Reach[0] && Reach[1] && Reach[2]);
+  EXPECT_FALSE(Reach[3] || Reach[4]);
+}
+
+TEST(DigraphTest, ReversePostorderVisitsParentsFirstOnDags) {
+  Digraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  G.addEdge(1, 3);
+  G.addEdge(2, 3);
+  std::vector<unsigned> RPO = reversePostorder(G, 0);
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front(), 0u);
+  EXPECT_EQ(RPO.back(), 3u);
+}
+
+/// The classic Lengauer–Tarjan paper example graph.
+Digraph ltExampleGraph() {
+  // Nodes: 0=R 1=A 2=B 3=C 4=D 5=E 6=F 7=G 8=H 9=I 10=J 11=K 12=L
+  Digraph G(13);
+  auto E = [&](unsigned A, unsigned B) { G.addEdge(A, B); };
+  E(0, 1);  // R->A
+  E(0, 2);  // R->B
+  E(0, 3);  // R->C
+  E(1, 4);  // A->D
+  E(2, 1);  // B->A
+  E(2, 4);  // B->D
+  E(2, 5);  // B->E
+  E(3, 6);  // C->F
+  E(3, 7);  // C->G
+  E(4, 12); // D->L
+  E(5, 8);  // E->H
+  E(6, 9);  // F->I
+  E(7, 9);  // G->I
+  E(7, 10); // G->J
+  E(8, 5);  // H->E
+  E(8, 11); // H->K
+  E(9, 11); // I->K
+  E(10, 9); // J->I
+  E(11, 9); // K->I
+  E(11, 0); // K->R
+  E(12, 8); // L->H
+  return G;
+}
+
+TEST(DominatorsTest, MatchesLengauerTarjanPaperExample) {
+  Digraph G = ltExampleGraph();
+  // Published idoms: A<-R B<-R C<-R D<-R E<-R F<-C G<-C H<-R I<-R J<-G
+  // K<-R L<-D.
+  std::vector<int> Expected = {-1, 0, 0, 0, 0, 0, 3, 3, 0, 0, 7, 0, 4};
+  DomTree Iter = computeDominatorsIterative(G, 0);
+  DomTree LT = computeDominatorsLengauerTarjan(G, 0);
+  for (unsigned Node = 0; Node != 13; ++Node) {
+    EXPECT_EQ(Iter.idom(Node), Expected[Node]) << "iterative, node " << Node;
+    EXPECT_EQ(LT.idom(Node), Expected[Node]) << "LT, node " << Node;
+  }
+}
+
+TEST(DominatorsTest, DominatesIsReflexiveAndRootDominatesAll) {
+  Digraph G = ltExampleGraph();
+  DomTree T = computeDominatorsIterative(G, 0);
+  for (unsigned Node = 0; Node != 13; ++Node) {
+    EXPECT_TRUE(T.dominates(Node, Node));
+    EXPECT_TRUE(T.dominates(0, Node));
+    EXPECT_FALSE(T.properlyDominates(Node, Node));
+  }
+}
+
+TEST(DominatorsTest, UnreachableNodesAreExcluded) {
+  Digraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(2, 3); // unreachable from 0
+  DomTree T = computeDominatorsIterative(G, 0);
+  EXPECT_TRUE(T.isReachable(1));
+  EXPECT_FALSE(T.isReachable(2));
+  EXPECT_FALSE(T.isReachable(3));
+  EXPECT_FALSE(T.dominates(0, 3));
+}
+
+TEST(DominatorsTest, PreorderVisitsParentsBeforeChildren) {
+  Digraph G = ltExampleGraph();
+  DomTree T = computeDominatorsIterative(G, 0);
+  std::vector<int> Position(13, -1);
+  const std::vector<unsigned> &Pre = T.preorder();
+  for (unsigned I = 0; I != Pre.size(); ++I)
+    Position[Pre[I]] = static_cast<int>(I);
+  for (unsigned Node = 0; Node != 13; ++Node) {
+    if (T.idom(Node) < 0)
+      continue;
+    EXPECT_LT(Position[T.idom(Node)], Position[Node]);
+  }
+}
+
+/// Property sweep: both dominator algorithms agree on random digraphs.
+class DominatorCrossCheck : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DominatorCrossCheck, IterativeEqualsLengauerTarjan) {
+  std::mt19937_64 Rng(GetParam());
+  unsigned N = 2 + static_cast<unsigned>(Rng() % 60);
+  Digraph G(N);
+  // A random spanning chain keeps most nodes reachable; extra random
+  // edges create joins, loops, and cross edges.
+  for (unsigned Node = 1; Node != N; ++Node)
+    if (Rng() % 4 != 0)
+      G.addEdge(static_cast<unsigned>(Rng() % Node), Node);
+  unsigned Extra = N * 2;
+  for (unsigned I = 0; I != Extra; ++I)
+    G.addEdge(static_cast<unsigned>(Rng() % N),
+              static_cast<unsigned>(Rng() % N));
+
+  DomTree Iter = computeDominatorsIterative(G, 0);
+  DomTree LT = computeDominatorsLengauerTarjan(G, 0);
+  for (unsigned Node = 0; Node != N; ++Node)
+    EXPECT_EQ(Iter.idom(Node), LT.idom(Node))
+        << "seed " << GetParam() << " node " << Node;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, DominatorCrossCheck,
+                         ::testing::Range(1u, 41u));
+
+TEST(DotTest, RendersDigraphWithHighlights) {
+  Digraph G(2);
+  G.addEdge(0, 1);
+  std::function<bool(unsigned)> Highlight = [](unsigned Node) {
+    return Node == 1;
+  };
+  std::string Dot =
+      toDot(G, "g", [](unsigned Node) { return "n" + std::to_string(Node); },
+            &Highlight);
+  EXPECT_NE(Dot.find("digraph \"g\""), std::string::npos);
+  EXPECT_NE(Dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(Dot.find("fillcolor=lightgrey"), std::string::npos);
+}
+
+TEST(DotTest, EscapesQuotesInLabels) {
+  Digraph G(1);
+  std::string Dot =
+      toDot(G, "g", [](unsigned) { return std::string("say \"hi\""); });
+  EXPECT_NE(Dot.find("\\\"hi\\\""), std::string::npos);
+}
+
+TEST(DotTest, DomTreeTextListsChildParentPairs) {
+  Digraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  DomTree T = computeDominatorsIterative(G, 0);
+  std::string Text =
+      domTreeToText(T, [](unsigned Node) { return std::to_string(Node); });
+  EXPECT_EQ(Text, "1: 0\n2: 1\n");
+}
+
+} // namespace

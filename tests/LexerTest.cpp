@@ -1,0 +1,131 @@
+//===- tests/LexerTest.cpp - Lexer unit tests ---------------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace jslice;
+
+namespace {
+
+std::vector<Token> lexOk(const std::string &Source) {
+  DiagList Diags;
+  Lexer Lex(Source);
+  std::vector<Token> Tokens = Lex.lexAll(Diags);
+  EXPECT_TRUE(Diags.empty()) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kindsOf(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Out;
+  for (const Token &Tok : Tokens)
+    Out.push_back(Tok.Kind);
+  return Out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  std::vector<Token> Tokens = lexOk("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(LexerTest, LexesSimpleAssignment) {
+  std::vector<Token> Tokens = lexOk("x = 42;");
+  EXPECT_EQ(kindsOf(Tokens),
+            (std::vector<TokenKind>{TokenKind::Identifier, TokenKind::Assign,
+                                    TokenKind::IntLiteral, TokenKind::Semi,
+                                    TokenKind::Eof}));
+  EXPECT_EQ(Tokens[0].Text, "x");
+  EXPECT_EQ(Tokens[2].IntValue, 42);
+}
+
+TEST(LexerTest, DistinguishesKeywordsFromIdentifiers) {
+  std::vector<Token> Tokens = lexOk("if ifx while whiled goto gotos");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwIf);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::KwWhile);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::KwGoto);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, LexesAllKeywords) {
+  std::vector<Token> Tokens =
+      lexOk("if else while do for switch case default break continue "
+            "return goto read write");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwIf,      TokenKind::KwElse,    TokenKind::KwWhile,
+      TokenKind::KwDo,      TokenKind::KwFor,     TokenKind::KwSwitch,
+      TokenKind::KwCase,    TokenKind::KwDefault, TokenKind::KwBreak,
+      TokenKind::KwContinue, TokenKind::KwReturn, TokenKind::KwGoto,
+      TokenKind::KwRead,    TokenKind::KwWrite,   TokenKind::Eof};
+  EXPECT_EQ(kindsOf(Tokens), Expected);
+}
+
+TEST(LexerTest, LexesTwoCharOperators) {
+  std::vector<Token> Tokens = lexOk("<= >= == != && || < > = !");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Le,       TokenKind::Ge,  TokenKind::EqEq,
+      TokenKind::NotEq,    TokenKind::AmpAmp, TokenKind::PipePipe,
+      TokenKind::Lt,       TokenKind::Gt,  TokenKind::Assign,
+      TokenKind::Not,      TokenKind::Eof};
+  EXPECT_EQ(kindsOf(Tokens), Expected);
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  std::vector<Token> Tokens = lexOk("a = 1;\n  b = 2;");
+  EXPECT_EQ(Tokens[0].Loc, SourceLoc(1, 1));
+  EXPECT_EQ(Tokens[4].Loc, SourceLoc(2, 3)); // 'b' after two spaces.
+}
+
+TEST(LexerTest, SkipsLineComments) {
+  std::vector<Token> Tokens = lexOk("a = 1; // trailing comment\nb = 2;");
+  EXPECT_EQ(Tokens.size(), 9u); // two statements + eof
+  EXPECT_EQ(Tokens[4].Text, "b");
+  EXPECT_EQ(Tokens[4].Loc.Line, 2u);
+}
+
+TEST(LexerTest, SkipsBlockComments) {
+  std::vector<Token> Tokens = lexOk("a /* inline */ = /* multi\nline */ 1;");
+  EXPECT_EQ(kindsOf(Tokens),
+            (std::vector<TokenKind>{TokenKind::Identifier, TokenKind::Assign,
+                                    TokenKind::IntLiteral, TokenKind::Semi,
+                                    TokenKind::Eof}));
+}
+
+TEST(LexerTest, ReportsUnterminatedBlockComment) {
+  DiagList Diags;
+  Lexer Lex("a = 1; /* never closed");
+  Lex.lexAll(Diags);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_NE(Diags.diags()[0].Message.find("unterminated"), std::string::npos);
+}
+
+TEST(LexerTest, ReportsStrayCharacters) {
+  DiagList Diags;
+  Lexer Lex("a = $;");
+  std::vector<Token> Tokens = Lex.lexAll(Diags);
+  EXPECT_EQ(Diags.size(), 1u);
+  // Lexing continues past the bad character.
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::Eof);
+}
+
+TEST(LexerTest, StrayAmpersandAndPipeAreErrors) {
+  DiagList Diags;
+  Lexer Lex("a & b | c");
+  Lex.lexAll(Diags);
+  EXPECT_EQ(Diags.size(), 2u);
+}
+
+TEST(LexerTest, TokenKindNamesAreStable) {
+  EXPECT_STREQ(tokenKindName(TokenKind::KwIf), "'if'");
+  EXPECT_STREQ(tokenKindName(TokenKind::Identifier), "identifier");
+  EXPECT_STREQ(tokenKindName(TokenKind::Le), "'<='");
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+//===- tests/LstTest.cpp - Lexical successor tree unit tests ------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/LexicalSuccessorTree.h"
+#include "corpus/PaperPrograms.h"
+#include "gen/ProgramGenerator.h"
+#include "graph/Dominators.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace jslice;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<Program> Prog;
+  Cfg C;
+  LexicalSuccessorTree Lst;
+};
+
+Built buildOk(const std::string &Source) {
+  ErrorOr<std::unique_ptr<Program>> Prog = parseProgram(Source);
+  EXPECT_TRUE(Prog.hasValue())
+      << (Prog.hasValue() ? "" : Prog.diags().str());
+  ErrorOr<Cfg> C = Cfg::build(**Prog);
+  EXPECT_TRUE(C.hasValue()) << (C.hasValue() ? "" : C.diags().str());
+  LexicalSuccessorTree Lst = buildLexicalSuccessorTree(*C);
+  return {std::move(*Prog), std::move(*C), std::move(Lst)};
+}
+
+int parentLineOf(const Built &B, unsigned Line) {
+  unsigned Node = B.C.nodesOnLine(Line).front();
+  int Parent = B.Lst.parent(Node);
+  if (Parent < 0)
+    return -1;
+  const Stmt *S = B.C.node(static_cast<unsigned>(Parent)).S;
+  return S ? static_cast<int>(S->getLoc().Line) : 0; // 0 = exit
+}
+
+TEST(LstTest, StraightLineChainsToExit) {
+  Built B = buildOk("x = 1;\ny = 2;\nwrite(y);\n");
+  EXPECT_EQ(parentLineOf(B, 1), 2);
+  EXPECT_EQ(parentLineOf(B, 2), 3);
+  EXPECT_EQ(parentLineOf(B, 3), 0);
+  EXPECT_EQ(B.Lst.root(), B.C.exit());
+}
+
+TEST(LstTest, LastBodyStatementFallsToLoopPredicate) {
+  Built B = buildOk("while (x > 0) {\nx = x - 1;\nwrite(x);\n}\nwrite(9);\n");
+  EXPECT_EQ(parentLineOf(B, 2), 3);
+  EXPECT_EQ(parentLineOf(B, 3), 1) << "deleting the last body statement "
+                                      "sends control back to the predicate";
+  EXPECT_EQ(parentLineOf(B, 1), 5) << "deleting the loop skips past it";
+}
+
+TEST(LstTest, ThenBranchFallsPastTheIf) {
+  Built B = buildOk("if (x > 0) {\ny = 1;\nz = 2;\n} else {\nw = 3;\n}\n"
+                    "write(y);\n");
+  EXPECT_EQ(parentLineOf(B, 2), 3);
+  EXPECT_EQ(parentLineOf(B, 3), 7);
+  EXPECT_EQ(parentLineOf(B, 5), 7);
+  EXPECT_EQ(parentLineOf(B, 1), 7);
+}
+
+TEST(LstTest, ForClausesFallIntoThePredicate) {
+  Built B = buildOk("for (i = 0; i < 3; i = i + 1) {\nwrite(i);\n}\n"
+                    "write(9);\n");
+  const auto *For = cast<ForStmt>(B.Prog->topLevel()[0]);
+  unsigned Init = B.C.nodeOf(For->getInit());
+  unsigned Cond = B.C.nodeOf(For);
+  unsigned Step = B.C.nodeOf(For->getStep());
+  unsigned Body = B.C.nodesOnLine(2).front();
+  EXPECT_EQ(B.Lst.parent(Init), static_cast<int>(Cond));
+  EXPECT_EQ(B.Lst.parent(Step), static_cast<int>(Cond));
+  EXPECT_EQ(B.Lst.parent(Body), static_cast<int>(Step))
+      << "last body statement falls into the step";
+}
+
+TEST(LstTest, SwitchClausesFallIntoNextClause) {
+  Built B = buildOk("switch (x) { case 1:\ny = 1;\ncase 2:\ny = 2;\n}\n"
+                    "write(y);\n");
+  EXPECT_EQ(parentLineOf(B, 2), 4) << "clause falls into next clause body";
+  EXPECT_EQ(parentLineOf(B, 4), 6) << "last clause falls past the switch";
+  EXPECT_EQ(parentLineOf(B, 1), 6);
+}
+
+TEST(LstTest, MatchesPaperFigure4) {
+  // Figure 4-d: the LST of the flat goto program 3-a is the textual
+  // chain 1 -> 2 -> ... -> 15 -> exit (top-level statements only).
+  Built B = buildOk(paperExample("fig3a").Source);
+  for (unsigned Line = 1; Line < 15; ++Line) {
+    unsigned Node = B.C.nodesOnLine(Line).front();
+    int Parent = B.Lst.parent(Node);
+    ASSERT_GE(Parent, 0);
+    const Stmt *S = B.C.node(static_cast<unsigned>(Parent)).S;
+    ASSERT_NE(S, nullptr);
+    EXPECT_EQ(S->getLoc().Line, Line + 1) << "line " << Line;
+  }
+}
+
+TEST(LstTest, MatchesPaperFigure6ContinueProgram) {
+  Built B = buildOk(paperExample("fig5a").Source);
+  // Key shape assertions from Figure 6-d.
+  EXPECT_EQ(parentLineOf(B, 7), 8)
+      << "continue on 7 lexically falls into line 8";
+  EXPECT_EQ(parentLineOf(B, 11), 12);
+  EXPECT_EQ(parentLineOf(B, 12), 3) << "last body statement falls back to "
+                                       "the while predicate";
+  EXPECT_EQ(parentLineOf(B, 3), 13);
+}
+
+TEST(LstTest, EntryIsOutsideTheTree) {
+  Built B = buildOk("write(1);\n");
+  EXPECT_FALSE(B.Lst.inTree(B.C.entry()));
+  EXPECT_TRUE(B.Lst.inTree(B.C.exit()));
+}
+
+TEST(LstTest, LexicalSuccessorQueryIsReflexiveTransitive) {
+  Built B = buildOk("x = 1;\ny = 2;\nwrite(y);\n");
+  unsigned N1 = B.C.nodesOnLine(1).front();
+  unsigned N3 = B.C.nodesOnLine(3).front();
+  EXPECT_TRUE(B.Lst.isLexicalSuccessorOf(N1, N1));
+  EXPECT_TRUE(B.Lst.isLexicalSuccessorOf(N3, N1));
+  EXPECT_FALSE(B.Lst.isLexicalSuccessorOf(N1, N3));
+}
+
+TEST(LstTest, StructuredJumpClassification) {
+  // break/continue/return are structured; backward gotos are not;
+  // forward gotos to lexical successors are.
+  Built B = buildOk("while (x > 0) {\nbreak;\n}\nreturn;\n");
+  unsigned Break = B.C.nodesOnLine(2).front();
+  unsigned Return = B.C.nodesOnLine(4).front();
+  EXPECT_TRUE(isStructuredJump(B.C, B.Lst, Break));
+  EXPECT_TRUE(isStructuredJump(B.C, B.Lst, Return));
+  EXPECT_TRUE(isStructuredProgram(B.C, B.Lst));
+
+  Built Back = buildOk("L: x = x + 1;\nif (x < 3) goto L;\nwrite(x);\n");
+  bool FoundUnstructured = false;
+  for (unsigned Node = 0; Node != Back.C.numNodes(); ++Node)
+    if (Back.C.node(Node).isJump() &&
+        !isStructuredJump(Back.C, Back.Lst, Node))
+      FoundUnstructured = true;
+  EXPECT_TRUE(FoundUnstructured);
+  EXPECT_FALSE(isStructuredProgram(Back.C, Back.Lst));
+}
+
+TEST(LstTest, Figure16GotosAreStructured) {
+  Built B = buildOk(paperExample("fig16a").Source);
+  EXPECT_TRUE(isStructuredProgram(B.C, B.Lst))
+      << "both gotos jump forward to lexical successors (Section 4)";
+}
+
+/// The paper, Section 3: for programs without jump statements the LST
+/// and the postdominator tree coincide.
+class LstEqualsPdtOnJumpFree : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LstEqualsPdtOnJumpFree, Holds) {
+  GenOptions Opts;
+  Opts.Seed = GetParam();
+  Opts.TargetStmts = 40;
+  Opts.AllowGotos = false;
+  Opts.AllowStructuredJumps = false; // jump-free
+  Opts.AllowSwitch = false;          // fall-through acts like a jump
+  std::string Source = generateProgram(Opts);
+  Built B = buildOk(Source);
+  DomTree Pdt = computePostDominators(B.C.graph(), B.C.exit());
+  for (unsigned Node = 0; Node != B.C.numNodes(); ++Node) {
+    if (Node == B.C.entry() || Node == B.C.exit())
+      continue;
+    EXPECT_EQ(B.Lst.parent(Node), Pdt.idom(Node))
+        << "seed " << GetParam() << " node " << Node << "\n"
+        << Source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LstEqualsPdtOnJumpFree,
+                         ::testing::Range(1u, 26u));
+
+} // namespace

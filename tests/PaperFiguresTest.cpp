@@ -1,0 +1,150 @@
+//===- tests/PaperFiguresTest.cpp - Golden tests for every paper figure ------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// For every example program in the paper, checks that each algorithm
+/// produces exactly the line set the corresponding figure shows, that
+/// labels re-associate to the statements the figures attach them to, and
+/// that the traversal counts match the paper's prose.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/PaperPrograms.h"
+#include "jslice/jslice.h"
+
+#include <gtest/gtest.h>
+
+using namespace jslice;
+
+namespace {
+
+class PaperFigureTest : public ::testing::TestWithParam<std::string> {
+protected:
+  const PaperExample &example() const { return paperExample(GetParam()); }
+
+  Analysis analyze() const {
+    ErrorOr<Analysis> A = Analysis::fromSource(example().Source);
+    EXPECT_TRUE(A.hasValue()) << (A.hasValue() ? "" : A.diags().str());
+    return std::move(*A);
+  }
+
+  SliceResult slice(const Analysis &A, SliceAlgorithm Algorithm) const {
+    ErrorOr<SliceResult> R = computeSlice(A, example().Crit, Algorithm);
+    EXPECT_TRUE(R.hasValue()) << (R.hasValue() ? "" : R.diags().str());
+    return *R;
+  }
+};
+
+TEST_P(PaperFigureTest, SourceParsesAndLinesMatchPaperNumbering) {
+  Analysis A = analyze();
+  // Every line the paper references resolves to at least one node.
+  for (unsigned Line : example().AgrawalLines)
+    EXPECT_FALSE(A.cfg().nodesOnLine(Line).empty())
+        << "no node on paper line " << Line;
+}
+
+TEST_P(PaperFigureTest, StructurednessMatchesPaperClassification) {
+  Analysis A = analyze();
+  EXPECT_EQ(isStructuredProgram(A.cfg(), A.lst()), example().Structured);
+}
+
+TEST_P(PaperFigureTest, ConventionalSliceMatchesFigure) {
+  Analysis A = analyze();
+  SliceResult R = slice(A, SliceAlgorithm::Conventional);
+  EXPECT_EQ(R.lineSet(A.cfg()), example().ConventionalLines);
+}
+
+TEST_P(PaperFigureTest, AgrawalSliceMatchesFigure) {
+  Analysis A = analyze();
+  SliceResult R = slice(A, SliceAlgorithm::Agrawal);
+  EXPECT_EQ(R.lineSet(A.cfg()), example().AgrawalLines);
+}
+
+TEST_P(PaperFigureTest, AgrawalLstTraversalYieldsSameSlice) {
+  Analysis A = analyze();
+  SliceResult Pdt = slice(A, SliceAlgorithm::Agrawal);
+  SliceResult Lst = slice(A, SliceAlgorithm::AgrawalLst);
+  EXPECT_EQ(Pdt.lineSet(A.cfg()), Lst.lineSet(A.cfg()))
+      << "Section 3: the driving tree must not change the slice";
+}
+
+TEST_P(PaperFigureTest, ProductiveTraversalCountMatchesPaper) {
+  Analysis A = analyze();
+  SliceResult R = slice(A, SliceAlgorithm::Agrawal);
+  EXPECT_EQ(R.ProductiveTraversals, example().ExpectedProductiveTraversals);
+}
+
+TEST_P(PaperFigureTest, BallHorwitzEqualsAgrawal) {
+  Analysis A = analyze();
+  SliceResult Ours = slice(A, SliceAlgorithm::Agrawal);
+  SliceResult Baseline = slice(A, SliceAlgorithm::BallHorwitz);
+  EXPECT_EQ(Ours.lineSet(A.cfg()), Baseline.lineSet(A.cfg()))
+      << "the paper proves Figure 7 equals Ball–Horwitz slices";
+}
+
+TEST_P(PaperFigureTest, StructuredSliceMatchesFigure) {
+  if (!example().StructuredLines)
+    GTEST_SKIP() << "paper shows no Figure-12 slice for this program";
+  Analysis A = analyze();
+  SliceResult R = slice(A, SliceAlgorithm::Structured);
+  EXPECT_EQ(R.lineSet(A.cfg()), *example().StructuredLines);
+}
+
+TEST_P(PaperFigureTest, ConservativeSliceMatchesFigure) {
+  if (!example().ConservativeLines)
+    GTEST_SKIP() << "paper shows no Figure-13 slice for this program";
+  Analysis A = analyze();
+  SliceResult R = slice(A, SliceAlgorithm::Conservative);
+  EXPECT_EQ(R.lineSet(A.cfg()), *example().ConservativeLines);
+}
+
+TEST_P(PaperFigureTest, GallagherSliceMatchesFigureWhenClaimed) {
+  if (!example().GallagherLines)
+    GTEST_SKIP() << "paper makes no Gallagher claim for this program";
+  Analysis A = analyze();
+  SliceResult R = slice(A, SliceAlgorithm::Gallagher);
+  EXPECT_EQ(R.lineSet(A.cfg()), *example().GallagherLines)
+      << "Figure 16-b: Gallagher's rule must miss the goto on line 4";
+}
+
+TEST_P(PaperFigureTest, JzrSliceMatchesPaperClaim) {
+  if (!example().JzrLines)
+    GTEST_SKIP() << "paper makes no JZR claim for this program";
+  Analysis A = analyze();
+  SliceResult R = slice(A, SliceAlgorithm::JiangZhouRobson);
+  EXPECT_EQ(R.lineSet(A.cfg()), *example().JzrLines)
+      << "Section 5: the rules must miss the jumps on lines 11 and 13";
+}
+
+TEST_P(PaperFigureTest, LabelsReassociatePerFigure) {
+  Analysis A = analyze();
+  SliceResult R = slice(A, SliceAlgorithm::Agrawal);
+  std::map<std::string, unsigned> Got;
+  for (const auto &[Label, Node] : R.ReassociatedLabels) {
+    const Stmt *S = A.cfg().node(Node).S;
+    Got[Label] = S ? S->getLoc().Line : 0u; // 0 = exit
+  }
+  EXPECT_EQ(Got, example().ExpectedReassociations);
+}
+
+TEST_P(PaperFigureTest, LyleIsASupersetOfAgrawal) {
+  Analysis A = analyze();
+  SliceResult Precise = slice(A, SliceAlgorithm::Agrawal);
+  SliceResult Conservative = slice(A, SliceAlgorithm::Lyle);
+  for (unsigned Node : Precise.Nodes)
+    EXPECT_TRUE(Conservative.contains(Node))
+        << "Lyle must be conservative w.r.t. Figure 7";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFigures, PaperFigureTest,
+    ::testing::Values("fig1a", "fig3a", "fig5a", "fig8a", "fig10a", "fig14a",
+                      "fig16a"),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      return Info.param;
+    });
+
+} // namespace

@@ -1,0 +1,136 @@
+//===- tests/PrinterTest.cpp - Pretty-printer unit tests ----------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace jslice;
+
+namespace {
+
+std::unique_ptr<Program> parseOk(const std::string &Source) {
+  ErrorOr<std::unique_ptr<Program>> Prog = parseProgram(Source);
+  EXPECT_TRUE(Prog.hasValue())
+      << (Prog.hasValue() ? "" : Prog.diags().str());
+  return Prog.hasValue() ? std::move(*Prog) : nullptr;
+}
+
+std::string printOf(const std::string &Source) {
+  auto Prog = parseOk(Source);
+  return Prog ? printProgram(*Prog) : "";
+}
+
+TEST(PrinterTest, MinimalParenthesization) {
+  EXPECT_EQ(printOf("x = (a + b) * c;"), "x = (a + b) * c;\n");
+  EXPECT_EQ(printOf("x = a + b * c;"), "x = a + b * c;\n");
+  EXPECT_EQ(printOf("x = a + (b + c);"), "x = a + (b + c);\n")
+      << "right-nested same-precedence needs parens (left-assoc)";
+  EXPECT_EQ(printOf("x = -(a + b);"), "x = -(a + b);\n");
+  EXPECT_EQ(printOf("x = !(a < b) && c > 0;"), "x = !(a < b) && c > 0;\n");
+  EXPECT_EQ(printOf("x = a < b == (c > d);"), "x = a < b == c > d;\n")
+      << "relational binds tighter than equality, so no parens needed";
+  EXPECT_EQ(printOf("x = (a == b) < c;"), "x = (a == b) < c;\n");
+}
+
+TEST(PrinterTest, CallsAndArguments) {
+  EXPECT_EQ(printOf("x = f(a, b + 1, g());"), "x = f(a, b + 1, g());\n");
+}
+
+TEST(PrinterTest, StatementsRenderCanonically) {
+  const char *Source = "L: x = 1;\n"
+                       "if (x > 0) { write(x); } else { write(0); }\n"
+                       "do { x = x - 1; } while (x > 0);\n"
+                       "for (i = 0; i < 3; i = i + 1) { ; }\n"
+                       "for (; x < 9;) { break; }\n"
+                       "switch (x) { case 1: y = 1; break; default: }\n"
+                       "goto L;\n";
+  std::string Printed = printOf(Source);
+  // Canonical print re-parses and re-prints to the same text.
+  EXPECT_EQ(printOf(Printed), Printed);
+  EXPECT_NE(Printed.find("L: x = 1;"), std::string::npos);
+  EXPECT_NE(Printed.find("} while (x > 0);"), std::string::npos);
+  EXPECT_NE(Printed.find("for (i = 0; i < 3; i = i + 1)"),
+            std::string::npos);
+  EXPECT_NE(Printed.find("for (; x < 9; )"), std::string::npos);
+  EXPECT_NE(Printed.find("default:"), std::string::npos);
+}
+
+TEST(PrinterTest, ReadClauseInForHeader) {
+  std::string Printed = printOf("for (read(x); x > 0; read(x)) write(x);\n");
+  EXPECT_NE(Printed.find("for (read(x); x > 0; read(x))"),
+            std::string::npos);
+}
+
+TEST(PrinterTest, LineNumbersPrefixStatements) {
+  auto Prog = parseOk("x = 1;\nwrite(x);\n");
+  PrintOptions Opts;
+  Opts.ShowLineNumbers = true;
+  EXPECT_EQ(printProgram(*Prog, Opts), "1: x = 1;\n2: write(x);\n");
+}
+
+TEST(PrinterTest, KeepSetFiltersStatements) {
+  auto Prog = parseOk("x = 1;\ny = 2;\nwrite(x);\n");
+  std::set<unsigned> Keep = {Prog->topLevel()[0]->getId(),
+                             Prog->topLevel()[2]->getId()};
+  PrintOptions Opts;
+  Opts.KeepIds = &Keep;
+  EXPECT_EQ(printProgram(*Prog, Opts), "x = 1;\nwrite(x);\n");
+}
+
+TEST(PrinterTest, DroppedConstructHoistsKeptChildren) {
+  auto Prog = parseOk("if (c > 0) {\nx = 1;\n}\nwrite(x);\n");
+  const auto *If = cast<IfStmt>(Prog->topLevel()[0]);
+  const Stmt *Assign = cast<BlockStmt>(If->getThen())->getBody()[0];
+  std::set<unsigned> Keep = {Assign->getId(),
+                             Prog->topLevel()[1]->getId()};
+  PrintOptions Opts;
+  Opts.KeepIds = &Keep;
+  EXPECT_EQ(printProgram(*Prog, Opts), "x = 1;\nwrite(x);\n")
+      << "a kept statement inside a dropped if is hoisted";
+}
+
+TEST(PrinterTest, ElseBranchOmittedWhenEmptyInProjection) {
+  auto Prog = parseOk("if (c > 0) {\nx = 1;\n} else {\ny = 2;\n}\n"
+                      "write(x);\n");
+  const auto *If = cast<IfStmt>(Prog->topLevel()[0]);
+  const Stmt *Then = cast<BlockStmt>(If->getThen())->getBody()[0];
+  std::set<unsigned> Keep = {If->getId(), Then->getId(),
+                             Prog->topLevel()[1]->getId()};
+  PrintOptions Opts;
+  Opts.KeepIds = &Keep;
+  std::string Printed = printProgram(*Prog, Opts);
+  EXPECT_EQ(Printed.find("else"), std::string::npos) << Printed;
+}
+
+TEST(PrinterTest, ExtraLabelsPrintBeforeOwnLabel) {
+  auto Prog = parseOk("M: write(1);\n");
+  std::map<unsigned, std::vector<std::string>> Extra = {
+      {Prog->topLevel()[0]->getId(), {"L9"}}};
+  PrintOptions Opts;
+  Opts.ExtraLabels = &Extra;
+  EXPECT_EQ(printProgram(*Prog, Opts), "L9: M: write(1);\n");
+}
+
+TEST(PrinterTest, ExitLabelsPrintTrailing) {
+  auto Prog = parseOk("write(1);\n");
+  std::map<unsigned, std::vector<std::string>> Extra = {
+      {PrintOptions::ExitLabelKey, {"LEnd"}}};
+  PrintOptions Opts;
+  Opts.ExtraLabels = &Extra;
+  EXPECT_EQ(printProgram(*Prog, Opts), "write(1);\nLEnd:\n");
+}
+
+TEST(PrinterTest, NestedIndentationIsTwoSpaces) {
+  std::string Printed =
+      printOf("while (a > 0) {\nif (b > 0) {\nwrite(1);\n}\n}\n");
+  EXPECT_NE(Printed.find("\n  if (b > 0) {"), std::string::npos);
+  EXPECT_NE(Printed.find("\n    write(1);"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+//===- tests/RobustnessTest.cpp - Fuzz-style robustness tests -----------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The front end must never crash on garbage: random byte soup, random
+/// token soup, and truncations of valid programs must either parse or
+/// produce diagnostics. Analyses must hold up on degenerate but valid
+/// inputs (empty program, one statement, deep nesting).
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/ProgramGenerator.h"
+#include "jslice/jslice.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace jslice;
+
+namespace {
+
+/// Either way — value or diagnostics — the call must return normally.
+void mustNotCrash(const std::string &Source) {
+  ErrorOr<Analysis> A = Analysis::fromSource(Source);
+  if (A.hasValue())
+    SUCCEED();
+  else
+    EXPECT_FALSE(A.diags().empty()) << "failure without diagnostics";
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FuzzSeeds, RandomBytesNeverCrashTheFrontEnd) {
+  std::mt19937_64 Rng(GetParam());
+  std::string Soup;
+  unsigned Len = 1 + static_cast<unsigned>(Rng() % 400);
+  for (unsigned I = 0; I != Len; ++I)
+    Soup += static_cast<char>(Rng() % 128);
+  mustNotCrash(Soup);
+}
+
+TEST_P(FuzzSeeds, RandomTokenSoupNeverCrashes) {
+  static const char *Tokens[] = {
+      "if",    "else", "while", "do",     "for",   "switch", "case",
+      "default", "break", "continue", "return", "goto", "read", "write",
+      "x",     "y",    "L1",   "42",     "(",     ")",      "{",
+      "}",     ";",    ":",    ",",      "=",     "+",      "-",
+      "*",     "/",    "%",    "<",      "<=",    "==",     "!=",
+      "&&",    "||",   "!",
+  };
+  std::mt19937_64 Rng(GetParam() * 131 + 7);
+  std::string Soup;
+  unsigned Len = 1 + static_cast<unsigned>(Rng() % 120);
+  for (unsigned I = 0; I != Len; ++I) {
+    Soup += Tokens[Rng() % (sizeof(Tokens) / sizeof(Tokens[0]))];
+    Soup += (Rng() % 6 == 0) ? "\n" : " ";
+  }
+  mustNotCrash(Soup);
+}
+
+TEST_P(FuzzSeeds, TruncatedValidProgramsNeverCrash) {
+  GenOptions Opts;
+  Opts.Seed = GetParam();
+  Opts.TargetStmts = 30;
+  Opts.AllowGotos = true;
+  std::string Source = generateProgram(Opts);
+  std::mt19937_64 Rng(GetParam() * 977 + 3);
+  for (unsigned Trial = 0; Trial != 8; ++Trial) {
+    size_t Cut = Rng() % (Source.size() + 1);
+    mustNotCrash(Source.substr(0, Cut));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(1u, 31u));
+
+TEST(RobustnessTest, EmptyProgramAnalyzes) {
+  ErrorOr<Analysis> A = Analysis::fromSource("");
+  ASSERT_TRUE(A.hasValue());
+  EXPECT_EQ(A->cfg().numNodes(), 2u) << "just entry and exit";
+  // Slicing an empty program fails cleanly (no statement on any line).
+  EXPECT_FALSE(
+      computeSlice(*A, Criterion(1, {}), SliceAlgorithm::Agrawal)
+          .hasValue());
+}
+
+TEST(RobustnessTest, SingleStatementProgram) {
+  ErrorOr<Analysis> A = Analysis::fromSource("write(1);");
+  ASSERT_TRUE(A.hasValue());
+  SliceResult R = *computeSlice(*A, Criterion(1, {}),
+                                SliceAlgorithm::Agrawal);
+  EXPECT_EQ(R.lineSet(A->cfg()), (std::set<unsigned>{1}));
+}
+
+TEST(RobustnessTest, DeeplyNestedProgramAnalyzes) {
+  std::string Source;
+  for (unsigned I = 0; I != 64; ++I)
+    Source += "if (x > " + std::to_string(I) + ") {\n";
+  Source += "write(x);\n";
+  for (unsigned I = 0; I != 64; ++I)
+    Source += "}\n";
+  ErrorOr<Analysis> A = Analysis::fromSource(Source);
+  ASSERT_TRUE(A.hasValue());
+  SliceResult R = *computeSlice(*A, Criterion(65, {"x"}),
+                                SliceAlgorithm::Agrawal);
+  EXPECT_EQ(R.lineSet(A->cfg()).size(), 65u)
+      << "every guard is in the slice";
+}
+
+TEST(RobustnessTest, LongStraightLineProgram) {
+  std::string Source;
+  for (unsigned I = 0; I != 3000; ++I)
+    Source += "x = x + 1;\n";
+  Source += "write(x);\n";
+  ErrorOr<Analysis> A = Analysis::fromSource(Source);
+  ASSERT_TRUE(A.hasValue());
+  SliceResult R = *computeSlice(*A, Criterion(3001, {"x"}),
+                                SliceAlgorithm::Agrawal);
+  EXPECT_EQ(R.lineSet(A->cfg()).size(), 3001u);
+}
+
+TEST(RobustnessTest, ManyLabelsAndGotos) {
+  // A chain of forward gotos, each hopping over one assignment.
+  std::string Source;
+  for (unsigned I = 0; I != 100; ++I) {
+    Source += "goto L" + std::to_string(I) + ";\n";
+    Source += "L" + std::to_string(I) + ": x = " + std::to_string(I) +
+              ";\n";
+  }
+  Source += "write(x);\n";
+  ErrorOr<Analysis> A = Analysis::fromSource(Source);
+  ASSERT_TRUE(A.hasValue());
+  SliceResult R = *computeSlice(*A, Criterion(201, {"x"}),
+                                SliceAlgorithm::Agrawal);
+  EXPECT_TRUE(R.lineSet(A->cfg()).count(200)) << "last assignment kept";
+}
+
+} // namespace

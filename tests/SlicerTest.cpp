@@ -1,0 +1,227 @@
+//===- tests/SlicerTest.cpp - Criterion, printer, and slicer unit tests -------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/PaperPrograms.h"
+#include "jslice/jslice.h"
+
+#include <gtest/gtest.h>
+
+using namespace jslice;
+
+namespace {
+
+Analysis analyzeOk(const std::string &Source) {
+  ErrorOr<Analysis> A = Analysis::fromSource(Source);
+  EXPECT_TRUE(A.hasValue()) << (A.hasValue() ? "" : A.diags().str());
+  return std::move(*A);
+}
+
+//===----------------------------------------------------------------------===//
+// Criterion resolution
+//===----------------------------------------------------------------------===//
+
+TEST(CriterionTest, ResolvesLineAndSeedsReachingDefs) {
+  Analysis A = analyzeOk("x = 1;\nx = 2;\ny = 5;\nwrite(x);\n");
+  ResolvedCriterion RC = *resolveCriterion(A, Criterion(4, {"x"}));
+  EXPECT_EQ(RC.Node, A.cfg().nodesOnLine(4).front());
+  // Seeds: the criterion node plus the one reaching definition (line 2;
+  // line 1 is killed).
+  std::set<unsigned> SeedLines;
+  for (unsigned Seed : RC.Seeds)
+    SeedLines.insert(A.cfg().node(Seed).S->getLoc().Line);
+  EXPECT_EQ(SeedLines, (std::set<unsigned>{2, 4}));
+}
+
+TEST(CriterionTest, EmptyVarsDefaultToUsesAtLine) {
+  Analysis A = analyzeOk("a = 1;\nb = 2;\nwrite(a + b);\n");
+  ResolvedCriterion RC = *resolveCriterion(A, Criterion(3, {}));
+  EXPECT_EQ(RC.VarIds.size(), 2u);
+}
+
+TEST(CriterionTest, VariableNotUsedAtLineStillSliceable) {
+  // Slicing on a variable not mentioned at the criterion line seeds
+  // from its reaching definitions only.
+  Analysis A = analyzeOk("z = 7;\nwrite(1);\n");
+  ResolvedCriterion RC = *resolveCriterion(A, Criterion(2, {"z"}));
+  std::set<unsigned> SeedLines;
+  for (unsigned Seed : RC.Seeds)
+    SeedLines.insert(A.cfg().node(Seed).S->getLoc().Line);
+  EXPECT_EQ(SeedLines, (std::set<unsigned>{1, 2}));
+}
+
+TEST(CriterionTest, ReportsMissingLine) {
+  Analysis A = analyzeOk("write(1);\n");
+  ErrorOr<ResolvedCriterion> RC = resolveCriterion(A, Criterion(99, {}));
+  ASSERT_FALSE(RC.hasValue());
+  EXPECT_NE(RC.diags().diags()[0].Message.find("no statement"),
+            std::string::npos);
+}
+
+TEST(CriterionTest, ReportsUnknownVariable) {
+  Analysis A = analyzeOk("write(1);\n");
+  ErrorOr<ResolvedCriterion> RC =
+      resolveCriterion(A, Criterion(1, {"phantom"}));
+  ASSERT_FALSE(RC.hasValue());
+  EXPECT_NE(RC.diags().diags()[0].Message.find("does not occur"),
+            std::string::npos);
+}
+
+TEST(CriterionTest, LeftmostNodeWinsOnSharedLine) {
+  // `if (eof()) goto L;` puts a predicate and a jump on one line; the
+  // predicate starts the line and is the criterion statement.
+  Analysis A = analyzeOk("if (eof()) goto L;\nwrite(1);\nL: write(2);\n");
+  ResolvedCriterion RC = *resolveCriterion(A, Criterion(1, {}));
+  EXPECT_EQ(A.cfg().node(RC.Node).Kind, CfgNodeKind::Predicate);
+}
+
+//===----------------------------------------------------------------------===//
+// Algorithm metadata and dispatch
+//===----------------------------------------------------------------------===//
+
+TEST(SlicerTest, AlgorithmNamesAreUnique) {
+  std::set<std::string> Names;
+  for (SliceAlgorithm Algorithm :
+       {SliceAlgorithm::Conventional, SliceAlgorithm::Agrawal,
+        SliceAlgorithm::AgrawalLst, SliceAlgorithm::Structured,
+        SliceAlgorithm::Conservative, SliceAlgorithm::BallHorwitz,
+        SliceAlgorithm::Lyle, SliceAlgorithm::Gallagher,
+        SliceAlgorithm::JiangZhouRobson, SliceAlgorithm::Weiser})
+    Names.insert(algorithmName(Algorithm));
+  EXPECT_EQ(Names.size(), 10u);
+}
+
+TEST(SlicerTest, SoundnessFlagsMatchThePaper) {
+  EXPECT_FALSE(algorithmIsSound(SliceAlgorithm::Conventional));
+  EXPECT_TRUE(algorithmIsSound(SliceAlgorithm::Agrawal));
+  EXPECT_TRUE(algorithmIsSound(SliceAlgorithm::BallHorwitz));
+  EXPECT_TRUE(algorithmIsSound(SliceAlgorithm::Lyle));
+  EXPECT_FALSE(algorithmIsSound(SliceAlgorithm::Gallagher));
+  EXPECT_FALSE(algorithmIsSound(SliceAlgorithm::JiangZhouRobson));
+  EXPECT_FALSE(algorithmIsSound(SliceAlgorithm::Weiser))
+      << "Weiser never includes the jump statements (Section 5)";
+}
+
+TEST(SlicerTest, DispatchMatchesDirectCalls) {
+  Analysis A = analyzeOk(paperExample("fig3a").Source);
+  ResolvedCriterion RC =
+      *resolveCriterion(A, paperExample("fig3a").Crit);
+  EXPECT_EQ(computeSlice(A, RC, SliceAlgorithm::Agrawal).Nodes,
+            sliceAgrawal(A, RC).Nodes);
+  EXPECT_EQ(computeSlice(A, RC, SliceAlgorithm::Lyle).Nodes,
+            sliceLyle(A, RC).Nodes);
+}
+
+TEST(SlicerTest, ConvenienceOverloadPropagatesErrors) {
+  Analysis A = analyzeOk("write(1);\n");
+  ErrorOr<SliceResult> R =
+      computeSlice(A, Criterion(55, {}), SliceAlgorithm::Agrawal);
+  EXPECT_FALSE(R.hasValue());
+}
+
+TEST(SlicerTest, EntryIsAlwaysInTheSlice) {
+  Analysis A = analyzeOk(paperExample("fig1a").Source);
+  for (SliceAlgorithm Algorithm :
+       {SliceAlgorithm::Conventional, SliceAlgorithm::Agrawal,
+        SliceAlgorithm::BallHorwitz}) {
+    SliceResult R =
+        *computeSlice(A, paperExample("fig1a").Crit, Algorithm);
+    EXPECT_TRUE(R.contains(A.cfg().entry()))
+        << "the dummy predicate (paper's node 0) anchors every slice";
+  }
+}
+
+TEST(SlicerTest, TraversalCountersOnlySetByFigure7) {
+  Analysis A = analyzeOk(paperExample("fig3a").Source);
+  ResolvedCriterion RC = *resolveCriterion(A, paperExample("fig3a").Crit);
+  EXPECT_EQ(sliceConventional(A, RC).Traversals, 0u);
+  SliceResult General = sliceAgrawal(A, RC);
+  EXPECT_EQ(General.ProductiveTraversals, 1u);
+  EXPECT_EQ(General.Traversals, 2u) << "one productive + one fixpoint check";
+}
+
+//===----------------------------------------------------------------------===//
+// Slice printing (the paper's textual figures)
+//===----------------------------------------------------------------------===//
+
+TEST(SlicePrinterTest, PrintsFigure3cWithReassociatedLabel) {
+  Analysis A = analyzeOk(paperExample("fig3a").Source);
+  SliceResult R = *computeSlice(A, paperExample("fig3a").Crit,
+                                SliceAlgorithm::Agrawal);
+  std::string Text = printSlice(A, R);
+  EXPECT_EQ(Text, "2: positives = 0;\n"
+                  "3: L3: if (eof()) {\n"
+                  "  3: goto L14;\n"
+                  "}\n"
+                  "4: read(x);\n"
+                  "5: if (x > 0) {\n"
+                  "  5: goto L8;\n"
+                  "}\n"
+                  "7: goto L13;\n"
+                  "8: L8: positives = positives + 1;\n"
+                  "13: L13: goto L3;\n"
+                  "15: L14: write(positives);\n");
+}
+
+TEST(SlicePrinterTest, PrintsFigure5cContinueSlice) {
+  Analysis A = analyzeOk(paperExample("fig5a").Source);
+  SliceResult R = *computeSlice(A, paperExample("fig5a").Crit,
+                                SliceAlgorithm::Agrawal);
+  std::string Text = printSlice(A, R);
+  EXPECT_EQ(Text, "2: positives = 0;\n"
+                  "3: while (!eof()) {\n"
+                  "  4: read(x);\n"
+                  "  5: if (x <= 0) {\n"
+                  "    7: continue;\n"
+                  "  }\n"
+                  "  8: positives = positives + 1;\n"
+                  "}\n"
+                  "14: write(positives);\n");
+}
+
+TEST(SlicePrinterTest, LabelReassociatedToExitPrintsTrailing) {
+  // The goto's label lands past every kept statement.
+  Analysis A = analyzeOk("read(c);\nif (c > 0) goto L;\nwrite(c);\n"
+                         "L: write(9);\n");
+  ResolvedCriterion RC = *resolveCriterion(A, Criterion(3, {"c"}));
+  SliceResult R = sliceAgrawal(A, RC);
+  ASSERT_TRUE(R.ReassociatedLabels.count("L"));
+  EXPECT_EQ(R.ReassociatedLabels.at("L"), A.cfg().exit());
+  std::string Text = printSlice(A, R);
+  EXPECT_NE(Text.find("L:\n"), std::string::npos)
+      << "a label re-associated past the program tail prints standalone:\n"
+      << Text;
+}
+
+TEST(SlicePrinterTest, SummaryShowsLineSetAndCount) {
+  Analysis A = analyzeOk(paperExample("fig1a").Source);
+  SliceResult R = *computeSlice(A, paperExample("fig1a").Crit,
+                                SliceAlgorithm::Agrawal);
+  EXPECT_EQ(summarizeSlice(A, R), "{2, 3, 4, 5, 7, 12} (6 lines)");
+}
+
+TEST(SlicePrinterTest, StmtIdsMatchLineSetGranularity) {
+  Analysis A = analyzeOk(paperExample("fig14a").Source);
+  SliceResult R = *computeSlice(A, paperExample("fig14a").Crit,
+                                SliceAlgorithm::Structured);
+  // Four lines {1, 3, 4, 9} -> four statements.
+  EXPECT_EQ(R.lineSet(A.cfg()).size(), 4u);
+  EXPECT_EQ(R.stmtIds(A.cfg()).size(), 4u);
+}
+
+TEST(SlicePrinterTest, SwitchSliceKeepsOnlyContributingClauses) {
+  Analysis A = analyzeOk(paperExample("fig14a").Source);
+  SliceResult R = *computeSlice(A, paperExample("fig14a").Crit,
+                                SliceAlgorithm::Structured);
+  std::string Text = printSlice(A, R);
+  EXPECT_NE(Text.find("case 1:"), std::string::npos);
+  EXPECT_NE(Text.find("case 2:"), std::string::npos);
+  EXPECT_EQ(Text.find("case 3:"), std::string::npos)
+      << "the empty clause disappears, as in Figure 14-b:\n"
+      << Text;
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+//===- tests/SupportTest.cpp - Support-library unit tests ---------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVector.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace jslice;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// BitVector
+//===----------------------------------------------------------------------===//
+
+TEST(BitVectorTest, SetTestReset) {
+  BitVector BV(130); // Spans three words.
+  EXPECT_EQ(BV.size(), 130u);
+  EXPECT_FALSE(BV.any());
+  BV.set(0);
+  BV.set(64);
+  BV.set(129);
+  EXPECT_TRUE(BV.test(0));
+  EXPECT_TRUE(BV.test(64));
+  EXPECT_TRUE(BV.test(129));
+  EXPECT_FALSE(BV.test(63));
+  EXPECT_EQ(BV.count(), 3u);
+  BV.reset(64);
+  EXPECT_FALSE(BV.test(64));
+  EXPECT_EQ(BV.count(), 2u);
+}
+
+TEST(BitVectorTest, SetAlgebra) {
+  BitVector A(70), B(70);
+  A.set(1);
+  A.set(65);
+  B.set(65);
+  B.set(2);
+
+  BitVector Union = A;
+  Union |= B;
+  EXPECT_EQ(Union.count(), 3u);
+
+  BitVector Inter = A;
+  Inter &= B;
+  EXPECT_EQ(Inter.count(), 1u);
+  EXPECT_TRUE(Inter.test(65));
+
+  BitVector Diff = A;
+  Diff.resetOf(B);
+  EXPECT_EQ(Diff.count(), 1u);
+  EXPECT_TRUE(Diff.test(1));
+}
+
+TEST(BitVectorTest, EqualityAndClear) {
+  BitVector A(40), B(40);
+  A.set(7);
+  EXPECT_NE(A, B);
+  B.set(7);
+  EXPECT_EQ(A, B);
+  A.clear();
+  EXPECT_FALSE(A.any());
+  EXPECT_NE(A, B);
+}
+
+TEST(BitVectorTest, ForEachSetBitVisitsInOrder) {
+  BitVector BV(200);
+  std::vector<size_t> Expected = {3, 64, 127, 128, 199};
+  for (size_t Idx : Expected)
+    BV.set(Idx);
+  std::vector<size_t> Seen;
+  BV.forEachSetBit([&](size_t Idx) { Seen.push_back(Idx); });
+  EXPECT_EQ(Seen, Expected);
+}
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+struct Animal {
+  enum Kind { DogKind, CatKind } K;
+  explicit Animal(Kind K) : K(K) {}
+};
+struct Dog : Animal {
+  Dog() : Animal(DogKind) {}
+  static bool classof(const Animal *A) { return A->K == DogKind; }
+};
+struct Cat : Animal {
+  Cat() : Animal(CatKind) {}
+  static bool classof(const Animal *A) { return A->K == CatKind; }
+};
+
+TEST(CastingTest, IsaCastDynCast) {
+  Dog D;
+  Animal *A = &D;
+  EXPECT_TRUE(isa<Dog>(A));
+  EXPECT_FALSE(isa<Cat>(A));
+  EXPECT_TRUE((isa<Cat, Dog>(A))) << "variadic isa";
+  EXPECT_EQ(cast<Dog>(A), &D);
+  EXPECT_EQ(dyn_cast<Cat>(A), nullptr);
+  EXPECT_EQ(dyn_cast<Dog>(A), &D);
+  Animal *Null = nullptr;
+  EXPECT_EQ(dyn_cast_if_present<Dog>(Null), nullptr);
+}
+
+TEST(CastingTest, ConstOverloads) {
+  const Dog D;
+  const Animal *A = &D;
+  EXPECT_EQ(cast<Dog>(A), &D);
+  EXPECT_EQ(dyn_cast<Dog>(A), &D);
+}
+
+//===----------------------------------------------------------------------===//
+// Error plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorTest, SuccessAndFailureStates) {
+  ErrorOr<int> Ok(42);
+  ASSERT_TRUE(Ok.hasValue());
+  EXPECT_EQ(*Ok, 42);
+
+  DiagList Diags;
+  Diags.report(SourceLoc(3, 7), "something bad");
+  ErrorOr<int> Bad(std::move(Diags));
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_EQ(Bad.diags().size(), 1u);
+  EXPECT_EQ(Bad.diags().diags()[0].str(), "3:7: error: something bad");
+}
+
+TEST(ErrorTest, SingleDiagConstructor) {
+  ErrorOr<int> Bad(Diag(SourceLoc(1, 1), "oops"));
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_NE(Bad.diags().str().find("oops"), std::string::npos);
+}
+
+TEST(ErrorTest, SourceLocFormatting) {
+  EXPECT_EQ(SourceLoc().str(), "<unknown>");
+  EXPECT_EQ(SourceLoc(12, 3).str(), "12:3");
+  EXPECT_TRUE(SourceLoc(1, 1) < SourceLoc(1, 2));
+  EXPECT_TRUE(SourceLoc(1, 9) < SourceLoc(2, 1));
+}
+
+//===----------------------------------------------------------------------===//
+// String utilities
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, " | "), "a | b | c");
+}
+
+TEST(StringUtilsTest, FormatLineSet) {
+  EXPECT_EQ(formatLineSet({}), "{}");
+  EXPECT_EQ(formatLineSet({3, 1, 2}), "{1, 2, 3}");
+}
+
+TEST(StringUtilsTest, SplitLines) {
+  EXPECT_EQ(splitLines("a\nb\n"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(splitLines("a\nb"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(splitLines(""), (std::vector<std::string>{}));
+  EXPECT_EQ(splitLines("\n\n"), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilsTest, Indent) {
+  EXPECT_EQ(indent(0), "");
+  EXPECT_EQ(indent(3), "      ");
+}
+
+} // namespace
