@@ -8,14 +8,25 @@
 /// A small command-line front end:
 ///
 ///   slicer_cli FILE --line N [--vars a,b] [--algo NAME] [--all]
+///              [--max-steps N] [--deadline-ms N]
 ///
-///   --line N     criterion line (required)
-///   --vars a,b   criterion variables (default: those used on the line)
-///   --algo NAME  conventional | agrawal-fig7 | agrawal-fig7-lst |
-///                structured-fig12 | conservative-fig13 | ball-horwitz |
-///                lyle | gallagher | jiang-zhou-robson | weiser
-///                (default agrawal-fig7)
-///   --all        print every algorithm's line set instead of one slice
+///   --line N         criterion line (required, positive)
+///   --vars a,b       criterion variables (default: those used on the line)
+///   --algo NAME      conventional | agrawal-fig7 | agrawal-fig7-lst |
+///                    structured-fig12 | conservative-fig13 | ball-horwitz |
+///                    lyle | gallagher | jiang-zhou-robson | weiser
+///                    (default agrawal-fig7)
+///   --all            print every algorithm's line set instead of one slice
+///   --max-steps N    resource budget: analysis/slicing checkpoint limit
+///   --deadline-ms N  resource budget: soft wall-clock deadline
+///
+/// Exit-code taxonomy:
+///   0  success
+///   1  analysis error: unreadable file, malformed program, criterion
+///      that resolves to nothing, or an exhausted resource budget —
+///      a diagnostic is printed to stderr
+///   2  usage error: unknown flag, missing/malformed flag argument,
+///      missing FILE or --line, empty --vars list
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +42,8 @@
 using namespace jslice;
 
 namespace {
+
+enum ExitCode { ExitOk = 0, ExitAnalysisError = 1, ExitUsage = 2 };
 
 const SliceAlgorithm AllAlgorithms[] = {
     SliceAlgorithm::Conventional,   SliceAlgorithm::Agrawal,
@@ -49,9 +62,26 @@ std::optional<SliceAlgorithm> parseAlgorithm(const std::string &Name) {
 
 int usage(const char *Prog) {
   std::fprintf(stderr,
-               "usage: %s FILE --line N [--vars a,b] [--algo NAME] [--all]\n",
+               "usage: %s FILE --line N [--vars a,b] [--algo NAME] [--all]\n"
+               "       [--max-steps N] [--deadline-ms N]\n"
+               "exit codes: 0 ok, 1 analysis error, 2 usage error\n",
                Prog);
-  return 2;
+  return ExitUsage;
+}
+
+/// Strict unsigned parse; nullopt on garbage, sign, or overflow.
+std::optional<uint64_t> parseCount(const char *Text) {
+  if (!*Text)
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (const char *P = Text; *P; ++P) {
+    if (*P < '0' || *P > '9')
+      return std::nullopt;
+    if (Value > (UINT64_MAX - static_cast<uint64_t>(*P - '0')) / 10)
+      return std::nullopt;
+    Value = Value * 10 + static_cast<uint64_t>(*P - '0');
+  }
+  return Value;
 }
 
 } // namespace
@@ -62,47 +92,114 @@ int main(int argc, char **argv) {
   std::vector<std::string> Vars;
   SliceAlgorithm Algorithm = SliceAlgorithm::Agrawal;
   bool All = false;
+  Budget B;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "--line" && I + 1 < argc) {
-      Line = static_cast<unsigned>(std::atoi(argv[++I]));
-    } else if (Arg == "--vars" && I + 1 < argc) {
-      std::stringstream Stream(argv[++I]);
+    auto NextValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires an argument\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+
+    if (Arg == "--line") {
+      const char *Value = NextValue("--line");
+      if (!Value)
+        return usage(argv[0]);
+      std::optional<uint64_t> Parsed = parseCount(Value);
+      if (!Parsed || *Parsed == 0 || *Parsed > 0xffffffffull) {
+        std::fprintf(stderr, "error: --line expects a positive line number, "
+                             "got '%s'\n",
+                     Value);
+        return usage(argv[0]);
+      }
+      Line = static_cast<unsigned>(*Parsed);
+    } else if (Arg == "--vars") {
+      const char *Value = NextValue("--vars");
+      if (!Value)
+        return usage(argv[0]);
+      std::stringstream Stream(Value);
       std::string Var;
+      Vars.clear();
       while (std::getline(Stream, Var, ','))
         if (!Var.empty())
           Vars.push_back(Var);
-    } else if (Arg == "--algo" && I + 1 < argc) {
-      std::optional<SliceAlgorithm> Parsed = parseAlgorithm(argv[++I]);
+      if (Vars.empty()) {
+        std::fprintf(stderr, "error: --vars requires at least one "
+                             "variable name\n");
+        return usage(argv[0]);
+      }
+    } else if (Arg == "--algo") {
+      const char *Value = NextValue("--algo");
+      if (!Value)
+        return usage(argv[0]);
+      std::optional<SliceAlgorithm> Parsed = parseAlgorithm(Value);
       if (!Parsed) {
-        std::fprintf(stderr, "error: unknown algorithm '%s'\n", argv[I]);
+        std::fprintf(stderr, "error: unknown algorithm '%s'\n", Value);
         return usage(argv[0]);
       }
       Algorithm = *Parsed;
+    } else if (Arg == "--max-steps") {
+      const char *Value = NextValue("--max-steps");
+      if (!Value)
+        return usage(argv[0]);
+      std::optional<uint64_t> Parsed = parseCount(Value);
+      if (!Parsed) {
+        std::fprintf(stderr, "error: --max-steps expects a number, got "
+                             "'%s'\n",
+                     Value);
+        return usage(argv[0]);
+      }
+      B.MaxSteps = *Parsed;
+    } else if (Arg == "--deadline-ms") {
+      const char *Value = NextValue("--deadline-ms");
+      if (!Value)
+        return usage(argv[0]);
+      std::optional<uint64_t> Parsed = parseCount(Value);
+      if (!Parsed) {
+        std::fprintf(stderr, "error: --deadline-ms expects a number, got "
+                             "'%s'\n",
+                     Value);
+        return usage(argv[0]);
+      }
+      B.DeadlineMs = *Parsed;
     } else if (Arg == "--all") {
       All = true;
-    } else if (Arg[0] != '-' && File.empty()) {
+    } else if (Arg.size() > 1 && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return usage(argv[0]);
+    } else if (File.empty()) {
       File = Arg;
     } else {
+      std::fprintf(stderr, "error: unexpected argument '%s' (input file "
+                           "already given: %s)\n",
+                   Arg.c_str(), File.c_str());
       return usage(argv[0]);
     }
   }
-  if (File.empty() || Line == 0)
+  if (File.empty()) {
+    std::fprintf(stderr, "error: no input file\n");
     return usage(argv[0]);
+  }
+  if (Line == 0) {
+    std::fprintf(stderr, "error: --line is required\n");
+    return usage(argv[0]);
+  }
 
   std::ifstream In(File);
   if (!In) {
     std::fprintf(stderr, "error: cannot open %s\n", File.c_str());
-    return 1;
+    return ExitAnalysisError;
   }
   std::stringstream Buffer;
   Buffer << In.rdbuf();
 
-  ErrorOr<Analysis> A = Analysis::fromSource(Buffer.str());
+  ErrorOr<Analysis> A = Analysis::fromSource(Buffer.str(), B);
   if (!A) {
     std::fprintf(stderr, "%s\n", A.diags().str().c_str());
-    return 1;
+    return ExitAnalysisError;
   }
 
   Criterion Crit(Line, Vars);
@@ -111,21 +208,21 @@ int main(int argc, char **argv) {
       ErrorOr<SliceResult> R = computeSlice(*A, Crit, Algo);
       if (!R) {
         std::fprintf(stderr, "%s\n", R.diags().str().c_str());
-        return 1;
+        return ExitAnalysisError;
       }
       std::printf("%-20s %s\n", algorithmName(Algo),
                   summarizeSlice(*A, *R).c_str());
     }
-    return 0;
+    return ExitOk;
   }
 
   ErrorOr<SliceResult> R = computeSlice(*A, Crit, Algorithm);
   if (!R) {
     std::fprintf(stderr, "%s\n", R.diags().str().c_str());
-    return 1;
+    return ExitAnalysisError;
   }
   std::printf("%s", printSlice(*A, *R).c_str());
   std::fprintf(stderr, "# %s: %s\n", algorithmName(Algorithm),
                summarizeSlice(*A, *R).c_str());
-  return 0;
+  return ExitOk;
 }

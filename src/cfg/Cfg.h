@@ -33,6 +33,7 @@
 #include "graph/Digraph.h"
 #include "lang/Ast.h"
 #include "support/Error.h"
+#include "support/ResourceGuard.h"
 
 #include <map>
 #include <optional>
@@ -79,8 +80,12 @@ class Cfg {
 public:
   /// Builds the flowgraph of \p Prog. Fails (with diagnostics) when some
   /// reachable statement cannot reach Exit — the paper's postdominator
-  /// machinery requires exit-reachability (see DESIGN.md).
-  static ErrorOr<Cfg> build(const Program &Prog);
+  /// machinery requires exit-reachability (see DESIGN.md). With a
+  /// \p Guard, every node built is charged against the budget's node
+  /// dimension and exhaustion fails the build with a
+  /// DiagKind::ResourceExhausted diagnostic.
+  static ErrorOr<Cfg> build(const Program &Prog,
+                            ResourceGuard *Guard = nullptr);
 
   const Program &program() const { return *Prog; }
   const Digraph &graph() const { return G; }

@@ -23,12 +23,15 @@ namespace jslice {
 /// Stateful helper that wires one Program into one Cfg.
 class CfgBuilder {
 public:
-  CfgBuilder(const Program &Prog, Cfg &Result) : Prog(Prog), Result(Result) {}
+  CfgBuilder(const Program &Prog, Cfg &Result, ResourceGuard *Guard)
+      : Prog(Prog), Result(Result), Guard(Guard) {}
 
   bool run(DiagList &Diags);
 
 private:
   unsigned makeNode(CfgNodeKind Kind, const Stmt *S, const Expr *Cond) {
+    if (Guard && !Guard->countNode("cfg.node"))
+      GuardTripped = true;
     unsigned Id = Result.G.addNode();
     CfgNode Node;
     Node.Id = Id;
@@ -46,6 +49,8 @@ private:
 
   const Program &Prog;
   Cfg &Result;
+  ResourceGuard *Guard;
+  bool GuardTripped = false;
 
   struct LoopContext {
     unsigned BreakTarget;
@@ -62,13 +67,21 @@ private:
 unsigned CfgBuilder::wireList(const std::vector<const Stmt *> &List,
                               unsigned Next) {
   unsigned Entry = Next;
-  for (auto It = List.rbegin(), E = List.rend(); It != E; ++It)
+  for (auto It = List.rbegin(), E = List.rend(); It != E && !GuardTripped;
+       ++It)
     Entry = wire(*It, Entry);
   return Entry;
 }
 
 unsigned CfgBuilder::wire(const Stmt *S, unsigned Next) {
   unsigned Entry = Next;
+
+  // Budget exhausted: stop growing the graph. run() turns the tripped
+  // guard into a diagnostic, so the half-wired Cfg never escapes.
+  if (GuardTripped) {
+    Result.StmtEntry[S] = Entry;
+    return Entry;
+  }
 
   switch (S->getKind()) {
   case StmtKind::Assign:
@@ -244,6 +257,11 @@ bool CfgBuilder::run(DiagList &Diags) {
   // paper's dummy predicate node 0).
   Result.G.addEdge(Result.Entry, Result.Exit);
 
+  if (GuardTripped) {
+    Diags.report(SourceLoc(), Guard->reason(), DiagKind::ResourceExhausted);
+    return false;
+  }
+
   // Resolve gotos now that every labeled statement has an entry node.
   for (auto [GotoNode, TargetStmt] : PendingGotos) {
     assert(TargetStmt && "sema guarantees goto resolution");
@@ -274,10 +292,10 @@ bool CfgBuilder::run(DiagList &Diags) {
 // Cfg member functions
 //===----------------------------------------------------------------------===//
 
-ErrorOr<Cfg> Cfg::build(const Program &Prog) {
+ErrorOr<Cfg> Cfg::build(const Program &Prog, ResourceGuard *Guard) {
   Cfg Result;
   DiagList Diags;
-  CfgBuilder Builder(Prog, Result);
+  CfgBuilder Builder(Prog, Result, Guard);
   if (!Builder.run(Diags))
     return Diags;
   return Result;

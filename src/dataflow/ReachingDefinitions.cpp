@@ -10,7 +10,8 @@
 using namespace jslice;
 
 ReachingDefinitions ReachingDefinitions::compute(const Cfg &C,
-                                                 const DefUse &DU) {
+                                                 const DefUse &DU,
+                                                 ResourceGuard *Guard) {
   ReachingDefinitions Result;
   unsigned N = C.numNodes();
 
@@ -40,6 +41,12 @@ ReachingDefinitions ReachingDefinitions::compute(const Cfg &C,
   while (Changed) {
     Changed = false;
     for (unsigned Node : RPO) {
+      if (Guard && !Guard->checkpoint("reachingdefs.transfer")) {
+        // Budget exhausted: abandon the fixpoint. The caller observes
+        // the tripped guard and discards the unconverged facts.
+        Result.In = std::move(In);
+        return Result;
+      }
       Tmp.clear();
       for (unsigned Pred : C.graph().preds(Node))
         Tmp |= Out[Pred];

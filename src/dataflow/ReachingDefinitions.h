@@ -29,7 +29,11 @@ namespace jslice {
 /// nodes with non-empty defsOf; the bit index of a site is its dense def id.
 class ReachingDefinitions {
 public:
-  static ReachingDefinitions compute(const Cfg &C, const DefUse &DU);
+  /// With a \p Guard, the fixpoint polls one checkpoint per node
+  /// transfer; on exhaustion the (possibly unconverged) facts are
+  /// returned — callers must treat a tripped guard as failure.
+  static ReachingDefinitions compute(const Cfg &C, const DefUse &DU,
+                                     ResourceGuard *Guard = nullptr);
 
   unsigned numDefSites() const {
     return static_cast<unsigned>(DefNode.size());

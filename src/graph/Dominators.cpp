@@ -49,7 +49,8 @@ DomTree::DomTree(unsigned Root, std::vector<int> IDomIn)
 // Cooper–Harvey–Kennedy iterative algorithm
 //===----------------------------------------------------------------------===//
 
-DomTree jslice::computeDominatorsIterative(const Digraph &G, unsigned Root) {
+DomTree jslice::computeDominatorsIterative(const Digraph &G, unsigned Root,
+                                           ResourceGuard *Guard) {
   unsigned N = G.numNodes();
   std::vector<unsigned> RPO = reversePostorder(G, Root);
   std::vector<int> RPONum(N, -1);
@@ -76,6 +77,12 @@ DomTree jslice::computeDominatorsIterative(const Digraph &G, unsigned Root) {
   while (Changed) {
     Changed = false;
     for (unsigned Node : RPO) {
+      if (Guard && !Guard->checkpoint("dominators.iterate")) {
+        // Budget exhausted: abandon the fixpoint. The caller observes
+        // the tripped guard and discards this (unconverged) tree.
+        IDom[Root] = -1;
+        return DomTree(Root, std::move(IDom));
+      }
       if (Node == Root)
         continue;
       int NewIDom = -1;

@@ -24,6 +24,7 @@
 #define JSLICE_GRAPH_DOMINATORS_H
 
 #include "graph/Digraph.h"
+#include "support/ResourceGuard.h"
 
 #include <vector>
 
@@ -75,7 +76,11 @@ private:
 };
 
 /// Cooper–Harvey–Kennedy iterative dominators of \p G rooted at \p Root.
-DomTree computeDominatorsIterative(const Digraph &G, unsigned Root);
+/// With a \p Guard, the fixpoint polls one checkpoint per node visit;
+/// on exhaustion the iteration stops and the (possibly unconverged)
+/// tree is returned — callers must treat a tripped guard as failure.
+DomTree computeDominatorsIterative(const Digraph &G, unsigned Root,
+                                   ResourceGuard *Guard = nullptr);
 
 /// Lengauer–Tarjan dominators of \p G rooted at \p Root (simple
 /// eval/link variant).
@@ -83,8 +88,9 @@ DomTree computeDominatorsLengauerTarjan(const Digraph &G, unsigned Root);
 
 /// Postdominator tree of \p G: dominators of the reversed graph rooted
 /// at \p Exit. Uses the iterative algorithm.
-inline DomTree computePostDominators(const Digraph &G, unsigned Exit) {
-  return computeDominatorsIterative(G.reversed(), Exit);
+inline DomTree computePostDominators(const Digraph &G, unsigned Exit,
+                                     ResourceGuard *Guard = nullptr) {
+  return computeDominatorsIterative(G.reversed(), Exit, Guard);
 }
 
 } // namespace jslice

@@ -191,6 +191,10 @@ ExecResult Machine::run() {
   while (Cur != C.exit()) {
     if (Result.Steps >= Opts.MaxSteps)
       return Result; // Completed stays false.
+    if (Opts.Guard && !Opts.Guard->checkpoint("interp.step")) {
+      Result.ResourceExhausted = true;
+      return Result; // Completed stays false.
+    }
     ++Result.Steps;
 
     // Deletion semantics: control reaching a deleted node slides to its

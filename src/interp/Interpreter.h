@@ -46,12 +46,21 @@ namespace jslice {
 struct ExecOptions {
   std::vector<int64_t> Input;
   uint64_t MaxSteps = 200000;
+
+  /// Optional pipeline guard (usually Analysis::guard()): each machine
+  /// step polls one checkpoint, so executions share the analysis budget
+  /// and honour its deadline.
+  ResourceGuard *Guard = nullptr;
 };
 
 /// Observations from one execution.
 struct ExecResult {
   /// False when the step limit was hit (potential non-termination).
   bool Completed = false;
+
+  /// True when the run stopped because ExecOptions::Guard tripped
+  /// (Completed stays false then).
+  bool ResourceExhausted = false;
   uint64_t Steps = 0;
 
   /// Values written (by write and value-returning return), in order.

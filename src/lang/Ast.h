@@ -55,6 +55,11 @@ const char *binaryOpSpelling(BinaryOp Op);
 /// variables and call pure intrinsics but never write state.
 class Expr {
 public:
+  // Expressions are owned through unique_ptr<Expr>; deletion must
+  // dispatch to the derived destructor (CallExpr owns a string and a
+  // vector).
+  virtual ~Expr() = default;
+
   ExprKind getKind() const { return Kind; }
   SourceLoc getLoc() const { return Loc; }
 
@@ -190,6 +195,11 @@ enum class StmtKind {
 ///    lexical-successor-tree builder and the slice printer rely on.
 class Stmt {
 public:
+  // Statements are owned through unique_ptr<Stmt>; deletion must
+  // dispatch to the derived destructor (most derived statements own
+  // strings or child vectors).
+  virtual ~Stmt() = default;
+
   StmtKind getKind() const { return Kind; }
   SourceLoc getLoc() const { return Loc; }
   unsigned getId() const { return Id; }

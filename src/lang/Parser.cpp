@@ -41,6 +41,18 @@ bool Parser::expect(TokenKind Kind, const char *Context) {
   return false;
 }
 
+bool Parser::enterNested(SourceLoc Loc) {
+  if (++Depth <= MaxDepth)
+    return true;
+  if (!HadError) {
+    Diags.report(Loc,
+                 "nesting too deep (limit " + std::to_string(MaxDepth) + ")",
+                 DiagKind::ResourceExhausted);
+    HadError = true;
+  }
+  return false;
+}
+
 bool Parser::parseTopLevel() {
   std::vector<const Stmt *> TopLevel;
   while (!check(TokenKind::Eof) && !HadError) {
@@ -56,6 +68,15 @@ bool Parser::parseTopLevel() {
 }
 
 const Stmt *Parser::parseStmt() {
+  if (Guard && !Guard->checkpoint("parser.stmt")) {
+    if (!HadError) {
+      Diags.report(current().Loc, Guard->reason(),
+                   DiagKind::ResourceExhausted);
+      HadError = true;
+    }
+    return nullptr;
+  }
+
   // A statement label is `IDENT ':'`. Assignments also start with an
   // identifier, so disambiguate with one token of lookahead.
   std::string Label;
@@ -84,6 +105,9 @@ const Stmt *Parser::parseStmt() {
 
 const Stmt *Parser::parseUnlabeledStmt() {
   SourceLoc Loc = current().Loc;
+  DepthScope Scope(*this, Loc);
+  if (!Scope.Ok)
+    return nullptr;
   switch (current().Kind) {
   case TokenKind::Semi:
     consume();
@@ -398,7 +422,14 @@ const Stmt *Parser::parseSwitch(SourceLoc Loc) {
 // Expressions
 //===----------------------------------------------------------------------===//
 
-const Expr *Parser::parseExpr() { return parseOr(); }
+const Expr *Parser::parseExpr() {
+  // Parenthesized expressions recurse parsePrimary -> parseExpr; bound
+  // that cycle here (the binary-operator chain itself is iterative).
+  DepthScope Scope(*this, current().Loc);
+  if (!Scope.Ok)
+    return nullptr;
+  return parseOr();
+}
 
 const Expr *Parser::parseOr() {
   const Expr *LHS = parseAnd();
@@ -491,6 +522,10 @@ const Expr *Parser::parseMultiplicative() {
 
 const Expr *Parser::parseUnary() {
   if (check(TokenKind::Minus) || check(TokenKind::Not)) {
+    // Self-recursive (`----x`); bounded like the other productions.
+    DepthScope Scope(*this, current().Loc);
+    if (!Scope.Ok)
+      return nullptr;
     Token Op = consume();
     const Expr *Operand = parseUnary();
     if (!Operand)
@@ -550,8 +585,8 @@ const Expr *Parser::parsePrimary() {
 // Pipeline entry point
 //===----------------------------------------------------------------------===//
 
-ErrorOr<std::unique_ptr<Program>>
-jslice::parseProgram(const std::string &Source) {
+static ErrorOr<std::unique_ptr<Program>>
+parseProgramImpl(const std::string &Source, ResourceGuard *Guard) {
   DiagList Diags;
   Lexer Lex(Source);
   std::vector<Token> Tokens = Lex.lexAll(Diags);
@@ -559,7 +594,7 @@ jslice::parseProgram(const std::string &Source) {
     return Diags;
 
   auto Prog = std::make_unique<Program>();
-  Parser P(std::move(Tokens), *Prog, Diags);
+  Parser P(std::move(Tokens), *Prog, Diags, Guard);
   if (!P.parseTopLevel()) {
     if (Diags.empty())
       Diags.report(SourceLoc(), "parse failed");
@@ -569,4 +604,14 @@ jslice::parseProgram(const std::string &Source) {
   if (!runSema(*Prog, Diags))
     return Diags;
   return Prog;
+}
+
+ErrorOr<std::unique_ptr<Program>>
+jslice::parseProgram(const std::string &Source) {
+  return parseProgramImpl(Source, nullptr);
+}
+
+ErrorOr<std::unique_ptr<Program>>
+jslice::parseProgram(const std::string &Source, ResourceGuard &Guard) {
+  return parseProgramImpl(Source, &Guard);
 }

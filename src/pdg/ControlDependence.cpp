@@ -12,10 +12,13 @@
 using namespace jslice;
 
 Digraph jslice::buildControlDependence(const Digraph &FlowGraph,
-                                       const DomTree &Pdt) {
+                                       const DomTree &Pdt,
+                                       ResourceGuard *Guard) {
   Digraph CD(FlowGraph.numNodes());
   for (unsigned X = 0, N = FlowGraph.numNodes(); X != N; ++X) {
     for (unsigned Y : FlowGraph.succs(X)) {
+      if (Guard && !Guard->checkpoint("controldep.edge"))
+        return CD; // Partial; the caller checks the guard.
       if (Pdt.dominates(Y, X))
         continue;
       // Walk the postdominator tree from Y up to (exclusive) ipdom(X);

@@ -30,8 +30,11 @@ namespace jslice {
 /// Builds the control dependence graph of \p FlowGraph. Edges run from
 /// the controlling node to the controlled node. \p Pdt must be the
 /// postdominator tree of \p FlowGraph (dominators of the reversed graph
-/// rooted at Exit).
-Digraph buildControlDependence(const Digraph &FlowGraph, const DomTree &Pdt);
+/// rooted at Exit). With a \p Guard, one checkpoint is polled per edge
+/// walk; on exhaustion the partial graph is returned — callers must
+/// treat a tripped guard as failure.
+Digraph buildControlDependence(const Digraph &FlowGraph, const DomTree &Pdt,
+                               ResourceGuard *Guard = nullptr);
 
 } // namespace jslice
 

@@ -44,28 +44,54 @@ std::vector<std::pair<unsigned, unsigned>> findCondJumpPairs(const Cfg &C) {
 
 } // namespace
 
-Analysis::Analysis(std::unique_ptr<Program> Prog, Cfg Built)
-    : ProgPtr(std::move(Prog)), C(std::move(Built)),
-      Lst(buildLexicalSuccessorTree(C)),
-      Pdt(computePostDominators(C.graph(), C.exit())), DU(DefUse::build(C)),
-      RD(ReachingDefinitions::compute(C, DU)),
-      P(buildControlDependence(C.graph(), Pdt),
+Analysis::Analysis(std::unique_ptr<Program> Prog, Cfg Built,
+                   std::shared_ptr<ResourceGuard> Guard)
+    : GuardPtr(std::move(Guard)), ProgPtr(std::move(Prog)),
+      C(std::move(Built)), Lst(buildLexicalSuccessorTree(C)),
+      Pdt(computePostDominators(C.graph(), C.exit(), GuardPtr.get())),
+      DU(DefUse::build(C)),
+      RD(ReachingDefinitions::compute(C, DU, GuardPtr.get())),
+      P(buildControlDependence(C.graph(), Pdt, GuardPtr.get()),
         buildDataDependence(C, DU, RD)),
       AugGraph(C.buildAugmentedGraph(Lst.parents())),
-      AugPdt(computePostDominators(AugGraph, C.exit())),
-      AugP(buildControlDependence(AugGraph, AugPdt), P.Data),
+      AugPdt(computePostDominators(AugGraph, C.exit(), GuardPtr.get())),
+      AugP(buildControlDependence(AugGraph, AugPdt, GuardPtr.get()), P.Data),
       CondJumps(findCondJumpPairs(C)) {}
 
 ErrorOr<Analysis> Analysis::fromSource(const std::string &Source) {
-  ErrorOr<std::unique_ptr<Program>> Prog = parseProgram(Source);
+  return fromSource(Source, Budget::unlimited());
+}
+
+ErrorOr<Analysis> Analysis::fromSource(const std::string &Source,
+                                       const Budget &B) {
+  auto Guard = std::make_shared<ResourceGuard>(B);
+  ErrorOr<std::unique_ptr<Program>> Prog = parseProgram(Source, *Guard);
   if (!Prog)
     return Prog.diags();
-  return fromProgram(std::move(*Prog));
+  return fromProgramGuarded(std::move(*Prog), std::move(Guard));
 }
 
 ErrorOr<Analysis> Analysis::fromProgram(std::unique_ptr<Program> Prog) {
-  ErrorOr<Cfg> Built = Cfg::build(*Prog);
+  return fromProgram(std::move(Prog), Budget::unlimited());
+}
+
+ErrorOr<Analysis> Analysis::fromProgram(std::unique_ptr<Program> Prog,
+                                        const Budget &B) {
+  return fromProgramGuarded(std::move(Prog),
+                            std::make_shared<ResourceGuard>(B));
+}
+
+ErrorOr<Analysis>
+Analysis::fromProgramGuarded(std::unique_ptr<Program> Prog,
+                             std::shared_ptr<ResourceGuard> Guard) {
+  ErrorOr<Cfg> Built = Cfg::build(*Prog, Guard.get());
   if (!Built)
     return Built.diags();
-  return Analysis(std::move(Prog), std::move(*Built));
+  Analysis A(std::move(Prog), std::move(*Built), std::move(Guard));
+  // A guard tripped during any phase (a latched guard short-circuits
+  // every later phase) means some structure is unconverged; discard the
+  // whole bundle so no partially-constructed Analysis escapes.
+  if (A.guard().exhausted())
+    return A.guard().toDiag();
+  return A;
 }

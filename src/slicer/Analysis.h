@@ -33,13 +33,34 @@
 namespace jslice {
 
 /// Immutable analysis results for one program. Move-only.
+///
+/// Every construction path runs under a ResourceGuard built from the
+/// supplied Budget (unlimited by default): the parser, CFG builder,
+/// dominator fixpoints, reaching definitions, and control dependence
+/// all poll it, and exhaustion surfaces as a DiagKind::ResourceExhausted
+/// diagnostic — never a crash, hang, or partially-built Analysis. The
+/// guard stays with the Analysis so later slicing traversals and
+/// interpreter runs draw from the same budget.
 class Analysis {
 public:
   /// Parses, checks, and analyzes \p Source.
   static ErrorOr<Analysis> fromSource(const std::string &Source);
 
+  /// As above, under \p B's resource limits.
+  static ErrorOr<Analysis> fromSource(const std::string &Source,
+                                      const Budget &B);
+
   /// Analyzes an already-checked program (takes ownership).
   static ErrorOr<Analysis> fromProgram(std::unique_ptr<Program> Prog);
+
+  /// As above, under \p B's resource limits.
+  static ErrorOr<Analysis> fromProgram(std::unique_ptr<Program> Prog,
+                                       const Budget &B);
+
+  /// The pipeline's resource meter. Mutable by design: slicers and the
+  /// interpreter charge their work against the budget the Analysis was
+  /// built under (the Analysis results themselves stay immutable).
+  ResourceGuard &guard() const { return *GuardPtr; }
 
   const Program &program() const { return *ProgPtr; }
   const Cfg &cfg() const { return C; }
@@ -67,8 +88,14 @@ public:
   }
 
 private:
-  Analysis(std::unique_ptr<Program> Prog, Cfg Built);
+  Analysis(std::unique_ptr<Program> Prog, Cfg Built,
+           std::shared_ptr<ResourceGuard> Guard);
 
+  static ErrorOr<Analysis>
+  fromProgramGuarded(std::unique_ptr<Program> Prog,
+                     std::shared_ptr<ResourceGuard> Guard);
+
+  std::shared_ptr<ResourceGuard> GuardPtr;
   std::unique_ptr<Program> ProgPtr;
   Cfg C;
   LexicalSuccessorTree Lst;

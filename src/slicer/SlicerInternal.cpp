@@ -20,6 +20,8 @@ void detail::closeWithAdaptation(const Analysis &A, const Pdg &P,
 
   for (;;) {
     while (!Worklist.empty()) {
+      if (!A.guard().checkpoint("slicer.close"))
+        return; // Partial closure; the ErrorOr layer reports it.
       unsigned Node = Worklist.back();
       Worklist.pop_back();
       for (unsigned Dep : P.Control.preds(Node))

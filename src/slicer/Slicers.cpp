@@ -118,6 +118,12 @@ SliceResult jslice::sliceAgrawal(const Analysis &A,
     ++R.Traversals;
     std::vector<unsigned> AddedThisPass;
     for (unsigned J : Order) {
+      if (!A.guard().checkpoint("slicer.traversal")) {
+        // Budget exhausted mid-traversal: stop growing the slice. The
+        // ErrorOr dispatch layer reports the tripped guard.
+        R.ReassociatedLabels = reassociateLabels(A, R.Nodes);
+        return R;
+      }
       if (!A.cfg().node(J).isJump() || R.contains(J))
         continue;
       // The decisive test: a jump is needed exactly when deleting it
@@ -244,8 +250,15 @@ SliceResult jslice::computeSlice(const Analysis &A,
 ErrorOr<SliceResult> jslice::computeSlice(const Analysis &A,
                                           const Criterion &Crit,
                                           SliceAlgorithm Algorithm) {
+  // A budget already exhausted (by an earlier slice on this Analysis)
+  // degrades deterministically rather than returning a partial slice.
+  if (A.guard().exhausted())
+    return A.guard().toDiag();
   ErrorOr<ResolvedCriterion> RC = resolveCriterion(A, Crit);
   if (!RC)
     return RC.diags();
-  return computeSlice(A, *RC, Algorithm);
+  SliceResult R = computeSlice(A, *RC, Algorithm);
+  if (A.guard().exhausted())
+    return A.guard().toDiag();
+  return R;
 }

@@ -26,15 +26,28 @@
 
 namespace jslice {
 
+/// Coarse classification of a diagnostic. Callers (services, the CLI,
+/// the stress driver) branch on this to tell malformed input apart from
+/// deterministic degradation under a resource Budget.
+enum class DiagKind {
+  Error,             ///< Malformed input: syntax, sema, CFG shape, criterion.
+  ResourceExhausted, ///< A ResourceGuard budget (or an injected fault) tripped.
+};
+
 /// One diagnostic: a message anchored at a source location.
 /// Messages follow the LLVM style: lowercase first word, no trailing period.
 struct Diag {
   SourceLoc Loc;
   std::string Message;
+  DiagKind Kind = DiagKind::Error;
 
   Diag() = default;
-  Diag(SourceLoc Loc, std::string Message)
-      : Loc(Loc), Message(std::move(Message)) {}
+  Diag(SourceLoc Loc, std::string Message, DiagKind Kind = DiagKind::Error)
+      : Loc(Loc), Message(std::move(Message)), Kind(Kind) {}
+
+  bool isResourceExhausted() const {
+    return Kind == DiagKind::ResourceExhausted;
+  }
 
   /// Renders as "line:col: error: message".
   std::string str() const { return Loc.str() + ": error: " + Message; }
@@ -43,13 +56,22 @@ struct Diag {
 /// An ordered list of diagnostics produced by one fallible operation.
 class DiagList {
 public:
-  void report(SourceLoc Loc, std::string Message) {
-    Diags.emplace_back(Loc, std::move(Message));
+  void report(SourceLoc Loc, std::string Message,
+              DiagKind Kind = DiagKind::Error) {
+    Diags.emplace_back(Loc, std::move(Message), Kind);
   }
 
   bool empty() const { return Diags.empty(); }
   size_t size() const { return Diags.size(); }
   const std::vector<Diag> &diags() const { return Diags; }
+
+  /// True when any member is classified \p Kind.
+  bool hasKind(DiagKind Kind) const {
+    for (const Diag &D : Diags)
+      if (D.Kind == Kind)
+        return true;
+    return false;
+  }
 
   /// All diagnostics joined with newlines, for test failure messages.
   std::string str() const {
@@ -78,7 +100,8 @@ public:
            "error state requires at least one diagnostic");
   }
   /*implicit*/ ErrorOr(Diag Error) : Storage(DiagList()) {
-    std::get<DiagList>(Storage).report(Error.Loc, std::move(Error.Message));
+    std::get<DiagList>(Storage).report(Error.Loc, std::move(Error.Message),
+                                       Error.Kind);
   }
 
   bool hasValue() const { return std::holds_alternative<T>(Storage); }

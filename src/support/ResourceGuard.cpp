@@ -1,0 +1,39 @@
+//===- support/ResourceGuard.cpp - Budgets, guards, fault injection --------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ResourceGuard.h"
+
+using namespace jslice;
+
+uint64_t FaultInjection::FailAt = 0;
+uint64_t FaultInjection::Count = 0;
+const char *FaultInjection::LastSite = "";
+
+void FaultInjection::arm(uint64_t FailAtCheckpoint) {
+  FailAt = FailAtCheckpoint;
+  Count = 0;
+  LastSite = "";
+}
+
+void FaultInjection::disarm() { FailAt = 0; }
+
+bool FaultInjection::armed() { return FailAt != 0; }
+
+uint64_t FaultInjection::observedCheckpoints() { return Count; }
+
+void FaultInjection::resetCount() { Count = 0; }
+
+bool FaultInjection::shouldFail(const char *Site, uint64_t SiteCount) {
+  (void)SiteCount;
+  ++Count;
+  if (FailAt == 0 || Count != FailAt)
+    return false;
+  LastSite = Site;
+  return true;
+}
+
+const char *FaultInjection::trippedSite() { return LastSite; }

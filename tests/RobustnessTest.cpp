@@ -110,6 +110,122 @@ TEST(RobustnessTest, DeeplyNestedProgramAnalyzes) {
       << "every guard is in the slice";
 }
 
+TEST(RobustnessTest, HundredThousandDeepNestingIsADiagNotAStackOverflow) {
+  // The regression that motivated the parser depth limit: before it,
+  // this recursed 100k frames deep and died by stack overflow (with
+  // ASan's larger frames, far earlier). Now it must degrade to a
+  // "nesting too deep" diagnostic.
+  std::string Source;
+  Source.reserve(100000 * 4 + 16);
+  for (unsigned I = 0; I != 100000; ++I)
+    Source += "{\n";
+  Source += "x = 1;\n";
+  for (unsigned I = 0; I != 100000; ++I)
+    Source += "}\n";
+
+  ErrorOr<Analysis> A = Analysis::fromSource(Source);
+  ASSERT_FALSE(A.hasValue());
+  EXPECT_TRUE(A.diags().hasKind(DiagKind::ResourceExhausted))
+      << A.diags().str();
+  EXPECT_NE(A.diags().str().find("nesting too deep"), std::string::npos)
+      << A.diags().str();
+}
+
+TEST(RobustnessTest, DeepExpressionNestingIsADiagNotAStackOverflow) {
+  // Expression recursion (parens and unary operators) shares the same
+  // depth meter as statements.
+  std::string Source = "x = ";
+  for (unsigned I = 0; I != 100000; ++I)
+    Source += "(";
+  Source += "1";
+  for (unsigned I = 0; I != 100000; ++I)
+    Source += ")";
+  Source += ";\n";
+
+  ErrorOr<Analysis> A = Analysis::fromSource(Source);
+  ASSERT_FALSE(A.hasValue());
+  EXPECT_TRUE(A.diags().hasKind(DiagKind::ResourceExhausted))
+      << A.diags().str();
+
+  std::string Unary = "x = ";
+  Unary.append(100000, '-');
+  Unary += "1;\n";
+  ErrorOr<Analysis> B = Analysis::fromSource(Unary);
+  ASSERT_FALSE(B.hasValue());
+  EXPECT_TRUE(B.diags().hasKind(DiagKind::ResourceExhausted))
+      << B.diags().str();
+}
+
+TEST(RobustnessTest, NestingLimitIsConfigurableThroughTheBudget) {
+  std::string Source;
+  for (unsigned I = 0; I != 20; ++I)
+    Source += "{\n";
+  Source += "write(1);\n";
+  for (unsigned I = 0; I != 20; ++I)
+    Source += "}\n";
+
+  Budget Tight;
+  Tight.MaxNestingDepth = 10;
+  EXPECT_FALSE(Analysis::fromSource(Source, Tight).hasValue());
+
+  Budget Roomy;
+  Roomy.MaxNestingDepth = 64;
+  EXPECT_TRUE(Analysis::fromSource(Source, Roomy).hasValue());
+}
+
+TEST(RobustnessTest, StepBudgetDegradesDeterministically) {
+  GenOptions Gen;
+  Gen.Seed = 5;
+  Gen.TargetStmts = 60;
+  Gen.AllowGotos = true;
+  std::string Source = generateProgram(Gen);
+
+  Budget B;
+  B.MaxSteps = 100; // Far too small for a 60-statement program.
+  auto Run = [&]() {
+    ErrorOr<Analysis> A = Analysis::fromSource(Source, B);
+    EXPECT_FALSE(A.hasValue());
+    return A.hasValue() ? std::string() : A.diags().str();
+  };
+  std::string First = Run();
+  EXPECT_NE(First.find("step budget exhausted"), std::string::npos) << First;
+  EXPECT_EQ(First, Run()) << "degradation must be deterministic";
+}
+
+TEST(RobustnessTest, NodeBudgetBoundsCfgConstruction) {
+  std::string Source;
+  for (unsigned I = 0; I != 200; ++I)
+    Source += "x = x + 1;\n";
+  Source += "write(x);\n";
+
+  Budget B;
+  B.MaxNodes = 50;
+  ErrorOr<Analysis> A = Analysis::fromSource(Source, B);
+  ASSERT_FALSE(A.hasValue());
+  EXPECT_TRUE(A.diags().hasKind(DiagKind::ResourceExhausted));
+  EXPECT_NE(A.diags().str().find("node budget exhausted"),
+            std::string::npos)
+      << A.diags().str();
+}
+
+TEST(RobustnessTest, ExhaustedBudgetFailsLaterSlicesToo) {
+  // One Analysis, many slices: once the shared meter trips, subsequent
+  // ErrorOr slices degrade instead of returning partial node sets.
+  ErrorOr<Analysis> A = Analysis::fromSource("x = 1;\nwrite(x);\n");
+  ASSERT_TRUE(A.hasValue());
+  // Latch the live meter by hand: inject a fault into one checkpoint
+  // (a zero-step budget would have refused during analysis already).
+  {
+    FaultInjection::ScopedArm Arm(1);
+    A->guard().checkpoint("test.drain");
+  }
+  ASSERT_TRUE(A->guard().exhausted());
+  ErrorOr<SliceResult> R =
+      computeSlice(*A, Criterion(2, {"x"}), SliceAlgorithm::Agrawal);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_TRUE(R.diags().hasKind(DiagKind::ResourceExhausted));
+}
+
 TEST(RobustnessTest, LongStraightLineProgram) {
   std::string Source;
   for (unsigned I = 0; I != 3000; ++I)
