@@ -8,15 +8,20 @@
 /// A small command-line front end:
 ///
 ///   slicer_cli FILE --line N [--vars a,b] [--algo NAME] [--all]
+///              [--all-criteria] [--threads N]
 ///              [--max-steps N] [--deadline-ms N]
 ///
-///   --line N         criterion line (required, positive)
+///   --line N         criterion line (required unless --all-criteria)
 ///   --vars a,b       criterion variables (default: those used on the line)
 ///   --algo NAME      conventional | agrawal-fig7 | agrawal-fig7-lst |
 ///                    structured-fig12 | conservative-fig13 | ball-horwitz |
 ///                    lyle | gallagher | jiang-zhou-robson | weiser
 ///                    (default agrawal-fig7)
 ///   --all            print every algorithm's line set instead of one slice
+///   --all-criteria   slice every statement line through the batch engine
+///                    (shared closure cache); prints one summary per line
+///   --threads N      worker threads for --all-criteria (default: the
+///                    JSLICE_THREADS env var, else hardware concurrency)
 ///   --max-steps N    resource budget: analysis/slicing checkpoint limit
 ///   --deadline-ms N  resource budget: soft wall-clock deadline
 ///
@@ -63,6 +68,7 @@ std::optional<SliceAlgorithm> parseAlgorithm(const std::string &Name) {
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s FILE --line N [--vars a,b] [--algo NAME] [--all]\n"
+               "       [--all-criteria] [--threads N]\n"
                "       [--max-steps N] [--deadline-ms N]\n"
                "exit codes: 0 ok, 1 analysis error, 2 usage error\n",
                Prog);
@@ -92,6 +98,8 @@ int main(int argc, char **argv) {
   std::vector<std::string> Vars;
   SliceAlgorithm Algorithm = SliceAlgorithm::Agrawal;
   bool All = false;
+  bool AllCriteria = false;
+  unsigned Threads = 0; // 0 = BatchSlicer::defaultThreads().
   Budget B;
 
   for (int I = 1; I < argc; ++I) {
@@ -167,6 +175,20 @@ int main(int argc, char **argv) {
       B.DeadlineMs = *Parsed;
     } else if (Arg == "--all") {
       All = true;
+    } else if (Arg == "--all-criteria") {
+      AllCriteria = true;
+    } else if (Arg == "--threads") {
+      const char *Value = NextValue("--threads");
+      if (!Value)
+        return usage(argv[0]);
+      std::optional<uint64_t> Parsed = parseCount(Value);
+      if (!Parsed || *Parsed == 0 || *Parsed > 1024) {
+        std::fprintf(stderr, "error: --threads expects a worker count in "
+                             "[1, 1024], got '%s'\n",
+                     Value);
+        return usage(argv[0]);
+      }
+      Threads = static_cast<unsigned>(*Parsed);
     } else if (Arg.size() > 1 && Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return usage(argv[0]);
@@ -183,8 +205,12 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: no input file\n");
     return usage(argv[0]);
   }
-  if (Line == 0) {
-    std::fprintf(stderr, "error: --line is required\n");
+  if (Line == 0 && !AllCriteria) {
+    std::fprintf(stderr, "error: --line is required (or use --all-criteria)\n");
+    return usage(argv[0]);
+  }
+  if (AllCriteria && (Line != 0 || All)) {
+    std::fprintf(stderr, "error: --all-criteria replaces --line/--all\n");
     return usage(argv[0]);
   }
 
@@ -200,6 +226,27 @@ int main(int argc, char **argv) {
   if (!A) {
     std::fprintf(stderr, "%s\n", A.diags().str().c_str());
     return ExitAnalysisError;
+  }
+
+  if (AllCriteria) {
+    BatchSlicer Batch(*A);
+    BatchOptions Opts;
+    Opts.Algorithm = Algorithm;
+    Opts.Threads = Threads;
+    std::vector<Criterion> Crits = allLineCriteria(*A);
+    std::vector<BatchEntry> Entries = Batch.runAll(Crits, Opts);
+    bool AnyFailed = false;
+    for (const BatchEntry &Entry : Entries) {
+      if (Entry.Ok) {
+        std::printf("line %-4u %s\n", Entry.Crit.Line,
+                    summarizeSlice(*A, Entry.Result).c_str());
+      } else {
+        AnyFailed = true;
+        std::fprintf(stderr, "line %u: %s\n", Entry.Crit.Line,
+                     Entry.Diags.str().c_str());
+      }
+    }
+    return AnyFailed ? ExitAnalysisError : ExitOk;
   }
 
   Criterion Crit(Line, Vars);

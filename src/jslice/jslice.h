@@ -35,6 +35,7 @@
 #include "pdg/ControlDependence.h"
 #include "pdg/Pdg.h"
 #include "slicer/Analysis.h"
+#include "slicer/BatchSlicer.h"
 #include "slicer/Criterion.h"
 #include "slicer/ChoiFerranteSynthesis.h"
 #include "slicer/SlicePrinter.h"

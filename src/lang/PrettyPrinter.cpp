@@ -126,7 +126,8 @@ private:
         for (const std::string &Label : It->second)
           Prefix += Label + ": ";
     }
-    if (S->hasLabel())
+    if (S->hasLabel() &&
+        !(Opts.SuppressLabels && Opts.SuppressLabels->count(S->getLabel())))
       Prefix += S->getLabel() + ": ";
     return Prefix;
   }
@@ -292,8 +293,10 @@ private:
     auto It = Opts.ExtraLabels->find(PrintOptions::ExitLabelKey);
     if (It == Opts.ExtraLabels->end())
       return;
+    // `L: ;` — a bare trailing `L:` would not re-parse (labels require
+    // a statement; the empty statement is the "end of program" carrier).
     for (const std::string &Label : It->second)
-      line(0, Label + ":");
+      line(0, Label + ": ;");
   }
 
   const PrintOptions &Opts;

@@ -48,8 +48,16 @@ struct PrintOptions {
   /// keyed by `ExitLabelKey`.
   const std::map<unsigned, std::vector<std::string>> *ExtraLabels = nullptr;
 
+  /// Label names whose *original* definition must not be printed. A
+  /// re-associated label moved somewhere else; printing it at its old
+  /// statement too would define it twice, making the projection
+  /// unparseable (a labeled compound can stay in the slice while the
+  /// label moved off its entry node).
+  const std::set<std::string> *SuppressLabels = nullptr;
+
   /// Pseudo statement id for labels re-associated past the last printed
-  /// statement (they render as a trailing `L:` line).
+  /// statement (they render as a trailing `L: ;` line — the empty
+  /// statement keeps the projection re-parseable).
   static constexpr unsigned ExitLabelKey = ~0u;
 };
 

@@ -1,0 +1,160 @@
+//===- slicer/BatchSlicer.h - All-criteria slicing engine --------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch slicing engine. The paper's algorithms are defined per
+/// criterion, but realistic clients (IDE highlighting, regression
+/// triage) slice the same program against *many* criteria, and the
+/// single-shot slicers re-walk the dependence graphs from scratch each
+/// time. This engine condenses the PDG into strongly connected
+/// components once (Tarjan over the union of control and data edges),
+/// computes a per-SCC backward-reachability closure cache as dense
+/// bitsets, and answers every criterion's conventional slice as a
+/// bitset union. The Figure 7 / 12 / 13 jump-augmentation layers run on
+/// top of the same cache, sharing the per-program postdominator and
+/// lexical successor trees the Analysis already holds.
+///
+/// Results are bit-identical to the single-shot slicers (Slicers.h) for
+/// every algorithm when the resource budget is not exhausted; a tripped
+/// budget degrades per criterion into a DiagKind::ResourceExhausted
+/// diagnostic, never a crash (see DESIGN.md, "Batch slicing engine").
+///
+/// An opt-in thread pool fans independent criteria across workers. The
+/// Analysis' ResourceGuard is shared: workers poll it behind a mutex,
+/// so the budget stays one program-wide meter. Exhaustion is latched,
+/// which makes multi-threaded degradation safe — though *which*
+/// criterion observes the tripped budget first depends on scheduling,
+/// so budget-sensitive tests should run single-threaded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SLICER_BATCHSLICER_H
+#define JSLICE_SLICER_BATCHSLICER_H
+
+#include "slicer/Slicers.h"
+#include "support/BitVector.h"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace jslice {
+
+/// SCC condensation of one Pdg plus the memoized backward transitive
+/// closure of every component, as bitsets over CFG node ids. Built once
+/// per (program, dependence graph); immutable afterwards, so reads are
+/// freely shareable across threads.
+class DependenceClosure {
+public:
+  /// Condenses \p P (control and data edges together) over \p NumNodes
+  /// nodes and computes every SCC's closure, charging one \p Guard
+  /// checkpoint per node visited and per closure built. On exhaustion
+  /// construction stops early and valid() is false.
+  DependenceClosure(const Pdg &P, unsigned NumNodes,
+                    ResourceGuard *Guard = nullptr);
+
+  /// False when the guard tripped mid-build (closures unusable).
+  bool valid() const { return Valid; }
+
+  unsigned numNodes() const { return static_cast<unsigned>(SccId.size()); }
+  unsigned numSccs() const { return static_cast<unsigned>(Closure.size()); }
+
+  /// The component of \p Node (components are numbered in Tarjan
+  /// completion order; ids are stable for one build only).
+  unsigned sccOf(unsigned Node) const { return SccId[Node]; }
+
+  /// The backward dependence closure of \p Node — every node it
+  /// transitively depends on, itself included. Shared by all members of
+  /// a component.
+  const BitVector &closureOf(unsigned Node) const {
+    return Closure[SccId[Node]];
+  }
+
+private:
+  std::vector<unsigned> SccId;
+  std::vector<BitVector> Closure;
+  bool Valid = false;
+};
+
+/// One criterion's outcome in a batch run. `Result` is meaningful only
+/// when `Ok`; otherwise `Diags` explains (unresolvable criterion or an
+/// exhausted resource budget).
+struct BatchEntry {
+  Criterion Crit;
+  bool Ok = false;
+  SliceResult Result;
+  DiagList Diags;
+};
+
+/// Knobs for BatchSlicer::runAll.
+struct BatchOptions {
+  SliceAlgorithm Algorithm = SliceAlgorithm::Agrawal;
+
+  /// Worker threads; 0 means the JSLICE_THREADS environment variable,
+  /// or the hardware concurrency when it is unset. Algorithms without a
+  /// closure-cache implementation (Weiser) always run single-threaded.
+  unsigned Threads = 0;
+};
+
+/// The all-criteria slicing engine. Construction condenses the PDG and
+/// builds the closure cache; each query is then a bitset union plus the
+/// (cheap) jump-augmentation layer of the chosen algorithm.
+class BatchSlicer {
+public:
+  /// Builds the closure cache for \p A's PDG, charging A.guard().
+  /// \p A must outlive the BatchSlicer.
+  explicit BatchSlicer(const Analysis &A);
+  ~BatchSlicer();
+
+  BatchSlicer(const BatchSlicer &) = delete;
+  BatchSlicer &operator=(const BatchSlicer &) = delete;
+
+  const Analysis &analysis() const { return A; }
+
+  /// The cache over the unaugmented PDG (for tests and introspection).
+  const DependenceClosure &closures() const { return Cache; }
+
+  /// One slice through the cache. Bit-identical to
+  /// computeSlice(A, RC, Algorithm) modulo resource exhaustion;
+  /// algorithms without a cache-backed implementation (Weiser) dispatch
+  /// to the single-shot slicer.
+  SliceResult slice(const ResolvedCriterion &RC,
+                    SliceAlgorithm Algorithm) const;
+
+  /// Resolves and slices every criterion, fanning across
+  /// Opts.Threads workers. Entry order matches \p Crits. Exhaustion of
+  /// the shared budget degrades the remaining entries into
+  /// ResourceExhausted diagnostics.
+  std::vector<BatchEntry> runAll(const std::vector<Criterion> &Crits,
+                                 const BatchOptions &Opts = {}) const;
+
+  /// The thread count used when BatchOptions::Threads is 0: the
+  /// JSLICE_THREADS environment variable when set to a positive
+  /// integer, otherwise std::thread::hardware_concurrency() (>= 1).
+  static unsigned defaultThreads();
+
+private:
+  const Analysis &A;
+  DependenceClosure Cache;
+  /// Lazily built cache over the augmented PDG (Ball–Horwitz only).
+  mutable std::once_flag AugOnce;
+  mutable std::unique_ptr<DependenceClosure> AugCache;
+
+  const DependenceClosure &augClosures() const;
+  SliceResult sliceLocked(const ResolvedCriterion &RC,
+                          SliceAlgorithm Algorithm,
+                          std::mutex *GuardMutex) const;
+};
+
+/// One criterion per source line that holds a statement (empty variable
+/// list, i.e. "the variables used at that line") — the batch engine's
+/// "slice everything" enumeration, ascending by line.
+std::vector<Criterion> allLineCriteria(const Analysis &A);
+
+} // namespace jslice
+
+#endif // JSLICE_SLICER_BATCHSLICER_H

@@ -17,9 +17,14 @@ std::string jslice::printSlice(const Analysis &A, const SliceResult &R,
   std::set<unsigned> KeepIds = R.stmtIds(A.cfg());
 
   // Re-associated labels keyed by the carrier statement's id (or the
-  // trailing-exit key when the label outlived every statement).
+  // trailing-exit key when the label outlived every statement). The
+  // original definitions are suppressed: a label can leave a compound's
+  // entry node while the compound itself stays printed, and printing
+  // the label in both places would define it twice.
   std::map<unsigned, std::vector<std::string>> ExtraLabels;
+  std::set<std::string> MovedLabels;
   for (const auto &[Label, Node] : R.ReassociatedLabels) {
+    MovedLabels.insert(Label);
     if (Node == A.cfg().exit()) {
       ExtraLabels[PrintOptions::ExitLabelKey].push_back(Label);
       continue;
@@ -33,6 +38,7 @@ std::string jslice::printSlice(const Analysis &A, const SliceResult &R,
   PO.ShowLineNumbers = Opts.ShowLineNumbers;
   PO.KeepIds = &KeepIds;
   PO.ExtraLabels = &ExtraLabels;
+  PO.SuppressLabels = &MovedLabels;
   return printProgram(A.program(), PO);
 }
 

@@ -123,7 +123,16 @@ TEST(PrinterTest, ExitLabelsPrintTrailing) {
       {PrintOptions::ExitLabelKey, {"LEnd"}}};
   PrintOptions Opts;
   Opts.ExtraLabels = &Extra;
-  EXPECT_EQ(printProgram(*Prog, Opts), "write(1);\nLEnd:\n");
+  EXPECT_EQ(printProgram(*Prog, Opts), "write(1);\nLEnd: ;\n")
+      << "the empty statement keeps the trailing label re-parseable";
+}
+
+TEST(PrinterTest, SuppressedLabelsAreOmitted) {
+  auto Prog = parseOk("M: write(1);\nK: write(2);\n");
+  std::set<std::string> Suppress = {"M"};
+  PrintOptions Opts;
+  Opts.SuppressLabels = &Suppress;
+  EXPECT_EQ(printProgram(*Prog, Opts), "write(1);\nK: write(2);\n");
 }
 
 TEST(PrinterTest, NestedIndentationIsTwoSpaces) {

@@ -242,6 +242,35 @@ TEST_P(SliceProperty, AgrawalIsIdempotent) {
   }
 }
 
+TEST_P(SliceProperty, BatchEngineMatchesSingleShotSlicers) {
+  Analysis A = analyze();
+  BatchSlicer Batch(A);
+  // Every algorithm with a cache-backed implementation, over every
+  // reachable write criterion: the batch engine must reproduce the
+  // single-shot slicer bit for bit (nodes, labels, counters).
+  for (SliceAlgorithm Algorithm :
+       {SliceAlgorithm::Conventional, SliceAlgorithm::Agrawal,
+        SliceAlgorithm::AgrawalLst, SliceAlgorithm::Structured,
+        SliceAlgorithm::Conservative, SliceAlgorithm::BallHorwitz,
+        SliceAlgorithm::Lyle, SliceAlgorithm::Gallagher,
+        SliceAlgorithm::JiangZhouRobson}) {
+    for (const Criterion &Crit : reachableWriteCriteria(A)) {
+      ResolvedCriterion RC = *resolveCriterion(A, Crit);
+      SliceResult Single = computeSlice(A, RC, Algorithm);
+      SliceResult Batched = Batch.slice(RC, Algorithm);
+      EXPECT_EQ(Batched.Nodes, Single.Nodes)
+          << algorithmName(Algorithm) << " line " << Crit.Line << "\n"
+          << Source;
+      EXPECT_EQ(Batched.ReassociatedLabels, Single.ReassociatedLabels)
+          << algorithmName(Algorithm) << " line " << Crit.Line << "\n"
+          << Source;
+      EXPECT_EQ(Batched.TraversalAdditions, Single.TraversalAdditions)
+          << algorithmName(Algorithm) << " line " << Crit.Line << "\n"
+          << Source;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Structured, SliceProperty,
     ::testing::ValuesIn([] {

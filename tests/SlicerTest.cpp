@@ -10,6 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 using namespace jslice;
 
 namespace {
@@ -191,9 +195,80 @@ TEST(SlicePrinterTest, LabelReassociatedToExitPrintsTrailing) {
   ASSERT_TRUE(R.ReassociatedLabels.count("L"));
   EXPECT_EQ(R.ReassociatedLabels.at("L"), A.cfg().exit());
   std::string Text = printSlice(A, R);
-  EXPECT_NE(Text.find("L:\n"), std::string::npos)
-      << "a label re-associated past the program tail prints standalone:\n"
+  EXPECT_NE(Text.find("L: ;\n"), std::string::npos)
+      << "a label re-associated past the program tail prints an empty "
+         "statement (a bare `L:` would not re-parse):\n"
       << Text;
+}
+
+TEST(SlicePrinterTest, ReassociatedLabelIsNotPrintedTwice) {
+  // The goto targets the do-while's *entry* node (the first body
+  // statement), which leaves the slice while the do-while itself stays:
+  // the label must move to the body's first kept statement and vanish
+  // from the `do` line, or the projection defines L twice.
+  Analysis A = analyzeOk("n = 5;\n"
+                         "i = 0;\n"
+                         "if (n > 0) goto L;\n"
+                         "i = 9;\n"
+                         "L: do {\n"
+                         "write(0);\n"
+                         "i = i + 1;\n"
+                         "} while (i < n);\n"
+                         "write(i);\n");
+  ResolvedCriterion RC = *resolveCriterion(A, Criterion(9, {"i"}));
+  SliceResult R = sliceAgrawal(A, RC);
+  ASSERT_TRUE(R.ReassociatedLabels.count("L"))
+      << "label must move: the goto stays but write(0) leaves the slice";
+  std::string Text = printSlice(A, R, SlicePrintOptions{false});
+  size_t First = Text.find("L: ");
+  ASSERT_NE(First, std::string::npos) << Text;
+  EXPECT_EQ(Text.find("L: ", First + 1), std::string::npos)
+      << "the label's original definition must be suppressed:\n"
+      << Text;
+  ErrorOr<Analysis> Reparsed = Analysis::fromSource(Text);
+  EXPECT_TRUE(Reparsed.hasValue())
+      << (Reparsed.hasValue() ? "" : Reparsed.diags().str()) << "\n"
+      << Text;
+}
+
+TEST(SlicePrinterTest, FuzzCorpusSlicesRoundTripThroughTheParser) {
+  // Satellite check: every printed slice of every fuzz-corpus program
+  // must re-parse (orphaned or duplicated labels would not). Uses the
+  // batch engine, so this also exercises it over the corpus.
+  namespace fs = std::filesystem;
+  unsigned Printed = 0;
+  for (const auto &Entry :
+       fs::directory_iterator(fs::path(JSLICE_REPO_ROOT) / "tests/fuzz")) {
+    if (Entry.path().extension() != ".mc")
+      continue;
+    std::ifstream In(Entry.path());
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    ErrorOr<Analysis> A = Analysis::fromSource(Buffer.str());
+    if (!A.hasValue())
+      continue; // The corpus keeps some intentionally malformed inputs.
+    BatchSlicer Batch(*A);
+    for (SliceAlgorithm Algorithm :
+         {SliceAlgorithm::Agrawal, SliceAlgorithm::AgrawalLst,
+          SliceAlgorithm::BallHorwitz, SliceAlgorithm::Lyle}) {
+      BatchOptions Opts;
+      Opts.Algorithm = Algorithm;
+      Opts.Threads = 1;
+      for (const BatchEntry &E : Batch.runAll(allLineCriteria(*A), Opts)) {
+        if (!E.Ok)
+          continue;
+        std::string Text = printSlice(*A, E.Result, SlicePrintOptions{false});
+        ErrorOr<Analysis> Reparsed = Analysis::fromSource(Text);
+        EXPECT_TRUE(Reparsed.hasValue())
+            << Entry.path().string() << " / " << algorithmName(Algorithm)
+            << " / line " << E.Crit.Line << ":\n"
+            << (Reparsed.hasValue() ? "" : Reparsed.diags().str()) << "\n"
+            << Text;
+        ++Printed;
+      }
+    }
+  }
+  EXPECT_GT(Printed, 0u) << "corpus missing? run from the repo root";
 }
 
 TEST(SlicePrinterTest, SummaryShowsLineSetAndCount) {
@@ -222,6 +297,157 @@ TEST(SlicePrinterTest, SwitchSliceKeepsOnlyContributingClauses) {
   EXPECT_EQ(Text.find("case 3:"), std::string::npos)
       << "the empty clause disappears, as in Figure 14-b:\n"
       << Text;
+}
+
+//===----------------------------------------------------------------------===//
+// Batch slicing engine (SCC condensation + closure cache)
+//===----------------------------------------------------------------------===//
+
+const std::vector<SliceAlgorithm> &allAlgorithms() {
+  static const std::vector<SliceAlgorithm> All = {
+      SliceAlgorithm::Conventional, SliceAlgorithm::Agrawal,
+      SliceAlgorithm::AgrawalLst,   SliceAlgorithm::Structured,
+      SliceAlgorithm::Conservative, SliceAlgorithm::BallHorwitz,
+      SliceAlgorithm::Lyle,         SliceAlgorithm::Gallagher,
+      SliceAlgorithm::JiangZhouRobson, SliceAlgorithm::Weiser};
+  return All;
+}
+
+/// Full SliceResult equality, counters and traces included — "bit
+/// identical" in the acceptance-criteria sense.
+void expectSameResult(const SliceResult &Batch, const SliceResult &Single,
+                      const std::string &What) {
+  EXPECT_EQ(Batch.Nodes, Single.Nodes) << What;
+  EXPECT_EQ(Batch.ReassociatedLabels, Single.ReassociatedLabels) << What;
+  EXPECT_EQ(Batch.CriterionNode, Single.CriterionNode) << What;
+  EXPECT_EQ(Batch.Traversals, Single.Traversals) << What;
+  EXPECT_EQ(Batch.ProductiveTraversals, Single.ProductiveTraversals) << What;
+  EXPECT_EQ(Batch.TraversalAdditions, Single.TraversalAdditions) << What;
+}
+
+TEST(DependenceClosureTest, StraightLineClosureIsPrefixOfDeps) {
+  Analysis A = analyzeOk("x = 1;\ny = x;\nwrite(y);\n");
+  DependenceClosure Cache(A.pdg(), A.cfg().numNodes());
+  ASSERT_TRUE(Cache.valid());
+  // write(y) transitively depends on both assignments (and Entry).
+  unsigned WriteNode = A.cfg().nodesOnLine(3).front();
+  const BitVector &C = Cache.closureOf(WriteNode);
+  EXPECT_TRUE(C.test(WriteNode));
+  EXPECT_TRUE(C.test(A.cfg().nodesOnLine(1).front()));
+  EXPECT_TRUE(C.test(A.cfg().nodesOnLine(2).front()));
+  // x = 1 depends on nothing but Entry: its closure is smaller.
+  EXPECT_LT(Cache.closureOf(A.cfg().nodesOnLine(1).front()).count(),
+            C.count());
+}
+
+TEST(DependenceClosureTest, LoopCollapsesIntoOneScc) {
+  Analysis A = analyzeOk("i = 0;\nwhile (i < 3) {\ni = i + 1;\n}\nwrite(i);\n");
+  DependenceClosure Cache(A.pdg(), A.cfg().numNodes());
+  ASSERT_TRUE(Cache.valid());
+  // The loop predicate and the increment depend on each other (data
+  // dependence i -> i < 3 -> control -> i = i + 1 -> data -> i < 3):
+  // one strongly connected component, one shared closure.
+  unsigned Pred = A.cfg().nodesOnLine(2).front();
+  unsigned Incr = A.cfg().nodesOnLine(3).front();
+  EXPECT_EQ(Cache.sccOf(Pred), Cache.sccOf(Incr));
+  EXPECT_EQ(&Cache.closureOf(Pred), &Cache.closureOf(Incr));
+  EXPECT_LT(Cache.numSccs(), Cache.numNodes());
+}
+
+TEST(DependenceClosureTest, GuardExhaustionInvalidatesCache) {
+  ErrorOr<Analysis> A = Analysis::fromSource(
+      "i = 0;\nwhile (i < 3) {\ni = i + 1;\n}\nwrite(i);\n");
+  ASSERT_TRUE(A.hasValue());
+  ResourceGuard Tight((Budget{0, 0, /*MaxSteps=*/1, 0}));
+  Tight.checkpoint("test.burn"); // Next checkpoint trips.
+  DependenceClosure Cache(A->pdg(), A->cfg().numNodes(), &Tight);
+  EXPECT_FALSE(Cache.valid());
+  EXPECT_TRUE(Tight.exhausted());
+}
+
+TEST(BatchSlicerTest, MatchesSingleShotOnEveryPaperFigure) {
+  for (const PaperExample &Ex : paperExamples()) {
+    Analysis A = analyzeOk(Ex.Source);
+    BatchSlicer Batch(A);
+    ResolvedCriterion RC = *resolveCriterion(A, Ex.Crit);
+    for (SliceAlgorithm Algorithm : allAlgorithms())
+      expectSameResult(Batch.slice(RC, Algorithm),
+                       computeSlice(A, RC, Algorithm),
+                       Ex.Name + " / " + algorithmName(Algorithm));
+  }
+}
+
+TEST(BatchSlicerTest, RunAllCoversEveryLineAndMatchesSingleShot) {
+  const PaperExample &Ex = paperExample("fig3a");
+  Analysis A = analyzeOk(Ex.Source);
+  BatchSlicer Batch(A);
+  std::vector<Criterion> Crits = allLineCriteria(A);
+  ASSERT_FALSE(Crits.empty());
+
+  for (SliceAlgorithm Algorithm : allAlgorithms()) {
+    BatchOptions Opts;
+    Opts.Algorithm = Algorithm;
+    Opts.Threads = 1;
+    std::vector<BatchEntry> Entries = Batch.runAll(Crits, Opts);
+    ASSERT_EQ(Entries.size(), Crits.size());
+    for (size_t I = 0; I != Entries.size(); ++I) {
+      ErrorOr<SliceResult> Single = computeSlice(A, Crits[I], Algorithm);
+      ASSERT_EQ(Entries[I].Ok, Single.hasValue());
+      if (Entries[I].Ok)
+        expectSameResult(Entries[I].Result, *Single,
+                         std::string(algorithmName(Algorithm)) + " line " +
+                             std::to_string(Crits[I].Line));
+    }
+  }
+}
+
+TEST(BatchSlicerTest, ThreadedRunMatchesSerialRun) {
+  const PaperExample &Ex = paperExample("fig8a");
+  Analysis A = analyzeOk(Ex.Source);
+  BatchSlicer Batch(A);
+  std::vector<Criterion> Crits = allLineCriteria(A);
+
+  BatchOptions Serial;
+  Serial.Threads = 1;
+  BatchOptions Threaded;
+  Threaded.Threads = 4;
+  std::vector<BatchEntry> S = Batch.runAll(Crits, Serial);
+  std::vector<BatchEntry> T = Batch.runAll(Crits, Threaded);
+  ASSERT_EQ(S.size(), T.size());
+  for (size_t I = 0; I != S.size(); ++I) {
+    ASSERT_EQ(S[I].Ok, T[I].Ok);
+    if (S[I].Ok)
+      expectSameResult(T[I].Result, S[I].Result,
+                       "line " + std::to_string(Crits[I].Line));
+  }
+}
+
+TEST(BatchSlicerTest, ExhaustedBudgetDegradesEntriesNotCrashes) {
+  const PaperExample &Ex = paperExample("fig3a");
+  Budget B;
+  B.MaxSteps = 60; // Enough to build the Analysis, not to slice much.
+  ErrorOr<Analysis> A = Analysis::fromSource(Ex.Source, B);
+  if (!A.hasValue()) {
+    EXPECT_TRUE(A.diags().hasKind(DiagKind::ResourceExhausted));
+    return; // Budget tripped during analysis; nothing batchable.
+  }
+  BatchSlicer Batch(*A);
+  std::vector<BatchEntry> Entries = Batch.runAll(allLineCriteria(*A));
+  for (const BatchEntry &Entry : Entries)
+    if (!Entry.Ok)
+      EXPECT_TRUE(Entry.Diags.hasKind(DiagKind::ResourceExhausted))
+          << Entry.Diags.str();
+}
+
+TEST(BatchSlicerTest, AllLineCriteriaAscendingAndOnStatementLines) {
+  Analysis A = analyzeOk(paperExample("fig1a").Source);
+  std::vector<Criterion> Crits = allLineCriteria(A);
+  for (size_t I = 1; I < Crits.size(); ++I)
+    EXPECT_LT(Crits[I - 1].Line, Crits[I].Line);
+  for (const Criterion &Crit : Crits) {
+    EXPECT_TRUE(Crit.Vars.empty());
+    EXPECT_FALSE(A.cfg().nodesOnLine(Crit.Line).empty());
+  }
 }
 
 } // namespace

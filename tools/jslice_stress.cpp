@@ -12,9 +12,16 @@
 /// survivors, and triages every oracle mismatch with a greedy
 /// statement-deletion reducer that writes a minimized repro to disk.
 ///
+/// Every program additionally runs through the batch slicing engine
+/// (BatchSlicer): all line criteria, every cache-backed algorithm,
+/// cross-checked bit for bit against the single-shot slicers. A
+/// divergence is triaged exactly like an oracle mismatch — reduced and
+/// written out as a repro.
+///
 ///   jslice_stress [--seeds A..B] [--budget tight|default|unlimited]
 ///                 [--dialect structured|goto|both] [--stmts N]
 ///                 [--max-criteria N] [--trials N] [--fault-stride N]
+///                 [--no-batch-check]
 ///                 [--corpus DIR] [--out DIR] [--verbose]
 ///
 ///   --seeds A..B     generator seed range, inclusive (default 1..50;
@@ -30,6 +37,7 @@
 ///                    fault injected at every Nth checkpoint (default 0
 ///                    = off); every injected failure must surface as
 ///                    diagnostics and the disarmed re-run must succeed
+///   --no-batch-check skip the batch-vs-single-shot cross-check
 ///   --corpus DIR     also push every file under DIR through the
 ///                    pipeline (the checked-in fuzz seeds)
 ///   --out DIR        where minimized repros are written
@@ -74,6 +82,7 @@ struct StressOptions {
   unsigned MaxCriteria = 4;
   unsigned Trials = 3;
   uint64_t FaultStride = 0;
+  bool BatchCheck = true;
   std::string CorpusDir;
   std::string OutDir = "stress-repros";
   bool Verbose = false;
@@ -89,6 +98,18 @@ const SliceAlgorithm OracleAlgorithms[] = {
     SliceAlgorithm::Lyle,
 };
 
+/// Every algorithm the batch engine implements over the closure cache
+/// (Weiser dispatches to the single-shot slicer, so comparing it only
+/// tests the dispatcher). Soundness is irrelevant here — the check is
+/// batch == single-shot, not slice == behaviour.
+const SliceAlgorithm BatchAlgorithms[] = {
+    SliceAlgorithm::Conventional, SliceAlgorithm::Agrawal,
+    SliceAlgorithm::AgrawalLst,   SliceAlgorithm::Structured,
+    SliceAlgorithm::Conservative, SliceAlgorithm::BallHorwitz,
+    SliceAlgorithm::Lyle,         SliceAlgorithm::Gallagher,
+    SliceAlgorithm::JiangZhouRobson,
+};
+
 struct Tally {
   uint64_t Pipelines = 0;        ///< Generator programs + corpus files.
   uint64_t Analyzed = 0;         ///< Full analyses that succeeded.
@@ -97,6 +118,8 @@ struct Tally {
   uint64_t SlicesChecked = 0;    ///< (criterion, algorithm) slices run.
   uint64_t OracleRuns = 0;       ///< Interpreter comparisons executed.
   uint64_t Mismatches = 0;       ///< Oracle disagreements (repro written).
+  uint64_t BatchCompared = 0;    ///< Batch-vs-single-shot comparisons.
+  uint64_t BatchDivergences = 0; ///< Batch disagreements (repro written).
   uint64_t FaultRuns = 0;        ///< Fault-injected pipeline re-runs.
   uint64_t ContractViolations = 0; ///< Failure without diagnostics.
 };
@@ -109,7 +132,8 @@ int usage() {
       "                     [--dialect structured|goto|both] [--stmts N]\n"
       "                     [--max-criteria N] [--trials N] "
       "[--fault-stride N]\n"
-      "                     [--corpus DIR] [--out DIR] [--verbose]\n");
+      "                     [--no-batch-check] [--corpus DIR] [--out DIR] "
+      "[--verbose]\n");
   return 2;
 }
 
@@ -229,6 +253,71 @@ std::optional<Mismatch> checkOracle(const Analysis &A, uint64_t Seed,
   return std::nullopt;
 }
 
+/// One batch-vs-single-shot disagreement.
+struct BatchDivergence {
+  SliceAlgorithm Algorithm = SliceAlgorithm::Agrawal;
+  Criterion Crit;
+  std::set<unsigned> BatchLines;
+  std::set<unsigned> SingleLines;
+  bool OkMismatch = false; ///< One side degraded/failed, the other not.
+};
+
+/// Cross-checks the batch engine against the single-shot slicers on
+/// every line criterion of \p Source, every cache-backed algorithm.
+/// Each side runs on its own Analysis (own ResourceGuard) so a budget
+/// tripped by one cannot skew the other; a (criterion, algorithm) pair
+/// where either side degrades is skipped — the engines poll the guard
+/// at different sites by design, so exhaustion points differ.
+std::optional<BatchDivergence> checkBatchAgreement(const std::string &Source,
+                                                   const StressOptions &Opts,
+                                                   Tally *Counts) {
+  for (SliceAlgorithm Algorithm : BatchAlgorithms) {
+    ErrorOr<Analysis> BatchA = Analysis::fromSource(Source, Opts.B);
+    ErrorOr<Analysis> SingleA = Analysis::fromSource(Source, Opts.B);
+    if (!BatchA || !SingleA)
+      return std::nullopt; // Analysis degradation is the pipeline's story.
+
+    BatchSlicer Batch(*BatchA);
+    std::vector<Criterion> Crits = allLineCriteria(*BatchA);
+    BatchOptions BatchOpts;
+    BatchOpts.Algorithm = Algorithm;
+    BatchOpts.Threads = 1; // Deterministic budget trip points.
+    std::vector<BatchEntry> Entries = Batch.runAll(Crits, BatchOpts);
+
+    for (size_t I = 0; I != Entries.size(); ++I) {
+      ErrorOr<SliceResult> Single = computeSlice(*SingleA, Crits[I], Algorithm);
+      bool SingleDegraded =
+          !Single && Single.diags().hasKind(DiagKind::ResourceExhausted);
+      bool BatchDegraded =
+          !Entries[I].Ok &&
+          Entries[I].Diags.hasKind(DiagKind::ResourceExhausted);
+      if (SingleDegraded || BatchDegraded)
+        continue; // Budgets trip at different sites; not comparable.
+
+      BatchDivergence D;
+      D.Algorithm = Algorithm;
+      D.Crit = Crits[I];
+      if (Entries[I].Ok != Single.hasValue()) {
+        D.OkMismatch = true;
+        return D;
+      }
+      if (!Entries[I].Ok)
+        continue; // Both failed to resolve — agreed.
+      if (Counts)
+        ++Counts->BatchCompared;
+      const SliceResult &B = Entries[I].Result;
+      const SliceResult &S = *Single;
+      if (B.Nodes != S.Nodes || B.ReassociatedLabels != S.ReassociatedLabels ||
+          B.TraversalAdditions != S.TraversalAdditions) {
+        D.BatchLines = B.lineSet(BatchA->cfg());
+        D.SingleLines = S.lineSet(SingleA->cfg());
+        return D;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 /// Whether \p Source still exhibits *some* oracle failure (any sound
 /// algorithm, any criterion). This is the reducer's interestingness
 /// test: statement deletion moves line numbers, so the criterion is
@@ -242,10 +331,10 @@ bool exhibitsFailure(const std::string &Source, const StressOptions &Opts) {
 
 /// Greedy ddmin-style line deletion: try dropping chunks of lines,
 /// halving the chunk size down to single lines, keeping any deletion
-/// that preserves a failure. Candidates that no longer parse or
+/// that preserves \p Interesting. Candidates that no longer parse or
 /// analyze simply fail the interestingness test and are skipped.
-std::string reduceFailure(const std::string &Source,
-                          const StressOptions &Opts) {
+template <typename Predicate>
+std::string reduceWhile(const std::string &Source, Predicate Interesting) {
   std::vector<std::string> Lines = splitLines(Source);
   auto Render = [](const std::vector<std::string> &Ls) {
     std::string Out;
@@ -269,7 +358,7 @@ std::string reduceFailure(const std::string &Source,
         Candidate.insert(Candidate.end(),
                          Lines.begin() + static_cast<long>(End),
                          Lines.end());
-        if (!Candidate.empty() && exhibitsFailure(Render(Candidate), Opts)) {
+        if (!Candidate.empty() && Interesting(Render(Candidate))) {
           Lines = std::move(Candidate);
           Shrunk = true;
           // Stay at the same Start: the next chunk slid into place.
@@ -282,6 +371,20 @@ std::string reduceFailure(const std::string &Source,
       break;
   }
   return Render(Lines);
+}
+
+std::string reduceFailure(const std::string &Source,
+                          const StressOptions &Opts) {
+  return reduceWhile(Source, [&](const std::string &Candidate) {
+    return exhibitsFailure(Candidate, Opts);
+  });
+}
+
+std::string reduceBatchDivergence(const std::string &Source,
+                                  const StressOptions &Opts) {
+  return reduceWhile(Source, [&](const std::string &Candidate) {
+    return checkBatchAgreement(Candidate, Opts, nullptr).has_value();
+  });
 }
 
 std::string describeInput(const std::vector<int64_t> &Values) {
@@ -312,6 +415,38 @@ std::string writeRepro(const std::string &Tag, const std::string &Original,
         << "expected criterion values: " << describeInput(M.Expected) << "\n"
         << "actual criterion values:   " << describeInput(M.Actual) << "\n"
         << "reduced from " << splitLines(Original).size() << " to "
+        << splitLines(Reduced).size() << " lines\n";
+  }
+  return Base + ".mc";
+}
+
+/// Writes a minimized batch-divergence repro plus metadata; returns the
+/// path.
+std::string writeBatchRepro(const std::string &Tag,
+                            const std::string &Original,
+                            const std::string &Reduced,
+                            const BatchDivergence &D,
+                            const StressOptions &Opts) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Opts.OutDir, Ec);
+  std::string Base = Opts.OutDir + "/batch_" + Tag;
+  {
+    std::ofstream Out(Base + ".mc");
+    Out << Reduced;
+  }
+  {
+    std::ofstream Out(Base + ".txt");
+    Out << "batch-vs-single-shot divergence\n"
+        << "algorithm: " << algorithmName(D.Algorithm) << "\n"
+        << "criterion: line " << D.Crit.Line << " (line number refers to "
+        << "the\n  original program; re-derive criteria on the reduced "
+        << "one)\n";
+    if (D.OkMismatch)
+      Out << "one engine produced a slice, the other a diagnostic\n";
+    else
+      Out << "batch lines:       " << formatLineSet(D.BatchLines) << "\n"
+          << "single-shot lines: " << formatLineSet(D.SingleLines) << "\n";
+    Out << "reduced from " << splitLines(Original).size() << " to "
         << splitLines(Reduced).size() << " lines\n";
   }
   return Base + ".mc";
@@ -397,6 +532,21 @@ void runPipeline(const std::string &Source, const std::string &Tag,
                  Path.c_str());
   }
 
+  if (Opts.BatchCheck) {
+    std::optional<BatchDivergence> D =
+        checkBatchAgreement(Source, Opts, &Counts);
+    if (D) {
+      ++Counts.BatchDivergences;
+      std::string Reduced = reduceBatchDivergence(Source, Opts);
+      std::string Path = writeBatchRepro(Tag, Source, Reduced, *D, Opts);
+      std::fprintf(stderr,
+                   "BATCH DIVERGENCE %s: %s batch slice differs from "
+                   "single-shot on criterion line %u; minimized repro: %s\n",
+                   Tag.c_str(), algorithmName(D->Algorithm), D->Crit.Line,
+                   Path.c_str());
+    }
+  }
+
   if (Opts.FaultStride)
     runFaultSweep(Source, Tag, Opts, Counts);
 }
@@ -480,6 +630,8 @@ int main(int argc, char **argv) {
         return usage();
       }
       Opts.OutDir = *Value;
+    } else if (Arg == "--no-batch-check") {
+      Opts.BatchCheck = false;
     } else if (Arg == "--verbose") {
       Opts.Verbose = true;
     } else {
@@ -543,6 +695,13 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Counts.Mismatches),
               static_cast<unsigned long long>(Counts.FaultRuns),
               static_cast<unsigned long long>(Counts.ContractViolations));
+  std::printf("               %llu batch comparisons, %llu batch "
+              "divergences\n",
+              static_cast<unsigned long long>(Counts.BatchCompared),
+              static_cast<unsigned long long>(Counts.BatchDivergences));
 
-  return Counts.Mismatches || Counts.ContractViolations ? 1 : 0;
+  return Counts.Mismatches || Counts.ContractViolations ||
+                 Counts.BatchDivergences
+             ? 1
+             : 0;
 }
