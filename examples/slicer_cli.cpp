@@ -8,7 +8,7 @@
 /// A small command-line front end:
 ///
 ///   slicer_cli FILE --line N [--vars a,b] [--algo NAME] [--all]
-///              [--all-criteria] [--threads N]
+///              [--all-criteria] [--threads N] [--fallback]
 ///              [--max-steps N] [--deadline-ms N]
 ///
 ///   --line N         criterion line (required unless --all-criteria)
@@ -22,6 +22,11 @@
 ///                    (shared closure cache); prints one summary per line
 ///   --threads N      worker threads for --all-criteria (default: the
 ///                    JSLICE_THREADS env var, else hardware concurrency)
+///   --fallback       on budget exhaustion, walk the service's
+///                    precision-degradation ladder (requested algorithm,
+///                    then conservative-fig13 where sound, then lyle)
+///                    under progressively smaller budgets; the tier that
+///                    served is reported on stderr
 ///   --max-steps N    resource budget: analysis/slicing checkpoint limit
 ///   --deadline-ms N  resource budget: soft wall-clock deadline
 ///
@@ -32,10 +37,13 @@
 ///      a diagnostic is printed to stderr
 ///   2  usage error: unknown flag, missing/malformed flag argument,
 ///      missing FILE or --line, empty --vars list
+///   3  served degraded: --fallback produced a sound slice, but from a
+///      cheaper (more conservative) tier than the one requested
 ///
 //===----------------------------------------------------------------------===//
 
 #include "jslice/jslice.h"
+#include "service/Ladder.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
@@ -48,7 +56,12 @@ using namespace jslice;
 
 namespace {
 
-enum ExitCode { ExitOk = 0, ExitAnalysisError = 1, ExitUsage = 2 };
+enum ExitCode {
+  ExitOk = 0,
+  ExitAnalysisError = 1,
+  ExitUsage = 2,
+  ExitDegraded = 3,
+};
 
 const SliceAlgorithm AllAlgorithms[] = {
     SliceAlgorithm::Conventional,   SliceAlgorithm::Agrawal,
@@ -68,9 +81,10 @@ std::optional<SliceAlgorithm> parseAlgorithm(const std::string &Name) {
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s FILE --line N [--vars a,b] [--algo NAME] [--all]\n"
-               "       [--all-criteria] [--threads N]\n"
+               "       [--all-criteria] [--threads N] [--fallback]\n"
                "       [--max-steps N] [--deadline-ms N]\n"
-               "exit codes: 0 ok, 1 analysis error, 2 usage error\n",
+               "exit codes: 0 ok, 1 analysis error, 2 usage error, "
+               "3 served degraded\n",
                Prog);
   return ExitUsage;
 }
@@ -99,6 +113,7 @@ int main(int argc, char **argv) {
   SliceAlgorithm Algorithm = SliceAlgorithm::Agrawal;
   bool All = false;
   bool AllCriteria = false;
+  bool Fallback = false;
   unsigned Threads = 0; // 0 = BatchSlicer::defaultThreads().
   Budget B;
 
@@ -175,6 +190,8 @@ int main(int argc, char **argv) {
       B.DeadlineMs = *Parsed;
     } else if (Arg == "--all") {
       All = true;
+    } else if (Arg == "--fallback") {
+      Fallback = true;
     } else if (Arg == "--all-criteria") {
       AllCriteria = true;
     } else if (Arg == "--threads") {
@@ -213,6 +230,11 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: --all-criteria replaces --line/--all\n");
     return usage(argv[0]);
   }
+  if (Fallback && (All || AllCriteria)) {
+    std::fprintf(stderr,
+                 "error: --fallback applies to a single slice only\n");
+    return usage(argv[0]);
+  }
 
   std::ifstream In(File);
   if (!In) {
@@ -221,6 +243,27 @@ int main(int argc, char **argv) {
   }
   std::stringstream Buffer;
   Buffer << In.rdbuf();
+
+  if (Fallback) {
+    // The ladder runs the whole pipeline per rung itself.
+    LadderOptions Opts;
+    Opts.B = B;
+    LadderResult Res =
+        runLadder(Buffer.str(), Criterion(Line, Vars), Algorithm, Opts);
+    for (const LadderAttempt &At : Res.Attempts)
+      if (!At.Served)
+        std::fprintf(stderr, "# %s: %s\n", algorithmName(At.Tier),
+                     At.Skipped ? At.SkipReason.c_str() : At.Trip.c_str());
+    if (!Res.Ok) {
+      std::fprintf(stderr, "%s\n", Res.Diags.str().c_str());
+      return ExitAnalysisError;
+    }
+    std::printf("%s", printSlice(*Res.A, Res.Result).c_str());
+    std::fprintf(stderr, "# served by %s%s: %s\n", algorithmName(Res.Served),
+                 Res.Degraded ? " (degraded)" : "",
+                 summarizeSlice(*Res.A, Res.Result).c_str());
+    return Res.Degraded ? ExitDegraded : ExitOk;
+  }
 
   ErrorOr<Analysis> A = Analysis::fromSource(Buffer.str(), B);
   if (!A) {

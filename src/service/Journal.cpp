@@ -1,0 +1,130 @@
+//===- service/Journal.cpp - Write-ahead request journal -------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Journal.h"
+
+#include "support/StringUtils.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define JSLICE_HAVE_FSYNC 1
+#endif
+
+using namespace jslice;
+
+Journal::~Journal() {
+  if (File)
+    std::fclose(File);
+}
+
+bool Journal::open(const std::string &P) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+  File = std::fopen(P.c_str(), "ab");
+  if (!File)
+    return false;
+  Path = P;
+  return true;
+}
+
+void Journal::append(const std::string &Line) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (!File)
+    return;
+  std::fwrite(Line.data(), 1, Line.size(), File);
+  std::fputc('\n', File);
+  std::fflush(File);
+#ifdef JSLICE_HAVE_FSYNC
+  // fflush reaches the OS; fsync reaches the disk. A kill -9 only
+  // needs the former, a power cut the latter — take both, the journal
+  // is not on any hot path.
+  fsync(fileno(File));
+#endif
+}
+
+void Journal::begin(const ServiceRequest &R) {
+  JsonValue Rec = JsonValue::object();
+  Rec.set("event", "begin");
+  Rec.set("id", R.Id);
+  Rec.set("request", R.toJson());
+  append(Rec.str());
+}
+
+void Journal::end(const std::string &Id, const std::string &Status) {
+  JsonValue Rec = JsonValue::object();
+  Rec.set("event", "end");
+  Rec.set("id", Id);
+  Rec.set("status", Status);
+  append(Rec.str());
+}
+
+std::vector<PoisonedRequest> jslice::scanJournal(const std::string &Path) {
+  std::vector<PoisonedRequest> Out;
+  std::ifstream In(Path);
+  if (!In)
+    return Out;
+
+  // Id -> last unmatched begin. Ids may legitimately recur across
+  // completed begin/end pairs; only a begin still open at EOF counts.
+  std::map<std::string, ServiceRequest> Open;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::optional<JsonValue> V = JsonValue::parse(Line);
+    if (!V || !V->isObject())
+      continue; // Torn tail record; skip.
+    const JsonValue *Event = V->find("event");
+    const JsonValue *Id = V->find("id");
+    if (!Event || !Event->isString() || !Id || !Id->isString())
+      continue;
+    if (Event->asString() == "begin") {
+      const JsonValue *Req = V->find("request");
+      ServiceRequest R;
+      if (Req && requestFromJson(*Req, R))
+        Open[Id->asString()] = std::move(R);
+    } else if (Event->asString() == "end") {
+      Open.erase(Id->asString());
+    }
+  }
+
+  for (auto &[Id, R] : Open)
+    Out.push_back(PoisonedRequest{Id, std::move(R)});
+  return Out;
+}
+
+std::string jslice::quarantinePoisoned(const std::string &Dir,
+                                       const PoisonedRequest &P) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  std::string Base = Dir + "/poison_" + P.Id;
+  {
+    std::ofstream Out(Base + ".mc");
+    if (!Out)
+      return "";
+    Out << P.Request.Program;
+  }
+  {
+    std::ofstream Out(Base + ".txt");
+    Out << "poisoned request (in flight when a previous server died)\n"
+        << "id: " << P.Id << "\n"
+        << "algorithm: " << algorithmName(P.Request.Algorithm) << "\n"
+        << "criterion: line " << P.Request.Line << " vars "
+        << join(P.Request.Vars, ",") << "\n"
+        << "replay: jslice_stress --replay-journal <journal>, or slice "
+        << "the .mc directly\n";
+  }
+  return Base + ".mc";
+}

@@ -1,0 +1,93 @@
+//===- service/Journal.h - Write-ahead request journal ---------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash forensics for the slicing server. Before a request is handed
+/// to a worker the server appends a `begin` record (carrying the whole
+/// request) and flushes; when its response is written, an `end` record
+/// follows. A process that dies mid-request — OOM-killed, kill -9, a
+/// bug the in-process guards cannot catch — leaves an unmatched
+/// `begin`, and the next startup scans for exactly those: each is
+/// *poisoned* (it crashed a server once; re-running it blind invites a
+/// crash loop), quarantined as a jslice_stress-compatible reproducer
+/// (`poison_<id>.mc` + metadata sidecar), and refused on resubmission
+/// by content key until the quarantine is cleared. `jslice_stress
+/// --replay-journal` feeds the same records straight into the
+/// differential triage + ddmin reducer.
+///
+/// Records are JSON-Lines, one per event:
+///
+///   {"event":"begin","id":"r1","request":{...full request...}}
+///   {"event":"end","id":"r1","status":"ok"}
+///
+/// Unparseable journal lines (a crash can truncate the final record)
+/// are skipped; recovery is best-effort by design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SERVICE_JOURNAL_H
+#define JSLICE_SERVICE_JOURNAL_H
+
+#include "service/Request.h"
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jslice {
+
+/// Append side. Thread-safe; every append is flushed to the OS before
+/// returning (the journal's whole point is surviving the process).
+class Journal {
+public:
+  Journal() = default;
+  ~Journal();
+
+  Journal(const Journal &) = delete;
+  Journal &operator=(const Journal &) = delete;
+
+  /// Opens \p Path for appending. Returns false (and stays disabled)
+  /// when the file cannot be opened.
+  bool open(const std::string &Path);
+
+  bool enabled() const { return File != nullptr; }
+  const std::string &path() const { return Path; }
+
+  /// Appends the write-ahead record for \p R.
+  void begin(const ServiceRequest &R);
+
+  /// Appends the completion record for \p Id.
+  void end(const std::string &Id, const std::string &Status);
+
+private:
+  void append(const std::string &Line);
+
+  std::mutex M;
+  std::FILE *File = nullptr;
+  std::string Path;
+};
+
+/// One in-flight-at-crash request recovered from a journal.
+struct PoisonedRequest {
+  std::string Id;
+  ServiceRequest Request;
+};
+
+/// Scans \p Path for begin records with no matching end. Missing or
+/// empty files yield an empty list (first boot is not an error).
+std::vector<PoisonedRequest> scanJournal(const std::string &Path);
+
+/// Writes \p P's program to \p Dir/poison_<id>.mc with a metadata
+/// sidecar (same shape as the stress harness's repros). Returns the
+/// .mc path, or "" on I/O failure.
+std::string quarantinePoisoned(const std::string &Dir,
+                               const PoisonedRequest &P);
+
+} // namespace jslice
+
+#endif // JSLICE_SERVICE_JOURNAL_H

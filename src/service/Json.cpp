@@ -1,0 +1,363 @@
+//===- service/Json.cpp - Minimal JSON values -------------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace jslice;
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+std::string jslice::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string JsonValue::str() const {
+  switch (K) {
+  case Kind::Null:
+    return "null";
+  case Kind::Bool:
+    return BoolV ? "true" : "false";
+  case Kind::Number: {
+    if (!IsDouble)
+      return std::to_string(NumV);
+    if (std::isfinite(DblV)) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.3f", DblV);
+      return Buf;
+    }
+    return "null"; // JSON has no NaN/Inf.
+  }
+  case Kind::String:
+    return "\"" + jsonEscape(StrV) + "\"";
+  case Kind::Array: {
+    std::string Out = "[";
+    for (const JsonValue &V : Arr) {
+      if (Out.size() > 1)
+        Out += ",";
+      Out += V.str();
+    }
+    return Out + "]";
+  }
+  case Kind::Object: {
+    std::string Out = "{";
+    for (const auto &[Key, V] : Obj) {
+      if (Out.size() > 1)
+        Out += ",";
+      Out += "\"" + jsonEscape(Key) + "\":" + V.str();
+    }
+    return Out + "}";
+  }
+  }
+  return "null";
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Hand-rolled recursive-descent parser with an explicit depth cap (the
+/// service reads untrusted request lines; a deep [[[[... must degrade,
+/// not overflow the stack — the same discipline as the Mini-C parser).
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<JsonValue> run() {
+    std::optional<JsonValue> V = value(0);
+    if (!V)
+      return std::nullopt;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after value");
+    return V;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 64;
+
+  std::optional<JsonValue> fail(const std::string &What) {
+    if (Error && Error->empty())
+      *Error = "byte " + std::to_string(Pos) + ": " + What;
+    return std::nullopt;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::char_traits<char>::length(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  std::optional<JsonValue> value(unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return object(Depth);
+    if (C == '[')
+      return array(Depth);
+    if (C == '"')
+      return string();
+    if (C == 't') {
+      if (literal("true"))
+        return JsonValue(true);
+      return fail("bad literal");
+    }
+    if (C == 'f') {
+      if (literal("false"))
+        return JsonValue(false);
+      return fail("bad literal");
+    }
+    if (C == 'n') {
+      if (literal("null"))
+        return JsonValue();
+      return fail("bad literal");
+    }
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return number();
+    return fail("unexpected character");
+  }
+
+  std::optional<JsonValue> object(unsigned Depth) {
+    consume('{');
+    JsonValue Out = JsonValue::object();
+    skipWs();
+    if (consume('}'))
+      return Out;
+    for (;;) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      std::optional<JsonValue> Key = string();
+      if (!Key)
+        return std::nullopt;
+      skipWs();
+      if (!consume(':'))
+        return fail("expected ':'");
+      std::optional<JsonValue> V = value(Depth + 1);
+      if (!V)
+        return std::nullopt;
+      Out.set(Key->asString(), std::move(*V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return Out;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::optional<JsonValue> array(unsigned Depth) {
+    consume('[');
+    JsonValue Out = JsonValue::array();
+    skipWs();
+    if (consume(']'))
+      return Out;
+    for (;;) {
+      std::optional<JsonValue> V = value(Depth + 1);
+      if (!V)
+        return std::nullopt;
+      Out.push(std::move(*V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return Out;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::optional<JsonValue> string() {
+    consume('"');
+    std::string Out;
+    for (;;) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return JsonValue(std::move(Out));
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad \\u escape");
+        }
+        // BMP only; surrogate pairs render as two replacement-free
+        // 3-byte sequences, which round-trips our own output (the
+        // service never emits surrogates).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+  }
+
+  std::optional<JsonValue> number() {
+    size_t Start = Pos;
+    if (consume('-')) {
+    }
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      ++Pos;
+    bool Fractional = false;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      Fractional = true;
+      ++Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      Fractional = true;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    std::string Tok = Text.substr(Start, Pos - Start);
+    if (Tok.empty() || Tok == "-")
+      return fail("bad number");
+    if (Fractional) {
+      double D = 0;
+      if (std::sscanf(Tok.c_str(), "%lf", &D) != 1)
+        return fail("bad number");
+      return JsonValue(D);
+    }
+    errno = 0;
+    long long N = std::strtoll(Tok.c_str(), nullptr, 10);
+    if (errno != 0)
+      return fail("number out of range");
+    return JsonValue(static_cast<int64_t>(N));
+  }
+
+  const std::string &Text;
+  std::string *Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> JsonValue::parse(const std::string &Text,
+                                          std::string *Error) {
+  if (Error)
+    Error->clear();
+  return Parser(Text, Error).run();
+}

@@ -1,0 +1,118 @@
+//===- service/Json.h - Minimal JSON values ---------------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small JSON subset the slicing service speaks: null, booleans,
+/// integer numbers (the protocol has no fractions; fractional input is
+/// parsed but truncates through asUInt), strings with the standard
+/// escapes (\uXXXX covers the BMP, encoded as UTF-8), arrays, and
+/// objects. No external dependency — the container bakes in nothing —
+/// and no exceptions: parse() returns nullopt with a position-carrying
+/// message, matching the library's ErrorOr discipline one level down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SERVICE_JSON_H
+#define JSLICE_SERVICE_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace jslice {
+
+/// One JSON value. A plain tagged struct, copyable; object member
+/// order is normalized (std::map) so serialization is deterministic.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  /*implicit*/ JsonValue(bool B) : K(Kind::Bool), BoolV(B) {}
+  /*implicit*/ JsonValue(int64_t N) : K(Kind::Number), NumV(N) {}
+  /*implicit*/ JsonValue(uint64_t N)
+      : K(Kind::Number), NumV(static_cast<int64_t>(N)) {}
+  /*implicit*/ JsonValue(int N) : K(Kind::Number), NumV(N) {}
+  /*implicit*/ JsonValue(double N) : K(Kind::Number), NumV(0), DblV(N) {
+    NumV = static_cast<int64_t>(N);
+    IsDouble = true;
+  }
+  /*implicit*/ JsonValue(std::string S) : K(Kind::String), StrV(std::move(S)) {}
+  /*implicit*/ JsonValue(const char *S) : K(Kind::String), StrV(S) {}
+
+  static JsonValue array() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static JsonValue object() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return BoolV; }
+  int64_t asInt() const { return NumV; }
+  double asDouble() const { return IsDouble ? DblV : double(NumV); }
+  const std::string &asString() const { return StrV; }
+  const std::vector<JsonValue> &elements() const { return Arr; }
+  const std::map<std::string, JsonValue> &members() const { return Obj; }
+
+  /// Array append / object insert (no-ops unless this is that kind).
+  void push(JsonValue V) {
+    if (K == Kind::Array)
+      Arr.push_back(std::move(V));
+  }
+  void set(const std::string &Key, JsonValue V) {
+    if (K == Kind::Object)
+      Obj[Key] = std::move(V);
+  }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue *find(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    auto It = Obj.find(Key);
+    return It == Obj.end() ? nullptr : &It->second;
+  }
+
+  /// Compact single-line serialization (keys sorted, no whitespace).
+  std::string str() const;
+
+  /// Parses exactly one JSON value spanning all of \p Text (trailing
+  /// whitespace allowed). On failure returns nullopt and, when \p Error
+  /// is given, a "byte N: what" message.
+  static std::optional<JsonValue> parse(const std::string &Text,
+                                        std::string *Error = nullptr);
+
+private:
+  Kind K;
+  bool BoolV = false;
+  int64_t NumV = 0;
+  double DblV = 0;
+  bool IsDouble = false;
+  std::string StrV;
+  std::vector<JsonValue> Arr;
+  std::map<std::string, JsonValue> Obj;
+};
+
+/// Escapes \p S for embedding in a JSON string literal (no quotes).
+std::string jsonEscape(const std::string &S);
+
+} // namespace jslice
+
+#endif // JSLICE_SERVICE_JSON_H

@@ -1,0 +1,238 @@
+//===- service/Request.cpp - Slicing-service wire protocol -----------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Request.h"
+
+#include <cstdio>
+#include <functional>
+#include <optional>
+
+using namespace jslice;
+
+namespace {
+
+std::optional<SliceAlgorithm> algorithmByName(const std::string &Name) {
+  static const SliceAlgorithm All[] = {
+      SliceAlgorithm::Conventional,    SliceAlgorithm::Agrawal,
+      SliceAlgorithm::AgrawalLst,      SliceAlgorithm::Structured,
+      SliceAlgorithm::Conservative,    SliceAlgorithm::BallHorwitz,
+      SliceAlgorithm::Lyle,            SliceAlgorithm::Gallagher,
+      SliceAlgorithm::JiangZhouRobson, SliceAlgorithm::Weiser,
+  };
+  for (SliceAlgorithm A : All)
+    if (Name == algorithmName(A))
+      return A;
+  return std::nullopt;
+}
+
+/// Positive integer field; false on wrong type or negative value.
+bool readCount(const JsonValue &V, uint64_t &Out) {
+  if (!V.isNumber() || V.asInt() < 0)
+    return false;
+  Out = static_cast<uint64_t>(V.asInt());
+  return true;
+}
+
+} // namespace
+
+std::string ServiceRequest::contentKey() const {
+  std::string Material = Program;
+  Material += '\x1f';
+  Material += std::to_string(Line);
+  for (const std::string &V : Vars) {
+    Material += '\x1f';
+    Material += V;
+  }
+  Material += '\x1f';
+  Material += algorithmName(Algorithm);
+  size_t H = std::hash<std::string>{}(Material);
+  char Buf[2 * sizeof(size_t) + 1];
+  std::snprintf(Buf, sizeof(Buf), "%zx", H);
+  return Buf;
+}
+
+JsonValue ServiceRequest::toJson() const {
+  JsonValue Out = JsonValue::object();
+  switch (Kind) {
+  case RequestKind::Slice: {
+    Out.set("id", Id);
+    Out.set("program", Program);
+    Out.set("line", static_cast<int64_t>(Line));
+    if (!Vars.empty()) {
+      JsonValue Vs = JsonValue::array();
+      for (const std::string &V : Vars)
+        Vs.push(V);
+      Out.set("vars", std::move(Vs));
+    }
+    Out.set("algorithm", algorithmName(Algorithm));
+    if (BudgetMs)
+      Out.set("budget_ms", BudgetMs);
+    if (MaxSteps)
+      Out.set("max_steps", MaxSteps);
+    break;
+  }
+  case RequestKind::Cancel:
+    Out.set("cancel", CancelTarget);
+    break;
+  case RequestKind::Stats:
+    Out.set("stats", true);
+    break;
+  }
+  return Out;
+}
+
+bool jslice::requestFromJson(const JsonValue &V, ServiceRequest &Out) {
+  if (!V.isObject())
+    return false;
+  const JsonValue *Id = V.find("id");
+  const JsonValue *Program = V.find("program");
+  const JsonValue *Line = V.find("line");
+  if (!Id || !Id->isString() || !Program || !Program->isString() || !Line ||
+      !Line->isNumber() || Line->asInt() <= 0)
+    return false;
+  Out.Kind = RequestKind::Slice;
+  Out.Id = Id->asString();
+  Out.Program = Program->asString();
+  Out.Line = static_cast<unsigned>(Line->asInt());
+  Out.Vars.clear();
+  if (const JsonValue *Vars = V.find("vars")) {
+    if (!Vars->isArray())
+      return false;
+    for (const JsonValue &Var : Vars->elements()) {
+      if (!Var.isString() || Var.asString().empty())
+        return false;
+      Out.Vars.push_back(Var.asString());
+    }
+  }
+  Out.Algorithm = SliceAlgorithm::Agrawal;
+  if (const JsonValue *Algo = V.find("algorithm")) {
+    if (!Algo->isString())
+      return false;
+    std::optional<SliceAlgorithm> Parsed = algorithmByName(Algo->asString());
+    if (!Parsed)
+      return false;
+    Out.Algorithm = *Parsed;
+  }
+  Out.BudgetMs = 0;
+  Out.MaxSteps = 0;
+  if (const JsonValue *B = V.find("budget_ms"))
+    if (!readCount(*B, Out.BudgetMs))
+      return false;
+  if (const JsonValue *S = V.find("max_steps"))
+    if (!readCount(*S, Out.MaxSteps))
+      return false;
+  return true;
+}
+
+ParsedRequest jslice::parseRequestLine(const std::string &Line) {
+  ParsedRequest Out;
+  std::string JsonError;
+  std::optional<JsonValue> V = JsonValue::parse(Line, &JsonError);
+  if (!V) {
+    Out.Error = "invalid JSON: " + JsonError;
+    return Out;
+  }
+  if (!V->isObject()) {
+    Out.Error = "request must be a JSON object";
+    return Out;
+  }
+  if (const JsonValue *Id = V->find("id"))
+    if (Id->isString())
+      Out.Id = Id->asString();
+
+  if (const JsonValue *Cancel = V->find("cancel")) {
+    if (!Cancel->isString() || Cancel->asString().empty()) {
+      Out.Error = "\"cancel\" must name a request id";
+      return Out;
+    }
+    Out.Ok = true;
+    Out.Request.Kind = RequestKind::Cancel;
+    Out.Request.CancelTarget = Cancel->asString();
+    return Out;
+  }
+  if (V->find("stats")) {
+    Out.Ok = true;
+    Out.Request.Kind = RequestKind::Stats;
+    return Out;
+  }
+
+  if (!V->find("id") || !V->find("id")->isString() ||
+      V->find("id")->asString().empty()) {
+    Out.Error = "slice request requires a string \"id\"";
+    return Out;
+  }
+  if (!V->find("program") || !V->find("program")->isString()) {
+    Out.Error = "slice request requires a string \"program\"";
+    return Out;
+  }
+  if (!V->find("line") || !V->find("line")->isNumber() ||
+      V->find("line")->asInt() <= 0) {
+    Out.Error = "slice request requires a positive \"line\"";
+    return Out;
+  }
+  if (!requestFromJson(*V, Out.Request)) {
+    Out.Error = "malformed field (vars must be non-empty strings, "
+                "algorithm a known name, budgets non-negative numbers)";
+    return Out;
+  }
+  Out.Ok = true;
+  return Out;
+}
+
+const char *jslice::responseStatusName(ResponseStatus S) {
+  switch (S) {
+  case ResponseStatus::Ok:
+    return "ok";
+  case ResponseStatus::ResourceExhausted:
+    return "resource-exhausted";
+  case ResponseStatus::Error:
+    return "error";
+  case ResponseStatus::BadRequest:
+    return "bad-request";
+  case ResponseStatus::Cancelled:
+    return "cancelled";
+  case ResponseStatus::Poisoned:
+    return "poisoned";
+  }
+  return "error";
+}
+
+std::string ServiceResponse::str() const {
+  JsonValue Out = JsonValue::object();
+  if (!Id.empty())
+    Out.set("id", Id);
+  Out.set("status", responseStatusName(Status));
+  if (!Requested.empty())
+    Out.set("requested", Requested);
+  if (Status == ResponseStatus::Ok) {
+    Out.set("served_tier", ServedTier);
+    Out.set("degraded", Degraded);
+    JsonValue Ls = JsonValue::array();
+    for (unsigned L : Lines)
+      Ls.push(static_cast<int64_t>(L));
+    Out.set("lines", std::move(Ls));
+  }
+  if (!Attempts.empty()) {
+    JsonValue As = JsonValue::array();
+    for (const TierReport &A : Attempts) {
+      JsonValue V = JsonValue::object();
+      V.set("tier", A.Tier);
+      V.set("outcome", A.Outcome);
+      if (!A.Detail.empty())
+        V.set("detail", A.Detail);
+      As.push(std::move(V));
+    }
+    Out.set("attempts", std::move(As));
+  }
+  if (!Error.empty())
+    Out.set("error", Error);
+  if (!ReproPath.empty())
+    Out.set("repro", ReproPath);
+  if (LatencyMs >= 0)
+    Out.set("latency_ms", LatencyMs);
+  return Out.str();
+}

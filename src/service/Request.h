@@ -1,0 +1,131 @@
+//===- service/Request.h - Slicing-service wire protocol -------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JSON-Lines protocol jslice_serve speaks (DESIGN.md, "Serving
+/// slices"). One request per line:
+///
+///   {"id": "r1", "program": "read(c);\nwrite(c);\n", "line": 2,
+///    "vars": ["c"], "algorithm": "agrawal-fig7",
+///    "budget_ms": 200, "max_steps": 500000}
+///   {"cancel": "r1"}
+///   {"stats": true}
+///
+/// and one JSON response line per request. Response `status` mirrors
+/// the library's DiagKind taxonomy plus the service-level outcomes:
+///
+///   ok                 served (served_tier == requested, or a degraded
+///                      tier — `degraded` and `attempts` tell which)
+///   resource-exhausted DiagKind::ResourceExhausted on every rung of
+///                      the degradation ladder — a deterministic
+///                      refusal, with each rung's trip site recorded
+///   error              DiagKind::Error — malformed program or a
+///                      criterion that resolves to nothing; retrying is
+///                      pointless
+///   bad-request        the request line itself is not valid protocol
+///   cancelled          a {"cancel": id} stopped it (queued or mid-run)
+///   poisoned           matched a quarantined request from a previous
+///                      crashed run (see Journal.h); `repro` names the
+///                      dumped reproducer
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SERVICE_REQUEST_H
+#define JSLICE_SERVICE_REQUEST_H
+
+#include "service/Json.h"
+#include "slicer/Slicers.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace jslice {
+
+/// What one parsed request line asks for.
+enum class RequestKind {
+  Slice,  ///< Analyze + slice one (program, criterion).
+  Cancel, ///< Cancel an earlier slice request by id.
+  Stats,  ///< Health snapshot: counters, tier histogram, latencies.
+};
+
+/// One parsed request.
+struct ServiceRequest {
+  RequestKind Kind = RequestKind::Slice;
+
+  std::string Id;      ///< Slice: caller's correlation id (required).
+  std::string Program; ///< Slice: Mini-C source text.
+  unsigned Line = 0;   ///< Slice: criterion line (required).
+  std::vector<std::string> Vars; ///< Slice: empty = vars used at line.
+  SliceAlgorithm Algorithm = SliceAlgorithm::Agrawal;
+  uint64_t BudgetMs = 0; ///< 0 = server default deadline.
+  uint64_t MaxSteps = 0; ///< 0 = server default step budget.
+
+  std::string CancelTarget; ///< Cancel: the id to stop.
+
+  /// Content key for poison matching: identical program + criterion +
+  /// algorithm hash to the same key regardless of id, so a crashing
+  /// request stays quarantined when resubmitted under a fresh id.
+  std::string contentKey() const;
+
+  /// The request as a protocol JSON object (journal entries round-trip
+  /// through this).
+  JsonValue toJson() const;
+};
+
+/// Parses one request line. On failure the string is a human-readable
+/// reason (the server wraps it in a bad-request response).
+struct ParsedRequest {
+  bool Ok = false;
+  ServiceRequest Request;
+  std::string Error;
+  std::string Id; ///< Best-effort id even when !Ok, for the response.
+};
+ParsedRequest parseRequestLine(const std::string &Line);
+
+/// Reconstructs a slice request from a journal "request" object.
+/// Returns false when required fields are missing.
+bool requestFromJson(const JsonValue &V, ServiceRequest &Out);
+
+/// Response statuses, as wire strings.
+enum class ResponseStatus {
+  Ok,
+  ResourceExhausted,
+  Error,
+  BadRequest,
+  Cancelled,
+  Poisoned,
+};
+const char *responseStatusName(ResponseStatus S);
+
+/// One rung of the degradation ladder as reported to the caller.
+struct TierReport {
+  std::string Tier;
+  std::string Outcome; ///< "served" | "resource-exhausted" | "skipped"
+  std::string Detail;  ///< Trip site or skip reason.
+};
+
+/// One response line.
+struct ServiceResponse {
+  std::string Id;
+  ResponseStatus Status = ResponseStatus::Ok;
+  std::string Requested;  ///< Requested algorithm name (slices only).
+  std::string ServedTier; ///< Algorithm actually served (when Ok).
+  bool Degraded = false;
+  std::set<unsigned> Lines; ///< The slice, as source lines (when Ok).
+  std::vector<TierReport> Attempts;
+  std::string Error;     ///< Diagnostics (error / refusal statuses).
+  std::string ReproPath; ///< Poisoned: where the reproducer lives.
+  double LatencyMs = -1; ///< < 0 = omitted.
+
+  /// Serializes as one JSON line (no trailing newline).
+  std::string str() const;
+};
+
+} // namespace jslice
+
+#endif // JSLICE_SERVICE_REQUEST_H

@@ -1,0 +1,313 @@
+//===- service/Server.cpp - Long-running slicing server --------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "slicer/BatchSlicer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <thread>
+
+using namespace jslice;
+
+JsonValue ServerStats::toJson() const {
+  JsonValue Out = JsonValue::object();
+  Out.set("received", Received);
+  Out.set("served", Served);
+  Out.set("degraded", Degraded);
+  Out.set("refused", Refused);
+  Out.set("errors", Errors);
+  Out.set("bad_requests", BadRequests);
+  Out.set("cancelled", Cancelled);
+  Out.set("poisoned", Poisoned);
+  Out.set("guard_trips", GuardTrips);
+  JsonValue Tiers = JsonValue::object();
+  for (const auto &[Tier, N] : TierHistogram)
+    Tiers.set(Tier, N);
+  Out.set("tiers", std::move(Tiers));
+  Out.set("latency_p50_ms", P50Ms);
+  Out.set("latency_p95_ms", P95Ms);
+  return Out;
+}
+
+Server::Server(const ServerOptions &Opts, std::ostream &Out, std::ostream &Log)
+    : Opts(Opts), Out(Out), Log(Log),
+      Pool(Opts.Threads ? Opts.Threads : BatchSlicer::defaultThreads()) {
+  if (!Opts.JournalPath.empty() && !Wal.open(Opts.JournalPath))
+    Log << "jslice_serve: cannot open journal " << Opts.JournalPath
+        << "; continuing without crash recovery\n";
+}
+
+Server::~Server() { Pool.drain(); }
+
+unsigned Server::recover() {
+  if (Opts.JournalPath.empty())
+    return 0;
+  std::vector<PoisonedRequest> Poisoned = scanJournal(Opts.JournalPath);
+  unsigned N = 0;
+  for (const PoisonedRequest &P : Poisoned) {
+    std::string Repro = quarantinePoisoned(Opts.QuarantineDir, P);
+    {
+      std::lock_guard<std::mutex> Lock(StateM);
+      std::string Key = P.Request.contentKey();
+      PoisonKeys.insert(Key);
+      if (!Repro.empty())
+        PoisonRepros[Key] = Repro;
+    }
+    // Close the journal pair so the *next* restart does not quarantine
+    // it again: the quarantine files are now the durable record.
+    Wal.end(P.Id, "poisoned");
+    Log << "jslice_serve: quarantined in-flight request \"" << P.Id << "\""
+        << (Repro.empty() ? "" : " -> " + Repro) << "\n";
+    ++N;
+  }
+  return N;
+}
+
+void Server::serve(std::istream &In) {
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    {
+      std::lock_guard<std::mutex> Lock(StateM);
+      ++Counters.Received;
+    }
+
+    ParsedRequest P = parseRequestLine(Line);
+    if (!P.Ok) {
+      ServiceResponse R;
+      R.Id = P.Id;
+      R.Status = ResponseStatus::BadRequest;
+      R.Error = P.Error;
+      writeResponse(R);
+      recordOutcome(R, -1, 0);
+      continue;
+    }
+
+    switch (P.Request.Kind) {
+    case RequestKind::Stats: {
+      JsonValue V = JsonValue::object();
+      V.set("status", "ok");
+      V.set("stats", stats().toJson());
+      std::lock_guard<std::mutex> Lock(OutM);
+      Out << V.str() << "\n" << std::flush;
+      break;
+    }
+    case RequestKind::Cancel:
+      handleCancel(P.Request);
+      break;
+    case RequestKind::Slice: {
+      ServiceRequest R = std::move(P.Request);
+
+      std::string PoisonRepro;
+      bool IsPoisoned = false;
+      bool Duplicate = false;
+      std::shared_ptr<InFlight> Flight;
+      {
+        std::lock_guard<std::mutex> Lock(StateM);
+        std::string Key = R.contentKey();
+        if (PoisonKeys.count(Key)) {
+          IsPoisoned = true;
+          auto It = PoisonRepros.find(Key);
+          if (It != PoisonRepros.end())
+            PoisonRepro = It->second;
+        } else if (Registry.count(R.Id)) {
+          Duplicate = true;
+        } else {
+          Flight = std::make_shared<InFlight>();
+          Registry[R.Id] = Flight;
+        }
+      }
+
+      if (IsPoisoned) {
+        ServiceResponse Resp;
+        Resp.Id = R.Id;
+        Resp.Status = ResponseStatus::Poisoned;
+        Resp.Error = "request matches a quarantined reproducer from a "
+                     "previous crashed run";
+        Resp.ReproPath = PoisonRepro;
+        writeResponse(Resp);
+        recordOutcome(Resp, -1, 0);
+        break;
+      }
+      if (Duplicate) {
+        ServiceResponse Resp;
+        Resp.Id = R.Id;
+        Resp.Status = ResponseStatus::BadRequest;
+        Resp.Error = "request id already in flight";
+        writeResponse(Resp);
+        recordOutcome(Resp, -1, 0);
+        break;
+      }
+
+      // Write-ahead: the begin record must be durable before any
+      // slicing work can crash the process.
+      Wal.begin(R);
+      bool Hang = !Opts.HangAfterBeginId.empty() &&
+                  R.Id == Opts.HangAfterBeginId;
+      Pool.submit([this, R = std::move(R), Hang]() mutable {
+        if (Hang)
+          std::this_thread::sleep_for(std::chrono::hours(1));
+        handleSlice(std::move(R));
+      });
+      break;
+    }
+    }
+  }
+  Pool.drain();
+}
+
+void Server::handleCancel(const ServiceRequest &R) {
+  bool Signalled = false;
+  {
+    std::lock_guard<std::mutex> Lock(StateM);
+    auto It = Registry.find(R.CancelTarget);
+    if (It != Registry.end()) {
+      It->second->Cancel.store(true, std::memory_order_relaxed);
+      Signalled = true;
+    }
+  }
+  JsonValue V = JsonValue::object();
+  V.set("cancel", R.CancelTarget);
+  V.set("status", "ok");
+  V.set("signalled", Signalled);
+  std::lock_guard<std::mutex> Lock(OutM);
+  Out << V.str() << "\n" << std::flush;
+}
+
+Budget Server::requestBudget(const ServiceRequest &R,
+                             const std::atomic<bool> *Cancel) const {
+  Budget B = Opts.DefaultBudget;
+  if (R.BudgetMs)
+    B.DeadlineMs = R.BudgetMs;
+  if (R.MaxSteps)
+    B.MaxSteps = R.MaxSteps;
+  B.Cancel = Cancel;
+  return B;
+}
+
+void Server::handleSlice(ServiceRequest R) {
+  std::shared_ptr<InFlight> Flight;
+  {
+    std::lock_guard<std::mutex> Lock(StateM);
+    auto It = Registry.find(R.Id);
+    if (It != Registry.end()) {
+      Flight = It->second;
+      Flight->Started.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  ServiceResponse Resp;
+  Resp.Id = R.Id;
+  Resp.Requested = algorithmName(R.Algorithm);
+
+  auto Start = std::chrono::steady_clock::now();
+  uint64_t RungTrips = 0;
+
+  if (Flight && Flight->Cancel.load(std::memory_order_relaxed)) {
+    // Cancelled while still queued: never ran, nothing to report.
+    Resp.Status = ResponseStatus::Cancelled;
+    Resp.Error = "cancelled before execution";
+  } else {
+    LadderOptions L = Opts.Ladder;
+    L.B = requestBudget(R, Flight ? &Flight->Cancel : nullptr);
+    LadderResult Res =
+        runLadder(R.Program, Criterion(R.Line, R.Vars), R.Algorithm, L);
+
+    for (const LadderAttempt &A : Res.Attempts) {
+      TierReport T;
+      T.Tier = algorithmName(A.Tier);
+      T.Outcome = A.Served ? "served"
+                 : A.Skipped ? "skipped"
+                             : "resource-exhausted";
+      T.Detail = A.Served ? "" : (A.Skipped ? A.SkipReason : A.Trip);
+      if (!A.Served && !A.Skipped)
+        ++RungTrips;
+      Resp.Attempts.push_back(std::move(T));
+    }
+
+    if (Res.Ok) {
+      Resp.Status = ResponseStatus::Ok;
+      Resp.ServedTier = algorithmName(Res.Served);
+      Resp.Degraded = Res.Degraded;
+      Resp.Lines = Res.Lines;
+    } else if (Flight && Flight->Cancel.load(std::memory_order_relaxed)) {
+      Resp.Status = ResponseStatus::Cancelled;
+      Resp.Error = "cancelled";
+    } else if (Res.Diags.hasKind(DiagKind::ResourceExhausted)) {
+      Resp.Status = ResponseStatus::ResourceExhausted;
+      Resp.Error = Res.Diags.str();
+    } else {
+      Resp.Status = ResponseStatus::Error;
+      Resp.Error = Res.Diags.str();
+    }
+  }
+
+  double LatencyMs =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - Start)
+          .count();
+  Resp.LatencyMs = LatencyMs;
+
+  Wal.end(R.Id, responseStatusName(Resp.Status));
+  writeResponse(Resp);
+  recordOutcome(Resp, LatencyMs, RungTrips);
+
+  std::lock_guard<std::mutex> Lock(StateM);
+  Registry.erase(R.Id);
+}
+
+void Server::writeResponse(const ServiceResponse &R) {
+  std::lock_guard<std::mutex> Lock(OutM);
+  Out << R.str() << "\n" << std::flush;
+}
+
+void Server::recordOutcome(const ServiceResponse &R, double LatencyMs,
+                           uint64_t RungTrips) {
+  std::lock_guard<std::mutex> Lock(StateM);
+  Counters.GuardTrips += RungTrips;
+  if (LatencyMs >= 0)
+    Latencies.push_back(LatencyMs);
+  switch (R.Status) {
+  case ResponseStatus::Ok:
+    ++Counters.Served;
+    if (R.Degraded)
+      ++Counters.Degraded;
+    ++Counters.TierHistogram[R.ServedTier];
+    break;
+  case ResponseStatus::ResourceExhausted:
+    ++Counters.Refused;
+    break;
+  case ResponseStatus::Error:
+    ++Counters.Errors;
+    break;
+  case ResponseStatus::BadRequest:
+    ++Counters.BadRequests;
+    break;
+  case ResponseStatus::Cancelled:
+    ++Counters.Cancelled;
+    break;
+  case ResponseStatus::Poisoned:
+    ++Counters.Poisoned;
+    break;
+  }
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> Lock(StateM);
+  ServerStats S = Counters;
+  if (!Latencies.empty()) {
+    std::vector<double> Sorted = Latencies;
+    std::sort(Sorted.begin(), Sorted.end());
+    S.P50Ms = Sorted[Sorted.size() / 2];
+    S.P95Ms = Sorted[std::min(Sorted.size() - 1, Sorted.size() * 95 / 100)];
+  }
+  return S;
+}

@@ -1,0 +1,161 @@
+//===- service/Server.h - Long-running slicing server ----------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The slicing service (DESIGN.md, "Serving slices"): reads JSON-Lines
+/// requests (service/Request.h) from a stream, fans them across a
+/// WorkerPool, runs each under its own per-request Budget through the
+/// precision-degradation ladder (service/Ladder.h), and writes one
+/// JSON response line per request. Request isolation is the point:
+/// every request gets a fresh Analysis, a fresh ResourceGuard, and a
+/// cancellation flag of its own — one poisonous program can exhaust
+/// only its own budget, and the `{"cancel": id}` control line stops
+/// exactly one request.
+///
+/// A write-ahead Journal (service/Journal.h) brackets every dispatch;
+/// recover() quarantines requests left in flight by a crashed
+/// predecessor and refuses their exact resubmission (by content key)
+/// with a pointer to the dumped reproducer.
+///
+/// The `{"stats"}` health request answers with counters: requests by
+/// outcome, the tier histogram (how often each ladder rung actually
+/// served), guard trips, and p50/p95 service latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SERVICE_SERVER_H
+#define JSLICE_SERVICE_SERVER_H
+
+#include "service/Journal.h"
+#include "service/Ladder.h"
+#include "service/Request.h"
+#include "support/WorkerPool.h"
+
+#include <atomic>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace jslice {
+
+/// Server configuration.
+struct ServerOptions {
+  /// Worker threads; 0 = BatchSlicer::defaultThreads() (JSLICE_THREADS
+  /// env var, else hardware concurrency).
+  unsigned Threads = 0;
+
+  /// Write-ahead journal path; empty disables journaling (and with it
+  /// poison recovery).
+  std::string JournalPath;
+
+  /// Where recover() dumps poisoned reproducers.
+  std::string QuarantineDir = "poisoned";
+
+  /// Per-request defaults; a request's budget_ms / max_steps override
+  /// the deadline / step dimensions. The service default polls the
+  /// deadline every 16 checkpoints (not the library's 256): requests
+  /// carry tight deadlines, and a service overshooting them stalls a
+  /// worker slot, so the tighter stride is the right trade.
+  Budget DefaultBudget = serviceDefaultBudget();
+
+  /// Ladder behaviour (the rung-1 budget inside is ignored; it is
+  /// rebuilt per request from DefaultBudget and the request fields).
+  LadderOptions Ladder;
+
+  /// Test hook for the crash-recovery test: the worker picking up the
+  /// request with this id sleeps forever after its journal `begin`
+  /// record is durable, giving a kill -9 a deterministic in-flight
+  /// window. Never set in production.
+  std::string HangAfterBeginId;
+
+  static Budget serviceDefaultBudget() {
+    Budget B;
+    B.MaxNodes = 1u << 20;
+    B.MaxSteps = 20000000;
+    B.DeadlineMs = 5000;
+    B.PollStride = 16;
+    return B;
+  }
+};
+
+/// Health snapshot, all-time since construction.
+struct ServerStats {
+  uint64_t Received = 0;    ///< Protocol lines read.
+  uint64_t Served = 0;      ///< Ok responses (any tier).
+  uint64_t Degraded = 0;    ///< Ok responses below the requested tier.
+  uint64_t Refused = 0;     ///< resource-exhausted responses.
+  uint64_t Errors = 0;      ///< error responses (bad program/criterion).
+  uint64_t BadRequests = 0; ///< Unparseable protocol lines.
+  uint64_t Cancelled = 0;   ///< Requests stopped by {"cancel"}.
+  uint64_t Poisoned = 0;    ///< Resubmissions refused by quarantine.
+  uint64_t GuardTrips = 0;  ///< Ladder rungs that tripped a budget.
+  std::map<std::string, uint64_t> TierHistogram; ///< served tier -> count.
+  double P50Ms = 0;
+  double P95Ms = 0;
+
+  JsonValue toJson() const;
+};
+
+/// The server. Construct, recover(), then serve() one or more streams.
+class Server {
+public:
+  /// Responses go to \p Out (one JSON line each, mutex-serialized);
+  /// operational log lines go to \p Log.
+  Server(const ServerOptions &Opts, std::ostream &Out, std::ostream &Log);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Scans the journal for requests a dead predecessor left in flight,
+  /// quarantines each as a reproducer, and arms the poison filter.
+  /// Returns how many were quarantined.
+  unsigned recover();
+
+  /// Reads requests from \p In until EOF; returns after every accepted
+  /// request has been answered.
+  void serve(std::istream &In);
+
+  /// Current counters (also served in-band by {"stats"}).
+  ServerStats stats() const;
+
+private:
+  struct InFlight {
+    std::atomic<bool> Cancel{false};
+    std::atomic<bool> Started{false};
+  };
+
+  void handleSlice(ServiceRequest R);
+  void handleCancel(const ServiceRequest &R);
+  void writeResponse(const ServiceResponse &R);
+  Budget requestBudget(const ServiceRequest &R,
+                       const std::atomic<bool> *Cancel) const;
+  void recordOutcome(const ServiceResponse &R, double LatencyMs,
+                     uint64_t RungTrips);
+
+  ServerOptions Opts;
+  std::ostream &Out;
+  std::ostream &Log;
+  Journal Wal;
+  WorkerPool Pool;
+
+  std::mutex OutM; ///< Serializes response lines; never held with StateM.
+  mutable std::mutex StateM;
+  std::map<std::string, std::shared_ptr<InFlight>> Registry;
+  std::set<std::string> PoisonKeys;
+  std::map<std::string, std::string> PoisonRepros; ///< key -> .mc path.
+  ServerStats Counters;
+  std::vector<double> Latencies;
+};
+
+} // namespace jslice
+
+#endif // JSLICE_SERVICE_SERVER_H

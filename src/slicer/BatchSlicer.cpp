@@ -29,9 +29,9 @@
 #include "slicer/BatchSlicer.h"
 
 #include "slicer/SlicerInternal.h"
+#include "support/WorkerPool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
 #include <cstdlib>
 #include <optional>
@@ -624,27 +624,7 @@ BatchSlicer::runAll(const std::vector<Criterion> &Crits,
     Entry.Result = std::move(R);
   };
 
-  if (Threads <= 1) {
-    for (size_t I = 0; I != Crits.size(); ++I)
-      SliceOne(I);
-    return Out;
-  }
-
-  std::atomic<size_t> Next{0};
-  auto Worker = [&] {
-    for (;;) {
-      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Crits.size())
-        return;
-      SliceOne(I);
-    }
-  };
-  std::vector<std::thread> Pool;
-  Pool.reserve(Threads);
-  for (unsigned T = 0; T != Threads; ++T)
-    Pool.emplace_back(Worker);
-  for (std::thread &T : Pool)
-    T.join();
+  WorkerPool::parallelFor(Threads, Crits.size(), SliceOne);
   return Out;
 }
 

@@ -9,31 +9,38 @@
 
 using namespace jslice;
 
-uint64_t FaultInjection::FailAt = 0;
-uint64_t FaultInjection::Count = 0;
-const char *FaultInjection::LastSite = "";
+std::atomic<uint64_t> FaultInjection::FailAt{0};
+std::atomic<uint64_t> FaultInjection::Count{0};
+std::atomic<const char *> FaultInjection::LastSite{""};
 
 void FaultInjection::arm(uint64_t FailAtCheckpoint) {
-  FailAt = FailAtCheckpoint;
-  Count = 0;
-  LastSite = "";
+  Count.store(0, std::memory_order_relaxed);
+  LastSite.store("", std::memory_order_relaxed);
+  FailAt.store(FailAtCheckpoint, std::memory_order_release);
 }
 
-void FaultInjection::disarm() { FailAt = 0; }
+void FaultInjection::disarm() { FailAt.store(0, std::memory_order_release); }
 
-bool FaultInjection::armed() { return FailAt != 0; }
+bool FaultInjection::armed() {
+  return FailAt.load(std::memory_order_acquire) != 0;
+}
 
-uint64_t FaultInjection::observedCheckpoints() { return Count; }
+uint64_t FaultInjection::observedCheckpoints() {
+  return Count.load(std::memory_order_relaxed);
+}
 
-void FaultInjection::resetCount() { Count = 0; }
+void FaultInjection::resetCount() { Count.store(0, std::memory_order_relaxed); }
 
 bool FaultInjection::shouldFail(const char *Site, uint64_t SiteCount) {
   (void)SiteCount;
-  ++Count;
-  if (FailAt == 0 || Count != FailAt)
+  uint64_t Seen = Count.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t At = FailAt.load(std::memory_order_acquire);
+  if (At == 0 || Seen != At)
     return false;
-  LastSite = Site;
+  LastSite.store(Site, std::memory_order_relaxed);
   return true;
 }
 
-const char *FaultInjection::trippedSite() { return LastSite; }
+const char *FaultInjection::trippedSite() {
+  return LastSite.load(std::memory_order_relaxed);
+}

@@ -28,6 +28,7 @@
 
 #include "support/Error.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -54,15 +55,46 @@ struct Budget {
   uint64_t MaxSteps = 0;
 
   /// Soft wall-clock deadline in milliseconds, measured from guard
-  /// construction and polled every few hundred checkpoints
+  /// construction and polled every PollStride checkpoints
   /// (0 = no deadline).
   uint64_t DeadlineMs = 0;
+
+  /// How many checkpoints pass between deadline (and cancellation)
+  /// polls. Clock reads are much more expensive than the counter
+  /// bump, so the guard only looks at the wall between strides — but a
+  /// phase with expensive work *between* checkpoints can overshoot the
+  /// deadline by up to (stride - 1) checkpoints' worth of it. Latency-
+  /// sensitive callers (the slicing service) tighten this; 0 means the
+  /// built-in default. Rounded up to a power of two.
+  uint64_t PollStride = 0;
+
+  /// External cancellation flag, polled on the same stride as the
+  /// deadline; when it reads true the guard trips at the next poll
+  /// ("cancelled at <site>"). Not owned; must outlive every guard built
+  /// from this budget. The slicing service points one per-request flag
+  /// here so `{"cancel": id}` can stop an in-flight analysis.
+  const std::atomic<bool> *Cancel = nullptr;
 
   /// The nesting depth enforced when MaxNestingDepth is 0.
   static constexpr unsigned DefaultNestingDepth = 250;
 
+  /// The poll stride enforced when PollStride is 0 (the historical
+  /// `Steps & 255` cadence).
+  static constexpr uint64_t DefaultPollStride = 256;
+
   unsigned effectiveNestingDepth() const {
     return MaxNestingDepth ? MaxNestingDepth : DefaultNestingDepth;
+  }
+
+  /// The stride actually used: PollStride (or the default) rounded up
+  /// to the next power of two, so the hot path can mask instead of
+  /// divide.
+  uint64_t effectivePollStride() const {
+    uint64_t S = PollStride ? PollStride : DefaultPollStride;
+    uint64_t P = 1;
+    while (P < S)
+      P <<= 1;
+    return P;
   }
 
   /// Everything unlimited except the recursion backstop.
@@ -83,8 +115,11 @@ struct Budget {
 
 /// Deterministic process-wide fault hook. When armed at ordinal N, the
 /// Nth ResourceGuard checkpoint after arming fails as if its budget had
-/// been exhausted. Single-threaded by design, like the rest of the
-/// library; tests arm it through the RAII ScopedArm.
+/// been exhausted. The counters are atomic so concurrent guards (the
+/// slicing service runs one per in-flight request) may checkpoint
+/// freely, but arming is only *deterministic* when a single pipeline
+/// runs between arm() and the trip — fault-sweep drivers serialize
+/// their requests. Tests arm it through the RAII ScopedArm.
 class FaultInjection {
 public:
   /// Arms the hook: the \p FailAtCheckpoint-th checkpoint (1-based)
@@ -119,9 +154,9 @@ public:
   };
 
 private:
-  static uint64_t FailAt;  // 0 = disarmed.
-  static uint64_t Count;
-  static const char *LastSite;
+  static std::atomic<uint64_t> FailAt; // 0 = disarmed.
+  static std::atomic<uint64_t> Count;
+  static std::atomic<const char *> LastSite;
 };
 
 /// One pipeline's running resource meter. Layers call checkpoint() (and
@@ -132,13 +167,14 @@ class ResourceGuard {
 public:
   ResourceGuard() : ResourceGuard(Budget()) {}
   explicit ResourceGuard(const Budget &B)
-      : B(B), Start(std::chrono::steady_clock::now()) {}
+      : B(B), StrideMask(B.effectivePollStride() - 1),
+        Start(std::chrono::steady_clock::now()) {}
 
   const Budget &budget() const { return B; }
 
   /// Polls the guard at \p Site. Returns false — permanently, for every
-  /// subsequent call — when the step budget, the deadline, or an armed
-  /// fault injection trips.
+  /// subsequent call — when the step budget, the deadline, an external
+  /// cancellation, or an armed fault injection trips.
   bool checkpoint(const char *Site) {
     if (Exhausted)
       return false;
@@ -147,8 +183,12 @@ public:
       return trip(Site, "injected fault");
     if (B.MaxSteps && Steps > B.MaxSteps)
       return trip(Site, "step budget exhausted");
-    if (B.DeadlineMs && (Steps & 255u) == 0 && pastDeadline())
-      return trip(Site, "deadline exceeded");
+    if ((Steps & StrideMask) == 0) {
+      if (B.Cancel && B.Cancel->load(std::memory_order_relaxed))
+        return trip(Site, "cancelled");
+      if (B.DeadlineMs && pastDeadline())
+        return trip(Site, "deadline exceeded");
+    }
     return true;
   }
 
@@ -190,6 +230,7 @@ private:
   }
 
   Budget B;
+  uint64_t StrideMask = 0;
   uint64_t Steps = 0;
   uint64_t Nodes = 0;
   bool Exhausted = false;

@@ -1,0 +1,87 @@
+//===- support/WorkerPool.cpp - Shared worker-thread machinery -------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/WorkerPool.h"
+
+#include <atomic>
+
+using namespace jslice;
+
+WorkerPool::WorkerPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = 1;
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([this] { workerMain(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  WakeWorker.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void WorkerPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Queue.push_back(std::move(Task));
+  }
+  WakeWorker.notify_one();
+}
+
+void WorkerPool::drain() {
+  std::unique_lock<std::mutex> Lock(M);
+  Idle.wait(Lock, [this] { return Queue.empty() && Busy == 0; });
+}
+
+void WorkerPool::workerMain() {
+  std::unique_lock<std::mutex> Lock(M);
+  for (;;) {
+    WakeWorker.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+    if (Queue.empty()) // Stopping, and nothing left to run.
+      return;
+    std::function<void()> Task = std::move(Queue.front());
+    Queue.pop_front();
+    ++Busy;
+    Lock.unlock();
+    Task();
+    Lock.lock();
+    --Busy;
+    if (Queue.empty() && Busy == 0)
+      Idle.notify_all();
+  }
+}
+
+void WorkerPool::parallelFor(unsigned Threads, size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (Threads > N)
+    Threads = static_cast<unsigned>(N);
+  if (Threads <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        return;
+      Body(I);
+    }
+  };
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+}

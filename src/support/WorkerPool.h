@@ -1,0 +1,81 @@
+//===- support/WorkerPool.h - Shared worker-thread machinery ---------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two worker-thread shapes the codebase needs, in one place:
+///
+///  * WorkerPool::parallelFor — the batch slicing engine's fan-out: a
+///    fixed index space chewed through by transient workers pulling
+///    indices off one atomic counter (no queue, no allocation per
+///    item). Blocks until every index is done.
+///  * WorkerPool — a persistent pool with a task queue, for callers
+///    whose work arrives over time (the slicing server dispatches one
+///    task per request as it reads the stream). Tasks run in submit
+///    order but complete in any order; drain() barriers on "queue
+///    empty and every worker idle".
+///
+/// Tasks must not throw (the library is exception-free by contract);
+/// a task that does terminates the process, which for a service is the
+/// correct failure mode — the write-ahead journal marks the in-flight
+/// request poisoned on the next startup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SUPPORT_WORKERPOOL_H
+#define JSLICE_SUPPORT_WORKERPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jslice {
+
+/// A persistent worker pool with a FIFO task queue.
+class WorkerPool {
+public:
+  /// Starts \p Threads workers (at least one).
+  explicit WorkerPool(unsigned Threads);
+
+  /// Drains the queue, then joins the workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  unsigned threads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Task; returns immediately.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void drain();
+
+  /// Runs Body(0..N-1) across up to \p Threads transient workers,
+  /// blocking until all indices complete. Threads <= 1 (or N <= 1)
+  /// runs inline on the caller's thread.
+  static void parallelFor(unsigned Threads, size_t N,
+                          const std::function<void(size_t)> &Body);
+
+private:
+  void workerMain();
+
+  std::mutex M;
+  std::condition_variable WakeWorker;
+  std::condition_variable Idle;
+  std::deque<std::function<void()>> Queue;
+  unsigned Busy = 0;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+};
+
+} // namespace jslice
+
+#endif // JSLICE_SUPPORT_WORKERPOOL_H

@@ -1,0 +1,401 @@
+//===- tests/ServiceTest.cpp - Slicing-service unit tests ---------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The service layer, bottom up: the JSON codec, the wire protocol,
+/// the write-ahead journal with its poison recovery, and the Server's
+/// end-to-end request handling (serve, refuse, cancel, quarantine,
+/// stats) over in-memory streams.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Journal.h"
+#include "service/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace jslice;
+
+namespace {
+
+const char *TinyProgram = "read(a);\nwrite(a);\n";
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, SerializesSortedCompactObjects) {
+  JsonValue V = JsonValue::object();
+  V.set("b", 2);
+  V.set("a", std::string("x"));
+  V.set("c", true);
+  EXPECT_EQ(V.str(), "{\"a\":\"x\",\"b\":2,\"c\":true}");
+}
+
+TEST(JsonTest, RoundTripsStringsWithEscapes) {
+  JsonValue V = JsonValue::object();
+  V.set("s", std::string("line1\nline2\t\"quoted\"\\x\x01"));
+  std::optional<JsonValue> Back = JsonValue::parse(V.str());
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->find("s")->asString(), "line1\nline2\t\"quoted\"\\x\x01");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  std::optional<JsonValue> V = JsonValue::parse(
+      "{\"a\": [1, 2.5, null, {\"b\": false}], \"c\": \"\\u0041\"}");
+  ASSERT_TRUE(V.has_value());
+  ASSERT_TRUE(V->find("a")->isArray());
+  EXPECT_EQ(V->find("a")->elements().size(), 4u);
+  EXPECT_EQ(V->find("c")->asString(), "A");
+}
+
+TEST(JsonTest, RejectsGarbageWithAReason) {
+  std::string Error;
+  EXPECT_FALSE(JsonValue::parse("{broken", &Error).has_value());
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(JsonValue::parse("{\"a\": 1} trailing").has_value());
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string Deep(200, '[');
+  EXPECT_FALSE(JsonValue::parse(Deep).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+TEST(RequestTest, ParsesSliceRequestWithAllFields) {
+  ParsedRequest P = parseRequestLine(
+      "{\"id\":\"r1\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2,"
+      "\"vars\":[\"a\"],\"algorithm\":\"lyle\",\"budget_ms\":250,"
+      "\"max_steps\":1000}");
+  ASSERT_TRUE(P.Ok) << P.Error;
+  EXPECT_EQ(P.Request.Kind, RequestKind::Slice);
+  EXPECT_EQ(P.Request.Id, "r1");
+  EXPECT_EQ(P.Request.Line, 2u);
+  EXPECT_EQ(P.Request.Vars, std::vector<std::string>{"a"});
+  EXPECT_EQ(P.Request.Algorithm, SliceAlgorithm::Lyle);
+  EXPECT_EQ(P.Request.BudgetMs, 250u);
+  EXPECT_EQ(P.Request.MaxSteps, 1000u);
+}
+
+TEST(RequestTest, ParsesControlRequests) {
+  ParsedRequest Cancel = parseRequestLine("{\"cancel\": \"r9\"}");
+  ASSERT_TRUE(Cancel.Ok);
+  EXPECT_EQ(Cancel.Request.Kind, RequestKind::Cancel);
+  EXPECT_EQ(Cancel.Request.CancelTarget, "r9");
+
+  ParsedRequest Stats = parseRequestLine("{\"stats\": true}");
+  ASSERT_TRUE(Stats.Ok);
+  EXPECT_EQ(Stats.Request.Kind, RequestKind::Stats);
+}
+
+TEST(RequestTest, RejectsMalformedRequestsWithReasons) {
+  EXPECT_FALSE(parseRequestLine("not json").Ok);
+  EXPECT_FALSE(parseRequestLine("[1,2]").Ok);
+  EXPECT_FALSE(parseRequestLine("{\"program\":\"x\",\"line\":1}").Ok);
+  EXPECT_FALSE(
+      parseRequestLine("{\"id\":\"r\",\"program\":\"x\",\"line\":0}").Ok);
+  EXPECT_FALSE(parseRequestLine("{\"id\":\"r\",\"program\":\"x\",\"line\":1,"
+                                "\"algorithm\":\"nonsense\"}")
+                   .Ok);
+  // The best-effort id still comes back for the error response.
+  ParsedRequest P =
+      parseRequestLine("{\"id\":\"r7\",\"program\":\"x\",\"line\":-4}");
+  EXPECT_FALSE(P.Ok);
+  EXPECT_EQ(P.Id, "r7");
+}
+
+TEST(RequestTest, ContentKeyTracksContentNotId) {
+  ServiceRequest A;
+  A.Id = "first";
+  A.Program = TinyProgram;
+  A.Line = 2;
+  A.Vars = {"a"};
+  ServiceRequest B = A;
+  B.Id = "second";
+  EXPECT_EQ(A.contentKey(), B.contentKey());
+  B.Line = 1;
+  EXPECT_NE(A.contentKey(), B.contentKey());
+}
+
+TEST(RequestTest, JournalRoundTripPreservesTheRequest) {
+  ServiceRequest R;
+  R.Id = "r1";
+  R.Program = TinyProgram;
+  R.Line = 2;
+  R.Vars = {"a"};
+  R.Algorithm = SliceAlgorithm::BallHorwitz;
+  R.MaxSteps = 77;
+  std::optional<JsonValue> V = JsonValue::parse(R.toJson().str());
+  ASSERT_TRUE(V.has_value());
+  ServiceRequest Back;
+  ASSERT_TRUE(requestFromJson(*V, Back));
+  EXPECT_EQ(Back.Program, R.Program);
+  EXPECT_EQ(Back.Line, R.Line);
+  EXPECT_EQ(Back.Vars, R.Vars);
+  EXPECT_EQ(Back.Algorithm, R.Algorithm);
+  EXPECT_EQ(Back.MaxSteps, R.MaxSteps);
+  EXPECT_EQ(Back.contentKey(), R.contentKey());
+}
+
+//===----------------------------------------------------------------------===//
+// Journal
+//===----------------------------------------------------------------------===//
+
+TEST(JournalTest, UnmatchedBeginSurvivesScanning) {
+  std::string Path = ::testing::TempDir() + "jslice_journal_test.jsonl";
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(Path));
+    ServiceRequest Done;
+    Done.Id = "done";
+    Done.Program = TinyProgram;
+    Done.Line = 2;
+    J.begin(Done);
+    J.end("done", "ok");
+    ServiceRequest Stuck = Done;
+    Stuck.Id = "stuck";
+    J.begin(Stuck);
+  }
+  // A torn tail record (the crash cut the write short) must be skipped.
+  {
+    std::ofstream Out(Path, std::ios::app);
+    Out << "{\"event\":\"begin\",\"id\":\"to";
+  }
+  std::vector<PoisonedRequest> Poisoned = scanJournal(Path);
+  ASSERT_EQ(Poisoned.size(), 1u);
+  EXPECT_EQ(Poisoned.front().Id, "stuck");
+  EXPECT_EQ(Poisoned.front().Request.Program, TinyProgram);
+  std::remove(Path.c_str());
+}
+
+TEST(JournalTest, MissingFileScansEmpty) {
+  EXPECT_TRUE(scanJournal(::testing::TempDir() + "no_such_journal").empty());
+}
+
+TEST(JournalTest, QuarantineWritesReplayableRepro) {
+  std::string Dir = ::testing::TempDir() + "jslice_quarantine_test";
+  PoisonedRequest P;
+  P.Id = "victim";
+  P.Request.Id = "victim";
+  P.Request.Program = TinyProgram;
+  P.Request.Line = 2;
+  std::string Path = quarantinePoisoned(Dir, P);
+  ASSERT_FALSE(Path.empty());
+  std::ifstream In(Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  EXPECT_EQ(Buffer.str(), TinyProgram);
+}
+
+//===----------------------------------------------------------------------===//
+// Server end to end (in-memory streams)
+//===----------------------------------------------------------------------===//
+
+/// Serves \p Input on a fresh single-threaded server; returns response
+/// lines in order.
+std::vector<std::string> serveLines(const std::string &Input,
+                                    ServerOptions Opts = ServerOptions()) {
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  std::ostringstream Log;
+  Opts.Threads = 1;
+  Server S(Opts, Out, Log);
+  S.recover();
+  S.serve(In);
+  std::vector<std::string> Lines;
+  std::istringstream Text(Out.str());
+  std::string Line;
+  while (std::getline(Text, Line))
+    if (!Line.empty())
+      Lines.push_back(Line);
+  return Lines;
+}
+
+JsonValue parsed(const std::string &Line) {
+  std::optional<JsonValue> V = JsonValue::parse(Line);
+  EXPECT_TRUE(V.has_value()) << Line;
+  return V ? *V : JsonValue();
+}
+
+TEST(ServerTest, ServesASliceRequest) {
+  std::vector<std::string> Lines = serveLines(
+      "{\"id\":\"r1\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2,"
+      "\"vars\":[\"a\"]}\n");
+  ASSERT_EQ(Lines.size(), 1u);
+  JsonValue R = parsed(Lines[0]);
+  EXPECT_EQ(R.find("id")->asString(), "r1");
+  EXPECT_EQ(R.find("status")->asString(), "ok");
+  EXPECT_EQ(R.find("served_tier")->asString(), "agrawal-fig7");
+  EXPECT_FALSE(R.find("degraded")->asBool());
+  EXPECT_EQ(R.find("lines")->elements().size(), 2u);
+}
+
+TEST(ServerTest, StarvedRequestRefusesAfterTheWholeLadder) {
+  std::vector<std::string> Lines = serveLines(
+      "{\"id\":\"r1\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2,"
+      "\"max_steps\":3}\n");
+  ASSERT_EQ(Lines.size(), 1u);
+  JsonValue R = parsed(Lines[0]);
+  EXPECT_EQ(R.find("status")->asString(), "resource-exhausted");
+  ASSERT_TRUE(R.find("attempts"));
+  EXPECT_EQ(R.find("attempts")->elements().size(), 3u);
+}
+
+TEST(ServerTest, AnswersGarbageAndControlLines) {
+  std::vector<std::string> Lines =
+      serveLines("{oops\n"
+                 "{\"cancel\": \"nobody\"}\n"
+                 "{\"stats\": true}\n");
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_EQ(parsed(Lines[0]).find("status")->asString(), "bad-request");
+  JsonValue Cancel = parsed(Lines[1]);
+  EXPECT_EQ(Cancel.find("cancel")->asString(), "nobody");
+  EXPECT_FALSE(Cancel.find("signalled")->asBool());
+  JsonValue Stats = parsed(Lines[2]);
+  ASSERT_TRUE(Stats.find("stats"));
+  EXPECT_EQ(Stats.find("stats")->find("received")->asInt(), 3);
+  EXPECT_EQ(Stats.find("stats")->find("bad_requests")->asInt(), 1);
+}
+
+TEST(ServerTest, RecoveryQuarantinesAndRefusesResubmission) {
+  std::string Tmp = ::testing::TempDir();
+  std::string JournalPath = Tmp + "jslice_server_recovery.jsonl";
+  std::string QuarantineDir = Tmp + "jslice_server_recovery_q";
+  std::remove(JournalPath.c_str());
+
+  ServiceRequest Stuck;
+  Stuck.Id = "stuck";
+  Stuck.Program = TinyProgram;
+  Stuck.Line = 2;
+  Stuck.Vars = {"a"};
+  {
+    // A server that died mid-request: begin record, no end.
+    Journal J;
+    ASSERT_TRUE(J.open(JournalPath));
+    J.begin(Stuck);
+  }
+
+  ServerOptions Opts;
+  Opts.JournalPath = JournalPath;
+  Opts.QuarantineDir = QuarantineDir;
+
+  // Resubmitting the same content (different id) must bounce as
+  // poisoned, pointing at the reproducer; different content passes.
+  ServiceRequest Resubmit = Stuck;
+  Resubmit.Id = "fresh-id";
+  ServiceRequest Other = Stuck;
+  Other.Id = "other";
+  Other.Line = 1;
+  std::vector<std::string> Lines =
+      serveLines(Resubmit.toJson().str() + "\n" + Other.toJson().str() + "\n",
+                 Opts);
+  ASSERT_EQ(Lines.size(), 2u);
+  JsonValue First = parsed(Lines[0]);
+  EXPECT_EQ(First.find("status")->asString(), "poisoned");
+  ASSERT_TRUE(First.find("repro"));
+  std::ifstream Repro(First.find("repro")->asString());
+  ASSERT_TRUE(Repro.good());
+  std::stringstream Buffer;
+  Buffer << Repro.rdbuf();
+  EXPECT_EQ(Buffer.str(), TinyProgram);
+  EXPECT_EQ(parsed(Lines[1]).find("status")->asString(), "ok");
+
+  // The recovery closed the journal pair: a restart sees nothing stuck.
+  EXPECT_TRUE(scanJournal(JournalPath).empty());
+  std::remove(JournalPath.c_str());
+}
+
+TEST(ServerTest, DuplicateIdIsAnsweredExactlyTwice) {
+  // Two requests reusing one id: the reader rejects the second as
+  // bad-request while the first is still in flight, or serves it after
+  // the first drained — in either interleaving both lines get answers
+  // and at least one is ok. (The never-lose-a-response property is the
+  // contract; the soak test exercises the race at volume.)
+  ServiceRequest First;
+  First.Id = "r1";
+  First.Program = TinyProgram;
+  First.Line = 2;
+  ServiceRequest Dup = First;
+  std::vector<std::string> Lines =
+      serveLines(First.toJson().str() + "\n" + Dup.toJson().str() + "\n");
+  ASSERT_EQ(Lines.size(), 2u);
+  unsigned Ok = 0, Bad = 0;
+  for (const std::string &L : Lines) {
+    std::string Status = parsed(L).find("status")->asString();
+    Ok += Status == "ok";
+    Bad += Status == "bad-request";
+  }
+  EXPECT_EQ(Ok + Bad, 2u);
+  EXPECT_GE(Ok, 1u);
+}
+
+TEST(ServerTest, CancelStopsAQueuedRequest) {
+  // One worker; the first request occupies it while the second sits
+  // queued; the cancel for the queued one lands before a worker ever
+  // starts it. The reader thread processes cancels inline, so with the
+  // slow first request this ordering is deterministic in practice; the
+  // accepted outcomes are "cancelled" (won the race) or "ok" (request
+  // finished first) — never a lost response.
+  std::string Slow;
+  for (int I = 0; I != 300; ++I)
+    Slow += "b" + std::to_string(I) + " = " + std::to_string(I) + ";\n";
+  Slow += "write(b0);\n";
+  ServiceRequest R1;
+  R1.Id = "r1";
+  R1.Program = Slow;
+  R1.Line = 301;
+  ServiceRequest R2;
+  R2.Id = "r2";
+  R2.Program = TinyProgram;
+  R2.Line = 2;
+  std::vector<std::string> Lines =
+      serveLines(R1.toJson().str() + "\n" + R2.toJson().str() + "\n" +
+                 "{\"cancel\": \"r2\"}\n");
+  ASSERT_EQ(Lines.size(), 3u);
+  unsigned Answered = 0;
+  bool SawR2 = false;
+  for (const std::string &L : Lines) {
+    JsonValue V = parsed(L);
+    if (V.find("cancel"))
+      continue;
+    ++Answered;
+    if (V.find("id")->asString() == "r2") {
+      SawR2 = true;
+      std::string Status = V.find("status")->asString();
+      EXPECT_TRUE(Status == "cancelled" || Status == "ok") << Status;
+    }
+  }
+  EXPECT_EQ(Answered, 2u);
+  EXPECT_TRUE(SawR2);
+}
+
+TEST(ServerStatsTest, HistogramAndLatenciesAccumulate) {
+  std::istringstream In(
+      "{\"id\":\"a\",\"program\":\"read(x);\\nwrite(x);\\n\",\"line\":2}\n"
+      "{\"id\":\"b\",\"program\":\"read(x);\\nwrite(x);\\n\",\"line\":2,"
+      "\"algorithm\":\"lyle\"}\n");
+  std::ostringstream Out, Log;
+  ServerOptions Opts;
+  Opts.Threads = 1;
+  Server S(Opts, Out, Log);
+  S.serve(In);
+  ServerStats Stats = S.stats();
+  EXPECT_EQ(Stats.Received, 2u);
+  EXPECT_EQ(Stats.Served, 2u);
+  EXPECT_EQ(Stats.Refused, 0u);
+  EXPECT_EQ(Stats.TierHistogram["agrawal-fig7"], 1u);
+  EXPECT_EQ(Stats.TierHistogram["lyle"], 1u);
+  EXPECT_GE(Stats.P95Ms, Stats.P50Ms);
+}
+
+} // namespace

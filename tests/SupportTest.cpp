@@ -8,9 +8,15 @@
 #include "support/BitVector.h"
 #include "support/Casting.h"
 #include "support/Error.h"
+#include "support/ResourceGuard.h"
 #include "support/StringUtils.h"
+#include "support/WorkerPool.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 using namespace jslice;
 
@@ -145,6 +151,101 @@ TEST(ErrorTest, SourceLocFormatting) {
   EXPECT_EQ(SourceLoc(12, 3).str(), "12:3");
   EXPECT_TRUE(SourceLoc(1, 1) < SourceLoc(1, 2));
   EXPECT_TRUE(SourceLoc(1, 9) < SourceLoc(2, 1));
+}
+
+//===----------------------------------------------------------------------===//
+// ResourceGuard poll stride and cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(PollStrideTest, EffectiveStrideRoundsUpToAPowerOfTwo) {
+  Budget B;
+  EXPECT_EQ(B.effectivePollStride(), Budget::DefaultPollStride);
+  B.PollStride = 1;
+  EXPECT_EQ(B.effectivePollStride(), 1u);
+  B.PollStride = 3;
+  EXPECT_EQ(B.effectivePollStride(), 4u);
+  B.PollStride = 16;
+  EXPECT_EQ(B.effectivePollStride(), 16u);
+  B.PollStride = 257;
+  EXPECT_EQ(B.effectivePollStride(), 512u);
+}
+
+TEST(PollStrideTest, DefaultStrideDefersTheDeadlineToThePollBoundary) {
+  // The deadline has long passed, but with the default 256 stride the
+  // guard must not look at the clock until checkpoint 256 — the
+  // documented overshoot window that motivates Budget::PollStride.
+  Budget B;
+  B.DeadlineMs = 1;
+  ResourceGuard G(B);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  for (unsigned I = 0; I != 255; ++I)
+    ASSERT_TRUE(G.checkpoint("test.site")) << "checkpoint " << I;
+  EXPECT_FALSE(G.checkpoint("test.site"));
+  EXPECT_EQ(G.reason(), "deadline exceeded at test.site");
+}
+
+TEST(PollStrideTest, StrideOnePollsEveryCheckpoint) {
+  Budget B;
+  B.DeadlineMs = 1;
+  B.PollStride = 1;
+  ResourceGuard G(B);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(G.checkpoint("test.site"));
+  EXPECT_EQ(G.reason(), "deadline exceeded at test.site");
+}
+
+TEST(PollStrideTest, CancellationTripsAtTheNextPoll) {
+  std::atomic<bool> Cancel{false};
+  Budget B;
+  B.PollStride = 1;
+  B.Cancel = &Cancel;
+  ResourceGuard G(B);
+  EXPECT_TRUE(G.checkpoint("test.site"));
+  Cancel.store(true);
+  EXPECT_FALSE(G.checkpoint("test.site"));
+  EXPECT_EQ(G.reason(), "cancelled at test.site");
+}
+
+TEST(PollStrideTest, GuardLatchesAfterTheFirstTrip) {
+  std::atomic<bool> Cancel{true};
+  Budget B;
+  B.PollStride = 1;
+  B.Cancel = &Cancel;
+  ResourceGuard G(B);
+  EXPECT_FALSE(G.checkpoint("test.site"));
+  Cancel.store(false); // Un-cancelling must not revive the pipeline.
+  EXPECT_FALSE(G.checkpoint("test.site"));
+  EXPECT_TRUE(G.exhausted());
+}
+
+//===----------------------------------------------------------------------===//
+// WorkerPool
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPoolTest, DrainBarriersOnSubmittedTasks) {
+  WorkerPool Pool(4);
+  EXPECT_EQ(Pool.threads(), 4u);
+  std::atomic<unsigned> Done{0};
+  for (unsigned I = 0; I != 64; ++I)
+    Pool.submit([&Done] { ++Done; });
+  Pool.drain();
+  EXPECT_EQ(Done.load(), 64u);
+  // The pool survives a drain; a second wave still runs.
+  Pool.submit([&Done] { ++Done; });
+  Pool.drain();
+  EXPECT_EQ(Done.load(), 65u);
+}
+
+TEST(WorkerPoolTest, ParallelForCoversTheIndexSpaceExactlyOnce) {
+  std::vector<std::atomic<unsigned>> Hits(101);
+  WorkerPool::parallelFor(4, Hits.size(),
+                          [&Hits](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I != Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1u) << "index " << I;
+  // The inline (Threads <= 1) path covers the same contract.
+  WorkerPool::parallelFor(1, Hits.size(), [&Hits](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I != Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 2u) << "index " << I;
 }
 
 //===----------------------------------------------------------------------===//

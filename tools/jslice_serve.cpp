@@ -1,0 +1,161 @@
+//===- tools/jslice_serve.cpp - Long-running slicing server -------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The slicing service front end (DESIGN.md, "Serving slices"): reads
+/// JSON-Lines requests from stdin (or --input FILE), answers each with
+/// one JSON line on stdout. Requests run concurrently on a worker
+/// pool, each under its own resource Budget, through the
+/// precision-degradation ladder — the caller always gets a sound slice
+/// or a deterministic refusal, never a hang.
+///
+///   printf '{"id":"r1","program":"read(a);\nwrite(a);\n","line":2,
+///            "vars":["a"]}\n' | jslice_serve
+///
+///   jslice_serve [--input FILE] [--journal FILE] [--quarantine DIR]
+///                [--threads N] [--budget-ms N] [--max-steps N]
+///                [--poll-stride N] [--scale-percent N] [--backoff-ms N]
+///                [--no-degrade]
+///
+///   --input FILE      read requests from FILE instead of stdin
+///   --journal FILE    write-ahead request journal; on startup,
+///                     requests a crashed predecessor left in flight
+///                     are quarantined and refused on resubmission
+///   --quarantine DIR  where poisoned reproducers go (default poisoned)
+///   --threads N       worker threads (default: JSLICE_THREADS env var,
+///                     else hardware concurrency)
+///   --budget-ms N     default per-request deadline (requests override)
+///   --max-steps N     default per-request step budget
+///   --poll-stride N   guard checkpoints between deadline polls
+///                     (default 16 — tighter than the library's 256,
+///                     because an overshot deadline stalls a worker)
+///   --scale-percent N per-rung ladder budget scale (default 50)
+///   --backoff-ms N    sleep before each ladder retry, doubling per
+///                     rung, capped at 100ms (default 0)
+///   --no-degrade      disable the ladder: serve the requested
+///                     algorithm or refuse
+///
+/// Exit codes: 0 — stream served to EOF; 2 — usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+using namespace jslice;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: jslice_serve [--input FILE] [--journal FILE] "
+               "[--quarantine DIR]\n"
+               "                    [--threads N] [--budget-ms N] "
+               "[--max-steps N]\n"
+               "                    [--poll-stride N] [--scale-percent N] "
+               "[--backoff-ms N]\n"
+               "                    [--no-degrade]\n");
+  return 2;
+}
+
+std::optional<uint64_t> parseCount(const std::string &Text) {
+  if (Text.empty())
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    if (Value > (UINT64_MAX - static_cast<uint64_t>(C - '0')) / 10)
+      return std::nullopt;
+    Value = Value * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return Value;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServerOptions Opts;
+  std::string InputPath;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextValue = [&]() -> std::optional<std::string> {
+      if (I + 1 >= argc)
+        return std::nullopt;
+      return std::string(argv[++I]);
+    };
+
+    if (Arg == "--input" || Arg == "--journal" || Arg == "--quarantine" ||
+        Arg == "--hang-after-begin") {
+      std::optional<std::string> Value = NextValue();
+      if (!Value) {
+        std::fprintf(stderr, "error: %s requires an argument\n", Arg.c_str());
+        return usage();
+      }
+      if (Arg == "--input")
+        InputPath = *Value;
+      else if (Arg == "--journal")
+        Opts.JournalPath = *Value;
+      else if (Arg == "--quarantine")
+        Opts.QuarantineDir = *Value;
+      else
+        Opts.HangAfterBeginId = *Value; // Test hook (see Server.h).
+    } else if (Arg == "--threads" || Arg == "--budget-ms" ||
+               Arg == "--max-steps" || Arg == "--poll-stride" ||
+               Arg == "--scale-percent" || Arg == "--backoff-ms") {
+      std::optional<std::string> Value = NextValue();
+      std::optional<uint64_t> N = Value ? parseCount(*Value) : std::nullopt;
+      if (!N) {
+        std::fprintf(stderr, "error: %s expects a number\n", Arg.c_str());
+        return usage();
+      }
+      if (Arg == "--threads")
+        Opts.Threads = static_cast<unsigned>(*N);
+      else if (Arg == "--budget-ms")
+        Opts.DefaultBudget.DeadlineMs = *N;
+      else if (Arg == "--max-steps")
+        Opts.DefaultBudget.MaxSteps = *N;
+      else if (Arg == "--poll-stride")
+        Opts.DefaultBudget.PollStride = *N;
+      else if (Arg == "--scale-percent")
+        Opts.Ladder.ScalePercent = static_cast<unsigned>(*N);
+      else
+        Opts.Ladder.BackoffMs = static_cast<unsigned>(*N);
+    } else if (Arg == "--no-degrade") {
+      Opts.Ladder.Degrade = false;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return usage();
+    }
+  }
+
+  Server S(Opts, std::cout, std::cerr);
+  unsigned Quarantined = S.recover();
+  if (Quarantined)
+    std::fprintf(stderr,
+                 "jslice_serve: recovered journal; %u poisoned request%s "
+                 "quarantined under %s\n",
+                 Quarantined, Quarantined == 1 ? "" : "s",
+                 Opts.QuarantineDir.c_str());
+
+  if (!InputPath.empty()) {
+    std::ifstream In(InputPath);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", InputPath.c_str());
+      return usage();
+    }
+    S.serve(In);
+  } else {
+    S.serve(std::cin);
+  }
+  return 0;
+}

@@ -1,0 +1,416 @@
+//===- tools/jslice_soak.cpp - Slicing-service soak driver --------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The service's acceptance gate: floods an in-process Server with
+/// generated slice requests — mixed algorithms, criteria, and budgets
+/// (some deliberately starved so the degradation ladder must walk) —
+/// interleaved with cancellations, malformed lines, and health checks,
+/// then audits the response stream:
+///
+///   * every slice request is answered exactly once, with a legal
+///     status;
+///   * every resource-exhausted refusal shows the whole ladder tripped
+///     or skipped (no silent give-up while a cheaper sound tier
+///     remained);
+///   * the process neither crashes nor hangs.
+///
+/// With --fault-stride N it additionally sizes a clean single-request
+/// serve in guard checkpoints, then re-serves with a fault injected at
+/// every Nth ordinal (threads forced to 1 for determinism): each
+/// injected run must still answer the request — served on a surviving
+/// rung or refused with diagnostics — and the disarmed re-run must
+/// succeed.
+///
+///   jslice_soak [--requests N] [--programs N] [--stmts N] [--threads N]
+///               [--seed N] [--fault-stride N] [--journal FILE]
+///               [--verbose]
+///
+/// Exit codes: 0 — no violations; 1 — at least one violation; 2 —
+/// usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/ProgramGenerator.h"
+#include "service/Server.h"
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace jslice;
+
+namespace {
+
+struct SoakOptions {
+  uint64_t Requests = 10000;
+  unsigned Programs = 100;
+  unsigned TargetStmts = 40;
+  unsigned Threads = 0;
+  uint64_t Seed = 1;
+  uint64_t FaultStride = 0;
+  std::string JournalPath;
+  bool Verbose = false;
+};
+
+const SliceAlgorithm AllAlgorithms[] = {
+    SliceAlgorithm::Conventional,    SliceAlgorithm::Agrawal,
+    SliceAlgorithm::AgrawalLst,      SliceAlgorithm::Structured,
+    SliceAlgorithm::Conservative,    SliceAlgorithm::BallHorwitz,
+    SliceAlgorithm::Lyle,            SliceAlgorithm::Gallagher,
+    SliceAlgorithm::JiangZhouRobson, SliceAlgorithm::Weiser,
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: jslice_soak [--requests N] [--programs N] [--stmts N]"
+               " [--threads N]\n"
+               "                   [--seed N] [--fault-stride N] "
+               "[--journal FILE] [--verbose]\n");
+  return 2;
+}
+
+std::optional<uint64_t> parseCount(const std::string &Text) {
+  if (Text.empty())
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    if (Value > (UINT64_MAX - static_cast<uint64_t>(C - '0')) / 10)
+      return std::nullopt;
+    Value = Value * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return Value;
+}
+
+/// One generated program with its usable criteria.
+struct SoakProgram {
+  std::string Source;
+  std::vector<Criterion> Criteria;
+};
+
+/// Generates \p N programs (alternating dialects) and mines each for
+/// criteria. Programs that fail analysis still participate — their
+/// requests must come back as clean `error` responses.
+std::vector<SoakProgram> buildPrograms(const SoakOptions &Opts) {
+  std::vector<SoakProgram> Out;
+  for (unsigned I = 0; I != Opts.Programs; ++I) {
+    GenOptions Gen;
+    Gen.Seed = Opts.Seed + I;
+    Gen.TargetStmts = Opts.TargetStmts;
+    Gen.AllowGotos = (I % 2) == 1;
+    SoakProgram P;
+    P.Source = generateProgram(Gen);
+    ErrorOr<Analysis> A = Analysis::fromSource(P.Source, Budget::unlimited());
+    if (A)
+      P.Criteria = reachableWriteCriteria(*A);
+    if (P.Criteria.empty())
+      P.Criteria.push_back(Criterion(1, {}));
+    Out.push_back(std::move(P));
+  }
+  return Out;
+}
+
+/// What the audit saw for one response line.
+struct Audit {
+  uint64_t Responses = 0;
+  uint64_t CancelAcks = 0;
+  uint64_t StatsReplies = 0;
+  uint64_t Unparseable = 0;
+  uint64_t Violations = 0;
+  std::map<std::string, uint64_t> ByStatus;
+  std::map<std::string, uint64_t> SliceResponses; ///< id -> count.
+  uint64_t DegradedServes = 0;
+};
+
+void violation(Audit &A, const char *Why, const std::string &Line) {
+  ++A.Violations;
+  std::fprintf(stderr, "VIOLATION: %s: %s\n", Why, Line.c_str());
+}
+
+/// Audits one response line from the server.
+void auditLine(const std::string &Line, Audit &A) {
+  ++A.Responses;
+  std::optional<JsonValue> V = JsonValue::parse(Line);
+  if (!V || !V->isObject()) {
+    ++A.Unparseable;
+    violation(A, "unparseable response line", Line);
+    return;
+  }
+  if (V->find("cancel")) {
+    ++A.CancelAcks;
+    return;
+  }
+  if (V->find("stats")) {
+    ++A.StatsReplies;
+    return;
+  }
+  const JsonValue *Status = V->find("status");
+  if (!Status || !Status->isString()) {
+    violation(A, "response without status", Line);
+    return;
+  }
+  std::string S = Status->asString();
+  ++A.ByStatus[S];
+  if (S != "ok" && S != "resource-exhausted" && S != "error" &&
+      S != "bad-request" && S != "cancelled" && S != "poisoned") {
+    violation(A, "unknown status", Line);
+    return;
+  }
+  if (const JsonValue *Id = V->find("id"))
+    if (Id->isString() && !Id->asString().empty())
+      ++A.SliceResponses[Id->asString()];
+
+  if (S == "ok") {
+    const JsonValue *Degraded = V->find("degraded");
+    if (Degraded && Degraded->isBool() && Degraded->asBool())
+      ++A.DegradedServes;
+    if (!V->find("lines") || !V->find("lines")->isArray())
+      violation(A, "ok response without lines", Line);
+  } else if (S == "resource-exhausted") {
+    // A refusal is only legal once the whole ladder was consumed:
+    // every attempted rung tripped or was skipped as unsound.
+    const JsonValue *Attempts = V->find("attempts");
+    if (!Attempts || !Attempts->isArray() || Attempts->elements().empty()) {
+      violation(A, "refusal without ladder attempts", Line);
+      return;
+    }
+    for (const JsonValue &At : Attempts->elements()) {
+      const JsonValue *Outcome = At.find("outcome");
+      if (!Outcome || !Outcome->isString() ||
+          Outcome->asString() == "served")
+        violation(A, "refusal whose attempts claim a served rung", Line);
+    }
+  }
+}
+
+/// Serves \p Input on a fresh server and audits every response line.
+/// Returns the raw response text (for callers that inspect further).
+std::string serveAndAudit(const SoakOptions &Opts, const std::string &Input,
+                          unsigned Threads, Audit &A) {
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  std::ostringstream Log;
+  ServerOptions SOpts;
+  SOpts.Threads = Threads;
+  SOpts.JournalPath = Opts.JournalPath;
+  Server S(SOpts, Out, Log);
+  S.recover();
+  S.serve(In);
+  std::string Text = Out.str();
+  std::istringstream Lines(Text);
+  std::string Line;
+  while (std::getline(Lines, Line))
+    if (!Line.empty())
+      auditLine(Line, A);
+  if (Opts.Verbose && !Log.str().empty())
+    std::fputs(Log.str().c_str(), stderr);
+  return Text;
+}
+
+//===----------------------------------------------------------------------===//
+// Volume soak
+//===----------------------------------------------------------------------===//
+
+int runVolumeSoak(const SoakOptions &Opts) {
+  std::vector<SoakProgram> Programs = buildPrograms(Opts);
+
+  std::ostringstream Stream;
+  uint64_t Slices = 0, Cancels = 0, BadLines = 0;
+  for (uint64_t I = 0; I != Opts.Requests; ++I) {
+    if (I % 97 == 96) {
+      // Garbage must bounce as bad-request, never wedge the reader.
+      Stream << (I % 2 ? "{\"id\": 42}" : "{not json") << "\n";
+      ++BadLines;
+      continue;
+    }
+    const SoakProgram &P = Programs[I % Programs.size()];
+    ServiceRequest R;
+    R.Id = "q" + std::to_string(I);
+    R.Program = P.Source;
+    const Criterion &C = P.Criteria[I % P.Criteria.size()];
+    R.Line = C.Line;
+    R.Vars = C.Vars;
+    R.Algorithm = AllAlgorithms[I % (sizeof(AllAlgorithms) /
+                                     sizeof(AllAlgorithms[0]))];
+    if (I % 7 == 3)
+      R.MaxSteps = 200 + (I % 5) * 100; // Starved: the ladder must walk.
+    if (I % 13 == 6)
+      R.BudgetMs = 1; // Deadline-starved.
+    Stream << R.toJson().str() << "\n";
+    ++Slices;
+    if (I % 101 == 100 && I) {
+      // Cancel a request that is queued, running, or already done —
+      // all three must be safe.
+      Stream << "{\"cancel\": \"q" << (I - 1) << "\"}\n";
+      ++Cancels;
+    }
+  }
+  Stream << "{\"stats\": true}\n";
+
+  Audit A;
+  serveAndAudit(Opts, Stream.str(), Opts.Threads, A);
+
+  // Every slice request answered exactly once.
+  for (const auto &[Id, N] : A.SliceResponses)
+    if (N != 1) {
+      ++A.Violations;
+      std::fprintf(stderr, "VIOLATION: id %s answered %llu times\n",
+                   Id.c_str(), static_cast<unsigned long long>(N));
+    }
+  if (A.SliceResponses.size() != Slices) {
+    ++A.Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: %llu slice requests, %zu distinct responses\n",
+                 static_cast<unsigned long long>(Slices),
+                 A.SliceResponses.size());
+  }
+  if (A.StatsReplies != 1 || A.CancelAcks != Cancels) {
+    ++A.Violations;
+    std::fprintf(stderr, "VIOLATION: %llu stats replies, %llu cancel acks "
+                         "(expected 1, %llu)\n",
+                 static_cast<unsigned long long>(A.StatsReplies),
+                 static_cast<unsigned long long>(A.CancelAcks),
+                 static_cast<unsigned long long>(Cancels));
+  }
+
+  std::printf("jslice_soak: %llu requests (%llu slices, %llu cancels, %llu "
+              "bad lines) -> %llu responses\n",
+              static_cast<unsigned long long>(Slices + Cancels + BadLines + 1),
+              static_cast<unsigned long long>(Slices),
+              static_cast<unsigned long long>(Cancels),
+              static_cast<unsigned long long>(BadLines),
+              static_cast<unsigned long long>(A.Responses));
+  for (const auto &[S, N] : A.ByStatus)
+    std::printf("               %-18s %llu\n", S.c_str(),
+                static_cast<unsigned long long>(N));
+  std::printf("               degraded serves    %llu\n",
+              static_cast<unsigned long long>(A.DegradedServes));
+  std::printf("               violations         %llu\n",
+              static_cast<unsigned long long>(A.Violations));
+  return A.Violations ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Fault-injection sweep
+//===----------------------------------------------------------------------===//
+
+int runFaultSweep(const SoakOptions &Opts) {
+  std::vector<SoakProgram> Programs = buildPrograms(Opts);
+  if (Programs.size() > 5)
+    Programs.resize(5); // Every ordinal of five programs is plenty.
+
+  uint64_t FaultRuns = 0, Violations = 0;
+  for (size_t PI = 0; PI != Programs.size(); ++PI) {
+    const SoakProgram &P = Programs[PI];
+    ServiceRequest R;
+    R.Id = "f" + std::to_string(PI);
+    R.Program = P.Source;
+    R.Line = P.Criteria.front().Line;
+    R.Vars = P.Criteria.front().Vars;
+    std::string Input = R.toJson().str() + "\n";
+
+    // Size the clean serve in checkpoints (threads=1 keeps the
+    // process-wide fault ordinal deterministic).
+    FaultInjection::resetCount();
+    {
+      Audit A;
+      serveAndAudit(Opts, Input, /*Threads=*/1, A);
+      Violations += A.Violations;
+    }
+    uint64_t Total = FaultInjection::observedCheckpoints();
+
+    for (uint64_t At = 1; At <= Total; At += Opts.FaultStride) {
+      FaultInjection::ScopedArm Arm(At);
+      ++FaultRuns;
+      Audit A;
+      serveAndAudit(Opts, Input, /*Threads=*/1, A);
+      Violations += A.Violations;
+      if (A.SliceResponses.size() != 1) {
+        ++Violations;
+        std::fprintf(stderr,
+                     "VIOLATION: fault@%llu of program %zu: request not "
+                     "answered exactly once\n",
+                     static_cast<unsigned long long>(At), PI);
+      }
+    }
+
+    // Disarmed, the request must be served again (no sticky state).
+    Audit A;
+    std::string Text = serveAndAudit(Opts, Input, /*Threads=*/1, A);
+    Violations += A.Violations;
+    if (A.ByStatus["ok"] != 1) {
+      ++Violations;
+      std::fprintf(stderr,
+                   "VIOLATION: program %zu not served after the sweep: %s\n",
+                   PI, Text.c_str());
+    }
+    if (Opts.Verbose)
+      std::fprintf(stderr, "fault sweep program %zu: %llu checkpoints\n", PI,
+                   static_cast<unsigned long long>(Total));
+  }
+
+  std::printf("jslice_soak: fault sweep — %llu injected serves across %zu "
+              "programs, %llu violations\n",
+              static_cast<unsigned long long>(FaultRuns), Programs.size(),
+              static_cast<unsigned long long>(Violations));
+  return Violations ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  SoakOptions Opts;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextValue = [&]() -> std::optional<std::string> {
+      if (I + 1 >= argc)
+        return std::nullopt;
+      return std::string(argv[++I]);
+    };
+
+    if (Arg == "--requests" || Arg == "--programs" || Arg == "--stmts" ||
+        Arg == "--threads" || Arg == "--seed" || Arg == "--fault-stride") {
+      std::optional<std::string> Value = NextValue();
+      std::optional<uint64_t> N = Value ? parseCount(*Value) : std::nullopt;
+      if (!N) {
+        std::fprintf(stderr, "error: %s expects a number\n", Arg.c_str());
+        return usage();
+      }
+      if (Arg == "--requests")
+        Opts.Requests = *N;
+      else if (Arg == "--programs")
+        Opts.Programs = static_cast<unsigned>(std::max<uint64_t>(1, *N));
+      else if (Arg == "--stmts")
+        Opts.TargetStmts = static_cast<unsigned>(*N);
+      else if (Arg == "--threads")
+        Opts.Threads = static_cast<unsigned>(*N);
+      else if (Arg == "--seed")
+        Opts.Seed = *N;
+      else
+        Opts.FaultStride = *N;
+    } else if (Arg == "--journal") {
+      std::optional<std::string> Value = NextValue();
+      if (!Value) {
+        std::fprintf(stderr, "error: --journal requires a path\n");
+        return usage();
+      }
+      Opts.JournalPath = *Value;
+    } else if (Arg == "--verbose") {
+      Opts.Verbose = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return usage();
+    }
+  }
+
+  return Opts.FaultStride ? runFaultSweep(Opts) : runVolumeSoak(Opts);
+}

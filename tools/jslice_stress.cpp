@@ -21,7 +21,7 @@
 ///   jslice_stress [--seeds A..B] [--budget tight|default|unlimited]
 ///                 [--dialect structured|goto|both] [--stmts N]
 ///                 [--max-criteria N] [--trials N] [--fault-stride N]
-///                 [--no-batch-check]
+///                 [--no-batch-check] [--replay-journal FILE]
 ///                 [--corpus DIR] [--out DIR] [--verbose]
 ///
 ///   --seeds A..B     generator seed range, inclusive (default 1..50;
@@ -38,6 +38,11 @@
 ///                    = off); every injected failure must surface as
 ///                    diagnostics and the disarmed re-run must succeed
 ///   --no-batch-check skip the batch-vs-single-shot cross-check
+///   --replay-journal FILE
+///                    push every request a crashed jslice_serve left in
+///                    flight in FILE (its write-ahead journal) through
+///                    the differential triage + ddmin reducer — the
+///                    poison-quarantine-to-root-cause path
 ///   --corpus DIR     also push every file under DIR through the
 ///                    pipeline (the checked-in fuzz seeds)
 ///   --out DIR        where minimized repros are written
@@ -52,9 +57,11 @@
 
 #include "gen/ProgramGenerator.h"
 #include "jslice/jslice.h"
+#include "service/Journal.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -83,6 +90,7 @@ struct StressOptions {
   unsigned Trials = 3;
   uint64_t FaultStride = 0;
   bool BatchCheck = true;
+  std::string ReplayJournal;
   std::string CorpusDir;
   std::string OutDir = "stress-repros";
   bool Verbose = false;
@@ -132,8 +140,8 @@ int usage() {
       "                     [--dialect structured|goto|both] [--stmts N]\n"
       "                     [--max-criteria N] [--trials N] "
       "[--fault-stride N]\n"
-      "                     [--no-batch-check] [--corpus DIR] [--out DIR] "
-      "[--verbose]\n");
+      "                     [--no-batch-check] [--replay-journal FILE]\n"
+      "                     [--corpus DIR] [--out DIR] [--verbose]\n");
   return 2;
 }
 
@@ -616,6 +624,13 @@ int main(int argc, char **argv) {
         Opts.Trials = static_cast<unsigned>(*N);
       else
         Opts.FaultStride = *N;
+    } else if (Arg == "--replay-journal") {
+      std::optional<std::string> Value = NextValue();
+      if (!Value) {
+        std::fprintf(stderr, "error: --replay-journal requires a file\n");
+        return usage();
+      }
+      Opts.ReplayJournal = *Value;
     } else if (Arg == "--corpus") {
       std::optional<std::string> Value = NextValue();
       if (!Value) {
@@ -641,6 +656,22 @@ int main(int argc, char **argv) {
   }
 
   Tally Counts;
+
+  // Requests a crashed server left in flight: each poisoned program
+  // goes through the same triage + ddmin as a generator mismatch, so
+  // the quarantine turns into a root cause.
+  if (!Opts.ReplayJournal.empty()) {
+    std::vector<PoisonedRequest> Poisoned = scanJournal(Opts.ReplayJournal);
+    if (Poisoned.empty())
+      std::fprintf(stderr, "jslice_stress: no poisoned requests in %s\n",
+                   Opts.ReplayJournal.c_str());
+    for (const PoisonedRequest &P : Poisoned) {
+      std::string Tag = "journal_";
+      for (char C : P.Id)
+        Tag += std::isalnum(static_cast<unsigned char>(C)) ? C : '_';
+      runPipeline(P.Request.Program, Tag, /*Seed=*/1, Opts, Counts);
+    }
+  }
 
   // Checked-in fuzz seeds first: fixed adversarial shapes.
   if (!Opts.CorpusDir.empty()) {

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Crash-recovery acceptance for the slicing service: kill -9 a server
+# while a request is in flight (the --hang-after-begin test hook gives
+# the kill a deterministic window after the journal `begin` record is
+# durable), then assert the restart quarantines the request as a
+# replayable reproducer, refuses its resubmission, and does not
+# re-quarantine on a second restart. Optionally replays the crashed
+# journal through jslice_stress's triage path.
+#
+#   service_crash_recovery.sh <jslice_serve> <workdir> [<jslice_stress>]
+set -u
+
+SERVE="$1"
+WORK="$2"
+STRESS="${3:-}"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+REQ='{"id":"victim","program":"read(a);\nwrite(a);\n","line":2,"vars":["a"]}'
+
+printf '%s\n' "$REQ" |
+  "$SERVE" --journal wal.jsonl --quarantine q --hang-after-begin victim &
+PID=$!
+
+# The begin record must become durable before the kill.
+for _ in $(seq 1 100); do
+  grep -q '"event":"begin"' wal.jsonl 2>/dev/null && break
+  sleep 0.1
+done
+if ! grep -q '"event":"begin"' wal.jsonl 2>/dev/null; then
+  echo "FAIL: no begin record appeared in the journal"
+  kill -9 "$PID" 2>/dev/null
+  exit 1
+fi
+
+kill -9 "$PID"
+wait "$PID" 2>/dev/null
+
+# The dead server's journal feeds the differential triage directly.
+if [ -n "$STRESS" ]; then
+  if ! "$STRESS" --replay-journal wal.jsonl --seeds 1..1 --trials 1 \
+       --no-batch-check --out replay-repros; then
+    echo "FAIL: jslice_stress --replay-journal flagged the crashed journal"
+    exit 1
+  fi
+fi
+
+# Restart: the in-flight request must be quarantined...
+OUT=$(printf '%s\n' "$REQ" | "$SERVE" --journal wal.jsonl --quarantine q \
+        2>stderr1.txt)
+if ! grep -q "quarantined" stderr1.txt; then
+  echo "FAIL: restart did not quarantine the in-flight request"
+  cat stderr1.txt
+  exit 1
+fi
+if [ ! -f q/poison_victim.mc ]; then
+  echo "FAIL: no reproducer was written"
+  exit 1
+fi
+# ...and its resubmission refused with a pointer to the reproducer.
+if ! printf '%s' "$OUT" | grep -q 'poisoned'; then
+  echo "FAIL: resubmission was not refused: $OUT"
+  exit 1
+fi
+
+# A second restart must not re-quarantine (the pair was closed).
+printf '' | "$SERVE" --journal wal.jsonl --quarantine q 2>stderr2.txt
+if grep -q "quarantined" stderr2.txt; then
+  echo "FAIL: second restart re-quarantined an already-closed request"
+  exit 1
+fi
+
+echo "crash recovery OK"
