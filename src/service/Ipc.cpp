@@ -1,0 +1,100 @@
+//===- service/Ipc.cpp - Length-prefixed pipe framing ----------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Ipc.h"
+
+#include "support/Pipe.h"
+
+#include <chrono>
+#include <cstring>
+
+using namespace jslice;
+
+bool jslice::writeFrame(int Fd, const std::string &Payload) {
+  if (Payload.size() > MaxFramePayload)
+    return false;
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  unsigned char Header[4] = {
+      static_cast<unsigned char>(Len & 0xFF),
+      static_cast<unsigned char>((Len >> 8) & 0xFF),
+      static_cast<unsigned char>((Len >> 16) & 0xFF),
+      static_cast<unsigned char>((Len >> 24) & 0xFF),
+  };
+  // One buffer, one write: a frame must never be torn by a concurrent
+  // writer on the same fd (the supervisor serializes per worker, but
+  // cheap insurance beats a protocol deadlock).
+  std::string Buf;
+  Buf.reserve(4 + Payload.size());
+  Buf.append(reinterpret_cast<const char *>(Header), 4);
+  Buf.append(Payload);
+  return writeFull(Fd, Buf.data(), Buf.size());
+}
+
+namespace {
+
+/// Milliseconds left before \p Deadline, clamped at 0; -1 when the
+/// caller asked to block forever.
+int remainingMs(bool Bounded,
+                std::chrono::steady_clock::time_point Deadline) {
+  if (!Bounded)
+    return -1;
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Deadline - std::chrono::steady_clock::now());
+  return Left.count() <= 0 ? 0 : static_cast<int>(Left.count());
+}
+
+/// Reads exactly \p N bytes before the deadline. Returns Ok, Eof (only
+/// when \p EofLegal and no byte arrived), Timeout, or Error.
+FrameReadStatus readExact(int Fd, void *Buf, size_t N, bool Bounded,
+                          std::chrono::steady_clock::time_point Deadline,
+                          bool EofLegal) {
+  char *P = static_cast<char *>(Buf);
+  size_t Got = 0;
+  while (Got < N) {
+    int Ready = pollReadable(Fd, remainingMs(Bounded, Deadline));
+    if (Ready < 0)
+      return FrameReadStatus::Error;
+    if (Ready == 0)
+      return FrameReadStatus::Timeout;
+    int64_t R = readSome(Fd, P + Got, N - Got);
+    if (R < 0)
+      return FrameReadStatus::Error;
+    if (R == 0)
+      return (Got == 0 && EofLegal) ? FrameReadStatus::Eof
+                                    : FrameReadStatus::Error;
+    Got += static_cast<size_t>(R);
+  }
+  return FrameReadStatus::Ok;
+}
+
+} // namespace
+
+FrameReadStatus jslice::readFrame(int Fd, std::string &Payload,
+                                  int TimeoutMs) {
+  bool Bounded = TimeoutMs >= 0;
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(Bounded ? TimeoutMs : 0);
+
+  unsigned char Header[4];
+  FrameReadStatus S =
+      readExact(Fd, Header, 4, Bounded, Deadline, /*EofLegal=*/true);
+  if (S != FrameReadStatus::Ok)
+    return S;
+
+  uint32_t Len = static_cast<uint32_t>(Header[0]) |
+                 (static_cast<uint32_t>(Header[1]) << 8) |
+                 (static_cast<uint32_t>(Header[2]) << 16) |
+                 (static_cast<uint32_t>(Header[3]) << 24);
+  if (Len > MaxFramePayload)
+    return FrameReadStatus::Error;
+
+  Payload.assign(Len, '\0');
+  if (Len == 0)
+    return FrameReadStatus::Ok;
+  return readExact(Fd, Payload.data(), Len, Bounded, Deadline,
+                   /*EofLegal=*/false);
+}

@@ -1,0 +1,58 @@
+//===- service/Ipc.h - Length-prefixed pipe framing ------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire format between the supervisor and its sandbox workers
+/// (service/Supervisor.h): one frame per message, a 4-byte
+/// little-endian length followed by that many payload bytes. Payloads
+/// are the service's own JSON lines — a request object on the way
+/// down, a response object on the way up — so the framing carries no
+/// schema of its own and a crashed worker can never leave the channel
+/// half-parsed: the next read either times out, sees EOF, or sees a
+/// complete frame.
+///
+/// Reads are deadline-driven (poll + full read) because the read side
+/// is the supervisor's heartbeat: a worker that neither answers nor
+/// dies within the deadline is hung and gets killed. A length above
+/// MaxFramePayload fails the read immediately — a corrupted or
+/// adversarial length must not make the supervisor allocate gigabytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SERVICE_IPC_H
+#define JSLICE_SERVICE_IPC_H
+
+#include <cstdint>
+#include <string>
+
+namespace jslice {
+
+/// Upper bound on one frame's payload (64 MiB — a request carries a
+/// whole program text, but nothing this service speaks approaches
+/// this).
+constexpr uint32_t MaxFramePayload = 64u << 20;
+
+/// Outcome of one framed read.
+enum class FrameReadStatus {
+  Ok,      ///< A complete frame landed in the output buffer.
+  Eof,     ///< Clean EOF before any byte (peer closed / died idle).
+  Timeout, ///< Deadline passed with no complete frame.
+  Error,   ///< Short read mid-frame, oversized length, or I/O error.
+};
+
+/// Writes one frame. False on any error (EPIPE when the peer is dead;
+/// the caller must have SIGPIPE ignored).
+bool writeFrame(int Fd, const std::string &Payload);
+
+/// Reads one frame within \p TimeoutMs milliseconds (< 0 blocks
+/// indefinitely). The deadline covers the whole frame, not just the
+/// first byte: a peer that trickles a torn frame still times out.
+FrameReadStatus readFrame(int Fd, std::string &Payload, int TimeoutMs);
+
+} // namespace jslice
+
+#endif // JSLICE_SERVICE_IPC_H

@@ -11,7 +11,6 @@
 
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <sstream>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -21,21 +20,62 @@
 
 using namespace jslice;
 
+namespace {
+
+/// Minimal record probe: event + id, without materializing requests.
+bool probeRecord(const std::string &Line, std::string &Event,
+                 std::string &Id) {
+  std::optional<JsonValue> V = JsonValue::parse(Line);
+  if (!V || !V->isObject())
+    return false;
+  const JsonValue *E = V->find("event");
+  if (!E || !E->isString())
+    return false;
+  Event = E->asString();
+  const JsonValue *I = V->find("id");
+  Id = (I && I->isString()) ? I->asString() : "";
+  return true;
+}
+
+} // namespace
+
 Journal::~Journal() {
   if (File)
     std::fclose(File);
 }
 
-bool Journal::open(const std::string &P) {
+bool Journal::open(const std::string &P, uint64_t Rotate) {
   std::lock_guard<std::mutex> Lock(M);
   if (File) {
     std::fclose(File);
     File = nullptr;
   }
+  OpenBegins.clear();
+  Bytes = 0;
+
+  // Seed the in-flight index from the existing file: rotation must
+  // preserve a predecessor's unmatched begins until recover() closes
+  // them, even if the first rotation fires before that.
+  {
+    std::ifstream In(P);
+    std::string Line;
+    while (In && std::getline(In, Line)) {
+      Bytes += Line.size() + 1;
+      std::string Event, Id;
+      if (!probeRecord(Line, Event, Id))
+        continue; // Torn tail record; it will be dropped on rotation.
+      if (Event == "begin" && !Id.empty())
+        OpenBegins[Id] = Line;
+      else if (Event == "end")
+        OpenBegins.erase(Id);
+    }
+  }
+
   File = std::fopen(P.c_str(), "ab");
   if (!File)
     return false;
   Path = P;
+  RotateBytes = Rotate;
   return true;
 }
 
@@ -43,9 +83,13 @@ void Journal::append(const std::string &Line) {
   std::lock_guard<std::mutex> Lock(M);
   if (!File)
     return;
+  if (RotateBytes && Bytes + Line.size() + 1 > RotateBytes &&
+      Bytes > OpenBegins.size() * 64) // Don't thrash a tiny threshold.
+    rewriteLocked();
   std::fwrite(Line.data(), 1, Line.size(), File);
   std::fputc('\n', File);
   std::fflush(File);
+  Bytes += Line.size() + 1;
 #ifdef JSLICE_HAVE_FSYNC
   // fflush reaches the OS; fsync reaches the disk. A kill -9 only
   // needs the former, a power cut the latter — take both, the journal
@@ -54,12 +98,50 @@ void Journal::append(const std::string &Line) {
 #endif
 }
 
+/// Rewrites the file to exactly the unmatched begins. Called with the
+/// mutex held. Write-temp-then-rename so a crash mid-rotation leaves
+/// either the old file or the new one, never a torn hybrid.
+bool Journal::rewriteLocked() {
+  std::string Tmp = Path + ".rotate";
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out)
+      return false;
+    for (const auto &[Id, Line] : OpenBegins)
+      Out << Line << "\n";
+    Out.flush();
+    if (!Out)
+      return false;
+  }
+  std::error_code Ec;
+  std::filesystem::rename(Tmp, Path, Ec);
+  if (Ec) {
+    std::filesystem::remove(Tmp, Ec);
+    return false;
+  }
+  // The old handle now points at an unlinked inode; reopen the new
+  // file. A failed reopen disables the journal rather than silently
+  // appending into the void.
+  std::fclose(File);
+  File = std::fopen(Path.c_str(), "ab");
+  Bytes = 0;
+  for (const auto &[Id, Line] : OpenBegins)
+    Bytes += Line.size() + 1;
+  return File != nullptr;
+}
+
 void Journal::begin(const ServiceRequest &R) {
   JsonValue Rec = JsonValue::object();
   Rec.set("event", "begin");
   Rec.set("id", R.Id);
   Rec.set("request", R.toJson());
-  append(Rec.str());
+  std::string Line = Rec.str();
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (File)
+      OpenBegins[R.Id] = Line;
+  }
+  append(Line);
 }
 
 void Journal::end(const std::string &Id, const std::string &Status) {
@@ -67,7 +149,31 @@ void Journal::end(const std::string &Id, const std::string &Status) {
   Rec.set("event", "end");
   Rec.set("id", Id);
   Rec.set("status", Status);
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    OpenBegins.erase(Id);
+  }
   append(Rec.str());
+}
+
+void Journal::shutdownRecord() {
+  JsonValue Rec = JsonValue::object();
+  Rec.set("event", "shutdown");
+  Rec.set("status", "clean");
+  append(Rec.str());
+}
+
+size_t Journal::compact() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (!File)
+    return 0;
+  rewriteLocked();
+  return OpenBegins.size();
+}
+
+uint64_t Journal::bytes() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Bytes;
 }
 
 std::vector<PoisonedRequest> jslice::scanJournal(const std::string &Path) {
@@ -88,8 +194,12 @@ std::vector<PoisonedRequest> jslice::scanJournal(const std::string &Path) {
       continue; // Torn tail record; skip.
     const JsonValue *Event = V->find("event");
     const JsonValue *Id = V->find("id");
-    if (!Event || !Event->isString() || !Id || !Id->isString())
+    if (!Event || !Event->isString())
       continue;
+    if (!Id || !Id->isString()) {
+      // Id-less records (the shutdown marker) carry no in-flight state.
+      continue;
+    }
     if (Event->asString() == "begin") {
       const JsonValue *Req = V->find("request");
       ServiceRequest R;
@@ -103,6 +213,21 @@ std::vector<PoisonedRequest> jslice::scanJournal(const std::string &Path) {
   for (auto &[Id, R] : Open)
     Out.push_back(PoisonedRequest{Id, std::move(R)});
   return Out;
+}
+
+bool jslice::journalEndsWithCleanShutdown(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::string Line, LastEvent;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::string Event, Id;
+    if (probeRecord(Line, Event, Id))
+      LastEvent = Event;
+  }
+  return LastEvent == "shutdown";
 }
 
 std::string jslice::quarantinePoisoned(const std::string &Dir,

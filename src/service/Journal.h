@@ -23,6 +23,17 @@
 ///
 ///   {"event":"begin","id":"r1","request":{...full request...}}
 ///   {"event":"end","id":"r1","status":"ok"}
+///   {"event":"shutdown","status":"clean"}
+///
+/// The journal only ever *matters* for its unmatched begins, so it
+/// compacts to exactly those: compact() rewrites the file keeping only
+/// in-flight begins (recover() calls it after quarantining, so a
+/// restart inherits a minimal journal), and a file growing past the
+/// rotation threshold rewrites itself the same way mid-run — a server
+/// that lives for a billion requests carries kilobytes, not the full
+/// history. The `shutdown` record is the graceful-drain marker
+/// (tools/jslice_serve's SIGTERM path): operators can tell a clean
+/// stop from a crash without diffing begin/end pairs.
 ///
 /// Unparseable journal lines (a crash can truncate the final record)
 /// are skipped; recovery is best-effort by design.
@@ -35,6 +46,7 @@
 #include "service/Request.h"
 
 #include <cstdio>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -51,9 +63,12 @@ public:
   Journal(const Journal &) = delete;
   Journal &operator=(const Journal &) = delete;
 
-  /// Opens \p Path for appending. Returns false (and stays disabled)
-  /// when the file cannot be opened.
-  bool open(const std::string &Path);
+  /// Opens \p Path for appending and seeds the in-flight index from
+  /// whatever the file already holds. \p RotateBytes > 0 arms size-
+  /// triggered rotation: once the file exceeds it, the journal is
+  /// rewritten down to its unmatched begins. Returns false (and stays
+  /// disabled) when the file cannot be opened.
+  bool open(const std::string &Path, uint64_t RotateBytes = 0);
 
   bool enabled() const { return File != nullptr; }
   const std::string &path() const { return Path; }
@@ -64,12 +79,28 @@ public:
   /// Appends the completion record for \p Id.
   void end(const std::string &Id, const std::string &Status);
 
+  /// Appends the graceful-shutdown marker (clean drain, no poison).
+  void shutdownRecord();
+
+  /// Rewrites the file keeping only unmatched begins. Returns the
+  /// number of records kept; a fully-bracketed journal compacts to an
+  /// empty file. No-op (returning 0) when disabled.
+  size_t compact();
+
+  /// Bytes currently in the file (as tracked by the appender).
+  uint64_t bytes() const;
+
 private:
   void append(const std::string &Line);
+  bool rewriteLocked();
 
-  std::mutex M;
+  mutable std::mutex M;
   std::FILE *File = nullptr;
   std::string Path;
+  uint64_t RotateBytes = 0;
+  uint64_t Bytes = 0;
+  /// Id -> raw begin line, for every begin without a matching end.
+  std::map<std::string, std::string> OpenBegins;
 };
 
 /// One in-flight-at-crash request recovered from a journal.
@@ -81,6 +112,10 @@ struct PoisonedRequest {
 /// Scans \p Path for begin records with no matching end. Missing or
 /// empty files yield an empty list (first boot is not an error).
 std::vector<PoisonedRequest> scanJournal(const std::string &Path);
+
+/// True when \p Path's last meaningful record is a clean `shutdown`
+/// marker (the graceful-drain test and operators use this).
+bool journalEndsWithCleanShutdown(const std::string &Path);
 
 /// Writes \p P's program to \p Dir/poison_<id>.mc with a metadata
 /// sidecar (same shape as the stress harness's repros). Returns the

@@ -235,6 +235,49 @@ private:
     }
   }
 
+  /// Reads exactly four hex digits into \p Code. On failure reports
+  /// and returns false.
+  bool hex4(unsigned &Code) {
+    if (Pos + 4 > Text.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    Code = 0;
+    for (int I = 0; I != 4; ++I) {
+      char H = Text[Pos++];
+      Code <<= 4;
+      if (H >= '0' && H <= '9')
+        Code |= static_cast<unsigned>(H - '0');
+      else if (H >= 'a' && H <= 'f')
+        Code |= static_cast<unsigned>(H - 'a' + 10);
+      else if (H >= 'A' && H <= 'F')
+        Code |= static_cast<unsigned>(H - 'A' + 10);
+      else {
+        fail("bad \\u escape");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xC0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+  }
+
   std::optional<JsonValue> string() {
     consume('"');
     std::string Out;
@@ -275,34 +318,36 @@ private:
         Out += '\t';
         break;
       case 'u': {
-        if (Pos + 4 > Text.size())
-          return fail("truncated \\u escape");
         unsigned Code = 0;
-        for (int I = 0; I != 4; ++I) {
-          char H = Text[Pos++];
-          Code <<= 4;
-          if (H >= '0' && H <= '9')
-            Code |= static_cast<unsigned>(H - '0');
-          else if (H >= 'a' && H <= 'f')
-            Code |= static_cast<unsigned>(H - 'a' + 10);
-          else if (H >= 'A' && H <= 'F')
-            Code |= static_cast<unsigned>(H - 'A' + 10);
-          else
-            return fail("bad \\u escape");
+        if (!hex4(Code))
+          return std::nullopt;
+        // Surrogate handling: a \uD800-\uDBFF immediately followed by
+        // \uDC00-\uDFFF decodes as one supplementary code point
+        // (4-byte UTF-8). A lone surrogate — either half on its own —
+        // names no character; it becomes U+FFFD rather than leaking
+        // an invalid UTF-8 sequence into the heap of tools downstream
+        // of the service (tolerant by design: the journal must be
+        // able to round-trip any request the server ever accepted).
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          size_t Save = Pos;
+          unsigned Low = 0;
+          if (Pos + 1 < Text.size() && Text[Pos] == '\\' &&
+              Text[Pos + 1] == 'u') {
+            Pos += 2;
+            if (!hex4(Low))
+              return std::nullopt;
+            if (Low >= 0xDC00 && Low <= 0xDFFF) {
+              appendUtf8(Out, 0x10000 + ((Code - 0xD800) << 10) +
+                                  (Low - 0xDC00));
+              break;
+            }
+            Pos = Save; // Not the pair's low half; reparse it alone.
+          }
+          Code = 0xFFFD;
+        } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          Code = 0xFFFD; // Lone low surrogate.
         }
-        // BMP only; surrogate pairs render as two replacement-free
-        // 3-byte sequences, which round-trips our own output (the
-        // service never emits surrogates).
-        if (Code < 0x80) {
-          Out += static_cast<char>(Code);
-        } else if (Code < 0x800) {
-          Out += static_cast<char>(0xC0 | (Code >> 6));
-          Out += static_cast<char>(0x80 | (Code & 0x3F));
-        } else {
-          Out += static_cast<char>(0xE0 | (Code >> 12));
-          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
-          Out += static_cast<char>(0x80 | (Code & 0x3F));
-        }
+        appendUtf8(Out, Code);
         break;
       }
       default:

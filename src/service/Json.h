@@ -9,10 +9,16 @@
 /// The small JSON subset the slicing service speaks: null, booleans,
 /// integer numbers (the protocol has no fractions; fractional input is
 /// parsed but truncates through asUInt), strings with the standard
-/// escapes (\uXXXX covers the BMP, encoded as UTF-8), arrays, and
-/// objects. No external dependency — the container bakes in nothing —
-/// and no exceptions: parse() returns nullopt with a position-carrying
-/// message, matching the library's ErrorOr discipline one level down.
+/// escapes, arrays, and objects. \uXXXX escapes decode to UTF-8,
+/// including supplementary planes via surrogate pairs; a lone
+/// surrogate becomes U+FFFD (tolerant: anything the server accepted
+/// must round-trip through the journal, and an invalid sequence must
+/// never leak downstream). Raw non-escape bytes pass through
+/// byte-transparently — the parser validates JSON structure, not
+/// UTF-8 well-formedness. No external dependency — the container
+/// bakes in nothing — and no exceptions: parse() returns nullopt with
+/// a position-carrying message, matching the library's ErrorOr
+/// discipline one level down.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -197,8 +197,26 @@ const char *jslice::responseStatusName(ResponseStatus S) {
     return "cancelled";
   case ResponseStatus::Poisoned:
     return "poisoned";
+  case ResponseStatus::Crashed:
+    return "crashed";
+  case ResponseStatus::Shed:
+    return "shed";
   }
   return "error";
+}
+
+std::optional<ResponseStatus>
+jslice::responseStatusByName(const std::string &Name) {
+  static const ResponseStatus All[] = {
+      ResponseStatus::Ok,        ResponseStatus::ResourceExhausted,
+      ResponseStatus::Error,     ResponseStatus::BadRequest,
+      ResponseStatus::Cancelled, ResponseStatus::Poisoned,
+      ResponseStatus::Crashed,   ResponseStatus::Shed,
+  };
+  for (ResponseStatus S : All)
+    if (Name == responseStatusName(S))
+      return S;
+  return std::nullopt;
 }
 
 std::string ServiceResponse::str() const {

@@ -31,6 +31,17 @@
 ///   poisoned           matched a quarantined request from a previous
 ///                      crashed run (see Journal.h); `repro` names the
 ///                      dumped reproducer
+///   crashed            process isolation only: the sandbox worker
+///                      running this request died (`error` quotes the
+///                      wait status) or hung past its deadline; the
+///                      request is quarantined and `repro` names the
+///                      reproducer
+///   shed               overload control refused it without running:
+///                      the admission queue was full, the queue
+///                      deadline passed before a worker was free, the
+///                      memory watermark tripped, the restart-storm
+///                      circuit breaker was open, or the server was
+///                      draining for shutdown
 ///
 //===----------------------------------------------------------------------===//
 
@@ -99,8 +110,15 @@ enum class ResponseStatus {
   BadRequest,
   Cancelled,
   Poisoned,
+  Crashed,
+  Shed,
 };
 const char *responseStatusName(ResponseStatus S);
+
+/// Inverse of responseStatusName (the supervisor passes worker
+/// responses through as text; the server still needs the enum for its
+/// counters). Nullopt on an unknown string.
+std::optional<ResponseStatus> responseStatusByName(const std::string &Name);
 
 /// One rung of the degradation ladder as reported to the caller.
 struct TierReport {

@@ -1,0 +1,89 @@
+//===- service/SandboxWorker.cpp - Sandbox worker request loop -------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/SandboxWorker.h"
+
+#include "service/Ipc.h"
+
+using namespace jslice;
+
+ServiceResponse jslice::executeSliceRequest(const ServiceRequest &R,
+                                            const ExecConfig &Cfg,
+                                            const std::atomic<bool> *Cancel,
+                                            uint64_t *RungTrips) {
+  ServiceResponse Resp;
+  Resp.Id = R.Id;
+  Resp.Requested = algorithmName(R.Algorithm);
+
+  Budget B = Cfg.DefaultBudget;
+  if (R.BudgetMs)
+    B.DeadlineMs = R.BudgetMs;
+  if (R.MaxSteps)
+    B.MaxSteps = R.MaxSteps;
+  B.Cancel = Cancel;
+
+  LadderOptions L = Cfg.Ladder;
+  L.B = B;
+  LadderResult Res =
+      runLadder(R.Program, Criterion(R.Line, R.Vars), R.Algorithm, L);
+
+  for (const LadderAttempt &A : Res.Attempts) {
+    TierReport T;
+    T.Tier = algorithmName(A.Tier);
+    T.Outcome = A.Served ? "served"
+               : A.Skipped ? "skipped"
+                           : "resource-exhausted";
+    T.Detail = A.Served ? "" : (A.Skipped ? A.SkipReason : A.Trip);
+    if (!A.Served && !A.Skipped && RungTrips)
+      ++*RungTrips;
+    Resp.Attempts.push_back(std::move(T));
+  }
+
+  if (Res.Ok) {
+    Resp.Status = ResponseStatus::Ok;
+    Resp.ServedTier = algorithmName(Res.Served);
+    Resp.Degraded = Res.Degraded;
+    Resp.Lines = Res.Lines;
+  } else if (Cancel && Cancel->load(std::memory_order_relaxed)) {
+    Resp.Status = ResponseStatus::Cancelled;
+    Resp.Error = "cancelled";
+  } else if (Res.Diags.hasKind(DiagKind::ResourceExhausted)) {
+    Resp.Status = ResponseStatus::ResourceExhausted;
+    Resp.Error = Res.Diags.str();
+  } else {
+    Resp.Status = ResponseStatus::Error;
+    Resp.Error = Res.Diags.str();
+  }
+  return Resp;
+}
+
+int jslice::sandboxWorkerMain(int InFd, int OutFd, const ExecConfig &Cfg) {
+  std::string Payload;
+  for (;;) {
+    FrameReadStatus S = readFrame(InFd, Payload, /*TimeoutMs=*/-1);
+    if (S == FrameReadStatus::Eof)
+      return 0; // The supervisor closed the channel: clean retirement.
+    if (S != FrameReadStatus::Ok)
+      return 1;
+
+    ServiceResponse Resp;
+    std::optional<JsonValue> V = JsonValue::parse(Payload);
+    ServiceRequest R;
+    if (V && requestFromJson(*V, R)) {
+      Resp = executeSliceRequest(R, Cfg, /*Cancel=*/nullptr,
+                                 /*RungTrips=*/nullptr);
+    } else {
+      // The supervisor only ships requests it already parsed, so this
+      // is a framing bug, not client garbage — still answer rather
+      // than die, so the bug surfaces as an error response upstream.
+      Resp.Status = ResponseStatus::Error;
+      Resp.Error = "sandbox worker: unparseable request frame";
+    }
+    if (!writeFrame(OutFd, Resp.str()))
+      return 1; // Supervisor went away mid-response.
+  }
+}

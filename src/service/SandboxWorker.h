@@ -1,0 +1,65 @@
+//===- service/SandboxWorker.h - Sandbox worker request loop ---------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// What one sandbox worker does, and the one function both isolation
+/// modes share. executeSliceRequest() is the full per-request slicing
+/// path — budget assembly, the precision-degradation ladder, the
+/// attempts report — exactly as the threaded server has always run it;
+/// Server calls it in-process in thread mode, and sandboxWorkerMain()
+/// calls it inside a forked child in process mode, so the two modes
+/// cannot drift apart: a request is served bit-identically either way,
+/// the only difference being which process the pointer-chasing happens
+/// in.
+///
+/// The worker loop itself is deliberately dumb: read one framed
+/// request (service/Ipc.h), execute, write one framed response, loop
+/// until EOF. No state survives a request, so a worker that crashes
+/// can be replaced by a fresh fork with nothing to reconstruct — the
+/// supervisor's whole recovery story is "respawn and move on".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SERVICE_SANDBOXWORKER_H
+#define JSLICE_SERVICE_SANDBOXWORKER_H
+
+#include "service/Ladder.h"
+#include "service/Request.h"
+
+#include <atomic>
+
+namespace jslice {
+
+/// The per-request execution configuration both isolation modes share.
+struct ExecConfig {
+  /// Defaults; a request's budget_ms / max_steps override dimensions.
+  Budget DefaultBudget;
+
+  /// Ladder behaviour (rung-1 budget inside is rebuilt per request).
+  LadderOptions Ladder;
+};
+
+/// Runs one slice request through the degradation ladder and renders
+/// the response (status, served tier, lines, attempts; LatencyMs is
+/// left for the caller, who owns the clock that matters to it).
+/// \p Cancel, when non-null, is polled by the guard; \p RungTrips,
+/// when non-null, receives how many ladder rungs tripped a budget.
+ServiceResponse executeSliceRequest(const ServiceRequest &R,
+                                    const ExecConfig &Cfg,
+                                    const std::atomic<bool> *Cancel,
+                                    uint64_t *RungTrips);
+
+/// The sandbox child's main loop: framed requests in on \p InFd,
+/// framed responses out on \p OutFd, until EOF on \p InFd. Returns the
+/// child's exit code (0 on clean EOF shutdown). The caller must leave
+/// the process via _exit() — the child shares the parent's stdio
+/// buffers and must not flush them on the way out.
+int sandboxWorkerMain(int InFd, int OutFd, const ExecConfig &Cfg);
+
+} // namespace jslice
+
+#endif // JSLICE_SERVICE_SANDBOXWORKER_H

@@ -7,10 +7,13 @@
 
 #include "service/Server.h"
 
+#include "service/SandboxWorker.h"
 #include "slicer/BatchSlicer.h"
+#include "support/Pipe.h"
 
 #include <algorithm>
 #include <chrono>
+#include <istream>
 #include <ostream>
 #include <thread>
 
@@ -26,6 +29,8 @@ JsonValue ServerStats::toJson() const {
   Out.set("bad_requests", BadRequests);
   Out.set("cancelled", Cancelled);
   Out.set("poisoned", Poisoned);
+  Out.set("crashed", Crashed);
+  Out.set("shed", Shed);
   Out.set("guard_trips", GuardTrips);
   JsonValue Tiers = JsonValue::object();
   for (const auto &[Tier, N] : TierHistogram)
@@ -33,18 +38,50 @@ JsonValue ServerStats::toJson() const {
   Out.set("tiers", std::move(Tiers));
   Out.set("latency_p50_ms", P50Ms);
   Out.set("latency_p95_ms", P95Ms);
+  Out.set("process_isolation", ProcessIsolation);
+  if (ProcessIsolation) {
+    JsonValue S = JsonValue::object();
+    S.set("spawns", Super.Spawns);
+    S.set("restarts", Super.Restarts);
+    S.set("crashes", Super.Crashes);
+    S.set("hangs", Super.Hangs);
+    S.set("breaker_opens", Super.BreakerOpens);
+    S.set("breaker_refusals", Super.BreakerRefusals);
+    S.set("workers_alive", static_cast<uint64_t>(Super.WorkersAlive));
+    Out.set("supervisor", std::move(S));
+  }
   return Out;
 }
 
 Server::Server(const ServerOptions &Opts, std::ostream &Out, std::ostream &Log)
     : Opts(Opts), Out(Out), Log(Log),
       Pool(Opts.Threads ? Opts.Threads : BatchSlicer::defaultThreads()) {
-  if (!Opts.JournalPath.empty() && !Wal.open(Opts.JournalPath))
+  if (!Opts.JournalPath.empty() &&
+      !Wal.open(Opts.JournalPath, Opts.JournalRotateBytes))
     Log << "jslice_serve: cannot open journal " << Opts.JournalPath
         << "; continuing without crash recovery\n";
+
+  if (Opts.IsolateProcess) {
+    SupervisorOptions SOpts = Opts.Super;
+    if (!SOpts.Workers)
+      SOpts.Workers = Pool.threads();
+    SOpts.Exec.DefaultBudget = Opts.DefaultBudget;
+    SOpts.Exec.DefaultBudget.Cancel = nullptr; // Never crosses the fork.
+    SOpts.Exec.Ladder = Opts.Ladder;
+    Super = std::make_unique<Supervisor>(SOpts);
+    if (!Super->start()) {
+      Log << "jslice_serve: process isolation unavailable on this "
+             "platform; falling back to thread isolation\n";
+      Super.reset();
+    }
+  }
 }
 
-Server::~Server() { Pool.drain(); }
+Server::~Server() {
+  Pool.drain();
+  if (Super)
+    Super->stop();
+}
 
 unsigned Server::recover() {
   if (Opts.JournalPath.empty())
@@ -67,101 +104,149 @@ unsigned Server::recover() {
         << (Repro.empty() ? "" : " -> " + Repro) << "\n";
     ++N;
   }
+  // Every recovered pair is now bracketed; drop the history so the
+  // journal restarts minimal instead of replaying an ever-longer
+  // prefix on each boot.
+  Wal.compact();
   return N;
 }
 
 void Server::serve(std::istream &In) {
   std::string Line;
   while (std::getline(In, Line)) {
-    if (Line.empty() || Line.find_first_not_of(" \t\r") == std::string::npos)
-      continue;
-    {
-      std::lock_guard<std::mutex> Lock(StateM);
-      ++Counters.Received;
-    }
-
-    ParsedRequest P = parseRequestLine(Line);
-    if (!P.Ok) {
-      ServiceResponse R;
-      R.Id = P.Id;
-      R.Status = ResponseStatus::BadRequest;
-      R.Error = P.Error;
-      writeResponse(R);
-      recordOutcome(R, -1, 0);
-      continue;
-    }
-
-    switch (P.Request.Kind) {
-    case RequestKind::Stats: {
-      JsonValue V = JsonValue::object();
-      V.set("status", "ok");
-      V.set("stats", stats().toJson());
-      std::lock_guard<std::mutex> Lock(OutM);
-      Out << V.str() << "\n" << std::flush;
+    if (Opts.ShutdownFlag &&
+        Opts.ShutdownFlag->load(std::memory_order_relaxed)) {
+      Draining.store(true, std::memory_order_relaxed);
       break;
     }
-    case RequestKind::Cancel:
-      handleCancel(P.Request);
-      break;
-    case RequestKind::Slice: {
-      ServiceRequest R = std::move(P.Request);
-
-      std::string PoisonRepro;
-      bool IsPoisoned = false;
-      bool Duplicate = false;
-      std::shared_ptr<InFlight> Flight;
-      {
-        std::lock_guard<std::mutex> Lock(StateM);
-        std::string Key = R.contentKey();
-        if (PoisonKeys.count(Key)) {
-          IsPoisoned = true;
-          auto It = PoisonRepros.find(Key);
-          if (It != PoisonRepros.end())
-            PoisonRepro = It->second;
-        } else if (Registry.count(R.Id)) {
-          Duplicate = true;
-        } else {
-          Flight = std::make_shared<InFlight>();
-          Registry[R.Id] = Flight;
-        }
-      }
-
-      if (IsPoisoned) {
-        ServiceResponse Resp;
-        Resp.Id = R.Id;
-        Resp.Status = ResponseStatus::Poisoned;
-        Resp.Error = "request matches a quarantined reproducer from a "
-                     "previous crashed run";
-        Resp.ReproPath = PoisonRepro;
-        writeResponse(Resp);
-        recordOutcome(Resp, -1, 0);
-        break;
-      }
-      if (Duplicate) {
-        ServiceResponse Resp;
-        Resp.Id = R.Id;
-        Resp.Status = ResponseStatus::BadRequest;
-        Resp.Error = "request id already in flight";
-        writeResponse(Resp);
-        recordOutcome(Resp, -1, 0);
-        break;
-      }
-
-      // Write-ahead: the begin record must be durable before any
-      // slicing work can crash the process.
-      Wal.begin(R);
-      bool Hang = !Opts.HangAfterBeginId.empty() &&
-                  R.Id == Opts.HangAfterBeginId;
-      Pool.submit([this, R = std::move(R), Hang]() mutable {
-        if (Hang)
-          std::this_thread::sleep_for(std::chrono::hours(1));
-        handleSlice(std::move(R));
-      });
-      break;
-    }
-    }
+    serveLine(Line);
   }
   Pool.drain();
+}
+
+void Server::serveLine(const std::string &Line) {
+  if (Line.empty() || Line.find_first_not_of(" \t\r") == std::string::npos)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(StateM);
+    ++Counters.Received;
+  }
+
+  ParsedRequest P = parseRequestLine(Line);
+  if (!P.Ok) {
+    ServiceResponse R;
+    R.Id = P.Id;
+    R.Status = ResponseStatus::BadRequest;
+    R.Error = P.Error;
+    writeResponse(R);
+    recordOutcome(R.Status, "", false, -1, 0);
+    return;
+  }
+
+  switch (P.Request.Kind) {
+  case RequestKind::Stats: {
+    JsonValue V = JsonValue::object();
+    V.set("status", "ok");
+    V.set("stats", stats().toJson());
+    std::lock_guard<std::mutex> Lock(OutM);
+    Out << V.str() << "\n" << std::flush;
+    break;
+  }
+  case RequestKind::Cancel:
+    handleCancel(P.Request);
+    break;
+  case RequestKind::Slice: {
+    ServiceRequest R = std::move(P.Request);
+
+    // Overload control first: a shed must be cheap — no registry
+    // entry, no journal record, no worker.
+    if (Draining.load(std::memory_order_relaxed)) {
+      shedResponse(R, "server draining for shutdown");
+      break;
+    }
+    if (Opts.MaxQueueDepth &&
+        QueueDepth.load(std::memory_order_relaxed) >= Opts.MaxQueueDepth) {
+      shedResponse(R, "admission queue full");
+      break;
+    }
+    if (Opts.MaxRssMb && currentRssMb() > Opts.MaxRssMb) {
+      shedResponse(R, "memory watermark exceeded");
+      break;
+    }
+
+    std::string PoisonRepro;
+    bool IsPoisoned = false;
+    bool Duplicate = false;
+    std::shared_ptr<InFlight> Flight;
+    {
+      std::lock_guard<std::mutex> Lock(StateM);
+      std::string Key = R.contentKey();
+      if (PoisonKeys.count(Key)) {
+        IsPoisoned = true;
+        auto It = PoisonRepros.find(Key);
+        if (It != PoisonRepros.end())
+          PoisonRepro = It->second;
+      } else if (Registry.count(R.Id)) {
+        Duplicate = true;
+      } else {
+        Flight = std::make_shared<InFlight>();
+        Flight->Enqueued = std::chrono::steady_clock::now();
+        Registry[R.Id] = Flight;
+      }
+    }
+
+    if (IsPoisoned) {
+      ServiceResponse Resp;
+      Resp.Id = R.Id;
+      Resp.Status = ResponseStatus::Poisoned;
+      Resp.Error = "request matches a quarantined reproducer from a "
+                   "previous crashed run";
+      Resp.ReproPath = PoisonRepro;
+      writeResponse(Resp);
+      recordOutcome(Resp.Status, "", false, -1, 0);
+      break;
+    }
+    if (Duplicate) {
+      ServiceResponse Resp;
+      Resp.Id = R.Id;
+      Resp.Status = ResponseStatus::BadRequest;
+      Resp.Error = "request id already in flight";
+      writeResponse(Resp);
+      recordOutcome(Resp.Status, "", false, -1, 0);
+      break;
+    }
+
+    // Write-ahead: the begin record must be durable before any
+    // slicing work can crash the process.
+    Wal.begin(R);
+    QueueDepth.fetch_add(1, std::memory_order_relaxed);
+    bool Hang = !Opts.HangAfterBeginId.empty() &&
+                R.Id == Opts.HangAfterBeginId;
+    Pool.submit([this, R = std::move(R), Hang]() mutable {
+      if (Hang)
+        std::this_thread::sleep_for(std::chrono::hours(1));
+      handleSlice(std::move(R));
+    });
+    break;
+  }
+  }
+}
+
+void Server::finish() {
+  Pool.drain();
+  if (Super)
+    Super->stop();
+  if (Wal.enabled())
+    Wal.shutdownRecord();
+}
+
+void Server::shedResponse(const ServiceRequest &R, const char *Why) {
+  ServiceResponse Resp;
+  Resp.Id = R.Id;
+  Resp.Status = ResponseStatus::Shed;
+  Resp.Error = Why;
+  writeResponse(Resp);
+  recordOutcome(Resp.Status, "", false, -1, 0);
 }
 
 void Server::handleCancel(const ServiceRequest &R) {
@@ -182,15 +267,99 @@ void Server::handleCancel(const ServiceRequest &R) {
   Out << V.str() << "\n" << std::flush;
 }
 
-Budget Server::requestBudget(const ServiceRequest &R,
-                             const std::atomic<bool> *Cancel) const {
-  Budget B = Opts.DefaultBudget;
-  if (R.BudgetMs)
-    B.DeadlineMs = R.BudgetMs;
-  if (R.MaxSteps)
-    B.MaxSteps = R.MaxSteps;
-  B.Cancel = Cancel;
-  return B;
+void Server::handleSliceInProcess(ServiceRequest R, ServiceResponse &Resp,
+                                  const std::shared_ptr<InFlight> &Flight,
+                                  uint64_t &RungTrips) {
+  ExecConfig Cfg;
+  Cfg.DefaultBudget = Opts.DefaultBudget;
+  Cfg.Ladder = Opts.Ladder;
+  Resp = executeSliceRequest(R, Cfg, Flight ? &Flight->Cancel : nullptr,
+                             &RungTrips);
+}
+
+/// Ships the request to a sandbox worker. Returns true when \p
+/// RawResponse holds the worker's own response line (pass it through);
+/// false when \p Resp was synthesized here (crash, breaker, failure).
+bool Server::handleSliceSandboxed(const ServiceRequest &R,
+                                  ServiceResponse &Resp,
+                                  std::string &RawResponse,
+                                  uint64_t &RungTrips) {
+  // Worst-case ladder latency: the geometric deadline ladder sums to
+  // < 2x the first rung; 3x plus slack covers scheduling noise
+  // without masking a genuine hang for long.
+  uint64_t D = R.BudgetMs ? R.BudgetMs : Opts.DefaultBudget.DeadlineMs;
+  int64_t TimeoutMs = D ? static_cast<int64_t>(3 * D + 500) : 0;
+
+  DispatchResult Res = Super->dispatch(R, TimeoutMs);
+  switch (Res.K) {
+  case DispatchResult::Kind::Served: {
+    std::optional<JsonValue> V = JsonValue::parse(Res.ResponseJson);
+    const JsonValue *Status = V ? V->find("status") : nullptr;
+    std::optional<ResponseStatus> S =
+        Status && Status->isString()
+            ? responseStatusByName(Status->asString())
+            : std::nullopt;
+    if (!V || !S) {
+      // A worker that answers garbage is as broken as one that died.
+      Resp.Status = ResponseStatus::Error;
+      Resp.Error = "sandbox worker returned an unparseable response";
+      return false;
+    }
+    Resp.Status = *S;
+    if (const JsonValue *Tier = V->find("served_tier"))
+      if (Tier->isString())
+        Resp.ServedTier = Tier->asString();
+    if (const JsonValue *Deg = V->find("degraded"))
+      if (Deg->isBool())
+        Resp.Degraded = Deg->asBool();
+    if (const JsonValue *Attempts = V->find("attempts"))
+      if (Attempts->isArray())
+        for (const JsonValue &A : Attempts->elements())
+          if (const JsonValue *O = A.find("outcome"))
+            RungTrips += O->isString() &&
+                         O->asString() == "resource-exhausted";
+    RawResponse = std::move(Res.ResponseJson);
+    return true;
+  }
+  case DispatchResult::Kind::Crashed:
+    Resp.Status = ResponseStatus::Crashed;
+    Resp.Error = "sandbox worker " +
+                 (Res.CrashDetail.empty() ? std::string("died")
+                                          : Res.CrashDetail);
+    quarantineCrashed(R, Resp);
+    return false;
+  case DispatchResult::Kind::BreakerOpen:
+    Resp.Status = ResponseStatus::Shed;
+    Resp.Error = Res.CrashDetail;
+    return false;
+  case DispatchResult::Kind::Failed:
+    Resp.Status = ResponseStatus::Error;
+    Resp.Error = "process isolation unavailable: " + Res.CrashDetail;
+    return false;
+  }
+  Resp.Status = ResponseStatus::Error;
+  Resp.Error = "unknown dispatch outcome";
+  return false;
+}
+
+/// A crash quarantines the request exactly like journal recovery
+/// would: reproducer on disk, content key armed, resubmission refused.
+void Server::quarantineCrashed(const ServiceRequest &R,
+                               ServiceResponse &Resp) {
+  PoisonedRequest P;
+  P.Id = R.Id;
+  P.Request = R;
+  std::string Repro = quarantinePoisoned(Opts.QuarantineDir, P);
+  {
+    std::lock_guard<std::mutex> Lock(StateM);
+    std::string Key = R.contentKey();
+    PoisonKeys.insert(Key);
+    if (!Repro.empty())
+      PoisonRepros[Key] = Repro;
+  }
+  Resp.ReproPath = Repro;
+  Log << "jslice_serve: worker crashed on request \"" << R.Id << "\" ("
+      << Resp.Error << ")" << (Repro.empty() ? "" : " -> " + Repro) << "\n";
 }
 
 void Server::handleSlice(ServiceRequest R) {
@@ -210,44 +379,29 @@ void Server::handleSlice(ServiceRequest R) {
 
   auto Start = std::chrono::steady_clock::now();
   uint64_t RungTrips = 0;
+  bool Raw = false;
+  std::string RawResponse;
+
+  double QueuedMs =
+      Flight ? std::chrono::duration<double, std::milli>(
+                   Start - Flight->Enqueued)
+                   .count()
+             : 0;
 
   if (Flight && Flight->Cancel.load(std::memory_order_relaxed)) {
     // Cancelled while still queued: never ran, nothing to report.
     Resp.Status = ResponseStatus::Cancelled;
     Resp.Error = "cancelled before execution";
+  } else if (Opts.QueueDeadlineMs &&
+             QueuedMs > static_cast<double>(Opts.QueueDeadlineMs)) {
+    // The caller gave up on this request long ago; running it now
+    // only steals a worker from a request that can still be saved.
+    Resp.Status = ResponseStatus::Shed;
+    Resp.Error = "queue deadline exceeded before execution";
+  } else if (Super) {
+    Raw = handleSliceSandboxed(R, Resp, RawResponse, RungTrips);
   } else {
-    LadderOptions L = Opts.Ladder;
-    L.B = requestBudget(R, Flight ? &Flight->Cancel : nullptr);
-    LadderResult Res =
-        runLadder(R.Program, Criterion(R.Line, R.Vars), R.Algorithm, L);
-
-    for (const LadderAttempt &A : Res.Attempts) {
-      TierReport T;
-      T.Tier = algorithmName(A.Tier);
-      T.Outcome = A.Served ? "served"
-                 : A.Skipped ? "skipped"
-                             : "resource-exhausted";
-      T.Detail = A.Served ? "" : (A.Skipped ? A.SkipReason : A.Trip);
-      if (!A.Served && !A.Skipped)
-        ++RungTrips;
-      Resp.Attempts.push_back(std::move(T));
-    }
-
-    if (Res.Ok) {
-      Resp.Status = ResponseStatus::Ok;
-      Resp.ServedTier = algorithmName(Res.Served);
-      Resp.Degraded = Res.Degraded;
-      Resp.Lines = Res.Lines;
-    } else if (Flight && Flight->Cancel.load(std::memory_order_relaxed)) {
-      Resp.Status = ResponseStatus::Cancelled;
-      Resp.Error = "cancelled";
-    } else if (Res.Diags.hasKind(DiagKind::ResourceExhausted)) {
-      Resp.Status = ResponseStatus::ResourceExhausted;
-      Resp.Error = Res.Diags.str();
-    } else {
-      Resp.Status = ResponseStatus::Error;
-      Resp.Error = Res.Diags.str();
-    }
+    handleSliceInProcess(std::move(R), Resp, Flight, RungTrips);
   }
 
   double LatencyMs =
@@ -256,12 +410,28 @@ void Server::handleSlice(ServiceRequest R) {
           .count();
   Resp.LatencyMs = LatencyMs;
 
-  Wal.end(R.Id, responseStatusName(Resp.Status));
-  writeResponse(Resp);
-  recordOutcome(Resp, LatencyMs, RungTrips);
+  Wal.end(Resp.Id, responseStatusName(Resp.Status));
+  if (Raw) {
+    // Pass the worker's line through, stamped with the latency the
+    // caller actually experienced (IPC included).
+    std::optional<JsonValue> V = JsonValue::parse(RawResponse);
+    if (V) {
+      V->set("latency_ms", LatencyMs);
+      writeRawResponse(V->str());
+    } else {
+      writeRawResponse(RawResponse);
+    }
+  } else {
+    writeResponse(Resp);
+  }
+  recordOutcome(Resp.Status, Resp.ServedTier, Resp.Degraded, LatencyMs,
+                RungTrips);
 
-  std::lock_guard<std::mutex> Lock(StateM);
-  Registry.erase(R.Id);
+  {
+    std::lock_guard<std::mutex> Lock(StateM);
+    Registry.erase(Resp.Id);
+  }
+  QueueDepth.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void Server::writeResponse(const ServiceResponse &R) {
@@ -269,18 +439,24 @@ void Server::writeResponse(const ServiceResponse &R) {
   Out << R.str() << "\n" << std::flush;
 }
 
-void Server::recordOutcome(const ServiceResponse &R, double LatencyMs,
-                           uint64_t RungTrips) {
+void Server::writeRawResponse(const std::string &Line) {
+  std::lock_guard<std::mutex> Lock(OutM);
+  Out << Line << "\n" << std::flush;
+}
+
+void Server::recordOutcome(ResponseStatus Status,
+                           const std::string &ServedTier, bool Degraded,
+                           double LatencyMs, uint64_t RungTrips) {
   std::lock_guard<std::mutex> Lock(StateM);
   Counters.GuardTrips += RungTrips;
   if (LatencyMs >= 0)
     Latencies.push_back(LatencyMs);
-  switch (R.Status) {
+  switch (Status) {
   case ResponseStatus::Ok:
     ++Counters.Served;
-    if (R.Degraded)
+    if (Degraded)
       ++Counters.Degraded;
-    ++Counters.TierHistogram[R.ServedTier];
+    ++Counters.TierHistogram[ServedTier];
     break;
   case ResponseStatus::ResourceExhausted:
     ++Counters.Refused;
@@ -297,6 +473,12 @@ void Server::recordOutcome(const ServiceResponse &R, double LatencyMs,
   case ResponseStatus::Poisoned:
     ++Counters.Poisoned;
     break;
+  case ResponseStatus::Crashed:
+    ++Counters.Crashed;
+    break;
+  case ResponseStatus::Shed:
+    ++Counters.Shed;
+    break;
   }
 }
 
@@ -309,5 +491,8 @@ ServerStats Server::stats() const {
     S.P50Ms = Sorted[Sorted.size() / 2];
     S.P95Ms = Sorted[std::min(Sorted.size() - 1, Sorted.size() * 95 / 100)];
   }
+  S.ProcessIsolation = Super != nullptr;
+  if (Super)
+    S.Super = Super->stats();
   return S;
 }

@@ -6,24 +6,45 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The slicing service (DESIGN.md, "Serving slices"): reads JSON-Lines
-/// requests (service/Request.h) from a stream, fans them across a
-/// WorkerPool, runs each under its own per-request Budget through the
-/// precision-degradation ladder (service/Ladder.h), and writes one
-/// JSON response line per request. Request isolation is the point:
-/// every request gets a fresh Analysis, a fresh ResourceGuard, and a
-/// cancellation flag of its own — one poisonous program can exhaust
-/// only its own budget, and the `{"cancel": id}` control line stops
-/// exactly one request.
+/// The slicing service (DESIGN.md, "Serving slices" and "Supervision &
+/// overload"): reads JSON-Lines requests (service/Request.h) from a
+/// stream, fans them across a WorkerPool, runs each under its own
+/// per-request Budget through the precision-degradation ladder
+/// (service/Ladder.h), and writes one JSON response line per request.
+///
+/// Two isolation modes:
+///
+///  * thread (default): each request runs on a pool thread with its
+///    own Analysis, ResourceGuard, and cancellation flag — one
+///    poisonous program can exhaust only its own budget.
+///  * process: each pool thread is a dispatcher that ships its request
+///    to a forked sandbox worker over pipe IPC (service/Supervisor.h).
+///    A worker that segfaults, gets OOM-killed, or hangs costs exactly
+///    that request — the caller gets a `crashed` response quoting the
+///    wait status, the request is quarantined like a journal-recovered
+///    poison, and the supervisor respawns the worker. Mid-run
+///    cancellation does not cross the process boundary; `{"cancel"}`
+///    still stops queued requests.
+///
+/// Overload control: a bounded admission queue (MaxQueueDepth) sheds
+/// with a deterministic `shed` refusal instead of queueing without
+/// bound; admitted requests carry a queue deadline (QueueDeadlineMs)
+/// and are shed unrun when they exceed it (serving a request the
+/// caller has already given up on helps nobody); an RSS watermark
+/// (MaxRssMb) sheds while memory is critical. Graceful drain: when
+/// the shutdown flag trips (jslice_serve's SIGTERM self-pipe), the
+/// server stops reading, finishes in-flight work, and finish() writes
+/// a clean-shutdown journal record.
 ///
 /// A write-ahead Journal (service/Journal.h) brackets every dispatch;
 /// recover() quarantines requests left in flight by a crashed
-/// predecessor and refuses their exact resubmission (by content key)
-/// with a pointer to the dumped reproducer.
+/// predecessor, refuses their exact resubmission (by content key) with
+/// a pointer to the dumped reproducer, and compacts the journal down
+/// to its unmatched begins.
 ///
 /// The `{"stats"}` health request answers with counters: requests by
-/// outcome, the tier histogram (how often each ladder rung actually
-/// served), guard trips, and p50/p95 service latency.
+/// outcome (including shed and crashed), the tier histogram, guard
+/// trips, supervisor spawn/restart/crash counts, and p50/p95 latency.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,9 +54,11 @@
 #include "service/Journal.h"
 #include "service/Ladder.h"
 #include "service/Request.h"
+#include "service/Supervisor.h"
 #include "support/WorkerPool.h"
 
 #include <atomic>
+#include <chrono>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -52,12 +75,44 @@ struct ServerOptions {
   /// env var, else hardware concurrency).
   unsigned Threads = 0;
 
+  /// Process isolation: run requests in forked sandbox workers under
+  /// the Supervisor instead of on the pool threads directly. Falls
+  /// back to thread mode (with a log line) where fork is unavailable.
+  bool IsolateProcess = false;
+
+  /// Supervisor knobs for process mode. Workers == 0 sizes the fleet
+  /// to the dispatcher thread count. Exec inside is rebuilt from
+  /// DefaultBudget/Ladder below; set the rest freely.
+  SupervisorOptions Super;
+
+  /// Admission control: admitted-but-unfinished requests above this
+  /// are shed with a deterministic refusal (0 = unbounded).
+  uint64_t MaxQueueDepth = 0;
+
+  /// Queue deadline: an admitted request still waiting for a worker
+  /// after this many ms is shed unrun (0 = none).
+  uint64_t QueueDeadlineMs = 0;
+
+  /// Memory watermark: new requests are shed while the process RSS
+  /// exceeds this many MiB (0 = no watermark; non-Linux reads 0 RSS
+  /// and never sheds on memory).
+  uint64_t MaxRssMb = 0;
+
   /// Write-ahead journal path; empty disables journaling (and with it
   /// poison recovery).
   std::string JournalPath;
 
+  /// Journal rotation threshold; past this many bytes the journal
+  /// rewrites itself down to its unmatched begins (0 disables).
+  uint64_t JournalRotateBytes = 8u << 20;
+
   /// Where recover() dumps poisoned reproducers.
   std::string QuarantineDir = "poisoned";
+
+  /// Graceful-drain trigger: when non-null and it reads true, serve()
+  /// stops accepting, finishes in-flight requests, and returns.
+  /// jslice_serve points this at its signal-handler flag.
+  const std::atomic<bool> *ShutdownFlag = nullptr;
 
   /// Per-request defaults; a request's budget_ms / max_steps override
   /// the deadline / step dimensions. The service default polls the
@@ -96,10 +151,14 @@ struct ServerStats {
   uint64_t BadRequests = 0; ///< Unparseable protocol lines.
   uint64_t Cancelled = 0;   ///< Requests stopped by {"cancel"}.
   uint64_t Poisoned = 0;    ///< Resubmissions refused by quarantine.
+  uint64_t Crashed = 0;     ///< Sandbox worker died/hung on a request.
+  uint64_t Shed = 0;        ///< Overload-control refusals.
   uint64_t GuardTrips = 0;  ///< Ladder rungs that tripped a budget.
   std::map<std::string, uint64_t> TierHistogram; ///< served tier -> count.
   double P50Ms = 0;
   double P95Ms = 0;
+  bool ProcessIsolation = false;
+  SupervisorStats Super; ///< Zeroed in thread mode.
 
   JsonValue toJson() const;
 };
@@ -116,36 +175,65 @@ public:
   Server &operator=(const Server &) = delete;
 
   /// Scans the journal for requests a dead predecessor left in flight,
-  /// quarantines each as a reproducer, and arms the poison filter.
-  /// Returns how many were quarantined.
+  /// quarantines each as a reproducer, arms the poison filter, and
+  /// compacts the journal. Returns how many were quarantined.
   unsigned recover();
 
-  /// Reads requests from \p In until EOF; returns after every accepted
-  /// request has been answered.
+  /// Reads requests from \p In until EOF or the shutdown flag trips;
+  /// returns after every accepted request has been answered.
   void serve(std::istream &In);
+
+  /// Processes one protocol line. serve() is a loop over this;
+  /// jslice_serve's signal-aware front end calls it directly so a
+  /// SIGTERM can interrupt between lines.
+  void serveLine(const std::string &Line);
+
+  /// Call once after the last serve(): writes the clean-shutdown
+  /// journal record and retires the sandbox fleet.
+  void finish();
 
   /// Current counters (also served in-band by {"stats"}).
   ServerStats stats() const;
+
+  /// True once the shutdown flag was observed (the serve loop stopped
+  /// accepting because of it, not EOF).
+  bool drained() const { return Draining.load(std::memory_order_relaxed); }
+
+  /// The sandbox supervisor, or null in thread mode. The crash-matrix
+  /// soak reaches through this for the chaos-kill hook and restart
+  /// counters.
+  Supervisor *supervisor() { return Super.get(); }
 
 private:
   struct InFlight {
     std::atomic<bool> Cancel{false};
     std::atomic<bool> Started{false};
+    std::chrono::steady_clock::time_point Enqueued;
   };
 
   void handleSlice(ServiceRequest R);
+  void handleSliceInProcess(ServiceRequest R, ServiceResponse &Resp,
+                            const std::shared_ptr<InFlight> &Flight,
+                            uint64_t &RungTrips);
+  bool handleSliceSandboxed(const ServiceRequest &R, ServiceResponse &Resp,
+                            std::string &RawResponse, uint64_t &RungTrips);
+  void quarantineCrashed(const ServiceRequest &R, ServiceResponse &Resp);
   void handleCancel(const ServiceRequest &R);
+  void shedResponse(const ServiceRequest &R, const char *Why);
   void writeResponse(const ServiceResponse &R);
-  Budget requestBudget(const ServiceRequest &R,
-                       const std::atomic<bool> *Cancel) const;
-  void recordOutcome(const ServiceResponse &R, double LatencyMs,
-                     uint64_t RungTrips);
+  void writeRawResponse(const std::string &Line);
+  void recordOutcome(ResponseStatus Status, const std::string &ServedTier,
+                     bool Degraded, double LatencyMs, uint64_t RungTrips);
 
   ServerOptions Opts;
   std::ostream &Out;
   std::ostream &Log;
   Journal Wal;
   WorkerPool Pool;
+  std::unique_ptr<Supervisor> Super; ///< Process mode only.
+
+  std::atomic<uint64_t> QueueDepth{0};
+  std::atomic<bool> Draining{false};
 
   std::mutex OutM; ///< Serializes response lines; never held with StateM.
   mutable std::mutex StateM;

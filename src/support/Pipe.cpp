@@ -1,0 +1,237 @@
+//===- support/Pipe.cpp - Pipes, poll, and wait-status helpers -------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Pipe.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+#include <fcntl.h>
+#include <poll.h>
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+using namespace jslice;
+
+bool Pipe::make() {
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  close();
+  int Fds[2];
+#if defined(__linux__)
+  if (::pipe2(Fds, O_CLOEXEC) != 0)
+    return false;
+#else
+  if (::pipe(Fds) != 0)
+    return false;
+  ::fcntl(Fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(Fds[1], F_SETFD, FD_CLOEXEC);
+#endif
+  ReadFd = Fds[0];
+  WriteFd = Fds[1];
+  return true;
+#else
+  return false;
+#endif
+}
+
+void Pipe::close() {
+  closeRead();
+  closeWrite();
+}
+
+void Pipe::closeRead() { closeQuietly(ReadFd); }
+void Pipe::closeWrite() { closeQuietly(WriteFd); }
+
+void jslice::closeQuietly(int &Fd) {
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  if (Fd >= 0)
+    ::close(Fd);
+#endif
+  Fd = -1;
+}
+
+int jslice::pollReadable(int Fd, int TimeoutMs) {
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  struct pollfd P;
+  P.fd = Fd;
+  P.events = POLLIN;
+  P.revents = 0;
+  for (;;) {
+    int N = ::poll(&P, 1, TimeoutMs);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (N == 0)
+      return 0;
+    return 1; // POLLIN, POLLHUP, or POLLERR — all "go read".
+  }
+#else
+  (void)Fd;
+  (void)TimeoutMs;
+  return -1;
+#endif
+}
+
+int jslice::pollReadable2(int FdA, int FdB, int TimeoutMs) {
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  struct pollfd P[2];
+  P[0].fd = FdA;
+  P[0].events = POLLIN;
+  P[0].revents = 0;
+  P[1].fd = FdB;
+  P[1].events = POLLIN;
+  P[1].revents = 0;
+  for (;;) {
+    int N = ::poll(P, 2, TimeoutMs);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (N == 0)
+      return 0;
+    int Mask = 0;
+    if (P[0].revents)
+      Mask |= 1;
+    if (P[1].revents)
+      Mask |= 2;
+    return Mask;
+  }
+#else
+  (void)FdA;
+  (void)FdB;
+  (void)TimeoutMs;
+  return -1;
+#endif
+}
+
+int64_t jslice::readFull(int Fd, void *Buf, size_t N) {
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  char *P = static_cast<char *>(Buf);
+  size_t Got = 0;
+  while (Got < N) {
+    ssize_t R = ::read(Fd, P + Got, N - Got);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (R == 0)
+      return Got == 0 ? 0 : -1; // EOF mid-record is an error.
+    Got += static_cast<size_t>(R);
+  }
+  return static_cast<int64_t>(Got);
+#else
+  (void)Fd;
+  (void)Buf;
+  (void)N;
+  return -1;
+#endif
+}
+
+int64_t jslice::readSome(int Fd, void *Buf, size_t N) {
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  for (;;) {
+    ssize_t R = ::read(Fd, Buf, N);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    return static_cast<int64_t>(R);
+  }
+#else
+  (void)Fd;
+  (void)Buf;
+  (void)N;
+  return -1;
+#endif
+}
+
+bool jslice::writeFull(int Fd, const void *Buf, size_t N) {
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  const char *P = static_cast<const char *>(Buf);
+  size_t Sent = 0;
+  while (Sent < N) {
+    ssize_t W = ::write(Fd, P + Sent, N - Sent);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += static_cast<size_t>(W);
+  }
+  return true;
+#else
+  (void)Fd;
+  (void)Buf;
+  (void)N;
+  return false;
+#endif
+}
+
+std::string jslice::describeWaitStatus(int Status) {
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  char Buf[128];
+  if (WIFEXITED(Status)) {
+    std::snprintf(Buf, sizeof(Buf), "exited with code %d",
+                  WEXITSTATUS(Status));
+    return Buf;
+  }
+  if (WIFSIGNALED(Status)) {
+    int Sig = WTERMSIG(Status);
+    const char *Name = strsignal(Sig);
+    bool Core = false;
+#ifdef WCOREDUMP
+    Core = WCOREDUMP(Status);
+#endif
+    std::snprintf(Buf, sizeof(Buf), "killed by signal %d (%s%s)", Sig,
+                  Name ? Name : "?", Core ? ", core dumped" : "");
+    return Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "wait status 0x%x", Status);
+  return Buf;
+#else
+  (void)Status;
+  return "";
+#endif
+}
+
+bool jslice::exitedCleanly(int Status) {
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  return WIFEXITED(Status) && WEXITSTATUS(Status) == 0;
+#else
+  (void)Status;
+  return false;
+#endif
+}
+
+uint64_t jslice::currentRssMb() {
+#if defined(__linux__)
+  // /proc/self/statm field 2 is resident pages.
+  std::FILE *F = std::fopen("/proc/self/statm", "r");
+  if (!F)
+    return 0;
+  unsigned long long Size = 0, Resident = 0;
+  int N = std::fscanf(F, "%llu %llu", &Size, &Resident);
+  std::fclose(F);
+  if (N != 2)
+    return 0;
+  long Page = ::sysconf(_SC_PAGESIZE);
+  if (Page <= 0)
+    Page = 4096;
+  return Resident * static_cast<unsigned long long>(Page) / (1024 * 1024);
+#else
+  return 0;
+#endif
+}

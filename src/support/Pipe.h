@@ -1,0 +1,114 @@
+//===- support/Pipe.h - Pipes, poll, and wait-status helpers ---------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin POSIX layer under the process-isolated sandbox workers
+/// (service/Supervisor.h): close-on-exec pipes, EINTR-looped full
+/// reads/writes, a poll() wrapper with a millisecond deadline, and a
+/// human-readable rendering of waitpid() statuses — the supervisor's
+/// crash forensics quote these strings verbatim in `crashed`
+/// responses. Everything here returns error codes instead of throwing;
+/// the library is exception-free by contract.
+///
+/// Non-POSIX builds compile but every function fails closed
+/// (pipes cannot be made, waits describe nothing); the service then
+/// runs thread-isolated only, which Server enforces at construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SUPPORT_PIPE_H
+#define JSLICE_SUPPORT_PIPE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace jslice {
+
+#if defined(__unix__) || defined(__APPLE__)
+#define JSLICE_HAVE_POSIX_PROCESS 1
+#endif
+
+/// One unidirectional pipe. Fds are -1 until makePipe succeeds; close()
+/// is idempotent and the destructor closes whatever is still open, so a
+/// Pipe can be safely abandoned on any error path.
+struct Pipe {
+  int ReadFd = -1;
+  int WriteFd = -1;
+
+  Pipe() = default;
+  ~Pipe() { close(); }
+  Pipe(const Pipe &) = delete;
+  Pipe &operator=(const Pipe &) = delete;
+  Pipe(Pipe &&O) noexcept : ReadFd(O.ReadFd), WriteFd(O.WriteFd) {
+    O.ReadFd = O.WriteFd = -1;
+  }
+  Pipe &operator=(Pipe &&O) noexcept {
+    if (this != &O) {
+      close();
+      ReadFd = O.ReadFd;
+      WriteFd = O.WriteFd;
+      O.ReadFd = O.WriteFd = -1;
+    }
+    return *this;
+  }
+
+  /// Creates the pipe (close-on-exec where supported). False on
+  /// failure or non-POSIX builds.
+  bool make();
+
+  void close();
+  void closeRead();
+  void closeWrite();
+};
+
+/// Closes \p Fd if it is >= 0, swallowing EINTR; sets it to -1.
+void closeQuietly(int &Fd);
+
+/// poll() for readability with a deadline. Returns 1 when \p Fd is
+/// readable (or at EOF), 0 on timeout, -1 on error. \p TimeoutMs < 0
+/// blocks indefinitely.
+int pollReadable(int Fd, int TimeoutMs);
+
+/// poll() for readability on two fds at once (the self-pipe shutdown
+/// pattern in jslice_serve). Returns a bitmask: bit 0 = FdA readable,
+/// bit 1 = FdB readable; 0 on timeout, -1 on error.
+int pollReadable2(int FdA, int FdB, int TimeoutMs);
+
+/// Reads exactly \p N bytes, looping over EINTR and short reads.
+/// Returns N on success, 0 on clean EOF before any byte, -1 on error
+/// or EOF mid-record.
+int64_t readFull(int Fd, void *Buf, size_t N);
+
+/// One read() call, looping only over EINTR: returns however many
+/// bytes were available (up to \p N), 0 on EOF, -1 on error. The
+/// deadline-driven frame reader uses this so a peer trickling a torn
+/// frame cannot pin the caller past its poll deadline.
+int64_t readSome(int Fd, void *Buf, size_t N);
+
+/// Writes all \p N bytes, looping over EINTR and short writes.
+/// Returns true on success; false on error (including EPIPE — callers
+/// must have SIGPIPE ignored, see Supervisor).
+bool writeFull(int Fd, const void *Buf, size_t N);
+
+/// Renders a waitpid() status: "exited with code 1", "killed by signal
+/// 9 (SIGKILL)", "killed by signal 11 (SIGSEGV, core dumped)". Empty
+/// string on non-POSIX builds.
+std::string describeWaitStatus(int Status);
+
+/// True when the wait status is a clean zero exit.
+bool exitedCleanly(int Status);
+
+/// Current resident set size in MiB, or 0 when unknown (non-Linux).
+/// The server's overload control sheds above a watermark; a 0 reading
+/// simply never sheds on memory, which fails open by design — the
+/// bounded queue still caps admission.
+uint64_t currentRssMb();
+
+} // namespace jslice
+
+#endif // JSLICE_SUPPORT_PIPE_H

@@ -14,9 +14,11 @@
 
 #include "service/Journal.h"
 #include "service/Server.h"
+#include "support/Pipe.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <fstream>
 #include <sstream>
 
@@ -68,9 +70,122 @@ TEST(JsonTest, RejectsRunawayNesting) {
   EXPECT_FALSE(JsonValue::parse(Deep).has_value());
 }
 
+/// \p N arrays wrapped around a single integer.
+std::string nestedArrays(unsigned N) {
+  return std::string(N, '[') + "1" + std::string(N, ']');
+}
+
+TEST(JsonTest, NestingAtTheDepthLimitParsesAndOneDeeperFails) {
+  // MaxDepth is 64: the innermost scalar sits at depth N for N arrays.
+  EXPECT_TRUE(JsonValue::parse(nestedArrays(64)).has_value());
+  std::string Error;
+  EXPECT_FALSE(JsonValue::parse(nestedArrays(65), &Error).has_value());
+  EXPECT_NE(Error.find("deep"), std::string::npos);
+}
+
+TEST(JsonTest, DecodesSurrogatePairs) {
+  // U+1F600 as \uD83D\uDE00 -> 4-byte UTF-8.
+  std::optional<JsonValue> V =
+      JsonValue::parse("{\"s\":\"\\uD83D\\uDE00\"}");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->find("s")->asString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, LoneSurrogatesBecomeReplacementCharacters) {
+  const char *Fffd = "\xEF\xBF\xBD"; // U+FFFD in UTF-8.
+  std::optional<JsonValue> High = JsonValue::parse("{\"s\":\"\\uD800\"}");
+  ASSERT_TRUE(High.has_value());
+  EXPECT_EQ(High->find("s")->asString(), Fffd);
+
+  std::optional<JsonValue> Low = JsonValue::parse("{\"s\":\"\\uDFFF\"}");
+  ASSERT_TRUE(Low.has_value());
+  EXPECT_EQ(Low->find("s")->asString(), Fffd);
+
+  // High surrogate chased by a non-surrogate escape: U+FFFD, then the
+  // second escape decodes on its own.
+  std::optional<JsonValue> Chased =
+      JsonValue::parse("{\"s\":\"\\uD800\\u0041\"}");
+  ASSERT_TRUE(Chased.has_value());
+  EXPECT_EQ(Chased->find("s")->asString(), std::string(Fffd) + "A");
+}
+
+TEST(JsonTest, RejectsMalformedUnicodeEscapes) {
+  EXPECT_FALSE(JsonValue::parse("{\"s\":\"\\u12\"}").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"s\":\"\\u12GZ\"}").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"s\":\"\\uD83D\\u12\"}").has_value());
+}
+
+TEST(JsonTest, RawInvalidUtf8PassesThroughByteTransparently) {
+  // The parser validates JSON structure, not UTF-8: raw bytes in
+  // strings survive untouched (and re-serialize untouched).
+  std::string Text = "{\"s\":\"\xFF\xFE ok\"}";
+  std::optional<JsonValue> V = JsonValue::parse(Text);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->find("s")->asString(), "\xFF\xFE ok");
+  EXPECT_EQ(V->str(), Text);
+}
+
+/// Every line of the checked-in corpus file, skipping blanks.
+std::vector<std::string> corpusLines(const std::string &Name) {
+  std::ifstream In(std::string(JSLICE_REPO_ROOT) + "/tests/json_corpus/" +
+                   Name);
+  EXPECT_TRUE(In.good()) << "missing corpus file " << Name;
+  std::vector<std::string> Lines;
+  std::string Line;
+  while (std::getline(In, Line))
+    if (!Line.empty())
+      Lines.push_back(Line);
+  return Lines;
+}
+
+TEST(JsonCorpusTest, AcceptCorpusParsesAndReserializes) {
+  std::vector<std::string> Lines = corpusLines("accept.jsonl");
+  ASSERT_FALSE(Lines.empty());
+  for (const std::string &Line : Lines) {
+    std::string Error;
+    std::optional<JsonValue> V = JsonValue::parse(Line, &Error);
+    EXPECT_TRUE(V.has_value()) << Line << " -> " << Error;
+    if (!V)
+      continue;
+    // Our own serialization must be a fixpoint: parse(str(x)) == str(x).
+    std::string Out = V->str();
+    std::optional<JsonValue> Back = JsonValue::parse(Out);
+    ASSERT_TRUE(Back.has_value()) << Out;
+    EXPECT_EQ(Back->str(), Out) << Line;
+  }
+}
+
+TEST(JsonCorpusTest, RejectCorpusFailsWithPositions) {
+  std::vector<std::string> Lines = corpusLines("reject.jsonl");
+  ASSERT_FALSE(Lines.empty());
+  for (const std::string &Line : Lines) {
+    std::string Error;
+    EXPECT_FALSE(JsonValue::parse(Line, &Error).has_value())
+        << "corpus line unexpectedly parsed: " << Line;
+    EXPECT_NE(Error.find("byte "), std::string::npos) << Line;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Protocol
 //===----------------------------------------------------------------------===//
+
+TEST(RequestTest, ResponseStatusNamesRoundTrip) {
+  const ResponseStatus All[] = {
+      ResponseStatus::Ok,        ResponseStatus::ResourceExhausted,
+      ResponseStatus::Error,     ResponseStatus::BadRequest,
+      ResponseStatus::Cancelled, ResponseStatus::Poisoned,
+      ResponseStatus::Crashed,   ResponseStatus::Shed,
+  };
+  for (ResponseStatus S : All) {
+    std::optional<ResponseStatus> Back =
+        responseStatusByName(responseStatusName(S));
+    ASSERT_TRUE(Back.has_value()) << responseStatusName(S);
+    EXPECT_EQ(*Back, S);
+  }
+  EXPECT_FALSE(responseStatusByName("no-such-status").has_value());
+  EXPECT_FALSE(responseStatusByName("").has_value());
+}
 
 TEST(RequestTest, ParsesSliceRequestWithAllFields) {
   ParsedRequest P = parseRequestLine(
@@ -195,6 +310,109 @@ TEST(JournalTest, QuarantineWritesReplayableRepro) {
   std::stringstream Buffer;
   Buffer << In.rdbuf();
   EXPECT_EQ(Buffer.str(), TinyProgram);
+}
+
+TEST(JournalTest, RotationKeepsOnlyUnmatchedBeginsAndReplaySurvivesIt) {
+  std::string Path = ::testing::TempDir() + "jslice_journal_rotate.jsonl";
+  std::remove(Path.c_str());
+  uint64_t Written = 0;
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(Path, /*RotateBytes=*/1024));
+    // One request that never completes, buried under dozens of
+    // bracketed pairs: every rotation must carry the open begin
+    // forward even as the bracketed history is dropped.
+    ServiceRequest Stuck;
+    Stuck.Id = "stuck";
+    Stuck.Program = TinyProgram;
+    Stuck.Line = 2;
+    Stuck.Vars = {"a"};
+    J.begin(Stuck);
+    for (unsigned I = 0; I != 50; ++I) {
+      ServiceRequest R = Stuck;
+      R.Id = "r" + std::to_string(I);
+      J.begin(R);
+      Written += 200; // Rough per-pair size: enough to force rotations.
+      J.end(R.Id, "ok");
+    }
+    // The file stayed near the rotation bound instead of growing with
+    // the full history.
+    EXPECT_LT(J.bytes(), 2048u);
+    EXPECT_LT(J.bytes(), Written);
+  }
+  // Replay across the rotation boundary: the stuck request is intact,
+  // program and all; the 50 completed pairs are gone.
+  std::vector<PoisonedRequest> Poisoned = scanJournal(Path);
+  ASSERT_EQ(Poisoned.size(), 1u);
+  EXPECT_EQ(Poisoned.front().Id, "stuck");
+  EXPECT_EQ(Poisoned.front().Request.Program, TinyProgram);
+  EXPECT_EQ(Poisoned.front().Request.Vars, std::vector<std::string>{"a"});
+  std::remove(Path.c_str());
+}
+
+TEST(JournalTest, CompactKeepsOpenBeginsAndEmptiesABracketedJournal) {
+  std::string Path = ::testing::TempDir() + "jslice_journal_compact.jsonl";
+  std::remove(Path.c_str());
+  Journal J;
+  ASSERT_TRUE(J.open(Path));
+  ServiceRequest R;
+  R.Id = "open";
+  R.Program = TinyProgram;
+  R.Line = 2;
+  J.begin(R);
+  for (unsigned I = 0; I != 5; ++I) {
+    ServiceRequest Pair = R;
+    Pair.Id = "p" + std::to_string(I);
+    J.begin(Pair);
+    J.end(Pair.Id, "ok");
+  }
+  EXPECT_EQ(J.compact(), 1u);
+  std::vector<PoisonedRequest> Poisoned = scanJournal(Path);
+  ASSERT_EQ(Poisoned.size(), 1u);
+  EXPECT_EQ(Poisoned.front().Id, "open");
+
+  // Close the last pair: a fully-bracketed journal compacts to empty.
+  J.end("open", "ok");
+  EXPECT_EQ(J.compact(), 0u);
+  EXPECT_EQ(J.bytes(), 0u);
+  EXPECT_TRUE(scanJournal(Path).empty());
+  std::remove(Path.c_str());
+}
+
+TEST(JournalTest, CleanShutdownRecordIsDetectedAndSkippedByReplay) {
+  std::string Path = ::testing::TempDir() + "jslice_journal_shutdown.jsonl";
+  std::remove(Path.c_str());
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(Path));
+    ServiceRequest R;
+    R.Id = "r1";
+    R.Program = TinyProgram;
+    R.Line = 2;
+    J.begin(R);
+    J.end("r1", "ok");
+    EXPECT_FALSE(journalEndsWithCleanShutdown(Path));
+    J.shutdownRecord();
+  }
+  EXPECT_TRUE(journalEndsWithCleanShutdown(Path));
+  // The id-less shutdown record is bookkeeping, not a request: replay
+  // must not try to quarantine it.
+  EXPECT_TRUE(scanJournal(Path).empty());
+
+  // New work after the marker means the shutdown is no longer the last
+  // word: a crash now is a dirty crash.
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(Path));
+    ServiceRequest R;
+    R.Id = "r2";
+    R.Program = TinyProgram;
+    R.Line = 2;
+    J.begin(R);
+  }
+  EXPECT_FALSE(journalEndsWithCleanShutdown(Path));
+  ASSERT_EQ(scanJournal(Path).size(), 1u);
+  std::remove(Path.c_str());
 }
 
 //===----------------------------------------------------------------------===//
@@ -378,6 +596,147 @@ TEST(ServerTest, CancelStopsAQueuedRequest) {
   EXPECT_EQ(Answered, 2u);
   EXPECT_TRUE(SawR2);
 }
+
+/// A dependence chain long enough to hold the single worker busy for
+/// hundreds of milliseconds while the reader races ahead.
+std::string slowChain(unsigned N) {
+  std::string P = "read(a0);\n";
+  for (unsigned I = 1; I != N; ++I)
+    P += "a" + std::to_string(I) + " = a" + std::to_string(I - 1) + " + 1;\n";
+  P += "write(a" + std::to_string(N - 1) + ");\n";
+  return P;
+}
+
+ServiceRequest slowChainRequest(const std::string &Id, unsigned N = 20000) {
+  ServiceRequest R;
+  R.Id = Id;
+  R.Program = slowChain(N);
+  R.Line = N + 1;
+  R.Vars = {"a" + std::to_string(N - 1)};
+  return R;
+}
+
+TEST(ServerOverloadTest, FullAdmissionQueueShedsDeterministically) {
+  // One worker, queue bound of one: the slow request holds the only
+  // slot while the reader admits-or-sheds the second instantly.
+  ServiceRequest Slow = slowChainRequest("slow");
+  ServiceRequest Tiny;
+  Tiny.Id = "tiny";
+  Tiny.Program = TinyProgram;
+  Tiny.Line = 2;
+  ServerOptions Opts;
+  Opts.MaxQueueDepth = 1;
+  std::vector<std::string> Lines =
+      serveLines(Slow.toJson().str() + "\n" + Tiny.toJson().str() + "\n",
+                 Opts);
+  ASSERT_EQ(Lines.size(), 2u);
+  bool SawShed = false;
+  for (const std::string &L : Lines) {
+    JsonValue V = parsed(L);
+    if (V.find("id")->asString() != "tiny")
+      continue;
+    SawShed = true;
+    EXPECT_EQ(V.find("status")->asString(), "shed");
+    EXPECT_NE(V.find("error")->asString().find("admission queue full"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(SawShed);
+}
+
+TEST(ServerOverloadTest, QueueDeadlineShedsRequestsThatWaitedTooLong) {
+  // The second request is admitted but sits queued behind the slow one
+  // far past its deadline; the worker sheds it instead of running it.
+  ServiceRequest Slow = slowChainRequest("slow");
+  ServiceRequest Tiny;
+  Tiny.Id = "tiny";
+  Tiny.Program = TinyProgram;
+  Tiny.Line = 2;
+  ServerOptions Opts;
+  Opts.QueueDeadlineMs = 100;
+  std::vector<std::string> Lines =
+      serveLines(Slow.toJson().str() + "\n" + Tiny.toJson().str() + "\n",
+                 Opts);
+  ASSERT_EQ(Lines.size(), 2u);
+  for (const std::string &L : Lines) {
+    JsonValue V = parsed(L);
+    if (V.find("id")->asString() != "tiny")
+      continue;
+    EXPECT_EQ(V.find("status")->asString(), "shed");
+    EXPECT_NE(V.find("error")->asString().find("queue deadline"),
+              std::string::npos);
+  }
+}
+
+TEST(ServerOverloadTest, MemoryWatermarkShedsWhileRssIsCritical) {
+  // Any running process exceeds a 1 MiB watermark, so this is the
+  // always-shedding configuration: deterministic refusals, no slicing.
+  ServerOptions Opts;
+  Opts.MaxRssMb = 1;
+  std::vector<std::string> Lines = serveLines(
+      "{\"id\":\"r1\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2}\n",
+      Opts);
+  ASSERT_EQ(Lines.size(), 1u);
+  JsonValue V = parsed(Lines[0]);
+  EXPECT_EQ(V.find("status")->asString(), "shed");
+  EXPECT_NE(V.find("error")->asString().find("memory watermark"),
+            std::string::npos);
+}
+
+TEST(ServerOverloadTest, DrainFlagStopsTheLoopAndShedsDirectLines) {
+  std::atomic<bool> Shutdown{false};
+  ServerOptions Opts;
+  Opts.Threads = 1;
+  Opts.ShutdownFlag = &Shutdown;
+  std::ostringstream Out, Log;
+  Server S(Opts, Out, Log);
+
+  // Flag raised before the next line is consumed: serve() drains
+  // without touching the pending request...
+  Shutdown.store(true);
+  std::istringstream In(
+      "{\"id\":\"r1\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2}\n");
+  S.serve(In);
+  EXPECT_TRUE(S.drained());
+  EXPECT_EQ(Out.str(), "");
+
+  // ...and anything pushed at a draining server is shed, not queued.
+  S.serveLine(
+      "{\"id\":\"r2\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2}");
+  JsonValue V = parsed(Out.str());
+  EXPECT_EQ(V.find("id")->asString(), "r2");
+  EXPECT_EQ(V.find("status")->asString(), "shed");
+  EXPECT_NE(V.find("error")->asString().find("draining"), std::string::npos);
+  S.finish();
+}
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+
+TEST(ServerProcessModeTest, ServesThroughSandboxWorkers) {
+  ServerOptions Opts;
+  Opts.IsolateProcess = true;
+  Opts.Super.Workers = 1;
+  std::istringstream In(
+      "{\"id\":\"r1\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2,"
+      "\"vars\":[\"a\"]}\n");
+  std::ostringstream Out, Log;
+  {
+    Server S(Opts, Out, Log);
+    S.serve(In);
+    ASSERT_NE(S.supervisor(), nullptr);
+    EXPECT_GE(S.supervisor()->stats().Spawns, 1u);
+    S.finish();
+  }
+  std::istringstream Text(Out.str());
+  std::string Line;
+  ASSERT_TRUE(std::getline(Text, Line));
+  JsonValue V = parsed(Line);
+  EXPECT_EQ(V.find("id")->asString(), "r1");
+  EXPECT_EQ(V.find("status")->asString(), "ok");
+  EXPECT_EQ(V.find("served_tier")->asString(), "agrawal-fig7");
+  ASSERT_TRUE(V.find("latency_ms"));
+}
+
+#endif // JSLICE_HAVE_POSIX_PROCESS
 
 TEST(ServerStatsTest, HistogramAndLatenciesAccumulate) {
   std::istringstream In(

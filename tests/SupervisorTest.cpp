@@ -1,0 +1,267 @@
+//===- tests/SupervisorTest.cpp - Sandbox supervisor unit tests ---------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The process-isolation layer in isolation: pipe framing, wait-status
+/// rendering, and the Supervisor's per-request verdicts — served,
+/// crashed (busy kill), hung (deadline kill), innocent retry after an
+/// idle death, and the restart-storm circuit breaker. POSIX-only;
+/// elsewhere the suite reduces to the graceful-fallback check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Ipc.h"
+#include "service/Supervisor.h"
+#include "support/Pipe.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+using namespace jslice;
+
+namespace {
+
+ServiceRequest tinyRequest(const std::string &Id) {
+  ServiceRequest R;
+  R.Id = Id;
+  R.Program = "read(a);\nwrite(a);\n";
+  R.Line = 2;
+  R.Vars = {"a"};
+  return R;
+}
+
+/// A straight-line dependence chain long enough that slicing it takes
+/// hundreds of milliseconds — the busy window the kill and hang tests
+/// aim at (a 20k chain measures ~700ms on CI-class hardware).
+ServiceRequest slowRequest(const std::string &Id, unsigned N = 20000) {
+  ServiceRequest R;
+  R.Id = Id;
+  R.Program = "read(a0);\n";
+  for (unsigned I = 1; I != N; ++I)
+    R.Program += "a" + std::to_string(I) + " = a" + std::to_string(I - 1) +
+                 " + 1;\n";
+  R.Program += "write(a" + std::to_string(N - 1) + ");\n";
+  R.Line = N + 1;
+  R.Vars = {"a" + std::to_string(N - 1)};
+  return R;
+}
+
+std::string statusOf(const DispatchResult &R) {
+  std::optional<JsonValue> V = JsonValue::parse(R.ResponseJson);
+  if (!V || !V->find("status") || !V->find("status")->isString())
+    return "";
+  return V->find("status")->asString();
+}
+
+/// Polls \p Cond for up to \p Ms milliseconds.
+template <typename Fn> bool eventually(Fn Cond, uint64_t Ms = 5000) {
+  for (uint64_t I = 0; I * 10 < Ms; ++I) {
+    if (Cond())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return Cond();
+}
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+
+TEST(IpcTest, FramesRoundTrip) {
+  Pipe P;
+  ASSERT_TRUE(P.make());
+  EXPECT_TRUE(writeFrame(P.WriteFd, "hello"));
+  EXPECT_TRUE(writeFrame(P.WriteFd, ""));
+  std::string Out;
+  EXPECT_EQ(readFrame(P.ReadFd, Out, 1000), FrameReadStatus::Ok);
+  EXPECT_EQ(Out, "hello");
+  EXPECT_EQ(readFrame(P.ReadFd, Out, 1000), FrameReadStatus::Ok);
+  EXPECT_EQ(Out, "");
+  P.closeWrite();
+  EXPECT_EQ(readFrame(P.ReadFd, Out, 1000), FrameReadStatus::Eof);
+}
+
+TEST(IpcTest, ReadHonoursTheDeadline) {
+  Pipe P;
+  ASSERT_TRUE(P.make());
+  std::string Out;
+  auto Start = std::chrono::steady_clock::now();
+  EXPECT_EQ(readFrame(P.ReadFd, Out, 50), FrameReadStatus::Timeout);
+  auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - Start)
+                .count();
+  EXPECT_GE(Ms, 45);
+  EXPECT_LT(Ms, 5000);
+}
+
+TEST(IpcTest, TornFrameCannotPinTheReaderPastItsDeadline) {
+  Pipe P;
+  ASSERT_TRUE(P.make());
+  // Half a header, then silence: the reader must give up on time, not
+  // block inside a full-frame read.
+  char Half[2] = {0x10, 0};
+  ASSERT_TRUE(writeFull(P.WriteFd, Half, sizeof(Half)));
+  std::string Out;
+  EXPECT_EQ(readFrame(P.ReadFd, Out, 50), FrameReadStatus::Timeout);
+}
+
+TEST(PipeTest, DescribesWaitStatuses) {
+  // Build statuses the portable way: actually exit/kill children.
+  pid_t P1 = fork();
+  if (P1 == 0)
+    _exit(3);
+  int Status = 0;
+  ASSERT_EQ(waitpid(P1, &Status, 0), P1);
+  EXPECT_EQ(describeWaitStatus(Status), "exited with code 3");
+  EXPECT_FALSE(exitedCleanly(Status));
+
+  pid_t P2 = fork();
+  if (P2 == 0) {
+    for (;;)
+      pause();
+  }
+  kill(P2, SIGKILL);
+  ASSERT_EQ(waitpid(P2, &Status, 0), P2);
+  EXPECT_NE(describeWaitStatus(Status).find("signal 9"), std::string::npos)
+      << describeWaitStatus(Status);
+  EXPECT_FALSE(exitedCleanly(Status));
+}
+
+TEST(SupervisorTest, ServesARequestThroughTheSandbox) {
+  SupervisorOptions Opts;
+  Opts.Workers = 1;
+  Supervisor Sup(Opts);
+  ASSERT_TRUE(Sup.start());
+  DispatchResult R = Sup.dispatch(tinyRequest("r1"), 5000);
+  EXPECT_EQ(R.K, DispatchResult::Kind::Served);
+  EXPECT_EQ(statusOf(R), "ok");
+  SupervisorStats S = Sup.stats();
+  EXPECT_EQ(S.Spawns, 1u);
+  EXPECT_EQ(S.Crashes, 0u);
+  EXPECT_EQ(S.WorkersAlive, 1u);
+  Sup.stop();
+}
+
+TEST(SupervisorTest, IdleDeathHealsAndTheNextRequestIsInnocent) {
+  SupervisorOptions Opts;
+  Opts.Workers = 1;
+  Opts.BackoffBaseMs = 1;
+  Supervisor Sup(Opts);
+  ASSERT_TRUE(Sup.start());
+
+  uint64_t Rng = 42;
+  ASSERT_GT(Sup.chaosKillWorker(Rng), 0);
+  // The monitor reaps the idle death, counts the crash, and respawns.
+  EXPECT_TRUE(eventually([&] { return Sup.restarts() >= 1; }));
+  EXPECT_GE(Sup.crashes(), 1u);
+
+  // The request that never reached the dead worker still gets served.
+  DispatchResult R = Sup.dispatch(tinyRequest("r2"), 5000);
+  EXPECT_EQ(R.K, DispatchResult::Kind::Served);
+  EXPECT_EQ(statusOf(R), "ok");
+  Sup.stop();
+}
+
+TEST(SupervisorTest, BusyKillBecomesACrashVerdictWithTheWaitStatus) {
+  SupervisorOptions Opts;
+  Opts.Workers = 1;
+  Supervisor Sup(Opts);
+  ASSERT_TRUE(Sup.start());
+
+  DispatchResult R;
+  std::thread T([&] { R = Sup.dispatch(slowRequest("victim"), 30000); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  uint64_t Rng = 7;
+  long Pid = Sup.chaosKillWorker(Rng);
+  T.join();
+
+  if (Pid > 0 && R.K == DispatchResult::Kind::Crashed) {
+    EXPECT_NE(R.CrashDetail.find("signal 9"), std::string::npos)
+        << R.CrashDetail;
+  } else {
+    // The slice finished before the kill landed (very fast machine) —
+    // the only other legal verdict is a served response.
+    EXPECT_EQ(R.K, DispatchResult::Kind::Served);
+  }
+  Sup.stop();
+}
+
+TEST(SupervisorTest, HungWorkerIsKilledAtTheDeadline) {
+  SupervisorOptions Opts;
+  Opts.Workers = 1;
+  Opts.HangGraceMs = 0;
+  Supervisor Sup(Opts);
+  ASSERT_TRUE(Sup.start());
+
+  DispatchResult R = Sup.dispatch(slowRequest("hang"), 50);
+  EXPECT_EQ(R.K, DispatchResult::Kind::Crashed);
+  EXPECT_TRUE(R.Hung);
+  EXPECT_NE(R.CrashDetail.find("hung"), std::string::npos) << R.CrashDetail;
+  EXPECT_GE(Sup.stats().Hangs, 1u);
+  Sup.stop();
+}
+
+TEST(SupervisorTest, RestartStormOpensTheBreakerAndCooldownCloses) {
+  SupervisorOptions Opts;
+  Opts.Workers = 1;
+  Opts.BackoffBaseMs = 1;
+  Opts.BreakerThreshold = 3;
+  Opts.BreakerWindowMs = 60000; // Every kill lands inside the window.
+  Opts.BreakerCooldownMs = 300;
+  Supervisor Sup(Opts);
+  ASSERT_TRUE(Sup.start());
+
+  uint64_t Rng = 9;
+  for (unsigned I = 0; I != 3; ++I) {
+    uint64_t Before = Sup.crashes();
+    if (Sup.chaosKillWorker(Rng) < 0) {
+      // Worker dead between respawns; wait for the monitor to heal.
+      ASSERT_TRUE(eventually([&] { return Sup.chaosKillWorker(Rng) > 0; }));
+    }
+    ASSERT_TRUE(eventually([&] { return Sup.crashes() > Before; }));
+  }
+
+  EXPECT_GE(Sup.stats().BreakerOpens, 1u);
+  DispatchResult R = Sup.dispatch(tinyRequest("refused"), 1000);
+  EXPECT_EQ(R.K, DispatchResult::Kind::BreakerOpen);
+  EXPECT_GE(Sup.stats().BreakerRefusals, 1u);
+
+  // Cooldown passes; the fleet heals; service resumes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  DispatchResult After = Sup.dispatch(tinyRequest("healed"), 5000);
+  EXPECT_EQ(After.K, DispatchResult::Kind::Served);
+  Sup.stop();
+}
+
+TEST(SupervisorTest, StopIsIdempotent) {
+  SupervisorOptions Opts;
+  Opts.Workers = 2;
+  Supervisor Sup(Opts);
+  ASSERT_TRUE(Sup.start());
+  Sup.stop();
+  Sup.stop(); // Second stop must be a no-op, not a double-join.
+  EXPECT_EQ(Sup.stats().WorkersAlive, 0u);
+}
+
+#else // !JSLICE_HAVE_POSIX_PROCESS
+
+TEST(SupervisorTest, FailsClosedWithoutPosix) {
+  SupervisorOptions Opts;
+  Supervisor Sup(Opts);
+  EXPECT_FALSE(Sup.start());
+  DispatchResult R = Sup.dispatch(tinyRequest("r1"), 1000);
+  EXPECT_EQ(R.K, DispatchResult::Kind::Failed);
+}
+
+#endif
+
+} // namespace

@@ -5,12 +5,12 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// The slicing service front end (DESIGN.md, "Serving slices"): reads
-/// JSON-Lines requests from stdin (or --input FILE), answers each with
-/// one JSON line on stdout. Requests run concurrently on a worker
-/// pool, each under its own resource Budget, through the
-/// precision-degradation ladder — the caller always gets a sound slice
-/// or a deterministic refusal, never a hang.
+/// The slicing service front end (DESIGN.md, "Serving slices" and
+/// "Supervision & overload"): reads JSON-Lines requests from stdin (or
+/// --input FILE), answers each with one JSON line on stdout. Requests
+/// run concurrently on a worker pool, each under its own resource
+/// Budget, through the precision-degradation ladder — the caller
+/// always gets a sound slice or a deterministic refusal, never a hang.
 ///
 ///   printf '{"id":"r1","program":"read(a);\nwrite(a);\n","line":2,
 ///            "vars":["a"]}\n' | jslice_serve
@@ -18,7 +18,9 @@
 ///   jslice_serve [--input FILE] [--journal FILE] [--quarantine DIR]
 ///                [--threads N] [--budget-ms N] [--max-steps N]
 ///                [--poll-stride N] [--scale-percent N] [--backoff-ms N]
-///                [--no-degrade]
+///                [--no-degrade] [--isolate MODE] [--workers N]
+///                [--max-queue-depth N] [--queue-deadline-ms N]
+///                [--max-rss-mb N] [--journal-rotate-bytes N]
 ///
 ///   --input FILE      read requests from FILE instead of stdin
 ///   --journal FILE    write-ahead request journal; on startup,
@@ -37,13 +39,37 @@
 ///                     rung, capped at 100ms (default 0)
 ///   --no-degrade      disable the ladder: serve the requested
 ///                     algorithm or refuse
+///   --isolate MODE    `thread` (default) or `process`: run requests in
+///                     forked sandbox workers under a self-healing
+///                     supervisor — a crash or hang costs one request
+///                     (answered `crashed` + quarantined), never the
+///                     server
+///   --workers N       sandbox processes in process mode (default:
+///                     one per dispatcher thread)
+///   --max-queue-depth N   shed (refuse) new requests beyond N in
+///                     flight (default 0 = unbounded)
+///   --queue-deadline-ms N shed admitted requests still queued after
+///                     N ms (default 0 = none)
+///   --max-rss-mb N    shed while process RSS exceeds N MiB (default 0)
+///   --journal-rotate-bytes N  rewrite the journal down to its
+///                     unmatched begins past N bytes (default 8 MiB)
 ///
-/// Exit codes: 0 — stream served to EOF; 2 — usage error.
+/// SIGTERM / SIGINT drain gracefully: the server stops accepting,
+/// finishes in-flight requests, writes a clean-shutdown journal
+/// record, and exits 0. The signal handler only writes one byte to a
+/// self-pipe; the serve loop polls it between lines, so the drain
+/// happens on a normal thread, never inside a handler.
+///
+/// Exit codes: 0 — stream served to EOF or drained on signal;
+/// 2 — usage error.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "service/Server.h"
+#include "support/Pipe.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -62,7 +88,12 @@ int usage() {
                "[--max-steps N]\n"
                "                    [--poll-stride N] [--scale-percent N] "
                "[--backoff-ms N]\n"
-               "                    [--no-degrade]\n");
+               "                    [--no-degrade] [--isolate thread|process] "
+               "[--workers N]\n"
+               "                    [--max-queue-depth N] "
+               "[--queue-deadline-ms N]\n"
+               "                    [--max-rss-mb N] "
+               "[--journal-rotate-bytes N]\n");
   return 2;
 }
 
@@ -80,11 +111,77 @@ std::optional<uint64_t> parseCount(const std::string &Text) {
   return Value;
 }
 
+std::atomic<bool> ShutdownRequested{false};
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+int SelfPipeWrite = -1;
+
+extern "C" void onShutdownSignal(int) {
+  // Async-signal-safe by construction: one flag store, one write.
+  ShutdownRequested.store(true, std::memory_order_relaxed);
+  if (SelfPipeWrite >= 0) {
+    char B = 1;
+    [[maybe_unused]] ssize_t N = ::write(SelfPipeWrite, &B, 1);
+  }
+}
+
+/// Reads stdin line by line with poll() across both stdin and the
+/// self-pipe, feeding each line to the server. Returns when stdin hits
+/// EOF or a shutdown signal lands — a signal interrupts even an idle
+/// blocking read, which plain std::getline cannot guarantee.
+void serveSignalAware(Server &S) {
+  Pipe Self;
+  if (!Self.make()) {
+    S.serve(std::cin); // Degraded: signals still set the flag.
+    return;
+  }
+  SelfPipeWrite = Self.WriteFd;
+
+  struct sigaction SA = {};
+  SA.sa_handler = onShutdownSignal; // No SA_RESTART: reads must break.
+  sigemptyset(&SA.sa_mask);
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+
+  std::string Buf;
+  char Chunk[4096];
+  bool Eof = false;
+  while (!Eof && !ShutdownRequested.load(std::memory_order_relaxed)) {
+    int Ready = pollReadable2(0, Self.ReadFd, -1);
+    if (Ready < 0)
+      break;
+    if (Ready & 2) // Self-pipe: a signal landed.
+      break;
+    if (!(Ready & 1))
+      continue;
+    int64_t N = readSome(0, Chunk, sizeof(Chunk));
+    if (N <= 0)
+      Eof = true;
+    else
+      Buf.append(Chunk, static_cast<size_t>(N));
+    size_t Pos;
+    while ((Pos = Buf.find('\n')) != std::string::npos) {
+      S.serveLine(Buf.substr(0, Pos));
+      Buf.erase(0, Pos + 1);
+      if (ShutdownRequested.load(std::memory_order_relaxed))
+        break;
+    }
+  }
+  if (Eof && !Buf.empty() &&
+      !ShutdownRequested.load(std::memory_order_relaxed))
+    S.serveLine(Buf); // Final unterminated line.
+
+  SelfPipeWrite = -1;
+  Self.close();
+}
+#endif
+
 } // namespace
 
 int main(int argc, char **argv) {
   ServerOptions Opts;
   std::string InputPath;
+  Opts.ShutdownFlag = &ShutdownRequested;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -95,7 +192,7 @@ int main(int argc, char **argv) {
     };
 
     if (Arg == "--input" || Arg == "--journal" || Arg == "--quarantine" ||
-        Arg == "--hang-after-begin") {
+        Arg == "--hang-after-begin" || Arg == "--isolate") {
       std::optional<std::string> Value = NextValue();
       if (!Value) {
         std::fprintf(stderr, "error: %s requires an argument\n", Arg.c_str());
@@ -107,11 +204,24 @@ int main(int argc, char **argv) {
         Opts.JournalPath = *Value;
       else if (Arg == "--quarantine")
         Opts.QuarantineDir = *Value;
-      else
+      else if (Arg == "--isolate") {
+        if (*Value == "process")
+          Opts.IsolateProcess = true;
+        else if (*Value == "thread")
+          Opts.IsolateProcess = false;
+        else {
+          std::fprintf(stderr,
+                       "error: --isolate expects 'thread' or 'process'\n");
+          return usage();
+        }
+      } else
         Opts.HangAfterBeginId = *Value; // Test hook (see Server.h).
     } else if (Arg == "--threads" || Arg == "--budget-ms" ||
                Arg == "--max-steps" || Arg == "--poll-stride" ||
-               Arg == "--scale-percent" || Arg == "--backoff-ms") {
+               Arg == "--scale-percent" || Arg == "--backoff-ms" ||
+               Arg == "--workers" || Arg == "--max-queue-depth" ||
+               Arg == "--queue-deadline-ms" || Arg == "--max-rss-mb" ||
+               Arg == "--journal-rotate-bytes") {
       std::optional<std::string> Value = NextValue();
       std::optional<uint64_t> N = Value ? parseCount(*Value) : std::nullopt;
       if (!N) {
@@ -128,6 +238,16 @@ int main(int argc, char **argv) {
         Opts.DefaultBudget.PollStride = *N;
       else if (Arg == "--scale-percent")
         Opts.Ladder.ScalePercent = static_cast<unsigned>(*N);
+      else if (Arg == "--workers")
+        Opts.Super.Workers = static_cast<unsigned>(*N);
+      else if (Arg == "--max-queue-depth")
+        Opts.MaxQueueDepth = *N;
+      else if (Arg == "--queue-deadline-ms")
+        Opts.QueueDeadlineMs = *N;
+      else if (Arg == "--max-rss-mb")
+        Opts.MaxRssMb = *N;
+      else if (Arg == "--journal-rotate-bytes")
+        Opts.JournalRotateBytes = *N;
       else
         Opts.Ladder.BackoffMs = static_cast<unsigned>(*N);
     } else if (Arg == "--no-degrade") {
@@ -148,6 +268,14 @@ int main(int argc, char **argv) {
                  Opts.QuarantineDir.c_str());
 
   if (!InputPath.empty()) {
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+    std::signal(SIGTERM, [](int) {
+      ShutdownRequested.store(true, std::memory_order_relaxed);
+    });
+    std::signal(SIGINT, [](int) {
+      ShutdownRequested.store(true, std::memory_order_relaxed);
+    });
+#endif
     std::ifstream In(InputPath);
     if (!In) {
       std::fprintf(stderr, "error: cannot open %s\n", InputPath.c_str());
@@ -155,7 +283,15 @@ int main(int argc, char **argv) {
     }
     S.serve(In);
   } else {
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+    serveSignalAware(S);
+#else
     S.serve(std::cin);
+#endif
   }
+
+  S.finish();
+  if (ShutdownRequested.load(std::memory_order_relaxed))
+    std::fprintf(stderr, "jslice_serve: drained and shut down cleanly\n");
   return 0;
 }

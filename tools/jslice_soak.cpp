@@ -25,8 +25,24 @@
 /// rung or refused with diagnostics — and the disarmed re-run must
 /// succeed.
 ///
+/// With --crash-matrix it floods a *process-isolated* server while a
+/// chaos thread SIGKILLs sandbox workers at random points, then
+/// asserts the acceptance bar for the supervision layer: zero lost
+/// responses (every request answered exactly once with a legal
+/// status), every crashed response naming an on-disk reproducer, and
+/// the supervisor's restart counter converging to exactly the kill
+/// count.
+///
+/// With --bench it times an identical request stream through thread
+/// and process isolation and writes a benchmark JSON (--out) with
+/// throughput, p50/p95 latency, and shed/crash counts per mode — the
+/// measured cost of the fork-and-pipe sandbox.
+///
 ///   jslice_soak [--requests N] [--programs N] [--stmts N] [--threads N]
 ///               [--seed N] [--fault-stride N] [--journal FILE]
+///               [--isolate thread|process] [--workers N]
+///               [--crash-matrix] [--kill-interval-ms N]
+///               [--quarantine DIR] [--bench] [--out FILE]
 ///               [--verbose]
 ///
 /// Exit codes: 0 — no violations; 1 — at least one violation; 2 —
@@ -37,11 +53,16 @@
 #include "gen/ProgramGenerator.h"
 #include "service/Server.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace jslice;
@@ -56,6 +77,14 @@ struct SoakOptions {
   uint64_t Seed = 1;
   uint64_t FaultStride = 0;
   std::string JournalPath;
+  bool IsolateProcess = false;
+  unsigned Workers = 0;
+  bool CrashMatrix = false;
+  uint64_t KillIntervalMs = 5;
+  unsigned BreakerThreshold = 0; ///< 0 = supervisor default.
+  std::string QuarantineDir = "poisoned";
+  bool Bench = false;
+  std::string OutPath;
   bool Verbose = false;
 };
 
@@ -72,7 +101,11 @@ int usage() {
                "usage: jslice_soak [--requests N] [--programs N] [--stmts N]"
                " [--threads N]\n"
                "                   [--seed N] [--fault-stride N] "
-               "[--journal FILE] [--verbose]\n");
+               "[--journal FILE]\n"
+               "                   [--isolate thread|process] [--workers N]\n"
+               "                   [--crash-matrix] [--kill-interval-ms N] "
+               "[--quarantine DIR]\n"
+               "                   [--bench] [--out FILE] [--verbose]\n");
   return 2;
 }
 
@@ -128,6 +161,7 @@ struct Audit {
   std::map<std::string, uint64_t> ByStatus;
   std::map<std::string, uint64_t> SliceResponses; ///< id -> count.
   uint64_t DegradedServes = 0;
+  bool RequireCrashRepro = false; ///< crashed must name an on-disk repro.
 };
 
 void violation(Audit &A, const char *Why, const std::string &Line) {
@@ -160,13 +194,21 @@ void auditLine(const std::string &Line, Audit &A) {
   std::string S = Status->asString();
   ++A.ByStatus[S];
   if (S != "ok" && S != "resource-exhausted" && S != "error" &&
-      S != "bad-request" && S != "cancelled" && S != "poisoned") {
+      S != "bad-request" && S != "cancelled" && S != "poisoned" &&
+      S != "crashed" && S != "shed") {
     violation(A, "unknown status", Line);
     return;
   }
   if (const JsonValue *Id = V->find("id"))
     if (Id->isString() && !Id->asString().empty())
       ++A.SliceResponses[Id->asString()];
+
+  if (S == "crashed" && A.RequireCrashRepro) {
+    const JsonValue *Repro = V->find("repro");
+    if (!Repro || !Repro->isString() ||
+        !std::filesystem::exists(Repro->asString()))
+      violation(A, "crashed response without an on-disk reproducer", Line);
+  }
 
   if (S == "ok") {
     const JsonValue *Degraded = V->find("degraded");
@@ -201,9 +243,13 @@ std::string serveAndAudit(const SoakOptions &Opts, const std::string &Input,
   ServerOptions SOpts;
   SOpts.Threads = Threads;
   SOpts.JournalPath = Opts.JournalPath;
+  SOpts.IsolateProcess = Opts.IsolateProcess;
+  SOpts.Super.Workers = Opts.Workers;
+  SOpts.QuarantineDir = Opts.QuarantineDir;
   Server S(SOpts, Out, Log);
   S.recover();
   S.serve(In);
+  S.finish();
   std::string Text = Out.str();
   std::istringstream Lines(Text);
   std::string Line;
@@ -364,6 +410,229 @@ int runFaultSweep(const SoakOptions &Opts) {
   return Violations ? 1 : 0;
 }
 
+//===----------------------------------------------------------------------===//
+// Crash matrix
+//===----------------------------------------------------------------------===//
+
+/// Builds a pure slice-request stream (no garbage, no cancels — the
+/// chaos is supplied by SIGKILL, and the audit needs the clean
+/// "answered exactly once" invariant to be attributable to the
+/// supervisor alone).
+std::string buildSliceStream(const SoakOptions &Opts,
+                             const std::vector<SoakProgram> &Programs,
+                             uint64_t &Slices) {
+  std::ostringstream Stream;
+  Slices = 0;
+  for (uint64_t I = 0; I != Opts.Requests; ++I) {
+    const SoakProgram &P = Programs[I % Programs.size()];
+    ServiceRequest R;
+    R.Id = "q" + std::to_string(I);
+    R.Program = P.Source;
+    const Criterion &C = P.Criteria[I % P.Criteria.size()];
+    R.Line = C.Line;
+    R.Vars = C.Vars;
+    R.Algorithm = AllAlgorithms[I % (sizeof(AllAlgorithms) /
+                                     sizeof(AllAlgorithms[0]))];
+    Stream << R.toJson().str() << "\n";
+    ++Slices;
+  }
+  return Stream.str();
+}
+
+int runCrashMatrix(const SoakOptions &Opts) {
+  std::vector<SoakProgram> Programs = buildPrograms(Opts);
+  uint64_t Slices = 0;
+  std::string Input = buildSliceStream(Opts, Programs, Slices);
+
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  std::ostringstream Log;
+  ServerOptions SOpts;
+  SOpts.Threads = Opts.Threads;
+  SOpts.IsolateProcess = true;
+  SOpts.Super.Workers = Opts.Workers;
+  if (Opts.BreakerThreshold)
+    SOpts.Super.BreakerThreshold = Opts.BreakerThreshold;
+  SOpts.QuarantineDir = Opts.QuarantineDir;
+  SOpts.JournalPath = Opts.JournalPath;
+  Server S(SOpts, Out, Log);
+
+  if (!S.supervisor()) {
+    std::fprintf(stderr, "jslice_soak: process isolation unavailable on "
+                         "this platform; crash matrix skipped\n");
+    return 0;
+  }
+
+  // Serve on a worker thread while this thread plays executioner:
+  // SIGKILL a random live sandbox worker every ~KillIntervalMs until
+  // the stream drains.
+  std::atomic<bool> Done{false};
+  std::thread Serving([&] {
+    S.serve(In);
+    Done.store(true, std::memory_order_relaxed);
+  });
+
+  uint64_t Rng = Opts.Seed ? Opts.Seed : 0x9e3779b97f4a7c15ull;
+  uint64_t Kills = 0;
+  while (!Done.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(Opts.KillIntervalMs));
+    if (Done.load(std::memory_order_relaxed))
+      break;
+    if (S.supervisor()->chaosKillWorker(Rng) > 0)
+      ++Kills;
+  }
+  Serving.join();
+
+  // Self-healing: every kill must be answered by exactly one respawn.
+  // Give the monitor time to work through backoff and any breaker
+  // cooldown before holding it to the count.
+  for (int I = 0; I != 400 && S.supervisor()->restarts() < Kills; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  uint64_t Restarts = S.supervisor()->restarts();
+  uint64_t Crashes = S.supervisor()->crashes();
+  S.finish();
+
+  Audit A;
+  A.RequireCrashRepro = true;
+  {
+    std::istringstream Lines(Out.str());
+    std::string Line;
+    while (std::getline(Lines, Line))
+      if (!Line.empty())
+        auditLine(Line, A);
+  }
+  if (Opts.Verbose && !Log.str().empty())
+    std::fputs(Log.str().c_str(), stderr);
+
+  for (const auto &[Id, N] : A.SliceResponses)
+    if (N != 1) {
+      ++A.Violations;
+      std::fprintf(stderr, "VIOLATION: id %s answered %llu times\n",
+                   Id.c_str(), static_cast<unsigned long long>(N));
+    }
+  if (A.SliceResponses.size() != Slices) {
+    ++A.Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: %llu requests, %zu distinct responses — "
+                 "responses were lost\n",
+                 static_cast<unsigned long long>(Slices),
+                 A.SliceResponses.size());
+  }
+  if (Restarts != Kills) {
+    ++A.Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: %llu chaos kills but %llu supervisor "
+                 "restarts\n",
+                 static_cast<unsigned long long>(Kills),
+                 static_cast<unsigned long long>(Restarts));
+  }
+
+  std::printf("jslice_soak: crash matrix — %llu requests, %llu kills, "
+              "%llu restarts, %llu worker crashes\n",
+              static_cast<unsigned long long>(Slices),
+              static_cast<unsigned long long>(Kills),
+              static_cast<unsigned long long>(Restarts),
+              static_cast<unsigned long long>(Crashes));
+  for (const auto &[St, N] : A.ByStatus)
+    std::printf("               %-18s %llu\n", St.c_str(),
+                static_cast<unsigned long long>(N));
+  std::printf("               violations         %llu\n",
+              static_cast<unsigned long long>(A.Violations));
+  return A.Violations ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Isolation benchmark
+//===----------------------------------------------------------------------===//
+
+struct BenchRun {
+  double WallMs = 0;
+  double ThroughputRps = 0;
+  ServerStats Stats;
+};
+
+BenchRun benchMode(const SoakOptions &Opts, const std::string &Input,
+                   bool Process) {
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  std::ostringstream Log;
+  ServerOptions SOpts;
+  SOpts.Threads = Opts.Threads;
+  SOpts.IsolateProcess = Process;
+  SOpts.Super.Workers = Opts.Workers;
+  SOpts.QuarantineDir = Opts.QuarantineDir;
+  Server S(SOpts, Out, Log);
+
+  auto Start = std::chrono::steady_clock::now();
+  S.serve(In);
+  BenchRun R;
+  R.WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - Start)
+                 .count();
+  R.Stats = S.stats();
+  S.finish();
+  uint64_t Answered = R.Stats.Served + R.Stats.Refused + R.Stats.Errors;
+  R.ThroughputRps = R.WallMs > 0 ? Answered / (R.WallMs / 1000.0) : 0;
+  return R;
+}
+
+JsonValue benchJson(const BenchRun &R) {
+  JsonValue V = JsonValue::object();
+  V.set("wall_ms", R.WallMs);
+  V.set("throughput_rps", R.ThroughputRps);
+  V.set("latency_p50_ms", R.Stats.P50Ms);
+  V.set("latency_p95_ms", R.Stats.P95Ms);
+  V.set("served", R.Stats.Served);
+  V.set("degraded", R.Stats.Degraded);
+  V.set("refused", R.Stats.Refused);
+  V.set("errors", R.Stats.Errors);
+  V.set("shed", R.Stats.Shed);
+  V.set("crashed", R.Stats.Crashed);
+  return V;
+}
+
+int runBench(const SoakOptions &Opts) {
+  std::vector<SoakProgram> Programs = buildPrograms(Opts);
+  uint64_t Slices = 0;
+  std::string Input = buildSliceStream(Opts, Programs, Slices);
+
+  BenchRun Thread = benchMode(Opts, Input, /*Process=*/false);
+  BenchRun Process = benchMode(Opts, Input, /*Process=*/true);
+
+  JsonValue Root = JsonValue::object();
+  Root.set("benchmark", "jslice_soak --bench");
+  Root.set("requests", Slices);
+  Root.set("programs", static_cast<uint64_t>(Programs.size()));
+  JsonValue Modes = JsonValue::object();
+  Modes.set("thread", benchJson(Thread));
+  Modes.set("process", benchJson(Process));
+  Root.set("modes", std::move(Modes));
+  JsonValue Overhead = JsonValue::object();
+  if (Thread.Stats.P50Ms > 0)
+    Overhead.set("p50_ratio", Process.Stats.P50Ms / Thread.Stats.P50Ms);
+  if (Process.ThroughputRps > 0)
+    Overhead.set("throughput_ratio",
+                 Thread.ThroughputRps / Process.ThroughputRps);
+  Root.set("process_overhead", std::move(Overhead));
+
+  std::string Text = Root.str();
+  if (!Opts.OutPath.empty()) {
+    std::ofstream OutFile(Opts.OutPath, std::ios::trunc);
+    if (!OutFile) {
+      std::fprintf(stderr, "error: cannot write %s\n", Opts.OutPath.c_str());
+      return 1;
+    }
+    OutFile << Text << "\n";
+  }
+  std::printf("%s\n", Text.c_str());
+  std::printf("jslice_soak: bench — thread %.0f req/s p50 %.2fms | process "
+              "%.0f req/s p50 %.2fms\n",
+              Thread.ThroughputRps, Thread.Stats.P50Ms,
+              Process.ThroughputRps, Process.Stats.P50Ms);
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -378,7 +647,9 @@ int main(int argc, char **argv) {
     };
 
     if (Arg == "--requests" || Arg == "--programs" || Arg == "--stmts" ||
-        Arg == "--threads" || Arg == "--seed" || Arg == "--fault-stride") {
+        Arg == "--threads" || Arg == "--seed" || Arg == "--fault-stride" ||
+        Arg == "--workers" || Arg == "--kill-interval-ms" ||
+        Arg == "--breaker-threshold") {
       std::optional<std::string> Value = NextValue();
       std::optional<uint64_t> N = Value ? parseCount(*Value) : std::nullopt;
       if (!N) {
@@ -395,15 +666,40 @@ int main(int argc, char **argv) {
         Opts.Threads = static_cast<unsigned>(*N);
       else if (Arg == "--seed")
         Opts.Seed = *N;
+      else if (Arg == "--workers")
+        Opts.Workers = static_cast<unsigned>(*N);
+      else if (Arg == "--kill-interval-ms")
+        Opts.KillIntervalMs = std::max<uint64_t>(1, *N);
+      else if (Arg == "--breaker-threshold")
+        Opts.BreakerThreshold = static_cast<unsigned>(*N);
       else
         Opts.FaultStride = *N;
-    } else if (Arg == "--journal") {
+    } else if (Arg == "--journal" || Arg == "--quarantine" ||
+               Arg == "--out" || Arg == "--isolate") {
       std::optional<std::string> Value = NextValue();
       if (!Value) {
-        std::fprintf(stderr, "error: --journal requires a path\n");
+        std::fprintf(stderr, "error: %s requires an argument\n", Arg.c_str());
         return usage();
       }
-      Opts.JournalPath = *Value;
+      if (Arg == "--journal")
+        Opts.JournalPath = *Value;
+      else if (Arg == "--quarantine")
+        Opts.QuarantineDir = *Value;
+      else if (Arg == "--out")
+        Opts.OutPath = *Value;
+      else if (*Value == "process")
+        Opts.IsolateProcess = true;
+      else if (*Value == "thread")
+        Opts.IsolateProcess = false;
+      else {
+        std::fprintf(stderr,
+                     "error: --isolate expects 'thread' or 'process'\n");
+        return usage();
+      }
+    } else if (Arg == "--crash-matrix") {
+      Opts.CrashMatrix = true;
+    } else if (Arg == "--bench") {
+      Opts.Bench = true;
     } else if (Arg == "--verbose") {
       Opts.Verbose = true;
     } else {
@@ -412,5 +708,9 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (Opts.CrashMatrix)
+    return runCrashMatrix(Opts);
+  if (Opts.Bench)
+    return runBench(Opts);
   return Opts.FaultStride ? runFaultSweep(Opts) : runVolumeSoak(Opts);
 }

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Graceful-drain acceptance for the slicing service: SIGTERM a server
+# that has served traffic and still holds its stdin open, then assert
+# it (a) exits 0 on its own, (b) answered everything it accepted, and
+# (c) closed the journal with the clean-shutdown marker — the record
+# operators use to tell a drain from a crash. Run twice: thread and
+# process isolation.
+#
+#   service_drain.sh <jslice_serve> <workdir>
+set -u
+
+SERVE="$1"
+WORK="$2"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+REQ='{"id":"r%d","program":"read(a);\nif (a > 0) { write(a); }\nwrite(a);\n","line":3,"vars":["a"]}'
+
+run_mode() {
+  local MODE="$1"
+  local WAL="wal-$MODE.jsonl"
+  rm -f "$WAL" out.log err.log
+  mkfifo pipe-"$MODE"
+
+  "$SERVE" --journal "$WAL" --isolate "$MODE" --threads 2 \
+    < pipe-"$MODE" > out.log 2> err.log &
+  local PID=$!
+  # Hold a writer open so the server sees an idle-but-live stream
+  # (EOF would end the loop without any signal involved).
+  exec 3> pipe-"$MODE"
+
+  for I in 1 2 3; do
+    # shellcheck disable=SC2059
+    printf "$REQ\n" "$I" >&3
+  done
+
+  # All three answered before the signal lands.
+  for _ in $(seq 1 100); do
+    [ "$(grep -c '"status"' out.log 2>/dev/null)" -ge 3 ] && break
+    sleep 0.1
+  done
+  if [ "$(grep -c '"status"' out.log)" -lt 3 ]; then
+    echo "FAIL($MODE): requests were not answered before the drain"
+    kill -9 "$PID" 2>/dev/null
+    exec 3>&-
+    return 1
+  fi
+
+  kill -TERM "$PID"
+  local RC=1
+  for _ in $(seq 1 100); do
+    if ! kill -0 "$PID" 2>/dev/null; then
+      wait "$PID"
+      RC=$?
+      break
+    fi
+    sleep 0.1
+  done
+  exec 3>&-
+
+  if [ "$RC" -ne 0 ]; then
+    echo "FAIL($MODE): server exited $RC after SIGTERM (want 0)"
+    return 1
+  fi
+  if ! grep -q "shut down cleanly" err.log; then
+    echo "FAIL($MODE): no clean-shutdown log line"
+    cat err.log
+    return 1
+  fi
+  if ! grep -q '"event":"shutdown"' "$WAL"; then
+    echo "FAIL($MODE): journal lacks the clean-shutdown marker"
+    cat "$WAL"
+    return 1
+  fi
+  # The drain closed every begin: a restart must quarantine nothing.
+  printf '' | "$SERVE" --journal "$WAL" > /dev/null 2> restart.log
+  if grep -q "quarantined" restart.log; then
+    echo "FAIL($MODE): restart after a clean drain quarantined requests"
+    return 1
+  fi
+  echo "drain OK ($MODE)"
+}
+
+run_mode thread || exit 1
+run_mode process || exit 1
+echo "graceful drain OK"
