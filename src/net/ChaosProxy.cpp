@@ -1,0 +1,274 @@
+//===- net/ChaosProxy.cpp - Network fault-injection proxy ------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/ChaosProxy.h"
+
+#include "net/Socket.h"
+#include "support/Pipe.h"
+
+#include <cerrno>
+#include <chrono>
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+using namespace jslice;
+
+/// One proxied connection. The pump thread owns the fds and closes
+/// them (under M) when it exits; stop() only shuts them down — also
+/// under M, so it can never touch a closed (possibly reused) fd
+/// number. Finished connections are reaped by the accept loop.
+struct ChaosProxy::Conn {
+  std::mutex M; ///< Guards the fds against the close/shutdown race.
+  int ClientFd = -1;
+  int UpstreamFd = -1;
+  uint64_t Rng = 1;
+  std::atomic<bool> Done{false};
+  std::thread Pump;
+};
+
+ChaosProxy::ChaosProxy(const ChaosOptions &O) : Opts(O) {}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+ChaosStats ChaosProxy::stats() const {
+  ChaosStats S;
+  S.Connections = Connections.load(std::memory_order_relaxed);
+  S.Delays = Delays.load(std::memory_order_relaxed);
+  S.Truncations = Truncations.load(std::memory_order_relaxed);
+  S.Resets = Resets.load(std::memory_order_relaxed);
+  S.Stalls = Stalls.load(std::memory_order_relaxed);
+  S.BytesForwarded = BytesForwarded.load(std::memory_order_relaxed);
+  return S;
+}
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+
+namespace {
+
+uint64_t nextRand(uint64_t &S) {
+  S ^= S << 13;
+  S ^= S >> 7;
+  S ^= S << 17;
+  return S;
+}
+
+/// Rolls a permille check against the connection's PRNG stream.
+bool roll(uint64_t &S, unsigned Permille) {
+  return Permille && nextRand(S) % 1000 < Permille;
+}
+
+} // namespace
+
+bool ChaosProxy::start(std::string &Err) {
+  if (Opts.UpstreamPort == 0) {
+    Err = "chaos proxy needs an upstream port";
+    return false;
+  }
+  ListenFd = listenTcp(Opts.ListenHost, Opts.ListenPort, /*Backlog=*/128,
+                       Err);
+  if (ListenFd < 0)
+    return false;
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+uint16_t ChaosProxy::port() const {
+  return ListenFd >= 0 ? tcpLocalPort(ListenFd) : 0;
+}
+
+void ChaosProxy::stop() {
+  if (Stopping.exchange(true))
+    return;
+  if (Acceptor.joinable())
+    Acceptor.join();
+  std::vector<std::shared_ptr<Conn>> Local;
+  {
+    std::lock_guard<std::mutex> L(ConnsM);
+    Local.swap(Conns);
+  }
+  for (auto &C : Local) {
+    // Shutdown (not close) wakes the pump thread's poll; the thread
+    // still owns the fds and closes them on exit.
+    std::lock_guard<std::mutex> FdLock(C->M);
+    if (C->ClientFd >= 0)
+      ::shutdown(C->ClientFd, SHUT_RDWR);
+    if (C->UpstreamFd >= 0)
+      ::shutdown(C->UpstreamFd, SHUT_RDWR);
+  }
+  for (auto &C : Local)
+    if (C->Pump.joinable())
+      C->Pump.join();
+  closeQuietly(ListenFd);
+}
+
+void ChaosProxy::acceptLoop() {
+  while (!Stopping.load(std::memory_order_relaxed)) {
+    // Reap finished connections so a long soak (resets force constant
+    // reconnects) doesn't accumulate dead threads.
+    {
+      std::lock_guard<std::mutex> L(ConnsM);
+      for (size_t I = 0; I != Conns.size();) {
+        if (Conns[I]->Done.load(std::memory_order_acquire)) {
+          if (Conns[I]->Pump.joinable())
+            Conns[I]->Pump.join();
+          Conns.erase(Conns.begin() + static_cast<ptrdiff_t>(I));
+        } else {
+          ++I;
+        }
+      }
+    }
+    struct pollfd P;
+    P.fd = ListenFd;
+    P.events = POLLIN;
+    P.revents = 0;
+    int N = ::poll(&P, 1, 100);
+    if (N <= 0)
+      continue;
+    int ClientFd = acceptTcp(ListenFd);
+    if (ClientFd < 0)
+      continue;
+    setNonBlocking(ClientFd, false);
+
+    std::string Err;
+    int UpFd = connectTcp(Opts.UpstreamHost, Opts.UpstreamPort,
+                          /*TimeoutMs=*/5000, Err);
+    if (UpFd < 0) {
+      ::close(ClientFd);
+      continue;
+    }
+
+    auto C = std::make_shared<Conn>();
+    C->ClientFd = ClientFd;
+    C->UpstreamFd = UpFd;
+    C->Rng = (Opts.Seed ^ (NextConnId++ * 0x9E3779B97F4A7C15ull)) | 1;
+    Connections.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> L(ConnsM);
+      Conns.push_back(C);
+    }
+    C->Pump = std::thread([this, C] { pump(C); });
+  }
+}
+
+void ChaosProxy::pump(std::shared_ptr<Conn> C) {
+  bool ClientOpen = true, UpstreamOpen = true;
+  char Chunk[16384];
+
+  auto sendAll = [](int Fd, const char *Data, size_t N) {
+    size_t Sent = 0;
+    while (Sent < N) {
+      int64_t W = sendSome(Fd, Data + Sent, N - Sent);
+      if (W <= 0)
+        return false;
+      Sent += static_cast<size_t>(W);
+    }
+    return true;
+  };
+
+  while ((ClientOpen || UpstreamOpen) &&
+         !Stopping.load(std::memory_order_relaxed)) {
+    struct pollfd P[2];
+    P[0] = {C->ClientFd, static_cast<short>(ClientOpen ? POLLIN : 0), 0};
+    P[1] = {C->UpstreamFd, static_cast<short>(UpstreamOpen ? POLLIN : 0),
+            0};
+    int N = ::poll(P, 2, 100);
+    if (N < 0 && errno != EINTR)
+      break;
+    if (N <= 0)
+      continue;
+
+    // Request direction: client -> upstream. Delay/stall only — torn
+    // *requests* are covered by the server's read-deadline tests; the
+    // soak needs every accepted request to eventually reach the server
+    // so the exactly-once audit can hold.
+    if (ClientOpen && P[0].revents) {
+      int64_t R = recvSome(C->ClientFd, Chunk, sizeof(Chunk));
+      if (R <= 0 && R != NetWouldBlock) {
+        ClientOpen = false;
+        ::shutdown(C->UpstreamFd, SHUT_WR); // Propagate the half-close.
+      } else if (R > 0) {
+        if (roll(C->Rng, Opts.StallPermille)) {
+          Stalls.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(Opts.StallMs));
+        } else if (roll(C->Rng, Opts.DelayPermille)) {
+          Delays.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(Opts.DelayMs));
+        }
+        if (!sendAll(C->UpstreamFd, Chunk, static_cast<size_t>(R)))
+          UpstreamOpen = ClientOpen = false;
+        else
+          BytesForwarded.fetch_add(static_cast<uint64_t>(R),
+                                   std::memory_order_relaxed);
+      }
+    }
+
+    // Response direction: upstream -> client. All four faults.
+    if (UpstreamOpen && P[1].revents) {
+      int64_t R = recvSome(C->UpstreamFd, Chunk, sizeof(Chunk));
+      if (R <= 0 && R != NetWouldBlock) {
+        UpstreamOpen = false;
+        ::shutdown(C->ClientFd, SHUT_WR);
+      } else if (R > 0) {
+        size_t Forward = static_cast<size_t>(R);
+        bool CloseAfter = false, HardReset = false;
+        if (roll(C->Rng, Opts.ResetPermille)) {
+          Resets.fetch_add(1, std::memory_order_relaxed);
+          Forward /= 2;
+          CloseAfter = HardReset = true;
+        } else if (roll(C->Rng, Opts.TruncatePermille)) {
+          Truncations.fetch_add(1, std::memory_order_relaxed);
+          Forward /= 2;
+          CloseAfter = true;
+        } else if (roll(C->Rng, Opts.StallPermille)) {
+          Stalls.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(Opts.StallMs));
+        } else if (roll(C->Rng, Opts.DelayPermille)) {
+          Delays.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(Opts.DelayMs));
+        }
+        if (Forward &&
+            !sendAll(C->ClientFd, Chunk, Forward))
+          CloseAfter = true;
+        else
+          BytesForwarded.fetch_add(Forward, std::memory_order_relaxed);
+        if (CloseAfter) {
+          if (HardReset)
+            setHardReset(C->ClientFd); // close() sends RST, not FIN.
+          break;
+        }
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> FdLock(C->M);
+    closeQuietly(C->ClientFd);
+    closeQuietly(C->UpstreamFd);
+  }
+  C->Done.store(true, std::memory_order_release);
+}
+
+#else // !JSLICE_HAVE_POSIX_PROCESS
+
+bool ChaosProxy::start(std::string &Err) {
+  Err = "TCP transport unavailable on this platform";
+  return false;
+}
+uint16_t ChaosProxy::port() const { return 0; }
+void ChaosProxy::stop() { Stopping.store(true); }
+void ChaosProxy::acceptLoop() {}
+void ChaosProxy::pump(std::shared_ptr<Conn>) {}
+
+#endif

@@ -1,0 +1,116 @@
+//===- net/ChaosProxy.h - Network fault-injection proxy --------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, in-process TCP fault proxy: it accepts connections,
+/// forwards bytes to an upstream jslice_serve listener, and injects the
+/// network failure modes the transport and client must survive:
+///
+///  * delay — hold a chunk for DelayMs before forwarding;
+///  * truncate — forward only a prefix of a response chunk, then close
+///    (the client sees a torn line);
+///  * reset — arm SO_LINGER{1,0} and close mid-response (the client
+///    sees ECONNRESET, not EOF);
+///  * stall — stop pumping this connection for StallMs (the client's
+///    response deadline, or the server's write-buffer bound, trips).
+///
+/// Faults fire per forwarded chunk with permille probabilities drawn
+/// from a seeded xorshift PRNG, so a soak run is reproducible from its
+/// seed. Truncate/reset target the response direction (upstream ->
+/// client); delay and stall apply to both. Each proxied connection
+/// runs on its own thread with its own PRNG stream (seed XOR
+/// connection id) — faults on one connection never slow another, which
+/// is exactly the containment claim the soak's parallel well-behaved
+/// connection verifies.
+///
+/// Used by tools/jslice_netchaos (standalone) and jslice_soak --net
+/// (in-process).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_NET_CHAOSPROXY_H
+#define JSLICE_NET_CHAOSPROXY_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace jslice {
+
+struct ChaosOptions {
+  std::string ListenHost = "127.0.0.1";
+  uint16_t ListenPort = 0; ///< 0 = ephemeral; read back with port().
+  std::string UpstreamHost = "127.0.0.1";
+  uint16_t UpstreamPort = 0;
+
+  /// Per-chunk fault probabilities in permille (0 = never, 1000 =
+  /// every chunk). Evaluated in this order; at most one fires.
+  unsigned ResetPermille = 0;
+  unsigned TruncatePermille = 0;
+  unsigned StallPermille = 0;
+  unsigned DelayPermille = 0;
+
+  uint64_t DelayMs = 20;
+  uint64_t StallMs = 500;
+
+  uint64_t Seed = 1; ///< PRNG seed; same seed = same fault schedule.
+};
+
+struct ChaosStats {
+  uint64_t Connections = 0;
+  uint64_t Delays = 0;
+  uint64_t Truncations = 0;
+  uint64_t Resets = 0;
+  uint64_t Stalls = 0;
+  uint64_t BytesForwarded = 0;
+};
+
+class ChaosProxy {
+public:
+  explicit ChaosProxy(const ChaosOptions &Opts);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy &) = delete;
+  ChaosProxy &operator=(const ChaosProxy &) = delete;
+
+  /// Binds the listener and starts the accept thread. False with a
+  /// reason on failure (including non-POSIX builds).
+  bool start(std::string &Err);
+
+  /// The bound listen port (after start()).
+  uint16_t port() const;
+
+  /// Stops accepting, severs every proxied connection, joins threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  ChaosStats stats() const;
+
+private:
+  struct Conn;
+  void acceptLoop();
+  void pump(std::shared_ptr<Conn> C);
+
+  ChaosOptions Opts;
+  int ListenFd = -1;
+  std::atomic<bool> Stopping{false};
+  std::thread Acceptor;
+  std::mutex ConnsM;
+  std::vector<std::shared_ptr<Conn>> Conns;
+  uint64_t NextConnId = 1;
+
+  std::atomic<uint64_t> Connections{0}, Delays{0}, Truncations{0},
+      Resets{0}, Stalls{0}, BytesForwarded{0};
+};
+
+} // namespace jslice
+
+#endif // JSLICE_NET_CHAOSPROXY_H

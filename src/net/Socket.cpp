@@ -1,0 +1,249 @@
+//===- net/Socket.cpp - Thin TCP socket helpers ----------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Socket.h"
+
+#include "support/Pipe.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+using namespace jslice;
+
+bool jslice::parseHostPort(const std::string &Spec, std::string &Host,
+                           uint16_t &Port) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0)
+    return false;
+  std::string PortText = Spec.substr(Colon + 1);
+  if (PortText.empty() || PortText.size() > 5)
+    return false;
+  uint32_t P = 0;
+  for (char C : PortText) {
+    if (C < '0' || C > '9')
+      return false;
+    P = P * 10 + static_cast<uint32_t>(C - '0');
+  }
+  if (P > 65535)
+    return false;
+  Host = Spec.substr(0, Colon);
+  Port = static_cast<uint16_t>(P);
+  return true;
+}
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+
+namespace {
+
+void setCloexec(int Fd) { ::fcntl(Fd, F_SETFD, FD_CLOEXEC); }
+
+/// Resolves \p Host:\p Port into an IPv4 sockaddr. False with a
+/// reason when the name does not resolve.
+bool resolveV4(const std::string &Host, uint16_t Port, sockaddr_in &Out,
+               std::string &Err) {
+  std::memset(&Out, 0, sizeof(Out));
+  Out.sin_family = AF_INET;
+  Out.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Out.sin_addr) == 1)
+    return true;
+  addrinfo Hints = {};
+  Hints.ai_family = AF_INET;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Res = nullptr;
+  int RC = ::getaddrinfo(Host.c_str(), nullptr, &Hints, &Res);
+  if (RC != 0 || !Res) {
+    Err = "cannot resolve host '" + Host + "': " + ::gai_strerror(RC);
+    return false;
+  }
+  Out.sin_addr = reinterpret_cast<sockaddr_in *>(Res->ai_addr)->sin_addr;
+  ::freeaddrinfo(Res);
+  return true;
+}
+
+} // namespace
+
+int jslice::listenTcp(const std::string &Host, uint16_t Port, int Backlog,
+                      std::string &Err) {
+  sockaddr_in Addr;
+  if (!resolveV4(Host, Port, Addr, Err))
+    return -1;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  setCloexec(Fd);
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = std::string("bind: ") + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, Backlog) != 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  setNonBlocking(Fd, true);
+  return Fd;
+}
+
+int jslice::acceptTcp(int ListenFd) {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    setCloexec(Fd);
+    setNonBlocking(Fd, true);
+    setTcpNoDelay(Fd);
+    return Fd;
+  }
+}
+
+int jslice::connectTcp(const std::string &Host, uint16_t Port,
+                       int TimeoutMs, std::string &Err) {
+  sockaddr_in Addr;
+  if (!resolveV4(Host, Port, Addr, Err))
+    return -1;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  setCloexec(Fd);
+  setNonBlocking(Fd, true);
+  int RC = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  if (RC != 0 && errno != EINPROGRESS && errno != EINTR) {
+    Err = std::string("connect: ") + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  if (RC != 0) {
+    struct pollfd P;
+    P.fd = Fd;
+    P.events = POLLOUT;
+    P.revents = 0;
+    for (;;) {
+      int N = ::poll(&P, 1, TimeoutMs < 0 ? -1 : TimeoutMs);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0) {
+        Err = N == 0 ? "connect timed out"
+                     : std::string("poll: ") + std::strerror(errno);
+        ::close(Fd);
+        return -1;
+      }
+      break;
+    }
+    int SoErr = 0;
+    socklen_t Len = sizeof(SoErr);
+    if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &Len) != 0 ||
+        SoErr != 0) {
+      Err = std::string("connect: ") + std::strerror(SoErr ? SoErr : errno);
+      ::close(Fd);
+      return -1;
+    }
+  }
+  setNonBlocking(Fd, false);
+  setTcpNoDelay(Fd);
+  return Fd;
+}
+
+uint16_t jslice::tcpLocalPort(int Fd) {
+  sockaddr_in Addr;
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) != 0)
+    return 0;
+  return ntohs(Addr.sin_port);
+}
+
+bool jslice::setNonBlocking(int Fd, bool NonBlocking) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0)
+    return false;
+  Flags = NonBlocking ? (Flags | O_NONBLOCK) : (Flags & ~O_NONBLOCK);
+  return ::fcntl(Fd, F_SETFL, Flags) == 0;
+}
+
+void jslice::setSendBufferBytes(int Fd, int Bytes) {
+  if (Bytes > 0)
+    ::setsockopt(Fd, SOL_SOCKET, SO_SNDBUF, &Bytes, sizeof(Bytes));
+}
+
+void jslice::setTcpNoDelay(int Fd) {
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+}
+
+void jslice::setHardReset(int Fd) {
+  struct linger L;
+  L.l_onoff = 1;
+  L.l_linger = 0;
+  ::setsockopt(Fd, SOL_SOCKET, SO_LINGER, &L, sizeof(L));
+}
+
+int64_t jslice::sendSome(int Fd, const void *Buf, size_t N) {
+  for (;;) {
+    ssize_t W = ::send(Fd, Buf, N, MSG_NOSIGNAL);
+    if (W >= 0)
+      return static_cast<int64_t>(W);
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return NetWouldBlock;
+    return -1;
+  }
+}
+
+int64_t jslice::recvSome(int Fd, void *Buf, size_t N) {
+  for (;;) {
+    ssize_t R = ::recv(Fd, Buf, N, 0);
+    if (R >= 0)
+      return static_cast<int64_t>(R);
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return NetWouldBlock;
+    return -1;
+  }
+}
+
+#else // !JSLICE_HAVE_POSIX_PROCESS
+
+int jslice::listenTcp(const std::string &, uint16_t, int, std::string &Err) {
+  Err = "TCP transport unavailable on this platform";
+  return -1;
+}
+int jslice::acceptTcp(int) { return -1; }
+int jslice::connectTcp(const std::string &, uint16_t, int, std::string &Err) {
+  Err = "TCP transport unavailable on this platform";
+  return -1;
+}
+uint16_t jslice::tcpLocalPort(int) { return 0; }
+bool jslice::setNonBlocking(int, bool) { return false; }
+void jslice::setSendBufferBytes(int, int) {}
+void jslice::setTcpNoDelay(int) {}
+void jslice::setHardReset(int) {}
+int64_t jslice::sendSome(int, const void *, size_t) { return -1; }
+int64_t jslice::recvSome(int, void *, size_t) { return -1; }
+
+#endif

@@ -1,0 +1,90 @@
+//===- net/Socket.h - Thin TCP socket helpers ------------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The POSIX socket layer under the TCP transport (net/TcpServer.h),
+/// the retrying client (net/Client.h), and the chaos proxy
+/// (net/ChaosProxy.h). Same discipline as support/Pipe.h: error codes
+/// instead of exceptions, close-on-exec everywhere, and non-POSIX
+/// builds compile but fail closed (every function reports failure, so
+/// the service falls back to its stdin transport).
+///
+/// All sends go through ::send with MSG_NOSIGNAL — no caller needs a
+/// process-wide SIGPIPE disposition to survive a peer reset; the reset
+/// surfaces as an error return on exactly the connection that died.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_NET_SOCKET_H
+#define JSLICE_NET_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace jslice {
+
+/// Splits "HOST:PORT" (e.g. "127.0.0.1:9000", ":9000" meaning all
+/// interfaces is not supported — the host is required). False on a
+/// missing colon, empty host, or a port outside 1..65535 (port 0 is
+/// accepted: "bind me an ephemeral port").
+bool parseHostPort(const std::string &Spec, std::string &Host,
+                   uint16_t &Port);
+
+/// Creates a listening TCP socket on \p Host:\p Port (SO_REUSEADDR,
+/// close-on-exec, non-blocking). Port 0 binds an ephemeral port — read
+/// it back with tcpLocalPort(). Returns the fd, or -1 with a
+/// human-readable reason in \p Err.
+int listenTcp(const std::string &Host, uint16_t Port, int Backlog,
+              std::string &Err);
+
+/// Accepts one pending connection from \p ListenFd (close-on-exec,
+/// non-blocking). Returns the fd, or -1 when nothing is pending or on
+/// error — the accept loop treats both the same way: go back to poll.
+int acceptTcp(int ListenFd);
+
+/// Connects to \p Host:\p Port within \p TimeoutMs milliseconds
+/// (non-blocking connect + poll, then the socket is returned in
+/// *blocking* mode — clients pace reads with poll, not O_NONBLOCK).
+/// Returns the fd, or -1 with a reason in \p Err.
+int connectTcp(const std::string &Host, uint16_t Port, int TimeoutMs,
+               std::string &Err);
+
+/// The locally bound port of \p Fd, or 0 on error.
+uint16_t tcpLocalPort(int Fd);
+
+/// Flips O_NONBLOCK. False on error.
+bool setNonBlocking(int Fd, bool NonBlocking);
+
+/// Shrinks the kernel send buffer (ops/test knob for exercising
+/// backpressure; the kernel clamps to its own minimum). No-op when
+/// \p Bytes is 0.
+void setSendBufferBytes(int Fd, int Bytes);
+
+/// Disables Nagle; a JSON-Lines request/response protocol is exactly
+/// the small-write pattern Nagle penalizes.
+void setTcpNoDelay(int Fd);
+
+/// Arms SO_LINGER with a zero timeout so the next close() sends RST
+/// instead of FIN — the chaos proxy's "mid-response reset" fault.
+void setHardReset(int Fd);
+
+/// Sentinel for sendSome/recvSome: the operation would block.
+constexpr int64_t NetWouldBlock = -2;
+
+/// One ::send(MSG_NOSIGNAL), looping only over EINTR. Returns bytes
+/// sent, NetWouldBlock on EAGAIN, -1 on error (including EPIPE /
+/// ECONNRESET from a dead peer).
+int64_t sendSome(int Fd, const void *Buf, size_t N);
+
+/// One ::recv, looping only over EINTR. Returns bytes read, 0 on EOF,
+/// NetWouldBlock on EAGAIN, -1 on error.
+int64_t recvSome(int Fd, void *Buf, size_t N);
+
+} // namespace jslice
+
+#endif // JSLICE_NET_SOCKET_H

@@ -1,0 +1,484 @@
+//===- net/TcpServer.cpp - Socket transport with fault containment ---------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/TcpServer.h"
+
+#include "net/Socket.h"
+#include "net/WriteBuffer.h"
+#include "support/Pipe.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+#include <ostream>
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+#include <poll.h>
+#include <unistd.h>
+#endif
+
+using namespace jslice;
+
+using Clock = std::chrono::steady_clock;
+
+JsonValue TransportStats::toJson() const {
+  JsonValue V = JsonValue::object();
+  V.set("accepted", Accepted);
+  V.set("refused_at_cap", RefusedAtCap);
+  V.set("active", Active);
+  V.set("clean_closed", CleanClosed);
+  V.set("idle_closed", IdleClosed);
+  V.set("deadline_closed", DeadlineClosed);
+  V.set("backpressure_closed", BackpressureClosed);
+  V.set("peer_resets", PeerResets);
+  V.set("oversized_lines", OversizedLines);
+  V.set("lines_dispatched", LinesDispatched);
+  V.set("responses_delivered", ResponsesDelivered);
+  return V;
+}
+
+/// Sink-visible connection state. Pool threads reach it through
+/// shared_ptr captures, so it outlives both the socket and (if
+/// responses land after the drain grace) the TcpServer itself.
+struct TcpServer::ConnShared {
+  explicit ConnShared(size_t WriteCap) : Out(WriteCap) {}
+
+  std::mutex M;
+  WriteBuffer Out;
+  uint64_t Pending = 0;   ///< Dispatched lines awaiting their response.
+  bool Overflowed = false; ///< append() refused: reader has stalled.
+  bool Closed = false;     ///< Loop closed the fd; late responses drop.
+};
+
+struct TcpServer::Conn {
+  int Fd = -1;
+  uint64_t Id = 0;
+  std::string InBuf;
+  bool Discarding = false; ///< Swallowing the tail of an oversized line.
+  bool ReadClosed = false;
+  bool Doomed = false;
+  Clock::time_point LastActivity;
+  Clock::time_point LineStart; ///< First byte of the current partial line.
+  std::shared_ptr<ConnShared> Shared;
+  ResponseSink Sink;
+};
+
+TcpServer::TcpServer(Server &S, const TcpServerOptions &Opts,
+                     std::ostream &Log)
+    : Srv(S), Opts(Opts), Log(Log),
+      ResponsesDelivered(std::make_shared<std::atomic<uint64_t>>(0)) {}
+
+TcpServer::~TcpServer() {
+  closeQuietly(ListenFd);
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  for (auto &C : Conns)
+    if (C && C->Fd >= 0) {
+      std::lock_guard<std::mutex> L(C->Shared->M);
+      C->Shared->Closed = true;
+      closeQuietly(C->Fd);
+    }
+#endif
+}
+
+TransportStats TcpServer::stats() const {
+  TransportStats S;
+  S.Accepted = Accepted.load(std::memory_order_relaxed);
+  S.RefusedAtCap = RefusedAtCap.load(std::memory_order_relaxed);
+  S.Active = Active.load(std::memory_order_relaxed);
+  S.CleanClosed = CleanClosed.load(std::memory_order_relaxed);
+  S.IdleClosed = IdleClosed.load(std::memory_order_relaxed);
+  S.DeadlineClosed = DeadlineClosed.load(std::memory_order_relaxed);
+  S.BackpressureClosed = BackpressureClosed.load(std::memory_order_relaxed);
+  S.PeerResets = PeerResets.load(std::memory_order_relaxed);
+  S.OversizedLines = OversizedLines.load(std::memory_order_relaxed);
+  S.LinesDispatched = LinesDispatched.load(std::memory_order_relaxed);
+  S.ResponsesDelivered =
+      ResponsesDelivered->load(std::memory_order_relaxed);
+  return S;
+}
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+
+bool TcpServer::start(std::string &Err) {
+  Wake = std::make_shared<Pipe>();
+  if (!Wake->make()) {
+    Err = "cannot create wake pipe";
+    return false;
+  }
+  setNonBlocking(Wake->ReadFd, true);
+  setNonBlocking(Wake->WriteFd, true);
+  WakeWriteFd = Wake->WriteFd;
+
+  ListenFd = listenTcp(Opts.Host, Opts.Port, /*Backlog=*/128, Err);
+  if (ListenFd < 0)
+    return false;
+
+  Srv.setTransportStats([this] { return stats().toJson(); });
+  return true;
+}
+
+uint16_t TcpServer::port() const {
+  return ListenFd >= 0 ? tcpLocalPort(ListenFd) : 0;
+}
+
+void TcpServer::requestStop() {
+  StopRequested.store(true, std::memory_order_relaxed);
+  if (WakeWriteFd >= 0) {
+    char B = 1;
+    [[maybe_unused]] ssize_t N = ::write(WakeWriteFd, &B, 1);
+  }
+}
+
+void TcpServer::acceptPending() {
+  for (;;) {
+    int Fd = acceptTcp(ListenFd);
+    if (Fd < 0)
+      return;
+    if (Conns.size() >= Opts.MaxConnections) {
+      // Deterministic refusal beats a silent backlog hang: the client
+      // learns immediately that the server is at capacity.
+      RefusedAtCap.fetch_add(1, std::memory_order_relaxed);
+      static const char Refusal[] =
+          "{\"error\":\"connection limit reached\",\"status\":\"shed\"}\n";
+      sendSome(Fd, Refusal, sizeof(Refusal) - 1);
+      ::close(Fd);
+      continue;
+    }
+    setSendBufferBytes(Fd, Opts.SendBufferBytes);
+
+    auto C = std::make_unique<Conn>();
+    C->Fd = Fd;
+    C->Id = NextConnId++;
+    C->LastActivity = Clock::now();
+    C->Shared = std::make_shared<ConnShared>(
+        static_cast<size_t>(Opts.MaxWriteBufferBytes));
+
+    // The response path. Runs on pool threads: bounded append under
+    // the connection mutex, then one self-pipe byte so the loop flushes.
+    std::shared_ptr<ConnShared> SP = C->Shared;
+    std::shared_ptr<Pipe> WK = Wake;
+    std::shared_ptr<std::atomic<uint64_t>> Delivered = ResponsesDelivered;
+    C->Sink = [SP, WK, Delivered](const std::string &Line) {
+      bool NeedWake = false;
+      {
+        std::lock_guard<std::mutex> L(SP->M);
+        if (SP->Pending)
+          --SP->Pending;
+        if (!SP->Closed) {
+          std::string Framed = Line;
+          Framed.push_back('\n');
+          if (SP->Out.append(Framed))
+            Delivered->fetch_add(1, std::memory_order_relaxed);
+          else
+            SP->Overflowed = true; // Stalled reader; loop disconnects.
+          NeedWake = true;
+        }
+      }
+      if (NeedWake && WK->WriteFd >= 0) {
+        char B = 1;
+        [[maybe_unused]] ssize_t N = ::write(WK->WriteFd, &B, 1);
+      }
+    };
+
+    Accepted.fetch_add(1, std::memory_order_relaxed);
+    Active.fetch_add(1, std::memory_order_relaxed);
+    Conns.push_back(std::move(C));
+  }
+}
+
+void TcpServer::dispatchLine(Conn &C, const std::string &Line) {
+  if (Line.empty() || Line.find_first_not_of(" \t\r") == std::string::npos)
+    return; // Blank lines produce no response; don't count one pending.
+  {
+    std::lock_guard<std::mutex> L(C.Shared->M);
+    ++C.Shared->Pending;
+  }
+  LinesDispatched.fetch_add(1, std::memory_order_relaxed);
+  // Control lines answer synchronously through the sink; slice lines
+  // journal + enqueue and answer later from a pool thread. Either way
+  // exactly one response line lands per dispatched line.
+  Srv.serveLine(Line, C.Sink);
+}
+
+void TcpServer::processInput(Conn &C) {
+  size_t Pos;
+  while ((Pos = C.InBuf.find('\n')) != std::string::npos) {
+    std::string Line = C.InBuf.substr(0, Pos);
+    C.InBuf.erase(0, Pos + 1);
+    if (C.Discarding) {
+      // The newline ends the oversized line we already refused.
+      C.Discarding = false;
+      continue;
+    }
+    dispatchLine(C, Line);
+  }
+  uint64_t Cap = Srv.maxLineBytes();
+  if (!C.Discarding && Cap && C.InBuf.size() > Cap) {
+    // A line longer than the cap and still no newline: refuse it now,
+    // deterministically, and swallow the remainder as it streams in —
+    // the connection survives, the buffer does not grow.
+    OversizedLines.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> L(C.Shared->M);
+      ++C.Shared->Pending;
+    }
+    Srv.refuseOversizedLine(C.Sink);
+    C.InBuf.clear();
+    C.Discarding = true;
+  }
+  if (C.InBuf.empty() && !C.Discarding)
+    C.LineStart = Clock::time_point();
+}
+
+void TcpServer::handleReadable(Conn &C) {
+  char Chunk[65536];
+  int64_t N = recvSome(C.Fd, Chunk, sizeof(Chunk));
+  if (N == NetWouldBlock)
+    return;
+  if (N < 0) {
+    closeConn(C, "read error", &PeerResets);
+    return;
+  }
+  C.LastActivity = Clock::now();
+  if (N == 0) {
+    C.ReadClosed = true;
+    // EOF terminates a final unterminated line, same as the stdin
+    // transport; the response will still be flushed before close.
+    if (!C.Discarding && !C.InBuf.empty()) {
+      std::string Line;
+      Line.swap(C.InBuf);
+      dispatchLine(C, Line);
+    }
+    C.InBuf.clear();
+    return;
+  }
+  if (C.InBuf.empty() && !C.Discarding)
+    C.LineStart = C.LastActivity;
+  C.InBuf.append(Chunk, static_cast<size_t>(N));
+  processInput(C);
+}
+
+void TcpServer::flushConn(Conn &C) {
+  std::lock_guard<std::mutex> L(C.Shared->M);
+  if (C.Shared->Out.empty())
+    return;
+  WriteBuffer::FlushResult R = C.Shared->Out.flush(C.Fd);
+  C.LastActivity = Clock::now();
+  if (R == WriteBuffer::FlushResult::PeerClosed) {
+    C.Doomed = true; // closeConn outside the lock, in the sweep.
+  }
+}
+
+void TcpServer::closeConn(Conn &C, const char *Why,
+                          std::atomic<uint64_t> *Counter) {
+  if (C.Fd < 0)
+    return;
+  {
+    std::lock_guard<std::mutex> L(C.Shared->M);
+    C.Shared->Closed = true;
+  }
+  // Account before closing: a peer that observes the close (EOF/RST on
+  // loopback is near-instant) must also observe the accounting in a
+  // stats probe.
+  if (Counter)
+    Counter->fetch_add(1, std::memory_order_relaxed);
+  Active.fetch_sub(1, std::memory_order_relaxed);
+  ::close(C.Fd);
+  C.Fd = -1;
+  C.Doomed = true;
+  Log << "jslice_serve: connection #" << C.Id << " closed (" << Why
+      << ")\n";
+}
+
+int TcpServer::computePollTimeout(bool Draining,
+                                  Clock::time_point DrainBy) {
+  // The loop's deadlines (read deadline, idle timeout, drain grace)
+  // are coarse; a 200ms tick bounds their latency and doubles as a
+  // lost-wakeup backstop. Idle servers pay five wakeups a second.
+  int Timeout = 200;
+  if (Draining) {
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        DrainBy - Clock::now());
+    Timeout = std::min<int>(
+        Timeout, Left.count() <= 0 ? 0 : static_cast<int>(Left.count()));
+  }
+  return Timeout;
+}
+
+void TcpServer::run() {
+  if (ListenFd < 0)
+    return;
+
+  bool Draining = false;
+  Clock::time_point DrainBy;
+
+  for (;;) {
+    bool WantStop =
+        StopRequested.load(std::memory_order_relaxed) ||
+        (Opts.ShutdownFlag &&
+         Opts.ShutdownFlag->load(std::memory_order_relaxed));
+    if (WantStop && !Draining) {
+      Draining = true;
+      DrainBy = Clock::now() + std::chrono::milliseconds(Opts.DrainGraceMs);
+      closeQuietly(ListenFd); // Stop accepting; drain what is in flight.
+      Log << "jslice_serve: listener draining (" << Conns.size()
+          << " connection" << (Conns.size() == 1 ? "" : "s")
+          << " open)\n";
+    }
+
+    if (Draining) {
+      // Drain completes when every connection has nothing pending and
+      // nothing buffered — or the grace period runs out.
+      bool Quiet = true;
+      for (auto &C : Conns) {
+        std::lock_guard<std::mutex> L(C->Shared->M);
+        if (C->Shared->Pending || !C->Shared->Out.empty())
+          Quiet = false;
+      }
+      if (Quiet || Clock::now() >= DrainBy) {
+        for (auto &C : Conns)
+          closeConn(*C, Quiet ? "drained" : "drain grace expired",
+                    nullptr);
+        Conns.clear();
+        Log << "jslice_serve: TCP drain "
+            << (Quiet ? "complete" : "grace expired; forced close")
+            << "\n";
+        return;
+      }
+    }
+
+    // Poll set: wake pipe, listener, then one slot per connection (in
+    // Conns order — nothing mutates Conns between here and the
+    // dispatch below).
+    std::vector<struct pollfd> P;
+    P.reserve(2 + Conns.size());
+    P.push_back({Wake->ReadFd, POLLIN, 0});
+    size_t ListenIdx = SIZE_MAX;
+    if (!Draining && ListenFd >= 0) {
+      ListenIdx = P.size();
+      P.push_back({ListenFd, POLLIN, 0});
+    }
+    size_t ConnBase = P.size();
+    for (auto &C : Conns) {
+      short Ev = 0;
+      if (!Draining && !C->ReadClosed)
+        Ev |= POLLIN;
+      {
+        std::lock_guard<std::mutex> L(C->Shared->M);
+        if (!C->Shared->Out.empty())
+          Ev |= POLLOUT;
+      }
+      P.push_back({C->Fd, Ev, 0});
+    }
+
+    int N = ::poll(P.data(), P.size(),
+                   computePollTimeout(Draining, DrainBy));
+    if (N < 0 && errno != EINTR)
+      return; // poll() itself failing is unrecoverable here.
+
+    // Drain the wake pipe (level-triggered; a byte per response is
+    // fine, we just swallow whatever accumulated).
+    if (P[0].revents) {
+      char Buf[256];
+      while (::read(Wake->ReadFd, Buf, sizeof(Buf)) > 0) {
+      }
+    }
+
+    if (ListenIdx != SIZE_MAX && P[ListenIdx].revents)
+      acceptPending(); // Appends to Conns; indices above still match.
+
+    Clock::time_point Now = Clock::now();
+    size_t Polled = P.size() - ConnBase; // New accepts weren't polled.
+    for (size_t I = 0; I != Polled; ++I) {
+      Conn &C = *Conns[I];
+      short Re = P[ConnBase + I].revents;
+      if (C.Doomed || C.Fd < 0)
+        continue;
+      if (Re & POLLOUT)
+        flushConn(C);
+      if (!C.Doomed && (Re & (POLLIN | POLLHUP | POLLERR)))
+        handleReadable(C);
+    }
+
+    // Timers, backpressure verdicts, and retirement — over every
+    // connection, polled or not.
+    for (auto &C : Conns) {
+      if (C->Fd < 0)
+        continue;
+      // Doomed with the fd still open (flushConn hit PeerClosed): close
+      // and account here; skipping it would leak the fd at the sweep.
+      if (C->Doomed) {
+        closeConn(*C, "peer reset", &PeerResets);
+        continue;
+      }
+      bool Overflowed, Idle;
+      {
+        std::lock_guard<std::mutex> L(C->Shared->M);
+        Overflowed = C->Shared->Overflowed;
+        Idle = C->Shared->Pending == 0 && C->Shared->Out.empty();
+        // Flush opportunistically: responses may have arrived from
+        // pool threads after the poll set was built.
+        if (!Idle && !C->Shared->Out.empty())
+          if (C->Shared->Out.flush(C->Fd) ==
+              WriteBuffer::FlushResult::PeerClosed)
+            Overflowed = false, C->Doomed = true;
+        Idle = C->Shared->Pending == 0 && C->Shared->Out.empty();
+      }
+      if (C->Doomed) {
+        closeConn(*C, "peer reset", &PeerResets);
+        continue;
+      }
+      if (Overflowed) {
+        closeConn(*C, "write buffer overflow: stalled reader",
+                  &BackpressureClosed);
+        continue;
+      }
+      if (C->ReadClosed && Idle) {
+        closeConn(*C, "peer finished", &CleanClosed);
+        continue;
+      }
+      if (Opts.ReadDeadlineMs && !C->InBuf.empty() &&
+          C->LineStart != Clock::time_point() &&
+          Now - C->LineStart >
+              std::chrono::milliseconds(Opts.ReadDeadlineMs)) {
+        closeConn(*C, "read deadline: partial line too old",
+                  &DeadlineClosed);
+        continue;
+      }
+      if (Opts.IdleTimeoutMs && Idle && C->InBuf.empty() &&
+          !C->ReadClosed &&
+          Now - C->LastActivity >
+              std::chrono::milliseconds(Opts.IdleTimeoutMs)) {
+        closeConn(*C, "idle timeout", &IdleClosed);
+        continue;
+      }
+    }
+
+    // Sweep the dead.
+    for (size_t I = 0; I != Conns.size();) {
+      if (Conns[I]->Doomed || Conns[I]->Fd < 0)
+        Conns.erase(Conns.begin() + static_cast<ptrdiff_t>(I));
+      else
+        ++I;
+    }
+  }
+}
+
+#else // !JSLICE_HAVE_POSIX_PROCESS
+
+bool TcpServer::start(std::string &Err) {
+  Err = "TCP transport unavailable on this platform";
+  return false;
+}
+uint16_t TcpServer::port() const { return 0; }
+void TcpServer::requestStop() {
+  StopRequested.store(true, std::memory_order_relaxed);
+}
+void TcpServer::run() {}
+
+#endif

@@ -1,0 +1,191 @@
+//===- net/TcpServer.h - Socket transport with fault containment -----------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TCP front end of the slicing service (DESIGN.md, "TCP transport
+/// & fault containment"): a single poll()-driven event loop that
+/// accepts JSON-Lines connections and feeds each complete line to a
+/// Server with a per-connection ResponseSink. The loop never blocks on
+/// any one peer and never allocates unboundedly on any one peer's
+/// behalf; every slicing request still runs on the server's worker
+/// pool (or its sandbox processes), so a poisonous program costs what
+/// it always cost — one budget, one worker — and a misbehaving *byte
+/// stream* now costs exactly one connection:
+///
+///  * connection cap — at MaxConnections, extra accepts are answered
+///    with a one-line `shed` refusal and closed;
+///  * read deadline — a partial line must complete within
+///    ReadDeadlineMs (slowloris defense);
+///  * idle timeout — a connection with no traffic and nothing pending
+///    for IdleTimeoutMs is closed;
+///  * line cap — the server's MaxLineBytes bounds the input buffer; an
+///    oversized line is answered with a deterministic `shed` refusal
+///    and the remainder discarded through its newline;
+///  * bounded write buffers — a reader that stops draining its
+///    responses (backpressure past MaxWriteBufferBytes) is
+///    disconnected; it never blocks the loop or other connections;
+///  * per-connection error containment — malformed frames are answered
+///    as `bad-request` on that connection only; a read error or peer
+///    reset closes that connection only.
+///
+/// Connection lifecycle (see DESIGN.md for the full state machine):
+///   OPEN -> READ_CLOSED (peer EOF, responses still flushing)
+///        -> CLOSED (clean | idle | deadline | backpressure | reset)
+/// A connection with responses in flight when it dies simply swallows
+/// them: sinks capture connection state by shared_ptr, so a late
+/// response appends to a buffer nobody will ever flush, and the
+/// request's terminal status stays in the journal.
+///
+/// Graceful drain: when the shutdown flag trips (or requestStop() is
+/// called — async-signal-safe), the loop closes the listener, stops
+/// reading, finishes flushing every in-flight response (bounded by
+/// DrainGraceMs), closes all connections, and returns.
+///
+/// Threading: run() is the only thread that touches fds. Pool threads
+/// touch only ConnShared (mutex-guarded) through their sinks and wake
+/// the loop over a self-pipe; only the loop closes sockets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_NET_TCPSERVER_H
+#define JSLICE_NET_TCPSERVER_H
+
+#include "service/Server.h"
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jslice {
+
+struct Pipe;
+
+/// Listener configuration. The line cap is deliberately absent: the
+/// transport reads it from the Server so stdin and TCP share one knob.
+struct TcpServerOptions {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0; ///< 0 = ephemeral; read back with port().
+
+  /// Accepted connections above this are answered with a one-line
+  /// `shed` refusal and closed.
+  unsigned MaxConnections = 256;
+
+  /// A connection with no traffic, no partial line, and no pending
+  /// responses for this long is closed. 0 disables.
+  uint64_t IdleTimeoutMs = 30000;
+
+  /// A partial request line must complete within this (slowloris
+  /// defense). 0 disables.
+  uint64_t ReadDeadlineMs = 10000;
+
+  /// Per-connection bound on buffered-but-unsent response bytes; a
+  /// stalled reader past this is disconnected. 0 = unbounded.
+  uint64_t MaxWriteBufferBytes = 4u << 20;
+
+  /// Drain bound: after a stop request the loop waits at most this
+  /// long for in-flight responses to finish and flush before closing
+  /// connections anyway.
+  uint64_t DrainGraceMs = 10000;
+
+  /// Shrink each connection's kernel send buffer (0 = leave alone).
+  /// Ops/test knob: makes backpressure observable with small volumes.
+  int SendBufferBytes = 0;
+
+  /// Same contract as ServerOptions::ShutdownFlag: when it reads true
+  /// the loop drains and returns. requestStop() is the in-process
+  /// equivalent.
+  const std::atomic<bool> *ShutdownFlag = nullptr;
+};
+
+/// Transport counters, all-time since start(). Served in-band by the
+/// {"stats"} control line (under "transport") once start() registers
+/// the provider with the server.
+struct TransportStats {
+  uint64_t Accepted = 0;
+  uint64_t RefusedAtCap = 0;
+  uint64_t Active = 0;
+  uint64_t CleanClosed = 0;        ///< Peer EOF, everything flushed.
+  uint64_t IdleClosed = 0;
+  uint64_t DeadlineClosed = 0;     ///< Slowloris: partial line too old.
+  uint64_t BackpressureClosed = 0; ///< Write buffer overflow.
+  uint64_t PeerResets = 0;         ///< Read/write error closes.
+  uint64_t OversizedLines = 0;     ///< Refused while still streaming.
+  uint64_t LinesDispatched = 0;
+  uint64_t ResponsesDelivered = 0; ///< Appended to some write buffer.
+
+  JsonValue toJson() const;
+};
+
+class TcpServer {
+public:
+  /// Responses route to per-connection buffers; \p Log carries
+  /// operational lines (accept/close/drain), same stream jslice_serve
+  /// gives the Server.
+  TcpServer(Server &S, const TcpServerOptions &Opts, std::ostream &Log);
+  ~TcpServer();
+
+  TcpServer(const TcpServer &) = delete;
+  TcpServer &operator=(const TcpServer &) = delete;
+
+  /// Binds and listens (so port() is valid before run() starts) and
+  /// registers the transport-stats provider with the server. False
+  /// with a reason on failure — including non-POSIX builds, where the
+  /// caller falls back to the stdin transport.
+  bool start(std::string &Err);
+
+  /// The bound port (after start()); useful with Port = 0.
+  uint16_t port() const;
+
+  /// The event loop. Returns after a drain completes: stop requested
+  /// via requestStop()/ShutdownFlag, listener closed, in-flight
+  /// responses flushed (bounded by DrainGraceMs), connections closed.
+  void run();
+
+  /// Async-signal-safe stop: a flag store and one self-pipe write.
+  void requestStop();
+
+  /// Counter snapshot (thread-safe).
+  TransportStats stats() const;
+
+private:
+  struct Conn;
+  struct ConnShared;
+
+  void acceptPending();
+  void handleReadable(Conn &C);
+  void processInput(Conn &C);
+  void dispatchLine(Conn &C, const std::string &Line);
+  void flushConn(Conn &C);
+  void closeConn(Conn &C, const char *Why, std::atomic<uint64_t> *Counter);
+  int computePollTimeout(bool Draining,
+                         std::chrono::steady_clock::time_point DrainBy);
+
+  Server &Srv;
+  TcpServerOptions Opts;
+  std::ostream &Log;
+  int ListenFd = -1;
+  int WakeWriteFd = -1; ///< Plain copy for the signal-safe requestStop.
+  std::shared_ptr<Pipe> Wake;
+  std::atomic<bool> StopRequested{false};
+  std::vector<std::unique_ptr<Conn>> Conns;
+  uint64_t NextConnId = 1;
+
+  // Counters are atomics so stats() needs no lock against the loop.
+  std::atomic<uint64_t> Accepted{0}, RefusedAtCap{0}, Active{0},
+      CleanClosed{0}, IdleClosed{0}, DeadlineClosed{0},
+      BackpressureClosed{0}, PeerResets{0}, OversizedLines{0},
+      LinesDispatched{0};
+  /// Shared with sinks (which may outlive this object).
+  std::shared_ptr<std::atomic<uint64_t>> ResponsesDelivered;
+};
+
+} // namespace jslice
+
+#endif // JSLICE_NET_TCPSERVER_H

@@ -36,6 +36,10 @@ JsonValue ServerStats::toJson() const {
   for (const auto &[Tier, N] : TierHistogram)
     Tiers.set(Tier, N);
   Out.set("tiers", std::move(Tiers));
+  JsonValue Causes = JsonValue::object();
+  for (const auto &[Cause, N] : ShedByCause)
+    Causes.set(Cause, N);
+  Out.set("shed_by_cause", std::move(Causes));
   Out.set("latency_p50_ms", P50Ms);
   Out.set("latency_p95_ms", P95Ms);
   Out.set("process_isolation", ProcessIsolation);
@@ -55,6 +59,10 @@ JsonValue ServerStats::toJson() const {
 
 Server::Server(const ServerOptions &Opts, std::ostream &Out, std::ostream &Log)
     : Opts(Opts), Out(Out), Log(Log),
+      DefaultSink([this](const std::string &Line) {
+        std::lock_guard<std::mutex> Lock(OutM);
+        this->Out << Line << "\n" << std::flush;
+      }),
       Pool(Opts.Threads ? Opts.Threads : BatchSlicer::defaultThreads()) {
   if (!Opts.JournalPath.empty() &&
       !Wal.open(Opts.JournalPath, Opts.JournalRotateBytes))
@@ -111,22 +119,84 @@ unsigned Server::recover() {
   return N;
 }
 
+namespace {
+
+/// getline with a ceiling: reads one '\n'-terminated line into \p Line
+/// but stops accumulating at \p Cap bytes — the rest of an oversized
+/// line is discarded, \p Overflowed is set, and the stream is left at
+/// the next line. Returns false only at EOF with nothing read. This is
+/// the stdin/file twin of the TCP reader's cap: an adversarial input
+/// with no newline can no longer grow the buffer without limit.
+bool readLineBounded(std::istream &In, std::string &Line, uint64_t Cap,
+                     bool &Overflowed) {
+  Line.clear();
+  Overflowed = false;
+  std::streambuf *SB = In.rdbuf();
+  int C = SB->sbumpc();
+  if (C == std::char_traits<char>::eof()) {
+    In.setstate(std::ios::eofbit);
+    return false;
+  }
+  for (; C != std::char_traits<char>::eof(); C = SB->sbumpc()) {
+    if (C == '\n')
+      return true;
+    if (!Overflowed) {
+      Line.push_back(static_cast<char>(C));
+      if (Cap && Line.size() > Cap) {
+        Overflowed = true;
+        Line.clear();
+      }
+    }
+  }
+  In.setstate(std::ios::eofbit);
+  return true; // Final unterminated line.
+}
+
+} // namespace
+
 void Server::serve(std::istream &In) {
   std::string Line;
-  while (std::getline(In, Line)) {
+  bool Overflowed = false;
+  while (readLineBounded(In, Line, Opts.MaxLineBytes, Overflowed)) {
     if (Opts.ShutdownFlag &&
         Opts.ShutdownFlag->load(std::memory_order_relaxed)) {
       Draining.store(true, std::memory_order_relaxed);
       break;
     }
-    serveLine(Line);
+    if (Overflowed)
+      refuseOversizedLine();
+    else
+      serveLine(Line);
   }
   Pool.drain();
 }
 
 void Server::serveLine(const std::string &Line) {
+  serveLine(Line, DefaultSink);
+}
+
+void Server::refuseOversizedLine() { refuseOversizedLine(DefaultSink); }
+
+void Server::refuseOversizedLine(const ResponseSink &Sink) {
+  {
+    std::lock_guard<std::mutex> Lock(StateM);
+    ++Counters.Received;
+  }
+  ServiceResponse Resp;
+  Resp.Status = ResponseStatus::Shed;
+  Resp.Error = "request line exceeds the " +
+               std::to_string(Opts.MaxLineBytes) + "-byte cap";
+  writeResponse(Resp, Sink);
+  recordOutcome(Resp.Status, "", false, -1, 0, "line-cap");
+}
+
+void Server::serveLine(const std::string &Line, ResponseSink Sink) {
   if (Line.empty() || Line.find_first_not_of(" \t\r") == std::string::npos)
     return;
+  if (Opts.MaxLineBytes && Line.size() > Opts.MaxLineBytes) {
+    refuseOversizedLine(Sink);
+    return;
+  }
   {
     std::lock_guard<std::mutex> Lock(StateM);
     ++Counters.Received;
@@ -138,7 +208,7 @@ void Server::serveLine(const std::string &Line) {
     R.Id = P.Id;
     R.Status = ResponseStatus::BadRequest;
     R.Error = P.Error;
-    writeResponse(R);
+    writeResponse(R, Sink);
     recordOutcome(R.Status, "", false, -1, 0);
     return;
   }
@@ -147,13 +217,15 @@ void Server::serveLine(const std::string &Line) {
   case RequestKind::Stats: {
     JsonValue V = JsonValue::object();
     V.set("status", "ok");
-    V.set("stats", stats().toJson());
-    std::lock_guard<std::mutex> Lock(OutM);
-    Out << V.str() << "\n" << std::flush;
+    JsonValue S = stats().toJson();
+    if (TransportStatsFn)
+      S.set("transport", TransportStatsFn());
+    V.set("stats", std::move(S));
+    Sink(V.str());
     break;
   }
   case RequestKind::Cancel:
-    handleCancel(P.Request);
+    handleCancel(P.Request, Sink);
     break;
   case RequestKind::Slice: {
     ServiceRequest R = std::move(P.Request);
@@ -161,16 +233,16 @@ void Server::serveLine(const std::string &Line) {
     // Overload control first: a shed must be cheap — no registry
     // entry, no journal record, no worker.
     if (Draining.load(std::memory_order_relaxed)) {
-      shedResponse(R, "server draining for shutdown");
+      shedResponse(R, "server draining for shutdown", "draining", Sink);
       break;
     }
     if (Opts.MaxQueueDepth &&
         QueueDepth.load(std::memory_order_relaxed) >= Opts.MaxQueueDepth) {
-      shedResponse(R, "admission queue full");
+      shedResponse(R, "admission queue full", "queue-full", Sink);
       break;
     }
     if (Opts.MaxRssMb && currentRssMb() > Opts.MaxRssMb) {
-      shedResponse(R, "memory watermark exceeded");
+      shedResponse(R, "memory watermark exceeded", "rss-watermark", Sink);
       break;
     }
 
@@ -202,7 +274,7 @@ void Server::serveLine(const std::string &Line) {
       Resp.Error = "request matches a quarantined reproducer from a "
                    "previous crashed run";
       Resp.ReproPath = PoisonRepro;
-      writeResponse(Resp);
+      writeResponse(Resp, Sink);
       recordOutcome(Resp.Status, "", false, -1, 0);
       break;
     }
@@ -211,7 +283,7 @@ void Server::serveLine(const std::string &Line) {
       Resp.Id = R.Id;
       Resp.Status = ResponseStatus::BadRequest;
       Resp.Error = "request id already in flight";
-      writeResponse(Resp);
+      writeResponse(Resp, Sink);
       recordOutcome(Resp.Status, "", false, -1, 0);
       break;
     }
@@ -222,10 +294,11 @@ void Server::serveLine(const std::string &Line) {
     QueueDepth.fetch_add(1, std::memory_order_relaxed);
     bool Hang = !Opts.HangAfterBeginId.empty() &&
                 R.Id == Opts.HangAfterBeginId;
-    Pool.submit([this, R = std::move(R), Hang]() mutable {
+    Pool.submit([this, R = std::move(R), Hang,
+                 Sink = std::move(Sink)]() mutable {
       if (Hang)
         std::this_thread::sleep_for(std::chrono::hours(1));
-      handleSlice(std::move(R));
+      handleSlice(std::move(R), Sink);
     });
     break;
   }
@@ -240,16 +313,18 @@ void Server::finish() {
     Wal.shutdownRecord();
 }
 
-void Server::shedResponse(const ServiceRequest &R, const char *Why) {
+void Server::shedResponse(const ServiceRequest &R, const char *Why,
+                          const char *Cause, const ResponseSink &Sink) {
   ServiceResponse Resp;
   Resp.Id = R.Id;
   Resp.Status = ResponseStatus::Shed;
   Resp.Error = Why;
-  writeResponse(Resp);
-  recordOutcome(Resp.Status, "", false, -1, 0);
+  writeResponse(Resp, Sink);
+  recordOutcome(Resp.Status, "", false, -1, 0, Cause);
 }
 
-void Server::handleCancel(const ServiceRequest &R) {
+void Server::handleCancel(const ServiceRequest &R,
+                          const ResponseSink &Sink) {
   bool Signalled = false;
   {
     std::lock_guard<std::mutex> Lock(StateM);
@@ -263,8 +338,7 @@ void Server::handleCancel(const ServiceRequest &R) {
   V.set("cancel", R.CancelTarget);
   V.set("status", "ok");
   V.set("signalled", Signalled);
-  std::lock_guard<std::mutex> Lock(OutM);
-  Out << V.str() << "\n" << std::flush;
+  Sink(V.str());
 }
 
 void Server::handleSliceInProcess(ServiceRequest R, ServiceResponse &Resp,
@@ -362,7 +436,7 @@ void Server::quarantineCrashed(const ServiceRequest &R,
       << Resp.Error << ")" << (Repro.empty() ? "" : " -> " + Repro) << "\n";
 }
 
-void Server::handleSlice(ServiceRequest R) {
+void Server::handleSlice(ServiceRequest R, const ResponseSink &Sink) {
   std::shared_ptr<InFlight> Flight;
   {
     std::lock_guard<std::mutex> Lock(StateM);
@@ -388,6 +462,7 @@ void Server::handleSlice(ServiceRequest R) {
                    .count()
              : 0;
 
+  std::string ShedCause;
   if (Flight && Flight->Cancel.load(std::memory_order_relaxed)) {
     // Cancelled while still queued: never ran, nothing to report.
     Resp.Status = ResponseStatus::Cancelled;
@@ -398,8 +473,11 @@ void Server::handleSlice(ServiceRequest R) {
     // only steals a worker from a request that can still be saved.
     Resp.Status = ResponseStatus::Shed;
     Resp.Error = "queue deadline exceeded before execution";
+    ShedCause = "queue-deadline";
   } else if (Super) {
     Raw = handleSliceSandboxed(R, Resp, RawResponse, RungTrips);
+    if (Resp.Status == ResponseStatus::Shed)
+      ShedCause = "breaker-open"; // The only shed the sandbox path emits.
   } else {
     handleSliceInProcess(std::move(R), Resp, Flight, RungTrips);
   }
@@ -417,15 +495,15 @@ void Server::handleSlice(ServiceRequest R) {
     std::optional<JsonValue> V = JsonValue::parse(RawResponse);
     if (V) {
       V->set("latency_ms", LatencyMs);
-      writeRawResponse(V->str());
+      Sink(V->str());
     } else {
-      writeRawResponse(RawResponse);
+      Sink(RawResponse);
     }
   } else {
-    writeResponse(Resp);
+    writeResponse(Resp, Sink);
   }
   recordOutcome(Resp.Status, Resp.ServedTier, Resp.Degraded, LatencyMs,
-                RungTrips);
+                RungTrips, ShedCause);
 
   {
     std::lock_guard<std::mutex> Lock(StateM);
@@ -434,21 +512,19 @@ void Server::handleSlice(ServiceRequest R) {
   QueueDepth.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void Server::writeResponse(const ServiceResponse &R) {
-  std::lock_guard<std::mutex> Lock(OutM);
-  Out << R.str() << "\n" << std::flush;
-}
-
-void Server::writeRawResponse(const std::string &Line) {
-  std::lock_guard<std::mutex> Lock(OutM);
-  Out << Line << "\n" << std::flush;
+void Server::writeResponse(const ServiceResponse &R,
+                           const ResponseSink &Sink) {
+  Sink(R.str());
 }
 
 void Server::recordOutcome(ResponseStatus Status,
                            const std::string &ServedTier, bool Degraded,
-                           double LatencyMs, uint64_t RungTrips) {
+                           double LatencyMs, uint64_t RungTrips,
+                           const std::string &ShedCause) {
   std::lock_guard<std::mutex> Lock(StateM);
   Counters.GuardTrips += RungTrips;
+  if (!ShedCause.empty())
+    ++Counters.ShedByCause[ShedCause];
   if (LatencyMs >= 0)
     Latencies.push_back(LatencyMs);
   switch (Status) {

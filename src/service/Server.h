@@ -6,11 +6,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The slicing service (DESIGN.md, "Serving slices" and "Supervision &
-/// overload"): reads JSON-Lines requests (service/Request.h) from a
-/// stream, fans them across a WorkerPool, runs each under its own
-/// per-request Budget through the precision-degradation ladder
-/// (service/Ladder.h), and writes one JSON response line per request.
+/// The slicing service (DESIGN.md, "Serving slices", "Supervision &
+/// overload", and "TCP transport"): reads JSON-Lines requests
+/// (service/Request.h) from a stream, fans them across a WorkerPool,
+/// runs each under its own per-request Budget through the
+/// precision-degradation ladder (service/Ladder.h), and writes one
+/// JSON response line per request. The server is transport-agnostic:
+/// serve() drives it from an istream, and the TCP listener
+/// (net/TcpServer.h) drives serveLine() with a per-connection
+/// ResponseSink so many independent clients share one server without
+/// sharing each other's failures.
 ///
 /// Two isolation modes:
 ///
@@ -59,6 +64,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -68,6 +74,15 @@
 #include <vector>
 
 namespace jslice {
+
+/// Where one protocol line's response line goes. The stdin transport
+/// uses a sink that writes the shared ostream under a mutex; the TCP
+/// transport (net/TcpServer.h) hands each line a sink bound to its
+/// connection's bounded write buffer. A sink must be callable from any
+/// worker thread and must stay valid until the response is delivered —
+/// TCP sinks capture shared state by shared_ptr so a connection that
+/// dies mid-request just swallows the late response.
+using ResponseSink = std::function<void(const std::string &Line)>;
 
 /// Server configuration.
 struct ServerOptions {
@@ -105,6 +120,13 @@ struct ServerOptions {
   /// Journal rotation threshold; past this many bytes the journal
   /// rewrites itself down to its unmatched begins (0 disables).
   uint64_t JournalRotateBytes = 8u << 20;
+
+  /// Hard cap on one protocol line, shared by every transport (the
+  /// bounded stdin/file reader and the TCP line reader). An input that
+  /// exceeds it — adversarially newline-free or just oversized — is
+  /// answered with a deterministic `shed` refusal instead of growing a
+  /// read buffer without bound. 0 = unlimited (not recommended).
+  uint64_t MaxLineBytes = 4u << 20;
 
   /// Where recover() dumps poisoned reproducers.
   std::string QuarantineDir = "poisoned";
@@ -155,6 +177,11 @@ struct ServerStats {
   uint64_t Shed = 0;        ///< Overload-control refusals.
   uint64_t GuardTrips = 0;  ///< Ladder rungs that tripped a budget.
   std::map<std::string, uint64_t> TierHistogram; ///< served tier -> count.
+  /// Shed refusals broken down by cause ("queue-full",
+  /// "queue-deadline", "rss-watermark", "draining", "breaker-open",
+  /// "line-cap") so soak assertions read counters instead of scraping
+  /// stderr.
+  std::map<std::string, uint64_t> ShedByCause;
   double P50Ms = 0;
   double P95Ms = 0;
   bool ProcessIsolation = false;
@@ -188,6 +215,30 @@ public:
   /// SIGTERM can interrupt between lines.
   void serveLine(const std::string &Line);
 
+  /// Same, but the response line(s) go to \p Sink instead of the
+  /// shared output stream — the TCP transport's per-connection entry
+  /// point. Every non-blank line produces exactly one response line.
+  void serveLine(const std::string &Line, ResponseSink Sink);
+
+  /// Answers an input line that blew past MaxLineBytes with the
+  /// deterministic `shed` refusal (cause "line-cap"). Transports call
+  /// this instead of buffering the rest of the line.
+  void refuseOversizedLine();
+  void refuseOversizedLine(const ResponseSink &Sink);
+
+  /// The shared request-line cap (ServerOptions::MaxLineBytes, 0 =
+  /// unlimited). The TCP transport reads it so stdin and socket input
+  /// are bounded by the same knob.
+  uint64_t maxLineBytes() const { return Opts.MaxLineBytes; }
+
+  /// Registers a transport-statistics provider (the TCP listener's
+  /// per-connection counters); folded into the {"stats"} reply as
+  /// "transport". Set before traffic starts; not synchronized against
+  /// in-flight stats requests.
+  void setTransportStats(std::function<JsonValue()> Fn) {
+    TransportStatsFn = std::move(Fn);
+  }
+
   /// Call once after the last serve(): writes the clean-shutdown
   /// journal record and retires the sandbox fleet.
   void finish();
@@ -211,23 +262,26 @@ private:
     std::chrono::steady_clock::time_point Enqueued;
   };
 
-  void handleSlice(ServiceRequest R);
+  void handleSlice(ServiceRequest R, const ResponseSink &Sink);
   void handleSliceInProcess(ServiceRequest R, ServiceResponse &Resp,
                             const std::shared_ptr<InFlight> &Flight,
                             uint64_t &RungTrips);
   bool handleSliceSandboxed(const ServiceRequest &R, ServiceResponse &Resp,
                             std::string &RawResponse, uint64_t &RungTrips);
   void quarantineCrashed(const ServiceRequest &R, ServiceResponse &Resp);
-  void handleCancel(const ServiceRequest &R);
-  void shedResponse(const ServiceRequest &R, const char *Why);
-  void writeResponse(const ServiceResponse &R);
-  void writeRawResponse(const std::string &Line);
+  void handleCancel(const ServiceRequest &R, const ResponseSink &Sink);
+  void shedResponse(const ServiceRequest &R, const char *Why,
+                    const char *Cause, const ResponseSink &Sink);
+  void writeResponse(const ServiceResponse &R, const ResponseSink &Sink);
   void recordOutcome(ResponseStatus Status, const std::string &ServedTier,
-                     bool Degraded, double LatencyMs, uint64_t RungTrips);
+                     bool Degraded, double LatencyMs, uint64_t RungTrips,
+                     const std::string &ShedCause = "");
 
   ServerOptions Opts;
   std::ostream &Out;
   std::ostream &Log;
+  ResponseSink DefaultSink; ///< Writes Out under OutM.
+  std::function<JsonValue()> TransportStatsFn;
   Journal Wal;
   WorkerPool Pool;
   std::unique_ptr<Supervisor> Super; ///< Process mode only.

@@ -8,6 +8,7 @@
 #include "support/Pipe.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -58,14 +59,36 @@ void jslice::closeQuietly(int &Fd) {
   Fd = -1;
 }
 
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+namespace {
+
+/// Milliseconds left before \p Deadline (clamped at 0), or -1 when the
+/// caller asked to block forever. EINTR restarts must poll against the
+/// *remaining* time, not the original timeout — a signal storm faster
+/// than the timeout would otherwise defer the deadline indefinitely,
+/// and these deadlines are the supervisor's hang detection.
+int pollRemainingMs(int TimeoutMs,
+                    std::chrono::steady_clock::time_point Deadline) {
+  if (TimeoutMs < 0)
+    return -1;
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Deadline - std::chrono::steady_clock::now());
+  return Left.count() <= 0 ? 0 : static_cast<int>(Left.count());
+}
+
+} // namespace
+#endif
+
 int jslice::pollReadable(int Fd, int TimeoutMs) {
 #ifdef JSLICE_HAVE_POSIX_PROCESS
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs > 0 ? TimeoutMs : 0);
   struct pollfd P;
   P.fd = Fd;
   P.events = POLLIN;
   P.revents = 0;
   for (;;) {
-    int N = ::poll(&P, 1, TimeoutMs);
+    int N = ::poll(&P, 1, pollRemainingMs(TimeoutMs, Deadline));
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -84,6 +107,8 @@ int jslice::pollReadable(int Fd, int TimeoutMs) {
 
 int jslice::pollReadable2(int FdA, int FdB, int TimeoutMs) {
 #ifdef JSLICE_HAVE_POSIX_PROCESS
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs > 0 ? TimeoutMs : 0);
   struct pollfd P[2];
   P[0].fd = FdA;
   P[0].events = POLLIN;
@@ -92,7 +117,7 @@ int jslice::pollReadable2(int FdA, int FdB, int TimeoutMs) {
   P[1].events = POLLIN;
   P[1].revents = 0;
   for (;;) {
-    int N = ::poll(P, 2, TimeoutMs);
+    int N = ::poll(P, 2, pollRemainingMs(TimeoutMs, Deadline));
     if (N < 0) {
       if (errno == EINTR)
         continue;

@@ -1,0 +1,781 @@
+//===- tests/NetTest.cpp - TCP transport unit tests ------------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The net layer, bottom up: HOST:PORT parsing, the bounded write
+/// buffer against real sockets (short writes, EAGAIN, peer reset
+/// mid-frame), the IPC frame reader's deadline under an EINTR storm,
+/// the TcpServer's containment behaviours (malformed lines, oversized
+/// lines, connection cap, idle timeout, read deadline, backpressure,
+/// graceful drain), the retrying client, and the chaos proxy.
+///
+/// Everything binds 127.0.0.1 on ephemeral ports; no test depends on a
+/// fixed port or an external process.
+///
+//===----------------------------------------------------------------------===//
+
+#include "net/ChaosProxy.h"
+#include "net/Client.h"
+#include "net/Socket.h"
+#include "net/TcpServer.h"
+#include "net/WriteBuffer.h"
+#include "service/Ipc.h"
+#include "service/Server.h"
+#include "support/Pipe.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+#include <csignal>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+using namespace jslice;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// parseHostPort
+//===----------------------------------------------------------------------===//
+
+TEST(ParseHostPortTest, AcceptsHostColonPort) {
+  std::string Host;
+  uint16_t Port = 1;
+  ASSERT_TRUE(parseHostPort("127.0.0.1:9000", Host, Port));
+  EXPECT_EQ(Host, "127.0.0.1");
+  EXPECT_EQ(Port, 9000);
+  ASSERT_TRUE(parseHostPort("localhost:0", Host, Port));
+  EXPECT_EQ(Host, "localhost");
+  EXPECT_EQ(Port, 0);
+  ASSERT_TRUE(parseHostPort("0.0.0.0:65535", Host, Port));
+  EXPECT_EQ(Port, 65535);
+}
+
+TEST(ParseHostPortTest, RejectsMalformedSpecs) {
+  std::string Host;
+  uint16_t Port;
+  EXPECT_FALSE(parseHostPort("", Host, Port));
+  EXPECT_FALSE(parseHostPort("localhost", Host, Port));     // No colon.
+  EXPECT_FALSE(parseHostPort(":9000", Host, Port));         // Empty host.
+  EXPECT_FALSE(parseHostPort("host:", Host, Port));         // Empty port.
+  EXPECT_FALSE(parseHostPort("host:abc", Host, Port));      // Not a number.
+  EXPECT_FALSE(parseHostPort("host:-1", Host, Port));
+  EXPECT_FALSE(parseHostPort("host:65536", Host, Port));    // Out of range.
+  EXPECT_FALSE(parseHostPort("host:123456", Host, Port));   // Too long.
+}
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+
+//===----------------------------------------------------------------------===//
+// WriteBuffer against real sockets
+//===----------------------------------------------------------------------===//
+
+/// A connected nonblocking socket pair with tiny kernel buffers, so a
+/// few KiB of writes reliably hit EAGAIN.
+struct TinySocketPair {
+  int A = -1, B = -1;
+
+  TinySocketPair() {
+    int Fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) == 0) {
+      A = Fds[0];
+      B = Fds[1];
+      int Small = 1; // The kernel clamps up to its own minimum.
+      ::setsockopt(A, SOL_SOCKET, SO_SNDBUF, &Small, sizeof(Small));
+      ::setsockopt(B, SOL_SOCKET, SO_RCVBUF, &Small, sizeof(Small));
+      setNonBlocking(A, true);
+      setNonBlocking(B, true);
+    }
+  }
+  ~TinySocketPair() {
+    closeQuietly(A);
+    closeQuietly(B);
+  }
+};
+
+TEST(WriteBufferTest, AppendRefusesPastCapAndQueuesNothing) {
+  WriteBuffer WB(/*CapBytes=*/10);
+  EXPECT_TRUE(WB.append("12345"));
+  EXPECT_TRUE(WB.append("67890"));
+  EXPECT_EQ(WB.pending(), 10u);
+  // One byte over the cap: refused whole, pending unchanged.
+  EXPECT_FALSE(WB.append("x"));
+  EXPECT_EQ(WB.pending(), 10u);
+}
+
+TEST(WriteBufferTest, FlushBlocksOnFullSocketThenDrains) {
+  TinySocketPair P;
+  ASSERT_GE(P.A, 0);
+
+  // Far more than the shrunken kernel buffers hold.
+  const std::string Chunk(1u << 20, 'x');
+  WriteBuffer WB(/*CapBytes=*/0);
+  ASSERT_TRUE(WB.append(Chunk));
+
+  // First flush makes partial progress (short write) and then blocks.
+  ASSERT_EQ(WB.flush(P.A), WriteBuffer::FlushResult::Blocked);
+  EXPECT_GT(WB.pending(), 0u);
+  EXPECT_LT(WB.pending(), Chunk.size());
+
+  // Drain reader and writer in lockstep until everything lands.
+  std::string Received;
+  char Buf[65536];
+  for (int Spin = 0; Spin < 100000 && Received.size() < Chunk.size();
+       ++Spin) {
+    int64_t R = recvSome(P.B, Buf, sizeof(Buf));
+    if (R > 0)
+      Received.append(Buf, static_cast<size_t>(R));
+    if (!WB.empty()) {
+      WriteBuffer::FlushResult FR = WB.flush(P.A);
+      ASSERT_NE(FR, WriteBuffer::FlushResult::PeerClosed);
+    }
+  }
+  EXPECT_TRUE(WB.empty());
+  EXPECT_EQ(Received, Chunk);
+
+  // A drained buffer flushes to Drained trivially.
+  EXPECT_EQ(WB.flush(P.A), WriteBuffer::FlushResult::Drained);
+}
+
+TEST(WriteBufferTest, FlushReportsPeerResetMidFrame) {
+  TinySocketPair P;
+  ASSERT_GE(P.A, 0);
+
+  WriteBuffer WB(/*CapBytes=*/0);
+  ASSERT_TRUE(WB.append(std::string(1u << 20, 'y')));
+  ASSERT_EQ(WB.flush(P.A), WriteBuffer::FlushResult::Blocked);
+
+  // The peer dies mid-frame with unread data: the next flushes surface
+  // PeerClosed (first write may still fit in the kernel buffer).
+  closeQuietly(P.B);
+  WriteBuffer::FlushResult FR = WriteBuffer::FlushResult::Drained;
+  for (int Spin = 0; Spin < 1000; ++Spin) {
+    FR = WB.flush(P.A);
+    if (FR == WriteBuffer::FlushResult::PeerClosed)
+      break;
+  }
+  EXPECT_EQ(FR, WriteBuffer::FlushResult::PeerClosed);
+}
+
+//===----------------------------------------------------------------------===//
+// Frame-read deadlines under EINTR
+//===----------------------------------------------------------------------===//
+
+extern "C" void netTestSigusr1(int) {} // Interrupt syscalls, do nothing.
+
+/// Pelts \p Target with SIGUSR1 (installed without SA_RESTART, so every
+/// blocking syscall in the target keeps getting interrupted) until told
+/// to stop.
+struct EintrStorm {
+  pthread_t Target;
+  std::atomic<bool> Stop{false};
+  std::thread Pelter;
+
+  explicit EintrStorm(pthread_t TargetThread) : Target(TargetThread) {
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = netTestSigusr1; // Deliberately no SA_RESTART.
+    ::sigaction(SIGUSR1, &SA, nullptr);
+    Pelter = std::thread([this] {
+      while (!Stop.load(std::memory_order_relaxed)) {
+        ::pthread_kill(Target, SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+  ~EintrStorm() {
+    Stop.store(true, std::memory_order_relaxed);
+    Pelter.join();
+  }
+};
+
+TEST(FrameDeadlineTest, ReadFrameTimesOutUnderEintrStorm) {
+  Pipe P;
+  ASSERT_TRUE(P.make());
+
+  EintrStorm Storm(::pthread_self());
+  auto Start = std::chrono::steady_clock::now();
+  std::string Payload;
+  FrameReadStatus S = readFrame(P.ReadFd, Payload, /*TimeoutMs=*/150);
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+
+  // The storm interrupts poll() every ~200us; a naive retry that
+  // restarts the full timeout after each EINTR would never return.
+  EXPECT_EQ(S, FrameReadStatus::Timeout);
+  EXPECT_GE(ElapsedMs, 100);
+  EXPECT_LT(ElapsedMs, 5000);
+}
+
+TEST(FrameDeadlineTest, ReadFrameCompletesTrickledFrameUnderEintrStorm) {
+  Pipe P;
+  ASSERT_TRUE(P.make());
+
+  EintrStorm Storm(::pthread_self());
+
+  // A writer trickling one frame byte-by-byte: short reads and EINTR
+  // interleave, and the deadline covers the whole frame.
+  const std::string Payload = "{\"probe\":true}";
+  std::string Frame;
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  Frame.append(reinterpret_cast<const char *>(&Len), 4);
+  Frame.append(Payload);
+  std::thread Trickler([&] {
+    for (char C : Frame) {
+      writeFull(P.WriteFd, &C, 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::string Got;
+  FrameReadStatus S = readFrame(P.ReadFd, Got, /*TimeoutMs=*/10000);
+  Trickler.join();
+  EXPECT_EQ(S, FrameReadStatus::Ok);
+  EXPECT_EQ(Got, Payload);
+}
+
+TEST(FrameDeadlineTest, PollReadableHonorsDeadlineUnderEintrStorm) {
+  Pipe P;
+  ASSERT_TRUE(P.make());
+
+  EintrStorm Storm(::pthread_self());
+  auto Start = std::chrono::steady_clock::now();
+  EXPECT_EQ(pollReadable(P.ReadFd, 120), 0);
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  EXPECT_GE(ElapsedMs, 80);
+  EXPECT_LT(ElapsedMs, 5000);
+}
+
+//===----------------------------------------------------------------------===//
+// TcpServer end to end
+//===----------------------------------------------------------------------===//
+
+const char *TinyProgram = "read(a);\nwrite(a);\n";
+
+/// One live server on an ephemeral port: Server + TcpServer + the loop
+/// thread, torn down in order on destruction.
+struct LiveServer {
+  std::ostringstream Unused, Log;
+  Server S;
+  TcpServer T;
+  std::thread Loop;
+  bool Started = false;
+
+  explicit LiveServer(const TcpServerOptions &TOpts,
+                      ServerOptions SOpts = ServerOptions())
+      : S((SOpts.Threads = SOpts.Threads ? SOpts.Threads : 2, SOpts),
+          Unused, Log),
+        T(S, TOpts, Log) {
+    std::string Err;
+    Started = T.start(Err);
+    EXPECT_TRUE(Started) << Err;
+    if (Started)
+      Loop = std::thread([this] { T.run(); });
+  }
+  ~LiveServer() {
+    if (Started) {
+      T.requestStop();
+      Loop.join();
+    }
+    S.finish();
+  }
+  uint16_t port() const { return T.port(); }
+};
+
+/// A raw blocking client socket speaking newline-framed JSON, with a
+/// poll deadline on reads so a hung test fails instead of wedging.
+struct RawClient {
+  int Fd = -1;
+  std::string Buf;
+
+  explicit RawClient(uint16_t Port) {
+    std::string Err;
+    Fd = connectTcp("127.0.0.1", Port, 2000, Err);
+  }
+  ~RawClient() { closeQuietly(Fd); }
+
+  bool sendAll(const std::string &Data) {
+    size_t Off = 0;
+    while (Off < Data.size()) {
+      int64_t W = sendSome(Fd, Data.data() + Off, Data.size() - Off);
+      if (W < 0)
+        return false;
+      Off += static_cast<size_t>(W);
+    }
+    return true;
+  }
+
+  /// One line (without newline), or nullopt on timeout/EOF/error.
+  std::optional<std::string> readLine(int TimeoutMs = 5000) {
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(TimeoutMs);
+    for (;;) {
+      size_t NL = Buf.find('\n');
+      if (NL != std::string::npos) {
+        std::string Line = Buf.substr(0, NL);
+        Buf.erase(0, NL + 1);
+        return Line;
+      }
+      int Left = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              Deadline - std::chrono::steady_clock::now())
+              .count());
+      if (Left <= 0 || pollReadable(Fd, Left) != 1)
+        return std::nullopt;
+      char Tmp[4096];
+      int64_t R = recvSome(Fd, Tmp, sizeof(Tmp));
+      if (R <= 0)
+        return std::nullopt;
+      Buf.append(Tmp, static_cast<size_t>(R));
+    }
+  }
+
+  /// True when the server closed the connection (EOF) within the
+  /// deadline; false on timeout.
+  bool waitForClose(int TimeoutMs = 5000) {
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(TimeoutMs);
+    for (;;) {
+      int Left = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              Deadline - std::chrono::steady_clock::now())
+              .count());
+      if (Left <= 0 || pollReadable(Fd, Left) != 1)
+        return false;
+      char Tmp[4096];
+      int64_t R = recvSome(Fd, Tmp, sizeof(Tmp));
+      if (R == 0)
+        return true; // EOF.
+      if (R < 0 && R != NetWouldBlock)
+        return true; // Reset counts as closed too.
+    }
+  }
+};
+
+/// Polls \p Probe (a counter getter) until it returns \p Want or ~5s
+/// pass; returns the last value seen. The peer observes a close the
+/// instant the loop thread issues it, a breath before the loop's own
+/// accounting is globally visible — assertions on close causes must
+/// wait, not snapshot.
+uint64_t waitForCount(const std::function<uint64_t()> &Probe,
+                      uint64_t Want) {
+  uint64_t Got = Probe();
+  for (int Spin = 0; Spin < 5000 && Got != Want; ++Spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Got = Probe();
+  }
+  return Got;
+}
+
+std::string sliceRequest(const std::string &Id) {
+  JsonValue V = JsonValue::object();
+  V.set("id", Id);
+  V.set("program", std::string(TinyProgram));
+  V.set("line", 2);
+  V.set("var", std::string("a"));
+  return V.str() + "\n";
+}
+
+TEST(TcpServerTest, ServesSliceAndStatsOverOneConnection) {
+  LiveServer L({});
+  ASSERT_TRUE(L.Started);
+
+  RawClient C(L.port());
+  ASSERT_GE(C.Fd, 0);
+  ASSERT_TRUE(C.sendAll(sliceRequest("t1")));
+  std::optional<std::string> Line = C.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"status\":\"ok\""), std::string::npos) << *Line;
+  EXPECT_NE(Line->find("\"id\":\"t1\""), std::string::npos) << *Line;
+
+  // The same connection serves the stats control line, and the stats
+  // carry the transport section this very connection shows up in.
+  ASSERT_TRUE(C.sendAll("{\"stats\": true}\n"));
+  Line = C.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"transport\":"), std::string::npos) << *Line;
+  EXPECT_NE(Line->find("\"accepted\":1"), std::string::npos) << *Line;
+}
+
+TEST(TcpServerTest, MalformedLineIsContainedToItsConnection) {
+  LiveServer L({});
+  ASSERT_TRUE(L.Started);
+
+  RawClient Bad(L.port()), Good(L.port());
+  ASSERT_GE(Bad.Fd, 0);
+  ASSERT_GE(Good.Fd, 0);
+
+  ASSERT_TRUE(Bad.sendAll("{this is not json\n"));
+  std::optional<std::string> Line = Bad.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"status\":\"bad-request\""), std::string::npos);
+
+  // The bad line poisoned nothing: its own connection still serves,
+  // and so does an unrelated one.
+  ASSERT_TRUE(Bad.sendAll(sliceRequest("after-bad")));
+  Line = Bad.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"status\":\"ok\""), std::string::npos);
+
+  ASSERT_TRUE(Good.sendAll(sliceRequest("bystander")));
+  Line = Good.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(TcpServerTest, OversizedLineIsRefusedAndRemainderDiscarded) {
+  ServerOptions SOpts;
+  SOpts.MaxLineBytes = 1024; // Shared stdin/TCP line cap, shrunk.
+  LiveServer L({}, SOpts);
+  ASSERT_TRUE(L.Started);
+
+  RawClient C(L.port());
+  ASSERT_GE(C.Fd, 0);
+
+  // 8 KiB of newline-free garbage, then a newline, then a real request.
+  ASSERT_TRUE(C.sendAll(std::string(8192, 'z') + "\n"));
+  std::optional<std::string> Line = C.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"status\":\"shed\""), std::string::npos) << *Line;
+  EXPECT_NE(Line->find("line exceeds"), std::string::npos) << *Line;
+
+  // Exactly one refusal for the one oversized line, and the connection
+  // survives to serve the next request.
+  ASSERT_TRUE(C.sendAll(sliceRequest("after-oversize")));
+  Line = C.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"id\":\"after-oversize\""), std::string::npos);
+  EXPECT_NE(Line->find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(TcpServerTest, ConnectionCapShedsTheExtraConnection) {
+  TcpServerOptions TOpts;
+  TOpts.MaxConnections = 1;
+  LiveServer L(TOpts);
+  ASSERT_TRUE(L.Started);
+
+  RawClient First(L.port());
+  ASSERT_GE(First.Fd, 0);
+  // Prove the first connection is established server-side before the
+  // second arrives (accept order is the kernel's otherwise).
+  ASSERT_TRUE(First.sendAll(sliceRequest("holder")));
+  ASSERT_TRUE(First.readLine().has_value());
+
+  RawClient Second(L.port());
+  ASSERT_GE(Second.Fd, 0);
+  std::optional<std::string> Line = Second.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"status\":\"shed\""), std::string::npos) << *Line;
+  EXPECT_NE(Line->find("connection limit"), std::string::npos) << *Line;
+  EXPECT_TRUE(Second.waitForClose());
+
+  // The held connection is unaffected.
+  ASSERT_TRUE(First.sendAll(sliceRequest("still-here")));
+  ASSERT_TRUE(First.readLine().has_value());
+}
+
+TEST(TcpServerTest, IdleConnectionIsClosed) {
+  TcpServerOptions TOpts;
+  TOpts.IdleTimeoutMs = 100;
+  LiveServer L(TOpts);
+  ASSERT_TRUE(L.Started);
+
+  RawClient C(L.port());
+  ASSERT_GE(C.Fd, 0);
+  EXPECT_TRUE(C.waitForClose(5000));
+  EXPECT_EQ(waitForCount([&] { return L.T.stats().IdleClosed; }, 1), 1u);
+}
+
+TEST(TcpServerTest, SlowlorisPartialLineHitsReadDeadline) {
+  TcpServerOptions TOpts;
+  TOpts.ReadDeadlineMs = 100;
+  TOpts.IdleTimeoutMs = 0; // Isolate the deadline from the idle sweep.
+  LiveServer L(TOpts);
+  ASSERT_TRUE(L.Started);
+
+  RawClient C(L.port());
+  ASSERT_GE(C.Fd, 0);
+  // A request that never finishes its line.
+  ASSERT_TRUE(C.sendAll("{\"id\": \"slow"));
+  EXPECT_TRUE(C.waitForClose(5000));
+  EXPECT_EQ(waitForCount([&] { return L.T.stats().DeadlineClosed; }, 1),
+            1u);
+}
+
+TEST(TcpServerTest, StalledReaderIsDisconnectedOnBackpressure) {
+  TcpServerOptions TOpts;
+  TOpts.MaxWriteBufferBytes = 4096; // Overflow with a handful of lines.
+  TOpts.SendBufferBytes = 1;        // Kernel clamps to its minimum.
+  TOpts.IdleTimeoutMs = 0;
+  LiveServer L(TOpts);
+  ASSERT_TRUE(L.Started);
+
+  RawClient C(L.port());
+  ASSERT_GE(C.Fd, 0);
+  // Many stats lines (each response ~1 KiB) and never read a byte:
+  // kernel buffer fills, then the bounded write buffer overflows, and
+  // the server disconnects us rather than buffer without bound.
+  std::string Burst;
+  for (int I = 0; I < 400; ++I)
+    Burst += "{\"stats\": true}\n";
+  C.sendAll(Burst); // Send may itself fail once the server closes.
+  EXPECT_TRUE(C.waitForClose(10000));
+  EXPECT_EQ(
+      waitForCount([&] { return L.T.stats().BackpressureClosed; }, 1), 1u)
+      << L.T.stats().toJson().str();
+}
+
+TEST(TcpServerTest, GracefulDrainFlushesInFlightResponses) {
+  LiveServer L({});
+  ASSERT_TRUE(L.Started);
+
+  RawClient C(L.port());
+  ASSERT_GE(C.Fd, 0);
+  ASSERT_TRUE(C.sendAll(sliceRequest("drain-1")));
+  // Drain flushes *in-flight* responses; a line still in the kernel
+  // buffer at stop time is legitimately dropped. Make the request
+  // in-flight first, then stop.
+  for (int Spin = 0; Spin < 1000 && L.T.stats().LinesDispatched == 0;
+       ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(L.T.stats().LinesDispatched, 1u);
+  L.T.requestStop();
+
+  // The response for the in-flight request still arrives, then EOF.
+  std::optional<std::string> Line = C.readLine(10000);
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"id\":\"drain-1\""), std::string::npos);
+  EXPECT_TRUE(C.waitForClose(10000));
+
+  L.Loop.join();
+  L.Started = false;
+  L.S.finish();
+}
+
+//===----------------------------------------------------------------------===//
+// ClientConnection retries
+//===----------------------------------------------------------------------===//
+
+TEST(ClientTest, RetriesPastConnectionsDroppedBeforeResponding) {
+  // A hand-rolled flaky endpoint: kills the first two connections
+  // without answering, then answers the third properly.
+  std::string Err;
+  int ListenFd = listenTcp("127.0.0.1", 0, 8, Err);
+  ASSERT_GE(ListenFd, 0) << Err;
+  uint16_t Port = tcpLocalPort(ListenFd);
+
+  std::thread Flaky([&] {
+    for (int ConnNo = 0; ConnNo < 3; ++ConnNo) {
+      int Fd = -1;
+      while (Fd < 0) {
+        if (pollReadable(ListenFd, 5000) != 1)
+          return;
+        Fd = acceptTcp(ListenFd);
+      }
+      if (ConnNo < 2) {
+        closeQuietly(Fd); // Drop without a byte: torn response.
+        continue;
+      }
+      // Read one line, answer one line.
+      std::string In;
+      char Tmp[4096];
+      while (In.find('\n') == std::string::npos) {
+        if (pollReadable(Fd, 5000) != 1)
+          break;
+        int64_t R = recvSome(Fd, Tmp, sizeof(Tmp));
+        if (R <= 0)
+          break;
+        In.append(Tmp, static_cast<size_t>(R));
+      }
+      setNonBlocking(Fd, false);
+      const char *Reply = "{\"status\":\"ok\"}\n";
+      sendSome(Fd, Reply, std::strlen(Reply));
+      closeQuietly(Fd);
+    }
+  });
+
+  ClientOptions COpts;
+  COpts.Port = Port;
+  COpts.MaxAttempts = 4;
+  COpts.BackoffBaseMs = 1;
+  COpts.BackoffCapMs = 5;
+  COpts.JitterSeed = 7;
+  ClientConnection CC(COpts);
+  ClientResult R = CC.request("{\"probe\":1}");
+  Flaky.join();
+  closeQuietly(ListenFd);
+
+  EXPECT_TRUE(R.Ok) << R.TransportError;
+  EXPECT_EQ(R.Response, "{\"status\":\"ok\"}");
+  EXPECT_EQ(R.Attempts, 3u);
+}
+
+TEST(ClientTest, BoundedRetriesReportTransportFailure) {
+  // Nothing listens here: bind an ephemeral port, then close it so
+  // connects are refused deterministically.
+  std::string Err;
+  int Fd = listenTcp("127.0.0.1", 0, 1, Err);
+  ASSERT_GE(Fd, 0) << Err;
+  uint16_t DeadPort = tcpLocalPort(Fd);
+  closeQuietly(Fd);
+
+  ClientOptions COpts;
+  COpts.Port = DeadPort;
+  COpts.MaxAttempts = 3;
+  COpts.ConnectTimeoutMs = 500;
+  COpts.BackoffBaseMs = 1;
+  COpts.BackoffCapMs = 2;
+  COpts.JitterSeed = 7;
+  ClientConnection CC(COpts);
+  ClientResult R = CC.request("{\"probe\":1}");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Attempts, 3u);
+  EXPECT_FALSE(R.TransportError.empty());
+}
+
+TEST(ClientTest, EndToEndAgainstLiveServer) {
+  LiveServer L({});
+  ASSERT_TRUE(L.Started);
+
+  ClientOptions COpts;
+  COpts.Port = L.port();
+  COpts.JitterSeed = 7;
+  ClientConnection CC(COpts);
+  ClientResult R = CC.request(sliceRequest("cli-1").substr(
+      0, sliceRequest("cli-1").size() - 1)); // request() appends \n.
+  ASSERT_TRUE(R.Ok) << R.TransportError;
+  EXPECT_NE(R.Response.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_EQ(R.Attempts, 1u);
+  EXPECT_EQ(CC.reconnects(), 0u);
+}
+
+TEST(ClientTest, RecognizesRetriableInFlightResponses) {
+  EXPECT_TRUE(isRetriableInFlight(
+      "{\"error\":\"request id already in flight\","
+      "\"status\":\"bad-request\"}"));
+  EXPECT_FALSE(isRetriableInFlight(
+      "{\"error\":\"missing field\",\"status\":\"bad-request\"}"));
+  EXPECT_FALSE(isRetriableInFlight("{\"status\":\"ok\"}"));
+}
+
+//===----------------------------------------------------------------------===//
+// ChaosProxy
+//===----------------------------------------------------------------------===//
+
+TEST(ChaosProxyTest, FaultFreeProxyIsTransparent) {
+  LiveServer L({});
+  ASSERT_TRUE(L.Started);
+
+  ChaosOptions COpts; // All permilles default to 0.
+  COpts.UpstreamPort = L.port();
+  COpts.Seed = 11;
+  ChaosProxy Proxy(COpts);
+  std::string Err;
+  ASSERT_TRUE(Proxy.start(Err)) << Err;
+
+  ClientOptions CliOpts;
+  CliOpts.Port = Proxy.port();
+  CliOpts.JitterSeed = 7;
+  ClientConnection CC(CliOpts);
+  for (int I = 0; I < 5; ++I) {
+    std::string Req = sliceRequest("px-" + std::to_string(I));
+    ClientResult R = CC.request(Req.substr(0, Req.size() - 1));
+    ASSERT_TRUE(R.Ok) << R.TransportError;
+    EXPECT_NE(R.Response.find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_EQ(R.Attempts, 1u);
+  }
+  CC.disconnect();
+  Proxy.stop();
+  ChaosStats CS = Proxy.stats();
+  EXPECT_GE(CS.Connections, 1u);
+  EXPECT_GT(CS.BytesForwarded, 0u);
+  EXPECT_EQ(CS.Resets + CS.Truncations + CS.Stalls + CS.Delays, 0u);
+}
+
+TEST(ChaosProxyTest, AlwaysResetFaultsSurfaceAsTransportFailures) {
+  LiveServer L({});
+  ASSERT_TRUE(L.Started);
+
+  ChaosOptions COpts;
+  COpts.UpstreamPort = L.port();
+  COpts.ResetPermille = 1000; // Every response chunk resets.
+  COpts.Seed = 11;
+  ChaosProxy Proxy(COpts);
+  std::string Err;
+  ASSERT_TRUE(Proxy.start(Err)) << Err;
+
+  ClientOptions CliOpts;
+  CliOpts.Port = Proxy.port();
+  CliOpts.MaxAttempts = 3;
+  CliOpts.BackoffBaseMs = 1;
+  CliOpts.BackoffCapMs = 2;
+  CliOpts.JitterSeed = 7;
+  ClientConnection CC(CliOpts);
+  ClientResult R = CC.request("{\"stats\": true}");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Attempts, 3u);
+
+  CC.disconnect();
+  Proxy.stop();
+  EXPECT_GE(Proxy.stats().Resets, 3u);
+}
+
+TEST(ChaosProxyTest, RetriesRecoverThroughIntermittentResets) {
+  // Probabilistic faults, deterministic seed: with 200 permille resets
+  // and 10 attempts per request, every request lands. This is the
+  // netchaos soak in miniature.
+  LiveServer L({});
+  ASSERT_TRUE(L.Started);
+
+  ChaosOptions COpts;
+  COpts.UpstreamPort = L.port();
+  COpts.ResetPermille = 200;
+  COpts.TruncatePermille = 100;
+  COpts.Seed = 11;
+  ChaosProxy Proxy(COpts);
+  std::string Err;
+  ASSERT_TRUE(Proxy.start(Err)) << Err;
+
+  ClientOptions CliOpts;
+  CliOpts.Port = Proxy.port();
+  CliOpts.MaxAttempts = 10;
+  CliOpts.BackoffBaseMs = 1;
+  CliOpts.BackoffCapMs = 4;
+  CliOpts.JitterSeed = 7;
+  ClientConnection CC(CliOpts);
+  unsigned Retried = 0;
+  for (int I = 0; I < 20; ++I) {
+    std::string Req = sliceRequest("rx-" + std::to_string(I));
+    ClientResult R = CC.request(Req.substr(0, Req.size() - 1));
+    ASSERT_TRUE(R.Ok) << "request " << I << ": " << R.TransportError;
+    EXPECT_NE(R.Response.find("\"id\":\"rx-" + std::to_string(I) + "\""),
+              std::string::npos);
+    Retried += R.Attempts - 1;
+  }
+  CC.disconnect();
+  Proxy.stop();
+  // With these rates some fault must have fired across 20 requests.
+  ChaosStats CS = Proxy.stats();
+  EXPECT_GT(CS.Resets + CS.Truncations, 0u);
+  EXPECT_GT(Retried, 0u);
+}
+
+#endif // JSLICE_HAVE_POSIX_PROCESS
+
+} // namespace

@@ -1,0 +1,228 @@
+//===- tools/jslice_client.cpp - Retrying slicing-service client ----------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The CLI over net/Client.h: sends JSON-Lines requests to a
+/// `jslice_serve --listen` endpoint (directly or through
+/// jslice_netchaos) and prints each response line on stdout. Transport
+/// failures — refused connects, torn responses, resets, deadlines —
+/// are retried on fresh connections with exponential backoff and
+/// jitter; retried submission is safe because the server deduplicates
+/// crashed requests by the journal's content key (see net/Client.h for
+/// the full retry contract).
+///
+///   jslice_client --connect HOST:PORT --request LINE
+///   jslice_client --connect HOST:PORT --stats
+///   jslice_client --connect HOST:PORT --input FILE   (- = stdin)
+///
+///   --request LINE    send one raw protocol line
+///   --stats           shorthand for --request '{"stats": true}'
+///   --input FILE      send every line of FILE in order ("-" = stdin)
+///   --connect-timeout-ms N  per-connect deadline (default 5000)
+///   --timeout-ms N    per-response deadline (default 30000)
+///   --attempts N      total attempts per request (default 4)
+///   --backoff-ms N    backoff base, doubling per attempt (default 50)
+///   --backoff-cap-ms N  backoff ceiling (default 2000)
+///   --seed N          jitter PRNG seed (0 = per-process)
+///
+/// Exit taxonomy (machine-readable, mirrors slicer exit discipline):
+///   0  every response ok at the requested tier
+///   1  some response carried a deterministic non-ok status
+///      (error / resource-exhausted / bad-request / shed / poisoned /
+///      cancelled / crashed) — the refusal is the answer; retrying the
+///      same request yields the same verdict
+///   2  usage error
+///   3  every response ok, but at least one served degraded
+///   4  transport failure after all retries — the request's fate is
+///      unknown to this client (the server may still have served it)
+///
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+#include "net/Socket.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+using namespace jslice;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: jslice_client --connect HOST:PORT\n"
+      "                     (--request LINE | --stats | --input FILE)\n"
+      "                     [--connect-timeout-ms N] [--timeout-ms N]\n"
+      "                     [--attempts N] [--backoff-ms N]\n"
+      "                     [--backoff-cap-ms N] [--seed N]\n");
+  return 2;
+}
+
+std::optional<uint64_t> parseCount(const std::string &Text) {
+  if (Text.empty())
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    if (Value > (UINT64_MAX - static_cast<uint64_t>(C - '0')) / 10)
+      return std::nullopt;
+    Value = Value * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return Value;
+}
+
+/// Severity of one response for the exit taxonomy.
+enum class Verdict { Ok, Degraded, Refused, Transport };
+
+Verdict classify(const ClientResult &R) {
+  if (!R.Ok)
+    return Verdict::Transport;
+  // The response is one JSON line from Request.h's taxonomy; key
+  // matching is enough (ids and programs are JSON-escaped strings, so
+  // a literal `"status":"ok"` cannot appear inside them).
+  if (R.Response.find("\"status\":\"ok\"") == std::string::npos)
+    return Verdict::Refused;
+  if (R.Response.find("\"degraded\":true") != std::string::npos)
+    return Verdict::Degraded;
+  return Verdict::Ok;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ClientOptions Opts;
+  std::string ConnectSpec, RequestLine, InputPath;
+  bool HaveRequest = false, WantStats = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextValue = [&]() -> std::optional<std::string> {
+      if (I + 1 >= argc)
+        return std::nullopt;
+      return std::string(argv[++I]);
+    };
+
+    if (Arg == "--stats") {
+      WantStats = true;
+    } else if (Arg == "--connect" || Arg == "--request" ||
+               Arg == "--input") {
+      std::optional<std::string> Value = NextValue();
+      if (!Value) {
+        std::fprintf(stderr, "error: %s requires an argument\n",
+                     Arg.c_str());
+        return usage();
+      }
+      if (Arg == "--connect")
+        ConnectSpec = *Value;
+      else if (Arg == "--request") {
+        RequestLine = *Value;
+        HaveRequest = true;
+      } else
+        InputPath = *Value;
+    } else if (Arg == "--connect-timeout-ms" || Arg == "--timeout-ms" ||
+               Arg == "--attempts" || Arg == "--backoff-ms" ||
+               Arg == "--backoff-cap-ms" || Arg == "--seed") {
+      std::optional<std::string> Value = NextValue();
+      std::optional<uint64_t> N = Value ? parseCount(*Value) : std::nullopt;
+      if (!N) {
+        std::fprintf(stderr, "error: %s expects a number\n", Arg.c_str());
+        return usage();
+      }
+      if (Arg == "--connect-timeout-ms")
+        Opts.ConnectTimeoutMs = static_cast<int>(*N);
+      else if (Arg == "--timeout-ms")
+        Opts.ResponseTimeoutMs = static_cast<int>(*N);
+      else if (Arg == "--attempts")
+        Opts.MaxAttempts = static_cast<unsigned>(*N);
+      else if (Arg == "--backoff-ms")
+        Opts.BackoffBaseMs = *N;
+      else if (Arg == "--backoff-cap-ms")
+        Opts.BackoffCapMs = *N;
+      else
+        Opts.JitterSeed = *N;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return usage();
+    }
+  }
+
+  if (ConnectSpec.empty() ||
+      (HaveRequest + WantStats + !InputPath.empty()) != 1) {
+    std::fprintf(stderr, "error: need --connect and exactly one of "
+                         "--request / --stats / --input\n");
+    return usage();
+  }
+  if (!parseHostPort(ConnectSpec, Opts.Host, Opts.Port) || Opts.Port == 0) {
+    std::fprintf(stderr, "error: --connect expects HOST:PORT, got '%s'\n",
+                 ConnectSpec.c_str());
+    return usage();
+  }
+  if (WantStats)
+    RequestLine = "{\"stats\": true}";
+
+  ClientConnection Conn(Opts);
+
+  // Aggregate across lines: transport loss dominates (the caller
+  // cannot trust anything after it), then deterministic refusals,
+  // then degradation.
+  bool SawTransport = false, SawRefused = false, SawDegraded = false;
+
+  auto sendOne = [&](const std::string &Line) {
+    if (Line.empty() ||
+        Line.find_first_not_of(" \t\r") == std::string::npos)
+      return;
+    ClientResult R = Conn.request(Line);
+    switch (classify(R)) {
+    case Verdict::Transport:
+      SawTransport = true;
+      std::fprintf(stderr, "jslice_client: transport failure after %u "
+                           "attempt%s: %s\n",
+                   R.Attempts, R.Attempts == 1 ? "" : "s",
+                   R.TransportError.c_str());
+      return;
+    case Verdict::Refused:
+      SawRefused = true;
+      break;
+    case Verdict::Degraded:
+      SawDegraded = true;
+      break;
+    case Verdict::Ok:
+      break;
+    }
+    std::cout << R.Response << "\n";
+  };
+
+  if (!InputPath.empty()) {
+    std::ifstream File;
+    std::istream *In = &std::cin;
+    if (InputPath != "-") {
+      File.open(InputPath);
+      if (!File) {
+        std::fprintf(stderr, "error: cannot open %s\n", InputPath.c_str());
+        return usage();
+      }
+      In = &File;
+    }
+    std::string Line;
+    while (std::getline(*In, Line))
+      sendOne(Line);
+  } else {
+    sendOne(RequestLine);
+  }
+
+  if (SawTransport)
+    return 4;
+  if (SawRefused)
+    return 1;
+  if (SawDegraded)
+    return 3;
+  return 0;
+}

@@ -1,0 +1,169 @@
+//===- tools/jslice_netchaos.cpp - Network chaos proxy ---------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The standalone front end over net/ChaosProxy.h: sits between
+/// clients and a `jslice_serve --listen` upstream and injects the
+/// network failure modes the transport and client must survive —
+/// delays, byte-level truncation, mid-response resets, stalled reads.
+/// Faults are seeded, so a failing run is reproducible from its seed.
+///
+///   jslice_netchaos --listen HOST:PORT --upstream HOST:PORT
+///                   [--reset-permille N] [--truncate-permille N]
+///                   [--stall-permille N] [--delay-permille N]
+///                   [--delay-ms N] [--stall-ms N] [--seed N]
+///
+/// Runs until SIGTERM/SIGINT, then prints fault counters on stderr and
+/// exits 0. The bound port is reported as "listening on HOST:PORT" on
+/// stderr (parsable, for --listen HOST:0).
+///
+//===----------------------------------------------------------------------===//
+
+#include "net/ChaosProxy.h"
+#include "net/Socket.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+
+using namespace jslice;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: jslice_netchaos --listen HOST:PORT --upstream HOST:PORT\n"
+      "                       [--reset-permille N] [--truncate-permille N]\n"
+      "                       [--stall-permille N] [--delay-permille N]\n"
+      "                       [--delay-ms N] [--stall-ms N] [--seed N]\n");
+  return 2;
+}
+
+std::optional<uint64_t> parseCount(const std::string &Text) {
+  if (Text.empty())
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    if (Value > (UINT64_MAX - static_cast<uint64_t>(C - '0')) / 10)
+      return std::nullopt;
+    Value = Value * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return Value;
+}
+
+std::atomic<bool> StopRequested{false};
+
+extern "C" void onStopSignal(int) {
+  StopRequested.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ChaosOptions Opts;
+  std::string ListenSpec, UpstreamSpec;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextValue = [&]() -> std::optional<std::string> {
+      if (I + 1 >= argc)
+        return std::nullopt;
+      return std::string(argv[++I]);
+    };
+
+    if (Arg == "--listen" || Arg == "--upstream") {
+      std::optional<std::string> Value = NextValue();
+      if (!Value) {
+        std::fprintf(stderr, "error: %s requires an argument\n",
+                     Arg.c_str());
+        return usage();
+      }
+      if (Arg == "--listen")
+        ListenSpec = *Value;
+      else
+        UpstreamSpec = *Value;
+    } else if (Arg == "--reset-permille" || Arg == "--truncate-permille" ||
+               Arg == "--stall-permille" || Arg == "--delay-permille" ||
+               Arg == "--delay-ms" || Arg == "--stall-ms" ||
+               Arg == "--seed") {
+      std::optional<std::string> Value = NextValue();
+      std::optional<uint64_t> N = Value ? parseCount(*Value) : std::nullopt;
+      if (!N) {
+        std::fprintf(stderr, "error: %s expects a number\n", Arg.c_str());
+        return usage();
+      }
+      if (Arg == "--reset-permille")
+        Opts.ResetPermille = static_cast<unsigned>(*N);
+      else if (Arg == "--truncate-permille")
+        Opts.TruncatePermille = static_cast<unsigned>(*N);
+      else if (Arg == "--stall-permille")
+        Opts.StallPermille = static_cast<unsigned>(*N);
+      else if (Arg == "--delay-permille")
+        Opts.DelayPermille = static_cast<unsigned>(*N);
+      else if (Arg == "--delay-ms")
+        Opts.DelayMs = *N;
+      else if (Arg == "--stall-ms")
+        Opts.StallMs = *N;
+      else
+        Opts.Seed = *N;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return usage();
+    }
+  }
+
+  if (ListenSpec.empty() || UpstreamSpec.empty()) {
+    std::fprintf(stderr, "error: need --listen and --upstream\n");
+    return usage();
+  }
+  if (!parseHostPort(ListenSpec, Opts.ListenHost, Opts.ListenPort)) {
+    std::fprintf(stderr, "error: --listen expects HOST:PORT, got '%s'\n",
+                 ListenSpec.c_str());
+    return usage();
+  }
+  if (!parseHostPort(UpstreamSpec, Opts.UpstreamHost, Opts.UpstreamPort) ||
+      Opts.UpstreamPort == 0) {
+    std::fprintf(stderr, "error: --upstream expects HOST:PORT, got '%s'\n",
+                 UpstreamSpec.c_str());
+    return usage();
+  }
+
+  ChaosProxy Proxy(Opts);
+  std::string Err;
+  if (!Proxy.start(Err)) {
+    std::fprintf(stderr, "error: cannot start proxy: %s\n", Err.c_str());
+    return usage();
+  }
+
+  std::signal(SIGTERM, onStopSignal);
+  std::signal(SIGINT, onStopSignal);
+
+  std::fprintf(stderr, "jslice_netchaos: listening on %s:%u -> %s\n",
+               Opts.ListenHost.c_str(), Proxy.port(), UpstreamSpec.c_str());
+
+  while (!StopRequested.load(std::memory_order_relaxed))
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  Proxy.stop();
+  ChaosStats S = Proxy.stats();
+  std::fprintf(stderr,
+               "jslice_netchaos: %llu connections, %llu bytes; faults: "
+               "%llu delays, %llu truncations, %llu resets, %llu stalls\n",
+               static_cast<unsigned long long>(S.Connections),
+               static_cast<unsigned long long>(S.BytesForwarded),
+               static_cast<unsigned long long>(S.Delays),
+               static_cast<unsigned long long>(S.Truncations),
+               static_cast<unsigned long long>(S.Resets),
+               static_cast<unsigned long long>(S.Stalls));
+  return 0;
+}

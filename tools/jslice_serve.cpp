@@ -15,14 +15,39 @@
 ///   printf '{"id":"r1","program":"read(a);\nwrite(a);\n","line":2,
 ///            "vars":["a"]}\n' | jslice_serve
 ///
-///   jslice_serve [--input FILE] [--journal FILE] [--quarantine DIR]
-///                [--threads N] [--budget-ms N] [--max-steps N]
-///                [--poll-stride N] [--scale-percent N] [--backoff-ms N]
-///                [--no-degrade] [--isolate MODE] [--workers N]
-///                [--max-queue-depth N] [--queue-deadline-ms N]
-///                [--max-rss-mb N] [--journal-rotate-bytes N]
+///   jslice_serve [--input FILE] [--listen HOST:PORT] [--journal FILE]
+///                [--quarantine DIR] [--threads N] [--budget-ms N]
+///                [--max-steps N] [--poll-stride N] [--scale-percent N]
+///                [--backoff-ms N] [--no-degrade] [--isolate MODE]
+///                [--workers N] [--max-queue-depth N]
+///                [--queue-deadline-ms N] [--max-rss-mb N]
+///                [--journal-rotate-bytes N] [--max-line-bytes N]
+///                [--max-conns N] [--idle-timeout-ms N]
+///                [--read-deadline-ms N] [--write-buffer-bytes N]
+///                [--drain-grace-ms N] [--send-buffer-bytes N]
 ///
 ///   --input FILE      read requests from FILE instead of stdin
+///   --listen HOST:PORT serve over TCP instead of stdin (see
+///                     net/TcpServer.h; port 0 binds an ephemeral port,
+///                     reported as "listening on HOST:PORT" on stderr).
+///                     Per-connection containment: a misbehaving byte
+///                     stream costs exactly its own connection
+///   --max-line-bytes N refuse request lines longer than N bytes with a
+///                     deterministic shed response, on every transport
+///                     (default 4 MiB; 0 = unbounded)
+///   --max-conns N     TCP: connection cap; accepts beyond it get a
+///                     one-line shed refusal (default 256)
+///   --idle-timeout-ms N TCP: close connections idle this long
+///                     (default 30000; 0 disables)
+///   --read-deadline-ms N TCP: a partial line must complete within N ms
+///                     (slowloris defense; default 10000; 0 disables)
+///   --write-buffer-bytes N TCP: per-connection bound on unsent
+///                     response bytes; a stalled reader past it is
+///                     disconnected (default 4 MiB)
+///   --drain-grace-ms N TCP: how long a drain waits for in-flight
+///                     responses before forcing closes (default 10000)
+///   --send-buffer-bytes N TCP: shrink each connection's kernel send
+///                     buffer (test/ops knob; default 0 = leave alone)
 ///   --journal FILE    write-ahead request journal; on startup,
 ///                     requests a crashed predecessor left in flight
 ///                     are quarantined and refused on resubmission
@@ -65,6 +90,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "net/Socket.h"
+#include "net/TcpServer.h"
 #include "service/Server.h"
 #include "support/Pipe.h"
 
@@ -82,10 +109,10 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: jslice_serve [--input FILE] [--journal FILE] "
-               "[--quarantine DIR]\n"
-               "                    [--threads N] [--budget-ms N] "
-               "[--max-steps N]\n"
+               "usage: jslice_serve [--input FILE] [--listen HOST:PORT] "
+               "[--journal FILE]\n"
+               "                    [--quarantine DIR] [--threads N] "
+               "[--budget-ms N] [--max-steps N]\n"
                "                    [--poll-stride N] [--scale-percent N] "
                "[--backoff-ms N]\n"
                "                    [--no-degrade] [--isolate thread|process] "
@@ -93,7 +120,13 @@ int usage() {
                "                    [--max-queue-depth N] "
                "[--queue-deadline-ms N]\n"
                "                    [--max-rss-mb N] "
-               "[--journal-rotate-bytes N]\n");
+               "[--journal-rotate-bytes N]\n"
+               "                    [--max-line-bytes N] [--max-conns N] "
+               "[--idle-timeout-ms N]\n"
+               "                    [--read-deadline-ms N] "
+               "[--write-buffer-bytes N]\n"
+               "                    [--drain-grace-ms N] "
+               "[--send-buffer-bytes N]\n");
   return 2;
 }
 
@@ -146,6 +179,7 @@ void serveSignalAware(Server &S) {
   std::string Buf;
   char Chunk[4096];
   bool Eof = false;
+  bool Discarding = false; // Swallowing the tail of an oversized line.
   while (!Eof && !ShutdownRequested.load(std::memory_order_relaxed)) {
     int Ready = pollReadable2(0, Self.ReadFd, -1);
     if (Ready < 0)
@@ -161,13 +195,24 @@ void serveSignalAware(Server &S) {
       Buf.append(Chunk, static_cast<size_t>(N));
     size_t Pos;
     while ((Pos = Buf.find('\n')) != std::string::npos) {
-      S.serveLine(Buf.substr(0, Pos));
+      if (Discarding)
+        Discarding = false; // The newline ends the refused line.
+      else
+        S.serveLine(Buf.substr(0, Pos));
       Buf.erase(0, Pos + 1);
       if (ShutdownRequested.load(std::memory_order_relaxed))
         break;
     }
+    // A line past the cap with no newline in sight: refuse it now and
+    // swallow the rest as it streams in, so an adversarial input with
+    // no newline cannot grow this buffer without limit.
+    if (!Discarding && S.maxLineBytes() && Buf.size() > S.maxLineBytes()) {
+      S.refuseOversizedLine();
+      Buf.clear();
+      Discarding = true;
+    }
   }
-  if (Eof && !Buf.empty() &&
+  if (Eof && !Buf.empty() && !Discarding &&
       !ShutdownRequested.load(std::memory_order_relaxed))
     S.serveLine(Buf); // Final unterminated line.
 
@@ -180,8 +225,11 @@ void serveSignalAware(Server &S) {
 
 int main(int argc, char **argv) {
   ServerOptions Opts;
+  TcpServerOptions TcpOpts;
   std::string InputPath;
+  std::string ListenSpec;
   Opts.ShutdownFlag = &ShutdownRequested;
+  TcpOpts.ShutdownFlag = &ShutdownRequested;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -191,8 +239,9 @@ int main(int argc, char **argv) {
       return std::string(argv[++I]);
     };
 
-    if (Arg == "--input" || Arg == "--journal" || Arg == "--quarantine" ||
-        Arg == "--hang-after-begin" || Arg == "--isolate") {
+    if (Arg == "--input" || Arg == "--listen" || Arg == "--journal" ||
+        Arg == "--quarantine" || Arg == "--hang-after-begin" ||
+        Arg == "--isolate") {
       std::optional<std::string> Value = NextValue();
       if (!Value) {
         std::fprintf(stderr, "error: %s requires an argument\n", Arg.c_str());
@@ -200,7 +249,15 @@ int main(int argc, char **argv) {
       }
       if (Arg == "--input")
         InputPath = *Value;
-      else if (Arg == "--journal")
+      else if (Arg == "--listen") {
+        ListenSpec = *Value;
+        if (!parseHostPort(ListenSpec, TcpOpts.Host, TcpOpts.Port)) {
+          std::fprintf(stderr,
+                       "error: --listen expects HOST:PORT, got '%s'\n",
+                       ListenSpec.c_str());
+          return usage();
+        }
+      } else if (Arg == "--journal")
         Opts.JournalPath = *Value;
       else if (Arg == "--quarantine")
         Opts.QuarantineDir = *Value;
@@ -221,7 +278,10 @@ int main(int argc, char **argv) {
                Arg == "--scale-percent" || Arg == "--backoff-ms" ||
                Arg == "--workers" || Arg == "--max-queue-depth" ||
                Arg == "--queue-deadline-ms" || Arg == "--max-rss-mb" ||
-               Arg == "--journal-rotate-bytes") {
+               Arg == "--journal-rotate-bytes" || Arg == "--max-line-bytes" ||
+               Arg == "--max-conns" || Arg == "--idle-timeout-ms" ||
+               Arg == "--read-deadline-ms" || Arg == "--write-buffer-bytes" ||
+               Arg == "--drain-grace-ms" || Arg == "--send-buffer-bytes") {
       std::optional<std::string> Value = NextValue();
       std::optional<uint64_t> N = Value ? parseCount(*Value) : std::nullopt;
       if (!N) {
@@ -248,6 +308,20 @@ int main(int argc, char **argv) {
         Opts.MaxRssMb = *N;
       else if (Arg == "--journal-rotate-bytes")
         Opts.JournalRotateBytes = *N;
+      else if (Arg == "--max-line-bytes")
+        Opts.MaxLineBytes = *N;
+      else if (Arg == "--max-conns")
+        TcpOpts.MaxConnections = static_cast<unsigned>(*N);
+      else if (Arg == "--idle-timeout-ms")
+        TcpOpts.IdleTimeoutMs = *N;
+      else if (Arg == "--read-deadline-ms")
+        TcpOpts.ReadDeadlineMs = *N;
+      else if (Arg == "--write-buffer-bytes")
+        TcpOpts.MaxWriteBufferBytes = *N;
+      else if (Arg == "--drain-grace-ms")
+        TcpOpts.DrainGraceMs = *N;
+      else if (Arg == "--send-buffer-bytes")
+        TcpOpts.SendBufferBytes = static_cast<int>(*N);
       else
         Opts.Ladder.BackoffMs = static_cast<unsigned>(*N);
     } else if (Arg == "--no-degrade") {
@@ -266,6 +340,35 @@ int main(int argc, char **argv) {
                  "quarantined under %s\n",
                  Quarantined, Quarantined == 1 ? "" : "s",
                  Opts.QuarantineDir.c_str());
+
+  if (!ListenSpec.empty()) {
+    if (!InputPath.empty()) {
+      std::fprintf(stderr, "error: --listen and --input are exclusive\n");
+      return usage();
+    }
+    TcpServer T(S, TcpOpts, std::cerr);
+    std::string Err;
+    if (!T.start(Err)) {
+      std::fprintf(stderr, "error: cannot listen on %s: %s\n",
+                   ListenSpec.c_str(), Err.c_str());
+      return usage();
+    }
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+    struct sigaction SA = {};
+    SA.sa_handler = onShutdownSignal; // No SA_RESTART: poll must break.
+    sigemptyset(&SA.sa_mask);
+    ::sigaction(SIGTERM, &SA, nullptr);
+    ::sigaction(SIGINT, &SA, nullptr);
+#endif
+    // Parsable by wrappers (the port matters with --listen HOST:0).
+    std::fprintf(stderr, "jslice_serve: listening on %s:%u\n",
+                 TcpOpts.Host.c_str(), T.port());
+    T.run();
+    S.finish();
+    if (ShutdownRequested.load(std::memory_order_relaxed))
+      std::fprintf(stderr, "jslice_serve: drained and shut down cleanly\n");
+    return 0;
+  }
 
   if (!InputPath.empty()) {
 #ifdef JSLICE_HAVE_POSIX_PROCESS

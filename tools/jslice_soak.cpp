@@ -33,17 +33,29 @@
 /// the supervisor's restart counter converging to exactly the kill
 /// count.
 ///
+/// With --net it runs the same audits *over TCP*: an in-process
+/// `TcpServer` fronted by an in-process `ChaosProxy` injecting delays,
+/// truncation, mid-response resets, and stalls, with several retrying
+/// `ClientConnection` threads pumping the request stream through the
+/// proxy. The acceptance bar: zero lost responses (every request ends
+/// in exactly one client-visible terminal status), every failure a
+/// deterministic status — while a parallel well-behaved connection,
+/// wired directly to the server, sees no errors at all (containment
+/// proven, not assumed). `--net --crash-matrix` layers the SIGKILL
+/// chaos on top of the network chaos.
+///
 /// With --bench it times an identical request stream through thread
-/// and process isolation and writes a benchmark JSON (--out) with
+/// and process isolation — and, where the platform has sockets, a
+/// pipelined TCP connection — and writes a benchmark JSON (--out) with
 /// throughput, p50/p95 latency, and shed/crash counts per mode — the
-/// measured cost of the fork-and-pipe sandbox.
+/// measured cost of the fork-and-pipe sandbox and the socket hop.
 ///
 ///   jslice_soak [--requests N] [--programs N] [--stmts N] [--threads N]
 ///               [--seed N] [--fault-stride N] [--journal FILE]
 ///               [--isolate thread|process] [--workers N]
 ///               [--crash-matrix] [--kill-interval-ms N]
 ///               [--quarantine DIR] [--bench] [--out FILE]
-///               [--verbose]
+///               [--net] [--net-clients N] [--verbose]
 ///
 /// Exit codes: 0 — no violations; 1 — at least one violation; 2 —
 /// usage error.
@@ -51,7 +63,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "gen/ProgramGenerator.h"
+#include "net/ChaosProxy.h"
+#include "net/Client.h"
+#include "net/Socket.h"
+#include "net/TcpServer.h"
 #include "service/Server.h"
+#include "support/Pipe.h"
 
 #include <atomic>
 #include <chrono>
@@ -59,6 +76,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -85,6 +103,8 @@ struct SoakOptions {
   std::string QuarantineDir = "poisoned";
   bool Bench = false;
   std::string OutPath;
+  bool Net = false;
+  unsigned NetClients = 4;
   bool Verbose = false;
 };
 
@@ -105,7 +125,8 @@ int usage() {
                "                   [--isolate thread|process] [--workers N]\n"
                "                   [--crash-matrix] [--kill-interval-ms N] "
                "[--quarantine DIR]\n"
-               "                   [--bench] [--out FILE] [--verbose]\n");
+               "                   [--bench] [--out FILE] [--net] "
+               "[--net-clients N] [--verbose]\n");
   return 2;
 }
 
@@ -543,6 +564,339 @@ int runCrashMatrix(const SoakOptions &Opts) {
 }
 
 //===----------------------------------------------------------------------===//
+// Network soak: the audits over TCP, through the chaos proxy
+//===----------------------------------------------------------------------===//
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+
+/// The request lines for the network soak. Volume mode mirrors the
+/// stdin soak (garbage lines, starved budgets) minus cancellations —
+/// cancel/response races belong to the in-process soak; over the wire
+/// the audit needs "one line in, one terminal status out" to be exact.
+/// Crash-matrix mode sends the pure slice stream, same as the stdin
+/// matrix.
+std::vector<std::string> buildNetLines(const SoakOptions &Opts,
+                                       const std::vector<SoakProgram> &Programs,
+                                       uint64_t &Slices, uint64_t &BadLines) {
+  std::vector<std::string> Lines;
+  Slices = BadLines = 0;
+  for (uint64_t I = 0; I != Opts.Requests; ++I) {
+    if (!Opts.CrashMatrix && I % 97 == 96) {
+      Lines.push_back(I % 2 ? "{\"id\": 42}" : "{not json");
+      ++BadLines;
+      continue;
+    }
+    const SoakProgram &P = Programs[I % Programs.size()];
+    ServiceRequest R;
+    R.Id = "q" + std::to_string(I);
+    R.Program = P.Source;
+    const Criterion &C = P.Criteria[I % P.Criteria.size()];
+    R.Line = C.Line;
+    R.Vars = C.Vars;
+    R.Algorithm = AllAlgorithms[I % (sizeof(AllAlgorithms) /
+                                     sizeof(AllAlgorithms[0]))];
+    if (!Opts.CrashMatrix) {
+      if (I % 7 == 3)
+        R.MaxSteps = 200 + (I % 5) * 100;
+      if (I % 13 == 6)
+        R.BudgetMs = 1;
+    }
+    Lines.push_back(R.toJson().str());
+    ++Slices;
+  }
+  return Lines;
+}
+
+int runNetSoak(const SoakOptions &Opts) {
+  std::vector<SoakProgram> Programs = buildPrograms(Opts);
+  uint64_t Slices = 0, BadLines = 0;
+  std::vector<std::string> Lines =
+      buildNetLines(Opts, Programs, Slices, BadLines);
+
+  ServerOptions SOpts;
+  SOpts.Threads = Opts.Threads;
+  SOpts.IsolateProcess = Opts.CrashMatrix ? true : Opts.IsolateProcess;
+  SOpts.Super.Workers = Opts.Workers;
+  if (Opts.BreakerThreshold)
+    SOpts.Super.BreakerThreshold = Opts.BreakerThreshold;
+  SOpts.QuarantineDir = Opts.QuarantineDir;
+  SOpts.JournalPath = Opts.JournalPath;
+  std::ostringstream Unused; // TCP mode routes responses via sinks.
+  std::ostringstream Log;
+  Server S(SOpts, Unused, Log);
+  S.recover();
+
+  if (Opts.CrashMatrix && !S.supervisor()) {
+    std::fprintf(stderr, "jslice_soak: process isolation unavailable on "
+                         "this platform; net crash matrix skipped\n");
+    return 0;
+  }
+
+  TcpServerOptions TOpts;
+  TOpts.IdleTimeoutMs = 60000; // Proxy stalls must not read as idleness.
+  TcpServer T(S, TOpts, Log);
+  std::string Err;
+  if (!T.start(Err)) {
+    std::fprintf(stderr, "jslice_soak: cannot start TCP server: %s\n",
+                 Err.c_str());
+    return 1;
+  }
+  uint16_t ServerPort = T.port();
+  std::thread Loop([&] { T.run(); });
+
+  ChaosOptions COpts;
+  COpts.UpstreamPort = ServerPort;
+  COpts.ResetPermille = 25;
+  COpts.TruncatePermille = 25;
+  COpts.StallPermille = 5;
+  COpts.StallMs = 200;
+  COpts.DelayPermille = 50;
+  COpts.DelayMs = 2;
+  COpts.Seed = Opts.Seed;
+  ChaosProxy Proxy(COpts);
+  if (!Proxy.start(Err)) {
+    std::fprintf(stderr, "jslice_soak: cannot start chaos proxy: %s\n",
+                 Err.c_str());
+    T.requestStop();
+    Loop.join();
+    S.finish();
+    return 1;
+  }
+
+  // Chaos clients: partition the stream round-robin, pump it through
+  // the proxy with aggressive retries. A request whose fate stays
+  // unknown after all retries counts as lost — the acceptance bar is
+  // zero.
+  unsigned NClients = Opts.NetClients ? Opts.NetClients : 1;
+  std::mutex AuditM;
+  std::vector<std::string> Responses;
+  Responses.reserve(Lines.size());
+  uint64_t Lost = 0, Retried = 0, Reconnects = 0;
+  std::vector<std::thread> Clients;
+  for (unsigned CI = 0; CI != NClients; ++CI) {
+    Clients.emplace_back([&, CI] {
+      ClientOptions CliOpts;
+      CliOpts.Port = Proxy.port();
+      CliOpts.MaxAttempts = 64;
+      CliOpts.BackoffBaseMs = 2;
+      CliOpts.BackoffCapMs = 100;
+      CliOpts.ResponseTimeoutMs = 60000;
+      CliOpts.JitterSeed = Opts.Seed + CI + 1;
+      ClientConnection Conn(CliOpts);
+      std::vector<std::string> Local;
+      uint64_t LocalLost = 0, LocalRetried = 0;
+      for (size_t I = CI; I < Lines.size(); I += NClients) {
+        ClientResult R = Conn.request(Lines[I]);
+        if (R.Attempts > 1)
+          ++LocalRetried;
+        if (!R.Ok) {
+          ++LocalLost;
+          std::lock_guard<std::mutex> Lock(AuditM);
+          std::fprintf(stderr,
+                       "VIOLATION: request lost after %u attempts (%s): "
+                       "%.80s\n",
+                       R.Attempts, R.TransportError.c_str(),
+                       Lines[I].c_str());
+        } else {
+          Local.push_back(std::move(R.Response));
+        }
+      }
+      std::lock_guard<std::mutex> Lock(AuditM);
+      for (auto &L : Local)
+        Responses.push_back(std::move(L));
+      Lost += LocalLost;
+      Retried += LocalRetried;
+      Reconnects += Conn.reconnects();
+    });
+  }
+
+  // The well-behaved control connection: wired *directly* to the
+  // server, no proxy, no retries. Containment says the chaos next door
+  // must be invisible here — no transport errors ever; in volume mode
+  // every response is a clean `ok` (in crash-matrix mode SIGKILL can
+  // legally land on the worker running a control request, so only
+  // transport health and status legality are asserted).
+  std::atomic<bool> ChaosDone{false};
+  uint64_t ControlRequests = 0, ControlErrors = 0;
+  std::thread Control([&] {
+    ClientOptions CliOpts;
+    CliOpts.Port = ServerPort;
+    CliOpts.MaxAttempts = 1;
+    CliOpts.ResponseTimeoutMs = 60000;
+    ClientConnection Conn(CliOpts);
+    uint64_t I = 0;
+    while (!ChaosDone.load(std::memory_order_relaxed)) {
+      ServiceRequest R;
+      R.Id = "ctl" + std::to_string(I++);
+      R.Program = "read(a);\nwrite(a);\n";
+      R.Line = 2;
+      R.Vars = {"a"};
+      ClientResult Res = Conn.request(R.toJson().str());
+      ++ControlRequests;
+      bool Good =
+          Res.Ok &&
+          (Opts.CrashMatrix
+               ? Res.Response.find("\"status\":") != std::string::npos
+               : Res.Response.find("\"status\":\"ok\"") !=
+                     std::string::npos);
+      if (!Good) {
+        ++ControlErrors;
+        std::lock_guard<std::mutex> Lock(AuditM);
+        std::fprintf(stderr,
+                     "VIOLATION: well-behaved connection hurt by chaos "
+                     "next door: %s\n",
+                     Res.Ok ? Res.Response.c_str()
+                            : Res.TransportError.c_str());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // Crash matrix: the executioner, same cadence as the stdin matrix.
+  uint64_t Kills = 0;
+  std::thread Killer;
+  if (Opts.CrashMatrix) {
+    Killer = std::thread([&] {
+      uint64_t Rng = Opts.Seed ? Opts.Seed : 0x9e3779b97f4a7c15ull;
+      while (!ChaosDone.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(Opts.KillIntervalMs));
+        if (ChaosDone.load(std::memory_order_relaxed))
+          break;
+        if (S.supervisor()->chaosKillWorker(Rng) > 0)
+          ++Kills;
+      }
+    });
+  }
+
+  for (auto &C : Clients)
+    C.join();
+  ChaosDone.store(true, std::memory_order_relaxed);
+  Control.join();
+  if (Killer.joinable())
+    Killer.join();
+
+  uint64_t Restarts = 0;
+  if (Opts.CrashMatrix) {
+    for (int I = 0; I != 400 && S.supervisor()->restarts() < Kills; ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    Restarts = S.supervisor()->restarts();
+  }
+
+  // Satellite assertion: the in-band stats line carries the transport
+  // counters, so none of this needed stderr scraping.
+  uint64_t StatsViolations = 0;
+  std::optional<JsonValue> StatsJson;
+  {
+    ClientOptions CliOpts;
+    CliOpts.Port = ServerPort;
+    CliOpts.MaxAttempts = 3;
+    ClientConnection Conn(CliOpts);
+    ClientResult Res = Conn.request("{\"stats\": true}");
+    if (Res.Ok)
+      StatsJson = JsonValue::parse(Res.Response);
+    const JsonValue *Stats =
+        StatsJson && StatsJson->isObject() ? StatsJson->find("stats")
+                                           : nullptr;
+    const JsonValue *Transport = Stats ? Stats->find("transport") : nullptr;
+    const JsonValue *Accepted =
+        Transport ? Transport->find("accepted") : nullptr;
+    if (!Accepted || !Accepted->isNumber() || Accepted->asInt() < 1) {
+      ++StatsViolations;
+      std::fprintf(stderr, "VIOLATION: stats reply missing live transport "
+                           "counters: %s\n",
+                   Res.Ok ? Res.Response.c_str()
+                          : Res.TransportError.c_str());
+    }
+    if (SOpts.IsolateProcess && (!Stats || !Stats->find("supervisor"))) {
+      ++StatsViolations;
+      std::fprintf(stderr, "VIOLATION: stats reply missing supervisor "
+                           "counters in process mode\n");
+    }
+  }
+
+  Proxy.stop();
+  T.requestStop();
+  Loop.join();
+  S.finish();
+
+  Audit A;
+  A.RequireCrashRepro = Opts.CrashMatrix;
+  for (const std::string &Line : Responses)
+    auditLine(Line, A);
+  A.Violations += Lost + ControlErrors + StatsViolations;
+
+  // Exactly one client-visible terminal status per request id. The
+  // retry contract makes this non-trivial: a torn response means the
+  // request may run twice server-side, but the client must still end
+  // with one verdict.
+  for (const auto &[Id, N] : A.SliceResponses)
+    if (N != 1) {
+      ++A.Violations;
+      std::fprintf(stderr, "VIOLATION: id %s answered %llu times\n",
+                   Id.c_str(), static_cast<unsigned long long>(N));
+    }
+  if (A.SliceResponses.size() != Slices) {
+    ++A.Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: %llu slice requests, %zu distinct terminal "
+                 "statuses — responses were lost\n",
+                 static_cast<unsigned long long>(Slices),
+                 A.SliceResponses.size());
+  }
+  if (Opts.CrashMatrix && Restarts != Kills) {
+    ++A.Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: %llu chaos kills but %llu supervisor "
+                 "restarts\n",
+                 static_cast<unsigned long long>(Kills),
+                 static_cast<unsigned long long>(Restarts));
+  }
+
+  if (Opts.Verbose && !Log.str().empty())
+    std::fputs(Log.str().c_str(), stderr);
+
+  ChaosStats CS = Proxy.stats();
+  std::printf("jslice_soak: net soak — %llu requests (%llu slices, %llu bad "
+              "lines) over %u clients through chaos (%llu conns, %llu "
+              "delays, %llu truncations, %llu resets, %llu stalls)\n",
+              static_cast<unsigned long long>(Slices + BadLines),
+              static_cast<unsigned long long>(Slices),
+              static_cast<unsigned long long>(BadLines), NClients,
+              static_cast<unsigned long long>(CS.Connections),
+              static_cast<unsigned long long>(CS.Delays),
+              static_cast<unsigned long long>(CS.Truncations),
+              static_cast<unsigned long long>(CS.Resets),
+              static_cast<unsigned long long>(CS.Stalls));
+  std::printf("               retried requests   %llu (%llu reconnects)\n",
+              static_cast<unsigned long long>(Retried),
+              static_cast<unsigned long long>(Reconnects));
+  std::printf("               control requests   %llu (%llu errors)\n",
+              static_cast<unsigned long long>(ControlRequests),
+              static_cast<unsigned long long>(ControlErrors));
+  if (Opts.CrashMatrix)
+    std::printf("               kills/restarts     %llu/%llu\n",
+                static_cast<unsigned long long>(Kills),
+                static_cast<unsigned long long>(Restarts));
+  for (const auto &[St, N] : A.ByStatus)
+    std::printf("               %-18s %llu\n", St.c_str(),
+                static_cast<unsigned long long>(N));
+  std::printf("               violations         %llu\n",
+              static_cast<unsigned long long>(A.Violations));
+  return A.Violations ? 1 : 0;
+}
+
+#else // !JSLICE_HAVE_POSIX_PROCESS
+
+int runNetSoak(const SoakOptions &) {
+  std::fprintf(stderr,
+               "jslice_soak: TCP transport unavailable; --net skipped\n");
+  return 0;
+}
+
+#endif
+
+//===----------------------------------------------------------------------===//
 // Isolation benchmark
 //===----------------------------------------------------------------------===//
 
@@ -577,6 +931,74 @@ BenchRun benchMode(const SoakOptions &Opts, const std::string &Input,
   return R;
 }
 
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+/// Times the same stream through one pipelined TCP connection: a
+/// writer thread floods every request line while the main thread
+/// drains responses — the socket-transport cost relative to the
+/// in-process stdin path. Returns nullopt when the listener cannot
+/// start.
+std::optional<BenchRun> benchTcpMode(const SoakOptions &Opts,
+                                     const std::string &Input,
+                                     uint64_t Slices) {
+  std::ostringstream Unused, Log;
+  ServerOptions SOpts;
+  SOpts.Threads = Opts.Threads;
+  SOpts.QuarantineDir = Opts.QuarantineDir;
+  Server S(SOpts, Unused, Log);
+  TcpServerOptions TOpts;
+  TcpServer T(S, TOpts, Log);
+  std::string Err;
+  if (!T.start(Err))
+    return std::nullopt;
+  std::thread Loop([&] { T.run(); });
+
+  auto Start = std::chrono::steady_clock::now();
+  BenchRun R;
+  {
+    int Fd = connectTcp("127.0.0.1", T.port(), 5000, Err);
+    if (Fd < 0) {
+      T.requestStop();
+      Loop.join();
+      S.finish();
+      return std::nullopt;
+    }
+    std::thread Writer([&] {
+      size_t Sent = 0;
+      while (Sent < Input.size()) {
+        int64_t W = sendSome(Fd, Input.data() + Sent, Input.size() - Sent);
+        if (W <= 0)
+          break;
+        Sent += static_cast<size_t>(W);
+      }
+    });
+    uint64_t Got = 0;
+    char Chunk[65536];
+    while (Got < Slices) {
+      int64_t N = recvSome(Fd, Chunk, sizeof(Chunk));
+      if (N <= 0)
+        break;
+      for (int64_t I = 0; I != N; ++I)
+        if (Chunk[I] == '\n')
+          ++Got;
+    }
+    Writer.join();
+    closeQuietly(Fd);
+  }
+  R.WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - Start)
+                 .count();
+  T.requestStop();
+  Loop.join();
+  S.finish();
+  // Snapshot after finish(): the last response reaches the socket a
+  // breath before the server's own counters settle.
+  R.Stats = S.stats();
+  uint64_t Answered = R.Stats.Served + R.Stats.Refused + R.Stats.Errors;
+  R.ThroughputRps = R.WallMs > 0 ? Answered / (R.WallMs / 1000.0) : 0;
+  return R;
+}
+#endif
+
 JsonValue benchJson(const BenchRun &R) {
   JsonValue V = JsonValue::object();
   V.set("wall_ms", R.WallMs);
@@ -599,6 +1021,10 @@ int runBench(const SoakOptions &Opts) {
 
   BenchRun Thread = benchMode(Opts, Input, /*Process=*/false);
   BenchRun Process = benchMode(Opts, Input, /*Process=*/true);
+  std::optional<BenchRun> Tcp;
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  Tcp = benchTcpMode(Opts, Input, Slices);
+#endif
 
   JsonValue Root = JsonValue::object();
   Root.set("benchmark", "jslice_soak --bench");
@@ -607,6 +1033,8 @@ int runBench(const SoakOptions &Opts) {
   JsonValue Modes = JsonValue::object();
   Modes.set("thread", benchJson(Thread));
   Modes.set("process", benchJson(Process));
+  if (Tcp)
+    Modes.set("tcp", benchJson(*Tcp));
   Root.set("modes", std::move(Modes));
   JsonValue Overhead = JsonValue::object();
   if (Thread.Stats.P50Ms > 0)
@@ -615,6 +1043,13 @@ int runBench(const SoakOptions &Opts) {
     Overhead.set("throughput_ratio",
                  Thread.ThroughputRps / Process.ThroughputRps);
   Root.set("process_overhead", std::move(Overhead));
+  if (Tcp && Tcp->ThroughputRps > 0) {
+    // TCP-vs-stdin: the socket hop's toll on the same thread-isolated
+    // request stream.
+    JsonValue Net = JsonValue::object();
+    Net.set("throughput_ratio", Thread.ThroughputRps / Tcp->ThroughputRps);
+    Root.set("tcp_overhead", std::move(Net));
+  }
 
   std::string Text = Root.str();
   if (!Opts.OutPath.empty()) {
@@ -627,9 +1062,13 @@ int runBench(const SoakOptions &Opts) {
   }
   std::printf("%s\n", Text.c_str());
   std::printf("jslice_soak: bench — thread %.0f req/s p50 %.2fms | process "
-              "%.0f req/s p50 %.2fms\n",
+              "%.0f req/s p50 %.2fms",
               Thread.ThroughputRps, Thread.Stats.P50Ms,
               Process.ThroughputRps, Process.Stats.P50Ms);
+  if (Tcp)
+    std::printf(" | tcp %.0f req/s p50 %.2fms", Tcp->ThroughputRps,
+                Tcp->Stats.P50Ms);
+  std::printf("\n");
   return 0;
 }
 
@@ -649,7 +1088,7 @@ int main(int argc, char **argv) {
     if (Arg == "--requests" || Arg == "--programs" || Arg == "--stmts" ||
         Arg == "--threads" || Arg == "--seed" || Arg == "--fault-stride" ||
         Arg == "--workers" || Arg == "--kill-interval-ms" ||
-        Arg == "--breaker-threshold") {
+        Arg == "--breaker-threshold" || Arg == "--net-clients") {
       std::optional<std::string> Value = NextValue();
       std::optional<uint64_t> N = Value ? parseCount(*Value) : std::nullopt;
       if (!N) {
@@ -672,6 +1111,8 @@ int main(int argc, char **argv) {
         Opts.KillIntervalMs = std::max<uint64_t>(1, *N);
       else if (Arg == "--breaker-threshold")
         Opts.BreakerThreshold = static_cast<unsigned>(*N);
+      else if (Arg == "--net-clients")
+        Opts.NetClients = static_cast<unsigned>(std::max<uint64_t>(1, *N));
       else
         Opts.FaultStride = *N;
     } else if (Arg == "--journal" || Arg == "--quarantine" ||
@@ -700,6 +1141,8 @@ int main(int argc, char **argv) {
       Opts.CrashMatrix = true;
     } else if (Arg == "--bench") {
       Opts.Bench = true;
+    } else if (Arg == "--net") {
+      Opts.Net = true;
     } else if (Arg == "--verbose") {
       Opts.Verbose = true;
     } else {
@@ -708,6 +1151,8 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (Opts.Net)
+    return runNetSoak(Opts); // --crash-matrix layers kills on top.
   if (Opts.CrashMatrix)
     return runCrashMatrix(Opts);
   if (Opts.Bench)

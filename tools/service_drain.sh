@@ -4,13 +4,15 @@
 # it (a) exits 0 on its own, (b) answered everything it accepted, and
 # (c) closed the journal with the clean-shutdown marker — the record
 # operators use to tell a drain from a crash. Run twice: thread and
-# process isolation.
+# process isolation — then once more over a live TCP socket when a
+# jslice_client binary is supplied.
 #
-#   service_drain.sh <jslice_serve> <workdir>
+#   service_drain.sh <jslice_serve> <workdir> [<jslice_client>]
 set -u
 
 SERVE="$1"
 WORK="$2"
+CLIENT="${3:-}"
 
 rm -rf "$WORK"
 mkdir -p "$WORK"
@@ -83,6 +85,94 @@ run_mode() {
   echo "drain OK ($MODE)"
 }
 
+# The same contract over a live socket: clients were answered, SIGTERM
+# flushes in-flight responses ("TCP drain complete"), exit 0, clean
+# journal marker, nothing to quarantine on restart.
+run_tcp_mode() {
+  local WAL="wal-tcp.jsonl"
+  rm -f "$WAL" out.log err.log
+
+  "$SERVE" --listen 127.0.0.1:0 --journal "$WAL" --isolate thread \
+    --threads 2 > out.log 2> err.log &
+  local PID=$!
+
+  # The ephemeral port is reported on stderr: "listening on HOST:PORT".
+  local PORT=""
+  for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/^jslice_serve: listening on [^:]*:\([0-9]*\)$/\1/p' \
+             err.log 2>/dev/null | head -1)
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  if [ -z "$PORT" ]; then
+    echo "FAIL(tcp): server never reported its port"
+    cat err.log
+    kill -9 "$PID" 2>/dev/null
+    return 1
+  fi
+
+  for I in 1 2 3; do
+    # Bash substitution, not printf: the \n escapes in the program text
+    # must reach the server as two characters inside the JSON string.
+    if ! "$CLIENT" --connect 127.0.0.1:"$PORT" \
+           --request "${REQ/r%d/r$I}" >> tcp-out.log 2>> tcp-err.log
+    then
+      echo "FAIL(tcp): client request $I failed"
+      cat tcp-err.log
+      kill -9 "$PID" 2>/dev/null
+      return 1
+    fi
+  done
+  if [ "$(grep -c '"status":"ok"' tcp-out.log)" -lt 3 ]; then
+    echo "FAIL(tcp): expected 3 ok responses over the socket"
+    cat tcp-out.log
+    kill -9 "$PID" 2>/dev/null
+    return 1
+  fi
+
+  kill -TERM "$PID"
+  local RC=1
+  for _ in $(seq 1 100); do
+    if ! kill -0 "$PID" 2>/dev/null; then
+      wait "$PID"
+      RC=$?
+      break
+    fi
+    sleep 0.1
+  done
+
+  if [ "$RC" -ne 0 ]; then
+    echo "FAIL(tcp): server exited $RC after SIGTERM (want 0)"
+    cat err.log
+    return 1
+  fi
+  if ! grep -q "TCP drain complete" err.log; then
+    echo "FAIL(tcp): no TCP drain log line"
+    cat err.log
+    return 1
+  fi
+  if ! grep -q "shut down cleanly" err.log; then
+    echo "FAIL(tcp): no clean-shutdown log line"
+    cat err.log
+    return 1
+  fi
+  if ! grep -q '"event":"shutdown"' "$WAL"; then
+    echo "FAIL(tcp): journal lacks the clean-shutdown marker"
+    cat "$WAL"
+    return 1
+  fi
+  printf '' | "$SERVE" --journal "$WAL" > /dev/null 2> restart.log
+  if grep -q "quarantined" restart.log; then
+    echo "FAIL(tcp): restart after a clean TCP drain quarantined requests"
+    return 1
+  fi
+  echo "drain OK (tcp)"
+}
+
 run_mode thread || exit 1
 run_mode process || exit 1
+if [ -n "$CLIENT" ]; then
+  rm -f tcp-out.log tcp-err.log
+  run_tcp_mode || exit 1
+fi
 echo "graceful drain OK"
