@@ -39,6 +39,7 @@ JsonValue TransportStats::toJson() const {
   V.set("oversized_lines", OversizedLines);
   V.set("lines_dispatched", LinesDispatched);
   V.set("responses_delivered", ResponsesDelivered);
+  V.set("in_buf_high_water_bytes", InBufHighWaterBytes);
   return V;
 }
 
@@ -99,6 +100,8 @@ TransportStats TcpServer::stats() const {
   S.LinesDispatched = LinesDispatched.load(std::memory_order_relaxed);
   S.ResponsesDelivered =
       ResponsesDelivered->load(std::memory_order_relaxed);
+  S.InBufHighWaterBytes =
+      InBufHighWaterBytes.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -145,7 +148,20 @@ void TcpServer::acceptPending() {
       RefusedAtCap.fetch_add(1, std::memory_order_relaxed);
       static const char Refusal[] =
           "{\"error\":\"connection limit reached\",\"status\":\"shed\"}\n";
-      sendSome(Fd, Refusal, sizeof(Refusal) - 1);
+      // Send it blocking: the fd was accepted non-blocking, and a
+      // one-shot EAGAIN here would turn the refusal into a bare close
+      // — indistinguishable from a crash to the client. A fresh
+      // connection's send buffer is empty, so one short line cannot
+      // stall the accept loop.
+      setNonBlocking(Fd, false);
+      size_t Off = 0;
+      while (Off < sizeof(Refusal) - 1) {
+        int64_t W =
+            sendSome(Fd, Refusal + Off, sizeof(Refusal) - 1 - Off);
+        if (W <= 0)
+          break; // Peer already gone; nothing more owed.
+        Off += static_cast<size_t>(W);
+      }
       ::close(Fd);
       continue;
     }
@@ -211,12 +227,21 @@ void TcpServer::processInput(Conn &C) {
     std::string Line = C.InBuf.substr(0, Pos);
     C.InBuf.erase(0, Pos + 1);
     if (C.Discarding) {
-      // The newline ends the oversized line we already refused.
+      // The newline ends the oversized line we already refused; what
+      // follows it starts a fresh line with a fresh deadline clock.
       C.Discarding = false;
+      C.LineStart = Clock::now();
       continue;
     }
     dispatchLine(C, Line);
   }
+  // No newline left past this point. A connection still mid-discard
+  // holds only refused bytes — drop them now rather than letting a
+  // newline-free stream grow InBuf at full bandwidth until one shows
+  // up (the invariant is that the buffer does not grow while
+  // discarding, whatever the peer sends).
+  if (C.Discarding)
+    C.InBuf.clear();
   uint64_t Cap = Srv.maxLineBytes();
   if (!C.Discarding && Cap && C.InBuf.size() > Cap) {
     // A line longer than the cap and still no newline: refuse it now,
@@ -261,6 +286,13 @@ void TcpServer::handleReadable(Conn &C) {
     C.LineStart = C.LastActivity;
   C.InBuf.append(Chunk, static_cast<size_t>(N));
   processInput(C);
+  // Retained-bytes high-water mark, measured after trimming: complete
+  // lines are dispatched and discarded tails dropped, so this tracks
+  // what the transport actually holds onto per connection. Only the
+  // loop thread writes it.
+  if (C.InBuf.size() >
+      InBufHighWaterBytes.load(std::memory_order_relaxed))
+    InBufHighWaterBytes.store(C.InBuf.size(), std::memory_order_relaxed);
 }
 
 void TcpServer::flushConn(Conn &C) {
@@ -378,8 +410,20 @@ void TcpServer::run() {
 
     int N = ::poll(P.data(), P.size(),
                    computePollTimeout(Draining, DrainBy));
-    if (N < 0 && errno != EINTR)
-      return; // poll() itself failing is unrecoverable here.
+    int PollErrno = errno; // Before the stream ops below can clobber it.
+    if (N < 0 && PollErrno != EINTR) {
+      // poll() itself failing is unrecoverable — but go down the same
+      // way drain-grace expiry does: say why, then close and account
+      // every connection instead of leaving fds (and half-buffered
+      // responses) to the destructor.
+      Log << "jslice_serve: poll failed (errno " << PollErrno
+          << "); forcing close of " << Conns.size() << " connection"
+          << (Conns.size() == 1 ? "" : "s") << "\n";
+      for (auto &C : Conns)
+        closeConn(*C, "poll failure", nullptr);
+      Conns.clear();
+      return;
+    }
 
     // Drain the wake pipe (level-triggered; a byte per response is
     // fine, we just swallow whatever accumulated).
@@ -442,7 +486,11 @@ void TcpServer::run() {
         closeConn(*C, "peer finished", &CleanClosed);
         continue;
       }
-      if (Opts.ReadDeadlineMs && !C->InBuf.empty() &&
+      // Discarding counts as a partial line too: the refused line is
+      // still unterminated, and its bytes are dropped on arrival so
+      // InBuf stays empty — without this a client could hold the slot
+      // forever by streaming newline-free garbage.
+      if (Opts.ReadDeadlineMs && (!C->InBuf.empty() || C->Discarding) &&
           C->LineStart != Clock::time_point() &&
           Now - C->LineStart >
               std::chrono::milliseconds(Opts.ReadDeadlineMs)) {

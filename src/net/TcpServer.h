@@ -119,6 +119,10 @@ struct TransportStats {
   uint64_t OversizedLines = 0;     ///< Refused while still streaming.
   uint64_t LinesDispatched = 0;
   uint64_t ResponsesDelivered = 0; ///< Appended to some write buffer.
+  /// Largest per-connection input retention ever observed (after
+  /// complete lines dispatch and discarded tails drop) — the witness
+  /// that the line cap actually bounds memory.
+  uint64_t InBufHighWaterBytes = 0;
 
   JsonValue toJson() const;
 };
@@ -181,7 +185,7 @@ private:
   std::atomic<uint64_t> Accepted{0}, RefusedAtCap{0}, Active{0},
       CleanClosed{0}, IdleClosed{0}, DeadlineClosed{0},
       BackpressureClosed{0}, PeerResets{0}, OversizedLines{0},
-      LinesDispatched{0};
+      LinesDispatched{0}, InBufHighWaterBytes{0};
   /// Shared with sinks (which may outlive this object).
   std::shared_ptr<std::atomic<uint64_t>> ResponsesDelivered;
 };

@@ -464,6 +464,47 @@ TEST(TcpServerTest, OversizedLineIsRefusedAndRemainderDiscarded) {
   EXPECT_NE(Line->find("\"status\":\"ok\""), std::string::npos);
 }
 
+TEST(TcpServerTest, DiscardingDoesNotBufferANewlineFreeFlood) {
+  ServerOptions SOpts;
+  SOpts.MaxLineBytes = 1024;
+  LiveServer L({}, SOpts);
+  ASSERT_TRUE(L.Started);
+
+  RawClient C(L.port());
+  ASSERT_GE(C.Fd, 0);
+
+  // Trip the cap with newline-free garbage: the refusal arrives while
+  // the oversized line is still unterminated.
+  ASSERT_TRUE(C.sendAll(std::string(4096, 'z')));
+  std::optional<std::string> Line = C.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"status\":\"shed\""), std::string::npos) << *Line;
+  EXPECT_NE(Line->find("line exceeds"), std::string::npos) << *Line;
+
+  // Keep streaming, still with no newline — 8 MiB, far past the cap.
+  // The server must swallow it without retaining anything: if the
+  // discard path buffered, the high-water mark would hit megabytes.
+  const std::string Chunk(1u << 20, 'z');
+  for (int I = 0; I < 8; ++I)
+    ASSERT_TRUE(C.sendAll(Chunk));
+
+  // Ending the flood with a newline reopens the connection for a real
+  // request — this also synchronizes: once the response is back, the
+  // loop has processed every flooded byte.
+  ASSERT_TRUE(C.sendAll("\n"));
+  ASSERT_TRUE(C.sendAll(sliceRequest("after-flood")));
+  Line = C.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"id\":\"after-flood\""), std::string::npos);
+  EXPECT_NE(Line->find("\"status\":\"ok\""), std::string::npos);
+
+  TransportStats S = L.T.stats();
+  EXPECT_EQ(S.OversizedLines, 1u); // One line, one refusal — no spam.
+  // Retention never exceeded one read chunk (64 KiB) + the cap: the
+  // flood was dropped on arrival, not accumulated until its newline.
+  EXPECT_LE(S.InBufHighWaterBytes, (64u << 10) + 1024u);
+}
+
 TEST(TcpServerTest, ConnectionCapShedsTheExtraConnection) {
   TcpServerOptions TOpts;
   TOpts.MaxConnections = 1;
