@@ -1,0 +1,400 @@
+//===- service/AnalysisCache.cpp - Cross-request analysis cache ------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/AnalysisCache.h"
+
+#include "lang/Parser.h"
+#include "lang/PrettyPrinter.h"
+
+#include <cstdio>
+
+using namespace jslice;
+
+//===----------------------------------------------------------------------===//
+// Keys and costs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// FNV-1a, 64-bit: deterministic across processes and builds (the
+/// journal and quarantine records outlive one server), unlike
+/// std::hash.
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string hashKey(const std::string &Material) {
+  char Buf[16 + 1 + 20 + 1];
+  std::snprintf(Buf, sizeof(Buf), "%016llx-%llu",
+                static_cast<unsigned long long>(fnv1a(Material)),
+                static_cast<unsigned long long>(Material.size()));
+  return Buf;
+}
+
+} // namespace
+
+std::string jslice::rawProgramKey(const std::string &Source) {
+  return hashKey(Source);
+}
+
+std::optional<std::string>
+jslice::canonicalProgramKey(const std::string &Source, ResourceGuard &G) {
+  if (!G.checkpoint("cache.key"))
+    return std::nullopt;
+  ErrorOr<std::unique_ptr<Program>> Prog = parseProgram(Source, G);
+  if (!Prog || G.exhausted())
+    return std::nullopt;
+  PrintOptions P;
+  // Line numbers are part of the identity: criteria are (line, vars)
+  // and responses are line sets, so sources whose statements sit on
+  // different lines must never share an artifact.
+  P.ShowLineNumbers = true;
+  return hashKey(printProgram(**Prog, P));
+}
+
+uint64_t jslice::estimateArtifactCost(const AnalysisArtifact &Art,
+                                      const std::string &Source) {
+  uint64_t Nodes = Art.A.cfg().numNodes();
+  uint64_t Cost = Source.size();
+  // AST + CFG + trees + def/use + PDG adjacency, per node (measured
+  // order of magnitude on generator output; precision matters less
+  // than monotonicity here).
+  Cost += Nodes * 256;
+  // The closure bitsets dominate for dependence-dense programs:
+  // numSccs bitsets of numNodes bits each.
+  const DependenceClosure &C = Art.BS.closures();
+  Cost += static_cast<uint64_t>(C.numSccs()) * ((Nodes + 7) / 8);
+  return Cost;
+}
+
+//===----------------------------------------------------------------------===//
+// CacheStats
+//===----------------------------------------------------------------------===//
+
+JsonValue CacheStats::toJson() const {
+  JsonValue Out = JsonValue::object();
+  Out.set("hits", Hits);
+  Out.set("misses", Misses);
+  Out.set("coalesced", Coalesced);
+  Out.set("coalesce_timeouts", CoalesceTimeouts);
+  Out.set("promotions", Promotions);
+  Out.set("inserts", Inserts);
+  Out.set("evictions", Evictions);
+  Out.set("watermark_evictions", WatermarkEvictions);
+  Out.set("build_failures", BuildFailures);
+  Out.set("poisoned", Poisoned);
+  Out.set("audits", Audits);
+  Out.set("audit_mismatches", AuditMismatches);
+  Out.set("entries", Entries);
+  Out.set("bytes", Bytes);
+  return Out;
+}
+
+void CacheStats::add(const CacheStats &O) {
+  Hits += O.Hits;
+  Misses += O.Misses;
+  Coalesced += O.Coalesced;
+  CoalesceTimeouts += O.CoalesceTimeouts;
+  Promotions += O.Promotions;
+  Inserts += O.Inserts;
+  Evictions += O.Evictions;
+  WatermarkEvictions += O.WatermarkEvictions;
+  BuildFailures += O.BuildFailures;
+  Poisoned += O.Poisoned;
+  Audits += O.Audits;
+  AuditMismatches += O.AuditMismatches;
+  Entries += O.Entries;
+  Bytes += O.Bytes;
+}
+
+std::optional<CacheStats> CacheStats::fromJson(const JsonValue &V) {
+  if (!V.isObject())
+    return std::nullopt;
+  CacheStats S;
+  auto Read = [&](const char *Key, uint64_t &Out) {
+    if (const JsonValue *F = V.find(Key))
+      if (F->isNumber() && F->asInt() >= 0)
+        Out = static_cast<uint64_t>(F->asInt());
+  };
+  Read("hits", S.Hits);
+  Read("misses", S.Misses);
+  Read("coalesced", S.Coalesced);
+  Read("coalesce_timeouts", S.CoalesceTimeouts);
+  Read("promotions", S.Promotions);
+  Read("inserts", S.Inserts);
+  Read("evictions", S.Evictions);
+  Read("watermark_evictions", S.WatermarkEvictions);
+  Read("build_failures", S.BuildFailures);
+  Read("poisoned", S.Poisoned);
+  Read("audits", S.Audits);
+  Read("audit_mismatches", S.AuditMismatches);
+  Read("entries", S.Entries);
+  Read("bytes", S.Bytes);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisCache
+//===----------------------------------------------------------------------===//
+
+AnalysisCache::AnalysisCache(const CacheOptions &Opts)
+    : Opts(Opts), AuditRng(Opts.AuditSeed ? Opts.AuditSeed : 1) {
+  if (this->Opts.MaxEntries == 0)
+    this->Opts.MaxEntries = 1;
+  if (this->Opts.MaxBuildFailures == 0)
+    this->Opts.MaxBuildFailures = 1;
+}
+
+AnalysisCache::LookupResult
+AnalysisCache::lookup(const std::string &Key,
+                      std::chrono::steady_clock::time_point Deadline) {
+  std::unique_lock<std::mutex> Lock(M);
+  ++LookupSeq;
+  sweepStaleFailuresLocked();
+
+  bool CountedWait = false;
+  for (;;) {
+    auto It = Slots.find(Key);
+    if (It == Slots.end()) {
+      Slots[Key].St = State::Building;
+      ++Counters.Misses;
+      return {Outcome::MustBuild, nullptr, false};
+    }
+    Slot &S = It->second;
+    switch (S.St) {
+    case State::Quarantined:
+      ++Counters.Poisoned;
+      return {Outcome::Quarantined, nullptr, false};
+    case State::Ready: {
+      Lru.splice(Lru.begin(), Lru, S.LruIt);
+      ++Counters.Hits;
+      bool Audit = false;
+      if (Opts.AuditEvery) {
+        // xorshift64: cheap, seeded, deterministic per construction.
+        AuditRng ^= AuditRng << 13;
+        AuditRng ^= AuditRng >> 7;
+        AuditRng ^= AuditRng << 17;
+        Audit = (AuditRng % Opts.AuditEvery) == 0;
+        if (Audit)
+          ++Counters.Audits;
+      }
+      return {Outcome::Hit, S.Art, Audit};
+    }
+    case State::Failed:
+      if (LookupSeq >= S.RetryAtLookup) {
+        S.St = State::Building;
+        ++Counters.Misses;
+        return {Outcome::MustBuild, nullptr, false};
+      }
+      ++Counters.Misses;
+      return {Outcome::Bypass, nullptr, false};
+    case State::Building: {
+      if (S.NeedLeader) {
+        // The previous leader failed; this caller rebuilds.
+        S.NeedLeader = false;
+        ++Counters.Promotions;
+        return {Outcome::MustBuild, nullptr, false};
+      }
+      if (!CountedWait) {
+        CountedWait = true;
+        ++Counters.Coalesced;
+      }
+      ++S.Waiters;
+      std::cv_status W = CV.wait_until(Lock, Deadline);
+      // The slot may have been erased or replaced while we slept;
+      // re-resolve by key before touching it.
+      auto It2 = Slots.find(Key);
+      if (It2 != Slots.end()) {
+        Slot &S2 = It2->second;
+        if (S2.Waiters)
+          --S2.Waiters;
+        if (W == std::cv_status::timeout) {
+          // Leaving a leaderless slot with no other waiters would
+          // wedge the key: convert it to an immediately-retryable
+          // failure for the next lookup.
+          if (S2.St == State::Building && S2.NeedLeader &&
+              S2.Waiters == 0) {
+            S2.NeedLeader = false;
+            S2.St = State::Failed;
+            S2.RetryAtLookup = LookupSeq;
+          }
+          ++Counters.CoalesceTimeouts;
+          ++Counters.Misses;
+          return {Outcome::Bypass, nullptr, false};
+        }
+      } else if (W == std::cv_status::timeout) {
+        ++Counters.CoalesceTimeouts;
+        ++Counters.Misses;
+        return {Outcome::Bypass, nullptr, false};
+      }
+      continue; // Re-examine the (re-found) slot.
+    }
+    }
+  }
+}
+
+void AnalysisCache::publish(const std::string &Key,
+                            std::shared_ptr<const AnalysisArtifact> Art) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Slots.find(Key);
+  if (It == Slots.end())
+    It = Slots.emplace(Key, Slot()).first;
+  Slot &S = It->second;
+  if (S.St == State::Quarantined)
+    return; // Quarantine outranks a late publish.
+  if (S.St == State::Ready)
+    evictSlotLocked(It, /*Watermark=*/false); // Replace (re-find below).
+  It = Slots.find(Key);
+  if (It == Slots.end())
+    It = Slots.emplace(Key, Slot()).first;
+  Slot &S2 = It->second;
+  S2.St = State::Ready;
+  S2.Art = std::move(Art);
+  S2.Failures = 0;
+  S2.NeedLeader = false;
+  Lru.push_front(Key);
+  S2.LruIt = Lru.begin();
+  Bytes_ += S2.Art->CostBytes;
+  ++Counters.Inserts;
+
+  // Capacity eviction: never the entry just published (a single
+  // oversized artifact stays until the next publish displaces it).
+  while ((Bytes_ > Opts.MaxBytes ||
+          Lru.size() > Opts.MaxEntries) &&
+         Lru.size() > 1)
+    evictSlotLocked(Slots.find(Lru.back()), /*Watermark=*/false);
+  CV.notify_all();
+}
+
+void AnalysisCache::buildFailed(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Slots.find(Key);
+  if (It == Slots.end() || It->second.St != State::Building)
+    return;
+  Slot &S = It->second;
+  ++Counters.BuildFailures;
+  ++S.Failures;
+  if (S.Failures >= Opts.MaxBuildFailures) {
+    // Repeated failures: back the key off so a hot program with a
+    // starved budget degrades to cache-less serves, not a build loop.
+    S.St = State::Failed;
+    S.NeedLeader = false;
+    S.RetryAtLookup = LookupSeq + Opts.FailureBackoffLookups;
+  } else if (S.Waiters > 0) {
+    S.NeedLeader = true; // Exactly one waiter claims this.
+  } else {
+    S.St = State::Failed;
+    S.RetryAtLookup = LookupSeq; // Retry allowed immediately.
+  }
+  CV.notify_all();
+}
+
+void AnalysisCache::quarantine(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Slots.find(Key);
+  if (It == Slots.end())
+    It = Slots.emplace(Key, Slot()).first;
+  Slot &S = It->second;
+  if (S.St == State::Ready) {
+    Bytes_ -= S.Art->CostBytes;
+    Lru.erase(S.LruIt);
+    S.Art.reset();
+  }
+  S.St = State::Quarantined;
+  S.NeedLeader = false;
+  CV.notify_all();
+}
+
+void AnalysisCache::invalidate(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Slots.find(Key);
+  if (It != Slots.end() && It->second.St == State::Ready)
+    evictSlotLocked(It, /*Watermark=*/false);
+}
+
+void AnalysisCache::auditMismatch(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  ++Counters.AuditMismatches;
+  auto It = Slots.find(Key);
+  if (It != Slots.end() && It->second.St == State::Ready)
+    evictSlotLocked(It, /*Watermark=*/false);
+}
+
+uint64_t AnalysisCache::evictToward(uint64_t TargetBytes) {
+  std::lock_guard<std::mutex> Lock(M);
+  uint64_t Evicted = 0;
+  while (Bytes_ > TargetBytes && !Lru.empty()) {
+    evictSlotLocked(Slots.find(Lru.back()), /*Watermark=*/true);
+    ++Evicted;
+  }
+  return Evicted;
+}
+
+uint64_t AnalysisCache::bytes() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Bytes_;
+}
+
+std::optional<std::string>
+AnalysisCache::canonicalKeyFor(const std::string &RawKey) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = KeyMemo.find(RawKey);
+  if (It == KeyMemo.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void AnalysisCache::rememberCanonicalKey(const std::string &RawKey,
+                                         const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  // A full reset is fine here: the memo is a latency optimization, and
+  // re-canonicalizing one request per distinct program after a clear
+  // is exactly the miss cost the cache already charges.
+  if (KeyMemo.size() >= 4 * static_cast<size_t>(Opts.MaxEntries) + 64)
+    KeyMemo.clear();
+  KeyMemo.emplace(RawKey, Key);
+}
+
+CacheStats AnalysisCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  CacheStats S = Counters;
+  S.Entries = Lru.size();
+  S.Bytes = Bytes_;
+  return S;
+}
+
+void AnalysisCache::evictSlotLocked(std::map<std::string, Slot>::iterator It,
+                                    bool Watermark) {
+  if (It == Slots.end() || It->second.St != State::Ready)
+    return;
+  Bytes_ -= It->second.Art->CostBytes;
+  Lru.erase(It->second.LruIt);
+  Slots.erase(It);
+  ++Counters.Evictions;
+  if (Watermark)
+    ++Counters.WatermarkEvictions;
+}
+
+/// Failed slots are bookkeeping, not artifacts, but an adversary
+/// cycling unique unparseable-budget programs could still grow the map
+/// without bound; drop retryable ones once the map outgrows the LRU by
+/// a comfortable margin. Quarantined slots are permanent by contract.
+void AnalysisCache::sweepStaleFailuresLocked() {
+  if (Slots.size() <= 2 * static_cast<size_t>(Opts.MaxEntries) + 16)
+    return;
+  for (auto It = Slots.begin(); It != Slots.end();) {
+    if (It->second.St == State::Failed && LookupSeq >= It->second.RetryAtLookup)
+      It = Slots.erase(It);
+    else
+      ++It;
+  }
+}

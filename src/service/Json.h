@@ -88,6 +88,14 @@ public:
       Obj[Key] = std::move(V);
   }
 
+  /// Object member removal (no-op unless this is an object). The
+  /// server strips piggybacked worker-cache fields off response frames
+  /// before they reach the client.
+  void remove(const std::string &Key) {
+    if (K == Kind::Object)
+      Obj.erase(Key);
+  }
+
   /// Object member lookup; null when absent or not an object.
   const JsonValue *find(const std::string &Key) const {
     if (K != Kind::Object)

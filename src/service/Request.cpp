@@ -229,6 +229,10 @@ std::string ServiceResponse::str() const {
   if (Status == ResponseStatus::Ok) {
     Out.set("served_tier", ServedTier);
     Out.set("degraded", Degraded);
+    if (FromCache)
+      Out.set("cached", true);
+    if (Audited)
+      Out.set("audited", true);
     JsonValue Ls = JsonValue::array();
     for (unsigned L : Lines)
       Ls.push(static_cast<int64_t>(L));

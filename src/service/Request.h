@@ -134,6 +134,8 @@ struct ServiceResponse {
   std::string Requested;  ///< Requested algorithm name (slices only).
   std::string ServedTier; ///< Algorithm actually served (when Ok).
   bool Degraded = false;
+  bool FromCache = false; ///< Served from the analysis cache.
+  bool Audited = false;   ///< Cache hit re-verified against a fresh run.
   std::set<unsigned> Lines; ///< The slice, as source lines (when Ok).
   std::vector<TierReport> Attempts;
   std::string Error;     ///< Diagnostics (error / refusal statuses).

@@ -8,13 +8,84 @@
 #include "service/SandboxWorker.h"
 
 #include "service/Ipc.h"
+#include "slicer/Criterion.h"
+
+#include <unistd.h>
 
 using namespace jslice;
+
+namespace {
+
+/// Serves \p R from a cached artifact under the request's own budget.
+/// Nullopt sends the caller to the full ladder: an unresolvable
+/// criterion (the ladder produces the canonical diagnostic), an
+/// algorithm without a cache-backed path, or a guard trip mid-walk
+/// (the ladder's fresh rung guards then give budget-parity with the
+/// cache-less server — a partial cached walk is never served).
+std::optional<ServiceResponse> serveFromArtifact(const ServiceRequest &R,
+                                                 const AnalysisArtifact &Art,
+                                                 const Budget &B) {
+  ResourceGuard G(B);
+  if (!G.checkpoint("cache.hit"))
+    return std::nullopt;
+  ErrorOr<ResolvedCriterion> RC =
+      resolveCriterion(Art.A, Criterion(R.Line, R.Vars));
+  if (!RC)
+    return std::nullopt;
+  std::optional<SliceResult> S = Art.BS.sliceShared(*RC, R.Algorithm, G);
+  if (!S || G.exhausted())
+    return std::nullopt;
+
+  ServiceResponse Resp;
+  Resp.Id = R.Id;
+  Resp.Requested = algorithmName(R.Algorithm);
+  Resp.Status = ResponseStatus::Ok;
+  Resp.ServedTier = Resp.Requested;
+  Resp.Degraded = false;
+  Resp.FromCache = true;
+  Resp.Lines = S->lineSet(Art.A.cfg());
+  TierReport T;
+  T.Tier = Resp.ServedTier;
+  T.Outcome = "served";
+  T.Detail = "analysis-cache";
+  Resp.Attempts.push_back(std::move(T));
+  return Resp;
+}
+
+/// Self-audit: re-derives the slice from source under a fresh guard
+/// and diffs the line sets. True = match, false = mismatch (cached
+/// artifact is wrong; \p FreshLines holds the trusted result), nullopt
+/// = inconclusive (budget tripped or the fresh pipeline failed) — an
+/// inconclusive audit must not invalidate.
+std::optional<bool> auditHit(const ServiceRequest &R, const Budget &B,
+                             const std::set<unsigned> &CachedLines,
+                             std::set<unsigned> &FreshLines) {
+  {
+    ResourceGuard Probe(B);
+    if (!Probe.checkpoint("cache.audit"))
+      return std::nullopt;
+  }
+  ErrorOr<Analysis> A = Analysis::fromSource(R.Program, B);
+  if (!A)
+    return std::nullopt;
+  ErrorOr<ResolvedCriterion> RC =
+      resolveCriterion(*A, Criterion(R.Line, R.Vars));
+  if (!RC)
+    return std::nullopt;
+  SliceResult S = computeSlice(*A, *RC, R.Algorithm);
+  if (A->guard().exhausted())
+    return std::nullopt;
+  FreshLines = S.lineSet(A->cfg());
+  return FreshLines == CachedLines;
+}
+
+} // namespace
 
 ServiceResponse jslice::executeSliceRequest(const ServiceRequest &R,
                                             const ExecConfig &Cfg,
                                             const std::atomic<bool> *Cancel,
-                                            uint64_t *RungTrips) {
+                                            uint64_t *RungTrips,
+                                            AnalysisCache *Cache) {
   ServiceResponse Resp;
   Resp.Id = R.Id;
   Resp.Requested = algorithmName(R.Algorithm);
@@ -25,6 +96,59 @@ ServiceResponse jslice::executeSliceRequest(const ServiceRequest &R,
   if (R.MaxSteps)
     B.MaxSteps = R.MaxSteps;
   B.Cancel = Cancel;
+
+  // Cache front half: key, lookup, hit/refuse, or become the leader.
+  std::string LeaderKey;
+  if (Cache && Cache->options().Enabled &&
+      R.Algorithm != SliceAlgorithm::Weiser) {
+    std::optional<std::string> Key;
+    {
+      ResourceGuard KeyG(B);
+      std::string RawK = rawProgramKey(R.Program);
+      Key = Cache->canonicalKeyFor(RawK);
+      if (!Key && (Key = canonicalProgramKey(R.Program, KeyG)))
+        Cache->rememberCanonicalKey(RawK, *Key);
+      if (Key && !KeyG.checkpoint("cache.lookup"))
+        Key.reset();
+    }
+    if (Key) {
+      // Coalesced waits are bounded by the request's own deadline.
+      auto Deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(B.DeadlineMs ? B.DeadlineMs : 1000);
+      AnalysisCache::LookupResult L = Cache->lookup(*Key, Deadline);
+      switch (L.K) {
+      case AnalysisCache::Outcome::Quarantined:
+        Resp.Status = ResponseStatus::Poisoned;
+        Resp.Error = "program quarantined: repeated worker crashes "
+                     "building its analysis";
+        return Resp;
+      case AnalysisCache::Outcome::Hit: {
+        std::optional<ServiceResponse> Hit = serveFromArtifact(R, *L.Artifact, B);
+        if (Hit) {
+          if (L.Audit) {
+            Hit->Audited = true;
+            std::set<unsigned> Fresh;
+            std::optional<bool> Same = auditHit(R, B, Hit->Lines, Fresh);
+            if (Same && !*Same) {
+              // The fresh pipeline is ground truth: drop the entry and
+              // serve the recomputed slice.
+              Cache->auditMismatch(*Key);
+              Hit->Lines = std::move(Fresh);
+            }
+          }
+          return *Hit;
+        }
+        break; // Hit unusable under this budget: plain ladder.
+      }
+      case AnalysisCache::Outcome::MustBuild:
+        LeaderKey = *Key;
+        break;
+      case AnalysisCache::Outcome::Bypass:
+        break;
+      }
+    }
+  }
 
   LadderOptions L = Cfg.Ladder;
   L.B = B;
@@ -58,10 +182,40 @@ ServiceResponse jslice::executeSliceRequest(const ServiceRequest &R,
     Resp.Status = ResponseStatus::Error;
     Resp.Error = Res.Diags.str();
   }
+
+  // Cache back half: the leader must resolve its slot — publish a
+  // usable artifact, or report failure so exactly one waiting follower
+  // is promoted.
+  if (!LeaderKey.empty()) {
+    bool Published = false;
+    if (Res.Ok && Res.A) {
+      auto Art = std::make_shared<AnalysisArtifact>(std::move(*Res.A));
+      // The closure caches were charged to the serving rung's guard; a
+      // trip mid-build leaves them invalid and they must never be
+      // indexed by later requests.
+      if (Art->BS.closures().valid() &&
+          Art->A.guard().checkpoint("cache.insert")) {
+        Art->CostBytes = estimateArtifactCost(*Art, R.Program);
+        Cache->publish(LeaderKey, std::move(Art));
+        Published = true;
+      }
+    }
+    if (!Published)
+      Cache->buildFailed(LeaderKey);
+  }
   return Resp;
 }
 
 int jslice::sandboxWorkerMain(int InFd, int OutFd, const ExecConfig &Cfg) {
+  // Process mode: each (single-threaded) worker owns its own cache, so
+  // a crash takes the cache down with the worker — nothing poisoned
+  // survives into the replacement fork. Counters ride each response
+  // frame as worker_cache/worker_pid; the server strips and aggregates
+  // them before the frame reaches the client.
+  std::optional<AnalysisCache> Cache;
+  if (Cfg.Cache.Enabled)
+    Cache.emplace(Cfg.Cache);
+
   std::string Payload;
   for (;;) {
     FrameReadStatus S = readFrame(InFd, Payload, /*TimeoutMs=*/-1);
@@ -75,7 +229,8 @@ int jslice::sandboxWorkerMain(int InFd, int OutFd, const ExecConfig &Cfg) {
     ServiceRequest R;
     if (V && requestFromJson(*V, R)) {
       Resp = executeSliceRequest(R, Cfg, /*Cancel=*/nullptr,
-                                 /*RungTrips=*/nullptr);
+                                 /*RungTrips=*/nullptr,
+                                 Cache ? &*Cache : nullptr);
     } else {
       // The supervisor only ships requests it already parsed, so this
       // is a framing bug, not client garbage — still answer rather
@@ -83,7 +238,15 @@ int jslice::sandboxWorkerMain(int InFd, int OutFd, const ExecConfig &Cfg) {
       Resp.Status = ResponseStatus::Error;
       Resp.Error = "sandbox worker: unparseable request frame";
     }
-    if (!writeFrame(OutFd, Resp.str()))
+    std::string Out = Resp.str();
+    if (Cache) {
+      if (std::optional<JsonValue> Frame = JsonValue::parse(Out)) {
+        Frame->set("worker_cache", Cache->stats().toJson());
+        Frame->set("worker_pid", static_cast<int64_t>(getpid()));
+        Out = Frame->str();
+      }
+    }
+    if (!writeFrame(OutFd, Out))
       return 1; // Supervisor went away mid-response.
   }
 }

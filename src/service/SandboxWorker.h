@@ -27,6 +27,7 @@
 #ifndef JSLICE_SERVICE_SANDBOXWORKER_H
 #define JSLICE_SERVICE_SANDBOXWORKER_H
 
+#include "service/AnalysisCache.h"
 #include "service/Ladder.h"
 #include "service/Request.h"
 
@@ -41,6 +42,11 @@ struct ExecConfig {
 
   /// Ladder behaviour (rung-1 budget inside is rebuilt per request).
   LadderOptions Ladder;
+
+  /// Analysis-cache knobs. Thread mode shares one instance across the
+  /// pool (Server owns it); process mode builds one per worker from
+  /// this config inside sandboxWorkerMain.
+  CacheOptions Cache;
 };
 
 /// Runs one slice request through the degradation ladder and renders
@@ -48,10 +54,23 @@ struct ExecConfig {
 /// left for the caller, who owns the clock that matters to it).
 /// \p Cancel, when non-null, is polled by the guard; \p RungTrips,
 /// when non-null, receives how many ladder rungs tripped a budget.
+///
+/// \p Cache, when non-null and enabled, short-circuits the pipeline:
+/// the canonical program key is resolved, a ready artifact serves the
+/// slice under the request's own budget (FromCache, optionally
+/// Audited), a quarantined key is refused as Poisoned, and a miss
+/// makes this request the single-flight build leader — it runs the
+/// ladder as usual and publishes the serving rung's analysis (or
+/// reports buildFailed, promoting one waiting follower). Every cache
+/// deviation — unparseable program, tripped guard, invalid closure,
+/// coalesce timeout — falls back to the plain ladder, so responses
+/// differ from the cache-less path only by the `cached`/`audited`
+/// markers, never by content.
 ServiceResponse executeSliceRequest(const ServiceRequest &R,
                                     const ExecConfig &Cfg,
                                     const std::atomic<bool> *Cancel,
-                                    uint64_t *RungTrips);
+                                    uint64_t *RungTrips,
+                                    AnalysisCache *Cache = nullptr);
 
 /// The sandbox child's main loop: framed requests in on \p InFd,
 /// framed responses out on \p OutFd, until EOF on \p InFd. Returns the

@@ -42,6 +42,22 @@ JsonValue ServerStats::toJson() const {
   Out.set("shed_by_cause", std::move(Causes));
   Out.set("latency_p50_ms", P50Ms);
   Out.set("latency_p95_ms", P95Ms);
+  Out.set("rss_bytes", RssBytes);
+  if (MaxRssBytes) {
+    Out.set("rss_watermark_bytes", MaxRssBytes);
+    Out.set("rss_headroom_bytes",
+            RssBytes < MaxRssBytes ? MaxRssBytes - RssBytes : 0);
+  }
+  Out.set("cache_enabled", CacheEnabled);
+  if (CacheEnabled) {
+    Out.set("cache", Cache.toJson());
+    if (!WorkerCaches.empty()) {
+      JsonValue Ws = JsonValue::object();
+      for (const auto &[Pid, S] : WorkerCaches)
+        Ws.set(std::to_string(Pid), S.toJson());
+      Out.set("worker_caches", std::move(Ws));
+    }
+  }
   Out.set("process_isolation", ProcessIsolation);
   if (ProcessIsolation) {
     JsonValue S = JsonValue::object();
@@ -76,6 +92,7 @@ Server::Server(const ServerOptions &Opts, std::ostream &Out, std::ostream &Log)
     SOpts.Exec.DefaultBudget = Opts.DefaultBudget;
     SOpts.Exec.DefaultBudget.Cancel = nullptr; // Never crosses the fork.
     SOpts.Exec.Ladder = Opts.Ladder;
+    SOpts.Exec.Cache = Opts.Cache; // Workers build their own.
     Super = std::make_unique<Supervisor>(SOpts);
     if (!Super->start()) {
       Log << "jslice_serve: process isolation unavailable on this "
@@ -83,6 +100,10 @@ Server::Server(const ServerOptions &Opts, std::ostream &Out, std::ostream &Log)
       Super.reset();
     }
   }
+  // Thread mode (including the fallback above) shares one cache
+  // across the pool; process-mode workers each own theirs.
+  if (!Super && Opts.Cache.Enabled)
+    Cache = std::make_unique<AnalysisCache>(Opts.Cache);
 }
 
 Server::~Server() {
@@ -242,8 +263,19 @@ void Server::serveLine(const std::string &Line, ResponseSink Sink) {
       break;
     }
     if (Opts.MaxRssMb && currentRssMb() > Opts.MaxRssMb) {
-      shedResponse(R, "memory watermark exceeded", "rss-watermark", Sink);
-      break;
+      // Watermark-coupled eviction: drop cached artifacts before
+      // refusing work. The freed memory may not leave the RSS number
+      // immediately (the allocator keeps pages), so having evicted
+      // anything at all is grounds to admit this request and let the
+      // next admission re-measure; only an empty cache sheds.
+      uint64_t Evicted =
+          Cache ? Cache->evictToward(Cache->bytes() / 2) : 0;
+      if (!Evicted) {
+        shedResponse(R, "memory watermark exceeded", "rss-watermark", Sink);
+        break;
+      }
+      Log << "jslice_serve: rss watermark tripped; evicted " << Evicted
+          << " cached artifact(s)\n";
     }
 
     std::string PoisonRepro;
@@ -253,7 +285,9 @@ void Server::serveLine(const std::string &Line, ResponseSink Sink) {
     {
       std::lock_guard<std::mutex> Lock(StateM);
       std::string Key = R.contentKey();
-      if (PoisonKeys.count(Key)) {
+      if (PoisonKeys.count(Key) ||
+          (!ProgramPoison.empty() &&
+           ProgramPoison.count(rawProgramKey(R.Program)))) {
         IsPoisoned = true;
         auto It = PoisonRepros.find(Key);
         if (It != PoisonRepros.end())
@@ -347,8 +381,9 @@ void Server::handleSliceInProcess(ServiceRequest R, ServiceResponse &Resp,
   ExecConfig Cfg;
   Cfg.DefaultBudget = Opts.DefaultBudget;
   Cfg.Ladder = Opts.Ladder;
+  Cfg.Cache = Opts.Cache;
   Resp = executeSliceRequest(R, Cfg, Flight ? &Flight->Cancel : nullptr,
-                             &RungTrips);
+                             &RungTrips, Cache.get());
 }
 
 /// Ships the request to a sandbox worker. Returns true when \p
@@ -392,7 +427,24 @@ bool Server::handleSliceSandboxed(const ServiceRequest &R,
           if (const JsonValue *O = A.find("outcome"))
             RungTrips += O->isString() &&
                          O->asString() == "resource-exhausted";
-    RawResponse = std::move(Res.ResponseJson);
+    // Peel off the piggybacked per-worker cache counters: they are
+    // operator telemetry for {"stats"}, not part of the caller's
+    // response.
+    if (const JsonValue *WC = V->find("worker_cache")) {
+      int64_t Pid = 0;
+      if (const JsonValue *WP = V->find("worker_pid"))
+        if (WP->isNumber())
+          Pid = WP->asInt();
+      if (std::optional<CacheStats> Snap = CacheStats::fromJson(*WC)) {
+        std::lock_guard<std::mutex> Lock(StateM);
+        WorkerCacheSnapshots[Pid] = *Snap;
+      }
+      V->remove("worker_cache");
+      V->remove("worker_pid");
+      RawResponse = V->str();
+    } else {
+      RawResponse = std::move(Res.ResponseJson);
+    }
     return true;
   }
   case DispatchResult::Kind::Crashed:
@@ -430,6 +482,14 @@ void Server::quarantineCrashed(const ServiceRequest &R,
     PoisonKeys.insert(Key);
     if (!Repro.empty())
       PoisonRepros[Key] = Repro;
+    // Program-level escalation: two crashes on the same source (any
+    // criterion) quarantine the whole program, refusing it at
+    // admission before it can reach another worker — and with it that
+    // worker's analysis cache. Raw-byte key only: parsing a
+    // worker-killing program in the server is how the server joins
+    // the casualty list.
+    if (++ProgramCrashCounts[rawProgramKey(R.Program)] >= 2)
+      ProgramPoison.insert(rawProgramKey(R.Program));
   }
   Resp.ReproPath = Repro;
   Log << "jslice_serve: worker crashed on request \"" << R.Id << "\" ("
@@ -570,5 +630,15 @@ ServerStats Server::stats() const {
   S.ProcessIsolation = Super != nullptr;
   if (Super)
     S.Super = Super->stats();
+  S.RssBytes = currentRssMb() << 20;
+  S.MaxRssBytes = Opts.MaxRssMb << 20;
+  S.CacheEnabled = Opts.Cache.Enabled;
+  if (Cache) {
+    S.Cache = Cache->stats();
+  } else if (Opts.Cache.Enabled) {
+    S.WorkerCaches = WorkerCacheSnapshots;
+    for (const auto &[Pid, Snap] : S.WorkerCaches)
+      S.Cache.add(Snap);
+  }
   return S;
 }

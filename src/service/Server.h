@@ -56,6 +56,7 @@
 #ifndef JSLICE_SERVICE_SERVER_H
 #define JSLICE_SERVICE_SERVER_H
 
+#include "service/AnalysisCache.h"
 #include "service/Journal.h"
 #include "service/Ladder.h"
 #include "service/Request.h"
@@ -108,10 +109,19 @@ struct ServerOptions {
   /// after this many ms is shed unrun (0 = none).
   uint64_t QueueDeadlineMs = 0;
 
-  /// Memory watermark: new requests are shed while the process RSS
-  /// exceeds this many MiB (0 = no watermark; non-Linux reads 0 RSS
-  /// and never sheds on memory).
+  /// Memory watermark: while the process RSS exceeds this many MiB the
+  /// server first evicts from the analysis cache toward half its cost
+  /// total and admits the request (memory pressure degrades into cache
+  /// misses); only when there is nothing left to evict are new
+  /// requests shed (0 = no watermark; non-Linux reads 0 RSS and never
+  /// sheds on memory).
   uint64_t MaxRssMb = 0;
+
+  /// Analysis-cache knobs. Thread mode holds one shared instance;
+  /// process mode forwards this to each sandbox worker, which builds
+  /// its own (per-worker counters come back piggybacked on response
+  /// frames and are aggregated into {"stats"}).
+  CacheOptions Cache;
 
   /// Write-ahead journal path; empty disables journaling (and with it
   /// poison recovery).
@@ -186,6 +196,15 @@ struct ServerStats {
   double P95Ms = 0;
   bool ProcessIsolation = false;
   SupervisorStats Super; ///< Zeroed in thread mode.
+
+  uint64_t RssBytes = 0;    ///< Process RSS at snapshot time.
+  uint64_t MaxRssBytes = 0; ///< The watermark (0 = none); toJson also
+                            ///< derives the remaining headroom.
+  bool CacheEnabled = false;
+  CacheStats Cache; ///< Thread mode: the shared cache; process mode:
+                    ///< the per-worker snapshots summed.
+  /// Process mode: the latest cache snapshot from each worker pid.
+  std::map<int64_t, CacheStats> WorkerCaches;
 
   JsonValue toJson() const;
 };
@@ -294,6 +313,17 @@ private:
   std::map<std::string, std::shared_ptr<InFlight>> Registry;
   std::set<std::string> PoisonKeys;
   std::map<std::string, std::string> PoisonRepros; ///< key -> .mc path.
+
+  /// Thread mode only; null in process mode (workers own theirs).
+  std::unique_ptr<AnalysisCache> Cache;
+  /// Worker crashes per rawProgramKey: a program that kills two
+  /// workers is quarantined for *every* criterion, not just the
+  /// crashing (program, criterion, algorithm) content key. Keyed on
+  /// raw bytes — a killer program is never parsed in this process.
+  std::map<std::string, unsigned> ProgramCrashCounts;
+  std::set<std::string> ProgramPoison;
+  /// Process mode: latest piggybacked cache snapshot per worker pid.
+  std::map<int64_t, CacheStats> WorkerCacheSnapshots;
   ServerStats Counters;
   std::vector<double> Latencies;
 };

@@ -32,6 +32,7 @@
 #include "support/WorkerPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdlib>
 #include <optional>
@@ -200,35 +201,93 @@ DependenceClosure::DependenceClosure(const Pdg &P, unsigned NumNodes,
 // Guard sharing across worker threads
 //===----------------------------------------------------------------------===//
 
+namespace jslice {
+
+/// Coordination for one fan-out run over a shared ResourceGuard
+/// (which is single-threaded by design): the mutex serializes bulk
+/// charges, the flag latches an observed trip so every worker's fast
+/// path is one relaxed atomic load.
+struct BatchGuardState {
+  std::mutex M;
+  std::atomic<bool> Tripped{false};
+};
+
+} // namespace jslice
+
 namespace {
 
 /// The batch engine's view of the pipeline guard: direct in
-/// single-threaded runs, mutex-serialized when criteria fan out across
-/// workers (ResourceGuard itself is single-threaded by design).
-struct GuardRef {
-  ResourceGuard &G;
-  std::mutex *M = nullptr;
+/// single-threaded runs (preserving exact per-checkpoint
+/// fault-injection ordinals). When criteria fan out across workers,
+/// each GuardRef buffers its checkpoints locally and flushes them to
+/// the shared guard in stride-sized batches through
+/// ResourceGuard::charge() — the shared mutex is taken once per
+/// stride, not once per checkpoint, which is what lets the pool scale
+/// past a single core. A trip observed by any worker latches the
+/// shared flag; others notice at their next checkpoint, so overshoot
+/// is bounded by one buffered stride per worker.
+class GuardRef {
+public:
+  GuardRef(ResourceGuard &G, BatchGuardState *Shared)
+      : G(G), Shared(Shared),
+        FlushStride(Shared ? G.budget().effectivePollStride() : 0) {}
+
+  GuardRef(const GuardRef &) = delete;
+  GuardRef &operator=(const GuardRef &) = delete;
+
+  /// Merge-on-exit: steps buffered below the flush stride still reach
+  /// the shared meter when the worker finishes its criterion.
+  ~GuardRef() {
+    if (Shared && Pending)
+      flushPending("batch.flush");
+  }
 
   bool checkpoint(const char *Site) const {
-    if (!M)
+    if (!Shared)
       return G.checkpoint(Site);
-    std::lock_guard<std::mutex> Lock(*M);
-    return G.checkpoint(Site);
+    if (Shared->Tripped.load(std::memory_order_relaxed))
+      return false;
+    if (++Pending < FlushStride)
+      return true;
+    return flushPending(Site);
   }
 
   bool exhausted() const {
-    if (!M)
+    if (!Shared)
       return G.exhausted();
-    std::lock_guard<std::mutex> Lock(*M);
-    return G.exhausted();
+    if (Pending)
+      flushPending("batch.flush");
+    if (Shared->Tripped.load(std::memory_order_relaxed))
+      return true;
+    std::lock_guard<std::mutex> Lock(Shared->M);
+    if (!G.exhausted())
+      return false;
+    Shared->Tripped.store(true, std::memory_order_relaxed);
+    return true;
   }
 
   Diag toDiag() const {
-    if (!M)
+    if (!Shared)
       return G.toDiag();
-    std::lock_guard<std::mutex> Lock(*M);
+    std::lock_guard<std::mutex> Lock(Shared->M);
     return G.toDiag();
   }
+
+private:
+  bool flushPending(const char *Site) const {
+    uint64_t N = Pending;
+    Pending = 0;
+    std::lock_guard<std::mutex> Lock(Shared->M);
+    if (G.charge(N, Site))
+      return true;
+    Shared->Tripped.store(true, std::memory_order_relaxed);
+    return false;
+  }
+
+  ResourceGuard &G;
+  BatchGuardState *Shared;
+  uint64_t FlushStride;
+  mutable uint64_t Pending = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -514,34 +573,15 @@ SliceResult sliceSimpleClosureBV(const Analysis &A,
   return R;
 }
 
-} // namespace
-
-//===----------------------------------------------------------------------===//
-// BatchSlicer
-//===----------------------------------------------------------------------===//
-
-BatchSlicer::BatchSlicer(const Analysis &A)
-    : A(A), Cache(A.pdg(), A.cfg().numNodes(), &A.guard()) {}
-
-BatchSlicer::~BatchSlicer() = default;
-
-const DependenceClosure &BatchSlicer::augClosures() const {
-  std::call_once(AugOnce, [this] {
-    AugCache = std::make_unique<DependenceClosure>(
-        A.augPdg(), A.cfg().numNodes(), &A.guard());
-  });
-  return *AugCache;
-}
-
-SliceResult BatchSlicer::slice(const ResolvedCriterion &RC,
-                               SliceAlgorithm Algorithm) const {
-  return sliceLocked(RC, Algorithm, nullptr);
-}
-
-SliceResult BatchSlicer::sliceLocked(const ResolvedCriterion &RC,
-                                     SliceAlgorithm Algorithm,
-                                     std::mutex *GuardMutex) const {
-  GuardRef Guard{A.guard(), GuardMutex};
+/// The algorithm switch over the bitset implementations. \p Aug is the
+/// resolved augmented-PDG cache (Ball–Horwitz only, null otherwise);
+/// an invalid \p Aug means its build tripped the guard — the guard is
+/// latched, so return the same empty partial slice the checkpoint
+/// failure would have produced instead of indexing a half-built cache.
+SliceResult dispatchBV(const Analysis &A, const DependenceClosure &Cache,
+                       const DependenceClosure *Aug, const GuardRef &Guard,
+                       const ResolvedCriterion &RC,
+                       SliceAlgorithm Algorithm) {
   switch (Algorithm) {
   case SliceAlgorithm::Conventional:
     return sliceSimpleClosureBV(A, Cache, Guard, RC);
@@ -555,8 +595,15 @@ SliceResult BatchSlicer::sliceLocked(const ResolvedCriterion &RC,
     return sliceStructuredBV(A, Cache, Guard, RC);
   case SliceAlgorithm::Conservative:
     return sliceConservativeBV(A, Cache, Guard, RC);
-  case SliceAlgorithm::BallHorwitz:
-    return sliceSimpleClosureBV(A, augClosures(), Guard, RC);
+  case SliceAlgorithm::BallHorwitz: {
+    if (!Aug || !Aug->valid()) {
+      SliceResult R;
+      R.CriterionNode = RC.Node;
+      finishResult(A, BitVector(A.cfg().numNodes()), R);
+      return R;
+    }
+    return sliceSimpleClosureBV(A, *Aug, Guard, RC);
+  }
   case SliceAlgorithm::Lyle:
     return sliceLyleBV(A, Cache, Guard, RC);
   case SliceAlgorithm::Gallagher:
@@ -564,12 +611,73 @@ SliceResult BatchSlicer::sliceLocked(const ResolvedCriterion &RC,
   case SliceAlgorithm::JiangZhouRobson:
     return sliceJzrBV(A, Cache, Guard, RC);
   case SliceAlgorithm::Weiser:
-    // No PDG to cache; Weiser's iterative dataflow runs single-shot
-    // (runAll serializes these — see below).
-    return computeSlice(A, RC, SliceAlgorithm::Weiser);
+    break; // Handled by the callers (no cache-backed implementation).
   }
   assert(false && "unknown slicing algorithm");
   return SliceResult();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// BatchSlicer
+//===----------------------------------------------------------------------===//
+
+BatchSlicer::BatchSlicer(const Analysis &A)
+    : A(A), Cache(A.pdg(), A.cfg().numNodes(), &A.guard()) {}
+
+BatchSlicer::~BatchSlicer() = default;
+
+const DependenceClosure *BatchSlicer::augFor(SliceAlgorithm Algorithm,
+                                             ResourceGuard *G,
+                                             BatchGuardState *Shared) const {
+  if (Algorithm != SliceAlgorithm::BallHorwitz)
+    return nullptr;
+  std::call_once(AugOnce, [&] {
+    // The build charges \p G directly; under fan-out that guard is
+    // shared with workers flushing shards, so hold the shard mutex for
+    // the build's duration (waiters on call_once block anyway).
+    if (Shared) {
+      std::lock_guard<std::mutex> Lock(Shared->M);
+      AugCache = std::make_unique<DependenceClosure>(
+          A.augPdg(), A.cfg().numNodes(), G);
+    } else {
+      AugCache = std::make_unique<DependenceClosure>(
+          A.augPdg(), A.cfg().numNodes(), G);
+    }
+  });
+  return AugCache.get();
+}
+
+SliceResult BatchSlicer::slice(const ResolvedCriterion &RC,
+                               SliceAlgorithm Algorithm) const {
+  return sliceLocked(RC, Algorithm, nullptr);
+}
+
+std::optional<SliceResult>
+BatchSlicer::sliceShared(const ResolvedCriterion &RC,
+                         SliceAlgorithm Algorithm, ResourceGuard &G) const {
+  if (Algorithm == SliceAlgorithm::Weiser)
+    return std::nullopt; // Iterative dataflow; nothing cached to reuse.
+  if (!Cache.valid())
+    return std::nullopt;
+  const DependenceClosure *Aug = augFor(Algorithm, &G, nullptr);
+  if (Algorithm == SliceAlgorithm::BallHorwitz && (!Aug || !Aug->valid()))
+    return std::nullopt; // First builder's budget tripped; stay uncached.
+  GuardRef Guard{G, nullptr};
+  return dispatchBV(A, Cache, Aug, Guard, RC, Algorithm);
+}
+
+SliceResult BatchSlicer::sliceLocked(const ResolvedCriterion &RC,
+                                     SliceAlgorithm Algorithm,
+                                     BatchGuardState *Shared) const {
+  if (Algorithm == SliceAlgorithm::Weiser)
+    // No PDG to cache; Weiser's iterative dataflow runs single-shot
+    // (runAll serializes these — see below).
+    return computeSlice(A, RC, SliceAlgorithm::Weiser);
+  const DependenceClosure *Aug = augFor(Algorithm, &A.guard(), Shared);
+  GuardRef Guard{A.guard(), Shared};
+  return dispatchBV(A, Cache, Aug, Guard, RC, Algorithm);
 }
 
 unsigned BatchSlicer::defaultThreads() {
@@ -598,12 +706,12 @@ BatchSlicer::runAll(const std::vector<Criterion> &Crits,
   if (Threads > Crits.size())
     Threads = static_cast<unsigned>(Crits.size() ? Crits.size() : 1);
 
-  std::mutex GuardMutex;
-  std::mutex *LockPtr = Threads > 1 ? &GuardMutex : nullptr;
+  BatchGuardState Shared;
+  BatchGuardState *SharedPtr = Threads > 1 ? &Shared : nullptr;
 
   auto SliceOne = [&](size_t I) {
     BatchEntry &Entry = Out[I];
-    GuardRef Guard{A.guard(), LockPtr};
+    GuardRef Guard{A.guard(), SharedPtr};
     if (!Cache.valid() || Guard.exhausted()) {
       Entry.Diags.report(SourceLoc(), Guard.toDiag().Message,
                          DiagKind::ResourceExhausted);
@@ -614,7 +722,7 @@ BatchSlicer::runAll(const std::vector<Criterion> &Crits,
       Entry.Diags = RC.diags();
       return;
     }
-    SliceResult R = sliceLocked(*RC, Opts.Algorithm, LockPtr);
+    SliceResult R = sliceLocked(*RC, Opts.Algorithm, SharedPtr);
     if (Guard.exhausted()) {
       Entry.Diags.report(SourceLoc(), Guard.toDiag().Message,
                          DiagKind::ResourceExhausted);

@@ -24,11 +24,18 @@
 /// diagnostic, never a crash (see DESIGN.md, "Batch slicing engine").
 ///
 /// An opt-in thread pool fans independent criteria across workers. The
-/// Analysis' ResourceGuard is shared: workers poll it behind a mutex,
-/// so the budget stays one program-wide meter. Exhaustion is latched,
-/// which makes multi-threaded degradation safe — though *which*
-/// criterion observes the tripped budget first depends on scheduling,
-/// so budget-sensitive tests should run single-threaded.
+/// Analysis' ResourceGuard is shared: each worker counts checkpoints
+/// in a thread-local shard and flushes them to the real guard in
+/// stride-sized batches (ResourceGuard::charge), reading only a shared
+/// atomic trip flag on the fast path — the budget stays one
+/// program-wide meter without a mutex acquisition per checkpoint.
+/// Exhaustion is latched; a worker observes a trip at most one
+/// locally-buffered stride late, so overshoot past the budget is
+/// bounded by threads x stride checkpoints. *Which* criterion observes
+/// the tripped budget first depends on scheduling, so budget-sensitive
+/// tests should run single-threaded (the single-threaded path polls
+/// the guard directly, checkpoint by checkpoint, preserving the exact
+/// fault-injection ordinals the every-ordinal sweeps rely on).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,9 +47,14 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 namespace jslice {
+
+/// Shared-guard coordination for one fan-out run (defined in
+/// BatchSlicer.cpp; opaque here).
+struct BatchGuardState;
 
 /// SCC condensation of one Pdg plus the memoized backward transitive
 /// closure of every component, as bitsets over CFG node ids. Built once
@@ -125,6 +137,21 @@ public:
   SliceResult slice(const ResolvedCriterion &RC,
                     SliceAlgorithm Algorithm) const;
 
+  /// Cache-backed slice charged against an *external* per-request
+  /// guard \p G instead of the analysis' own — the cross-request
+  /// analysis cache's hit path, where the artifact's guard belongs to
+  /// the request that built it (its deadline long expired) and must
+  /// not be charged or raced on by later requests. Returns nullopt
+  /// when the algorithm has no cache-backed implementation (Weiser) or
+  /// when a closure cache this query needs failed to build; the caller
+  /// then serves without the cache. A nullopt never charges \p G past
+  /// the validity probe, and a returned slice is bit-identical to
+  /// slice() modulo exhaustion of \p G (check G.exhausted(): a tripped
+  /// guard means a partial slice that must be discarded).
+  std::optional<SliceResult> sliceShared(const ResolvedCriterion &RC,
+                                         SliceAlgorithm Algorithm,
+                                         ResourceGuard &G) const;
+
   /// Resolves and slices every criterion, fanning across
   /// Opts.Threads workers. Entry order matches \p Crits. Exhaustion of
   /// the shared budget degrades the remaining entries into
@@ -144,10 +171,15 @@ private:
   mutable std::once_flag AugOnce;
   mutable std::unique_ptr<DependenceClosure> AugCache;
 
-  const DependenceClosure &augClosures() const;
+  /// Resolves the closure cache for \p Algorithm, lazily building the
+  /// augmented-PDG cache (Ball–Horwitz only) charged to \p G. \p Shared,
+  /// when non-null, serializes that build against concurrent shard
+  /// flushes on the same guard.
+  const DependenceClosure *augFor(SliceAlgorithm Algorithm, ResourceGuard *G,
+                                  BatchGuardState *Shared) const;
   SliceResult sliceLocked(const ResolvedCriterion &RC,
                           SliceAlgorithm Algorithm,
-                          std::mutex *GuardMutex) const;
+                          BatchGuardState *Shared) const;
 };
 
 /// One criterion per source line that holds a statement (empty variable

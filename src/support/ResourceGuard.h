@@ -192,6 +192,30 @@ public:
     return true;
   }
 
+  /// Charges \p N checkpoints' worth of steps at \p Site in one call —
+  /// the batch engine's per-thread shards flush their locally-counted
+  /// checkpoints through this, so the shared guard mutex is taken once
+  /// per flush instead of once per checkpoint. A bulk charge is one
+  /// fault-injection observation and always polls the deadline and the
+  /// cancellation flag (it arrives at stride-sized batches already, so
+  /// the per-checkpoint stride mask would be redundant).
+  bool charge(uint64_t N, const char *Site) {
+    if (Exhausted)
+      return false;
+    if (N == 0)
+      return true;
+    Steps += N;
+    if (FaultInjection::shouldFail(Site, Steps))
+      return trip(Site, "injected fault");
+    if (B.MaxSteps && Steps > B.MaxSteps)
+      return trip(Site, "step budget exhausted");
+    if (B.Cancel && B.Cancel->load(std::memory_order_relaxed))
+      return trip(Site, "cancelled");
+    if (B.DeadlineMs && pastDeadline())
+      return trip(Site, "deadline exceeded");
+    return true;
+  }
+
   /// checkpoint() plus the node-count dimension (call once per CFG or
   /// dependence-graph node built).
   bool countNode(const char *Site) {

@@ -19,7 +19,10 @@
 ///   jslice_client --connect HOST:PORT --input FILE   (- = stdin)
 ///
 ///   --request LINE    send one raw protocol line
-///   --stats           shorthand for --request '{"stats": true}'
+///   --stats           send {"stats": true} and pretty-print the
+///                     counters (server, cache, supervisor, transport)
+///                     one per line; use --request '{"stats": true}'
+///                     for the raw JSON line
 ///   --input FILE      send every line of FILE in order ("-" = stdin)
 ///   --connect-timeout-ms N  per-connect deadline (default 5000)
 ///   --timeout-ms N    per-response deadline (default 30000)
@@ -43,6 +46,7 @@
 
 #include "net/Client.h"
 #include "net/Socket.h"
+#include "service/Json.h"
 
 #include <cstdio>
 #include <fstream>
@@ -93,6 +97,42 @@ Verdict classify(const ClientResult &R) {
   if (R.Response.find("\"degraded\":true") != std::string::npos)
     return Verdict::Degraded;
   return Verdict::Ok;
+}
+
+/// Recursive "key: value" renderer for the {"stats"} reply. Byte
+/// counters get a MiB gloss so watermark headroom is readable at a
+/// glance.
+void printStatsValue(const std::string &Name, const JsonValue &V,
+                     unsigned Indent) {
+  std::string Pad(Indent, ' ');
+  if (V.isObject()) {
+    std::printf("%s%s:\n", Pad.c_str(), Name.c_str());
+    for (const auto &[Key, Member] : V.members())
+      printStatsValue(Key, Member, Indent + 2);
+    return;
+  }
+  if (V.isNumber() && Name.size() > 6 &&
+      Name.compare(Name.size() - 6, 6, "_bytes") == 0) {
+    std::printf("%s%s: %lld (%.1f MiB)\n", Pad.c_str(), Name.c_str(),
+                static_cast<long long>(V.asInt()),
+                static_cast<double>(V.asInt()) / (1024.0 * 1024.0));
+    return;
+  }
+  std::printf("%s%s: %s\n", Pad.c_str(), Name.c_str(), V.str().c_str());
+}
+
+/// Pretty-prints one stats response line; false when it does not look
+/// like one (caller falls back to the raw line).
+bool printStatsPretty(const std::string &Line) {
+  std::optional<JsonValue> V = JsonValue::parse(Line);
+  if (!V || !V->isObject())
+    return false;
+  const JsonValue *S = V->find("stats");
+  if (!S || !S->isObject())
+    return false;
+  for (const auto &[Key, Member] : S->members())
+    printStatsValue(Key, Member, 0);
+  return true;
 }
 
 } // namespace
@@ -197,6 +237,8 @@ int main(int argc, char **argv) {
     case Verdict::Ok:
       break;
     }
+    if (WantStats && printStatsPretty(R.Response))
+      return;
     std::cout << R.Response << "\n";
   };
 

@@ -75,9 +75,22 @@
 ///                     flight (default 0 = unbounded)
 ///   --queue-deadline-ms N shed admitted requests still queued after
 ///                     N ms (default 0 = none)
-///   --max-rss-mb N    shed while process RSS exceeds N MiB (default 0)
+///   --max-rss-mb N    while process RSS exceeds N MiB, evict cached
+///                     analyses first and shed only when the cache is
+///                     empty (default 0 = no watermark)
 ///   --journal-rotate-bytes N  rewrite the journal down to its
 ///                     unmatched begins past N bytes (default 8 MiB)
+///   --cache on|off    content-addressed analysis cache: identical
+///                     programs share one parsed+analyzed artifact and
+///                     coalesce concurrent builds single-flight
+///                     (default on; per-worker in process mode)
+///   --cache-entries N cache entry cap (default 64)
+///   --cache-bytes N   cache cost-estimate cap in bytes (default 256 MiB)
+///   --cache-audit-every N  self-audit: re-analyze ~1 in N cache hits
+///                     from source and diff the slices; a mismatch
+///                     invalidates the entry and serves the fresh
+///                     result (default 0 = off)
+///   --cache-audit-seed N   seed for the audit sampler (default 1)
 ///
 /// SIGTERM / SIGINT drain gracefully: the server stops accepting,
 /// finishes in-flight requests, writes a clean-shutdown journal
@@ -126,7 +139,11 @@ int usage() {
                "                    [--read-deadline-ms N] "
                "[--write-buffer-bytes N]\n"
                "                    [--drain-grace-ms N] "
-               "[--send-buffer-bytes N]\n");
+               "[--send-buffer-bytes N]\n"
+               "                    [--cache on|off] [--cache-entries N] "
+               "[--cache-bytes N]\n"
+               "                    [--cache-audit-every N] "
+               "[--cache-audit-seed N]\n");
   return 2;
 }
 
@@ -239,7 +256,14 @@ int main(int argc, char **argv) {
       return std::string(argv[++I]);
     };
 
-    if (Arg == "--input" || Arg == "--listen" || Arg == "--journal" ||
+    if (Arg == "--cache") {
+      std::optional<std::string> Value = NextValue();
+      if (!Value || (*Value != "on" && *Value != "off")) {
+        std::fprintf(stderr, "error: --cache expects 'on' or 'off'\n");
+        return usage();
+      }
+      Opts.Cache.Enabled = *Value == "on";
+    } else if (Arg == "--input" || Arg == "--listen" || Arg == "--journal" ||
         Arg == "--quarantine" || Arg == "--hang-after-begin" ||
         Arg == "--isolate") {
       std::optional<std::string> Value = NextValue();
@@ -281,7 +305,9 @@ int main(int argc, char **argv) {
                Arg == "--journal-rotate-bytes" || Arg == "--max-line-bytes" ||
                Arg == "--max-conns" || Arg == "--idle-timeout-ms" ||
                Arg == "--read-deadline-ms" || Arg == "--write-buffer-bytes" ||
-               Arg == "--drain-grace-ms" || Arg == "--send-buffer-bytes") {
+               Arg == "--drain-grace-ms" || Arg == "--send-buffer-bytes" ||
+               Arg == "--cache-entries" || Arg == "--cache-bytes" ||
+               Arg == "--cache-audit-every" || Arg == "--cache-audit-seed") {
       std::optional<std::string> Value = NextValue();
       std::optional<uint64_t> N = Value ? parseCount(*Value) : std::nullopt;
       if (!N) {
@@ -322,6 +348,14 @@ int main(int argc, char **argv) {
         TcpOpts.DrainGraceMs = *N;
       else if (Arg == "--send-buffer-bytes")
         TcpOpts.SendBufferBytes = static_cast<int>(*N);
+      else if (Arg == "--cache-entries")
+        Opts.Cache.MaxEntries = static_cast<unsigned>(*N);
+      else if (Arg == "--cache-bytes")
+        Opts.Cache.MaxBytes = *N;
+      else if (Arg == "--cache-audit-every")
+        Opts.Cache.AuditEvery = static_cast<unsigned>(*N);
+      else if (Arg == "--cache-audit-seed")
+        Opts.Cache.AuditSeed = *N;
       else
         Opts.Ladder.BackoffMs = static_cast<unsigned>(*N);
     } else if (Arg == "--no-degrade") {

@@ -49,13 +49,37 @@
 /// pipelined TCP connection — and writes a benchmark JSON (--out) with
 /// throughput, p50/p95 latency, and shed/crash counts per mode — the
 /// measured cost of the fork-and-pipe sandbox and the socket hop.
+/// Those mode rows run with the analysis cache off so they keep
+/// measuring isolation overhead; a separate "zipf" section then replays
+/// a Zipf-distributed stream (rank-r program drawn with weight 1/r,
+/// the shape of real request traffic) through TCP twice — cache off,
+/// then cache on with the self-audit sampling — and records the
+/// speedup. Both Zipf passes are fully audited: every request answered
+/// exactly once, and the cache's own hit-vs-fresh audit must report
+/// zero mismatches, or the bench exits nonzero.
+///
+/// With --audit-seeds N it runs the cache-correctness sweep: for each
+/// of N seeds (alternating dialects) every criterion is requested
+/// twice through a fresh server with audit-every-hit enabled; the
+/// cached replay must slice bit-identically to the cold build and the
+/// cache must self-report zero audit mismatches.
+///
+/// The volume soak, fault sweep, crash matrix, and net soak all run
+/// with the analysis cache in its default-on configuration (override
+/// with --cache off), so single-flight coalescing, hit serving,
+/// budget-parity fallbacks, and the piggybacked worker cache counters
+/// are exercised under every chaos mode. The fault sweep sends each
+/// request three times so the cache hit/audit/insert checkpoints are
+/// part of the swept ordinal space.
 ///
 ///   jslice_soak [--requests N] [--programs N] [--stmts N] [--threads N]
 ///               [--seed N] [--fault-stride N] [--journal FILE]
 ///               [--isolate thread|process] [--workers N]
 ///               [--crash-matrix] [--kill-interval-ms N]
 ///               [--quarantine DIR] [--bench] [--out FILE]
-///               [--net] [--net-clients N] [--verbose]
+///               [--net] [--net-clients N]
+///               [--cache on|off] [--cache-entries N] [--cache-bytes N]
+///               [--cache-audit-every N] [--audit-seeds N] [--verbose]
 ///
 /// Exit codes: 0 — no violations; 1 — at least one violation; 2 —
 /// usage error.
@@ -70,6 +94,7 @@
 #include "service/Server.h"
 #include "support/Pipe.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -105,8 +130,27 @@ struct SoakOptions {
   std::string OutPath;
   bool Net = false;
   unsigned NetClients = 4;
+  bool CacheEnabled = true;
+  uint64_t CacheEntries = 0;    ///< 0 = CacheOptions default.
+  uint64_t CacheBytes = 0;      ///< 0 = CacheOptions default.
+  uint64_t CacheAuditEvery = 0; ///< 0 = no self-audit sampling.
+  uint64_t AuditSeeds = 0;      ///< Nonzero selects the audit sweep.
   bool Verbose = false;
 };
+
+/// The soak's cache flags as server options. The audit PRNG is seeded
+/// from --seed so a sweep failure replays.
+CacheOptions cacheOptions(const SoakOptions &Opts) {
+  CacheOptions C;
+  C.Enabled = Opts.CacheEnabled;
+  if (Opts.CacheEntries)
+    C.MaxEntries = static_cast<unsigned>(Opts.CacheEntries);
+  if (Opts.CacheBytes)
+    C.MaxBytes = Opts.CacheBytes;
+  C.AuditEvery = static_cast<unsigned>(Opts.CacheAuditEvery);
+  C.AuditSeed = Opts.Seed ? Opts.Seed : 1;
+  return C;
+}
 
 const SliceAlgorithm AllAlgorithms[] = {
     SliceAlgorithm::Conventional,    SliceAlgorithm::Agrawal,
@@ -126,7 +170,11 @@ int usage() {
                "                   [--crash-matrix] [--kill-interval-ms N] "
                "[--quarantine DIR]\n"
                "                   [--bench] [--out FILE] [--net] "
-               "[--net-clients N] [--verbose]\n");
+               "[--net-clients N]\n"
+               "                   [--cache on|off] [--cache-entries N] "
+               "[--cache-bytes N]\n"
+               "                   [--cache-audit-every N] [--audit-seeds N] "
+               "[--verbose]\n");
   return 2;
 }
 
@@ -182,6 +230,9 @@ struct Audit {
   std::map<std::string, uint64_t> ByStatus;
   std::map<std::string, uint64_t> SliceResponses; ///< id -> count.
   uint64_t DegradedServes = 0;
+  uint64_t CachedServes = 0;
+  uint64_t AuditedServes = 0;
+  std::string StatsLine; ///< Last stats reply, raw (cache counters).
   bool RequireCrashRepro = false; ///< crashed must name an on-disk repro.
 };
 
@@ -205,6 +256,7 @@ void auditLine(const std::string &Line, Audit &A) {
   }
   if (V->find("stats")) {
     ++A.StatsReplies;
+    A.StatsLine = Line;
     return;
   }
   const JsonValue *Status = V->find("status");
@@ -235,6 +287,12 @@ void auditLine(const std::string &Line, Audit &A) {
     const JsonValue *Degraded = V->find("degraded");
     if (Degraded && Degraded->isBool() && Degraded->asBool())
       ++A.DegradedServes;
+    if (const JsonValue *Cached = V->find("cached"))
+      if (Cached->isBool() && Cached->asBool())
+        ++A.CachedServes;
+    if (const JsonValue *Audited = V->find("audited"))
+      if (Audited->isBool() && Audited->asBool())
+        ++A.AuditedServes;
     if (!V->find("lines") || !V->find("lines")->isArray())
       violation(A, "ok response without lines", Line);
   } else if (S == "resource-exhausted") {
@@ -256,8 +314,12 @@ void auditLine(const std::string &Line, Audit &A) {
 
 /// Serves \p Input on a fresh server and audits every response line.
 /// Returns the raw response text (for callers that inspect further).
+/// \p Final, when non-null, receives the server's own counters after
+/// the drain — the settled numbers, unlike an in-band {"stats"} reply,
+/// which the serve loop answers while slice work is still queued.
 std::string serveAndAudit(const SoakOptions &Opts, const std::string &Input,
-                          unsigned Threads, Audit &A) {
+                          unsigned Threads, Audit &A,
+                          ServerStats *Final = nullptr) {
   std::istringstream In(Input);
   std::ostringstream Out;
   std::ostringstream Log;
@@ -267,10 +329,13 @@ std::string serveAndAudit(const SoakOptions &Opts, const std::string &Input,
   SOpts.IsolateProcess = Opts.IsolateProcess;
   SOpts.Super.Workers = Opts.Workers;
   SOpts.QuarantineDir = Opts.QuarantineDir;
+  SOpts.Cache = cacheOptions(Opts);
   Server S(SOpts, Out, Log);
   S.recover();
   S.serve(In);
   S.finish();
+  if (Final)
+    *Final = S.stats();
   std::string Text = Out.str();
   std::istringstream Lines(Text);
   std::string Line;
@@ -280,6 +345,61 @@ std::string serveAndAudit(const SoakOptions &Opts, const std::string &Input,
   if (Opts.Verbose && !Log.str().empty())
     std::fputs(Log.str().c_str(), stderr);
   return Text;
+}
+
+/// Validates the settled cache counters after a drain: self-audit
+/// mismatches must be zero always (a mismatch means the cache served a
+/// slice that differed from a fresh computation — the one lie this
+/// whole subsystem must never tell). Returns the counters for
+/// reporting; counts violations into \p Violations.
+std::optional<CacheStats> checkCacheStats(const SoakOptions &Opts,
+                                          const ServerStats &Final,
+                                          uint64_t &Violations) {
+  if (Final.CacheEnabled != Opts.CacheEnabled) {
+    ++Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: server reports cache_enabled=%d but the soak "
+                 "configured %d\n",
+                 Final.CacheEnabled, Opts.CacheEnabled);
+    return std::nullopt;
+  }
+  if (!Opts.CacheEnabled)
+    return std::nullopt;
+  CacheStats CS = Final.Cache;
+  if (CS.AuditMismatches) {
+    ++Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: cache self-audit caught %llu divergent "
+                 "slices\n",
+                 static_cast<unsigned long long>(CS.AuditMismatches));
+  }
+  return CS;
+}
+
+/// The in-band {"stats"} reply must expose the cache telemetry block
+/// whenever the cache is configured on. Its counters are a racing
+/// snapshot (the serve loop answers stats while slice work is still
+/// queued), so only shape is asserted here — settled numbers come from
+/// checkCacheStats over Server::stats().
+void checkStatsExposure(const SoakOptions &Opts, const Audit &A,
+                        uint64_t &Violations) {
+  std::optional<JsonValue> V = JsonValue::parse(A.StatsLine);
+  const JsonValue *Stats = V && V->isObject() ? V->find("stats") : nullptr;
+  if (!Stats || !Stats->isObject()) {
+    ++Violations;
+    std::fprintf(stderr, "VIOLATION: no parseable stats reply captured\n");
+    return;
+  }
+  const JsonValue *Enabled = Stats->find("cache_enabled");
+  bool ReportsEnabled = Enabled && Enabled->isBool() && Enabled->asBool();
+  if (ReportsEnabled != Opts.CacheEnabled ||
+      (Opts.CacheEnabled && !Stats->find("cache")) ||
+      !Stats->find("rss_bytes")) {
+    ++Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: stats reply missing cache/rss telemetry: %s\n",
+                 A.StatsLine.c_str());
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -323,7 +443,8 @@ int runVolumeSoak(const SoakOptions &Opts) {
   Stream << "{\"stats\": true}\n";
 
   Audit A;
-  serveAndAudit(Opts, Stream.str(), Opts.Threads, A);
+  ServerStats Final;
+  serveAndAudit(Opts, Stream.str(), Opts.Threads, A, &Final);
 
   // Every slice request answered exactly once.
   for (const auto &[Id, N] : A.SliceResponses)
@@ -347,6 +468,8 @@ int runVolumeSoak(const SoakOptions &Opts) {
                  static_cast<unsigned long long>(A.CancelAcks),
                  static_cast<unsigned long long>(Cancels));
   }
+  std::optional<CacheStats> CS = checkCacheStats(Opts, Final, A.Violations);
+  checkStatsExposure(Opts, A, A.Violations);
 
   std::printf("jslice_soak: %llu requests (%llu slices, %llu cancels, %llu "
               "bad lines) -> %llu responses\n",
@@ -360,6 +483,16 @@ int runVolumeSoak(const SoakOptions &Opts) {
                 static_cast<unsigned long long>(N));
   std::printf("               degraded serves    %llu\n",
               static_cast<unsigned long long>(A.DegradedServes));
+  if (CS)
+    std::printf("               cache              %llu hits / %llu misses, "
+                "%llu coalesced, %llu evictions, %llu audits (%llu "
+                "mismatches)\n",
+                static_cast<unsigned long long>(CS->Hits),
+                static_cast<unsigned long long>(CS->Misses),
+                static_cast<unsigned long long>(CS->Coalesced),
+                static_cast<unsigned long long>(CS->Evictions),
+                static_cast<unsigned long long>(CS->Audits),
+                static_cast<unsigned long long>(CS->AuditMismatches));
   std::printf("               violations         %llu\n",
               static_cast<unsigned long long>(A.Violations));
   return A.Violations ? 1 : 0;
@@ -369,7 +502,16 @@ int runVolumeSoak(const SoakOptions &Opts) {
 // Fault-injection sweep
 //===----------------------------------------------------------------------===//
 
-int runFaultSweep(const SoakOptions &Opts) {
+int runFaultSweep(const SoakOptions &CliOpts) {
+  // Each request goes three times: miss-and-build, then two cache hits
+  // with audit-every-hit, so the sweep's ordinal space covers
+  // cache.key / cache.lookup / cache.insert / cache.hit / cache.audit
+  // alongside the analysis pipeline. A fault on any cache checkpoint
+  // must degrade to the plain ladder, never to a lost or wrong answer.
+  constexpr unsigned Reps = 3;
+  SoakOptions Opts = CliOpts;
+  if (Opts.CacheEnabled && !Opts.CacheAuditEvery)
+    Opts.CacheAuditEvery = 1;
   std::vector<SoakProgram> Programs = buildPrograms(Opts);
   if (Programs.size() > 5)
     Programs.resize(5); // Every ordinal of five programs is plenty.
@@ -377,12 +519,15 @@ int runFaultSweep(const SoakOptions &Opts) {
   uint64_t FaultRuns = 0, Violations = 0;
   for (size_t PI = 0; PI != Programs.size(); ++PI) {
     const SoakProgram &P = Programs[PI];
-    ServiceRequest R;
-    R.Id = "f" + std::to_string(PI);
-    R.Program = P.Source;
-    R.Line = P.Criteria.front().Line;
-    R.Vars = P.Criteria.front().Vars;
-    std::string Input = R.toJson().str() + "\n";
+    std::string Input;
+    for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+      ServiceRequest R;
+      R.Id = "f" + std::to_string(PI) + "-" + std::to_string(Rep);
+      R.Program = P.Source;
+      R.Line = P.Criteria.front().Line;
+      R.Vars = P.Criteria.front().Vars;
+      Input += R.toJson().str() + "\n";
+    }
 
     // Size the clean serve in checkpoints (threads=1 keeps the
     // process-wide fault ordinal deterministic).
@@ -400,25 +545,32 @@ int runFaultSweep(const SoakOptions &Opts) {
       Audit A;
       serveAndAudit(Opts, Input, /*Threads=*/1, A);
       Violations += A.Violations;
-      if (A.SliceResponses.size() != 1) {
+      bool Once = A.SliceResponses.size() == Reps;
+      for (const auto &[Id, N] : A.SliceResponses)
+        Once = Once && N == 1;
+      if (!Once) {
         ++Violations;
         std::fprintf(stderr,
-                     "VIOLATION: fault@%llu of program %zu: request not "
-                     "answered exactly once\n",
-                     static_cast<unsigned long long>(At), PI);
+                     "VIOLATION: fault@%llu of program %zu: %zu of %u "
+                     "requests answered exactly once\n",
+                     static_cast<unsigned long long>(At), PI,
+                     A.SliceResponses.size(), Reps);
       }
     }
 
-    // Disarmed, the request must be served again (no sticky state).
+    // Disarmed, all three must be served again (no sticky state), and
+    // the cache's every-hit audit must have found nothing.
     Audit A;
-    std::string Text = serveAndAudit(Opts, Input, /*Threads=*/1, A);
+    ServerStats Final;
+    std::string Text = serveAndAudit(Opts, Input, /*Threads=*/1, A, &Final);
     Violations += A.Violations;
-    if (A.ByStatus["ok"] != 1) {
+    if (A.ByStatus["ok"] != Reps) {
       ++Violations;
       std::fprintf(stderr,
                    "VIOLATION: program %zu not served after the sweep: %s\n",
                    PI, Text.c_str());
     }
+    checkCacheStats(Opts, Final, Violations);
     if (Opts.Verbose)
       std::fprintf(stderr, "fault sweep program %zu: %llu checkpoints\n", PI,
                    static_cast<unsigned long long>(Total));
@@ -476,6 +628,7 @@ int runCrashMatrix(const SoakOptions &Opts) {
     SOpts.Super.BreakerThreshold = Opts.BreakerThreshold;
   SOpts.QuarantineDir = Opts.QuarantineDir;
   SOpts.JournalPath = Opts.JournalPath;
+  SOpts.Cache = cacheOptions(Opts);
   Server S(SOpts, Out, Log);
 
   if (!S.supervisor()) {
@@ -621,6 +774,7 @@ int runNetSoak(const SoakOptions &Opts) {
     SOpts.Super.BreakerThreshold = Opts.BreakerThreshold;
   SOpts.QuarantineDir = Opts.QuarantineDir;
   SOpts.JournalPath = Opts.JournalPath;
+  SOpts.Cache = cacheOptions(Opts);
   std::ostringstream Unused; // TCP mode routes responses via sinks.
   std::ostringstream Log;
   Server S(SOpts, Unused, Log);
@@ -813,6 +967,11 @@ int runNetSoak(const SoakOptions &Opts) {
       std::fprintf(stderr, "VIOLATION: stats reply missing supervisor "
                            "counters in process mode\n");
     }
+    if (Opts.CacheEnabled && (!Stats || !Stats->find("cache"))) {
+      ++StatsViolations;
+      std::fprintf(stderr, "VIOLATION: stats reply missing cache "
+                           "counters with the cache enabled\n");
+    }
   }
 
   Proxy.stop();
@@ -907,7 +1066,7 @@ struct BenchRun {
 };
 
 BenchRun benchMode(const SoakOptions &Opts, const std::string &Input,
-                   bool Process) {
+                   bool Process, const CacheOptions &Cache) {
   std::istringstream In(Input);
   std::ostringstream Out;
   std::ostringstream Log;
@@ -916,6 +1075,7 @@ BenchRun benchMode(const SoakOptions &Opts, const std::string &Input,
   SOpts.IsolateProcess = Process;
   SOpts.Super.Workers = Opts.Workers;
   SOpts.QuarantineDir = Opts.QuarantineDir;
+  SOpts.Cache = Cache;
   Server S(SOpts, Out, Log);
 
   auto Start = std::chrono::steady_clock::now();
@@ -936,14 +1096,19 @@ BenchRun benchMode(const SoakOptions &Opts, const std::string &Input,
 /// writer thread floods every request line while the main thread
 /// drains responses — the socket-transport cost relative to the
 /// in-process stdin path. Returns nullopt when the listener cannot
-/// start.
+/// start. With \p A non-null every complete response line is also
+/// audited, so a cached-vs-cacheless comparison carries the full
+/// exactly-once guarantee, not just a newline count.
 std::optional<BenchRun> benchTcpMode(const SoakOptions &Opts,
                                      const std::string &Input,
-                                     uint64_t Slices) {
+                                     uint64_t Slices,
+                                     const CacheOptions &Cache,
+                                     Audit *A = nullptr) {
   std::ostringstream Unused, Log;
   ServerOptions SOpts;
   SOpts.Threads = Opts.Threads;
   SOpts.QuarantineDir = Opts.QuarantineDir;
+  SOpts.Cache = Cache;
   Server S(SOpts, Unused, Log);
   TcpServerOptions TOpts;
   TcpServer T(S, TOpts, Log);
@@ -973,13 +1138,24 @@ std::optional<BenchRun> benchTcpMode(const SoakOptions &Opts,
     });
     uint64_t Got = 0;
     char Chunk[65536];
+    std::string Partial;
     while (Got < Slices) {
       int64_t N = recvSome(Fd, Chunk, sizeof(Chunk));
       if (N <= 0)
         break;
-      for (int64_t I = 0; I != N; ++I)
-        if (Chunk[I] == '\n')
-          ++Got;
+      for (int64_t I = 0; I != N; ++I) {
+        if (Chunk[I] != '\n') {
+          if (A)
+            Partial.push_back(Chunk[I]);
+          continue;
+        }
+        ++Got;
+        if (A) {
+          if (!Partial.empty())
+            auditLine(Partial, *A);
+          Partial.clear();
+        }
+      }
     }
     Writer.join();
     closeQuietly(Fd);
@@ -996,6 +1172,70 @@ std::optional<BenchRun> benchTcpMode(const SoakOptions &Opts,
   uint64_t Answered = R.Stats.Served + R.Stats.Refused + R.Stats.Errors;
   R.ThroughputRps = R.WallMs > 0 ? Answered / (R.WallMs / 1000.0) : 0;
   return R;
+}
+
+/// A Zipf-distributed request stream: the rank-r program is drawn with
+/// probability proportional to 1/r — the textbook shape of repeated
+/// analysis traffic (a few hot programs, a long cold tail), and the
+/// regime a content-addressed cache is built for. Criteria and
+/// algorithms still rotate per request, so hits exercise the whole
+/// closure table of each cached artifact rather than one memoized row.
+std::string buildZipfStream(const SoakOptions &Opts,
+                            const std::vector<SoakProgram> &Programs,
+                            uint64_t &Slices) {
+  std::vector<double> Cdf;
+  Cdf.reserve(Programs.size());
+  double Sum = 0;
+  for (size_t R = 0; R != Programs.size(); ++R) {
+    Sum += 1.0 / static_cast<double>(R + 1);
+    Cdf.push_back(Sum);
+  }
+  uint64_t Rng = Opts.Seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
+  std::ostringstream Stream;
+  Slices = 0;
+  for (uint64_t I = 0; I != Opts.Requests; ++I) {
+    Rng ^= Rng << 13;
+    Rng ^= Rng >> 7;
+    Rng ^= Rng << 17;
+    double U = static_cast<double>(Rng >> 11) *
+               (1.0 / 9007199254740992.0) * Sum;
+    size_t Rank = static_cast<size_t>(
+        std::lower_bound(Cdf.begin(), Cdf.end(), U) - Cdf.begin());
+    if (Rank >= Programs.size())
+      Rank = Programs.size() - 1;
+    const SoakProgram &P = Programs[Rank];
+    ServiceRequest R;
+    R.Id = "z" + std::to_string(I);
+    R.Program = P.Source;
+    const Criterion &C = P.Criteria[I % P.Criteria.size()];
+    R.Line = C.Line;
+    R.Vars = C.Vars;
+    R.Algorithm = AllAlgorithms[I % (sizeof(AllAlgorithms) /
+                                     sizeof(AllAlgorithms[0]))];
+    Stream << R.toJson().str() << "\n";
+    ++Slices;
+  }
+  return Stream.str();
+}
+
+/// The exactly-once audit over one Zipf bench pass.
+uint64_t zipfExactlyOnce(Audit &A, uint64_t Slices, const char *Tag) {
+  uint64_t Violations = A.Violations;
+  for (const auto &[Id, N] : A.SliceResponses)
+    if (N != 1) {
+      ++Violations;
+      std::fprintf(stderr, "VIOLATION: zipf %s: id %s answered %llu times\n",
+                   Tag, Id.c_str(), static_cast<unsigned long long>(N));
+    }
+  if (A.SliceResponses.size() != Slices) {
+    ++Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: zipf %s: %llu requests, %zu distinct "
+                 "responses\n",
+                 Tag, static_cast<unsigned long long>(Slices),
+                 A.SliceResponses.size());
+  }
+  return Violations;
 }
 #endif
 
@@ -1019,17 +1259,24 @@ int runBench(const SoakOptions &Opts) {
   uint64_t Slices = 0;
   std::string Input = buildSliceStream(Opts, Programs, Slices);
 
-  BenchRun Thread = benchMode(Opts, Input, /*Process=*/false);
-  BenchRun Process = benchMode(Opts, Input, /*Process=*/true);
+  // The mode rows measure isolation and transport overhead, so they
+  // run cache-off: a hit-heavy round-robin stream would otherwise turn
+  // them into a second cache benchmark.
+  CacheOptions CacheOff = cacheOptions(Opts);
+  CacheOff.Enabled = false;
+  BenchRun Thread = benchMode(Opts, Input, /*Process=*/false, CacheOff);
+  BenchRun Process = benchMode(Opts, Input, /*Process=*/true, CacheOff);
   std::optional<BenchRun> Tcp;
 #ifdef JSLICE_HAVE_POSIX_PROCESS
-  Tcp = benchTcpMode(Opts, Input, Slices);
+  Tcp = benchTcpMode(Opts, Input, Slices, CacheOff);
 #endif
 
   JsonValue Root = JsonValue::object();
   Root.set("benchmark", "jslice_soak --bench");
   Root.set("requests", Slices);
   Root.set("programs", static_cast<uint64_t>(Programs.size()));
+  Root.set("hardware_concurrency",
+           static_cast<uint64_t>(std::thread::hardware_concurrency()));
   JsonValue Modes = JsonValue::object();
   Modes.set("thread", benchJson(Thread));
   Modes.set("process", benchJson(Process));
@@ -1051,6 +1298,65 @@ int runBench(const SoakOptions &Opts) {
     Root.set("tcp_overhead", std::move(Net));
   }
 
+  // The cache benchmark: the same corpus under a Zipf draw, through
+  // TCP, cache-off then cache-on with self-audit sampling. Both passes
+  // carry the exactly-once audit; the cache-on pass must additionally
+  // end with zero self-audit mismatches.
+  uint64_t ZipfViolations = 0;
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  {
+    double ZipfSpeedup = 0;
+    uint64_t ZSlices = 0;
+    std::string ZInput = buildZipfStream(Opts, Programs, ZSlices);
+    CacheOptions CacheOn = cacheOptions(Opts);
+    CacheOn.Enabled = true;
+    if (!CacheOn.AuditEvery)
+      CacheOn.AuditEvery = 16;
+    Audit AOff, AOn;
+    std::optional<BenchRun> ZOff =
+        benchTcpMode(Opts, ZInput, ZSlices, CacheOff, &AOff);
+    std::optional<BenchRun> ZOn =
+        benchTcpMode(Opts, ZInput, ZSlices, CacheOn, &AOn);
+    if (ZOff && ZOn) {
+      ZipfViolations += zipfExactlyOnce(AOff, ZSlices, "cache-off");
+      ZipfViolations += zipfExactlyOnce(AOn, ZSlices, "cache-on");
+      if (ZOn->Stats.Cache.AuditMismatches) {
+        ++ZipfViolations;
+        std::fprintf(stderr,
+                     "VIOLATION: zipf cache-on: %llu self-audit "
+                     "mismatches\n",
+                     static_cast<unsigned long long>(
+                         ZOn->Stats.Cache.AuditMismatches));
+      }
+      if (ZOff->ThroughputRps > 0)
+        ZipfSpeedup = ZOn->ThroughputRps / ZOff->ThroughputRps;
+      JsonValue Z = JsonValue::object();
+      Z.set("distribution", "zipf(s=1)");
+      Z.set("requests", ZSlices);
+      Z.set("cache_off", benchJson(*ZOff));
+      JsonValue OnJ = benchJson(*ZOn);
+      OnJ.set("cached_serves", AOn.CachedServes);
+      OnJ.set("audited_serves", AOn.AuditedServes);
+      OnJ.set("cache", ZOn->Stats.Cache.toJson());
+      Z.set("cache_on", std::move(OnJ));
+      Z.set("speedup", ZipfSpeedup);
+      Z.set("audit_violations", ZipfViolations);
+      Root.set("zipf", std::move(Z));
+      std::printf("jslice_soak: zipf — cache off %.0f req/s, cache on "
+                  "%.0f req/s (%.1fx), %llu/%llu cached, %llu audited, "
+                  "%llu violations\n",
+                  ZOff->ThroughputRps, ZOn->ThroughputRps, ZipfSpeedup,
+                  static_cast<unsigned long long>(AOn.CachedServes),
+                  static_cast<unsigned long long>(ZSlices),
+                  static_cast<unsigned long long>(AOn.AuditedServes),
+                  static_cast<unsigned long long>(ZipfViolations));
+    } else {
+      std::fprintf(stderr,
+                   "jslice_soak: zipf bench skipped (no TCP listener)\n");
+    }
+  }
+#endif
+
   std::string Text = Root.str();
   if (!Opts.OutPath.empty()) {
     std::ofstream OutFile(Opts.OutPath, std::ios::trunc);
@@ -1069,7 +1375,123 @@ int runBench(const SoakOptions &Opts) {
     std::printf(" | tcp %.0f req/s p50 %.2fms", Tcp->ThroughputRps,
                 Tcp->Stats.P50Ms);
   std::printf("\n");
-  return 0;
+  return ZipfViolations ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Cache-correctness audit sweep
+//===----------------------------------------------------------------------===//
+
+/// For each seed: generate a program (alternating dialects), request
+/// every mined criterion twice through a fresh audit-every-hit server,
+/// and hold the stream to three promises — identical requests slice
+/// identically, the cache self-audit reports zero mismatches, and the
+/// sweep as a whole actually produced cache hits (a vacuously green
+/// sweep is a violation, not a pass).
+int runAuditSweep(const SoakOptions &CliOpts) {
+  SoakOptions Opts = CliOpts;
+  Opts.CacheAuditEvery = 1;
+  Opts.CacheEnabled = true;
+  uint64_t Violations = 0, Hits = 0, Audits = 0, Pairs = 0, Served = 0;
+  // Weiser (the last algorithm) deliberately bypasses the cache, so the
+  // sweep rotates over the other nine.
+  const size_t CachedAlgos =
+      sizeof(AllAlgorithms) / sizeof(AllAlgorithms[0]) - 1;
+
+  for (uint64_t SI = 0; SI != CliOpts.AuditSeeds; ++SI) {
+    GenOptions Gen;
+    Gen.Seed = Opts.Seed + SI;
+    Gen.TargetStmts = Opts.TargetStmts;
+    Gen.AllowGotos = (SI % 2) == 1;
+    std::string Source = generateProgram(Gen);
+    ErrorOr<Analysis> An = Analysis::fromSource(Source, Budget::unlimited());
+    if (!An)
+      continue;
+    std::vector<Criterion> Crits = reachableWriteCriteria(*An);
+    if (Crits.empty())
+      continue;
+    if (Crits.size() > 3)
+      Crits.resize(3); // Three criteria per program keeps 500 seeds fast.
+
+    std::ostringstream Stream;
+    for (size_t CI = 0; CI != Crits.size(); ++CI) {
+      ServiceRequest R;
+      R.Program = Source;
+      R.Line = Crits[CI].Line;
+      R.Vars = Crits[CI].Vars;
+      R.Algorithm = AllAlgorithms[(SI + CI) % CachedAlgos];
+      R.Id = "a" + std::to_string(CI);
+      Stream << R.toJson().str() << "\n";
+      R.Id = "b" + std::to_string(CI);
+      Stream << R.toJson().str() << "\n";
+    }
+
+    Audit A;
+    ServerStats Final;
+    std::string Text =
+        serveAndAudit(Opts, Stream.str(), /*Threads=*/1, A, &Final);
+    Violations += A.Violations;
+
+    // Pair the cold build with its cached replay.
+    std::map<std::string, std::pair<std::string, std::string>> ById;
+    std::istringstream Lines(Text);
+    std::string Line;
+    while (std::getline(Lines, Line)) {
+      std::optional<JsonValue> V = JsonValue::parse(Line);
+      if (!V || !V->isObject())
+        continue;
+      const JsonValue *Id = V->find("id");
+      const JsonValue *Status = V->find("status");
+      if (!Id || !Id->isString() || !Status || !Status->isString())
+        continue;
+      const JsonValue *Ls = V->find("lines");
+      ById[Id->asString()] = {Status->asString(), Ls ? Ls->str() : ""};
+    }
+    for (size_t CI = 0; CI != Crits.size(); ++CI) {
+      auto AIt = ById.find("a" + std::to_string(CI));
+      auto BIt = ById.find("b" + std::to_string(CI));
+      if (AIt == ById.end() || BIt == ById.end()) {
+        ++Violations;
+        std::fprintf(stderr,
+                     "VIOLATION: seed %llu criterion %zu lost a response\n",
+                     static_cast<unsigned long long>(Gen.Seed), CI);
+        continue;
+      }
+      ++Pairs;
+      if (AIt->second != BIt->second) {
+        ++Violations;
+        std::fprintf(stderr,
+                     "VIOLATION: seed %llu criterion %zu: cold build and "
+                     "cached replay disagree (%s/%s vs %s/%s)\n",
+                     static_cast<unsigned long long>(Gen.Seed), CI,
+                     AIt->second.first.c_str(), AIt->second.second.c_str(),
+                     BIt->second.first.c_str(), BIt->second.second.c_str());
+      }
+      if (AIt->second.first == "ok")
+        ++Served;
+    }
+    if (std::optional<CacheStats> CS =
+            checkCacheStats(Opts, Final, Violations)) {
+      Hits += CS->Hits;
+      Audits += CS->Audits;
+    }
+  }
+
+  if (!Hits || !Audits) {
+    ++Violations;
+    std::fprintf(stderr, "VIOLATION: audit sweep produced no %s — the "
+                         "sweep proved nothing\n",
+                 Hits ? "audited hits" : "cache hits");
+  }
+  std::printf("jslice_soak: audit sweep — %llu seeds, %llu request pairs "
+              "(%llu served ok), %llu hits, %llu audits, %llu violations\n",
+              static_cast<unsigned long long>(CliOpts.AuditSeeds),
+              static_cast<unsigned long long>(Pairs),
+              static_cast<unsigned long long>(Served),
+              static_cast<unsigned long long>(Hits),
+              static_cast<unsigned long long>(Audits),
+              static_cast<unsigned long long>(Violations));
+  return Violations ? 1 : 0;
 }
 
 } // namespace
@@ -1088,7 +1510,9 @@ int main(int argc, char **argv) {
     if (Arg == "--requests" || Arg == "--programs" || Arg == "--stmts" ||
         Arg == "--threads" || Arg == "--seed" || Arg == "--fault-stride" ||
         Arg == "--workers" || Arg == "--kill-interval-ms" ||
-        Arg == "--breaker-threshold" || Arg == "--net-clients") {
+        Arg == "--breaker-threshold" || Arg == "--net-clients" ||
+        Arg == "--cache-entries" || Arg == "--cache-bytes" ||
+        Arg == "--cache-audit-every" || Arg == "--audit-seeds") {
       std::optional<std::string> Value = NextValue();
       std::optional<uint64_t> N = Value ? parseCount(*Value) : std::nullopt;
       if (!N) {
@@ -1113,8 +1537,23 @@ int main(int argc, char **argv) {
         Opts.BreakerThreshold = static_cast<unsigned>(*N);
       else if (Arg == "--net-clients")
         Opts.NetClients = static_cast<unsigned>(std::max<uint64_t>(1, *N));
+      else if (Arg == "--cache-entries")
+        Opts.CacheEntries = *N;
+      else if (Arg == "--cache-bytes")
+        Opts.CacheBytes = *N;
+      else if (Arg == "--cache-audit-every")
+        Opts.CacheAuditEvery = *N;
+      else if (Arg == "--audit-seeds")
+        Opts.AuditSeeds = *N;
       else
         Opts.FaultStride = *N;
+    } else if (Arg == "--cache") {
+      std::optional<std::string> Value = NextValue();
+      if (!Value || (*Value != "on" && *Value != "off")) {
+        std::fprintf(stderr, "error: --cache expects 'on' or 'off'\n");
+        return usage();
+      }
+      Opts.CacheEnabled = *Value == "on";
     } else if (Arg == "--journal" || Arg == "--quarantine" ||
                Arg == "--out" || Arg == "--isolate") {
       std::optional<std::string> Value = NextValue();
@@ -1151,6 +1590,8 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (Opts.AuditSeeds)
+    return runAuditSweep(Opts);
   if (Opts.Net)
     return runNetSoak(Opts); // --crash-matrix layers kills on top.
   if (Opts.CrashMatrix)
