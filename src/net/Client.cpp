@@ -8,6 +8,7 @@
 #include "net/Client.h"
 
 #include "net/Socket.h"
+#include "service/Json.h"
 #include "support/Pipe.h"
 
 #include <cerrno>
@@ -24,8 +25,19 @@ using namespace jslice;
 using Clock = std::chrono::steady_clock;
 
 bool jslice::isRetriableInFlight(const std::string &Response) {
-  return Response.find("\"bad-request\"") != std::string::npos &&
-         Response.find("request id already in flight") != std::string::npos;
+  // Match the parsed envelope fields, not substrings of the raw line:
+  // a response that merely *echoes* the magic strings (a program body
+  // or diagnostic containing them) must not be misread as "our earlier
+  // submission is still in flight" and resubmitted.
+  std::optional<JsonValue> V = JsonValue::parse(Response);
+  if (!V || !V->isObject())
+    return false;
+  const JsonValue *Status = V->find("status");
+  const JsonValue *Error = V->find("error");
+  return Status && Status->isString() &&
+         Status->asString() == "bad-request" && Error &&
+         Error->isString() &&
+         Error->asString() == "request id already in flight";
 }
 
 ClientConnection::ClientConnection(const ClientOptions &O) : Opts(O) {

@@ -10,6 +10,7 @@
 #include "support/Pipe.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #ifdef JSLICE_HAVE_POSIX_PROCESS
@@ -52,6 +53,18 @@ namespace {
 
 void setCloexec(int Fd) { ::fcntl(Fd, F_SETFD, FD_CLOEXEC); }
 
+/// Milliseconds left until \p Deadline, clamped at 0; -1 when the
+/// caller asked to wait forever. Same discipline as support/Pipe.cpp:
+/// every poll() restart after EINTR waits the *remaining* time, so a
+/// signal storm cannot stretch the timeout.
+int remainingMs(int TimeoutMs, std::chrono::steady_clock::time_point Deadline) {
+  if (TimeoutMs < 0)
+    return -1;
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Deadline - std::chrono::steady_clock::now());
+  return Left.count() <= 0 ? 0 : static_cast<int>(Left.count());
+}
+
 /// Resolves \p Host:\p Port into an IPv4 sockaddr. False with a
 /// reason when the name does not resolve.
 bool resolveV4(const std::string &Host, uint16_t Port, sockaddr_in &Out,
@@ -78,7 +91,7 @@ bool resolveV4(const std::string &Host, uint16_t Port, sockaddr_in &Out,
 } // namespace
 
 int jslice::listenTcp(const std::string &Host, uint16_t Port, int Backlog,
-                      std::string &Err) {
+                      std::string &Err, bool ReusePort) {
   sockaddr_in Addr;
   if (!resolveV4(Host, Port, Addr, Err))
     return -1;
@@ -90,6 +103,19 @@ int jslice::listenTcp(const std::string &Host, uint16_t Port, int Backlog,
   setCloexec(Fd);
   int One = 1;
   ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (ReusePort) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(Fd, SOL_SOCKET, SO_REUSEPORT, &One, sizeof(One)) != 0) {
+      Err = std::string("setsockopt(SO_REUSEPORT): ") + std::strerror(errno);
+      ::close(Fd);
+      return -1;
+    }
+#else
+    Err = "SO_REUSEPORT unavailable on this platform";
+    ::close(Fd);
+    return -1;
+#endif
+  }
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
     Err = std::string("bind: ") + std::strerror(errno);
     ::close(Fd);
@@ -142,8 +168,15 @@ int jslice::connectTcp(const std::string &Host, uint16_t Port,
     P.fd = Fd;
     P.events = POLLOUT;
     P.revents = 0;
+    // The timeout is a deadline, not a per-poll() budget: EINTR
+    // restarts wait only the remaining time. Restarting the full
+    // TimeoutMs per signal let a steady signal storm hold a dead
+    // connect attempt open indefinitely.
+    std::chrono::steady_clock::time_point Deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(TimeoutMs < 0 ? 0 : TimeoutMs);
     for (;;) {
-      int N = ::poll(&P, 1, TimeoutMs < 0 ? -1 : TimeoutMs);
+      int N = ::poll(&P, 1, remainingMs(TimeoutMs, Deadline));
       if (N < 0 && errno == EINTR)
         continue;
       if (N <= 0) {
@@ -229,7 +262,8 @@ int64_t jslice::recvSome(int Fd, void *Buf, size_t N) {
 
 #else // !JSLICE_HAVE_POSIX_PROCESS
 
-int jslice::listenTcp(const std::string &, uint16_t, int, std::string &Err) {
+int jslice::listenTcp(const std::string &, uint16_t, int, std::string &Err,
+                      bool) {
   Err = "TCP transport unavailable on this platform";
   return -1;
 }

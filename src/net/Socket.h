@@ -37,10 +37,14 @@ bool parseHostPort(const std::string &Spec, std::string &Host,
 
 /// Creates a listening TCP socket on \p Host:\p Port (SO_REUSEADDR,
 /// close-on-exec, non-blocking). Port 0 binds an ephemeral port — read
-/// it back with tcpLocalPort(). Returns the fd, or -1 with a
-/// human-readable reason in \p Err.
+/// it back with tcpLocalPort(). With \p ReusePort, SO_REUSEPORT is set
+/// before bind so several listeners (one per transport shard) can
+/// share the port and let the kernel spread accepted connections;
+/// fails with a reason on platforms without the option, and the
+/// sharded transport falls back to fd handoff. Returns the fd, or -1
+/// with a human-readable reason in \p Err.
 int listenTcp(const std::string &Host, uint16_t Port, int Backlog,
-              std::string &Err);
+              std::string &Err, bool ReusePort = false);
 
 /// Accepts one pending connection from \p ListenFd (close-on-exec,
 /// non-blocking). Returns the fd, or -1 when nothing is pending or on

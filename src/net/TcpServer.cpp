@@ -1,4 +1,4 @@
-//===- net/TcpServer.cpp - Socket transport with fault containment ---------===//
+//===- net/TcpServer.cpp - Sharded socket transport with containment -------===//
 //
 // Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
 // Programs with Jump Statements", PLDI 1994.
@@ -16,6 +16,8 @@
 #include <chrono>
 #include <cstddef>
 #include <ostream>
+#include <sstream>
+#include <thread>
 
 #ifdef JSLICE_HAVE_POSIX_PROCESS
 #include <poll.h>
@@ -40,6 +42,7 @@ JsonValue TransportStats::toJson() const {
   V.set("lines_dispatched", LinesDispatched);
   V.set("responses_delivered", ResponsesDelivered);
   V.set("in_buf_high_water_bytes", InBufHighWaterBytes);
+  V.set("drain_discarded_bytes", DrainDiscardedBytes);
   return V;
 }
 
@@ -51,9 +54,9 @@ struct TcpServer::ConnShared {
 
   std::mutex M;
   WriteBuffer Out;
-  uint64_t Pending = 0;   ///< Dispatched lines awaiting their response.
+  uint64_t Pending = 0;    ///< Dispatched lines awaiting their response.
   bool Overflowed = false; ///< append() refused: reader has stalled.
-  bool Closed = false;     ///< Loop closed the fd; late responses drop.
+  bool Closed = false;     ///< Owning shard closed the fd; late responses drop.
 };
 
 struct TcpServer::Conn {
@@ -69,159 +72,347 @@ struct TcpServer::Conn {
   ResponseSink Sink;
 };
 
+/// One reactor thread's world. Everything here — fds, buffers, timers,
+/// counters — is touched only by the owning thread, except the inbox
+/// (fed by shard 0 under its mutex), the wake pipe (written by anyone),
+/// and the counters (atomics so stats() reads race-free).
+struct TcpServer::Shard {
+  unsigned Index = 0;
+  int ListenFd = -1; ///< Own listener (REUSEPORT) or shard 0's (handoff).
+  std::shared_ptr<Pipe> Wake;
+  std::vector<std::unique_ptr<Conn>> Conns;
+
+  /// Handoff inbox: shard 0 pushes accepted fds here (slot already
+  /// acquired), then writes a wake byte; the owner adopts on wakeup.
+  std::mutex InboxM;
+  std::vector<int> Inbox;
+  uint64_t HandoffNext = 0; ///< Round-robin cursor; shard 0 only.
+
+  std::atomic<uint64_t> Accepted{0}, RefusedAtCap{0}, Active{0},
+      CleanClosed{0}, IdleClosed{0}, DeadlineClosed{0},
+      BackpressureClosed{0}, PeerResets{0}, OversizedLines{0},
+      LinesDispatched{0}, InBufHighWaterBytes{0}, DrainDiscardedBytes{0};
+  /// Shared with this shard's sinks (which may outlive this object).
+  std::shared_ptr<std::atomic<uint64_t>> Delivered =
+      std::make_shared<std::atomic<uint64_t>>(0);
+};
+
 TcpServer::TcpServer(Server &S, const TcpServerOptions &Opts,
                      std::ostream &Log)
-    : Srv(S), Opts(Opts), Log(Log),
-      ResponsesDelivered(std::make_shared<std::atomic<uint64_t>>(0)) {}
+    : Srv(S), Opts(Opts), Log(Log) {}
 
 TcpServer::~TcpServer() {
-  closeQuietly(ListenFd);
 #ifdef JSLICE_HAVE_POSIX_PROCESS
-  for (auto &C : Conns)
-    if (C && C->Fd >= 0) {
-      std::lock_guard<std::mutex> L(C->Shared->M);
-      C->Shared->Closed = true;
-      closeQuietly(C->Fd);
-    }
+  for (auto &S : Shards) {
+    closeQuietly(S->ListenFd);
+    for (int Fd : S->Inbox)
+      closeQuietly(Fd);
+    for (auto &C : S->Conns)
+      if (C && C->Fd >= 0) {
+        std::lock_guard<std::mutex> L(C->Shared->M);
+        C->Shared->Closed = true;
+        closeQuietly(C->Fd);
+      }
+  }
 #endif
 }
 
+TransportStats TcpServer::shardStats(unsigned Index) const {
+  TransportStats T;
+  if (Index >= Shards.size())
+    return T;
+  const Shard &S = *Shards[Index];
+  T.Accepted = S.Accepted.load(std::memory_order_relaxed);
+  T.RefusedAtCap = S.RefusedAtCap.load(std::memory_order_relaxed);
+  T.Active = S.Active.load(std::memory_order_relaxed);
+  T.CleanClosed = S.CleanClosed.load(std::memory_order_relaxed);
+  T.IdleClosed = S.IdleClosed.load(std::memory_order_relaxed);
+  T.DeadlineClosed = S.DeadlineClosed.load(std::memory_order_relaxed);
+  T.BackpressureClosed = S.BackpressureClosed.load(std::memory_order_relaxed);
+  T.PeerResets = S.PeerResets.load(std::memory_order_relaxed);
+  T.OversizedLines = S.OversizedLines.load(std::memory_order_relaxed);
+  T.LinesDispatched = S.LinesDispatched.load(std::memory_order_relaxed);
+  T.ResponsesDelivered = S.Delivered->load(std::memory_order_relaxed);
+  T.InBufHighWaterBytes =
+      S.InBufHighWaterBytes.load(std::memory_order_relaxed);
+  T.DrainDiscardedBytes =
+      S.DrainDiscardedBytes.load(std::memory_order_relaxed);
+  return T;
+}
+
 TransportStats TcpServer::stats() const {
-  TransportStats S;
-  S.Accepted = Accepted.load(std::memory_order_relaxed);
-  S.RefusedAtCap = RefusedAtCap.load(std::memory_order_relaxed);
-  S.Active = Active.load(std::memory_order_relaxed);
-  S.CleanClosed = CleanClosed.load(std::memory_order_relaxed);
-  S.IdleClosed = IdleClosed.load(std::memory_order_relaxed);
-  S.DeadlineClosed = DeadlineClosed.load(std::memory_order_relaxed);
-  S.BackpressureClosed = BackpressureClosed.load(std::memory_order_relaxed);
-  S.PeerResets = PeerResets.load(std::memory_order_relaxed);
-  S.OversizedLines = OversizedLines.load(std::memory_order_relaxed);
-  S.LinesDispatched = LinesDispatched.load(std::memory_order_relaxed);
-  S.ResponsesDelivered =
-      ResponsesDelivered->load(std::memory_order_relaxed);
-  S.InBufHighWaterBytes =
-      InBufHighWaterBytes.load(std::memory_order_relaxed);
-  return S;
+  TransportStats M;
+  for (unsigned I = 0; I != Shards.size(); ++I) {
+    TransportStats T = shardStats(I);
+    M.Accepted += T.Accepted;
+    M.RefusedAtCap += T.RefusedAtCap;
+    M.Active += T.Active;
+    M.CleanClosed += T.CleanClosed;
+    M.IdleClosed += T.IdleClosed;
+    M.DeadlineClosed += T.DeadlineClosed;
+    M.BackpressureClosed += T.BackpressureClosed;
+    M.PeerResets += T.PeerResets;
+    M.OversizedLines += T.OversizedLines;
+    M.LinesDispatched += T.LinesDispatched;
+    M.ResponsesDelivered += T.ResponsesDelivered;
+    // A watermark, not a flow counter: the merged view is the largest
+    // retention any one shard ever saw, not the sum of the maxima.
+    M.InBufHighWaterBytes =
+        std::max(M.InBufHighWaterBytes, T.InBufHighWaterBytes);
+    M.DrainDiscardedBytes += T.DrainDiscardedBytes;
+  }
+  return M;
+}
+
+JsonValue TcpServer::transportJson() const {
+  JsonValue V = stats().toJson();
+  V.set("shards", static_cast<uint64_t>(Shards.size()));
+  JsonValue Per = JsonValue::array();
+  for (unsigned I = 0; I != Shards.size(); ++I)
+    Per.push(shardStats(I).toJson());
+  V.set("per_shard", std::move(Per));
+  return V;
+}
+
+void TcpServer::logLine(const std::string &Line) {
+  std::lock_guard<std::mutex> L(LogM);
+  Log << Line << "\n";
 }
 
 #ifdef JSLICE_HAVE_POSIX_PROCESS
 
 bool TcpServer::start(std::string &Err) {
-  Wake = std::make_shared<Pipe>();
-  if (!Wake->make()) {
-    Err = "cannot create wake pipe";
-    return false;
+  unsigned N = Opts.Shards ? Opts.Shards
+                           : std::max(1u, std::thread::hardware_concurrency());
+  N = std::min(N, 64u);
+
+  ConnSlots.store(static_cast<int64_t>(Opts.MaxConnections),
+                  std::memory_order_relaxed);
+
+  for (unsigned I = 0; I != N; ++I) {
+    auto S = std::make_unique<Shard>();
+    S->Index = I;
+    S->Wake = std::make_shared<Pipe>();
+    if (!S->Wake->make()) {
+      Err = "cannot create wake pipe";
+      Shards.clear();
+      WakeWriteFds.clear();
+      return false;
+    }
+    setNonBlocking(S->Wake->ReadFd, true);
+    setNonBlocking(S->Wake->WriteFd, true);
+    WakeWriteFds.push_back(S->Wake->WriteFd);
+    Shards.push_back(std::move(S));
   }
-  setNonBlocking(Wake->ReadFd, true);
-  setNonBlocking(Wake->WriteFd, true);
-  WakeWriteFd = Wake->WriteFd;
 
-  ListenFd = listenTcp(Opts.Host, Opts.Port, /*Backlog=*/128, Err);
-  if (ListenFd < 0)
-    return false;
+  // Listener placement. REUSEPORT: every shard binds the shared port
+  // and the kernel spreads accepts. Handoff: shard 0 owns the sole
+  // listener and round-robins accepted fds. Auto tries the former and
+  // falls back; an explicit ReusePort request fails honestly.
+  UseReusePort = false;
+  if (N > 1 && Opts.AcceptMode != TcpAcceptMode::Handoff) {
+    std::string ReuseErr;
+    int Fd0 = listenTcp(Opts.Host, Opts.Port, /*Backlog=*/128, ReuseErr,
+                        /*ReusePort=*/true);
+    if (Fd0 >= 0) {
+      Shards[0]->ListenFd = Fd0;
+      uint16_t BoundPort = tcpLocalPort(Fd0);
+      bool AllBound = true;
+      for (unsigned I = 1; I != N && AllBound; ++I) {
+        int Fd = listenTcp(Opts.Host, BoundPort, /*Backlog=*/128, ReuseErr,
+                           /*ReusePort=*/true);
+        if (Fd < 0)
+          AllBound = false;
+        else
+          Shards[I]->ListenFd = Fd;
+      }
+      if (AllBound)
+        UseReusePort = true;
+      else
+        for (auto &S : Shards) {
+          closeQuietly(S->ListenFd);
+          S->ListenFd = -1;
+        }
+    }
+    if (!UseReusePort && Opts.AcceptMode == TcpAcceptMode::ReusePort) {
+      Err = "SO_REUSEPORT listeners unavailable: " + ReuseErr;
+      Shards.clear();
+      WakeWriteFds.clear();
+      return false;
+    }
+  }
+  if (!UseReusePort) {
+    Shards[0]->ListenFd = listenTcp(Opts.Host, Opts.Port, /*Backlog=*/128,
+                                    Err);
+    if (Shards[0]->ListenFd < 0) {
+      Shards.clear();
+      WakeWriteFds.clear();
+      return false;
+    }
+  }
 
-  Srv.setTransportStats([this] { return stats().toJson(); });
+  Srv.setTransportStats([this] { return transportJson(); });
   return true;
 }
 
 uint16_t TcpServer::port() const {
-  return ListenFd >= 0 ? tcpLocalPort(ListenFd) : 0;
+  return !Shards.empty() && Shards[0]->ListenFd >= 0
+             ? tcpLocalPort(Shards[0]->ListenFd)
+             : 0;
 }
 
 void TcpServer::requestStop() {
   StopRequested.store(true, std::memory_order_relaxed);
-  if (WakeWriteFd >= 0) {
-    char B = 1;
-    [[maybe_unused]] ssize_t N = ::write(WakeWriteFd, &B, 1);
-  }
+  // Signal context: only the flag store and one write per shard.
+  for (int Fd : WakeWriteFds)
+    if (Fd >= 0) {
+      char B = 1;
+      [[maybe_unused]] ssize_t N = ::write(Fd, &B, 1);
+    }
 }
 
-void TcpServer::acceptPending() {
+bool TcpServer::tryAcquireConnSlot() {
+  int64_t Cur = ConnSlots.load(std::memory_order_relaxed);
+  while (Cur > 0)
+    if (ConnSlots.compare_exchange_weak(Cur, Cur - 1,
+                                        std::memory_order_relaxed))
+      return true;
+  return false;
+}
+
+void TcpServer::refuseAtCap(Shard &S, int Fd) {
+  // Deterministic refusal beats a silent backlog hang: the client
+  // learns immediately that the server is at capacity — and because
+  // the cap is one atomic budget across shards, the verdict does not
+  // depend on which shard fielded the accept.
+  S.RefusedAtCap.fetch_add(1, std::memory_order_relaxed);
+  static const char Refusal[] =
+      "{\"error\":\"connection limit reached\",\"status\":\"shed\"}\n";
+  // Send it blocking: the fd was accepted non-blocking, and a one-shot
+  // EAGAIN here would turn the refusal into a bare close —
+  // indistinguishable from a crash to the client. A fresh connection's
+  // send buffer is empty, so one short line cannot stall the shard.
+  setNonBlocking(Fd, false);
+  size_t Off = 0;
+  while (Off < sizeof(Refusal) - 1) {
+    int64_t W = sendSome(Fd, Refusal + Off, sizeof(Refusal) - 1 - Off);
+    if (W <= 0)
+      break; // Peer already gone; nothing more owed.
+    Off += static_cast<size_t>(W);
+  }
+  ::close(Fd);
+}
+
+void TcpServer::adoptConn(Shard &S, int Fd) {
+  setSendBufferBytes(Fd, Opts.SendBufferBytes);
+
+  auto C = std::make_unique<Conn>();
+  C->Fd = Fd;
+  C->Id = NextConnId.fetch_add(1, std::memory_order_relaxed);
+  C->LastActivity = Clock::now();
+  C->Shared = std::make_shared<ConnShared>(
+      static_cast<size_t>(Opts.MaxWriteBufferBytes));
+
+  // The response path. Runs on pool threads: bounded append under the
+  // connection mutex, then one byte down the *owning shard's* self-pipe
+  // so that shard — and only that shard — wakes to flush.
+  std::shared_ptr<ConnShared> SP = C->Shared;
+  std::shared_ptr<Pipe> WK = S.Wake;
+  std::shared_ptr<std::atomic<uint64_t>> Delivered = S.Delivered;
+  C->Sink = [SP, WK, Delivered](const std::string &Line) {
+    bool NeedWake = false;
+    {
+      std::lock_guard<std::mutex> L(SP->M);
+      if (SP->Pending)
+        --SP->Pending;
+      if (!SP->Closed) {
+        std::string Framed = Line;
+        Framed.push_back('\n');
+        if (SP->Out.append(Framed))
+          Delivered->fetch_add(1, std::memory_order_relaxed);
+        else
+          SP->Overflowed = true; // Stalled reader; shard disconnects.
+        NeedWake = true;
+      }
+    }
+    if (NeedWake && WK->WriteFd >= 0) {
+      char B = 1;
+      [[maybe_unused]] ssize_t N = ::write(WK->WriteFd, &B, 1);
+    }
+  };
+
+  S.Accepted.fetch_add(1, std::memory_order_relaxed);
+  S.Active.fetch_add(1, std::memory_order_relaxed);
+  S.Conns.push_back(std::move(C));
+}
+
+void TcpServer::acceptPending(Shard &S) {
   for (;;) {
-    int Fd = acceptTcp(ListenFd);
+    int Fd = acceptTcp(S.ListenFd);
     if (Fd < 0)
       return;
-    if (Conns.size() >= Opts.MaxConnections) {
-      // Deterministic refusal beats a silent backlog hang: the client
-      // learns immediately that the server is at capacity.
-      RefusedAtCap.fetch_add(1, std::memory_order_relaxed);
-      static const char Refusal[] =
-          "{\"error\":\"connection limit reached\",\"status\":\"shed\"}\n";
-      // Send it blocking: the fd was accepted non-blocking, and a
-      // one-shot EAGAIN here would turn the refusal into a bare close
-      // — indistinguishable from a crash to the client. A fresh
-      // connection's send buffer is empty, so one short line cannot
-      // stall the accept loop.
-      setNonBlocking(Fd, false);
-      size_t Off = 0;
-      while (Off < sizeof(Refusal) - 1) {
-        int64_t W =
-            sendSome(Fd, Refusal + Off, sizeof(Refusal) - 1 - Off);
-        if (W <= 0)
-          break; // Peer already gone; nothing more owed.
-        Off += static_cast<size_t>(W);
-      }
-      ::close(Fd);
+    if (!tryAcquireConnSlot()) {
+      refuseAtCap(S, Fd);
       continue;
     }
-    setSendBufferBytes(Fd, Opts.SendBufferBytes);
-
-    auto C = std::make_unique<Conn>();
-    C->Fd = Fd;
-    C->Id = NextConnId++;
-    C->LastActivity = Clock::now();
-    C->Shared = std::make_shared<ConnShared>(
-        static_cast<size_t>(Opts.MaxWriteBufferBytes));
-
-    // The response path. Runs on pool threads: bounded append under
-    // the connection mutex, then one self-pipe byte so the loop flushes.
-    std::shared_ptr<ConnShared> SP = C->Shared;
-    std::shared_ptr<Pipe> WK = Wake;
-    std::shared_ptr<std::atomic<uint64_t>> Delivered = ResponsesDelivered;
-    C->Sink = [SP, WK, Delivered](const std::string &Line) {
-      bool NeedWake = false;
-      {
-        std::lock_guard<std::mutex> L(SP->M);
-        if (SP->Pending)
-          --SP->Pending;
-        if (!SP->Closed) {
-          std::string Framed = Line;
-          Framed.push_back('\n');
-          if (SP->Out.append(Framed))
-            Delivered->fetch_add(1, std::memory_order_relaxed);
-          else
-            SP->Overflowed = true; // Stalled reader; loop disconnects.
-          NeedWake = true;
-        }
-      }
-      if (NeedWake && WK->WriteFd >= 0) {
-        char B = 1;
-        [[maybe_unused]] ssize_t N = ::write(WK->WriteFd, &B, 1);
-      }
-    };
-
-    Accepted.fetch_add(1, std::memory_order_relaxed);
-    Active.fetch_add(1, std::memory_order_relaxed);
-    Conns.push_back(std::move(C));
+    if (UseReusePort || Shards.size() == 1) {
+      adoptConn(S, Fd);
+      continue;
+    }
+    // Handoff: deterministic round-robin over all shards, self
+    // included. The budget slot travels with the fd; the adopting
+    // shard does the Accepted/Active accounting.
+    unsigned Target =
+        static_cast<unsigned>(S.HandoffNext++ % Shards.size());
+    if (Target == S.Index) {
+      adoptConn(S, Fd);
+      continue;
+    }
+    Shard &T = *Shards[Target];
+    {
+      std::lock_guard<std::mutex> L(T.InboxM);
+      T.Inbox.push_back(Fd);
+    }
+    if (T.Wake->WriteFd >= 0) {
+      char B = 1;
+      [[maybe_unused]] ssize_t N = ::write(T.Wake->WriteFd, &B, 1);
+    }
   }
 }
 
-void TcpServer::dispatchLine(Conn &C, const std::string &Line) {
+void TcpServer::adoptHandoffs(Shard &S, bool Draining) {
+  std::vector<int> Pending;
+  {
+    std::lock_guard<std::mutex> L(S.InboxM);
+    Pending.swap(S.Inbox);
+  }
+  for (int Fd : Pending) {
+    if (Draining) {
+      // Accepted by shard 0 just before the stop request landed here;
+      // too late to serve it. Give the slot back and close.
+      ConnSlots.fetch_add(1, std::memory_order_relaxed);
+      closeQuietly(Fd);
+      continue;
+    }
+    adoptConn(S, Fd);
+  }
+}
+
+void TcpServer::dispatchLine(Shard &S, Conn &C, const std::string &Line) {
   if (Line.empty() || Line.find_first_not_of(" \t\r") == std::string::npos)
     return; // Blank lines produce no response; don't count one pending.
   {
     std::lock_guard<std::mutex> L(C.Shared->M);
     ++C.Shared->Pending;
   }
-  LinesDispatched.fetch_add(1, std::memory_order_relaxed);
+  S.LinesDispatched.fetch_add(1, std::memory_order_relaxed);
   // Control lines answer synchronously through the sink; slice lines
   // journal + enqueue and answer later from a pool thread. Either way
   // exactly one response line lands per dispatched line.
   Srv.serveLine(Line, C.Sink);
 }
 
-void TcpServer::processInput(Conn &C) {
+void TcpServer::processInput(Shard &S, Conn &C) {
   size_t Pos;
   while ((Pos = C.InBuf.find('\n')) != std::string::npos) {
     std::string Line = C.InBuf.substr(0, Pos);
@@ -233,7 +424,7 @@ void TcpServer::processInput(Conn &C) {
       C.LineStart = Clock::now();
       continue;
     }
-    dispatchLine(C, Line);
+    dispatchLine(S, C, Line);
   }
   // No newline left past this point. A connection still mid-discard
   // holds only refused bytes — drop them now rather than letting a
@@ -247,7 +438,7 @@ void TcpServer::processInput(Conn &C) {
     // A line longer than the cap and still no newline: refuse it now,
     // deterministically, and swallow the remainder as it streams in —
     // the connection survives, the buffer does not grow.
-    OversizedLines.fetch_add(1, std::memory_order_relaxed);
+    S.OversizedLines.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> L(C.Shared->M);
       ++C.Shared->Pending;
@@ -260,13 +451,13 @@ void TcpServer::processInput(Conn &C) {
     C.LineStart = Clock::time_point();
 }
 
-void TcpServer::handleReadable(Conn &C) {
+void TcpServer::handleReadable(Shard &S, Conn &C) {
   char Chunk[65536];
   int64_t N = recvSome(C.Fd, Chunk, sizeof(Chunk));
   if (N == NetWouldBlock)
     return;
   if (N < 0) {
-    closeConn(C, "read error", &PeerResets);
+    closeConn(S, C, "read error", &S.PeerResets);
     return;
   }
   C.LastActivity = Clock::now();
@@ -277,7 +468,7 @@ void TcpServer::handleReadable(Conn &C) {
     if (!C.Discarding && !C.InBuf.empty()) {
       std::string Line;
       Line.swap(C.InBuf);
-      dispatchLine(C, Line);
+      dispatchLine(S, C, Line);
     }
     C.InBuf.clear();
     return;
@@ -285,14 +476,39 @@ void TcpServer::handleReadable(Conn &C) {
   if (C.InBuf.empty() && !C.Discarding)
     C.LineStart = C.LastActivity;
   C.InBuf.append(Chunk, static_cast<size_t>(N));
-  processInput(C);
+  processInput(S, C);
   // Retained-bytes high-water mark, measured after trimming: complete
   // lines are dispatched and discarded tails dropped, so this tracks
-  // what the transport actually holds onto per connection. Only the
-  // loop thread writes it.
-  if (C.InBuf.size() >
-      InBufHighWaterBytes.load(std::memory_order_relaxed))
-    InBufHighWaterBytes.store(C.InBuf.size(), std::memory_order_relaxed);
+  // what the transport actually holds onto per connection. Raised with
+  // a CAS loop: the mark is per shard but stats() merges across
+  // shards, and a load-then-store max would lose races.
+  storeMaxRelaxed(S.InBufHighWaterBytes, C.InBuf.size());
+}
+
+void TcpServer::drainReadable(Shard &S, Conn &C) {
+  // Draining: the listener is closed and nothing new may be
+  // dispatched — POLLIN/POLLHUP/POLLERR are serviced only to tell
+  // "peer finished" from "peer reset". Whatever bytes still arrive
+  // (a request racing the shutdown, the tail of a half-closed
+  // stream) are counted and dropped, never parsed. Dispatching here
+  // would inflate Pending with work the server is trying to retire
+  // and stall the drain until grace expiry.
+  char Chunk[65536];
+  int64_t N = recvSome(C.Fd, Chunk, sizeof(Chunk));
+  if (N == NetWouldBlock)
+    return;
+  if (N < 0) {
+    closeConn(S, C, "peer reset during drain", &S.PeerResets);
+    return;
+  }
+  C.LastActivity = Clock::now();
+  if (N == 0) {
+    C.ReadClosed = true;
+    C.InBuf.clear();
+    return;
+  }
+  S.DrainDiscardedBytes.fetch_add(static_cast<uint64_t>(N),
+                                  std::memory_order_relaxed);
 }
 
 void TcpServer::flushConn(Conn &C) {
@@ -306,7 +522,7 @@ void TcpServer::flushConn(Conn &C) {
   }
 }
 
-void TcpServer::closeConn(Conn &C, const char *Why,
+void TcpServer::closeConn(Shard &S, Conn &C, const char *Why,
                           std::atomic<uint64_t> *Counter) {
   if (C.Fd < 0)
     return;
@@ -319,19 +535,20 @@ void TcpServer::closeConn(Conn &C, const char *Why,
   // stats probe.
   if (Counter)
     Counter->fetch_add(1, std::memory_order_relaxed);
-  Active.fetch_sub(1, std::memory_order_relaxed);
+  S.Active.fetch_sub(1, std::memory_order_relaxed);
+  ConnSlots.fetch_add(1, std::memory_order_relaxed);
   ::close(C.Fd);
   C.Fd = -1;
   C.Doomed = true;
-  Log << "jslice_serve: connection #" << C.Id << " closed (" << Why
-      << ")\n";
+  std::ostringstream OS;
+  OS << "jslice_serve: connection #" << C.Id << " closed (" << Why << ")";
+  logLine(OS.str());
 }
 
-int TcpServer::computePollTimeout(bool Draining,
-                                  Clock::time_point DrainBy) {
-  // The loop's deadlines (read deadline, idle timeout, drain grace)
+int TcpServer::computePollTimeout(bool Draining, Clock::time_point DrainBy) {
+  // The shard's deadlines (read deadline, idle timeout, drain grace)
   // are coarse; a 200ms tick bounds their latency and doubles as a
-  // lost-wakeup backstop. Idle servers pay five wakeups a second.
+  // lost-wakeup backstop. An idle shard pays five wakeups a second.
   int Timeout = 200;
   if (Draining) {
     auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -343,10 +560,37 @@ int TcpServer::computePollTimeout(bool Draining,
 }
 
 void TcpServer::run() {
-  if (ListenFd < 0)
+  if (Shards.empty())
     return;
 
+  // Shards 1..N-1 on their own threads, shard 0 inline; run() returns
+  // only after every shard has drained and joined, so the caller's
+  // clean-shutdown journal record covers the whole transport.
+  std::vector<std::thread> Threads;
+  std::vector<char> Quiet(Shards.size(), 1);
+  for (size_t I = 1; I != Shards.size(); ++I)
+    Threads.emplace_back(
+        [this, I, &Quiet] { Quiet[I] = shardLoop(*Shards[I]) ? 1 : 0; });
+  Quiet[0] = shardLoop(*Shards[0]) ? 1 : 0;
+  for (auto &T : Threads)
+    T.join();
+
+  size_t Forced = static_cast<size_t>(
+      std::count(Quiet.begin(), Quiet.end(), static_cast<char>(0)));
+  std::ostringstream OS;
+  if (Forced == 0)
+    OS << "jslice_serve: TCP drain complete across " << Shards.size()
+       << " shard" << (Shards.size() == 1 ? "" : "s");
+  else
+    OS << "jslice_serve: TCP drain grace expired on " << Forced << " of "
+       << Shards.size() << " shard" << (Shards.size() == 1 ? "" : "s")
+       << "; forced close";
+  logLine(OS.str());
+}
+
+bool TcpServer::shardLoop(Shard &S) {
   bool Draining = false;
+  bool QuietDrain = true;
   Clock::time_point DrainBy;
 
   for (;;) {
@@ -357,30 +601,32 @@ void TcpServer::run() {
     if (WantStop && !Draining) {
       Draining = true;
       DrainBy = Clock::now() + std::chrono::milliseconds(Opts.DrainGraceMs);
-      closeQuietly(ListenFd); // Stop accepting; drain what is in flight.
-      Log << "jslice_serve: listener draining (" << Conns.size()
-          << " connection" << (Conns.size() == 1 ? "" : "s")
-          << " open)\n";
+      closeQuietly(S.ListenFd); // Stop accepting; drain what is in flight.
+      S.ListenFd = -1;
+      std::ostringstream OS;
+      OS << "jslice_serve: shard " << S.Index << " draining ("
+         << S.Conns.size() << " connection"
+         << (S.Conns.size() == 1 ? "" : "s") << " open)";
+      logLine(OS.str());
     }
 
     if (Draining) {
-      // Drain completes when every connection has nothing pending and
-      // nothing buffered — or the grace period runs out.
-      bool Quiet = true;
-      for (auto &C : Conns) {
+      // This shard's drain completes when every one of its connections
+      // has nothing pending and nothing buffered — or the grace period
+      // runs out.
+      bool ShardQuiet = true;
+      for (auto &C : S.Conns) {
         std::lock_guard<std::mutex> L(C->Shared->M);
         if (C->Shared->Pending || !C->Shared->Out.empty())
-          Quiet = false;
+          ShardQuiet = false;
       }
-      if (Quiet || Clock::now() >= DrainBy) {
-        for (auto &C : Conns)
-          closeConn(*C, Quiet ? "drained" : "drain grace expired",
+      if (ShardQuiet || Clock::now() >= DrainBy) {
+        for (auto &C : S.Conns)
+          closeConn(S, *C, ShardQuiet ? "drained" : "drain grace expired",
                     nullptr);
-        Conns.clear();
-        Log << "jslice_serve: TCP drain "
-            << (Quiet ? "complete" : "grace expired; forced close")
-            << "\n";
-        return;
+        S.Conns.clear();
+        adoptHandoffs(S, /*Draining=*/true); // Late handoffs: close them.
+        return QuietDrain && ShardQuiet;
       }
     }
 
@@ -388,17 +634,19 @@ void TcpServer::run() {
     // Conns order — nothing mutates Conns between here and the
     // dispatch below).
     std::vector<struct pollfd> P;
-    P.reserve(2 + Conns.size());
-    P.push_back({Wake->ReadFd, POLLIN, 0});
+    P.reserve(2 + S.Conns.size());
+    P.push_back({S.Wake->ReadFd, POLLIN, 0});
     size_t ListenIdx = SIZE_MAX;
-    if (!Draining && ListenFd >= 0) {
+    if (!Draining && S.ListenFd >= 0) {
       ListenIdx = P.size();
-      P.push_back({ListenFd, POLLIN, 0});
+      P.push_back({S.ListenFd, POLLIN, 0});
     }
     size_t ConnBase = P.size();
-    for (auto &C : Conns) {
+    for (auto &C : S.Conns) {
       short Ev = 0;
-      if (!Draining && !C->ReadClosed)
+      // POLLIN stays armed during drain: drainReadable() wants to see
+      // EOF/reset promptly — it just never dispatches what it reads.
+      if (!C->ReadClosed)
         Ev |= POLLIN;
       {
         std::lock_guard<std::mutex> L(C->Shared->M);
@@ -412,52 +660,66 @@ void TcpServer::run() {
                    computePollTimeout(Draining, DrainBy));
     int PollErrno = errno; // Before the stream ops below can clobber it.
     if (N < 0 && PollErrno != EINTR) {
-      // poll() itself failing is unrecoverable — but go down the same
-      // way drain-grace expiry does: say why, then close and account
-      // every connection instead of leaving fds (and half-buffered
-      // responses) to the destructor.
-      Log << "jslice_serve: poll failed (errno " << PollErrno
-          << "); forcing close of " << Conns.size() << " connection"
-          << (Conns.size() == 1 ? "" : "s") << "\n";
-      for (auto &C : Conns)
-        closeConn(*C, "poll failure", nullptr);
-      Conns.clear();
-      return;
+      // poll() itself failing is unrecoverable for this shard — go
+      // down the way drain-grace expiry does: say why, close and
+      // account every connection, and ask the *other* shards to drain
+      // so run() still returns.
+      std::ostringstream OS;
+      OS << "jslice_serve: shard " << S.Index << " poll failed (errno "
+         << PollErrno << "); forcing close of " << S.Conns.size()
+         << " connection" << (S.Conns.size() == 1 ? "" : "s");
+      logLine(OS.str());
+      for (auto &C : S.Conns)
+        closeConn(S, *C, "poll failure", nullptr);
+      S.Conns.clear();
+      closeQuietly(S.ListenFd);
+      S.ListenFd = -1;
+      requestStop();
+      return false;
     }
 
     // Drain the wake pipe (level-triggered; a byte per response is
     // fine, we just swallow whatever accumulated).
     if (P[0].revents) {
       char Buf[256];
-      while (::read(Wake->ReadFd, Buf, sizeof(Buf)) > 0) {
+      while (::read(S.Wake->ReadFd, Buf, sizeof(Buf)) > 0) {
       }
     }
 
+    // Adopt handed-off fds before reading the listener so inbox order
+    // roughly tracks accept order.
+    if (!UseReusePort && Shards.size() > 1)
+      adoptHandoffs(S, Draining);
+
     if (ListenIdx != SIZE_MAX && P[ListenIdx].revents)
-      acceptPending(); // Appends to Conns; indices above still match.
+      acceptPending(S); // Appends to S.Conns; indices above still match.
 
     Clock::time_point Now = Clock::now();
-    size_t Polled = P.size() - ConnBase; // New accepts weren't polled.
+    size_t Polled = P.size() - ConnBase; // New adoptions weren't polled.
     for (size_t I = 0; I != Polled; ++I) {
-      Conn &C = *Conns[I];
+      Conn &C = *S.Conns[I];
       short Re = P[ConnBase + I].revents;
       if (C.Doomed || C.Fd < 0)
         continue;
       if (Re & POLLOUT)
         flushConn(C);
-      if (!C.Doomed && (Re & (POLLIN | POLLHUP | POLLERR)))
-        handleReadable(C);
+      if (!C.Doomed && (Re & (POLLIN | POLLHUP | POLLERR))) {
+        if (Draining)
+          drainReadable(S, C);
+        else
+          handleReadable(S, C);
+      }
     }
 
     // Timers, backpressure verdicts, and retirement — over every
     // connection, polled or not.
-    for (auto &C : Conns) {
+    for (auto &C : S.Conns) {
       if (C->Fd < 0)
         continue;
       // Doomed with the fd still open (flushConn hit PeerClosed): close
       // and account here; skipping it would leak the fd at the sweep.
       if (C->Doomed) {
-        closeConn(*C, "peer reset", &PeerResets);
+        closeConn(S, *C, "peer reset", &S.PeerResets);
         continue;
       }
       bool Overflowed, Idle;
@@ -474,16 +736,16 @@ void TcpServer::run() {
         Idle = C->Shared->Pending == 0 && C->Shared->Out.empty();
       }
       if (C->Doomed) {
-        closeConn(*C, "peer reset", &PeerResets);
+        closeConn(S, *C, "peer reset", &S.PeerResets);
         continue;
       }
       if (Overflowed) {
-        closeConn(*C, "write buffer overflow: stalled reader",
-                  &BackpressureClosed);
+        closeConn(S, *C, "write buffer overflow: stalled reader",
+                  &S.BackpressureClosed);
         continue;
       }
       if (C->ReadClosed && Idle) {
-        closeConn(*C, "peer finished", &CleanClosed);
+        closeConn(S, *C, "peer finished", &S.CleanClosed);
         continue;
       }
       // Discarding counts as a partial line too: the refused line is
@@ -494,23 +756,23 @@ void TcpServer::run() {
           C->LineStart != Clock::time_point() &&
           Now - C->LineStart >
               std::chrono::milliseconds(Opts.ReadDeadlineMs)) {
-        closeConn(*C, "read deadline: partial line too old",
-                  &DeadlineClosed);
+        closeConn(S, *C, "read deadline: partial line too old",
+                  &S.DeadlineClosed);
         continue;
       }
       if (Opts.IdleTimeoutMs && Idle && C->InBuf.empty() &&
           !C->ReadClosed &&
           Now - C->LastActivity >
               std::chrono::milliseconds(Opts.IdleTimeoutMs)) {
-        closeConn(*C, "idle timeout", &IdleClosed);
+        closeConn(S, *C, "idle timeout", &S.IdleClosed);
         continue;
       }
     }
 
     // Sweep the dead.
-    for (size_t I = 0; I != Conns.size();) {
-      if (Conns[I]->Doomed || Conns[I]->Fd < 0)
-        Conns.erase(Conns.begin() + static_cast<ptrdiff_t>(I));
+    for (size_t I = 0; I != S.Conns.size();) {
+      if (S.Conns[I]->Doomed || S.Conns[I]->Fd < 0)
+        S.Conns.erase(S.Conns.begin() + static_cast<ptrdiff_t>(I));
       else
         ++I;
     }
@@ -528,5 +790,6 @@ void TcpServer::requestStop() {
   StopRequested.store(true, std::memory_order_relaxed);
 }
 void TcpServer::run() {}
+bool TcpServer::shardLoop(Shard &) { return true; }
 
 #endif

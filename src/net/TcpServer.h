@@ -1,4 +1,4 @@
-//===- net/TcpServer.h - Socket transport with fault containment -----------===//
+//===- net/TcpServer.h - Sharded socket transport with fault containment ---===//
 //
 // Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
 // Programs with Jump Statements", PLDI 1994.
@@ -7,17 +7,23 @@
 ///
 /// \file
 /// The TCP front end of the slicing service (DESIGN.md, "TCP transport
-/// & fault containment"): a single poll()-driven event loop that
-/// accepts JSON-Lines connections and feeds each complete line to a
-/// Server with a per-connection ResponseSink. The loop never blocks on
-/// any one peer and never allocates unboundedly on any one peer's
-/// behalf; every slicing request still runs on the server's worker
-/// pool (or its sandbox processes), so a poisonous program costs what
-/// it always cost — one budget, one worker — and a misbehaving *byte
-/// stream* now costs exactly one connection:
+/// & fault containment" and "Sharded transport"): N poll()-driven
+/// reactor shards that accept JSON-Lines connections and feed each
+/// complete line to a Server with a per-connection ResponseSink. Each
+/// shard owns its connections outright — fds, input buffers, write
+/// buffers, timers, wake pipe, and counters — so shards never contend
+/// on anything but the global connection budget and the (mutex-guarded)
+/// operational log. No shard ever blocks on any one peer and never
+/// allocates unboundedly on any one peer's behalf; every slicing
+/// request still runs on the server's worker pool (or its sandbox
+/// processes), so a poisonous program costs what it always cost — one
+/// budget, one worker — and a misbehaving *byte stream* costs exactly
+/// one connection on exactly one shard:
 ///
-///  * connection cap — at MaxConnections, extra accepts are answered
-///    with a one-line `shed` refusal and closed;
+///  * connection cap — a single atomic budget across all shards; at
+///    MaxConnections total, extra accepts are answered with a one-line
+///    `shed` refusal and closed, deterministically, whichever shard
+///    fields them;
 ///  * read deadline — a partial line must complete within
 ///    ReadDeadlineMs (slowloris defense);
 ///  * idle timeout — a connection with no traffic and nothing pending
@@ -27,10 +33,18 @@
 ///    and the remainder discarded through its newline;
 ///  * bounded write buffers — a reader that stops draining its
 ///    responses (backpressure past MaxWriteBufferBytes) is
-///    disconnected; it never blocks the loop or other connections;
+///    disconnected; it never blocks its shard's loop, let alone
+///    another shard's connections;
 ///  * per-connection error containment — malformed frames are answered
 ///    as `bad-request` on that connection only; a read error or peer
 ///    reset closes that connection only.
+///
+/// Connections reach their shard one of two ways (AcceptMode):
+/// SO_REUSEPORT gives every shard its own listener on the shared port
+/// and lets the kernel spread the accept load; where that is
+/// unavailable (or when a test wants deterministic placement), shard 0
+/// owns the sole listener and hands accepted fds round-robin to shard
+/// inboxes over their wake pipes. Auto tries REUSEPORT and falls back.
 ///
 /// Connection lifecycle (see DESIGN.md for the full state machine):
 ///   OPEN -> READ_CLOSED (peer EOF, responses still flushing)
@@ -41,13 +55,18 @@
 /// request's terminal status stays in the journal.
 ///
 /// Graceful drain: when the shutdown flag trips (or requestStop() is
-/// called — async-signal-safe), the loop closes the listener, stops
-/// reading, finishes flushing every in-flight response (bounded by
-/// DrainGraceMs), closes all connections, and returns.
+/// called — async-signal-safe), every shard closes its listener, stops
+/// *dispatching* — bytes that still arrive are read only to detect
+/// EOF/reset, never parsed into requests — finishes flushing every
+/// in-flight response (bounded by DrainGraceMs), and closes its
+/// connections. run() returns only after all shards have drained, so
+/// the caller's clean-shutdown journal record truthfully covers the
+/// whole transport.
 ///
-/// Threading: run() is the only thread that touches fds. Pool threads
-/// touch only ConnShared (mutex-guarded) through their sinks and wake
-/// the loop over a self-pipe; only the loop closes sockets.
+/// Threading: run() is shard 0's loop; shards 1..N-1 run on threads
+/// run() spawns and joins. Only a connection's owning shard touches
+/// its fd. Pool threads touch only ConnShared (mutex-guarded) through
+/// their sinks and wake the owning shard over its self-pipe.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,9 +76,11 @@
 #include "service/Server.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,14 +88,28 @@ namespace jslice {
 
 struct Pipe;
 
+/// How accepted connections find their owning shard.
+enum class TcpAcceptMode {
+  Auto,      ///< REUSEPORT when the platform has it, else Handoff.
+  ReusePort, ///< One listener per shard on the shared port.
+  Handoff,   ///< Shard 0 accepts, hands fds round-robin to inboxes.
+};
+
 /// Listener configuration. The line cap is deliberately absent: the
 /// transport reads it from the Server so stdin and TCP share one knob.
 struct TcpServerOptions {
   std::string Host = "127.0.0.1";
   uint16_t Port = 0; ///< 0 = ephemeral; read back with port().
 
-  /// Accepted connections above this are answered with a one-line
-  /// `shed` refusal and closed.
+  /// Reactor shard count; 0 = hardware_concurrency. Clamped to 1..64.
+  unsigned Shards = 0;
+
+  /// Shard placement policy; tests force Handoff for deterministic
+  /// round-robin pinning.
+  TcpAcceptMode AcceptMode = TcpAcceptMode::Auto;
+
+  /// Accepted connections above this (total, across all shards) are
+  /// answered with a one-line `shed` refusal and closed.
   unsigned MaxConnections = 256;
 
   /// A connection with no traffic, no partial line, and no pending
@@ -89,7 +124,7 @@ struct TcpServerOptions {
   /// stalled reader past this is disconnected. 0 = unbounded.
   uint64_t MaxWriteBufferBytes = 4u << 20;
 
-  /// Drain bound: after a stop request the loop waits at most this
+  /// Drain bound: after a stop request each shard waits at most this
   /// long for in-flight responses to finish and flush before closing
   /// connections anyway.
   uint64_t DrainGraceMs = 10000;
@@ -99,14 +134,15 @@ struct TcpServerOptions {
   int SendBufferBytes = 0;
 
   /// Same contract as ServerOptions::ShutdownFlag: when it reads true
-  /// the loop drains and returns. requestStop() is the in-process
-  /// equivalent.
+  /// the shards drain and run() returns. requestStop() is the
+  /// in-process equivalent.
   const std::atomic<bool> *ShutdownFlag = nullptr;
 };
 
 /// Transport counters, all-time since start(). Served in-band by the
 /// {"stats"} control line (under "transport") once start() registers
-/// the provider with the server.
+/// the provider with the server; the merged view sums every counter
+/// across shards except InBufHighWaterBytes, which takes the max.
 struct TransportStats {
   uint64_t Accepted = 0;
   uint64_t RefusedAtCap = 0;
@@ -123,15 +159,28 @@ struct TransportStats {
   /// complete lines dispatch and discarded tails drop) — the witness
   /// that the line cap actually bounds memory.
   uint64_t InBufHighWaterBytes = 0;
+  /// Bytes read and thrown away during drain: after the stop request
+  /// the transport still reads (to see EOF/reset) but never dispatches.
+  uint64_t DrainDiscardedBytes = 0;
 
   JsonValue toJson() const;
 };
+
+/// Lock-free max update for watermark counters shared across reactor
+/// threads: the load-then-store idiom loses races the moment a second
+/// writer exists, so raise the mark with a compare-exchange loop.
+inline void storeMaxRelaxed(std::atomic<uint64_t> &Mark, uint64_t Value) {
+  uint64_t Cur = Mark.load(std::memory_order_relaxed);
+  while (Cur < Value &&
+         !Mark.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+    ;
+}
 
 class TcpServer {
 public:
   /// Responses route to per-connection buffers; \p Log carries
   /// operational lines (accept/close/drain), same stream jslice_serve
-  /// gives the Server.
+  /// gives the Server. Shards share it behind a mutex.
   TcpServer(Server &S, const TcpServerOptions &Opts, std::ostream &Log);
   ~TcpServer();
 
@@ -147,47 +196,70 @@ public:
   /// The bound port (after start()); useful with Port = 0.
   uint16_t port() const;
 
-  /// The event loop. Returns after a drain completes: stop requested
-  /// via requestStop()/ShutdownFlag, listener closed, in-flight
-  /// responses flushed (bounded by DrainGraceMs), connections closed.
+  /// The number of reactor shards (after start()).
+  unsigned shardCount() const { return static_cast<unsigned>(Shards.size()); }
+
+  /// Whether the shards listen via SO_REUSEPORT (after start()); false
+  /// means shard 0 accepts and hands fds off round-robin.
+  bool usesReusePort() const { return UseReusePort; }
+
+  /// The event loop: runs shard 0 inline, shards 1..N-1 on spawned
+  /// threads, and returns only after *every* shard's drain completes:
+  /// stop requested via requestStop()/ShutdownFlag, listeners closed,
+  /// in-flight responses flushed (bounded by DrainGraceMs),
+  /// connections closed.
   void run();
 
-  /// Async-signal-safe stop: a flag store and one self-pipe write.
+  /// Async-signal-safe stop: a flag store and one self-pipe write per
+  /// shard.
   void requestStop();
 
-  /// Counter snapshot (thread-safe).
+  /// Merged counter snapshot across all shards (thread-safe).
   TransportStats stats() const;
+
+  /// One shard's counter snapshot (thread-safe); Index < shardCount().
+  TransportStats shardStats(unsigned Index) const;
 
 private:
   struct Conn;
   struct ConnShared;
+  struct Shard;
 
-  void acceptPending();
-  void handleReadable(Conn &C);
-  void processInput(Conn &C);
-  void dispatchLine(Conn &C, const std::string &Line);
+  /// One shard's event loop; true when its drain completed quietly
+  /// (everything flushed), false on grace expiry or poll failure.
+  bool shardLoop(Shard &S);
+  void acceptPending(Shard &S);
+  void adoptConn(Shard &S, int Fd);
+  void adoptHandoffs(Shard &S, bool Draining);
+  void refuseAtCap(Shard &S, int Fd);
+  void handleReadable(Shard &S, Conn &C);
+  void drainReadable(Shard &S, Conn &C);
+  void processInput(Shard &S, Conn &C);
+  void dispatchLine(Shard &S, Conn &C, const std::string &Line);
   void flushConn(Conn &C);
-  void closeConn(Conn &C, const char *Why, std::atomic<uint64_t> *Counter);
+  void closeConn(Shard &S, Conn &C, const char *Why,
+                 std::atomic<uint64_t> *Counter);
   int computePollTimeout(bool Draining,
                          std::chrono::steady_clock::time_point DrainBy);
+  bool tryAcquireConnSlot();
+  void logLine(const std::string &Line);
+  JsonValue transportJson() const;
 
   Server &Srv;
   TcpServerOptions Opts;
   std::ostream &Log;
-  int ListenFd = -1;
-  int WakeWriteFd = -1; ///< Plain copy for the signal-safe requestStop.
-  std::shared_ptr<Pipe> Wake;
+  std::mutex LogM; ///< Shards share the operational log stream.
+  std::vector<std::unique_ptr<Shard>> Shards;
+  bool UseReusePort = false;
+  /// Wake-pipe write fds, immutable after start(): requestStop() runs
+  /// in signal context and may only flag-store and write().
+  std::vector<int> WakeWriteFds;
   std::atomic<bool> StopRequested{false};
-  std::vector<std::unique_ptr<Conn>> Conns;
-  uint64_t NextConnId = 1;
-
-  // Counters are atomics so stats() needs no lock against the loop.
-  std::atomic<uint64_t> Accepted{0}, RefusedAtCap{0}, Active{0},
-      CleanClosed{0}, IdleClosed{0}, DeadlineClosed{0},
-      BackpressureClosed{0}, PeerResets{0}, OversizedLines{0},
-      LinesDispatched{0}, InBufHighWaterBytes{0};
-  /// Shared with sinks (which may outlive this object).
-  std::shared_ptr<std::atomic<uint64_t>> ResponsesDelivered;
+  /// Remaining connection slots (global across shards). Acquired with
+  /// a CAS loop at accept, released at close — the shed refusal stays
+  /// deterministic no matter which shard fields the accept.
+  std::atomic<int64_t> ConnSlots{0};
+  std::atomic<uint64_t> NextConnId{1};
 };
 
 } // namespace jslice

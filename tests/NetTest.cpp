@@ -38,6 +38,7 @@
 
 #ifdef JSLICE_HAVE_POSIX_PROCESS
 #include <csignal>
+#include <netinet/in.h>
 #include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -178,19 +179,27 @@ extern "C" void netTestSigusr1(int) {} // Interrupt syscalls, do nothing.
 
 /// Pelts \p Target with SIGUSR1 (installed without SA_RESTART, so every
 /// blocking syscall in the target keeps getting interrupted) until told
-/// to stop.
+/// to stop — or until \p AutoStopMs passes, for tests whose subject
+/// would never return under a perpetual storm (a hung subject then
+/// shows up as a slow failure instead of a wedged test binary).
 struct EintrStorm {
   pthread_t Target;
   std::atomic<bool> Stop{false};
   std::thread Pelter;
 
-  explicit EintrStorm(pthread_t TargetThread) : Target(TargetThread) {
+  explicit EintrStorm(pthread_t TargetThread, uint64_t AutoStopMs = 0)
+      : Target(TargetThread) {
     struct sigaction SA;
     std::memset(&SA, 0, sizeof(SA));
     SA.sa_handler = netTestSigusr1; // Deliberately no SA_RESTART.
     ::sigaction(SIGUSR1, &SA, nullptr);
-    Pelter = std::thread([this] {
+    Pelter = std::thread([this, AutoStopMs] {
+      auto Start = std::chrono::steady_clock::now();
       while (!Stop.load(std::memory_order_relaxed)) {
+        if (AutoStopMs &&
+            std::chrono::steady_clock::now() - Start >
+                std::chrono::milliseconds(AutoStopMs))
+          break;
         ::pthread_kill(Target, SIGUSR1);
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
@@ -260,6 +269,117 @@ TEST(FrameDeadlineTest, PollReadableHonorsDeadlineUnderEintrStorm) {
                        .count();
   EXPECT_GE(ElapsedMs, 80);
   EXPECT_LT(ElapsedMs, 5000);
+}
+
+//===----------------------------------------------------------------------===//
+// connectTcp deadlines and SO_REUSEPORT listeners
+//===----------------------------------------------------------------------===//
+
+/// A nonblocking connect left in flight (EINPROGRESS), never completed
+/// by the caller; used to stuff a listener's accept queue.
+int rawAsyncConnect(uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  setNonBlocking(Fd, true);
+  sockaddr_in A;
+  std::memset(&A, 0, sizeof(A));
+  A.sin_family = AF_INET;
+  A.sin_port = htons(Port);
+  A.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ::connect(Fd, reinterpret_cast<sockaddr *>(&A), sizeof(A));
+  return Fd;
+}
+
+TEST(SocketTest, ConnectTimeoutHoldsUnderEintrStorm) {
+  // A tiny-backlog listener that never accepts: once its queue fills,
+  // further SYNs are dropped and the next connect genuinely pends in
+  // poll() — exactly where the old code restarted the *full* timeout
+  // after every EINTR, so a steady signal storm pushed the deadline
+  // out forever.
+  std::string Err;
+  int ListenFd = listenTcp("127.0.0.1", 0, /*Backlog=*/1, Err);
+  ASSERT_GE(ListenFd, 0) << Err;
+  uint16_t Port = tcpLocalPort(ListenFd);
+
+  std::vector<int> Fillers;
+  for (int I = 0; I < 6; ++I)
+    Fillers.push_back(rawAsyncConnect(Port));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The storm interrupts poll() every ~200us — far more often than the
+  // 250ms budget — and auto-stops after 3s so a deadline regression
+  // fails the elapsed-time assertion instead of hanging the binary.
+  EintrStorm Storm(::pthread_self(), /*AutoStopMs=*/3000);
+  auto Start = std::chrono::steady_clock::now();
+  int Fd = connectTcp("127.0.0.1", Port, /*TimeoutMs=*/250, Err);
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+
+  EXPECT_LT(Fd, 0);
+  EXPECT_EQ(Err, "connect timed out");
+  EXPECT_GE(ElapsedMs, 200);
+  EXPECT_LT(ElapsedMs, 2500);
+
+  if (Fd >= 0)
+    closeQuietly(Fd);
+  for (int F : Fillers)
+    closeQuietly(F);
+  closeQuietly(ListenFd);
+}
+
+TEST(SocketTest, ListenTcpReusePortAllowsSecondListener) {
+  std::string Err;
+  int A = listenTcp("127.0.0.1", 0, 8, Err, /*ReusePort=*/true);
+#ifndef SO_REUSEPORT
+  EXPECT_LT(A, 0);
+  GTEST_SKIP() << "SO_REUSEPORT unavailable: " << Err;
+#endif
+  ASSERT_GE(A, 0) << Err;
+  uint16_t Port = tcpLocalPort(A);
+
+  // A second REUSEPORT listener shares the port; a plain listener is
+  // still refused (the flag must be deliberate on every socket).
+  int B = listenTcp("127.0.0.1", Port, 8, Err, /*ReusePort=*/true);
+  EXPECT_GE(B, 0) << Err;
+  int C = listenTcp("127.0.0.1", Port, 8, Err, /*ReusePort=*/false);
+  EXPECT_LT(C, 0);
+
+  closeQuietly(A);
+  closeQuietly(B);
+  closeQuietly(C);
+}
+
+//===----------------------------------------------------------------------===//
+// storeMaxRelaxed under contention
+//===----------------------------------------------------------------------===//
+
+TEST(StoreMaxTest, ConcurrentWritersNeverLoseTheMaximum) {
+  // The load-then-store idiom this replaces loses exactly one race: a
+  // writer that loaded a stale mark clobbers a larger value another
+  // thread published in between — and every later update that is
+  // *smaller* than the lost maximum then leaves the damage in place
+  // forever. Stage that race over and over: a ramp thread publishes
+  // ascending small values while this thread drops the true maximum
+  // somewhere in the middle of the ramp; whatever interleaving the
+  // scheduler picks, the mark must still read the maximum afterwards.
+  const uint64_t Huge = uint64_t(1) << 30;
+  const uint64_t Ramp = 200000; // All far below Huge.
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    std::atomic<uint64_t> Mark{0};
+    std::atomic<bool> Go{false};
+    std::thread Ramper([&] {
+      Go.store(true, std::memory_order_relaxed);
+      for (uint64_t I = 1; I <= Ramp; ++I)
+        storeMaxRelaxed(Mark, I);
+    });
+    while (!Go.load(std::memory_order_relaxed))
+      std::this_thread::yield();
+    storeMaxRelaxed(Mark, Huge);
+    Ramper.join();
+    ASSERT_EQ(Mark.load(), Huge) << "lost the maximum on trial " << Trial;
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -344,6 +464,20 @@ struct RawClient {
         return std::nullopt;
       Buf.append(Tmp, static_cast<size_t>(R));
     }
+  }
+
+  /// Abort the connection: SO_LINGER zero makes close() send RST, so
+  /// the server sees POLLERR|POLLHUP (reported even with no events
+  /// requested) rather than an orderly FIN.
+  void hardReset() {
+    if (Fd < 0)
+      return;
+    struct linger Lg;
+    Lg.l_onoff = 1;
+    Lg.l_linger = 0;
+    ::setsockopt(Fd, SOL_SOCKET, SO_LINGER, &Lg, sizeof(Lg));
+    closeQuietly(Fd);
+    Fd = -1;
   }
 
   /// True when the server closed the connection (EOF) within the
@@ -609,6 +743,264 @@ TEST(TcpServerTest, GracefulDrainFlushesInFlightResponses) {
   L.S.finish();
 }
 
+TEST(TcpServerTest, DrainNeverDispatchesRequestsArrivingAfterStop) {
+  // The old reactor stopped *polling* for reads during drain but still
+  // called the read path whenever POLLHUP|POLLERR showed up — which the
+  // kernel reports even with no events requested — so a peer that sent
+  // one last request and reset its connection got that request parsed,
+  // dispatched, and executed mid-drain. Now drain reads only to detect
+  // EOF/reset: the bytes are counted and dropped, never dispatched.
+  TcpServerOptions TOpts;
+  TOpts.Shards = 1;
+  TOpts.IdleTimeoutMs = 0;
+  TOpts.SendBufferBytes = 1; // Kernel clamps to its minimum.
+  LiveServer L(TOpts);
+  ASSERT_TRUE(L.Started);
+
+  // A holder that floods stats requests and never reads a byte: its
+  // responses overflow the shrunken kernel buffer into the transport's
+  // write buffer, so the drain stays open (nothing idle-closes it —
+  // IdleTimeoutMs is off) until this test releases it.
+  RawClient Holder(L.port());
+  ASSERT_GE(Holder.Fd, 0);
+  std::string Burst;
+  for (int I = 0; I < 120; ++I)
+    Burst += "{\"stats\": true}\n";
+  ASSERT_TRUE(Holder.sendAll(Burst));
+  ASSERT_EQ(
+      waitForCount([&] { return L.T.stats().ResponsesDelivered; }, 120),
+      120u);
+
+  // A second connection, established and served before the stop.
+  RawClient B(L.port());
+  ASSERT_GE(B.Fd, 0);
+  ASSERT_TRUE(B.sendAll(sliceRequest("pre-drain")));
+  ASSERT_TRUE(B.readLine().has_value());
+  const uint64_t Before = L.T.stats().LinesDispatched;
+
+  L.T.requestStop();
+  // Gate: the drain has begun once the listener stops answering.
+  for (int Spin = 0; Spin < 5000; ++Spin) {
+    std::string CErr;
+    int Probe = connectTcp("127.0.0.1", L.port(), 250, CErr);
+    if (Probe < 0)
+      break;
+    closeQuietly(Probe);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // B sends a NEW request mid-drain and aborts. The request bytes land
+  // before the RST; pre-fix they were dispatched off the POLLHUP|POLLERR
+  // wakeup.
+  ASSERT_TRUE(B.sendAll(sliceRequest("mid-drain")));
+  B.hardReset();
+
+  EXPECT_EQ(waitForCount(
+                [&] { return L.T.stats().DrainDiscardedBytes > 0 ? 1u : 0u; },
+                1),
+            1u);
+  EXPECT_EQ(L.T.stats().LinesDispatched, Before);
+
+  // Release the holder so the drain can finish.
+  closeQuietly(Holder.Fd);
+  Holder.Fd = -1;
+  L.Loop.join();
+  L.Started = false;
+  L.S.finish();
+  EXPECT_NE(L.Log.str().find("TCP drain complete"), std::string::npos)
+      << L.Log.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded transport
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedTcpServerTest, HandoffPinsConnectionsRoundRobinAndStatsMerge) {
+  TcpServerOptions TOpts;
+  TOpts.Shards = 2;
+  TOpts.AcceptMode = TcpAcceptMode::Handoff;
+  LiveServer L(TOpts);
+  ASSERT_TRUE(L.Started);
+  EXPECT_EQ(L.T.shardCount(), 2u);
+  EXPECT_FALSE(L.T.usesReusePort());
+
+  // Serial connect+request+response keeps the accept order (and so the
+  // round-robin placement) deterministic.
+  std::vector<std::unique_ptr<RawClient>> Cs;
+  for (int I = 0; I < 6; ++I) {
+    Cs.push_back(std::make_unique<RawClient>(L.port()));
+    ASSERT_GE(Cs.back()->Fd, 0);
+    ASSERT_TRUE(Cs.back()->sendAll(sliceRequest("h" + std::to_string(I))));
+    ASSERT_TRUE(Cs.back()->readLine().has_value());
+  }
+
+  EXPECT_EQ(waitForCount([&] { return L.T.stats().Accepted; }, 6), 6u);
+  EXPECT_EQ(L.T.shardStats(0).Accepted, 3u);
+  EXPECT_EQ(L.T.shardStats(1).Accepted, 3u);
+
+  // The merged view is the per-shard sum (max for the high-water mark).
+  TransportStats M = L.T.stats();
+  uint64_t SumAccepted = 0, SumDispatched = 0, SumDelivered = 0,
+           MaxHighWater = 0;
+  for (unsigned I = 0; I < L.T.shardCount(); ++I) {
+    TransportStats S = L.T.shardStats(I);
+    SumAccepted += S.Accepted;
+    SumDispatched += S.LinesDispatched;
+    SumDelivered += S.ResponsesDelivered;
+    if (S.InBufHighWaterBytes > MaxHighWater)
+      MaxHighWater = S.InBufHighWaterBytes;
+  }
+  EXPECT_EQ(M.Accepted, SumAccepted);
+  EXPECT_EQ(M.LinesDispatched, SumDispatched);
+  EXPECT_EQ(M.ResponsesDelivered, SumDelivered);
+  EXPECT_EQ(M.InBufHighWaterBytes, MaxHighWater);
+}
+
+TEST(ShardedTcpServerTest, ReusePortShardsServeAndMergeStats) {
+  TcpServerOptions TOpts;
+  TOpts.Shards = 2;
+  TOpts.AcceptMode = TcpAcceptMode::ReusePort;
+  std::ostringstream Unused, Log;
+  ServerOptions SOpts;
+  SOpts.Threads = 2;
+  Server S(SOpts, Unused, Log);
+  TcpServer T(S, TOpts, Log);
+  std::string Err;
+  if (!T.start(Err)) {
+    S.finish();
+    GTEST_SKIP() << "SO_REUSEPORT unavailable: " << Err;
+  }
+  EXPECT_TRUE(T.usesReusePort());
+  EXPECT_EQ(T.shardCount(), 2u);
+  std::thread Loop([&] { T.run(); });
+
+  // The kernel decides placement; assert service and merged accounting,
+  // not distribution.
+  for (int I = 0; I < 6; ++I) {
+    RawClient C(T.port());
+    ASSERT_GE(C.Fd, 0);
+    ASSERT_TRUE(C.sendAll(sliceRequest("r" + std::to_string(I))));
+    std::optional<std::string> Line = C.readLine();
+    ASSERT_TRUE(Line.has_value());
+    EXPECT_NE(Line->find("\"status\":\"ok\""), std::string::npos);
+  }
+  EXPECT_EQ(waitForCount([&] { return T.stats().Accepted; }, 6), 6u);
+  uint64_t SumAccepted = 0;
+  for (unsigned I = 0; I < T.shardCount(); ++I)
+    SumAccepted += T.shardStats(I).Accepted;
+  EXPECT_EQ(SumAccepted, 6u);
+
+  T.requestStop();
+  Loop.join();
+  S.finish();
+}
+
+TEST(ShardedTcpServerTest, SlowPeerOnOneShardDoesNotDisturbAnother) {
+  TcpServerOptions TOpts;
+  TOpts.Shards = 2;
+  TOpts.AcceptMode = TcpAcceptMode::Handoff;
+  TOpts.ReadDeadlineMs = 150;
+  TOpts.IdleTimeoutMs = 0;
+  LiveServer L(TOpts);
+  ASSERT_TRUE(L.Started);
+
+  RawClient A(L.port()); // First accept: shard 0.
+  ASSERT_GE(A.Fd, 0);
+  ASSERT_TRUE(A.sendAll(sliceRequest("a0")));
+  ASSERT_TRUE(A.readLine().has_value());
+  RawClient B(L.port()); // Second accept: shard 1.
+  ASSERT_GE(B.Fd, 0);
+  ASSERT_TRUE(B.sendAll(sliceRequest("b0")));
+  ASSERT_TRUE(B.readLine().has_value());
+
+  // A turns slowloris: a line that never completes. Its *own* shard
+  // applies the read deadline; B's shard never notices.
+  ASSERT_TRUE(A.sendAll("{\"id\": \"sl"));
+  EXPECT_TRUE(A.waitForClose(5000));
+  EXPECT_EQ(
+      waitForCount([&] { return L.T.shardStats(0).DeadlineClosed; }, 1),
+      1u);
+  EXPECT_EQ(L.T.shardStats(1).DeadlineClosed, 0u);
+
+  ASSERT_TRUE(B.sendAll(sliceRequest("b1")));
+  std::optional<std::string> Line = B.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(ShardedTcpServerTest, ConnectionBudgetIsGlobalAcrossShards) {
+  TcpServerOptions TOpts;
+  TOpts.Shards = 2;
+  TOpts.AcceptMode = TcpAcceptMode::Handoff;
+  TOpts.MaxConnections = 2;
+  LiveServer L(TOpts);
+  ASSERT_TRUE(L.Started);
+
+  // Two connections land on two different shards and exhaust the
+  // *global* budget — a per-shard cap of 2 would admit four.
+  RawClient C1(L.port()), C2(L.port());
+  ASSERT_GE(C1.Fd, 0);
+  ASSERT_GE(C2.Fd, 0);
+  ASSERT_TRUE(C1.sendAll(sliceRequest("c1")));
+  ASSERT_TRUE(C1.readLine().has_value());
+  ASSERT_TRUE(C2.sendAll(sliceRequest("c2")));
+  ASSERT_TRUE(C2.readLine().has_value());
+  EXPECT_EQ(L.T.shardStats(0).Accepted, 1u);
+  EXPECT_EQ(L.T.shardStats(1).Accepted, 1u);
+
+  RawClient C3(L.port());
+  ASSERT_GE(C3.Fd, 0);
+  std::optional<std::string> Line = C3.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"status\":\"shed\""), std::string::npos) << *Line;
+  EXPECT_NE(Line->find("connection limit"), std::string::npos) << *Line;
+  EXPECT_TRUE(C3.waitForClose());
+  EXPECT_EQ(L.T.stats().RefusedAtCap, 1u);
+
+  // Closing one admitted connection releases its slot to *any* shard.
+  closeQuietly(C2.Fd);
+  C2.Fd = -1;
+  EXPECT_EQ(waitForCount([&] { return L.T.stats().Active; }, 1), 1u);
+  RawClient C4(L.port());
+  ASSERT_GE(C4.Fd, 0);
+  ASSERT_TRUE(C4.sendAll(sliceRequest("c4")));
+  Line = C4.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"status\":\"ok\""), std::string::npos) << *Line;
+}
+
+TEST(ShardedTcpServerTest, DrainCoordinatesAcrossAllShards) {
+  TcpServerOptions TOpts;
+  TOpts.Shards = 3;
+  TOpts.AcceptMode = TcpAcceptMode::Handoff;
+  LiveServer L(TOpts);
+  ASSERT_TRUE(L.Started);
+
+  // One served connection per shard (round-robin), then stop: every
+  // shard must flush and close its own connection, and run() returns
+  // only after all three report a quiet drain.
+  RawClient C0(L.port()), C1(L.port()), C2(L.port());
+  for (RawClient *C : {&C0, &C1, &C2}) {
+    ASSERT_GE(C->Fd, 0);
+    ASSERT_TRUE(C->sendAll(sliceRequest("d")));
+    ASSERT_TRUE(C->readLine().has_value());
+  }
+  EXPECT_EQ(L.T.shardStats(0).Accepted, 1u);
+  EXPECT_EQ(L.T.shardStats(1).Accepted, 1u);
+  EXPECT_EQ(L.T.shardStats(2).Accepted, 1u);
+
+  L.T.requestStop();
+  EXPECT_TRUE(C0.waitForClose(10000));
+  EXPECT_TRUE(C1.waitForClose(10000));
+  EXPECT_TRUE(C2.waitForClose(10000));
+  L.Loop.join();
+  L.Started = false;
+  L.S.finish();
+  EXPECT_NE(L.Log.str().find("TCP drain complete across 3 shards"),
+            std::string::npos)
+      << L.Log.str();
+}
+
 //===----------------------------------------------------------------------===//
 // ClientConnection retries
 //===----------------------------------------------------------------------===//
@@ -710,9 +1102,38 @@ TEST(ClientTest, RecognizesRetriableInFlightResponses) {
   EXPECT_TRUE(isRetriableInFlight(
       "{\"error\":\"request id already in flight\","
       "\"status\":\"bad-request\"}"));
+  // Field order and extra envelope fields don't matter — only the
+  // parsed `status` and `error` values do.
+  EXPECT_TRUE(isRetriableInFlight(
+      "{\"id\":\"r7\",\"status\":\"bad-request\","
+      "\"error\":\"request id already in flight\"}"));
   EXPECT_FALSE(isRetriableInFlight(
       "{\"error\":\"missing field\",\"status\":\"bad-request\"}"));
   EXPECT_FALSE(isRetriableInFlight("{\"status\":\"ok\"}"));
+}
+
+TEST(ClientTest, MagicStringsInsideBodiesAreNotRetriable) {
+  // The old substring match scanned the whole response line, so a
+  // served request whose *program text* (or any echoed field) happened
+  // to contain both magic strings was misread as "still in flight" and
+  // silently resubmitted. Matching the parsed envelope fields instead
+  // makes these inert.
+  EXPECT_FALSE(isRetriableInFlight(
+      "{\"id\":\"ok-1\",\"status\":\"ok\",\"program\":"
+      "\"s = \\\"request id already in flight\\\"; "
+      "t = \\\"bad-request\\\";\"}"));
+  // The magic error under a *different* status, and vice versa.
+  EXPECT_FALSE(isRetriableInFlight(
+      "{\"error\":\"request id already in flight\","
+      "\"status\":\"internal\"}"));
+  EXPECT_FALSE(isRetriableInFlight(
+      "{\"error\":\"parse failed near 'request id already in flight' "
+      "(bad-request)\",\"status\":\"shed\"}"));
+  // Non-JSON lines containing both strings are transport noise, not a
+  // retry signal.
+  EXPECT_FALSE(isRetriableInFlight(
+      "request id already in flight bad-request"));
+  EXPECT_FALSE(isRetriableInFlight(""));
 }
 
 //===----------------------------------------------------------------------===//

@@ -25,6 +25,7 @@
 ///                [--max-conns N] [--idle-timeout-ms N]
 ///                [--read-deadline-ms N] [--write-buffer-bytes N]
 ///                [--drain-grace-ms N] [--send-buffer-bytes N]
+///                [--shards N]
 ///
 ///   --input FILE      read requests from FILE instead of stdin
 ///   --listen HOST:PORT serve over TCP instead of stdin (see
@@ -32,6 +33,11 @@
 ///                     reported as "listening on HOST:PORT" on stderr).
 ///                     Per-connection containment: a misbehaving byte
 ///                     stream costs exactly its own connection
+///   --shards N        TCP: reactor shard threads, each owning its
+///                     connections outright (default 0 = one per
+///                     hardware thread). SO_REUSEPORT listeners when
+///                     the platform has them, else round-robin fd
+///                     handoff from shard 0
 ///   --max-line-bytes N refuse request lines longer than N bytes with a
 ///                     deterministic shed response, on every transport
 ///                     (default 4 MiB; 0 = unbounded)
@@ -139,7 +145,7 @@ int usage() {
                "                    [--read-deadline-ms N] "
                "[--write-buffer-bytes N]\n"
                "                    [--drain-grace-ms N] "
-               "[--send-buffer-bytes N]\n"
+               "[--send-buffer-bytes N] [--shards N]\n"
                "                    [--cache on|off] [--cache-entries N] "
                "[--cache-bytes N]\n"
                "                    [--cache-audit-every N] "
@@ -306,6 +312,7 @@ int main(int argc, char **argv) {
                Arg == "--max-conns" || Arg == "--idle-timeout-ms" ||
                Arg == "--read-deadline-ms" || Arg == "--write-buffer-bytes" ||
                Arg == "--drain-grace-ms" || Arg == "--send-buffer-bytes" ||
+               Arg == "--shards" ||
                Arg == "--cache-entries" || Arg == "--cache-bytes" ||
                Arg == "--cache-audit-every" || Arg == "--cache-audit-seed") {
       std::optional<std::string> Value = NextValue();
@@ -348,6 +355,8 @@ int main(int argc, char **argv) {
         TcpOpts.DrainGraceMs = *N;
       else if (Arg == "--send-buffer-bytes")
         TcpOpts.SendBufferBytes = static_cast<int>(*N);
+      else if (Arg == "--shards")
+        TcpOpts.Shards = static_cast<unsigned>(*N);
       else if (Arg == "--cache-entries")
         Opts.Cache.MaxEntries = static_cast<unsigned>(*N);
       else if (Arg == "--cache-bytes")
@@ -394,9 +403,13 @@ int main(int argc, char **argv) {
     ::sigaction(SIGTERM, &SA, nullptr);
     ::sigaction(SIGINT, &SA, nullptr);
 #endif
-    // Parsable by wrappers (the port matters with --listen HOST:0).
+    // Parsable by wrappers (the port matters with --listen HOST:0);
+    // keep the port at end of line, scripts anchor on it.
     std::fprintf(stderr, "jslice_serve: listening on %s:%u\n",
                  TcpOpts.Host.c_str(), T.port());
+    std::fprintf(stderr, "jslice_serve: transport shards: %u (%s)\n",
+                 T.shardCount(),
+                 T.usesReusePort() ? "reuseport" : "fd handoff");
     T.run();
     S.finish();
     if (ShutdownRequested.load(std::memory_order_relaxed))

@@ -77,7 +77,7 @@
 ///               [--isolate thread|process] [--workers N]
 ///               [--crash-matrix] [--kill-interval-ms N]
 ///               [--quarantine DIR] [--bench] [--out FILE]
-///               [--net] [--net-clients N]
+///               [--net] [--net-clients N] [--shards N]
 ///               [--cache on|off] [--cache-entries N] [--cache-bytes N]
 ///               [--cache-audit-every N] [--audit-seeds N] [--verbose]
 ///
@@ -130,6 +130,7 @@ struct SoakOptions {
   std::string OutPath;
   bool Net = false;
   unsigned NetClients = 4;
+  unsigned Shards = 0; ///< Transport reactor shards; 0 = hardware.
   bool CacheEnabled = true;
   uint64_t CacheEntries = 0;    ///< 0 = CacheOptions default.
   uint64_t CacheBytes = 0;      ///< 0 = CacheOptions default.
@@ -170,7 +171,7 @@ int usage() {
                "                   [--crash-matrix] [--kill-interval-ms N] "
                "[--quarantine DIR]\n"
                "                   [--bench] [--out FILE] [--net] "
-               "[--net-clients N]\n"
+               "[--net-clients N] [--shards N]\n"
                "                   [--cache on|off] [--cache-entries N] "
                "[--cache-bytes N]\n"
                "                   [--cache-audit-every N] [--audit-seeds N] "
@@ -788,6 +789,7 @@ int runNetSoak(const SoakOptions &Opts) {
 
   TcpServerOptions TOpts;
   TOpts.IdleTimeoutMs = 60000; // Proxy stalls must not read as idleness.
+  TOpts.Shards = Opts.Shards;
   TcpServer T(S, TOpts, Log);
   std::string Err;
   if (!T.start(Err)) {
@@ -1111,6 +1113,7 @@ std::optional<BenchRun> benchTcpMode(const SoakOptions &Opts,
   SOpts.Cache = Cache;
   Server S(SOpts, Unused, Log);
   TcpServerOptions TOpts;
+  TOpts.Shards = Opts.Shards;
   TcpServer T(S, TOpts, Log);
   std::string Err;
   if (!T.start(Err))
@@ -1237,6 +1240,105 @@ uint64_t zipfExactlyOnce(Audit &A, uint64_t Slices, const char *Tag) {
   }
   return Violations;
 }
+
+/// One rung of the shard ladder: the same framed request lines split
+/// round-robin across \p Clients concurrent connections into a server
+/// running \p Shards reactor shards. benchTcpMode's single pipelined
+/// connection can only ever land on one shard; this variant gives
+/// every shard work, so the ladder measures what sharding buys on the
+/// hardware at hand. Every response line is collected and audited.
+std::optional<BenchRun> benchTcpMulti(const SoakOptions &Opts,
+                                      const std::vector<std::string> &Lines,
+                                      unsigned Shards, unsigned Clients,
+                                      const CacheOptions &Cache, Audit &A) {
+  std::ostringstream Unused, Log;
+  ServerOptions SOpts;
+  SOpts.Threads = Opts.Threads;
+  SOpts.QuarantineDir = Opts.QuarantineDir;
+  SOpts.Cache = Cache;
+  Server S(SOpts, Unused, Log);
+  TcpServerOptions TOpts;
+  TOpts.Shards = Shards;
+  TcpServer T(S, TOpts, Log);
+  std::string Err;
+  if (!T.start(Err))
+    return std::nullopt;
+  std::thread Loop([&] { T.run(); });
+  uint16_t Port = T.port();
+
+  // Pre-framed per-client partitions, so client threads only shovel.
+  std::vector<std::string> In(Clients);
+  std::vector<uint64_t> Expect(Clients, 0);
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    In[I % Clients] += Lines[I];
+    In[I % Clients] += '\n';
+    ++Expect[I % Clients];
+  }
+
+  std::mutex M;
+  std::vector<std::string> Collected;
+  Collected.reserve(Lines.size());
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Pump;
+  for (unsigned CI = 0; CI != Clients; ++CI) {
+    Pump.emplace_back([&, CI] {
+      std::string E;
+      int Fd = connectTcp("127.0.0.1", Port, 5000, E);
+      if (Fd < 0)
+        return; // The exactly-once audit reports the missing responses.
+      std::thread Writer([&, Fd] {
+        const std::string &Buf = In[CI];
+        size_t Sent = 0;
+        while (Sent < Buf.size()) {
+          int64_t W = sendSome(Fd, Buf.data() + Sent, Buf.size() - Sent);
+          if (W <= 0)
+            break;
+          Sent += static_cast<size_t>(W);
+        }
+      });
+      std::vector<std::string> Local;
+      Local.reserve(Expect[CI]);
+      std::string Partial;
+      char Chunk[65536];
+      uint64_t Got = 0;
+      while (Got < Expect[CI]) {
+        int64_t N = recvSome(Fd, Chunk, sizeof(Chunk));
+        if (N <= 0)
+          break;
+        for (int64_t I = 0; I != N; ++I) {
+          if (Chunk[I] != '\n') {
+            Partial.push_back(Chunk[I]);
+            continue;
+          }
+          Local.push_back(Partial);
+          Partial.clear();
+          ++Got;
+        }
+      }
+      Writer.join();
+      closeQuietly(Fd);
+      std::lock_guard<std::mutex> Lock(M);
+      for (auto &L : Local)
+        Collected.push_back(std::move(L));
+    });
+  }
+  for (auto &P : Pump)
+    P.join();
+  BenchRun R;
+  R.WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - Start)
+                 .count();
+  T.requestStop();
+  Loop.join();
+  S.finish();
+  R.Stats = S.stats();
+  for (const std::string &L : Collected)
+    auditLine(L, A);
+  uint64_t Answered = R.Stats.Served + R.Stats.Refused + R.Stats.Errors;
+  R.ThroughputRps = R.WallMs > 0 ? Answered / (R.WallMs / 1000.0) : 0;
+  return R;
+}
 #endif
 
 JsonValue benchJson(const BenchRun &R) {
@@ -1353,6 +1455,64 @@ int runBench(const SoakOptions &Opts) {
     } else {
       std::fprintf(stderr,
                    "jslice_soak: zipf bench skipped (no TCP listener)\n");
+    }
+
+    // The shard ladder: the same Zipf cache-on stream, split across
+    // enough concurrent connections to feed every shard, at 1/2/4/8
+    // reactor shards. Every rung carries the exactly-once audit; the
+    // recorded hardware_concurrency says how much parallelism the
+    // ladder could possibly show on this machine.
+    std::vector<std::string> ZLines;
+    {
+      size_t Pos = 0, NL;
+      while ((NL = ZInput.find('\n', Pos)) != std::string::npos) {
+        ZLines.push_back(ZInput.substr(Pos, NL - Pos));
+        Pos = NL + 1;
+      }
+    }
+    const unsigned LadderClients = 8;
+    double Rung1 = 0, Rung8 = 0;
+    JsonValue Rungs = JsonValue::array();
+    bool LadderOk = true;
+    for (unsigned NS : {1u, 2u, 4u, 8u}) {
+      Audit LA;
+      std::optional<BenchRun> LR =
+          benchTcpMulti(Opts, ZLines, NS, LadderClients, CacheOn, LA);
+      if (!LR) {
+        std::fprintf(stderr,
+                     "jslice_soak: shard ladder skipped at %u shards "
+                     "(no TCP listener)\n",
+                     NS);
+        LadderOk = false;
+        break;
+      }
+      std::string Tag = "shards-" + std::to_string(NS);
+      ZipfViolations += zipfExactlyOnce(LA, ZSlices, Tag.c_str());
+      JsonValue E = JsonValue::object();
+      E.set("shards", static_cast<uint64_t>(NS));
+      E.set("clients", static_cast<uint64_t>(LadderClients));
+      E.set("throughput_rps", LR->ThroughputRps);
+      E.set("wall_ms", LR->WallMs);
+      E.set("latency_p50_ms", LR->Stats.P50Ms);
+      Rungs.push(std::move(E));
+      if (NS == 1)
+        Rung1 = LR->ThroughputRps;
+      if (NS == 8)
+        Rung8 = LR->ThroughputRps;
+      std::printf("jslice_soak: shard ladder — %u shard%s: %.0f req/s "
+                  "over %u connections\n",
+                  NS, NS == 1 ? "" : "s", LR->ThroughputRps,
+                  LadderClients);
+    }
+    if (LadderOk) {
+      JsonValue Ladder = JsonValue::object();
+      Ladder.set("distribution", "zipf(s=1)");
+      Ladder.set("cache", "on");
+      Ladder.set("requests", ZSlices);
+      Ladder.set("rungs", std::move(Rungs));
+      if (Rung1 > 0)
+        Ladder.set("speedup_8v1", Rung8 / Rung1);
+      Root.set("shard_ladder", std::move(Ladder));
     }
   }
 #endif
@@ -1511,6 +1671,7 @@ int main(int argc, char **argv) {
         Arg == "--threads" || Arg == "--seed" || Arg == "--fault-stride" ||
         Arg == "--workers" || Arg == "--kill-interval-ms" ||
         Arg == "--breaker-threshold" || Arg == "--net-clients" ||
+        Arg == "--shards" ||
         Arg == "--cache-entries" || Arg == "--cache-bytes" ||
         Arg == "--cache-audit-every" || Arg == "--audit-seeds") {
       std::optional<std::string> Value = NextValue();
@@ -1537,6 +1698,8 @@ int main(int argc, char **argv) {
         Opts.BreakerThreshold = static_cast<unsigned>(*N);
       else if (Arg == "--net-clients")
         Opts.NetClients = static_cast<unsigned>(std::max<uint64_t>(1, *N));
+      else if (Arg == "--shards")
+        Opts.Shards = static_cast<unsigned>(*N);
       else if (Arg == "--cache-entries")
         Opts.CacheEntries = *N;
       else if (Arg == "--cache-bytes")
