@@ -260,6 +260,93 @@ int64_t jslice::recvSome(int Fd, void *Buf, size_t N) {
   }
 }
 
+bool jslice::makeSocketPair(int Fds[2]) {
+  // No FD_CLOEXEC: the whole point of the pair is to survive the
+  // successor generation's exec so the listener can cross it.
+  return ::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) == 0;
+}
+
+bool jslice::sendFdOverSocket(int Sock, int Fd) {
+  char Byte = 'f';
+  struct iovec IO;
+  IO.iov_base = &Byte;
+  IO.iov_len = 1;
+  // Aligned cmsg buffer, per cmsg(3).
+  union {
+    struct cmsghdr Align;
+    char Buf[CMSG_SPACE(sizeof(int))];
+  } Ctl;
+  std::memset(&Ctl, 0, sizeof(Ctl));
+  struct msghdr Msg;
+  std::memset(&Msg, 0, sizeof(Msg));
+  Msg.msg_iov = &IO;
+  Msg.msg_iovlen = 1;
+  Msg.msg_control = Ctl.Buf;
+  Msg.msg_controllen = sizeof(Ctl.Buf);
+  struct cmsghdr *Cm = CMSG_FIRSTHDR(&Msg);
+  Cm->cmsg_level = SOL_SOCKET;
+  Cm->cmsg_type = SCM_RIGHTS;
+  Cm->cmsg_len = CMSG_LEN(sizeof(int));
+  std::memcpy(CMSG_DATA(Cm), &Fd, sizeof(int));
+  for (;;) {
+    ssize_t W = ::sendmsg(Sock, &Msg, MSG_NOSIGNAL);
+    if (W >= 0)
+      return true;
+    if (errno != EINTR)
+      return false;
+  }
+}
+
+int jslice::recvFdOverSocket(int Sock, int TimeoutMs) {
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(TimeoutMs < 0 ? 0 : TimeoutMs);
+  struct pollfd P;
+  P.fd = Sock;
+  P.events = POLLIN;
+  P.revents = 0;
+  for (;;) {
+    int N = ::poll(&P, 1, remainingMs(TimeoutMs, Deadline));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return -1;
+    break;
+  }
+  char Byte = 0;
+  struct iovec IO;
+  IO.iov_base = &Byte;
+  IO.iov_len = 1;
+  union {
+    struct cmsghdr Align;
+    char Buf[CMSG_SPACE(sizeof(int))];
+  } Ctl;
+  std::memset(&Ctl, 0, sizeof(Ctl));
+  struct msghdr Msg;
+  std::memset(&Msg, 0, sizeof(Msg));
+  Msg.msg_iov = &IO;
+  Msg.msg_iovlen = 1;
+  Msg.msg_control = Ctl.Buf;
+  Msg.msg_controllen = sizeof(Ctl.Buf);
+  for (;;) {
+    ssize_t R = ::recvmsg(Sock, &Msg, 0);
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R <= 0)
+      return -1;
+    break;
+  }
+  for (struct cmsghdr *Cm = CMSG_FIRSTHDR(&Msg); Cm;
+       Cm = CMSG_NXTHDR(&Msg, Cm))
+    if (Cm->cmsg_level == SOL_SOCKET && Cm->cmsg_type == SCM_RIGHTS &&
+        Cm->cmsg_len >= CMSG_LEN(sizeof(int))) {
+      int Fd = -1;
+      std::memcpy(&Fd, CMSG_DATA(Cm), sizeof(int));
+      return Fd;
+    }
+  return -1;
+}
+
 #else // !JSLICE_HAVE_POSIX_PROCESS
 
 int jslice::listenTcp(const std::string &, uint16_t, int, std::string &Err,
@@ -279,5 +366,8 @@ void jslice::setTcpNoDelay(int) {}
 void jslice::setHardReset(int) {}
 int64_t jslice::sendSome(int, const void *, size_t) { return -1; }
 int64_t jslice::recvSome(int, void *, size_t) { return -1; }
+bool jslice::makeSocketPair(int[2]) { return false; }
+bool jslice::sendFdOverSocket(int, int) { return false; }
+int jslice::recvFdOverSocket(int, int) { return -1; }
 
 #endif

@@ -89,6 +89,23 @@ int64_t sendSome(int Fd, const void *Buf, size_t N);
 /// NetWouldBlock on EAGAIN, -1 on error.
 int64_t recvSome(int Fd, void *Buf, size_t N);
 
+/// Creates a connected AF_UNIX SOCK_STREAM pair (close-on-exec NOT set
+/// on either end — the pair exists to cross an exec boundary during a
+/// generation handoff; callers close the end they keep after fork).
+/// False on error.
+bool makeSocketPair(int Fds[2]);
+
+/// Sends a duplicate of \p Fd over the Unix-domain socket \p Sock via
+/// SCM_RIGHTS (one data byte rides along so the receiver has something
+/// to block on). The caller keeps ownership of \p Fd. False on error
+/// or on platforms without Unix-domain sockets.
+bool sendFdOverSocket(int Sock, int Fd);
+
+/// Receives one fd sent with sendFdOverSocket, blocking up to
+/// \p TimeoutMs milliseconds. Returns the fd (caller owns it), or -1
+/// on timeout, EOF, or a message without ancillary data.
+int recvFdOverSocket(int Sock, int TimeoutMs);
+
 } // namespace jslice
 
 #endif // JSLICE_NET_SOCKET_H

@@ -28,6 +28,18 @@ using namespace jslice;
 
 using Clock = std::chrono::steady_clock;
 
+namespace {
+
+/// Steady-clock milliseconds, for the lock-free heartbeat atomics.
+uint64_t steadyMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
 JsonValue TransportStats::toJson() const {
   JsonValue V = JsonValue::object();
   V.set("accepted", Accepted);
@@ -43,6 +55,7 @@ JsonValue TransportStats::toJson() const {
   V.set("responses_delivered", ResponsesDelivered);
   V.set("in_buf_high_water_bytes", InBufHighWaterBytes);
   V.set("drain_discarded_bytes", DrainDiscardedBytes);
+  V.set("heartbeat_age_ms", HeartbeatAgeMs);
   return V;
 }
 
@@ -92,6 +105,10 @@ struct TcpServer::Shard {
       CleanClosed{0}, IdleClosed{0}, DeadlineClosed{0},
       BackpressureClosed{0}, PeerResets{0}, OversizedLines{0},
       LinesDispatched{0}, InBufHighWaterBytes{0}, DrainDiscardedBytes{0};
+  /// Liveness heartbeat: steady ms of the loop's last turn. Stored
+  /// every shardLoop iteration (the 200ms poll tick guarantees an idle
+  /// shard still beats); 0 until the loop first runs.
+  std::atomic<uint64_t> LastBeatMs{0};
   /// Shared with this shard's sinks (which may outlive this object).
   std::shared_ptr<std::atomic<uint64_t>> Delivered =
       std::make_shared<std::atomic<uint64_t>>(0);
@@ -137,6 +154,11 @@ TransportStats TcpServer::shardStats(unsigned Index) const {
       S.InBufHighWaterBytes.load(std::memory_order_relaxed);
   T.DrainDiscardedBytes =
       S.DrainDiscardedBytes.load(std::memory_order_relaxed);
+  uint64_t Beat = S.LastBeatMs.load(std::memory_order_relaxed);
+  if (Beat) {
+    uint64_t Now = steadyMs();
+    T.HeartbeatAgeMs = Now > Beat ? Now - Beat : 0;
+  }
   return T;
 }
 
@@ -160,8 +182,45 @@ TransportStats TcpServer::stats() const {
     M.InBufHighWaterBytes =
         std::max(M.InBufHighWaterBytes, T.InBufHighWaterBytes);
     M.DrainDiscardedBytes += T.DrainDiscardedBytes;
+    // Liveness is as stale as the most-stale shard.
+    M.HeartbeatAgeMs = std::max(M.HeartbeatAgeMs, T.HeartbeatAgeMs);
   }
   return M;
+}
+
+std::vector<uint64_t> TcpServer::shardHeartbeatAgesMs() const {
+  std::vector<uint64_t> Ages;
+  Ages.reserve(Shards.size());
+  for (unsigned I = 0; I != Shards.size(); ++I)
+    Ages.push_back(shardStats(I).HeartbeatAgeMs);
+  return Ages;
+}
+
+bool TcpServer::anyShardWedged() const {
+  for (uint64_t Age : shardHeartbeatAgesMs())
+    if (Age > Opts.WedgeThresholdMs)
+      return true;
+  return false;
+}
+
+JsonValue TcpServer::healthProbeJson() const {
+  JsonValue V = JsonValue::object();
+  V.set("shards", static_cast<uint64_t>(Shards.size()));
+  JsonValue Ages = JsonValue::array();
+  bool Wedged = false;
+  for (uint64_t Age : shardHeartbeatAgesMs()) {
+    Ages.push(Age);
+    if (Age > Opts.WedgeThresholdMs)
+      Wedged = true;
+  }
+  V.set("shard_heartbeat_ages_ms", std::move(Ages));
+  if (Wedged)
+    V.set("wedged", true);
+  return V;
+}
+
+int TcpServer::shardZeroListenerFd() const {
+  return Shards.empty() ? -1 : Shards[0]->ListenFd;
 }
 
 JsonValue TcpServer::transportJson() const {
@@ -171,6 +230,8 @@ JsonValue TcpServer::transportJson() const {
   for (unsigned I = 0; I != Shards.size(); ++I)
     Per.push(shardStats(I).toJson());
   V.set("per_shard", std::move(Per));
+  if (anyShardWedged())
+    V.set("wedged", true);
   return V;
 }
 
@@ -209,49 +270,64 @@ bool TcpServer::start(std::string &Err) {
   // and the kernel spreads accepts. Handoff: shard 0 owns the sole
   // listener and round-robins accepted fds. Auto tries the former and
   // falls back; an explicit ReusePort request fails honestly.
+  // ReusePortAlways extends the REUSEPORT path to N == 1 so a successor
+  // generation can bind alongside (the kernel only admits a second
+  // binder when every socket on the port carries the option).
   UseReusePort = false;
-  if (N > 1 && Opts.AcceptMode != TcpAcceptMode::Handoff) {
-    std::string ReuseErr;
-    int Fd0 = listenTcp(Opts.Host, Opts.Port, /*Backlog=*/128, ReuseErr,
-                        /*ReusePort=*/true);
-    if (Fd0 >= 0) {
-      Shards[0]->ListenFd = Fd0;
-      uint16_t BoundPort = tcpLocalPort(Fd0);
-      bool AllBound = true;
-      for (unsigned I = 1; I != N && AllBound; ++I) {
-        int Fd = listenTcp(Opts.Host, BoundPort, /*Backlog=*/128, ReuseErr,
-                           /*ReusePort=*/true);
-        if (Fd < 0)
-          AllBound = false;
-        else
-          Shards[I]->ListenFd = Fd;
-      }
-      if (AllBound)
-        UseReusePort = true;
-      else
-        for (auto &S : Shards) {
-          closeQuietly(S->ListenFd);
-          S->ListenFd = -1;
+  if (Opts.InheritedListenerFd >= 0) {
+    // Adopt a predecessor generation's listener received over
+    // SCM_RIGHTS — the fallback when a fresh SO_REUSEPORT bind is
+    // unavailable. Shard 0 owns it; with N > 1 accepts degrade to
+    // round-robin handoff, which is still a working (if less parallel)
+    // accept path.
+    setNonBlocking(Opts.InheritedListenerFd, true);
+    Shards[0]->ListenFd = Opts.InheritedListenerFd;
+  } else {
+    if ((N > 1 || Opts.ReusePortAlways) &&
+        Opts.AcceptMode != TcpAcceptMode::Handoff) {
+      std::string ReuseErr;
+      int Fd0 = listenTcp(Opts.Host, Opts.Port, /*Backlog=*/128, ReuseErr,
+                          /*ReusePort=*/true);
+      if (Fd0 >= 0) {
+        Shards[0]->ListenFd = Fd0;
+        uint16_t BoundPort = tcpLocalPort(Fd0);
+        bool AllBound = true;
+        for (unsigned I = 1; I != N && AllBound; ++I) {
+          int Fd = listenTcp(Opts.Host, BoundPort, /*Backlog=*/128, ReuseErr,
+                             /*ReusePort=*/true);
+          if (Fd < 0)
+            AllBound = false;
+          else
+            Shards[I]->ListenFd = Fd;
         }
+        if (AllBound)
+          UseReusePort = true;
+        else
+          for (auto &S : Shards) {
+            closeQuietly(S->ListenFd);
+            S->ListenFd = -1;
+          }
+      }
+      if (!UseReusePort && Opts.AcceptMode == TcpAcceptMode::ReusePort) {
+        Err = "SO_REUSEPORT listeners unavailable: " + ReuseErr;
+        Shards.clear();
+        WakeWriteFds.clear();
+        return false;
+      }
     }
-    if (!UseReusePort && Opts.AcceptMode == TcpAcceptMode::ReusePort) {
-      Err = "SO_REUSEPORT listeners unavailable: " + ReuseErr;
-      Shards.clear();
-      WakeWriteFds.clear();
-      return false;
-    }
-  }
-  if (!UseReusePort) {
-    Shards[0]->ListenFd = listenTcp(Opts.Host, Opts.Port, /*Backlog=*/128,
-                                    Err);
-    if (Shards[0]->ListenFd < 0) {
-      Shards.clear();
-      WakeWriteFds.clear();
-      return false;
+    if (!UseReusePort) {
+      Shards[0]->ListenFd = listenTcp(Opts.Host, Opts.Port, /*Backlog=*/128,
+                                      Err);
+      if (Shards[0]->ListenFd < 0) {
+        Shards.clear();
+        WakeWriteFds.clear();
+        return false;
+      }
     }
   }
 
   Srv.setTransportStats([this] { return transportJson(); });
+  Srv.setHealthProbe([this] { return healthProbeJson(); });
   return true;
 }
 
@@ -594,6 +670,11 @@ bool TcpServer::shardLoop(Shard &S) {
   Clock::time_point DrainBy;
 
   for (;;) {
+    // Liveness heartbeat: the 200ms poll tick guarantees an idle shard
+    // still reaches this store, so a stale beat means a wedged loop,
+    // not a quiet one.
+    S.LastBeatMs.store(steadyMs(), std::memory_order_relaxed);
+
     bool WantStop =
         StopRequested.load(std::memory_order_relaxed) ||
         (Opts.ShutdownFlag &&

@@ -133,6 +133,28 @@ struct TcpServerOptions {
   /// Ops/test knob: makes backpressure observable with small volumes.
   int SendBufferBytes = 0;
 
+  /// Force SO_REUSEPORT on every listener, including the single-shard
+  /// and fallback paths. Upgradable servers (jslice_serve with hot
+  /// restart enabled) set this so a successor generation can bind the
+  /// same port alongside the still-draining predecessor; the kernel
+  /// requires *all* sockets on the port to carry the option. When the
+  /// platform lacks SO_REUSEPORT, start() fails honestly and the
+  /// caller falls back to SCM_RIGHTS fd inheritance.
+  bool ReusePortAlways = false;
+
+  /// An already-bound, already-listening fd to adopt as shard 0's
+  /// listener instead of binding (the fd-passing upgrade fallback: the
+  /// predecessor ships its listener over a Unix socketpair). The
+  /// transport takes ownership; multi-shard placement degrades to
+  /// Handoff, since only one listener exists.
+  int InheritedListenerFd = -1;
+
+  /// A reactor shard whose loop has not turned over for this long is
+  /// reported wedged by {"health"} and {"stats"} (0 disables). The
+  /// loop beats at least every poll tick (200ms), so anything past a
+  /// few seconds means a stuck shard, not an idle one.
+  uint64_t WedgeThresholdMs = 5000;
+
   /// Same contract as ServerOptions::ShutdownFlag: when it reads true
   /// the shards drain and run() returns. requestStop() is the
   /// in-process equivalent.
@@ -162,6 +184,10 @@ struct TransportStats {
   /// Bytes read and thrown away during drain: after the stop request
   /// the transport still reads (to see EOF/reset) but never dispatches.
   uint64_t DrainDiscardedBytes = 0;
+  /// Ms since the shard's loop last turned over (liveness heartbeat);
+  /// the merged view takes the worst (max) across shards. 0 until the
+  /// loop first runs.
+  uint64_t HeartbeatAgeMs = 0;
 
   JsonValue toJson() const;
 };
@@ -219,6 +245,24 @@ public:
 
   /// One shard's counter snapshot (thread-safe); Index < shardCount().
   TransportStats shardStats(unsigned Index) const;
+
+  /// Per-shard liveness heartbeat ages in ms (lock-free; reads each
+  /// shard's last-progress atomic). 0 for a shard whose loop has not
+  /// started yet.
+  std::vector<uint64_t> shardHeartbeatAgesMs() const;
+
+  /// True when any shard's heartbeat age exceeds WedgeThresholdMs.
+  bool anyShardWedged() const;
+
+  /// The {"health"} transport probe: shard count, heartbeat ages, and
+  /// the wedged verdict. Registered with the Server by start().
+  JsonValue healthProbeJson() const;
+
+  /// Shard 0's live listener fd (for SCM_RIGHTS handoff to a successor
+  /// generation), or -1 once draining has closed it. The caller must
+  /// dup-transfer it (sendFdOverSocket dups internally) — ownership
+  /// stays with the shard.
+  int shardZeroListenerFd() const;
 
 private:
   struct Conn;

@@ -9,6 +9,8 @@
 
 #include "support/StringUtils.h"
 
+#include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -19,6 +21,30 @@
 #endif
 
 using namespace jslice;
+
+const char *jslice::journalSyncName(JournalSync S) {
+  switch (S) {
+  case JournalSync::Full:
+    return "full";
+  case JournalSync::Batch:
+    return "batch";
+  case JournalSync::Off:
+    return "off";
+  }
+  return "full";
+}
+
+bool jslice::parseJournalSyncName(const std::string &Name, JournalSync &Out) {
+  if (Name == "full")
+    Out = JournalSync::Full;
+  else if (Name == "batch")
+    Out = JournalSync::Batch;
+  else if (Name == "off")
+    Out = JournalSync::Off;
+  else
+    return false;
+  return true;
+}
 
 namespace {
 
@@ -40,18 +66,30 @@ bool probeRecord(const std::string &Line, std::string &Event,
 } // namespace
 
 Journal::~Journal() {
-  if (File)
+  std::unique_lock<std::mutex> Lock(M);
+  stopFlusherLocked(Lock);
+  if (File) {
+    std::fflush(File);
+#ifdef JSLICE_HAVE_FSYNC
+    if (Sync != JournalSync::Off)
+      fsync(fileno(File));
+#endif
     std::fclose(File);
+    File = nullptr;
+  }
 }
 
-bool Journal::open(const std::string &P, uint64_t Rotate) {
-  std::lock_guard<std::mutex> Lock(M);
+bool Journal::open(const std::string &P, uint64_t Rotate, JournalSync S,
+                   uint64_t FlushMs) {
+  std::unique_lock<std::mutex> Lock(M);
+  stopFlusherLocked(Lock);
   if (File) {
     std::fclose(File);
     File = nullptr;
   }
   OpenBegins.clear();
   Bytes = 0;
+  Dirty = false;
 
   // Seed the in-flight index from the existing file: rotation must
   // preserve a predecessor's unmatched begins until recover() closes
@@ -76,26 +114,102 @@ bool Journal::open(const std::string &P, uint64_t Rotate) {
     return false;
   Path = P;
   RotateBytes = Rotate;
+  Sync = S;
+  FlushIntervalMs = FlushMs ? FlushMs : 25;
+  if (Sync == JournalSync::Batch) {
+    FlusherStop = false;
+    Flusher = std::thread([this] { flusherMain(); });
+  }
   return true;
+}
+
+void Journal::setGeneration(uint64_t G) {
+  std::lock_guard<std::mutex> Lock(M);
+  Gen = G;
+}
+
+uint64_t Journal::generation() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Gen;
+}
+
+void Journal::holdRotation(bool Hold) {
+  std::lock_guard<std::mutex> Lock(M);
+  RotationHeld = Hold;
+}
+
+void Journal::stopFlusherLocked(std::unique_lock<std::mutex> &Lock) {
+  if (!Flusher.joinable())
+    return;
+  FlusherStop = true;
+  FlushCv.notify_all();
+  Lock.unlock();
+  Flusher.join();
+  Lock.lock();
+  FlusherStop = false;
+}
+
+/// Batch-mode group commit: sleep until records accumulate (or at most
+/// one interval), then pay one fsync for all of them. The fsync runs
+/// under the journal mutex — that *is* the commit point; appenders
+/// queue behind it exactly as they would behind their own fsync, but
+/// N records share one disk round-trip instead of paying N.
+void Journal::flusherMain() {
+  std::unique_lock<std::mutex> Lock(M);
+  while (!FlusherStop) {
+    FlushCv.wait_for(Lock, std::chrono::milliseconds(FlushIntervalMs),
+                     [this] { return FlusherStop || Dirty; });
+    if (Dirty && File) {
+#ifdef JSLICE_HAVE_FSYNC
+      fsync(fileno(File));
+#endif
+      Dirty = false;
+      if (FlusherStop)
+        break;
+      // Bound the commit cadence: wake again one interval from now
+      // rather than fsyncing per record under load.
+      Lock.unlock();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(FlushIntervalMs));
+      Lock.lock();
+    }
+  }
+  // Final commit so close loses nothing that reached the FILE.
+  if (Dirty && File) {
+#ifdef JSLICE_HAVE_FSYNC
+    fsync(fileno(File));
+#endif
+    Dirty = false;
+  }
 }
 
 void Journal::append(const std::string &Line) {
   std::lock_guard<std::mutex> Lock(M);
   if (!File)
     return;
-  if (RotateBytes && Bytes + Line.size() + 1 > RotateBytes &&
+  if (RotateBytes && !RotationHeld &&
+      Bytes + Line.size() + 1 > RotateBytes &&
       Bytes > OpenBegins.size() * 64) // Don't thrash a tiny threshold.
     rewriteLocked();
   std::fwrite(Line.data(), 1, Line.size(), File);
   std::fputc('\n', File);
   std::fflush(File);
   Bytes += Line.size() + 1;
+  switch (Sync) {
+  case JournalSync::Full:
 #ifdef JSLICE_HAVE_FSYNC
-  // fflush reaches the OS; fsync reaches the disk. A kill -9 only
-  // needs the former, a power cut the latter — take both, the journal
-  // is not on any hot path.
-  fsync(fileno(File));
+    // fflush reaches the OS; fsync reaches the disk. A kill -9 only
+    // needs the former, a power cut the latter — take both.
+    fsync(fileno(File));
 #endif
+    break;
+  case JournalSync::Batch:
+    Dirty = true;
+    FlushCv.notify_one();
+    break;
+  case JournalSync::Off:
+    break;
+  }
 }
 
 /// Rewrites the file to exactly the unmatched begins. Called with the
@@ -135,9 +249,12 @@ void Journal::begin(const ServiceRequest &R) {
   Rec.set("event", "begin");
   Rec.set("id", R.Id);
   Rec.set("request", R.toJson());
-  std::string Line = Rec.str();
+  std::string Line;
   {
     std::lock_guard<std::mutex> Lock(M);
+    if (Gen)
+      Rec.set("gen", Gen);
+    Line = Rec.str();
     if (File)
       OpenBegins[R.Id] = Line;
   }
@@ -151,6 +268,8 @@ void Journal::end(const std::string &Id, const std::string &Status) {
   Rec.set("status", Status);
   {
     std::lock_guard<std::mutex> Lock(M);
+    if (Gen)
+      Rec.set("gen", Gen);
     OpenBegins.erase(Id);
   }
   append(Rec.str());
@@ -160,12 +279,17 @@ void Journal::shutdownRecord() {
   JsonValue Rec = JsonValue::object();
   Rec.set("event", "shutdown");
   Rec.set("status", "clean");
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Gen)
+      Rec.set("gen", Gen);
+  }
   append(Rec.str());
 }
 
 size_t Journal::compact() {
   std::lock_guard<std::mutex> Lock(M);
-  if (!File)
+  if (!File || RotationHeld)
     return 0;
   rewriteLocked();
   return OpenBegins.size();
@@ -184,7 +308,7 @@ std::vector<PoisonedRequest> jslice::scanJournal(const std::string &Path) {
 
   // Id -> last unmatched begin. Ids may legitimately recur across
   // completed begin/end pairs; only a begin still open at EOF counts.
-  std::map<std::string, ServiceRequest> Open;
+  std::map<std::string, PoisonedRequest> Open;
   std::string Line;
   while (std::getline(In, Line)) {
     if (Line.empty())
@@ -203,15 +327,22 @@ std::vector<PoisonedRequest> jslice::scanJournal(const std::string &Path) {
     if (Event->asString() == "begin") {
       const JsonValue *Req = V->find("request");
       ServiceRequest R;
-      if (Req && requestFromJson(*Req, R))
-        Open[Id->asString()] = std::move(R);
+      if (Req && requestFromJson(*Req, R)) {
+        PoisonedRequest P;
+        P.Id = Id->asString();
+        P.Request = std::move(R);
+        const JsonValue *G = V->find("gen");
+        if (G && G->isNumber() && G->asInt() > 0)
+          P.Gen = static_cast<uint64_t>(G->asInt());
+        Open[P.Id] = std::move(P);
+      }
     } else if (Event->asString() == "end") {
       Open.erase(Id->asString());
     }
   }
 
-  for (auto &[Id, R] : Open)
-    Out.push_back(PoisonedRequest{Id, std::move(R)});
+  for (auto &[Id, P] : Open)
+    Out.push_back(std::move(P));
   return Out;
 }
 

@@ -25,6 +25,26 @@
 ///   {"event":"end","id":"r1","status":"ok"}
 ///   {"event":"shutdown","status":"clean"}
 ///
+/// Under zero-downtime restart (DESIGN.md, "Zero-downtime operations")
+/// two server generations briefly append to the *same* file; every
+/// record then carries a `"gen":N` stamp (setGeneration) so recovery
+/// after a mid-upgrade kill -9 of either generation can attribute each
+/// unmatched begin to its owner: a successor quarantines only begins
+/// stamped by earlier generations, never its own live in-flight set.
+/// During the overlap window both sides hold rotation (holdRotation):
+/// a rewrite-and-rename from one process while the other appends
+/// through its own FILE* would strand those appends on the unlinked
+/// inode.
+///
+/// Durability is a policy knob (JournalSync). `Full` — the default and
+/// the historical behavior — fsyncs every record: a power cut costs
+/// nothing. `Batch` group-commits: appends reach the OS immediately
+/// (kill -9 still loses nothing) and a flusher thread fsyncs at a
+/// bounded interval, so a power cut can lose at most the last
+/// FlushIntervalMs of records. `Off` leaves disk scheduling entirely
+/// to the OS. The bench's journal_sync section quantifies the hot-path
+/// cost of each.
+///
 /// The journal only ever *matters* for its unmatched begins, so it
 /// compacts to exactly those: compact() rewrites the file keeping only
 /// in-flight begins (recover() calls it after quarantining, so a
@@ -45,16 +65,31 @@
 
 #include "service/Request.h"
 
+#include <condition_variable>
 #include <cstdio>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace jslice {
 
-/// Append side. Thread-safe; every append is flushed to the OS before
-/// returning (the journal's whole point is surviving the process).
+/// How hard an append pushes toward the disk before returning.
+enum class JournalSync {
+  Full,  ///< fsync every record (survives power loss). Default.
+  Batch, ///< fflush every record; group fsync at a bounded interval.
+  Off,   ///< fflush only; the OS flushes when it pleases.
+};
+
+/// "full" / "batch" / "off" for flags and logs.
+const char *journalSyncName(JournalSync S);
+/// Parses a --journal-sync value; false on anything unrecognized.
+bool parseJournalSyncName(const std::string &Name, JournalSync &Out);
+
+/// Append side. Thread-safe; every append reaches the OS before
+/// returning (the journal's whole point is surviving the process) —
+/// how far past the OS it pushes is the JournalSync policy.
 class Journal {
 public:
   Journal() = default;
@@ -66,12 +101,26 @@ public:
   /// Opens \p Path for appending and seeds the in-flight index from
   /// whatever the file already holds. \p RotateBytes > 0 arms size-
   /// triggered rotation: once the file exceeds it, the journal is
-  /// rewritten down to its unmatched begins. Returns false (and stays
-  /// disabled) when the file cannot be opened.
-  bool open(const std::string &Path, uint64_t RotateBytes = 0);
+  /// rewritten down to its unmatched begins. \p Sync selects the
+  /// durability policy; Batch mode starts a flusher thread honoring
+  /// \p FlushIntervalMs. Returns false (and stays disabled) when the
+  /// file cannot be opened.
+  bool open(const std::string &Path, uint64_t RotateBytes = 0,
+            JournalSync Sync = JournalSync::Full,
+            uint64_t FlushIntervalMs = 25);
 
   bool enabled() const { return File != nullptr; }
   const std::string &path() const { return Path; }
+
+  /// Stamps every subsequent record with `"gen":G` (0 = no stamp,
+  /// matching the pre-upgrade record shape).
+  void setGeneration(uint64_t G);
+  uint64_t generation() const;
+
+  /// While held, size-triggered rotation and compact() are suppressed.
+  /// Both generations hold during an upgrade overlap window; the
+  /// survivor releases once the other process is gone.
+  void holdRotation(bool Hold);
 
   /// Appends the write-ahead record for \p R.
   void begin(const ServiceRequest &R);
@@ -84,7 +133,7 @@ public:
 
   /// Rewrites the file keeping only unmatched begins. Returns the
   /// number of records kept; a fully-bracketed journal compacts to an
-  /// empty file. No-op (returning 0) when disabled.
+  /// empty file. No-op (returning 0) when disabled or rotation-held.
   size_t compact();
 
   /// Bytes currently in the file (as tracked by the appender).
@@ -93,20 +142,33 @@ public:
 private:
   void append(const std::string &Line);
   bool rewriteLocked();
+  void stopFlusherLocked(std::unique_lock<std::mutex> &Lock);
+  void flusherMain();
 
   mutable std::mutex M;
   std::FILE *File = nullptr;
   std::string Path;
   uint64_t RotateBytes = 0;
   uint64_t Bytes = 0;
+  uint64_t Gen = 0;
+  bool RotationHeld = false;
   /// Id -> raw begin line, for every begin without a matching end.
   std::map<std::string, std::string> OpenBegins;
+
+  JournalSync Sync = JournalSync::Full;
+  uint64_t FlushIntervalMs = 25;
+  bool Dirty = false;         ///< Batch: bytes appended since last fsync.
+  bool FlusherStop = false;
+  std::condition_variable FlushCv;
+  std::thread Flusher;
 };
 
 /// One in-flight-at-crash request recovered from a journal.
 struct PoisonedRequest {
   std::string Id;
   ServiceRequest Request;
+  /// Generation stamp of the begin record (0 for unstamped records).
+  uint64_t Gen = 0;
 };
 
 /// Scans \p Path for begin records with no matching end. Missing or

@@ -81,6 +81,12 @@ JsonValue ServiceRequest::toJson() const {
   case RequestKind::Stats:
     Out.set("stats", true);
     break;
+  case RequestKind::Health:
+    Out.set("health", true);
+    break;
+  case RequestKind::Upgrade:
+    Out.set("upgrade", true);
+    break;
   }
   return Out;
 }
@@ -157,6 +163,16 @@ ParsedRequest jslice::parseRequestLine(const std::string &Line) {
   if (V->find("stats")) {
     Out.Ok = true;
     Out.Request.Kind = RequestKind::Stats;
+    return Out;
+  }
+  if (V->find("health")) {
+    Out.Ok = true;
+    Out.Request.Kind = RequestKind::Health;
+    return Out;
+  }
+  if (V->find("upgrade")) {
+    Out.Ok = true;
+    Out.Request.Kind = RequestKind::Upgrade;
     return Out;
   }
 

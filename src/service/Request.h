@@ -14,6 +14,8 @@
 ///    "budget_ms": 200, "max_steps": 500000}
 ///   {"cancel": "r1"}
 ///   {"stats": true}
+///   {"health": true}
+///   {"upgrade": true}
 ///
 /// and one JSON response line per request. Response `status` mirrors
 /// the library's DiagKind taxonomy plus the service-level outcomes:
@@ -59,9 +61,11 @@ namespace jslice {
 
 /// What one parsed request line asks for.
 enum class RequestKind {
-  Slice,  ///< Analyze + slice one (program, criterion).
-  Cancel, ///< Cancel an earlier slice request by id.
-  Stats,  ///< Health snapshot: counters, tier histogram, latencies.
+  Slice,   ///< Analyze + slice one (program, criterion).
+  Cancel,  ///< Cancel an earlier slice request by id.
+  Stats,   ///< Full snapshot: counters, tier histogram, latencies.
+  Health,  ///< Lock-free liveness/readiness probe (LB-friendly).
+  Upgrade, ///< Request a zero-downtime generation handoff.
 };
 
 /// One parsed request.

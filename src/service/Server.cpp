@@ -12,10 +12,15 @@
 #include "support/Pipe.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <istream>
 #include <ostream>
 #include <thread>
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+#include <signal.h>
+#endif
 
 using namespace jslice;
 
@@ -42,6 +47,9 @@ JsonValue ServerStats::toJson() const {
   Out.set("shed_by_cause", std::move(Causes));
   Out.set("latency_p50_ms", P50Ms);
   Out.set("latency_p95_ms", P95Ms);
+  if (Generation)
+    Out.set("generation", Generation);
+  Out.set("uptime_ms", UptimeMs);
   Out.set("rss_bytes", RssBytes);
   if (MaxRssBytes) {
     Out.set("rss_watermark_bytes", MaxRssBytes);
@@ -79,11 +87,16 @@ Server::Server(const ServerOptions &Opts, std::ostream &Out, std::ostream &Log)
         std::lock_guard<std::mutex> Lock(OutM);
         this->Out << Line << "\n" << std::flush;
       }),
+      StartTime(std::chrono::steady_clock::now()),
       Pool(Opts.Threads ? Opts.Threads : BatchSlicer::defaultThreads()) {
-  if (!Opts.JournalPath.empty() &&
-      !Wal.open(Opts.JournalPath, Opts.JournalRotateBytes))
-    Log << "jslice_serve: cannot open journal " << Opts.JournalPath
-        << "; continuing without crash recovery\n";
+  if (!Opts.JournalPath.empty()) {
+    if (!Wal.open(Opts.JournalPath, Opts.JournalRotateBytes,
+                  Opts.JournalSyncPolicy, Opts.JournalFlushIntervalMs))
+      Log << "jslice_serve: cannot open journal " << Opts.JournalPath
+          << "; continuing without crash recovery\n";
+    else
+      Wal.setGeneration(Opts.Generation);
+  }
 
   if (Opts.IsolateProcess) {
     SupervisorOptions SOpts = Opts.Super;
@@ -112,12 +125,56 @@ Server::~Server() {
     Super->stop();
 }
 
+namespace {
+
+/// True while \p Pid names a live process (EPERM still means alive).
+bool processAlive(long Pid) {
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  return ::kill(static_cast<pid_t>(Pid), 0) == 0 || errno == EPERM;
+#else
+  (void)Pid;
+  return false;
+#endif
+}
+
+} // namespace
+
 unsigned Server::recover() {
   if (Opts.JournalPath.empty())
     return 0;
+  if (Opts.PredecessorPid > 0 && processAlive(Opts.PredecessorPid)) {
+    // Mid-upgrade handoff: the unmatched begins in the journal are the
+    // predecessor's live in-flight requests, not casualties. Hold
+    // rotation (a rewrite from this process would strand appends the
+    // predecessor makes through its own handle) and wait for the
+    // caller to observe its death or clean exit.
+    HandoffPending.store(true, std::memory_order_relaxed);
+    Wal.holdRotation(true);
+    Log << "jslice_serve: journal handoff: deferring recovery while "
+           "generation predecessor (pid " << Opts.PredecessorPid
+        << ") still runs\n";
+    return 0;
+  }
+  return recoverNow(/*OnlyEarlierGenerations=*/false);
+}
+
+unsigned Server::completeHandoff() {
+  if (!HandoffPending.exchange(false, std::memory_order_relaxed))
+    return 0;
+  Wal.holdRotation(false);
+  // Only begins stamped by earlier generations are casualties; this
+  // process's own in-flight begins carry its generation stamp.
+  return recoverNow(/*OnlyEarlierGenerations=*/true);
+}
+
+void Server::holdJournalRotation(bool Hold) { Wal.holdRotation(Hold); }
+
+unsigned Server::recoverNow(bool OnlyEarlierGenerations) {
   std::vector<PoisonedRequest> Poisoned = scanJournal(Opts.JournalPath);
   unsigned N = 0;
   for (const PoisonedRequest &P : Poisoned) {
+    if (OnlyEarlierGenerations && P.Gen >= Opts.Generation)
+      continue;
     std::string Repro = quarantinePoisoned(Opts.QuarantineDir, P);
     {
       std::lock_guard<std::mutex> Lock(StateM);
@@ -218,12 +275,22 @@ void Server::serveLine(const std::string &Line, ResponseSink Sink) {
     refuseOversizedLine(Sink);
     return;
   }
+  ParsedRequest P = parseRequestLine(Line);
+
+  // Health probes bypass every lock by design: a load balancer must
+  // get its liveness answer even while a stats snapshot (or anything
+  // else holding StateM) is in progress — so they are also deliberately
+  // absent from the Received counter.
+  if (P.Ok && P.Request.Kind == RequestKind::Health) {
+    Sink(healthJson().str());
+    return;
+  }
+
   {
     std::lock_guard<std::mutex> Lock(StateM);
     ++Counters.Received;
   }
 
-  ParsedRequest P = parseRequestLine(Line);
   if (!P.Ok) {
     ServiceResponse R;
     R.Id = P.Id;
@@ -242,6 +309,22 @@ void Server::serveLine(const std::string &Line, ResponseSink Sink) {
     if (TransportStatsFn)
       S.set("transport", TransportStatsFn());
     V.set("stats", std::move(S));
+    Sink(V.str());
+    break;
+  }
+  case RequestKind::Health:
+    break; // Answered above, before the counter lock.
+  case RequestKind::Upgrade: {
+    JsonValue V = JsonValue::object();
+    if (Opts.UpgradeFlag) {
+      Opts.UpgradeFlag->store(true, std::memory_order_relaxed);
+      V.set("status", "ok");
+      V.set("upgrade", "requested");
+    } else {
+      V.set("status", "error");
+      V.set("upgrade", "unsupported");
+      V.set("error", "no upgrade orchestrator on this transport");
+    }
     Sink(V.str());
     break;
   }
@@ -618,9 +701,43 @@ void Server::recordOutcome(ResponseStatus Status,
   }
 }
 
+JsonValue Server::healthJson() const {
+  JsonValue V = JsonValue::object();
+  bool Degraded = false;
+  V.set("uptime_ms",
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - StartTime)
+                .count()));
+  if (Opts.Generation)
+    V.set("generation", Opts.Generation);
+  bool Drain = Draining.load(std::memory_order_relaxed);
+  V.set("draining", Drain);
+  Degraded |= Drain;
+  bool Breaker = Super && Super->breakerOpenNow();
+  V.set("breaker_open", Breaker);
+  Degraded |= Breaker;
+  V.set("handoff_pending", HandoffPending.load(std::memory_order_relaxed));
+  if (HealthProbeFn) {
+    JsonValue T = HealthProbeFn();
+    if (const JsonValue *W = T.find("wedged"))
+      Degraded |= W->isBool() && W->asBool();
+    V.set("transport", std::move(T));
+  }
+  V.set("status", "ok");
+  if (Degraded)
+    V.set("degraded", true);
+  return V;
+}
+
 ServerStats Server::stats() const {
   std::lock_guard<std::mutex> Lock(StateM);
   ServerStats S = Counters;
+  S.Generation = Opts.Generation;
+  S.UptimeMs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - StartTime)
+          .count());
   if (!Latencies.empty()) {
     std::vector<double> Sorted = Latencies;
     std::sort(Sorted.begin(), Sorted.end());

@@ -131,6 +131,31 @@ struct ServerOptions {
   /// rewrites itself down to its unmatched begins (0 disables).
   uint64_t JournalRotateBytes = 8u << 20;
 
+  /// Journal durability policy (--journal-sync): Full fsyncs every
+  /// record, Batch group-commits at JournalFlushIntervalMs, Off leaves
+  /// flushing to the OS. See Journal.h for the exact trade-offs.
+  JournalSync JournalSyncPolicy = JournalSync::Full;
+  uint64_t JournalFlushIntervalMs = 25;
+
+  /// Server generation for zero-downtime restart (0 = not generation-
+  /// managed). Stamped onto every journal record and reported by
+  /// {"health"}; recovery uses it to attribute unmatched begins to
+  /// their owning process.
+  uint64_t Generation = 0;
+
+  /// Pid of the predecessor generation sharing the journal, or -1.
+  /// While it is alive recover() defers — the predecessor's unmatched
+  /// begins are its live in-flight set, not casualties. Once it exits,
+  /// completeHandoff() quarantines exactly the begins stamped by
+  /// earlier generations.
+  long PredecessorPid = -1;
+
+  /// When non-null, an {"upgrade"} control line stores true here and
+  /// answers ok — jslice_serve points this at the same flag its
+  /// SIGUSR2 handler sets. Null transports answer that upgrade is
+  /// unsupported.
+  std::atomic<bool> *UpgradeFlag = nullptr;
+
   /// Hard cap on one protocol line, shared by every transport (the
   /// bounded stdin/file reader and the TCP line reader). An input that
   /// exceeds it — adversarially newline-free or just oversized — is
@@ -197,6 +222,8 @@ struct ServerStats {
   bool ProcessIsolation = false;
   SupervisorStats Super; ///< Zeroed in thread mode.
 
+  uint64_t Generation = 0;  ///< ServerOptions::Generation (0 = unmanaged).
+  uint64_t UptimeMs = 0;    ///< Since construction.
   uint64_t RssBytes = 0;    ///< Process RSS at snapshot time.
   uint64_t MaxRssBytes = 0; ///< The watermark (0 = none); toJson also
                             ///< derives the remaining headroom.
@@ -222,8 +249,31 @@ public:
 
   /// Scans the journal for requests a dead predecessor left in flight,
   /// quarantines each as a reproducer, arms the poison filter, and
-  /// compacts the journal. Returns how many were quarantined.
+  /// compacts the journal. Returns how many were quarantined. When
+  /// PredecessorPid names a live process (mid-upgrade handoff), the
+  /// scan is deferred — the journal's unmatched begins are the
+  /// predecessor's *live* in-flight set — and rotation is held until
+  /// completeHandoff() runs.
   unsigned recover();
+
+  /// Finishes a deferred handoff once the predecessor is gone:
+  /// quarantines unmatched begins stamped by earlier generations (our
+  /// own in-flight begins are excluded by their stamp), releases the
+  /// rotation hold, and compacts. Idempotent; returns the number
+  /// quarantined. The caller decides *when* the predecessor is dead —
+  /// jslice_serve polls kill(pid, 0).
+  unsigned completeHandoff();
+
+  /// True while recovery is deferred on a live predecessor.
+  bool handoffPending() const {
+    return HandoffPending.load(std::memory_order_relaxed);
+  }
+
+  /// Pins (or releases) journal rotation across a generation-handoff
+  /// overlap window: the predecessor holds it from spawn until the
+  /// successor is ready or rolled back, so a compaction rewrite can
+  /// never race the successor's open of the same path.
+  void holdJournalRotation(bool Hold);
 
   /// Reads requests from \p In until EOF or the shutdown flag trips;
   /// returns after every accepted request has been answered.
@@ -258,6 +308,20 @@ public:
     TransportStatsFn = std::move(Fn);
   }
 
+  /// Registers the transport's liveness probe for {"health"}: must be
+  /// lock-free (the TCP listener's is a read of per-shard heartbeat
+  /// atomics). A "wedged":true member in its result marks the answer
+  /// degraded. Set before traffic starts, like setTransportStats.
+  void setHealthProbe(std::function<JsonValue()> Fn) {
+    HealthProbeFn = std::move(Fn);
+  }
+
+  /// The {"health"} answer: uptime, generation, draining/breaker/
+  /// handoff state, and the transport probe. Reads only atomics and
+  /// the steady clock — never StateM — so a health probe cannot queue
+  /// behind a stats snapshot or a wedged counter path.
+  JsonValue healthJson() const;
+
   /// Call once after the last serve(): writes the clean-shutdown
   /// journal record and retires the sandbox fleet.
   void finish();
@@ -281,6 +345,7 @@ private:
     std::chrono::steady_clock::time_point Enqueued;
   };
 
+  unsigned recoverNow(bool OnlyEarlierGenerations);
   void handleSlice(ServiceRequest R, const ResponseSink &Sink);
   void handleSliceInProcess(ServiceRequest R, ServiceResponse &Resp,
                             const std::shared_ptr<InFlight> &Flight,
@@ -301,6 +366,9 @@ private:
   std::ostream &Log;
   ResponseSink DefaultSink; ///< Writes Out under OutM.
   std::function<JsonValue()> TransportStatsFn;
+  std::function<JsonValue()> HealthProbeFn;
+  std::chrono::steady_clock::time_point StartTime;
+  std::atomic<bool> HandoffPending{false};
   Journal Wal;
   WorkerPool Pool;
   std::unique_ptr<Supervisor> Super; ///< Process mode only.

@@ -160,6 +160,11 @@ void Supervisor::noteCrashLocked() {
   if (CrashTimes.size() >= Opts.BreakerThreshold &&
       Now >= BreakerOpenUntil) {
     BreakerOpenUntil = Now + std::chrono::milliseconds(Opts.BreakerCooldownMs);
+    BreakerOpenUntilMs.store(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            BreakerOpenUntil.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
     ++Counters.BreakerOpens;
   }
 }

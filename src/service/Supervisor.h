@@ -46,6 +46,7 @@
 
 #include "service/SandboxWorker.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -141,6 +142,19 @@ public:
   uint64_t restarts() const;
   uint64_t crashes() const;
 
+  /// Lock-free breaker probe for the {"health"} control line: stats()
+  /// takes the fleet mutex, which a health endpoint must never wait
+  /// on. Reads the atomic mirror of the breaker deadline.
+  bool breakerOpenNow() const {
+    int64_t Until = BreakerOpenUntilMs.load(std::memory_order_relaxed);
+    if (!Until)
+      return false;
+    int64_t Now = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+    return Now < Until;
+  }
+
   /// Chaos hook for the crash-matrix soak: SIGKILL one live worker
   /// chosen by \p Rng (xorshift state, advanced in place). Returns the
   /// killed pid, or -1 when no worker is live. Safe against pid
@@ -176,6 +190,8 @@ private:
   std::vector<Slot> Slots;
   std::deque<std::chrono::steady_clock::time_point> CrashTimes;
   std::chrono::steady_clock::time_point BreakerOpenUntil;
+  /// Steady-clock ms mirror of BreakerOpenUntil for breakerOpenNow().
+  std::atomic<int64_t> BreakerOpenUntilMs{0};
   SupervisorStats Counters;
   bool Started = false;
   bool Stopping = false;

@@ -1238,6 +1238,103 @@ TEST(ChaosProxyTest, RetriesRecoverThroughIntermittentResets) {
   EXPECT_GT(Retried, 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// Hot-restart plumbing: fd passing, health answers, inherited listeners
+//===----------------------------------------------------------------------===//
+
+TEST(SocketTest, FdPassingTransfersAWorkingDescriptor) {
+  // The SCM_RIGHTS fallback path of the generation handoff: the
+  // received descriptor must reference the same open file description
+  // as the sent one, surviving the sender closing its copy.
+  int Pair[2];
+  ASSERT_TRUE(makeSocketPair(Pair));
+  int Pipe[2];
+  ASSERT_EQ(::pipe(Pipe), 0);
+
+  ASSERT_TRUE(sendFdOverSocket(Pair[0], Pipe[0]));
+  int Got = recvFdOverSocket(Pair[1], 2000);
+  ASSERT_GE(Got, 0);
+
+  // sendFdOverSocket dups internally: the original read end can go
+  // away and the transferred descriptor still drains the pipe.
+  ::close(Pipe[0]);
+  const char Msg[] = "handoff";
+  ASSERT_EQ(::write(Pipe[1], Msg, sizeof(Msg)),
+            static_cast<ssize_t>(sizeof(Msg)));
+  char Back[16] = {};
+  ASSERT_EQ(::read(Got, Back, sizeof(Back)),
+            static_cast<ssize_t>(sizeof(Msg)));
+  EXPECT_STREQ(Back, "handoff");
+
+  ::close(Got);
+  ::close(Pipe[1]);
+  ::close(Pair[0]);
+  ::close(Pair[1]);
+}
+
+TEST(SocketTest, RecvFdTimesOutWhenNothingIsSent) {
+  // A successor waiting on a predecessor that never sends must get a
+  // bounded failure, not a wedge.
+  int Pair[2];
+  ASSERT_TRUE(makeSocketPair(Pair));
+  auto Start = std::chrono::steady_clock::now();
+  EXPECT_EQ(recvFdOverSocket(Pair[1], 50), -1);
+  auto Waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  EXPECT_LT(Waited, 2000);
+  ::close(Pair[0]);
+  ::close(Pair[1]);
+}
+
+TEST(TcpServerTest, HealthAnswerCarriesShardHeartbeats) {
+  TcpServerOptions TOpts;
+  TOpts.Shards = 2;
+  LiveServer L(TOpts);
+  ASSERT_TRUE(L.Started);
+
+  RawClient C(L.port());
+  ASSERT_GE(C.Fd, 0);
+  ASSERT_TRUE(C.sendAll("{\"health\": true}\n"));
+  std::optional<std::string> Line = C.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"status\":\"ok\""), std::string::npos) << *Line;
+  EXPECT_NE(Line->find("\"transport\""), std::string::npos) << *Line;
+  EXPECT_NE(Line->find("\"shard_heartbeat_ages_ms\""), std::string::npos)
+      << *Line;
+  EXPECT_NE(Line->find("\"shards\":2"), std::string::npos) << *Line;
+  // Live loops, default 5s wedge threshold: nothing is wedged, so the
+  // probe answer must not be degraded.
+  EXPECT_EQ(Line->find("\"wedged\""), std::string::npos) << *Line;
+  EXPECT_EQ(Line->find("\"degraded\""), std::string::npos) << *Line;
+  EXPECT_FALSE(L.T.anyShardWedged());
+}
+
+TEST(TcpServerTest, InheritedListenerFdIsAdoptedAndServes) {
+  // The handoff's happy path in miniature: a listener bound elsewhere
+  // is adopted wholesale — same port, no re-bind — and serves.
+  std::string Err;
+  int Fd = listenTcp("127.0.0.1", 0, /*Backlog=*/16, Err,
+                     /*ReusePort=*/true);
+  ASSERT_GE(Fd, 0) << Err;
+  uint16_t Port = tcpLocalPort(Fd);
+  ASSERT_NE(Port, 0);
+
+  TcpServerOptions TOpts;
+  TOpts.InheritedListenerFd = Fd;
+  LiveServer L(TOpts);
+  ASSERT_TRUE(L.Started);
+  EXPECT_EQ(L.port(), Port);
+
+  RawClient C(Port);
+  ASSERT_GE(C.Fd, 0);
+  ASSERT_TRUE(C.sendAll(sliceRequest("inherit-1")));
+  std::optional<std::string> Line = C.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_NE(Line->find("\"id\":\"inherit-1\""), std::string::npos);
+  EXPECT_NE(Line->find("\"status\":\"ok\""), std::string::npos);
+}
+
 #endif // JSLICE_HAVE_POSIX_PROCESS
 
 } // namespace

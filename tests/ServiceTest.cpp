@@ -415,6 +415,83 @@ TEST(JournalTest, CleanShutdownRecordIsDetectedAndSkippedByReplay) {
   std::remove(Path.c_str());
 }
 
+TEST(JournalTest, GenerationStampsAttributeUnmatchedBegins) {
+  std::string Path = ::testing::TempDir() + "jslice_journal_gen.jsonl";
+  std::remove(Path.c_str());
+  // Two generations append to the same file during an upgrade overlap;
+  // each unmatched begin must carry its owner's stamp.
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(Path));
+    J.setGeneration(1);
+    ServiceRequest R;
+    R.Id = "old-stuck";
+    R.Program = TinyProgram;
+    R.Line = 2;
+    J.begin(R);
+  }
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(Path));
+    J.setGeneration(2);
+    ServiceRequest R;
+    R.Id = "new-stuck";
+    R.Program = TinyProgram;
+    R.Line = 1;
+    J.begin(R);
+  }
+  std::vector<PoisonedRequest> Poisoned = scanJournal(Path);
+  ASSERT_EQ(Poisoned.size(), 2u);
+  for (const PoisonedRequest &P : Poisoned) {
+    if (P.Id == "old-stuck")
+      EXPECT_EQ(P.Gen, 1u);
+    else if (P.Id == "new-stuck")
+      EXPECT_EQ(P.Gen, 2u);
+    else
+      ADD_FAILURE() << "unexpected poisoned id " << P.Id;
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(JournalTest, BatchAndOffPoliciesStillRecordEverything) {
+  // The sync policy trades power-loss durability for throughput; a
+  // kill -9 (the process dies, the OS survives) must lose nothing
+  // under any policy, so the unmatched-begin scan sees the same world.
+  for (JournalSync Sync : {JournalSync::Batch, JournalSync::Off}) {
+    std::string Path = ::testing::TempDir() + "jslice_journal_sync.jsonl";
+    std::remove(Path.c_str());
+    {
+      Journal J;
+      ASSERT_TRUE(J.open(Path, /*RotateBytes=*/0, Sync,
+                         /*FlushIntervalMs=*/5));
+      ServiceRequest R;
+      R.Id = "done";
+      R.Program = TinyProgram;
+      R.Line = 2;
+      J.begin(R);
+      J.end("done", "ok");
+      R.Id = "stuck";
+      J.begin(R);
+    }
+    std::vector<PoisonedRequest> Poisoned = scanJournal(Path);
+    ASSERT_EQ(Poisoned.size(), 1u) << journalSyncName(Sync);
+    EXPECT_EQ(Poisoned.front().Id, "stuck");
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(JournalTest, SyncPolicyNamesRoundTrip) {
+  for (JournalSync Sync :
+       {JournalSync::Full, JournalSync::Batch, JournalSync::Off}) {
+    JournalSync Back = JournalSync::Full;
+    ASSERT_TRUE(parseJournalSyncName(journalSyncName(Sync), Back));
+    EXPECT_EQ(Back, Sync);
+  }
+  JournalSync Out;
+  EXPECT_FALSE(parseJournalSyncName("sometimes", Out));
+  EXPECT_FALSE(parseJournalSyncName("", Out));
+}
+
 //===----------------------------------------------------------------------===//
 // Server end to end (in-memory streams)
 //===----------------------------------------------------------------------===//
@@ -532,6 +609,91 @@ TEST(ServerTest, RecoveryQuarantinesAndRefusesResubmission) {
   EXPECT_TRUE(scanJournal(JournalPath).empty());
   std::remove(JournalPath.c_str());
 }
+
+TEST(ServerTest, HealthJsonIsAStandaloneLivenessAnswer) {
+  std::istringstream In("");
+  std::ostringstream Out, Log;
+  ServerOptions Opts;
+  Opts.Threads = 1;
+  Opts.Generation = 7;
+  Server S(Opts, Out, Log);
+
+  JsonValue H = S.healthJson();
+  ASSERT_TRUE(H.find("status"));
+  EXPECT_EQ(H.find("status")->asString(), "ok");
+  ASSERT_TRUE(H.find("generation"));
+  EXPECT_EQ(H.find("generation")->asInt(), 7);
+  ASSERT_TRUE(H.find("draining"));
+  EXPECT_FALSE(H.find("draining")->asBool());
+  ASSERT_TRUE(H.find("breaker_open"));
+  EXPECT_FALSE(H.find("breaker_open")->asBool());
+  EXPECT_FALSE(H.find("degraded"));
+  EXPECT_FALSE(H.find("transport")); // No transport probe registered.
+
+  // A wedged transport makes the same answer degraded.
+  S.setHealthProbe([] {
+    JsonValue T = JsonValue::object();
+    T.set("wedged", true);
+    return T;
+  });
+  JsonValue Wedged = S.healthJson();
+  ASSERT_TRUE(Wedged.find("degraded"));
+  EXPECT_TRUE(Wedged.find("degraded")->asBool());
+  ASSERT_TRUE(Wedged.find("transport"));
+  S.finish();
+}
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+TEST(ServerTest, CompleteHandoffQuarantinesOnlyEarlierGenerations) {
+  std::string Tmp = ::testing::TempDir();
+  std::string JournalPath = Tmp + "jslice_server_handoff.jsonl";
+  std::string QuarantineDir = Tmp + "jslice_server_handoff_q";
+  std::remove(JournalPath.c_str());
+
+  // The journal mid-upgrade: the predecessor's in-flight begin (gen 1)
+  // and this generation's own live begin (gen 2).
+  ServiceRequest Old;
+  Old.Id = "pred-stuck";
+  Old.Program = TinyProgram;
+  Old.Line = 2;
+  Old.Vars = {"a"};
+  ServiceRequest Mine = Old;
+  Mine.Id = "own-live";
+  Mine.Line = 1;
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(JournalPath));
+    J.setGeneration(1);
+    J.begin(Old);
+    J.setGeneration(2);
+    J.begin(Mine);
+  }
+
+  std::istringstream In("");
+  std::ostringstream Out, Log;
+  ServerOptions Opts;
+  Opts.Threads = 1;
+  Opts.JournalPath = JournalPath;
+  Opts.QuarantineDir = QuarantineDir;
+  Opts.Generation = 2;
+  Opts.PredecessorPid = ::getpid(); // Alive: recovery must defer.
+  Server S(Opts, Out, Log);
+  EXPECT_EQ(S.recover(), 0u);
+  EXPECT_TRUE(S.handoffPending());
+
+  // Predecessor observed dead: exactly the gen-1 begin is quarantined;
+  // generation 2's own in-flight set is left alone.
+  EXPECT_EQ(S.completeHandoff(), 1u);
+  EXPECT_FALSE(S.handoffPending());
+  S.finish();
+
+  std::vector<PoisonedRequest> Left = scanJournal(JournalPath);
+  ASSERT_EQ(Left.size(), 1u);
+  EXPECT_EQ(Left.front().Id, "own-live");
+  EXPECT_EQ(Left.front().Gen, 2u);
+  std::remove(JournalPath.c_str());
+}
+#endif // JSLICE_HAVE_POSIX_PROCESS
 
 TEST(ServerTest, DuplicateIdIsAnsweredExactlyTwice) {
   // Two requests reusing one id: the reader rejects the second as

@@ -16,6 +16,7 @@
 ///
 ///   jslice_client --connect HOST:PORT --request LINE
 ///   jslice_client --connect HOST:PORT --stats
+///   jslice_client --connect HOST:PORT --health
 ///   jslice_client --connect HOST:PORT --input FILE   (- = stdin)
 ///
 ///   --request LINE    send one raw protocol line
@@ -23,6 +24,11 @@
 ///                     counters (server, cache, supervisor, transport)
 ///                     one per line; use --request '{"stats": true}'
 ///                     for the raw JSON line
+///   --health          send {"health": true} and pretty-print the
+///                     liveness answer (uptime, generation, shard
+///                     heartbeats, breaker). LB-probe exit discipline:
+///                     0 healthy, 1 degraded (draining, breaker open,
+///                     or a wedged shard), 4 unreachable
 ///   --input FILE      send every line of FILE in order ("-" = stdin)
 ///   --connect-timeout-ms N  per-connect deadline (default 5000)
 ///   --timeout-ms N    per-response deadline (default 30000)
@@ -62,7 +68,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: jslice_client --connect HOST:PORT\n"
-      "                     (--request LINE | --stats | --input FILE)\n"
+      "                     (--request LINE | --stats | --health | "
+      "--input FILE)\n"
       "                     [--connect-timeout-ms N] [--timeout-ms N]\n"
       "                     [--attempts N] [--backoff-ms N]\n"
       "                     [--backoff-cap-ms N] [--seed N]\n");
@@ -135,12 +142,24 @@ bool printStatsPretty(const std::string &Line) {
   return true;
 }
 
+/// Pretty-prints one health response line (the response *is* the
+/// health object — no wrapper key); false when it does not look like
+/// one.
+bool printHealthPretty(const std::string &Line) {
+  std::optional<JsonValue> V = JsonValue::parse(Line);
+  if (!V || !V->isObject() || !V->find("status"))
+    return false;
+  for (const auto &[Key, Member] : V->members())
+    printStatsValue(Key, Member, 0);
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   ClientOptions Opts;
   std::string ConnectSpec, RequestLine, InputPath;
-  bool HaveRequest = false, WantStats = false;
+  bool HaveRequest = false, WantStats = false, WantHealth = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -152,6 +171,8 @@ int main(int argc, char **argv) {
 
     if (Arg == "--stats") {
       WantStats = true;
+    } else if (Arg == "--health") {
+      WantHealth = true;
     } else if (Arg == "--connect" || Arg == "--request" ||
                Arg == "--input") {
       std::optional<std::string> Value = NextValue();
@@ -195,9 +216,9 @@ int main(int argc, char **argv) {
   }
 
   if (ConnectSpec.empty() ||
-      (HaveRequest + WantStats + !InputPath.empty()) != 1) {
+      (HaveRequest + WantStats + WantHealth + !InputPath.empty()) != 1) {
     std::fprintf(stderr, "error: need --connect and exactly one of "
-                         "--request / --stats / --input\n");
+                         "--request / --stats / --health / --input\n");
     return usage();
   }
   if (!parseHostPort(ConnectSpec, Opts.Host, Opts.Port) || Opts.Port == 0) {
@@ -207,6 +228,8 @@ int main(int argc, char **argv) {
   }
   if (WantStats)
     RequestLine = "{\"stats\": true}";
+  if (WantHealth)
+    RequestLine = "{\"health\": true}";
 
   ClientConnection Conn(Opts);
 
@@ -239,6 +262,8 @@ int main(int argc, char **argv) {
     }
     if (WantStats && printStatsPretty(R.Response))
       return;
+    if (WantHealth && printHealthPretty(R.Response))
+      return;
     std::cout << R.Response << "\n";
   };
 
@@ -262,6 +287,10 @@ int main(int argc, char **argv) {
 
   if (SawTransport)
     return 4;
+  // Health probes collapse the taxonomy for load balancers: anything
+  // short of a clean "ok" answer is 1, reachable-but-degraded.
+  if (WantHealth)
+    return SawRefused || SawDegraded ? 1 : 0;
   if (SawRefused)
     return 1;
   if (SawDegraded)

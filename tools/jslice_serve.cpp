@@ -25,7 +25,9 @@
 ///                [--max-conns N] [--idle-timeout-ms N]
 ///                [--read-deadline-ms N] [--write-buffer-bytes N]
 ///                [--drain-grace-ms N] [--send-buffer-bytes N]
-///                [--shards N]
+///                [--shards N] [--journal-sync full|batch|off]
+///                [--journal-flush-ms N] [--upgrade on|off]
+///                [--wedge-threshold-ms N]
 ///
 ///   --input FILE      read requests from FILE instead of stdin
 ///   --listen HOST:PORT serve over TCP instead of stdin (see
@@ -57,6 +59,22 @@
 ///   --journal FILE    write-ahead request journal; on startup,
 ///                     requests a crashed predecessor left in flight
 ///                     are quarantined and refused on resubmission
+///   --journal-sync MODE durability policy for journal appends:
+///                     `full` (default) fsyncs every record — a kernel
+///                     panic loses nothing; `batch` group-commits on a
+///                     bounded flush interval — a panic can lose the
+///                     last interval's records (a process crash loses
+///                     nothing; records are flushed to the kernel per
+///                     append); `off` never fsyncs
+///   --journal-flush-ms N  batch-mode group-commit interval
+///                     (default 25)
+///   --upgrade on|off  TCP: accept SIGUSR2 / {"upgrade"} requests for a
+///                     zero-downtime generation handoff (default on;
+///                     implies SO_REUSEPORT listeners where available
+///                     so the successor can bind alongside)
+///   --wedge-threshold-ms N  TCP: a shard whose reactor loop has not
+///                     progressed for N ms is reported wedged in
+///                     {"health"} and {"stats"} (default 5000)
 ///   --quarantine DIR  where poisoned reproducers go (default poisoned)
 ///   --threads N       worker threads (default: JSLICE_THREADS env var,
 ///                     else hardware concurrency)
@@ -104,6 +122,18 @@
 /// self-pipe; the serve loop polls it between lines, so the drain
 /// happens on a normal thread, never inside a handler.
 ///
+/// SIGUSR2 (TCP mode, --upgrade on) performs a zero-downtime hot
+/// restart (DESIGN.md §16): re-exec this binary as generation G+1 on
+/// the same port (SO_REUSEPORT, falling back to passing the listener
+/// fd over SCM_RIGHTS), wait for the successor's readiness self-probe,
+/// then drain generation G exactly like SIGTERM. If the successor dies
+/// or never becomes ready, generation G rolls back and keeps serving.
+/// A second SIGUSR2 while a handoff is pending is refused; SIGTERM
+/// always wins over an upgrade. The flags --generation, --upgrade-from,
+/// --ready-fd, --listener-socket, and --ready-delay-ms are internal
+/// plumbing between generations (the last one is a test hook delaying
+/// the readiness probe).
+///
 /// Exit codes: 0 — stream served to EOF or drained on signal;
 /// 2 — usage error.
 ///
@@ -111,16 +141,27 @@
 
 #include "net/Socket.h"
 #include "net/TcpServer.h"
+#include "service/Json.h"
 #include "service/Server.h"
 #include "support/Pipe.h"
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 using namespace jslice;
 
@@ -149,7 +190,11 @@ int usage() {
                "                    [--cache on|off] [--cache-entries N] "
                "[--cache-bytes N]\n"
                "                    [--cache-audit-every N] "
-               "[--cache-audit-seed N]\n");
+               "[--cache-audit-seed N]\n"
+               "                    [--journal-sync full|batch|off] "
+               "[--journal-flush-ms N]\n"
+               "                    [--upgrade on|off] "
+               "[--wedge-threshold-ms N]\n");
   return 2;
 }
 
@@ -168,6 +213,7 @@ std::optional<uint64_t> parseCount(const std::string &Text) {
 }
 
 std::atomic<bool> ShutdownRequested{false};
+std::atomic<bool> UpgradeRequested{false};
 
 #ifdef JSLICE_HAVE_POSIX_PROCESS
 int SelfPipeWrite = -1;
@@ -179,6 +225,12 @@ extern "C" void onShutdownSignal(int) {
     char B = 1;
     [[maybe_unused]] ssize_t N = ::write(SelfPipeWrite, &B, 1);
   }
+}
+
+extern "C" void onUpgradeSignal(int) {
+  // One flag store; the upgrade monitor thread polls it, so nothing
+  // else needs to happen in handler context.
+  UpgradeRequested.store(true, std::memory_order_relaxed);
 }
 
 /// Reads stdin line by line with poll() across both stdin and the
@@ -242,6 +294,229 @@ void serveSignalAware(Server &S) {
   SelfPipeWrite = -1;
   Self.close();
 }
+
+/// Everything the upgrade monitor needs to spawn, supervise, and (on
+/// failure) roll back a successor generation.
+struct UpgradeContext {
+  Server *Srv = nullptr;
+  TcpServer *Transport = nullptr;
+  std::string Host;     ///< Listen host, for the successor's --listen.
+  uint16_t Port = 0;    ///< The *bound* port (never 0).
+  uint64_t Generation = 1;
+  /// The successor's argv: this process's argv with the generation
+  /// plumbing flags stripped and --listen rewritten to the bound port.
+  std::vector<std::string> RespawnArgs;
+  uint64_t ReadyTimeoutMs = 10000;
+  std::atomic<bool> Stop{false};
+  bool HandedOff = false;
+};
+
+/// The successor's readiness gate: connect to the shared port and send
+/// {"health"} until the answer carries *our* generation id. During the
+/// overlap window both generations accept from the same port, so a
+/// probe can land on the predecessor — that is a retry, not a failure.
+bool selfProbeReady(const std::string &Host, uint16_t Port, uint64_t Gen,
+                    const std::atomic<bool> &Abort) {
+  for (int Attempt = 0; Attempt != 50; ++Attempt) {
+    if (Abort.load(std::memory_order_relaxed))
+      return false;
+    std::string Err;
+    int Fd = connectTcp(Host, Port, /*TimeoutMs=*/250, Err);
+    if (Fd >= 0) {
+      static const char Probe[] = "{\"health\":true}\n";
+      size_t Off = 0;
+      bool Sent = true;
+      while (Off < sizeof(Probe) - 1) {
+        int64_t W = sendSome(Fd, Probe + Off, sizeof(Probe) - 1 - Off);
+        if (W <= 0) {
+          Sent = false;
+          break;
+        }
+        Off += static_cast<size_t>(W);
+      }
+      std::string Line;
+      if (Sent) {
+        char C;
+        while (Line.size() < 65536) {
+          int64_t R = recvSome(Fd, &C, 1);
+          if (R <= 0 || C == '\n')
+            break;
+          Line.push_back(C);
+        }
+      }
+      ::close(Fd);
+      std::optional<JsonValue> V = JsonValue::parse(Line, nullptr);
+      const JsonValue *G = V ? V->find("generation") : nullptr;
+      if (G && G->isNumber() &&
+          static_cast<uint64_t>(G->asInt()) == Gen)
+        return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+/// One upgrade attempt: fork/exec the successor, pass it the listener
+/// fd over SCM_RIGHTS (used only if its own SO_REUSEPORT bind fails),
+/// wait bounded for its readiness byte, then either drain this
+/// generation or kill the successor and roll back.
+void runUpgrade(UpgradeContext &Ctx) {
+  uint64_t NextGen = Ctx.Generation + 1;
+
+  // Pin journal rotation for the whole overlap window: the successor
+  // opens the same path, and a compaction rewrite-and-rename under its
+  // feet would split the journal across two inodes.
+  Ctx.Srv->holdJournalRotation(true);
+
+  int ReadyPipe[2];
+  if (::pipe(ReadyPipe) != 0) {
+    std::fprintf(stderr, "jslice_serve: upgrade failed: cannot create "
+                         "readiness pipe\n");
+    Ctx.Srv->holdJournalRotation(false);
+    return;
+  }
+  int SP[2] = {-1, -1};
+  bool HavePair = makeSocketPair(SP);
+
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    std::fprintf(stderr, "jslice_serve: upgrade failed: fork failed\n");
+    ::close(ReadyPipe[0]);
+    ::close(ReadyPipe[1]);
+    if (HavePair) {
+      ::close(SP[0]);
+      ::close(SP[1]);
+    }
+    Ctx.Srv->holdJournalRotation(false);
+    return;
+  }
+
+  if (Pid == 0) {
+    // Successor. Neither the ready pipe nor the socketpair carries
+    // FD_CLOEXEC, so both survive the exec; everything else (listener
+    // fds, journal handle) is close-on-exec and the successor reopens
+    // or rebinds its own.
+    ::close(ReadyPipe[0]);
+    if (HavePair)
+      ::close(SP[0]);
+    std::vector<std::string> Args = Ctx.RespawnArgs;
+    Args.push_back("--generation");
+    Args.push_back(std::to_string(NextGen));
+    Args.push_back("--upgrade-from");
+    Args.push_back(std::to_string(static_cast<long>(::getppid())));
+    Args.push_back("--ready-fd");
+    Args.push_back(std::to_string(ReadyPipe[1]));
+    if (HavePair) {
+      Args.push_back("--listener-socket");
+      Args.push_back(std::to_string(SP[1]));
+    }
+    std::vector<char *> Argv;
+    Argv.reserve(Args.size() + 1);
+    for (std::string &A : Args)
+      Argv.push_back(const_cast<char *>(A.c_str()));
+    Argv.push_back(nullptr);
+    ::execvp(Argv[0], Argv.data());
+    _exit(127); // Exec failed; the parent sees death-before-ready.
+  }
+
+  // Predecessor: ship a copy of the listener right away so it is
+  // buffered in the socketpair whether or not the successor needs it.
+  ::close(ReadyPipe[1]);
+  if (HavePair) {
+    ::close(SP[1]);
+    int Lfd = Ctx.Transport->shardZeroListenerFd();
+    if (Lfd >= 0)
+      sendFdOverSocket(SP[0], Lfd);
+    ::close(SP[0]);
+  }
+  std::fprintf(stderr,
+               "jslice_serve: spawning generation %llu (pid %ld)\n",
+               static_cast<unsigned long long>(NextGen),
+               static_cast<long>(Pid));
+
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(Ctx.ReadyTimeoutMs);
+  bool Ready = false;
+  bool Reaped = false;
+  while (std::chrono::steady_clock::now() < Deadline) {
+    // SIGTERM racing the pending handoff: shutdown wins. Abandon the
+    // wait so the rollback below kills the unready successor; this
+    // generation's drain proceeds exactly once via the shutdown flag.
+    if (ShutdownRequested.load(std::memory_order_relaxed))
+      break;
+    struct pollfd P;
+    P.fd = ReadyPipe[0];
+    P.events = POLLIN;
+    P.revents = 0;
+    int N = ::poll(&P, 1, 50);
+    if (N > 0) {
+      char B = 0;
+      if (::read(ReadyPipe[0], &B, 1) == 1)
+        Ready = true;
+      break; // A byte means ready; EOF without one means it died.
+    }
+    int Status = 0;
+    if (::waitpid(Pid, &Status, WNOHANG) == Pid) {
+      Reaped = true;
+      break;
+    }
+    // A second SIGUSR2 while this handoff is pending: refuse it
+    // deterministically rather than queueing a surprise double
+    // upgrade.
+    if (UpgradeRequested.exchange(false, std::memory_order_relaxed))
+      std::fprintf(stderr,
+                   "jslice_serve: upgrade already in progress; refusing\n");
+  }
+  ::close(ReadyPipe[0]);
+
+  if (Ready) {
+    std::fprintf(
+        stderr,
+        "jslice_serve: generation %llu ready; draining generation %llu\n",
+        static_cast<unsigned long long>(NextGen),
+        static_cast<unsigned long long>(Ctx.Generation));
+    Ctx.HandedOff = true;
+    // The rotation hold stays armed: this generation is exiting, and
+    // the successor holds its own until completeHandoff().
+    Ctx.Transport->requestStop();
+    return;
+  }
+
+  if (!Reaped) {
+    ::kill(Pid, SIGKILL);
+    ::waitpid(Pid, nullptr, 0);
+  }
+  std::fprintf(stderr,
+               "jslice_serve: generation %llu failed before readiness; "
+               "rolling back to generation %llu\n",
+               static_cast<unsigned long long>(NextGen),
+               static_cast<unsigned long long>(Ctx.Generation));
+  Ctx.Srv->holdJournalRotation(false);
+}
+
+/// The upgrade monitor thread: polls the SIGUSR2 flag and runs at most
+/// one handoff. SIGTERM always wins — a shutdown in progress refuses
+/// upgrades, and after a successful handoff this generation only
+/// drains.
+void upgradeMonitor(UpgradeContext &Ctx) {
+  while (!Ctx.Stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (!UpgradeRequested.exchange(false, std::memory_order_relaxed))
+      continue;
+    if (ShutdownRequested.load(std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "jslice_serve: upgrade refused: shutdown in progress\n");
+      continue;
+    }
+    if (Ctx.HandedOff) {
+      std::fprintf(stderr,
+                   "jslice_serve: upgrade already in progress; refusing\n");
+      continue;
+    }
+    runUpgrade(Ctx);
+  }
+}
 #endif
 
 } // namespace
@@ -251,6 +526,10 @@ int main(int argc, char **argv) {
   TcpServerOptions TcpOpts;
   std::string InputPath;
   std::string ListenSpec;
+  bool UpgradeEnabled = true;   // --upgrade on|off
+  long ListenerSocketFd = -1;   // --listener-socket (internal plumbing)
+  long ReadyFd = -1;            // --ready-fd (internal plumbing)
+  uint64_t ReadyDelayMs = 0;    // --ready-delay-ms (test hook)
   Opts.ShutdownFlag = &ShutdownRequested;
   TcpOpts.ShutdownFlag = &ShutdownRequested;
 
@@ -269,6 +548,21 @@ int main(int argc, char **argv) {
         return usage();
       }
       Opts.Cache.Enabled = *Value == "on";
+    } else if (Arg == "--upgrade") {
+      std::optional<std::string> Value = NextValue();
+      if (!Value || (*Value != "on" && *Value != "off")) {
+        std::fprintf(stderr, "error: --upgrade expects 'on' or 'off'\n");
+        return usage();
+      }
+      UpgradeEnabled = *Value == "on";
+    } else if (Arg == "--journal-sync") {
+      std::optional<std::string> Value = NextValue();
+      if (!Value || !parseJournalSyncName(*Value, Opts.JournalSyncPolicy)) {
+        std::fprintf(stderr,
+                     "error: --journal-sync expects 'full', 'batch', or "
+                     "'off'\n");
+        return usage();
+      }
     } else if (Arg == "--input" || Arg == "--listen" || Arg == "--journal" ||
         Arg == "--quarantine" || Arg == "--hang-after-begin" ||
         Arg == "--isolate") {
@@ -312,7 +606,10 @@ int main(int argc, char **argv) {
                Arg == "--max-conns" || Arg == "--idle-timeout-ms" ||
                Arg == "--read-deadline-ms" || Arg == "--write-buffer-bytes" ||
                Arg == "--drain-grace-ms" || Arg == "--send-buffer-bytes" ||
-               Arg == "--shards" ||
+               Arg == "--shards" || Arg == "--journal-flush-ms" ||
+               Arg == "--wedge-threshold-ms" || Arg == "--generation" ||
+               Arg == "--upgrade-from" || Arg == "--ready-fd" ||
+               Arg == "--listener-socket" || Arg == "--ready-delay-ms" ||
                Arg == "--cache-entries" || Arg == "--cache-bytes" ||
                Arg == "--cache-audit-every" || Arg == "--cache-audit-seed") {
       std::optional<std::string> Value = NextValue();
@@ -357,6 +654,20 @@ int main(int argc, char **argv) {
         TcpOpts.SendBufferBytes = static_cast<int>(*N);
       else if (Arg == "--shards")
         TcpOpts.Shards = static_cast<unsigned>(*N);
+      else if (Arg == "--journal-flush-ms")
+        Opts.JournalFlushIntervalMs = *N;
+      else if (Arg == "--wedge-threshold-ms")
+        TcpOpts.WedgeThresholdMs = *N;
+      else if (Arg == "--generation")
+        Opts.Generation = *N;
+      else if (Arg == "--upgrade-from")
+        Opts.PredecessorPid = static_cast<long>(*N);
+      else if (Arg == "--ready-fd")
+        ReadyFd = static_cast<long>(*N);
+      else if (Arg == "--listener-socket")
+        ListenerSocketFd = static_cast<long>(*N);
+      else if (Arg == "--ready-delay-ms")
+        ReadyDelayMs = *N;
       else if (Arg == "--cache-entries")
         Opts.Cache.MaxEntries = static_cast<unsigned>(*N);
       else if (Arg == "--cache-bytes")
@@ -375,6 +686,43 @@ int main(int argc, char **argv) {
     }
   }
 
+  // Zero-downtime restarts are a TCP-transport feature; stdin servers
+  // have no port to hand off.
+  bool Upgradable = UpgradeEnabled && !ListenSpec.empty();
+#ifndef JSLICE_HAVE_POSIX_PROCESS
+  Upgradable = false;
+#endif
+  if (Upgradable) {
+    if (!Opts.Generation)
+      Opts.Generation = 1;
+    Opts.UpgradeFlag = &UpgradeRequested;
+    // The kernel admits a second binder on the port only when *every*
+    // socket on it carries SO_REUSEPORT — so an upgradable server must
+    // opt in from generation 1, even single-sharded.
+    TcpOpts.ReusePortAlways = true;
+  }
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  // The successor's argv: ours minus the per-spawn generation plumbing
+  // (fresh values are appended at fork time), with the --listen value
+  // rewritten to the actual bound port once known — the original may
+  // have asked for port 0.
+  std::vector<std::string> RespawnArgs;
+  size_t ListenValueIdx = SIZE_MAX;
+  for (int I = 0; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--generation" || A == "--upgrade-from" || A == "--ready-fd" ||
+        A == "--listener-socket") {
+      ++I;
+      continue;
+    }
+    RespawnArgs.push_back(A);
+    if (A == "--listen" && I + 1 < argc) {
+      RespawnArgs.push_back(argv[++I]);
+      ListenValueIdx = RespawnArgs.size() - 1;
+    }
+  }
+#endif
+
   Server S(Opts, std::cout, std::cerr);
   unsigned Quarantined = S.recover();
   if (Quarantined)
@@ -389,19 +737,51 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "error: --listen and --input are exclusive\n");
       return usage();
     }
-    TcpServer T(S, TcpOpts, std::cerr);
+    std::optional<TcpServer> TOpt;
+    TOpt.emplace(S, TcpOpts, std::cerr);
     std::string Err;
-    if (!T.start(Err)) {
+    bool Started = TOpt->start(Err);
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+    if (!Started && ListenerSocketFd >= 0) {
+      // Successor fallback: the predecessor shipped its listener over
+      // SCM_RIGHTS for exactly this case (no SO_REUSEPORT, or the bind
+      // raced a port reuse). Adopt the inherited fd and retry.
+      int Lfd = recvFdOverSocket(static_cast<int>(ListenerSocketFd), 5000);
+      if (Lfd >= 0) {
+        TcpOpts.InheritedListenerFd = Lfd;
+        TOpt.emplace(S, TcpOpts, std::cerr);
+        std::string InheritErr;
+        Started = TOpt->start(InheritErr);
+        if (Started)
+          std::fprintf(stderr,
+                       "jslice_serve: adopted predecessor's listener fd\n");
+        else
+          Err += "; inherited listener: " + InheritErr;
+      } else {
+        Err += "; no listener fd received from predecessor";
+      }
+    }
+    if (ListenerSocketFd >= 0)
+      ::close(static_cast<int>(ListenerSocketFd));
+#endif
+    if (!Started) {
       std::fprintf(stderr, "error: cannot listen on %s: %s\n",
                    ListenSpec.c_str(), Err.c_str());
       return usage();
     }
+    TcpServer &T = *TOpt;
 #ifdef JSLICE_HAVE_POSIX_PROCESS
     struct sigaction SA = {};
     SA.sa_handler = onShutdownSignal; // No SA_RESTART: poll must break.
     sigemptyset(&SA.sa_mask);
     ::sigaction(SIGTERM, &SA, nullptr);
     ::sigaction(SIGINT, &SA, nullptr);
+    if (Upgradable) {
+      struct sigaction UA = {};
+      UA.sa_handler = onUpgradeSignal;
+      sigemptyset(&UA.sa_mask);
+      ::sigaction(SIGUSR2, &UA, nullptr);
+    }
 #endif
     // Parsable by wrappers (the port matters with --listen HOST:0);
     // keep the port at end of line, scripts anchor on it.
@@ -410,7 +790,96 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "jslice_serve: transport shards: %u (%s)\n",
                  T.shardCount(),
                  T.usesReusePort() ? "reuseport" : "fd handoff");
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+    if (Upgradable)
+      std::fprintf(stderr, "jslice_serve: generation %llu pid %ld\n",
+                   static_cast<unsigned long long>(Opts.Generation),
+                   static_cast<long>(::getpid()));
+
+    std::atomic<bool> ThreadsStop{false};
+
+    // Successor readiness gate: probe our own port until the health
+    // answer carries our generation, then release the predecessor
+    // through the ready pipe. Only then does the old generation drain.
+    std::thread ReadyThread;
+    if (ReadyFd >= 0) {
+      uint64_t Gen = Opts.Generation;
+      std::string Host = TcpOpts.Host;
+      uint16_t Port = T.port();
+      int Fd = static_cast<int>(ReadyFd);
+      uint64_t Delay = ReadyDelayMs;
+      ReadyThread = std::thread([&ThreadsStop, Gen, Host, Port, Fd, Delay] {
+        for (uint64_t Slept = 0;
+             Slept < Delay && !ThreadsStop.load(std::memory_order_relaxed);
+             Slept += 20)
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        if (selfProbeReady(Host, Port, Gen, ThreadsStop)) {
+          char B = 'R';
+          [[maybe_unused]] ssize_t N = ::write(Fd, &B, 1);
+          std::fprintf(stderr,
+                       "jslice_serve: generation %llu (pid %ld) ready\n",
+                       static_cast<unsigned long long>(Gen),
+                       static_cast<long>(::getpid()));
+        } else {
+          std::fprintf(stderr,
+                       "jslice_serve: generation %llu readiness "
+                       "self-probe failed\n",
+                       static_cast<unsigned long long>(Gen));
+        }
+        ::close(Fd);
+      });
+    }
+
+    // Successor handoff: once the predecessor is gone, quarantine
+    // exactly the in-flight requests it left behind (earlier-generation
+    // stamps only — our own begins are not casualties).
+    std::thread HandoffThread;
+    if (Opts.PredecessorPid > 0) {
+      long Pred = Opts.PredecessorPid;
+      HandoffThread = std::thread([&S, &ThreadsStop, Pred] {
+        while (!ThreadsStop.load(std::memory_order_relaxed)) {
+          if (::kill(static_cast<pid_t>(Pred), 0) != 0 && errno == ESRCH) {
+            unsigned N = S.completeHandoff();
+            std::fprintf(stderr,
+                         "jslice_serve: generation predecessor (pid %ld) "
+                         "exited; handoff recovery quarantined %u "
+                         "request%s\n",
+                         Pred, N, N == 1 ? "" : "s");
+            return;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      });
+    }
+
+    UpgradeContext Ctx;
+    std::thread UpgradeThread;
+    if (Upgradable) {
+      Ctx.Srv = &S;
+      Ctx.Transport = &T;
+      Ctx.Host = TcpOpts.Host;
+      Ctx.Port = T.port();
+      Ctx.Generation = Opts.Generation;
+      if (ListenValueIdx != SIZE_MAX)
+        RespawnArgs[ListenValueIdx] =
+            TcpOpts.Host + ":" + std::to_string(T.port());
+      Ctx.RespawnArgs = RespawnArgs;
+      UpgradeThread = std::thread([&Ctx] { upgradeMonitor(Ctx); });
+    }
+
     T.run();
+
+    ThreadsStop.store(true, std::memory_order_relaxed);
+    Ctx.Stop.store(true, std::memory_order_relaxed);
+    if (UpgradeThread.joinable())
+      UpgradeThread.join();
+    if (HandoffThread.joinable())
+      HandoffThread.join();
+    if (ReadyThread.joinable())
+      ReadyThread.join();
+#else
+    T.run();
+#endif
     S.finish();
     if (ShutdownRequested.load(std::memory_order_relaxed))
       std::fprintf(stderr, "jslice_serve: drained and shut down cleanly\n");

@@ -44,6 +44,21 @@
 /// proven, not assumed). `--net --crash-matrix` layers the SIGKILL
 /// chaos on top of the network chaos.
 ///
+/// With --upgrade-matrix it drives a *real* `jslice_serve` process
+/// (--serve-bin) through N zero-downtime hot restarts under full
+/// client load, cycling chaos scenarios: a clean SIGUSR2 handoff, a
+/// SIGKILL of the old generation mid-drain, a SIGKILL of the successor
+/// before readiness (the old generation must roll back and keep
+/// serving), a SIGTERM racing an in-flight upgrade (drain must win,
+/// exactly once), and back-to-back SIGUSR2 (the second refused
+/// deterministically). The serve dynasty shares one stderr pipe —
+/// successors inherit it across exec — and the soak scrapes the
+/// generation log lines to track who is leader. The acceptance bar is
+/// the same exactly-once audit as every other matrix: zero lost
+/// responses, every request one legal terminal status, plus at least
+/// one observed rollback and one observed refusal (a matrix that never
+/// exercised them proved nothing).
+///
 /// With --bench it times an identical request stream through thread
 /// and process isolation — and, where the platform has sockets, a
 /// pipelined TCP connection — and writes a benchmark JSON (--out) with
@@ -78,6 +93,7 @@
 ///               [--crash-matrix] [--kill-interval-ms N]
 ///               [--quarantine DIR] [--bench] [--out FILE]
 ///               [--net] [--net-clients N] [--shards N]
+///               [--upgrade-matrix --serve-bin PATH] [--upgrades N]
 ///               [--cache on|off] [--cache-entries N] [--cache-bytes N]
 ///               [--cache-audit-every N] [--audit-seeds N] [--verbose]
 ///
@@ -100,6 +116,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -107,6 +124,14 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 using namespace jslice;
 
@@ -131,6 +156,9 @@ struct SoakOptions {
   bool Net = false;
   unsigned NetClients = 4;
   unsigned Shards = 0; ///< Transport reactor shards; 0 = hardware.
+  bool UpgradeMatrix = false;
+  std::string ServeBin;   ///< jslice_serve binary for the upgrade matrix.
+  uint64_t Upgrades = 20; ///< Hot restarts the matrix must complete.
   bool CacheEnabled = true;
   uint64_t CacheEntries = 0;    ///< 0 = CacheOptions default.
   uint64_t CacheBytes = 0;      ///< 0 = CacheOptions default.
@@ -172,6 +200,8 @@ int usage() {
                "[--quarantine DIR]\n"
                "                   [--bench] [--out FILE] [--net] "
                "[--net-clients N] [--shards N]\n"
+               "                   [--upgrade-matrix --serve-bin PATH] "
+               "[--upgrades N]\n"
                "                   [--cache on|off] [--cache-entries N] "
                "[--cache-bytes N]\n"
                "                   [--cache-audit-every N] [--audit-seeds N] "
@@ -1047,11 +1077,552 @@ int runNetSoak(const SoakOptions &Opts) {
   return A.Violations ? 1 : 0;
 }
 
+//===----------------------------------------------------------------------===//
+// Upgrade matrix: hot-restart chaos over a real jslice_serve dynasty
+//===----------------------------------------------------------------------===//
+
+/// What the stderr scraper has learned about the serve process tree.
+/// The matrix drives real processes through exec boundaries, so the
+/// generation log lines (jslice_serve.cpp's handoff protocol) are the
+/// only source of truth for who is leader and who is still warming up.
+struct MatrixState {
+  std::mutex M;
+  uint16_t Port = 0;     ///< From "listening on HOST:PORT".
+  long LeaderPid = -1;   ///< Serving generation.
+  long PendingPid = -1;  ///< Spawned successor, not yet ready.
+  uint64_t Spawns = 0;   ///< "spawning generation" events.
+  uint64_t Handoffs = 0; ///< "ready; draining" events.
+  uint64_t Rollbacks = 0;
+  uint64_t Refusals = 0; ///< Both refusal flavours.
+};
+
+/// Parses one serve stderr line into the matrix state. The anchors are
+/// the exact formats jslice_serve prints; the announce line
+/// ("generation G pid P") is adopted as leader only when there is no
+/// leader — a successor announces too, before it is ready, and must
+/// not be trusted until its "ready; draining" line.
+void scrapeMatrixLine(const std::string &Line, MatrixState &St) {
+  std::lock_guard<std::mutex> Lock(St.M);
+  size_t At = Line.find("listening on ");
+  if (At != std::string::npos) {
+    size_t Colon = Line.rfind(':');
+    if (Colon != std::string::npos)
+      St.Port = static_cast<uint16_t>(
+          std::strtoul(Line.c_str() + Colon + 1, nullptr, 10));
+    return;
+  }
+  At = Line.find("spawning generation ");
+  if (At != std::string::npos) {
+    size_t Pid = Line.find("(pid ", At);
+    if (Pid != std::string::npos)
+      St.PendingPid = std::strtol(Line.c_str() + Pid + 5, nullptr, 10);
+    ++St.Spawns;
+    return;
+  }
+  if (Line.find("ready; draining generation ") != std::string::npos) {
+    if (St.PendingPid > 0)
+      St.LeaderPid = St.PendingPid;
+    St.PendingPid = -1;
+    ++St.Handoffs;
+    return;
+  }
+  if (Line.find("rolling back to generation ") != std::string::npos) {
+    St.PendingPid = -1;
+    ++St.Rollbacks;
+    return;
+  }
+  if (Line.find("upgrade already in progress") != std::string::npos ||
+      Line.find("upgrade refused: shutdown in progress") !=
+          std::string::npos) {
+    ++St.Refusals;
+    return;
+  }
+  At = Line.find("generation ");
+  if (At != std::string::npos && Line.find("(pid") == std::string::npos) {
+    size_t Pid = Line.find(" pid ", At);
+    if (Pid != std::string::npos && St.LeaderPid < 0)
+      St.LeaderPid = std::strtol(Line.c_str() + Pid + 5, nullptr, 10);
+  }
+}
+
+/// fork/exec one serve generation with its stderr on the dynasty pipe.
+/// Returns the child pid, or -1. The read end is closed in the child
+/// so the scraper's EOF tracks the last process holding the write end.
+long spawnServe(const std::vector<std::string> &Args, int StderrW,
+                int StderrR) {
+  std::vector<char *> Argv;
+  Argv.reserve(Args.size() + 1);
+  for (const std::string &A : Args)
+    Argv.push_back(const_cast<char *>(A.c_str()));
+  Argv.push_back(nullptr);
+  pid_t Pid = ::fork();
+  if (Pid < 0)
+    return -1;
+  if (Pid == 0) {
+    ::dup2(StderrW, 2);
+    ::close(StderrR);
+    ::execv(Argv[0], Argv.data());
+    _exit(127);
+  }
+  return Pid;
+}
+
+/// Polls \p Pred every 20ms until it holds or \p TimeoutMs passes,
+/// reaping dead direct children along the way so a drained old
+/// generation never lingers as a zombie.
+bool waitMatrix(const std::function<bool()> &Pred, uint64_t TimeoutMs) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  for (;;) {
+    while (::waitpid(-1, nullptr, WNOHANG) > 0)
+      ;
+    if (Pred())
+      return true;
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+/// True once \p Pid no longer exists. A successor generation is not
+/// this process's child, so waitpid cannot see it — kill(pid, 0) can.
+bool processGone(long Pid) {
+  return ::kill(static_cast<pid_t>(Pid), 0) != 0 && errno == ESRCH;
+}
+
+int runUpgradeMatrix(const SoakOptions &CliOpts) {
+  SoakOptions Opts = CliOpts;
+  if (Opts.ServeBin.empty()) {
+    std::fprintf(stderr,
+                 "error: --upgrade-matrix requires --serve-bin PATH\n");
+    return 2;
+  }
+  if (Opts.JournalPath.empty())
+    Opts.JournalPath = "upgrade-matrix-journal.jsonl";
+
+  // A stale journal would make generation 1 quarantine last run's
+  // in-flight records and skew this run's audit.
+  std::error_code Ec;
+  std::filesystem::remove(Opts.JournalPath, Ec);
+  std::filesystem::remove(Opts.JournalPath + ".rotate", Ec);
+  std::filesystem::remove_all(Opts.QuarantineDir, Ec);
+
+  // One pipe for every generation: successors inherit the write end as
+  // fd 2 through exec, so the scraper sees the whole dynasty and EOF
+  // means the last generation is gone.
+  int Pipe[2];
+  if (::pipe(Pipe) != 0) {
+    std::fprintf(stderr, "error: cannot create the dynasty stderr pipe\n");
+    return 1;
+  }
+
+  MatrixState St;
+  std::thread Scraper([&] {
+    std::string Partial;
+    char Buf[4096];
+    for (;;) {
+      int64_t N = readSome(Pipe[0], Buf, sizeof(Buf));
+      if (N <= 0)
+        break;
+      for (int64_t I = 0; I != N; ++I) {
+        if (Buf[I] != '\n') {
+          Partial.push_back(Buf[I]);
+          continue;
+        }
+        scrapeMatrixLine(Partial, St);
+        if (Opts.Verbose)
+          std::fprintf(stderr, "%s\n", Partial.c_str());
+        Partial.clear();
+      }
+    }
+  });
+
+  // --ready-delay-ms keeps every successor in a killable pre-ready
+  // window long enough for the chaos scenarios to land their signals
+  // deterministically; serve propagates it across generations.
+  std::vector<std::string> BaseArgs = {
+      Opts.ServeBin,   "--listen",     "127.0.0.1:0",
+      "--journal",     Opts.JournalPath, "--quarantine",
+      Opts.QuarantineDir, "--ready-delay-ms", "300"};
+  if (Opts.Shards) {
+    BaseArgs.push_back("--shards");
+    BaseArgs.push_back(std::to_string(Opts.Shards));
+  }
+
+  auto snapshot = [&](MatrixState &Out) {
+    std::lock_guard<std::mutex> Lock(St.M);
+    Out.Port = St.Port;
+    Out.LeaderPid = St.LeaderPid;
+    Out.PendingPid = St.PendingPid;
+    Out.Spawns = St.Spawns;
+    Out.Handoffs = St.Handoffs;
+    Out.Rollbacks = St.Rollbacks;
+    Out.Refusals = St.Refusals;
+  };
+
+  auto cleanupFail = [&](const char *Why) {
+    std::fprintf(stderr, "VIOLATION: %s\n", Why);
+    MatrixState S;
+    snapshot(S);
+    if (S.LeaderPid > 0)
+      ::kill(static_cast<pid_t>(S.LeaderPid), SIGKILL);
+    if (S.PendingPid > 0)
+      ::kill(static_cast<pid_t>(S.PendingPid), SIGKILL);
+    ::close(Pipe[1]);
+    Scraper.join();
+    ::close(Pipe[0]);
+    while (::waitpid(-1, nullptr, WNOHANG) > 0)
+      ;
+    return 1;
+  };
+
+  if (spawnServe(BaseArgs, Pipe[1], Pipe[0]) < 0)
+    return cleanupFail("cannot spawn generation 1");
+  if (!waitMatrix(
+          [&] {
+            std::lock_guard<std::mutex> Lock(St.M);
+            return St.Port != 0 && St.LeaderPid > 0;
+          },
+          15000))
+    return cleanupFail("generation 1 never announced itself");
+
+  uint16_t Port;
+  {
+    std::lock_guard<std::mutex> Lock(St.M);
+    Port = St.Port;
+  }
+
+  // Client load: every request retried past transport gaps (a respawn
+  // window has no listener at all) and past drain-time sheds, until it
+  // lands one terminal status. Ids keep flowing past --requests until
+  // the scenario loop finishes, so every handoff happens under load.
+  std::vector<SoakProgram> Programs = buildPrograms(Opts);
+  std::atomic<bool> ScenariosDone{false};
+  std::atomic<uint64_t> NextId{0};
+  std::mutex AuditM;
+  std::vector<std::string> Responses;
+  uint64_t Sent = 0, Lost = 0, Retried = 0;
+  unsigned NClients = Opts.NetClients ? Opts.NetClients : 1;
+  std::vector<std::thread> Clients;
+  for (unsigned CI = 0; CI != NClients; ++CI) {
+    Clients.emplace_back([&, CI] {
+      ClientOptions CliOpt;
+      CliOpt.Port = Port;
+      CliOpt.MaxAttempts = 64;
+      CliOpt.BackoffBaseMs = 2;
+      CliOpt.BackoffCapMs = 100;
+      CliOpt.ResponseTimeoutMs = 60000;
+      CliOpt.JitterSeed = Opts.Seed + CI + 1;
+      ClientConnection Conn(CliOpt);
+      std::vector<std::string> Local;
+      uint64_t LocalSent = 0, LocalLost = 0, LocalRetried = 0;
+      for (;;) {
+        uint64_t I = NextId.fetch_add(1, std::memory_order_relaxed);
+        if (I >= Opts.Requests &&
+            ScenariosDone.load(std::memory_order_relaxed))
+          break;
+        const SoakProgram &P = Programs[I % Programs.size()];
+        ServiceRequest R;
+        R.Id = "q" + std::to_string(I);
+        R.Program = P.Source;
+        const Criterion &C = P.Criteria[I % P.Criteria.size()];
+        R.Line = C.Line;
+        R.Vars = C.Vars;
+        R.Algorithm = AllAlgorithms[I % (sizeof(AllAlgorithms) /
+                                         sizeof(AllAlgorithms[0]))];
+        std::string Line = R.toJson().str();
+        ++LocalSent;
+        bool Answered = false, WasRetried = false;
+        for (unsigned Try = 0; Try != 120 && !Answered; ++Try) {
+          ClientResult Res = Conn.request(Line);
+          if (Try || Res.Attempts > 1)
+            WasRetried = true;
+          if (!Res.Ok) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(250));
+            continue;
+          }
+          if (Res.Response.find("\"status\":\"shed\"") !=
+              std::string::npos) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            continue;
+          }
+          Local.push_back(std::move(Res.Response));
+          Answered = true;
+        }
+        if (WasRetried)
+          ++LocalRetried;
+        if (!Answered) {
+          ++LocalLost;
+          std::lock_guard<std::mutex> Lock(AuditM);
+          std::fprintf(stderr,
+                       "VIOLATION: request lost across the upgrade "
+                       "matrix: %.80s\n",
+                       Line.c_str());
+        }
+      }
+      std::lock_guard<std::mutex> Lock(AuditM);
+      for (auto &L : Local)
+        Responses.push_back(std::move(L));
+      Sent += LocalSent;
+      Lost += LocalLost;
+      Retried += LocalRetried;
+    });
+  }
+
+  // The chaos driver: cycle the five scenarios until the handoff
+  // target is met. Scenario 2 (successor killed pre-ready) and 3
+  // (SIGTERM wins the race) do not produce a handoff; they count as
+  // rollback / restart coverage instead.
+  auto leaderPid = [&] {
+    std::lock_guard<std::mutex> Lock(St.M);
+    return St.LeaderPid;
+  };
+  uint64_t Restarts = 0, MatrixViolations = 0;
+  for (uint64_t Iter = 0;; ++Iter) {
+    MatrixState S;
+    snapshot(S);
+    if (S.Handoffs >= Opts.Upgrades)
+      break;
+    long Leader = S.LeaderPid;
+    if (Leader <= 0) {
+      ++MatrixViolations;
+      std::fprintf(stderr, "VIOLATION: no leader to drive at iteration "
+                           "%llu\n",
+                   static_cast<unsigned long long>(Iter));
+      break;
+    }
+    switch (Iter % 5) {
+    case 0: { // Clean SIGUSR2 handoff.
+      ::kill(static_cast<pid_t>(Leader), SIGUSR2);
+      if (!waitMatrix(
+              [&] {
+                std::lock_guard<std::mutex> Lock(St.M);
+                return St.Handoffs > S.Handoffs;
+              },
+              60000)) {
+        ++MatrixViolations;
+        std::fprintf(stderr,
+                     "VIOLATION: clean upgrade never became ready\n");
+      }
+      break;
+    }
+    case 1: { // SIGKILL the old generation mid-drain.
+      ::kill(static_cast<pid_t>(Leader), SIGUSR2);
+      if (!waitMatrix(
+              [&] {
+                std::lock_guard<std::mutex> Lock(St.M);
+                return St.Handoffs > S.Handoffs;
+              },
+              60000)) {
+        ++MatrixViolations;
+        std::fprintf(stderr,
+                     "VIOLATION: mid-drain upgrade never became ready\n");
+        break;
+      }
+      // ESRCH is fine — a fast drain may already have exited.
+      ::kill(static_cast<pid_t>(Leader), SIGKILL);
+      break;
+    }
+    case 2: { // SIGKILL the successor pre-ready: rollback required.
+      ::kill(static_cast<pid_t>(Leader), SIGUSR2);
+      long Pending = -1;
+      if (!waitMatrix(
+              [&] {
+                std::lock_guard<std::mutex> Lock(St.M);
+                Pending = St.PendingPid;
+                return Pending > 0;
+              },
+              30000)) {
+        ++MatrixViolations;
+        std::fprintf(stderr, "VIOLATION: successor never spawned\n");
+        break;
+      }
+      ::kill(static_cast<pid_t>(Pending), SIGKILL);
+      if (!waitMatrix(
+              [&] {
+                std::lock_guard<std::mutex> Lock(St.M);
+                return St.Rollbacks > S.Rollbacks;
+              },
+              60000)) {
+        ++MatrixViolations;
+        std::fprintf(stderr,
+                     "VIOLATION: killed successor never rolled back\n");
+      }
+      break;
+    }
+    case 3: { // SIGTERM racing an in-flight upgrade: drain wins, once.
+      ::kill(static_cast<pid_t>(Leader), SIGUSR2);
+      long Succ = -1;
+      waitMatrix(
+          [&] {
+            std::lock_guard<std::mutex> Lock(St.M);
+            Succ = St.PendingPid;
+            return Succ > 0;
+          },
+          30000);
+      ::kill(static_cast<pid_t>(Leader), SIGTERM);
+      if (!waitMatrix([&] { return processGone(Leader); }, 60000)) {
+        ++MatrixViolations;
+        std::fprintf(stderr,
+                     "VIOLATION: leader never exited after SIGTERM "
+                     "raced an upgrade\n");
+        break;
+      }
+      // The leader rolled the unready successor back before exiting;
+      // wait it out and let the scraper drain the dynasty's buffered
+      // lines, so the dead successor's announce line cannot be adopted
+      // as leader after the reset below.
+      if (Succ > 0)
+        waitMatrix([&] { return processGone(Succ); }, 30000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      {
+        std::lock_guard<std::mutex> Lock(St.M);
+        St.LeaderPid = -1;
+        St.PendingPid = -1;
+      }
+      std::vector<std::string> Args = BaseArgs;
+      Args[2] = "127.0.0.1:" + std::to_string(Port); // Keep the port.
+      if (spawnServe(Args, Pipe[1], Pipe[0]) < 0 ||
+          !waitMatrix([&] { return leaderPid() > 0; }, 30000)) {
+        ++MatrixViolations;
+        std::fprintf(stderr, "VIOLATION: post-SIGTERM respawn never "
+                             "announced\n");
+      } else {
+        ++Restarts;
+      }
+      break;
+    }
+    default: { // Back-to-back SIGUSR2: the second must be refused.
+      ::kill(static_cast<pid_t>(Leader), SIGUSR2);
+      if (!waitMatrix(
+              [&] {
+                std::lock_guard<std::mutex> Lock(St.M);
+                return St.PendingPid > 0;
+              },
+              30000)) {
+        ++MatrixViolations;
+        std::fprintf(stderr, "VIOLATION: successor never spawned\n");
+        break;
+      }
+      ::kill(static_cast<pid_t>(Leader), SIGUSR2);
+      if (!waitMatrix(
+              [&] {
+                std::lock_guard<std::mutex> Lock(St.M);
+                return St.Handoffs > S.Handoffs;
+              },
+              60000)) {
+        ++MatrixViolations;
+        std::fprintf(stderr,
+                     "VIOLATION: double-upgrade handoff never ready\n");
+        break;
+      }
+      if (!waitMatrix(
+              [&] {
+                std::lock_guard<std::mutex> Lock(St.M);
+                return St.Refusals > S.Refusals;
+              },
+              10000)) {
+        ++MatrixViolations;
+        std::fprintf(stderr, "VIOLATION: second SIGUSR2 was never "
+                             "refused\n");
+      }
+      break;
+    }
+    }
+    if (MatrixViolations)
+      break; // A wedged dynasty would stall the clients for nothing.
+  }
+
+  ScenariosDone.store(true, std::memory_order_relaxed);
+  for (auto &C : Clients)
+    C.join();
+
+  // Quiesce: drain the last leader, then close our write end so the
+  // scraper sees EOF once the dynasty's fd 2 is gone.
+  long Last = leaderPid();
+  if (Last > 0) {
+    ::kill(static_cast<pid_t>(Last), SIGTERM);
+    if (!waitMatrix([&] { return processGone(Last); }, 60000)) {
+      ++MatrixViolations;
+      std::fprintf(stderr, "VIOLATION: final drain never finished\n");
+      ::kill(static_cast<pid_t>(Last), SIGKILL);
+    }
+  }
+  ::close(Pipe[1]);
+  Scraper.join();
+  ::close(Pipe[0]);
+  while (::waitpid(-1, nullptr, WNOHANG) > 0)
+    ;
+
+  MatrixState Fin;
+  snapshot(Fin);
+
+  Audit A;
+  for (const std::string &L : Responses)
+    auditLine(L, A);
+  A.Violations += Lost + MatrixViolations;
+  for (const auto &[Id, N] : A.SliceResponses)
+    if (N != 1) {
+      ++A.Violations;
+      std::fprintf(stderr, "VIOLATION: id %s answered %llu times\n",
+                   Id.c_str(), static_cast<unsigned long long>(N));
+    }
+  if (A.SliceResponses.size() != Sent - Lost) {
+    ++A.Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: %llu requests sent, %zu distinct terminal "
+                 "statuses — responses were lost\n",
+                 static_cast<unsigned long long>(Sent),
+                 A.SliceResponses.size());
+  }
+  if (Fin.Handoffs < Opts.Upgrades) {
+    ++A.Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: only %llu of %llu handoffs completed\n",
+                 static_cast<unsigned long long>(Fin.Handoffs),
+                 static_cast<unsigned long long>(Opts.Upgrades));
+  }
+  if (!Fin.Rollbacks) {
+    ++A.Violations;
+    std::fprintf(stderr, "VIOLATION: no readiness-failure rollback was "
+                         "exercised — the matrix proved nothing about "
+                         "rollback\n");
+  }
+  if (!Fin.Refusals) {
+    ++A.Violations;
+    std::fprintf(stderr, "VIOLATION: no double-upgrade refusal was "
+                         "observed\n");
+  }
+
+  std::printf("jslice_soak: upgrade matrix — %llu requests over %u "
+              "clients, %llu handoffs, %llu rollbacks, %llu refusals, "
+              "%llu restarts\n",
+              static_cast<unsigned long long>(Sent), NClients,
+              static_cast<unsigned long long>(Fin.Handoffs),
+              static_cast<unsigned long long>(Fin.Rollbacks),
+              static_cast<unsigned long long>(Fin.Refusals),
+              static_cast<unsigned long long>(Restarts));
+  std::printf("               retried requests   %llu\n",
+              static_cast<unsigned long long>(Retried));
+  for (const auto &[StName, N] : A.ByStatus)
+    std::printf("               %-18s %llu\n", StName.c_str(),
+                static_cast<unsigned long long>(N));
+  std::printf("               violations         %llu\n",
+              static_cast<unsigned long long>(A.Violations));
+  return A.Violations ? 1 : 0;
+}
+
 #else // !JSLICE_HAVE_POSIX_PROCESS
 
 int runNetSoak(const SoakOptions &) {
   std::fprintf(stderr,
                "jslice_soak: TCP transport unavailable; --net skipped\n");
+  return 0;
+}
+
+int runUpgradeMatrix(const SoakOptions &) {
+  std::fprintf(stderr, "jslice_soak: process control unavailable; "
+                       "--upgrade-matrix skipped\n");
   return 0;
 }
 
@@ -1068,7 +1639,9 @@ struct BenchRun {
 };
 
 BenchRun benchMode(const SoakOptions &Opts, const std::string &Input,
-                   bool Process, const CacheOptions &Cache) {
+                   bool Process, const CacheOptions &Cache,
+                   const std::string &JournalPath = "",
+                   JournalSync Sync = JournalSync::Full) {
   std::istringstream In(Input);
   std::ostringstream Out;
   std::ostringstream Log;
@@ -1078,6 +1651,8 @@ BenchRun benchMode(const SoakOptions &Opts, const std::string &Input,
   SOpts.Super.Workers = Opts.Workers;
   SOpts.QuarantineDir = Opts.QuarantineDir;
   SOpts.Cache = Cache;
+  SOpts.JournalPath = JournalPath;
+  SOpts.JournalSyncPolicy = Sync;
   Server S(SOpts, Out, Log);
 
   auto Start = std::chrono::steady_clock::now();
@@ -1400,6 +1975,32 @@ int runBench(const SoakOptions &Opts) {
     Root.set("tcp_overhead", std::move(Net));
   }
 
+  // The durability ladder: the same stream through thread isolation
+  // with the journal at each sync policy. The gap between `full` and
+  // `batch` is the per-record fsync's hot-path price; `off` is the
+  // OS-page-cache ceiling (DESIGN.md §16 documents the trade-off each
+  // rung buys).
+  {
+    std::string JPath = Opts.JournalPath.empty() ? "bench-journal.jsonl"
+                                                 : Opts.JournalPath;
+    JsonValue Sync = JsonValue::object();
+    std::printf("jslice_soak: journal sync —");
+    const JournalSync Policies[] = {JournalSync::Full, JournalSync::Batch,
+                                    JournalSync::Off};
+    for (JournalSync Policy : Policies) {
+      std::error_code Ec;
+      std::filesystem::remove(JPath, Ec);
+      BenchRun R =
+          benchMode(Opts, Input, /*Process=*/false, CacheOff, JPath, Policy);
+      Sync.set(journalSyncName(Policy), benchJson(R));
+      std::printf(" %s %.0f req/s%s", journalSyncName(Policy),
+                  R.ThroughputRps, Policy == JournalSync::Off ? "\n" : " |");
+    }
+    Root.set("journal_sync", std::move(Sync));
+    std::error_code Ec;
+    std::filesystem::remove(JPath, Ec);
+  }
+
   // The cache benchmark: the same corpus under a Zipf draw, through
   // TCP, cache-off then cache-on with self-audit sampling. Both passes
   // carry the exactly-once audit; the cache-on pass must additionally
@@ -1671,7 +2272,7 @@ int main(int argc, char **argv) {
         Arg == "--threads" || Arg == "--seed" || Arg == "--fault-stride" ||
         Arg == "--workers" || Arg == "--kill-interval-ms" ||
         Arg == "--breaker-threshold" || Arg == "--net-clients" ||
-        Arg == "--shards" ||
+        Arg == "--shards" || Arg == "--upgrades" ||
         Arg == "--cache-entries" || Arg == "--cache-bytes" ||
         Arg == "--cache-audit-every" || Arg == "--audit-seeds") {
       std::optional<std::string> Value = NextValue();
@@ -1700,6 +2301,8 @@ int main(int argc, char **argv) {
         Opts.NetClients = static_cast<unsigned>(std::max<uint64_t>(1, *N));
       else if (Arg == "--shards")
         Opts.Shards = static_cast<unsigned>(*N);
+      else if (Arg == "--upgrades")
+        Opts.Upgrades = std::max<uint64_t>(1, *N);
       else if (Arg == "--cache-entries")
         Opts.CacheEntries = *N;
       else if (Arg == "--cache-bytes")
@@ -1718,7 +2321,8 @@ int main(int argc, char **argv) {
       }
       Opts.CacheEnabled = *Value == "on";
     } else if (Arg == "--journal" || Arg == "--quarantine" ||
-               Arg == "--out" || Arg == "--isolate") {
+               Arg == "--out" || Arg == "--isolate" ||
+               Arg == "--serve-bin") {
       std::optional<std::string> Value = NextValue();
       if (!Value) {
         std::fprintf(stderr, "error: %s requires an argument\n", Arg.c_str());
@@ -1730,6 +2334,8 @@ int main(int argc, char **argv) {
         Opts.QuarantineDir = *Value;
       else if (Arg == "--out")
         Opts.OutPath = *Value;
+      else if (Arg == "--serve-bin")
+        Opts.ServeBin = *Value;
       else if (*Value == "process")
         Opts.IsolateProcess = true;
       else if (*Value == "thread")
@@ -1741,6 +2347,8 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--crash-matrix") {
       Opts.CrashMatrix = true;
+    } else if (Arg == "--upgrade-matrix") {
+      Opts.UpgradeMatrix = true;
     } else if (Arg == "--bench") {
       Opts.Bench = true;
     } else if (Arg == "--net") {
@@ -1755,6 +2363,8 @@ int main(int argc, char **argv) {
 
   if (Opts.AuditSeeds)
     return runAuditSweep(Opts);
+  if (Opts.UpgradeMatrix)
+    return runUpgradeMatrix(Opts);
   if (Opts.Net)
     return runNetSoak(Opts); // --crash-matrix layers kills on top.
   if (Opts.CrashMatrix)

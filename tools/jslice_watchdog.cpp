@@ -1,0 +1,543 @@
+//===- tools/jslice_watchdog.cpp - Process-level liveness supervisor ------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The outermost supervision ring (DESIGN.md §16): keeps one
+/// `jslice_serve --listen` leader alive across crashes, wedges, and
+/// zero-downtime upgrades. Where the in-process Supervisor restarts
+/// sandbox *workers* and the transport contains *connections*, the
+/// watchdog restarts the server *process* — the one failure domain
+/// nothing inside the process can heal.
+///
+///   jslice_watchdog [options] -- jslice_serve --listen HOST:PORT ...
+///
+///   --health-interval-ms N   probe cadence (default 1000)
+///   --health-failures K      consecutive probe failures before a
+///                            managed restart (default 3)
+///   --grace-ms N             SIGTERM-to-SIGKILL drain grace on a
+///                            managed restart (default 10000)
+///   --restart-threshold N    restarts within the window that trip the
+///                            storm breaker (default 5)
+///   --restart-window-ms N    breaker window (default 30000)
+///   --restart-cooldown-ms N  pause before respawning once the breaker
+///                            trips (default 5000)
+///
+/// The leader's stderr flows through the watchdog (teed to its own
+/// stderr), which scrapes three things from it: the bound port
+/// ("listening on HOST:PORT" — the respawn command pins it so a
+/// crash-restart keeps the address even when the original asked for
+/// port 0), the current leader ("generation G pid P" — a successor
+/// generation inherits the same stderr pipe, so an upgrade hands the
+/// watchdog the new pid automatically), and handoff progress. When the
+/// direct child exits after a handoff, the watchdog keeps watching the
+/// successor by pid instead of declaring a death.
+///
+/// A health probe fails on transport errors or a "wedged":true
+/// transport (a reactor shard that stopped making progress); K
+/// consecutive failures trigger a managed restart: SIGTERM, bounded
+/// drain, SIGKILL if the drain stalls, respawn. Respawns run through a
+/// restart-storm circuit breaker (the Supervisor's crash-loop policy
+/// at process granularity): more than N restarts inside the window and
+/// the watchdog cools down before trying again, so a persistent
+/// boot-crash cannot hot-loop.
+///
+/// SIGTERM / SIGINT shut the tree down: forward SIGTERM to the leader,
+/// wait for the drain, exit 0. SIGUSR2 forwards to the leader to
+/// trigger an upgrade.
+///
+/// Exit codes: 0 — shut down on signal; 2 — usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "net/Socket.h"
+#include "service/Json.h"
+#include "support/Pipe.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+using namespace jslice;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: jslice_watchdog [--health-interval-ms N] "
+      "[--health-failures K]\n"
+      "                       [--grace-ms N] [--restart-threshold N]\n"
+      "                       [--restart-window-ms N] "
+      "[--restart-cooldown-ms N]\n"
+      "                       -- jslice_serve --listen HOST:PORT ...\n");
+  return 2;
+}
+
+std::optional<uint64_t> parseCount(const std::string &Text) {
+  if (Text.empty())
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    if (Value > (UINT64_MAX - static_cast<uint64_t>(C - '0')) / 10)
+      return std::nullopt;
+    Value = Value * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return Value;
+}
+
+std::atomic<bool> ShutdownRequested{false};
+std::atomic<bool> UpgradeRequested{false};
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+
+extern "C" void onWatchdogShutdown(int) {
+  ShutdownRequested.store(true, std::memory_order_relaxed);
+}
+extern "C" void onWatchdogUpgrade(int) {
+  UpgradeRequested.store(true, std::memory_order_relaxed);
+}
+
+uint64_t steadyMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// What the stderr-scraper thread learns from the leader's log lines.
+/// The scraper owns writes; the main loop reads under the mutex.
+struct ScrapedState {
+  std::mutex M;
+  uint16_t Port = 0;       ///< From "listening on HOST:PORT".
+  long LeaderPid = -1;     ///< From "generation G pid P" (latest wins).
+  uint64_t LeaderGen = 0;
+};
+
+/// Parses one leader stderr line into \p State. The two anchors here
+/// are load-bearing across the tool suite — jslice_soak parses the
+/// same lines — so neither format may change.
+void scrapeLine(ScrapedState &State, const std::string &Line) {
+  size_t At = Line.find("listening on ");
+  if (At != std::string::npos) {
+    size_t Colon = Line.rfind(':');
+    if (Colon != std::string::npos) {
+      std::optional<uint64_t> P = parseCount(Line.substr(Colon + 1));
+      if (P && *P > 0 && *P <= 65535) {
+        std::lock_guard<std::mutex> L(State.M);
+        State.Port = static_cast<uint16_t>(*P);
+      }
+    }
+    return;
+  }
+  // "jslice_serve: generation G pid P" (exactly this shape — the
+  // "(pid P) ready" and "spawning" lines do not match " pid ").
+  At = Line.find("generation ");
+  if (At == std::string::npos)
+    return;
+  size_t GenAt = At + std::strlen("generation ");
+  size_t PidAt = Line.find(" pid ", GenAt);
+  if (PidAt == std::string::npos)
+    return;
+  std::optional<uint64_t> Gen = parseCount(Line.substr(GenAt, PidAt - GenAt));
+  std::optional<uint64_t> Pid =
+      parseCount(Line.substr(PidAt + std::strlen(" pid ")));
+  if (!Gen || !Pid)
+    return;
+  std::lock_guard<std::mutex> L(State.M);
+  State.LeaderPid = static_cast<long>(*Pid);
+  State.LeaderGen = *Gen;
+}
+
+/// Tees the leader's stderr to ours while scraping it. Runs until the
+/// read end closes (possible only at watchdog exit — the watchdog
+/// keeps a write-end copy so successor generations can inherit it).
+void scrapeMain(int ReadFd, ScrapedState &State,
+                const std::atomic<bool> &Stop) {
+  std::string Buf;
+  char Chunk[4096];
+  while (!Stop.load(std::memory_order_relaxed)) {
+    int Ready = pollReadable2(ReadFd, -1, 200);
+    if (Ready < 0)
+      break;
+    if (!(Ready & 1))
+      continue;
+    int64_t N = readSome(ReadFd, Chunk, sizeof(Chunk));
+    if (N <= 0)
+      break;
+    Buf.append(Chunk, static_cast<size_t>(N));
+    size_t Pos;
+    while ((Pos = Buf.find('\n')) != std::string::npos) {
+      std::string Line = Buf.substr(0, Pos);
+      Buf.erase(0, Pos + 1);
+      std::fprintf(stderr, "%s\n", Line.c_str());
+      scrapeLine(State, Line);
+    }
+  }
+}
+
+/// One health probe: connect, send {"health"}, require a parseable
+/// answer whose transport is not wedged. Drain/breaker degradation is
+/// *not* a failure — a leader mid-upgrade is draining by design, and
+/// killing it then would turn every upgrade into an outage.
+bool probeHealthy(const std::string &Host, uint16_t Port) {
+  std::string Err;
+  int Fd = connectTcp(Host, Port, /*TimeoutMs=*/1000, Err);
+  if (Fd < 0)
+    return false;
+  static const char Probe[] = "{\"health\":true}\n";
+  size_t Off = 0;
+  while (Off < sizeof(Probe) - 1) {
+    int64_t W = sendSome(Fd, Probe + Off, sizeof(Probe) - 1 - Off);
+    if (W <= 0) {
+      ::close(Fd);
+      return false;
+    }
+    Off += static_cast<size_t>(W);
+  }
+  std::string Line;
+  char C;
+  while (Line.size() < 65536) {
+    int64_t R = recvSome(Fd, &C, 1);
+    if (R <= 0 || C == '\n')
+      break;
+    Line.push_back(C);
+  }
+  ::close(Fd);
+  std::optional<JsonValue> V = JsonValue::parse(Line, nullptr);
+  if (!V || !V->isObject() || !V->find("status"))
+    return false;
+  const JsonValue *T = V->find("transport");
+  if (T && T->find("wedged"))
+    return false;
+  return true;
+}
+
+struct WatchdogOptions {
+  uint64_t HealthIntervalMs = 1000;
+  unsigned HealthFailures = 3;
+  uint64_t GraceMs = 10000;
+  unsigned RestartThreshold = 5;
+  uint64_t RestartWindowMs = 30000;
+  uint64_t RestartCooldownMs = 5000;
+};
+
+/// True when \p Pid still exists (EPERM counts as alive).
+bool processAlive(long Pid) {
+  return Pid > 0 && (::kill(static_cast<pid_t>(Pid), 0) == 0 ||
+                     errno == EPERM);
+}
+
+/// SIGTERM, bounded wait for death, then SIGKILL. \p DirectChild pids
+/// are reaped; reparented successors just disappear.
+void stopProcess(long Pid, uint64_t GraceMs, bool DirectChild) {
+  if (!processAlive(Pid))
+    return;
+  ::kill(static_cast<pid_t>(Pid), SIGTERM);
+  uint64_t Deadline = steadyMs() + GraceMs;
+  while (steadyMs() < Deadline) {
+    if (DirectChild) {
+      if (::waitpid(static_cast<pid_t>(Pid), nullptr, WNOHANG) ==
+          static_cast<pid_t>(Pid))
+        return;
+    } else if (!processAlive(Pid)) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ::kill(static_cast<pid_t>(Pid), SIGKILL);
+  if (DirectChild)
+    ::waitpid(static_cast<pid_t>(Pid), nullptr, 0);
+}
+
+/// The leader tree the watchdog maintains.
+struct Leader {
+  long DirectChild = -1; ///< Our fork child; -1 after a handoff.
+  long Pid = -1;         ///< Current leader (scraped; may differ).
+};
+
+/// Spawns a leader with stderr routed into the scraper pipe.
+/// Returns the pid, or -1.
+long spawnLeader(const std::vector<std::string> &Args, int StderrFd) {
+  pid_t Pid = ::fork();
+  if (Pid < 0)
+    return -1;
+  if (Pid == 0) {
+    ::dup2(StderrFd, 2);
+    std::vector<char *> Argv;
+    Argv.reserve(Args.size() + 1);
+    for (const std::string &A : Args)
+      Argv.push_back(const_cast<char *>(A.c_str()));
+    Argv.push_back(nullptr);
+    ::execvp(Argv[0], Argv.data());
+    _exit(127);
+  }
+  return static_cast<long>(Pid);
+}
+
+#endif // JSLICE_HAVE_POSIX_PROCESS
+
+} // namespace
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+
+int main(int argc, char **argv) {
+  WatchdogOptions Opts;
+  std::vector<std::string> ServeArgs;
+
+  int I = 1;
+  for (; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--") {
+      ++I;
+      break;
+    }
+    auto NextValue = [&]() -> std::optional<std::string> {
+      if (I + 1 >= argc)
+        return std::nullopt;
+      return std::string(argv[++I]);
+    };
+    if (Arg == "--health-interval-ms" || Arg == "--health-failures" ||
+        Arg == "--grace-ms" || Arg == "--restart-threshold" ||
+        Arg == "--restart-window-ms" || Arg == "--restart-cooldown-ms") {
+      std::optional<std::string> Value = NextValue();
+      std::optional<uint64_t> N = Value ? parseCount(*Value) : std::nullopt;
+      if (!N) {
+        std::fprintf(stderr, "error: %s expects a number\n", Arg.c_str());
+        return usage();
+      }
+      if (Arg == "--health-interval-ms")
+        Opts.HealthIntervalMs = *N;
+      else if (Arg == "--health-failures")
+        Opts.HealthFailures = static_cast<unsigned>(*N);
+      else if (Arg == "--grace-ms")
+        Opts.GraceMs = *N;
+      else if (Arg == "--restart-threshold")
+        Opts.RestartThreshold = static_cast<unsigned>(*N);
+      else if (Arg == "--restart-window-ms")
+        Opts.RestartWindowMs = *N;
+      else
+        Opts.RestartCooldownMs = *N;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return usage();
+    }
+  }
+  for (; I < argc; ++I)
+    ServeArgs.push_back(argv[I]);
+  if (ServeArgs.empty()) {
+    std::fprintf(stderr, "error: no server command after --\n");
+    return usage();
+  }
+
+  // The respawn command pins the listen address once the first leader
+  // reports its bound port, so a crash-restart keeps the address even
+  // when the original spec asked for HOST:0.
+  size_t ListenValueIdx = SIZE_MAX;
+  std::string Host = "127.0.0.1";
+  for (size_t A = 0; A + 1 < ServeArgs.size(); ++A)
+    if (ServeArgs[A] == "--listen") {
+      ListenValueIdx = A + 1;
+      uint16_t IgnoredPort = 0;
+      parseHostPort(ServeArgs[A + 1], Host, IgnoredPort);
+      break;
+    }
+
+  struct sigaction SA = {};
+  SA.sa_handler = onWatchdogShutdown;
+  sigemptyset(&SA.sa_mask);
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+  struct sigaction UA = {};
+  UA.sa_handler = onWatchdogUpgrade;
+  sigemptyset(&UA.sa_mask);
+  ::sigaction(SIGUSR2, &UA, nullptr);
+
+  // One pipe for the whole run: every leader (and every successor it
+  // execs — inherited fd 2 crosses the exec) writes here, and the
+  // scraper keeps reading across restarts.
+  int StderrPipe[2];
+  if (::pipe(StderrPipe) != 0) {
+    std::fprintf(stderr, "jslice_watchdog: cannot create stderr pipe\n");
+    return 2;
+  }
+  ::fcntl(StderrPipe[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(StderrPipe[1], F_SETFD, FD_CLOEXEC); // dup2 to fd 2 un-cloexecs.
+
+  ScrapedState State;
+  std::atomic<bool> ScraperStop{false};
+  std::thread Scraper(
+      [&] { scrapeMain(StderrPipe[0], State, ScraperStop); });
+
+  Leader L;
+  std::deque<uint64_t> RestartTimes;
+
+  auto respawn = [&]() -> bool {
+    uint64_t Now = steadyMs();
+    while (!RestartTimes.empty() &&
+           Now - RestartTimes.front() > Opts.RestartWindowMs)
+      RestartTimes.pop_front();
+    if (RestartTimes.size() >= Opts.RestartThreshold) {
+      std::fprintf(stderr,
+                   "jslice_watchdog: restart storm: %zu restarts in %llu "
+                   "ms; cooling down %llu ms\n",
+                   RestartTimes.size(),
+                   static_cast<unsigned long long>(Opts.RestartWindowMs),
+                   static_cast<unsigned long long>(Opts.RestartCooldownMs));
+      uint64_t Until = steadyMs() + Opts.RestartCooldownMs;
+      while (steadyMs() < Until &&
+             !ShutdownRequested.load(std::memory_order_relaxed))
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (ShutdownRequested.load(std::memory_order_relaxed))
+        return false;
+      RestartTimes.clear();
+    }
+    std::vector<std::string> Args = ServeArgs;
+    {
+      std::lock_guard<std::mutex> Lock(State.M);
+      if (ListenValueIdx != SIZE_MAX && State.Port)
+        Args[ListenValueIdx] = Host + ":" + std::to_string(State.Port);
+    }
+    long Pid = spawnLeader(Args, StderrPipe[1]);
+    if (Pid < 0) {
+      std::fprintf(stderr, "jslice_watchdog: fork failed\n");
+      return false;
+    }
+    RestartTimes.push_back(steadyMs());
+    L.DirectChild = Pid;
+    L.Pid = Pid;
+    std::fprintf(stderr, "jslice_watchdog: started pid %ld\n", Pid);
+    return true;
+  };
+
+  if (!respawn()) {
+    ScraperStop.store(true, std::memory_order_relaxed);
+    Scraper.join();
+    return 2;
+  }
+
+  unsigned ConsecutiveFailures = 0;
+  uint64_t NextProbeAt = steadyMs() + Opts.HealthIntervalMs;
+
+  while (!ShutdownRequested.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // The scraper may have learned of a successor generation: adopt it
+    // as the watched leader.
+    long ScrapedPid;
+    {
+      std::lock_guard<std::mutex> Lock(State.M);
+      ScrapedPid = State.LeaderPid;
+    }
+    if (ScrapedPid > 0 && ScrapedPid != L.Pid) {
+      std::fprintf(stderr,
+                   "jslice_watchdog: now watching leader pid %ld\n",
+                   ScrapedPid);
+      L.Pid = ScrapedPid;
+    }
+
+    if (UpgradeRequested.exchange(false, std::memory_order_relaxed) &&
+        L.Pid > 0)
+      ::kill(static_cast<pid_t>(L.Pid), SIGUSR2);
+
+    // Direct-child exit: a handoff leaves a live successor behind (not
+    // a death); anything else is a crash to respawn from.
+    bool LeaderDied = false;
+    if (L.DirectChild > 0) {
+      int Status = 0;
+      if (::waitpid(static_cast<pid_t>(L.DirectChild), &Status, WNOHANG) ==
+          static_cast<pid_t>(L.DirectChild)) {
+        if (L.Pid != L.DirectChild && processAlive(L.Pid)) {
+          std::fprintf(stderr,
+                       "jslice_watchdog: pid %ld handed off to pid %ld\n",
+                       L.DirectChild, L.Pid);
+          L.DirectChild = -1; // Successor is not our child; watch by pid.
+        } else {
+          std::fprintf(stderr,
+                       "jslice_watchdog: leader pid %ld died (%s)\n",
+                       L.DirectChild, describeWaitStatus(Status).c_str());
+          LeaderDied = true;
+        }
+      }
+    } else if (!processAlive(L.Pid)) {
+      std::fprintf(stderr, "jslice_watchdog: leader pid %ld died\n", L.Pid);
+      LeaderDied = true;
+    }
+    if (LeaderDied) {
+      if (!respawn())
+        break;
+      ConsecutiveFailures = 0;
+      NextProbeAt = steadyMs() + Opts.HealthIntervalMs;
+      continue;
+    }
+
+    // Liveness probing: a wedged or unreachable leader gets a managed
+    // restart after K consecutive failures.
+    uint16_t Port;
+    {
+      std::lock_guard<std::mutex> Lock(State.M);
+      Port = State.Port;
+    }
+    if (Port && steadyMs() >= NextProbeAt) {
+      NextProbeAt = steadyMs() + Opts.HealthIntervalMs;
+      if (probeHealthy(Host, Port)) {
+        ConsecutiveFailures = 0;
+      } else if (++ConsecutiveFailures >= Opts.HealthFailures) {
+        std::fprintf(stderr,
+                     "jslice_watchdog: health probe failed %u times; "
+                     "restarting leader pid %ld\n",
+                     ConsecutiveFailures, L.Pid);
+        stopProcess(L.Pid, Opts.GraceMs, L.Pid == L.DirectChild);
+        L.DirectChild = -1;
+        L.Pid = -1;
+        ConsecutiveFailures = 0;
+        if (!respawn())
+          break;
+        NextProbeAt = steadyMs() + Opts.HealthIntervalMs;
+      }
+    }
+  }
+
+  // Shutdown: drain the leader, then the scraper.
+  if (L.Pid > 0) {
+    std::fprintf(stderr,
+                 "jslice_watchdog: shutting down leader pid %ld\n", L.Pid);
+    stopProcess(L.Pid, Opts.GraceMs, L.Pid == L.DirectChild);
+  }
+  ScraperStop.store(true, std::memory_order_relaxed);
+  Scraper.join();
+  ::close(StderrPipe[0]);
+  ::close(StderrPipe[1]);
+  std::fprintf(stderr, "jslice_watchdog: shut down cleanly\n");
+  return 0;
+}
+
+#else // !JSLICE_HAVE_POSIX_PROCESS
+
+int main() {
+  std::fprintf(stderr,
+               "jslice_watchdog: process supervision unavailable on this "
+               "platform\n");
+  return 2;
+}
+
+#endif

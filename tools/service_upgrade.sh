@@ -1,0 +1,182 @@
+#!/usr/bin/env bash
+# Zero-downtime upgrade acceptance for the slicing service (DESIGN.md,
+# "Zero-downtime operations"): drive one jslice_serve dynasty through
+# the full hot-restart protocol over a live socket and assert the
+# operator-visible contract at every step:
+#
+#   1. `jslice_client --health` answers exit 0 with the generation.
+#   2. SIGUSR2 hands the port to generation 2 under traffic: the old
+#      leader drains, exits 0, and writes exactly one clean-shutdown
+#      journal record; requests keep landing throughout.
+#   3. A second SIGUSR2 inside a pending handoff is refused
+#      deterministically (logged), while the first upgrade completes.
+#   4. SIGTERM racing an in-flight upgrade: shutdown wins — the unready
+#      successor is rolled back, the leader drains exactly once, and
+#      the journal gains exactly one more shutdown record.
+#   5. A restart over the final journal quarantines nothing.
+#
+#   service_upgrade.sh <jslice_serve> <workdir> <jslice_client>
+set -u
+
+SERVE="$1"
+WORK="$2"
+CLIENT="$3"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+WAL="wal.jsonl"
+REQ='{"id":"r%d","program":"read(a);\nif (a > 0) { write(a); }\nwrite(a);\n","line":3,"vars":["a"]}'
+PIDS=()
+
+cleanup() {
+  for P in "${PIDS[@]}"; do
+    kill -9 "$P" 2>/dev/null
+  done
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1"
+  echo "--- err.log ---"
+  cat err.log 2>/dev/null
+  exit 1
+}
+
+# Waits until err.log contains $1 (all generations share the inherited
+# stderr, so the whole dynasty logs into one file). Sanitized builds
+# pay heavy respawn costs, so the deadline is generous.
+wait_log() {
+  for _ in $(seq 1 300); do
+    grep -qF "$1" err.log 2>/dev/null && return 0
+    sleep 0.1
+  done
+  return 1
+}
+
+wait_gone() {
+  for _ in $(seq 1 300); do
+    kill -0 "$1" 2>/dev/null || return 0
+    sleep 0.1
+  done
+  return 1
+}
+
+# Scrapes the pid the leader reported for generation $1.
+spawned_pid() {
+  sed -n "s/^jslice_serve: spawning generation $1 (pid \([0-9]*\))\$/\1/p" \
+    err.log | head -1
+}
+
+send_request() {
+  # Bash substitution, not printf: the \n escapes in the program text
+  # must reach the server as two characters inside the JSON string.
+  # Attempts are generous so a request launched mid-handoff rides the
+  # retry ladder onto the successor.
+  "$CLIENT" --connect 127.0.0.1:"$PORT" --attempts 12 --backoff-ms 20 \
+    --request "${REQ/r%d/r$1}"
+}
+
+# --- Generation 1 -----------------------------------------------------
+# The 300ms readiness delay gives every successor a deterministic
+# pre-ready window for the refusal and SIGTERM races below.
+"$SERVE" --listen 127.0.0.1:0 --journal "$WAL" --quarantine quarantine \
+  --threads 2 --ready-delay-ms 300 > out.log 2> err.log &
+PID1=$!
+PIDS+=("$PID1")
+
+PORT=""
+for _ in $(seq 1 300); do
+  PORT=$(sed -n 's/^jslice_serve: listening on [^:]*:\([0-9]*\)$/\1/p' \
+           err.log 2>/dev/null | head -1)
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "server never reported its port"
+
+# Health probe: exit 0 and the generation is visible.
+"$CLIENT" --connect 127.0.0.1:"$PORT" --health > health.log \
+  || fail "health probe on generation 1 exited $? (want 0)"
+grep -q '^generation: 1$' health.log \
+  || fail "health answer lacks generation 1: $(cat health.log)"
+
+send_request 1 >> responses.log || fail "request before upgrade failed"
+
+# --- SIGUSR2: hand off to generation 2 under traffic ------------------
+kill -USR2 "$PID1"
+wait_log "generation 2 ready; draining generation 1" \
+  || fail "generation 2 never became ready"
+wait_gone "$PID1" || fail "generation 1 never exited after handoff"
+wait "$PID1"
+RC=$?
+[ "$RC" -eq 0 ] || fail "generation 1 exited $RC after handoff (want 0)"
+PID2=$(spawned_pid 2)
+[ -n "$PID2" ] || fail "generation 2 pid was never logged"
+PIDS+=("$PID2")
+
+send_request 2 >> responses.log || fail "request after upgrade failed"
+"$CLIENT" --connect 127.0.0.1:"$PORT" --health > health.log \
+  || fail "health probe on generation 2 exited $? (want 0)"
+grep -q '^generation: 2$' health.log \
+  || fail "health answer lacks generation 2: $(cat health.log)"
+
+# The successor noticed the predecessor's exit and ran handoff
+# recovery over the shared journal — with nothing in flight at the
+# handoff, nothing may be quarantined.
+wait_log "generation predecessor (pid $PID1) exited" \
+  || fail "generation 2 never ran handoff recovery"
+grep -q "exited; handoff recovery quarantined 0 requests" err.log \
+  || fail "clean handoff quarantined requests"
+
+# --- Double SIGUSR2: the second is refused, the first completes -------
+kill -USR2 "$PID2"
+wait_log "spawning generation 3" || fail "generation 3 was never spawned"
+kill -USR2 "$PID2" # Lands inside generation 3's 300ms pre-ready window.
+wait_log "upgrade already in progress; refusing" \
+  || fail "second SIGUSR2 was not refused"
+wait_log "generation 3 ready; draining generation 2" \
+  || fail "generation 3 never became ready"
+wait_gone "$PID2" || fail "generation 2 never exited after handoff"
+PID3=$(spawned_pid 3)
+[ -n "$PID3" ] || fail "generation 3 pid was never logged"
+PIDS+=("$PID3")
+# Wait for generation 3's handoff recovery: it compacts generation 2's
+# clean-shutdown record out of the shared journal, which makes the
+# exactly-once count below deterministic.
+wait_log "generation predecessor (pid $PID2) exited" \
+  || fail "generation 3 never ran handoff recovery"
+
+send_request 3 >> responses.log || fail "request on generation 3 failed"
+
+# --- SIGTERM racing an in-flight upgrade: drain wins, exactly once ----
+kill -USR2 "$PID3"
+wait_log "spawning generation 4" || fail "generation 4 was never spawned"
+PID4=$(spawned_pid 4)
+[ -n "$PID4" ] && PIDS+=("$PID4")
+kill -TERM "$PID3"
+wait_log "rolling back to generation 3" \
+  || fail "unready generation 4 was not rolled back under SIGTERM"
+wait_gone "$PID3" || fail "generation 3 never drained after SIGTERM"
+[ -n "$PID4" ] && { wait_gone "$PID4" || fail "generation 4 leaked"; }
+
+# Exactly-once drain under the race: each handoff recovery compacts
+# the predecessor's clean-shutdown record away, so the final journal
+# carries generation 3's record alone — two would mean the SIGTERM and
+# the abandoned upgrade both drained. The stderr marker is printed
+# only on the SIGTERM path, so it too must appear exactly once.
+N=$(grep -c '"event":"shutdown"' "$WAL")
+[ "$N" -eq 1 ] || fail "want exactly 1 shutdown record in the final\
+ journal (the SIGTERM drain, not doubled), got $N"
+N=$(grep -c "drained and shut down cleanly" err.log)
+[ "$N" -eq 1 ] || fail "want exactly 1 clean-shutdown log line, got $N"
+
+OK=$(grep -c '"status":"ok"' responses.log)
+[ "$OK" -eq 3 ] || fail "want 3 ok responses across the dynasty, got $OK"
+
+# --- The final journal is clean: a restart quarantines nothing --------
+printf '' | "$SERVE" --journal "$WAL" > /dev/null 2> restart.log
+grep -q "quarantined" restart.log \
+  && fail "restart after clean upgrades quarantined requests"
+
+echo "upgrade OK (handoff, refusal, sigterm race, clean journal)"
