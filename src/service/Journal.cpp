@@ -9,16 +9,14 @@
 
 #include "support/StringUtils.h"
 
+#include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>
-#define JSLICE_HAVE_FSYNC 1
-#endif
 
 using namespace jslice;
 
@@ -46,7 +44,57 @@ bool jslice::parseJournalSyncName(const std::string &Name, JournalSync &Out) {
   return true;
 }
 
+const char *jslice::journalFailureName(JournalFailure F) {
+  switch (F) {
+  case JournalFailure::Shed:
+    return "shed";
+  case JournalFailure::Degrade:
+    return "degrade";
+  case JournalFailure::Abort:
+    return "abort";
+  }
+  return "shed";
+}
+
+bool jslice::parseJournalFailureName(const std::string &Name,
+                                     JournalFailure &Out) {
+  if (Name == "shed")
+    Out = JournalFailure::Shed;
+  else if (Name == "degrade")
+    Out = JournalFailure::Degrade;
+  else if (Name == "abort")
+    Out = JournalFailure::Abort;
+  else
+    return false;
+  return true;
+}
+
+uint32_t jslice::journalCrc32(const std::string &Data) {
+  // The zlib/IEEE CRC32, table-driven; built once, thread-safe since
+  // C++11 static initialization.
+  static const std::array<uint32_t, 256> Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xedb88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  uint32_t C = 0xffffffffu;
+  for (unsigned char B : Data)
+    C = Table[(C ^ B) & 0xffu] ^ (C >> 8);
+  return C ^ 0xffffffffu;
+}
+
 namespace {
+
+std::string crcHex(uint32_t C) {
+  char Buf[9];
+  std::snprintf(Buf, sizeof(Buf), "%08x", C);
+  return Buf;
+}
 
 /// Minimal record probe: event + id, without materializing requests.
 bool probeRecord(const std::string &Line, std::string &Event,
@@ -63,53 +111,175 @@ bool probeRecord(const std::string &Line, std::string &Event,
   return true;
 }
 
+bool isBlank(const std::string &Line) {
+  return Line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
 } // namespace
+
+JournalLineCheck jslice::verifyJournalLine(const std::string &Line,
+                                           uint64_t *SeqOut) {
+  std::optional<JsonValue> V = JsonValue::parse(Line);
+  if (!V || !V->isObject())
+    return JournalLineCheck::Corrupt;
+  const JsonValue *E = V->find("event");
+  if (!E || !E->isString())
+    return JournalLineCheck::Corrupt;
+  const JsonValue *Crc = V->find("crc");
+  if (!Crc) {
+    // Pre-checksum record: nothing to verify against, accepted for
+    // upgrade compatibility.
+    return JournalLineCheck::Legacy;
+  }
+  if (!Crc->isString() || Crc->asString().size() != 8)
+    return JournalLineCheck::Corrupt;
+  const JsonValue *Seq = V->find("seq");
+  if (!Seq || !Seq->isNumber() || Seq->asInt() <= 0)
+    return JournalLineCheck::Corrupt;
+  // Serialization is deterministic (sorted keys, no whitespace), so
+  // the payload the writer checksummed is exactly this record minus
+  // its crc member, re-serialized.
+  JsonValue Stripped = *V;
+  Stripped.remove("crc");
+  if (Crc->asString() != crcHex(journalCrc32(Stripped.str())))
+    return JournalLineCheck::Corrupt;
+  if (SeqOut)
+    *SeqOut = static_cast<uint64_t>(Seq->asInt());
+  return JournalLineCheck::Valid;
+}
 
 Journal::~Journal() {
   std::unique_lock<std::mutex> Lock(M);
   stopFlusherLocked(Lock);
   if (File) {
-    std::fflush(File);
-#ifdef JSLICE_HAVE_FSYNC
+    Io->flush(File);
     if (Sync != JournalSync::Off)
-      fsync(fileno(File));
-#endif
-    std::fclose(File);
+      Io->sync(File);
+    Io->close(File);
     File = nullptr;
   }
 }
 
+void Journal::setIo(JournalIo *IoSeam) {
+  std::lock_guard<std::mutex> Lock(M);
+  Io = IoSeam ? IoSeam : &JournalIo::system();
+}
+
 bool Journal::open(const std::string &P, uint64_t Rotate, JournalSync S,
-                   uint64_t FlushMs) {
+                   uint64_t FlushMs, bool Repair) {
   std::unique_lock<std::mutex> Lock(M);
   stopFlusherLocked(Lock);
   if (File) {
-    std::fclose(File);
+    Io->close(File);
     File = nullptr;
   }
   OpenBegins.clear();
   Bytes = 0;
+  NextSeq = 1;
   Dirty = false;
+  Failed = false;
+  SyncBroken = false;
+  Stats = JournalCounters();
 
-  // Seed the in-flight index from the existing file: rotation must
-  // preserve a predecessor's unmatched begins until recover() closes
-  // them, even if the first rotation fires before that.
+  // A crash between writing the rotation temp and renaming it leaves
+  // the temp behind; the journal itself is intact, so the temp is
+  // stale by definition. (Skipped in no-repair mode: a predecessor
+  // generation may still be alive and rotating.)
+  if (Repair)
+    Io->remove(P + ".rotate");
+
+  JournalScan Scan =
+      Repair ? scanJournalDetailed(P) : JournalScan();
+  if (Scan.Exists && Scan.CorruptRecords) {
+    // Mid-file corruption: something rewrote history. Quarantine the
+    // damaged file aside for forensics and salvage every record that
+    // still verifies into a fresh journal.
+    Stats.CorruptRecords = Scan.CorruptRecords;
+    std::string Damaged = P + ".corrupt";
+    if (Io->rename(P, Damaged)) {
+      std::FILE *Fresh = Io->open(P, "wb");
+      if (!Fresh) {
+        // Cannot build the salvage file; put the damaged one back so
+        // nothing is lost, and let recovery read around the damage.
+        Io->rename(Damaged, P);
+      } else {
+        std::ifstream In(Damaged, std::ios::binary);
+        std::string Line;
+        bool Ok = true;
+        while (In && std::getline(In, Line)) {
+          if (isBlank(Line) ||
+              verifyJournalLine(Line) == JournalLineCheck::Corrupt)
+            continue;
+          std::string Buf = Line + "\n";
+          Ok = Io->write(Fresh, Buf.data(), Buf.size()) == Buf.size() && Ok;
+          ++Stats.SalvagedRecords;
+        }
+        Ok = Io->flush(Fresh) && Ok;
+        Ok = Io->sync(Fresh) && Ok;
+        Io->close(Fresh);
+        Io->syncDir(P);
+        if (!Ok) {
+          // The salvage copy is suspect; fall back to the original.
+          Io->remove(P);
+          Io->rename(Damaged, P);
+        }
+      }
+    }
+  } else if (Scan.Exists && Scan.TornTail) {
+    // The expected kill -9 / power-loss signature: the final record is
+    // partial. Truncate to the last verified record and proceed.
+    Stats.TornTails = 1;
+    Io->truncate(P, Scan.GoodBytes);
+  }
+
+  // A crash can also cut the final append at exactly its last content
+  // byte: the record verifies (all its bytes made it) but its newline
+  // did not. Complete the framing, or the next append would splice
+  // onto the same line and corrupt a record that survived the crash.
+  if (Repair) {
+    std::ifstream Tail(P, std::ios::binary | std::ios::ate);
+    if (Tail && Tail.tellg() > 0) {
+      Tail.seekg(-1, std::ios::end);
+      char Last = '\n';
+      if (Tail.get(Last) && Last != '\n') {
+        std::FILE *F = Io->open(P, "ab");
+        if (F) {
+          Io->write(F, "\n", 1);
+          Io->flush(F);
+          Io->sync(F);
+          Io->close(F);
+        }
+      }
+    }
+  }
+
+  // Seed the in-flight index from the (now repaired) file: rotation
+  // must preserve a predecessor's unmatched begins until recover()
+  // closes them, even if the first rotation fires before that. Also
+  // resume the sequence counter past everything on disk.
   {
-    std::ifstream In(P);
+    std::ifstream In(P, std::ios::binary);
     std::string Line;
     while (In && std::getline(In, Line)) {
       Bytes += Line.size() + 1;
+      if (isBlank(Line))
+        continue;
+      uint64_t Seq = 0;
+      if (verifyJournalLine(Line, &Seq) == JournalLineCheck::Corrupt)
+        continue; // Unrepaired damage (see above); never fabricate.
+      if (Seq >= NextSeq)
+        NextSeq = Seq + 1;
       std::string Event, Id;
       if (!probeRecord(Line, Event, Id))
-        continue; // Torn tail record; it will be dropped on rotation.
+        continue;
       if (Event == "begin" && !Id.empty())
-        OpenBegins[Id] = Line;
+        OpenBegins[Id] = OpenBegin{Seq, Line};
       else if (Event == "end")
         OpenBegins.erase(Id);
     }
   }
 
-  File = std::fopen(P.c_str(), "ab");
+  File = Io->open(P, "ab");
   if (!File)
     return false;
   Path = P;
@@ -121,6 +291,18 @@ bool Journal::open(const std::string &P, uint64_t Rotate, JournalSync S,
     Flusher = std::thread([this] { flusherMain(); });
   }
   return true;
+}
+
+bool Journal::failed() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Failed;
+}
+
+JournalCounters Journal::counters() const {
+  std::lock_guard<std::mutex> Lock(M);
+  JournalCounters C = Stats;
+  C.Failed = Failed;
+  return C;
 }
 
 void Journal::setGeneration(uint64_t G) {
@@ -160,9 +342,13 @@ void Journal::flusherMain() {
     FlushCv.wait_for(Lock, std::chrono::milliseconds(FlushIntervalMs),
                      [this] { return FlusherStop || Dirty; });
     if (Dirty && File) {
-#ifdef JSLICE_HAVE_FSYNC
-      fsync(fileno(File));
-#endif
+      if (!Io->sync(File)) {
+        // fsyncgate: after a failed fsync this fd's dirty pages may
+        // already be dropped; re-fsyncing it would "succeed" without
+        // writing them. Route the next append through a fresh handle.
+        ++Stats.AppendFailures;
+        SyncBroken = true;
+      }
       Dirty = false;
       if (FlusherStop)
         break;
@@ -176,115 +362,207 @@ void Journal::flusherMain() {
   }
   // Final commit so close loses nothing that reached the FILE.
   if (Dirty && File) {
-#ifdef JSLICE_HAVE_FSYNC
-    fsync(fileno(File));
-#endif
+    if (!Io->sync(File))
+      SyncBroken = true;
     Dirty = false;
   }
 }
 
-void Journal::append(const std::string &Line) {
-  std::lock_guard<std::mutex> Lock(M);
-  if (!File)
-    return;
-  if (RotateBytes && !RotationHeld &&
-      Bytes + Line.size() + 1 > RotateBytes &&
-      Bytes > OpenBegins.size() * 64) // Don't thrash a tiny threshold.
-    rewriteLocked();
-  std::fwrite(Line.data(), 1, Line.size(), File);
-  std::fputc('\n', File);
-  std::fflush(File);
-  Bytes += Line.size() + 1;
+/// One line into the file and out to the OS. Bytes is only advanced on
+/// full success, so it always names the boundary of the last good
+/// record — exactly where reopenLocked() truncates torn bytes away.
+bool Journal::writeLineLocked(const std::string &Line) {
+  std::string Buf = Line;
+  Buf += '\n';
+  if (Io->write(File, Buf.data(), Buf.size()) != Buf.size())
+    return false;
+  if (!Io->flush(File))
+    return false;
+  Bytes += Buf.size();
+  return true;
+}
+
+/// The post-write durability step for the active sync policy.
+bool Journal::commitLocked() {
   switch (Sync) {
   case JournalSync::Full:
-#ifdef JSLICE_HAVE_FSYNC
-    // fflush reaches the OS; fsync reaches the disk. A kill -9 only
+    // fflush reached the OS; fsync reaches the disk. A kill -9 only
     // needs the former, a power cut the latter — take both.
-    fsync(fileno(File));
-#endif
-    break;
+    return Io->sync(File);
   case JournalSync::Batch:
     Dirty = true;
     FlushCv.notify_one();
-    break;
+    return true;
   case JournalSync::Off:
-    break;
+    return true;
   }
+  return true;
 }
 
-/// Rewrites the file to exactly the unmatched begins. Called with the
-/// mutex held. Write-temp-then-rename so a crash mid-rotation leaves
-/// either the old file or the new one, never a torn hybrid.
-bool Journal::rewriteLocked() {
-  std::string Tmp = Path + ".rotate";
-  {
-    std::ofstream Out(Tmp, std::ios::trunc);
-    if (!Out)
-      return false;
-    for (const auto &[Id, Line] : OpenBegins)
-      Out << Line << "\n";
-    Out.flush();
-    if (!Out)
-      return false;
+/// Replaces the file handle after any I/O failure. Never re-flushes
+/// the old fd (fsyncgate); closes it, shaves any torn bytes the failed
+/// write left past the last good record, and opens fresh.
+bool Journal::reopenLocked() {
+  if (File) {
+    Io->close(File);
+    File = nullptr;
   }
-  std::error_code Ec;
-  std::filesystem::rename(Tmp, Path, Ec);
-  if (Ec) {
-    std::filesystem::remove(Tmp, Ec);
-    return false;
-  }
-  // The old handle now points at an unlinked inode; reopen the new
-  // file. A failed reopen disables the journal rather than silently
-  // appending into the void.
-  std::fclose(File);
-  File = std::fopen(Path.c_str(), "ab");
-  Bytes = 0;
-  for (const auto &[Id, Line] : OpenBegins)
-    Bytes += Line.size() + 1;
+  Io->truncate(Path, Bytes);
+  File = Io->open(Path, "ab");
   return File != nullptr;
 }
 
-void Journal::begin(const ServiceRequest &R) {
+bool Journal::appendLocked(const std::string &Line) {
+  if (!File || Failed)
+    return false;
+  if (SyncBroken) {
+    // The batch flusher hit a failed fsync; this fd cannot be trusted
+    // to hold what it buffered. Reopen before appending anything else.
+    if (!reopenLocked()) {
+      Failed = true;
+      return false;
+    }
+    ++Stats.Reopens;
+    SyncBroken = false;
+  }
+  if (RotateBytes && !RotationHeld && Bytes + Line.size() + 1 > RotateBytes &&
+      Bytes > OpenBegins.size() * 64) // Don't thrash a tiny threshold.
+    rewriteLocked();
+  if (File && writeLineLocked(Line) && commitLocked()) {
+    ++Stats.Appends;
+    return true;
+  }
+  ++Stats.AppendFailures;
+  // Retry exactly once through a fresh handle — a failed write or
+  // fsync may have left a torn record and/or dropped pages; the same
+  // fd can report success for data it already lost.
+  if (reopenLocked() && writeLineLocked(Line) && commitLocked()) {
+    ++Stats.Reopens;
+    ++Stats.Appends;
+    return true;
+  }
+  // Persistent failure: latch. The server's --journal-failure policy
+  // turns this into shed / degrade / abort — never silence.
+  Failed = true;
+  return false;
+}
+
+/// Stamps gen + seq + crc onto \p Rec and appends it. The caller
+/// passes the record without those fields; serialization order is
+/// deterministic, so the crc is computed over the record minus the crc
+/// member itself.
+bool Journal::appendRecord(JsonValue Rec) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (!File)
+    return false;
+  if (Gen)
+    Rec.set("gen", Gen);
+  Rec.set("seq", NextSeq);
+  ++NextSeq;
+  Rec.set("crc", crcHex(journalCrc32(Rec.str())));
+  return appendLocked(Rec.str());
+}
+
+bool Journal::begin(const ServiceRequest &R) {
   JsonValue Rec = JsonValue::object();
   Rec.set("event", "begin");
   Rec.set("id", R.Id);
   Rec.set("request", R.toJson());
-  std::string Line;
-  {
-    std::lock_guard<std::mutex> Lock(M);
-    if (Gen)
-      Rec.set("gen", Gen);
-    Line = Rec.str();
-    if (File)
-      OpenBegins[R.Id] = Line;
-  }
-  append(Line);
+  std::lock_guard<std::mutex> Lock(M);
+  if (!File)
+    return false;
+  if (Gen)
+    Rec.set("gen", Gen);
+  uint64_t Seq = NextSeq++;
+  Rec.set("seq", Seq);
+  Rec.set("crc", crcHex(journalCrc32(Rec.str())));
+  std::string Line = Rec.str();
+  OpenBegins[R.Id] = OpenBegin{Seq, Line};
+  return appendLocked(Line);
 }
 
-void Journal::end(const std::string &Id, const std::string &Status) {
+bool Journal::end(const std::string &Id, const std::string &Status) {
   JsonValue Rec = JsonValue::object();
   Rec.set("event", "end");
   Rec.set("id", Id);
   Rec.set("status", Status);
-  {
-    std::lock_guard<std::mutex> Lock(M);
-    if (Gen)
-      Rec.set("gen", Gen);
-    OpenBegins.erase(Id);
-  }
-  append(Rec.str());
+  std::lock_guard<std::mutex> Lock(M);
+  if (!File)
+    return false;
+  OpenBegins.erase(Id);
+  if (Gen)
+    Rec.set("gen", Gen);
+  Rec.set("seq", NextSeq);
+  ++NextSeq;
+  Rec.set("crc", crcHex(journalCrc32(Rec.str())));
+  return appendLocked(Rec.str());
 }
 
-void Journal::shutdownRecord() {
+bool Journal::shutdownRecord() {
   JsonValue Rec = JsonValue::object();
   Rec.set("event", "shutdown");
   Rec.set("status", "clean");
-  {
-    std::lock_guard<std::mutex> Lock(M);
-    if (Gen)
-      Rec.set("gen", Gen);
+  return appendRecord(std::move(Rec));
+}
+
+/// Rewrites the file to exactly the unmatched begins. Called with the
+/// mutex held. Write-temp / fsync-temp / rename / fsync-dir, so a
+/// crash at any point leaves either the old file or the complete new
+/// one, never a torn hybrid — and the completed rename survives power
+/// loss.
+bool Journal::rewriteLocked() {
+  std::string Tmp = Path + ".rotate";
+  std::FILE *TmpF = Io->open(Tmp, "wb");
+  if (!TmpF) {
+    ++Stats.RotationFailures;
+    return false;
   }
-  append(Rec.str());
+  // Emit in append (sequence) order, not id order, so the rewritten
+  // file still reads as one monotonic sequence per writer.
+  std::vector<const OpenBegin *> Ordered;
+  Ordered.reserve(OpenBegins.size());
+  for (const auto &[Id, B] : OpenBegins)
+    Ordered.push_back(&B);
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const OpenBegin *A, const OpenBegin *B) {
+              return A->Seq < B->Seq;
+            });
+  bool Ok = true;
+  uint64_t NewBytes = 0;
+  for (const OpenBegin *B : Ordered) {
+    std::string Buf = B->Line;
+    Buf += '\n';
+    Ok = Io->write(TmpF, Buf.data(), Buf.size()) == Buf.size() && Ok;
+    NewBytes += Buf.size();
+  }
+  Ok = Io->flush(TmpF) && Ok;
+  Ok = Io->sync(TmpF) && Ok; // The temp must be durable before the
+                             // rename can make it the journal.
+  Io->close(TmpF);
+  if (!Ok) {
+    Io->remove(Tmp);
+    ++Stats.RotationFailures;
+    return false;
+  }
+  if (!Io->rename(Tmp, Path)) {
+    Io->remove(Tmp);
+    ++Stats.RotationFailures;
+    return false;
+  }
+  Io->syncDir(Path); // And the rename itself must survive power loss.
+  // The old handle now points at an unlinked inode; reopen the new
+  // file. A failed reopen latches the failure rather than silently
+  // appending into the void.
+  Io->close(File);
+  File = Io->open(Path, "ab");
+  Bytes = NewBytes;
+  if (!File) {
+    // Leave the latch to the append path: its fresh-handle retry may
+    // still recover the handle this reopen could not get.
+    ++Stats.RotationFailures;
+    return false;
+  }
+  return true;
 }
 
 size_t Journal::compact() {
@@ -300,65 +578,103 @@ uint64_t Journal::bytes() const {
   return Bytes;
 }
 
-std::vector<PoisonedRequest> jslice::scanJournal(const std::string &Path) {
-  std::vector<PoisonedRequest> Out;
-  std::ifstream In(Path);
+JournalScan jslice::scanJournalDetailed(const std::string &Path) {
+  JournalScan S;
+  std::ifstream In(Path, std::ios::binary);
   if (!In)
-    return Out;
+    return S;
+  S.Exists = true;
+  std::string All((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
 
   // Id -> last unmatched begin. Ids may legitimately recur across
   // completed begin/end pairs; only a begin still open at EOF counts.
   std::map<std::string, PoisonedRequest> Open;
-  std::string Line;
-  while (std::getline(In, Line)) {
-    if (Line.empty())
-      continue;
-    std::optional<JsonValue> V = JsonValue::parse(Line);
-    if (!V || !V->isObject())
-      continue; // Torn tail record; skip.
-    const JsonValue *Event = V->find("event");
-    const JsonValue *Id = V->find("id");
-    if (!Event || !Event->isString())
-      continue;
-    if (!Id || !Id->isString()) {
-      // Id-less records (the shutdown marker) carry no in-flight state.
+  // Per-generation sequence high-water marks: the upgrade overlap
+  // interleaves two writers, each monotonic within its own stamp.
+  std::map<uint64_t, uint64_t> SeqHigh;
+  std::string LastEvent;
+  uint64_t TrailingCorrupt = 0; // Damaged lines after the last good one.
+
+  size_t Pos = 0;
+  while (Pos < All.size()) {
+    size_t Nl = All.find('\n', Pos);
+    size_t End = Nl == std::string::npos ? All.size() : Nl;
+    std::string Line = All.substr(Pos, End - Pos);
+    size_t LineEnd = Nl == std::string::npos ? All.size() : Nl + 1;
+    Pos = LineEnd;
+    if (isBlank(Line)) {
+      if (!TrailingCorrupt)
+        S.GoodBytes = LineEnd; // Blank lines are framing, not damage.
       continue;
     }
-    if (Event->asString() == "begin") {
+
+    uint64_t Seq = 0;
+    JournalLineCheck C = verifyJournalLine(Line, &Seq);
+    if (C == JournalLineCheck::Corrupt) {
+      ++TrailingCorrupt;
+      continue;
+    }
+    // A good line after damage proves the damage was mid-file, not a
+    // torn tail.
+    S.CorruptRecords += TrailingCorrupt;
+    TrailingCorrupt = 0;
+    S.GoodBytes = LineEnd;
+    if (C == JournalLineCheck::Valid)
+      ++S.Records;
+    else
+      ++S.LegacyRecords;
+
+    std::optional<JsonValue> V = JsonValue::parse(Line);
+    const JsonValue *Event = V->find("event");
+    LastEvent = Event->asString();
+    uint64_t Gen = 0;
+    const JsonValue *G = V->find("gen");
+    if (G && G->isNumber() && G->asInt() > 0)
+      Gen = static_cast<uint64_t>(G->asInt());
+    if (C == JournalLineCheck::Valid) {
+      // Strict regressions only: a rotation rewrite can legally emit a
+      // begin the appender then re-appends, duplicating one sequence
+      // number without reordering anything.
+      uint64_t &High = SeqHigh[Gen];
+      if (Seq < High)
+        ++S.SeqRegressions;
+      High = std::max(High, Seq);
+    }
+
+    const JsonValue *Id = V->find("id");
+    if (!Id || !Id->isString())
+      continue; // Id-less records (the shutdown marker) carry no
+                // in-flight state.
+    if (LastEvent == "begin") {
       const JsonValue *Req = V->find("request");
       ServiceRequest R;
       if (Req && requestFromJson(*Req, R)) {
         PoisonedRequest P;
         P.Id = Id->asString();
         P.Request = std::move(R);
-        const JsonValue *G = V->find("gen");
-        if (G && G->isNumber() && G->asInt() > 0)
-          P.Gen = static_cast<uint64_t>(G->asInt());
+        P.Gen = Gen;
         Open[P.Id] = std::move(P);
       }
-    } else if (Event->asString() == "end") {
+    } else if (LastEvent == "end") {
       Open.erase(Id->asString());
     }
   }
 
+  S.TornTail = TrailingCorrupt > 0;
+  S.CleanShutdown = LastEvent == "shutdown";
   for (auto &[Id, P] : Open)
-    Out.push_back(std::move(P));
-  return Out;
+    S.InFlight.push_back(std::move(P));
+  return S;
+}
+
+std::vector<PoisonedRequest> jslice::scanJournal(const std::string &Path) {
+  return scanJournalDetailed(Path).InFlight;
 }
 
 bool jslice::journalEndsWithCleanShutdown(const std::string &Path) {
-  std::ifstream In(Path);
-  if (!In)
-    return false;
-  std::string Line, LastEvent;
-  while (std::getline(In, Line)) {
-    if (Line.empty())
-      continue;
-    std::string Event, Id;
-    if (probeRecord(Line, Event, Id))
-      LastEvent = Event;
-  }
-  return LastEvent == "shutdown";
+  JournalScan S = scanJournalDetailed(Path);
+  return S.Exists && S.CleanShutdown;
 }
 
 std::string jslice::quarantinePoisoned(const std::string &Dir,
@@ -371,6 +687,10 @@ std::string jslice::quarantinePoisoned(const std::string &Dir,
     if (!Out)
       return "";
     Out << P.Request.Program;
+    Out.flush();
+    if (!Out)
+      return ""; // A half-written reproducer is no reproducer: the
+                 // caller must keep the journal begin unmatched.
   }
   {
     std::ofstream Out(Base + ".txt");

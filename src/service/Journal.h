@@ -17,13 +17,31 @@
 /// (`poison_<id>.mc` + metadata sidecar), and refused on resubmission
 /// by content key until the quarantine is cleared. `jslice_stress
 /// --replay-journal` feeds the same records straight into the
-/// differential triage + ddmin reducer.
+/// differential triage + ddmin reducer; `jslice_stress
+/// --verify-journal` scrubs a journal's framing offline.
 ///
-/// Records are JSON-Lines, one per event:
+/// Records are JSON-Lines, one per event, self-verifying: every record
+/// carries a monotonic per-writer sequence number and a CRC32 computed
+/// over its own serialization minus the `crc` member (serialization is
+/// deterministic — sorted keys, no whitespace — so the check
+/// re-serializes and compares):
 ///
-///   {"event":"begin","id":"r1","request":{...full request...}}
-///   {"event":"end","id":"r1","status":"ok"}
-///   {"event":"shutdown","status":"clean"}
+///   {"crc":"1c291ca3","event":"begin","id":"r1","request":{...},"seq":1}
+///   {"crc":"5d9f0e11","event":"end","id":"r1","seq":2,"status":"ok"}
+///   {"crc":"8b7a0f2e","event":"shutdown","seq":3,"status":"clean"}
+///
+/// Pre-checksum journals (records without `crc`) stay readable for
+/// upgrade compatibility: recovery accepts them as legacy-valid.
+/// Recovery distinguishes two kinds of damage. A *torn tail* — the
+/// file's final record is partial or fails its checksum — is the
+/// expected signature of kill -9 or power loss mid-append: the tail is
+/// truncated and the boot proceeds. *Mid-file corruption* — a record
+/// that fails verification with intact records after it — means the
+/// device or something else rewrote history: the damaged file is
+/// quarantined aside as `<path>.corrupt`, every verifiable record is
+/// salvaged into a fresh journal, and the event is counted as
+/// `journal_corruption` in {"stats"}. Recovery never silently drops a
+/// record it cannot prove was never written.
 ///
 /// Under zero-downtime restart (DESIGN.md, "Zero-downtime operations")
 /// two server generations briefly append to the *same* file; every
@@ -31,10 +49,12 @@
 /// after a mid-upgrade kill -9 of either generation can attribute each
 /// unmatched begin to its owner: a successor quarantines only begins
 /// stamped by earlier generations, never its own live in-flight set.
-/// During the overlap window both sides hold rotation (holdRotation):
-/// a rewrite-and-rename from one process while the other appends
-/// through its own FILE* would strand those appends on the unlinked
-/// inode.
+/// (Sequence numbers are monotonic per writer, so the overlap window
+/// interleaves two sequences; the scrubber checks monotonicity within
+/// each generation stamp, not across the file.) During the overlap
+/// window both sides hold rotation (holdRotation): a rewrite-and-
+/// rename from one process while the other appends through its own
+/// FILE* would strand those appends on the unlinked inode.
 ///
 /// Durability is a policy knob (JournalSync). `Full` — the default and
 /// the historical behavior — fsyncs every record: a power cut costs
@@ -45,24 +65,35 @@
 /// to the OS. The bench's journal_sync section quantifies the hot-path
 /// cost of each.
 ///
+/// Every write reports back. A failed append (short write, EIO,
+/// ENOSPC, failed fsync) is retried exactly once through a fresh file
+/// handle — never by re-flushing the same fd, which after a failed
+/// fsync may silently drop the dirty pages it claimed to hold (the
+/// fsyncgate trap) — and if the retry also fails the journal latches
+/// `failed()`. What the *server* does then is the --journal-failure
+/// policy (JournalFailure below): refuse requests, serve on with the
+/// journal marked lost in {"health"}, or abort. All file I/O goes
+/// through the JournalIo seam (service/JournalIo.h) so the disk-chaos
+/// harness can prove every one of these paths.
+///
 /// The journal only ever *matters* for its unmatched begins, so it
 /// compacts to exactly those: compact() rewrites the file keeping only
 /// in-flight begins (recover() calls it after quarantining, so a
 /// restart inherits a minimal journal), and a file growing past the
 /// rotation threshold rewrites itself the same way mid-run — a server
 /// that lives for a billion requests carries kilobytes, not the full
-/// history. The `shutdown` record is the graceful-drain marker
-/// (tools/jslice_serve's SIGTERM path): operators can tell a clean
-/// stop from a crash without diffing begin/end pairs.
-///
-/// Unparseable journal lines (a crash can truncate the final record)
-/// are skipped; recovery is best-effort by design.
+/// history. Rotation is write-temp / fsync-temp / rename / fsync-dir;
+/// a stale `<path>.rotate` left by a crash between those steps is
+/// removed by the next open(). The `shutdown` record is the graceful-
+/// drain marker (tools/jslice_serve's SIGTERM path): operators can
+/// tell a clean stop from a crash without diffing begin/end pairs.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef JSLICE_SERVICE_JOURNAL_H
 #define JSLICE_SERVICE_JOURNAL_H
 
+#include "service/JournalIo.h"
 #include "service/Request.h"
 
 #include <condition_variable>
@@ -87,6 +118,35 @@ const char *journalSyncName(JournalSync S);
 /// Parses a --journal-sync value; false on anything unrecognized.
 bool parseJournalSyncName(const std::string &Name, JournalSync &Out);
 
+/// What the server does once the journal latches failed() — the
+/// --journal-failure policy. Never the pre-policy behavior of serving
+/// on while silently recording nothing.
+enum class JournalFailure {
+  Shed,    ///< Refuse slice requests deterministically (shed,
+           ///< cause "journal-failed"): the journal is load-bearing.
+  Degrade, ///< Keep serving with the journal marked lost; {"health"}
+           ///< reports degraded and jslice_client --health exits 1.
+  Abort,   ///< Drain and exit cleanly: let the supervisor decide.
+};
+
+/// "shed" / "degrade" / "abort" for flags and logs.
+const char *journalFailureName(JournalFailure F);
+/// Parses a --journal-failure value; false on anything unrecognized.
+bool parseJournalFailureName(const std::string &Name, JournalFailure &Out);
+
+/// Counters for the journal's own health, folded into {"stats"}.
+struct JournalCounters {
+  uint64_t Appends = 0;          ///< Records durably appended.
+  uint64_t AppendFailures = 0;   ///< Write/flush/fsync failures seen.
+  uint64_t Reopens = 0;          ///< Fresh-handle retries that saved an
+                                 ///< append after a failure.
+  uint64_t RotationFailures = 0; ///< Rewrites abandoned on I/O errors.
+  uint64_t CorruptRecords = 0;   ///< Mid-file damage found at open().
+  uint64_t TornTails = 0;        ///< Torn final records truncated at open().
+  uint64_t SalvagedRecords = 0;  ///< Records rescued from a corrupt file.
+  bool Failed = false;           ///< Persistent-failure latch.
+};
+
 /// Append side. Thread-safe; every append reaches the OS before
 /// returning (the journal's whole point is surviving the process) —
 /// how far past the OS it pushes is the JournalSync policy.
@@ -98,19 +158,41 @@ public:
   Journal(const Journal &) = delete;
   Journal &operator=(const Journal &) = delete;
 
+  /// Routes all file I/O through \p IoSeam (tests and the disk-chaos
+  /// soak inject faults here). Call before open(); null restores the
+  /// real syscalls. Not owned; must outlive the journal.
+  void setIo(JournalIo *IoSeam);
+
   /// Opens \p Path for appending and seeds the in-flight index from
-  /// whatever the file already holds. \p RotateBytes > 0 arms size-
-  /// triggered rotation: once the file exceeds it, the journal is
-  /// rewritten down to its unmatched begins. \p Sync selects the
-  /// durability policy; Batch mode starts a flusher thread honoring
-  /// \p FlushIntervalMs. Returns false (and stays disabled) when the
-  /// file cannot be opened.
+  /// whatever the file already holds, verifying checksums as it reads:
+  /// a torn tail is truncated away, mid-file corruption quarantines
+  /// the damaged file aside and salvages the verifiable records, and a
+  /// stale rotation temp from a crashed predecessor is removed.
+  /// \p RotateBytes > 0 arms size-triggered rotation: once the file
+  /// exceeds it, the journal is rewritten down to its unmatched
+  /// begins. \p Sync selects the durability policy; Batch mode starts
+  /// a flusher thread honoring \p FlushIntervalMs. \p Repair = false
+  /// suppresses the on-disk repairs (tail truncation, corruption
+  /// quarantine, stale-temp removal) — a successor generation opening
+  /// the journal while its predecessor still appends must not mistake
+  /// a mid-write record for a torn tail and truncate live data; its
+  /// recover()/completeHandoff() path reads around damage instead.
+  /// Returns false (and stays disabled) when the file cannot be
+  /// opened.
   bool open(const std::string &Path, uint64_t RotateBytes = 0,
             JournalSync Sync = JournalSync::Full,
-            uint64_t FlushIntervalMs = 25);
+            uint64_t FlushIntervalMs = 25, bool Repair = true);
 
   bool enabled() const { return File != nullptr; }
   const std::string &path() const { return Path; }
+
+  /// True once an append failed persistently (the fresh-handle retry
+  /// failed too). Appends stop reaching the disk; the server's
+  /// --journal-failure policy decides what that means.
+  bool failed() const;
+
+  /// Counter snapshot.
+  JournalCounters counters() const;
 
   /// Stamps every subsequent record with `"gen":G` (0 = no stamp,
   /// matching the pre-upgrade record shape).
@@ -122,14 +204,15 @@ public:
   /// survivor releases once the other process is gone.
   void holdRotation(bool Hold);
 
-  /// Appends the write-ahead record for \p R.
-  void begin(const ServiceRequest &R);
+  /// Appends the write-ahead record for \p R. False when the record
+  /// did not become durable (the journal is disabled or failed).
+  bool begin(const ServiceRequest &R);
 
-  /// Appends the completion record for \p Id.
-  void end(const std::string &Id, const std::string &Status);
+  /// Appends the completion record for \p Id. Same contract.
+  bool end(const std::string &Id, const std::string &Status);
 
   /// Appends the graceful-shutdown marker (clean drain, no poison).
-  void shutdownRecord();
+  bool shutdownRecord();
 
   /// Rewrites the file keeping only unmatched begins. Returns the
   /// number of records kept; a fully-bracketed journal compacts to an
@@ -140,24 +223,40 @@ public:
   uint64_t bytes() const;
 
 private:
-  void append(const std::string &Line);
+  bool appendLocked(const std::string &Line);
+  bool writeLineLocked(const std::string &Line);
+  bool commitLocked();
+  bool reopenLocked();
+  bool appendRecord(JsonValue Rec);
   bool rewriteLocked();
   void stopFlusherLocked(std::unique_lock<std::mutex> &Lock);
   void flusherMain();
 
   mutable std::mutex M;
+  JournalIo *Io = &JournalIo::system();
   std::FILE *File = nullptr;
   std::string Path;
   uint64_t RotateBytes = 0;
   uint64_t Bytes = 0;
   uint64_t Gen = 0;
+  uint64_t NextSeq = 1;
   bool RotationHeld = false;
-  /// Id -> raw begin line, for every begin without a matching end.
-  std::map<std::string, std::string> OpenBegins;
+  bool Failed = false;     ///< Persistent append failure; latched.
+  bool SyncBroken = false; ///< Batch flusher saw a failed fsync; the
+                           ///< next append must reopen-or-fail.
+  JournalCounters Stats;
+  /// One unmatched begin: its sequence number (rewrites preserve
+  /// append order by emitting in seq order) and its raw line.
+  struct OpenBegin {
+    uint64_t Seq = 0;
+    std::string Line;
+  };
+  /// Id -> open begin, for every begin without a matching end.
+  std::map<std::string, OpenBegin> OpenBegins;
 
   JournalSync Sync = JournalSync::Full;
   uint64_t FlushIntervalMs = 25;
-  bool Dirty = false;         ///< Batch: bytes appended since last fsync.
+  bool Dirty = false; ///< Batch: bytes appended since last fsync.
   bool FlusherStop = false;
   std::condition_variable FlushCv;
   std::thread Flusher;
@@ -171,17 +270,63 @@ struct PoisonedRequest {
   uint64_t Gen = 0;
 };
 
+/// How one journal line verified.
+enum class JournalLineCheck {
+  Valid,   ///< Checksummed record; CRC and framing check out.
+  Legacy,  ///< Pre-checksum record (no `crc`); accepted as-is.
+  Corrupt, ///< Unparseable, wrong CRC, or malformed framing.
+};
+
+/// Verifies one raw journal line. \p SeqOut (when non-null) receives
+/// the record's sequence number for Valid lines.
+JournalLineCheck verifyJournalLine(const std::string &Line,
+                                   uint64_t *SeqOut = nullptr);
+
+/// CRC32 (the zlib/IEEE polynomial) of \p Data — the journal's record
+/// checksum, exposed for tests and the scrub tool.
+uint32_t journalCrc32(const std::string &Data);
+
+/// Everything one pass over a journal file can tell you.
+struct JournalScan {
+  std::vector<PoisonedRequest> InFlight; ///< Begins with no end.
+  uint64_t Records = 0;        ///< Checksummed records that verified.
+  uint64_t LegacyRecords = 0;  ///< Pre-checksum records accepted.
+  uint64_t CorruptRecords = 0; ///< Mid-file verification failures.
+  bool TornTail = false;       ///< The final record is damaged —
+                               ///< expected after kill -9; truncating
+                               ///< to GoodBytes repairs it.
+  uint64_t GoodBytes = 0;      ///< File offset after the last record
+                               ///< that verified.
+  uint64_t SeqRegressions = 0; ///< Sequence went backwards within one
+                               ///< generation stamp (scrub signal, not
+                               ///< corruption: upgrade overlap
+                               ///< interleaves two writers).
+  bool CleanShutdown = false;  ///< Last verifiable record is the
+                               ///< graceful-drain marker.
+  bool Exists = false;         ///< The file could be opened at all.
+};
+
+/// Scans \p Path, verifying every record. Missing or empty files yield
+/// a default result (first boot is not an error). Read-only: the
+/// repair decisions (truncate the tail, quarantine the file) belong to
+/// Journal::open and the callers of this scan.
+JournalScan scanJournalDetailed(const std::string &Path);
+
 /// Scans \p Path for begin records with no matching end. Missing or
 /// empty files yield an empty list (first boot is not an error).
+/// Damaged records never crash the scan and never fabricate an entry.
 std::vector<PoisonedRequest> scanJournal(const std::string &Path);
 
 /// True when \p Path's last meaningful record is a clean `shutdown`
-/// marker (the graceful-drain test and operators use this).
+/// marker (the graceful-drain test and operators use this). A record
+/// that fails verification cannot claim a clean shutdown.
 bool journalEndsWithCleanShutdown(const std::string &Path);
 
 /// Writes \p P's program to \p Dir/poison_<id>.mc with a metadata
 /// sidecar (same shape as the stress harness's repros). Returns the
-/// .mc path, or "" on I/O failure.
+/// .mc path, or "" on I/O failure — callers must then leave the
+/// journal begin unmatched so the next boot retries, never drop the
+/// poison on the floor.
 std::string quarantinePoisoned(const std::string &Dir,
                                const PoisonedRequest &P);
 

@@ -1,0 +1,262 @@
+//===- service/JournalIo.cpp - Injectable journal I/O seam -----------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/JournalIo.h"
+
+#include <filesystem>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define JSLICE_HAVE_FSYNC 1
+#endif
+
+using namespace jslice;
+
+std::FILE *JournalIo::open(const std::string &Path, const char *Mode) {
+  return std::fopen(Path.c_str(), Mode);
+}
+
+size_t JournalIo::write(std::FILE *F, const char *Data, size_t N) {
+  return std::fwrite(Data, 1, N, F);
+}
+
+bool JournalIo::flush(std::FILE *F) { return std::fflush(F) == 0; }
+
+bool JournalIo::sync(std::FILE *F) {
+#ifdef JSLICE_HAVE_FSYNC
+  return ::fsync(fileno(F)) == 0;
+#else
+  (void)F;
+  return true;
+#endif
+}
+
+void JournalIo::close(std::FILE *F) {
+  if (F)
+    std::fclose(F);
+}
+
+bool JournalIo::rename(const std::string &From, const std::string &To) {
+  std::error_code Ec;
+  std::filesystem::rename(From, To, Ec);
+  return !Ec;
+}
+
+bool JournalIo::syncDir(const std::string &Path) {
+#ifdef JSLICE_HAVE_FSYNC
+  std::filesystem::path Dir = std::filesystem::path(Path).parent_path();
+  if (Dir.empty())
+    Dir = ".";
+  int Fd = ::open(Dir.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return false;
+  bool Ok = ::fsync(Fd) == 0;
+  ::close(Fd);
+  return Ok;
+#else
+  (void)Path;
+  return true;
+#endif
+}
+
+bool JournalIo::remove(const std::string &Path) {
+  std::error_code Ec;
+  std::filesystem::remove(Path, Ec);
+  return !Ec;
+}
+
+bool JournalIo::truncate(const std::string &Path, uint64_t Size) {
+  std::error_code Ec;
+  std::filesystem::resize_file(Path, Size, Ec);
+  return !Ec;
+}
+
+JournalIo &JournalIo::system() {
+  static JournalIo Io;
+  return Io;
+}
+
+const char *jslice::journalFaultName(JournalFault F) {
+  switch (F) {
+  case JournalFault::None:
+    return "none";
+  case JournalFault::ShortWrite:
+    return "short-write";
+  case JournalFault::WriteEio:
+    return "write-eio";
+  case JournalFault::WriteEnospc:
+    return "write-enospc";
+  case JournalFault::FlushFail:
+    return "flush-fail";
+  case JournalFault::FsyncFail:
+    return "fsync-fail";
+  case JournalFault::CrashBeforeRename:
+    return "crash-before-rename";
+  case JournalFault::CrashAfterRename:
+    return "crash-after-rename";
+  }
+  return "none";
+}
+
+void FaultyJournalIo::arm(JournalFault F, uint64_t Ordinal) {
+  resetCounts();
+  Every.store(false);
+  FailAt.store(Ordinal);
+  Armed.store(static_cast<int>(F));
+}
+
+void FaultyJournalIo::armEvery(JournalFault F, uint64_t N) {
+  resetCounts();
+  Every.store(true);
+  FailAt.store(N ? N : 1);
+  Armed.store(static_cast<int>(F));
+}
+
+void FaultyJournalIo::disarm() {
+  Armed.store(static_cast<int>(JournalFault::None));
+  Crashed.store(false);
+}
+
+void FaultyJournalIo::resetCounts() {
+  Injected.store(0);
+  Writes.store(0);
+  Flushes.store(0);
+  Syncs.store(0);
+  Renames.store(0);
+}
+
+namespace {
+
+/// Which observation counter an operation of kind \p F charges.
+std::atomic<uint64_t> *counterFor(JournalFault F,
+                                  std::atomic<uint64_t> &Writes,
+                                  std::atomic<uint64_t> &Flushes,
+                                  std::atomic<uint64_t> &Syncs,
+                                  std::atomic<uint64_t> &Renames) {
+  switch (F) {
+  case JournalFault::ShortWrite:
+  case JournalFault::WriteEio:
+  case JournalFault::WriteEnospc:
+    return &Writes;
+  case JournalFault::FlushFail:
+    return &Flushes;
+  case JournalFault::FsyncFail:
+    return &Syncs;
+  case JournalFault::CrashBeforeRename:
+  case JournalFault::CrashAfterRename:
+    return &Renames;
+  case JournalFault::None:
+    break;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+uint64_t FaultyJournalIo::observed(JournalFault F) const {
+  auto *C = counterFor(F, const_cast<std::atomic<uint64_t> &>(Writes),
+                       const_cast<std::atomic<uint64_t> &>(Flushes),
+                       const_cast<std::atomic<uint64_t> &>(Syncs),
+                       const_cast<std::atomic<uint64_t> &>(Renames));
+  return C ? C->load() : 0;
+}
+
+bool FaultyJournalIo::due(JournalFault F) {
+  auto *C = counterFor(F, Writes, Flushes, Syncs, Renames);
+  if (!C)
+    return false;
+  uint64_t N = C->fetch_add(1) + 1;
+  if (Armed.load() != static_cast<int>(F))
+    return false;
+  uint64_t At = FailAt.load();
+  if (!At)
+    return false;
+  bool Hit = Every.load() ? (N % At == 0) : (N == At);
+  if (Hit)
+    Injected.fetch_add(1);
+  return Hit;
+}
+
+std::FILE *FaultyJournalIo::open(const std::string &Path, const char *Mode) {
+  if (Crashed.load())
+    return nullptr;
+  return JournalIo::open(Path, Mode);
+}
+
+size_t FaultyJournalIo::write(std::FILE *F, const char *Data, size_t N) {
+  if (Crashed.load())
+    return 0;
+  JournalFault Kind = static_cast<JournalFault>(Armed.load());
+  bool IsWriteFault = Kind == JournalFault::ShortWrite ||
+                      Kind == JournalFault::WriteEio ||
+                      Kind == JournalFault::WriteEnospc;
+  // Charge the write-ops counter exactly once whichever write fault
+  // (if any) is armed; the three kinds share one ordinal space.
+  if (due(IsWriteFault ? Kind : JournalFault::WriteEio)) {
+    if (Kind == JournalFault::ShortWrite && N > 1) {
+      // A torn write: a prefix reaches the file (and, via the caller's
+      // flush, possibly the disk) but the record is short.
+      size_t Partial = N / 2;
+      JournalIo::write(F, Data, Partial);
+      return Partial;
+    }
+    return 0; // EIO / ENOSPC: nothing accepted.
+  }
+  return JournalIo::write(F, Data, N);
+}
+
+bool FaultyJournalIo::flush(std::FILE *F) {
+  if (Crashed.load())
+    return false;
+  if (due(JournalFault::FlushFail))
+    return false;
+  return JournalIo::flush(F);
+}
+
+bool FaultyJournalIo::sync(std::FILE *F) {
+  if (Crashed.load())
+    return false;
+  if (due(JournalFault::FsyncFail))
+    return false;
+  return JournalIo::sync(F);
+}
+
+bool FaultyJournalIo::rename(const std::string &From, const std::string &To) {
+  if (Crashed.load())
+    return false;
+  JournalFault Kind = static_cast<JournalFault>(Armed.load());
+  bool Before = Kind == JournalFault::CrashBeforeRename;
+  if (due(Before ? Kind : JournalFault::CrashAfterRename)) {
+    if (Before) {
+      Crashed.store(true); // Temp written, rename never happened.
+      return false;
+    }
+    JournalIo::rename(From, To); // The rename lands on disk...
+    Crashed.store(true);         // ...then the process dies.
+    return false;
+  }
+  return JournalIo::rename(From, To);
+}
+
+bool FaultyJournalIo::syncDir(const std::string &Path) {
+  if (Crashed.load())
+    return false;
+  return JournalIo::syncDir(Path);
+}
+
+bool FaultyJournalIo::remove(const std::string &Path) {
+  if (Crashed.load())
+    return false;
+  return JournalIo::remove(Path);
+}
+
+bool FaultyJournalIo::truncate(const std::string &Path, uint64_t Size) {
+  if (Crashed.load())
+    return false;
+  return JournalIo::truncate(Path, Size);
+}

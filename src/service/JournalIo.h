@@ -1,0 +1,158 @@
+//===- service/JournalIo.h - Injectable journal I/O seam -------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The syscall seam under the write-ahead journal (service/Journal.h).
+/// Every operation whose failure the journal must survive — open,
+/// write, flush, fsync, rename, directory fsync, remove, truncate —
+/// goes through a JournalIo so the disk-chaos harness can fail any one
+/// of them deterministically. Production uses JournalIo::system(), a
+/// thin veneer over stdio/POSIX with no behavior of its own; tests and
+/// `jslice_soak --disk-chaos` substitute a FaultyJournalIo.
+///
+/// FaultyJournalIo follows the FaultInjection pattern from
+/// support/ResourceGuard.h: arm(Kind, N) fails the Nth operation of
+/// that kind observed from now on, a counting pass sizes the sweep
+/// (resetCounts() + observed(Kind)), and the sweep iterates every
+/// ordinal asserting the journal's guarantees hold. Two kinds simulate
+/// kill -9 mid-rotation: CrashBeforeRename leaves the temp file beside
+/// an intact journal, CrashAfterRename leaves the renamed file with
+/// the writer gone. A crash *latches*: every subsequent operation on
+/// the faulty instance fails, freezing the on-disk state exactly as a
+/// dead process would — the test then "reboots" by opening the same
+/// path through a healthy instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_SERVICE_JOURNALIO_H
+#define JSLICE_SERVICE_JOURNALIO_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace jslice {
+
+/// The journal's view of the filesystem. Virtuals mirror the syscalls
+/// one-to-one; the default implementations are the real thing.
+class JournalIo {
+public:
+  virtual ~JournalIo() = default;
+
+  /// fopen. Null on failure.
+  virtual std::FILE *open(const std::string &Path, const char *Mode);
+
+  /// fwrite; returns bytes accepted (short count = failure, and the
+  /// accepted prefix may still reach the disk — a torn record).
+  virtual size_t write(std::FILE *F, const char *Data, size_t N);
+
+  /// fflush (user-space buffer -> OS). False on failure.
+  virtual bool flush(std::FILE *F);
+
+  /// fsync (OS -> disk). True on platforms without fsync: there is
+  /// nothing stronger to ask for there.
+  virtual bool sync(std::FILE *F);
+
+  /// fclose. Failure is unreportable at close time; best-effort.
+  virtual void close(std::FILE *F);
+
+  /// Atomic replace. False on failure.
+  virtual bool rename(const std::string &From, const std::string &To);
+
+  /// fsyncs the directory containing \p Path so a completed rename
+  /// survives power loss. True where directory fsync is unsupported.
+  virtual bool syncDir(const std::string &Path);
+
+  /// Unlink; missing files are success.
+  virtual bool remove(const std::string &Path);
+
+  /// Truncates \p Path to \p Size bytes (torn-tail repair).
+  virtual bool truncate(const std::string &Path, uint64_t Size);
+
+  /// The process-wide real-syscall instance.
+  static JournalIo &system();
+};
+
+/// The disk faults the chaos harness can inject.
+enum class JournalFault {
+  None,
+  ShortWrite,        ///< write() persists a prefix and reports short.
+  WriteEio,          ///< write() accepts nothing (I/O error).
+  WriteEnospc,       ///< write() accepts nothing (disk full).
+  FlushFail,         ///< fflush() fails after buffering.
+  FsyncFail,         ///< fsync() fails (the fsyncgate trap).
+  CrashBeforeRename, ///< kill -9 after the rotation temp, before rename.
+  CrashAfterRename,  ///< kill -9 after rename, before the dir fsync.
+};
+
+/// "short-write" / "eio" / ... for flags and logs.
+const char *journalFaultName(JournalFault F);
+
+/// Deterministic fault-injecting JournalIo. Counts eligible operations
+/// per fault kind (writes for the write faults, flushes, fsyncs,
+/// renames for the crash faults); when armed at ordinal N, the Nth
+/// eligible operation observed since arming faults. armEvery(K, N)
+/// instead faults every Nth eligible operation — the sharded soak's
+/// background-noise mode. Thread-safe: counters are atomics, matching
+/// the journal's one-writer-at-a-time discipline but safe beyond it.
+class FaultyJournalIo : public JournalIo {
+public:
+  /// Arms: the \p Ordinal-th (1-based) operation eligible for \p F
+  /// observed from now on faults. Resets all observation counters.
+  void arm(JournalFault F, uint64_t Ordinal);
+
+  /// Arms periodic mode: every \p N-th operation eligible for \p F
+  /// faults, forever (until disarm). Crash kinds still latch.
+  void armEvery(JournalFault F, uint64_t N);
+
+  /// Disarms (and clears a crash latch); counters keep counting.
+  void disarm();
+
+  /// Operations eligible for \p F observed since the last arm/reset.
+  uint64_t observed(JournalFault F) const;
+
+  /// Restarts the observation counters (for a counting pass).
+  void resetCounts();
+
+  /// Faults injected since the last arm/reset.
+  uint64_t injected() const { return Injected.load(); }
+
+  /// True once a crash fault fired: the simulated process is dead and
+  /// every operation fails until heal().
+  bool crashed() const { return Crashed.load(); }
+
+  /// Clears the crash latch (a simulated reboot on the same instance).
+  void heal() { Crashed.store(false); }
+
+  std::FILE *open(const std::string &Path, const char *Mode) override;
+  size_t write(std::FILE *F, const char *Data, size_t N) override;
+  bool flush(std::FILE *F) override;
+  bool sync(std::FILE *F) override;
+  bool rename(const std::string &From, const std::string &To) override;
+  bool syncDir(const std::string &Path) override;
+  bool remove(const std::string &Path) override;
+  bool truncate(const std::string &Path, uint64_t Size) override;
+
+private:
+  /// Counts one operation eligible for \p F; true when it must fault.
+  bool due(JournalFault F);
+
+  std::atomic<int> Armed{static_cast<int>(JournalFault::None)};
+  std::atomic<uint64_t> FailAt{0}; ///< Ordinal, or period in Every mode.
+  std::atomic<bool> Every{false};
+  std::atomic<bool> Crashed{false};
+  std::atomic<uint64_t> Injected{0};
+  std::atomic<uint64_t> Writes{0};
+  std::atomic<uint64_t> Flushes{0};
+  std::atomic<uint64_t> Syncs{0};
+  std::atomic<uint64_t> Renames{0};
+};
+
+} // namespace jslice
+
+#endif // JSLICE_SERVICE_JOURNALIO_H

@@ -42,8 +42,11 @@
 ///                      the admission queue was full, the queue
 ///                      deadline passed before a worker was free, the
 ///                      memory watermark tripped, the restart-storm
-///                      circuit breaker was open, or the server was
-///                      draining for shutdown
+///                      circuit breaker was open, the server was
+///                      draining for shutdown, or the write-ahead
+///                      journal failed persistently under
+///                      --journal-failure=shed|abort ("journal-failed"
+///                      in the shed_by_cause stats breakdown)
 ///
 //===----------------------------------------------------------------------===//
 

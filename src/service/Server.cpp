@@ -45,6 +45,13 @@ JsonValue ServerStats::toJson() const {
   for (const auto &[Cause, N] : ShedByCause)
     Causes.set(Cause, N);
   Out.set("shed_by_cause", std::move(Causes));
+  Out.set("quarantine_failures", QuarantineFailures);
+  Out.set("journal_lost", JournalLost);
+  Out.set("journal_corruption", JournalCorruption);
+  Out.set("journal_torn_tails", JournalTornTails);
+  Out.set("journal_append_failures", JournalAppendFailures);
+  Out.set("journal_reopens", JournalReopens);
+  Out.set("journal_rotation_failures", JournalRotationFailures);
   Out.set("latency_p50_ms", P50Ms);
   Out.set("latency_p95_ms", P95Ms);
   if (Generation)
@@ -90,12 +97,28 @@ Server::Server(const ServerOptions &Opts, std::ostream &Out, std::ostream &Log)
       StartTime(std::chrono::steady_clock::now()),
       Pool(Opts.Threads ? Opts.Threads : BatchSlicer::defaultThreads()) {
   if (!Opts.JournalPath.empty()) {
+    Wal.setIo(Opts.JournalIoHook);
+    // No on-disk repair while a predecessor generation may still be
+    // appending: its in-progress record must not read as a torn tail.
+    bool Repair = Opts.PredecessorPid <= 0;
     if (!Wal.open(Opts.JournalPath, Opts.JournalRotateBytes,
-                  Opts.JournalSyncPolicy, Opts.JournalFlushIntervalMs))
+                  Opts.JournalSyncPolicy, Opts.JournalFlushIntervalMs,
+                  Repair)) {
       Log << "jslice_serve: cannot open journal " << Opts.JournalPath
-          << "; continuing without crash recovery\n";
-    else
+          << "\n";
+      noteJournalFailure();
+    } else {
       Wal.setGeneration(Opts.Generation);
+      JournalCounters JC = Wal.counters();
+      if (JC.TornTails)
+        Log << "jslice_serve: journal: truncated a torn tail record "
+               "(expected after kill -9 or power loss)\n";
+      if (JC.CorruptRecords)
+        Log << "jslice_serve: journal: mid-file corruption ("
+            << JC.CorruptRecords << " record(s)); damaged file kept as "
+            << Opts.JournalPath << ".corrupt, " << JC.SalvagedRecords
+            << " record(s) salvaged\n";
+    }
   }
 
   if (Opts.IsolateProcess) {
@@ -182,12 +205,23 @@ unsigned Server::recoverNow(bool OnlyEarlierGenerations) {
       PoisonKeys.insert(Key);
       if (!Repro.empty())
         PoisonRepros[Key] = Repro;
+      else
+        ++Counters.QuarantineFailures;
+    }
+    if (Repro.empty()) {
+      // The reproducer never reached the disk (ENOSPC, permissions),
+      // so the journal begin is still the only durable record of this
+      // poison. Leave it unmatched — the next boot retries — and keep
+      // the in-memory refusal armed for this run.
+      Log << "jslice_serve: FAILED to quarantine in-flight request \""
+          << P.Id << "\"; leaving its journal record for the next boot\n";
+      continue;
     }
     // Close the journal pair so the *next* restart does not quarantine
     // it again: the quarantine files are now the durable record.
     Wal.end(P.Id, "poisoned");
     Log << "jslice_serve: quarantined in-flight request \"" << P.Id << "\""
-        << (Repro.empty() ? "" : " -> " + Repro) << "\n";
+        << " -> " << Repro << "\n";
     ++N;
   }
   // Every recovered pair is now bracketed; drop the history so the
@@ -340,6 +374,20 @@ void Server::serveLine(const std::string &Line, ResponseSink Sink) {
       shedResponse(R, "server draining for shutdown", "draining", Sink);
       break;
     }
+    if (!Opts.JournalPath.empty() &&
+        JournalLost.load(std::memory_order_relaxed) &&
+        Opts.JournalFailurePolicy != JournalFailure::Degrade) {
+      // The journal is gone and the policy says it is load-bearing:
+      // a request served without a begin record would be invisible to
+      // crash recovery. Refuse deterministically (Abort additionally
+      // tripped the drain flag when the failure latched).
+      shedResponse(R,
+                   "write-ahead journal failed "
+                   "(--journal-failure=shed): refusing to serve "
+                   "unjournaled requests",
+                   "journal-failed", Sink);
+      break;
+    }
     if (Opts.MaxQueueDepth &&
         QueueDepth.load(std::memory_order_relaxed) >= Opts.MaxQueueDepth) {
       shedResponse(R, "admission queue full", "queue-full", Sink);
@@ -406,8 +454,28 @@ void Server::serveLine(const std::string &Line, ResponseSink Sink) {
     }
 
     // Write-ahead: the begin record must be durable before any
-    // slicing work can crash the process.
-    Wal.begin(R);
+    // slicing work can crash the process. An append failure here is
+    // the disk speaking; the --journal-failure policy answers.
+    if (!Opts.JournalPath.empty() &&
+        !JournalLost.load(std::memory_order_relaxed) && !Wal.begin(R)) {
+      noteJournalFailure();
+      if (Opts.JournalFailurePolicy != JournalFailure::Degrade) {
+        {
+          std::lock_guard<std::mutex> Lock(StateM);
+          Registry.erase(R.Id);
+        }
+        shedResponse(R,
+                     "write-ahead journal failed while recording this "
+                     "request (--journal-failure=" +
+                         std::string(journalFailureName(
+                             Opts.JournalFailurePolicy)) +
+                         ")",
+                     "journal-failed", Sink);
+        break;
+      }
+      // Degrade: serve on; the journal is marked lost and {"health"}
+      // says so.
+    }
     QueueDepth.fetch_add(1, std::memory_order_relaxed);
     bool Hang = !Opts.HangAfterBeginId.empty() &&
                 R.Id == Opts.HangAfterBeginId;
@@ -430,7 +498,7 @@ void Server::finish() {
     Wal.shutdownRecord();
 }
 
-void Server::shedResponse(const ServiceRequest &R, const char *Why,
+void Server::shedResponse(const ServiceRequest &R, const std::string &Why,
                           const char *Cause, const ResponseSink &Sink) {
   ServiceResponse Resp;
   Resp.Id = R.Id;
@@ -438,6 +506,29 @@ void Server::shedResponse(const ServiceRequest &R, const char *Why,
   Resp.Error = Why;
   writeResponse(Resp, Sink);
   recordOutcome(Resp.Status, "", false, -1, 0, Cause);
+}
+
+void Server::noteJournalFailure() {
+  if (JournalLost.exchange(true, std::memory_order_relaxed))
+    return;
+  const char *Action = "refusing new requests until restart";
+  switch (Opts.JournalFailurePolicy) {
+  case JournalFailure::Shed:
+    break;
+  case JournalFailure::Degrade:
+    Action = "serving on with the journal marked lost";
+    break;
+  case JournalFailure::Abort:
+    Action = "aborting into a clean drain";
+    JournalAborted.store(true, std::memory_order_relaxed);
+    if (Opts.AbortFlag)
+      Opts.AbortFlag->store(true, std::memory_order_relaxed);
+    break;
+  }
+  Log << "jslice_serve: journal " << Opts.JournalPath
+      << " failed persistently; --journal-failure="
+      << journalFailureName(Opts.JournalFailurePolicy) << ": " << Action
+      << "\n";
 }
 
 void Server::handleCancel(const ServiceRequest &R,
@@ -565,6 +656,8 @@ void Server::quarantineCrashed(const ServiceRequest &R,
     PoisonKeys.insert(Key);
     if (!Repro.empty())
       PoisonRepros[Key] = Repro;
+    else
+      ++Counters.QuarantineFailures;
     // Program-level escalation: two crashes on the same source (any
     // criterion) quarantine the whole program, refusing it at
     // admission before it can reach another worker — and with it that
@@ -631,7 +724,10 @@ void Server::handleSlice(ServiceRequest R, const ResponseSink &Sink) {
           .count();
   Resp.LatencyMs = LatencyMs;
 
-  Wal.end(Resp.Id, responseStatusName(Resp.Status));
+  if (!Opts.JournalPath.empty() &&
+      !JournalLost.load(std::memory_order_relaxed) &&
+      !Wal.end(Resp.Id, responseStatusName(Resp.Status)))
+    noteJournalFailure();
   if (Raw) {
     // Pass the worker's line through, stamped with the latency the
     // caller actually experienced (IPC included).
@@ -717,6 +813,11 @@ JsonValue Server::healthJson() const {
   bool Breaker = Super && Super->breakerOpenNow();
   V.set("breaker_open", Breaker);
   Degraded |= Breaker;
+  if (!Opts.JournalPath.empty()) {
+    bool Lost = JournalLost.load(std::memory_order_relaxed);
+    V.set("journal", Lost ? "lost" : "ok");
+    Degraded |= Lost;
+  }
   V.set("handoff_pending", HandoffPending.load(std::memory_order_relaxed));
   if (HealthProbeFn) {
     JsonValue T = HealthProbeFn();
@@ -747,6 +848,15 @@ ServerStats Server::stats() const {
   S.ProcessIsolation = Super != nullptr;
   if (Super)
     S.Super = Super->stats();
+  if (!Opts.JournalPath.empty()) {
+    JournalCounters JC = Wal.counters();
+    S.JournalAppendFailures = JC.AppendFailures;
+    S.JournalReopens = JC.Reopens;
+    S.JournalCorruption = JC.CorruptRecords;
+    S.JournalTornTails = JC.TornTails;
+    S.JournalRotationFailures = JC.RotationFailures;
+    S.JournalLost = JournalLost.load(std::memory_order_relaxed);
+  }
   S.RssBytes = currentRssMb() << 20;
   S.MaxRssBytes = Opts.MaxRssMb << 20;
   S.CacheEnabled = Opts.Cache.Enabled;

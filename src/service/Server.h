@@ -45,7 +45,13 @@
 /// recover() quarantines requests left in flight by a crashed
 /// predecessor, refuses their exact resubmission (by content key) with
 /// a pointer to the dumped reproducer, and compacts the journal down
-/// to its unmatched begins.
+/// to its unmatched begins. The journal reports its own failures: when
+/// an append fails persistently (disk full, dying device, failed
+/// fsync) the JournalFailurePolicy decides whether the server sheds
+/// new requests deterministically, keeps serving with the journal
+/// marked lost ({"health"} reports degraded), or aborts into a clean
+/// drain — never the old behavior of serving on while silently
+/// recording nothing.
 ///
 /// The `{"stats"}` health request answers with counters: requests by
 /// outcome (including shed and crashed), the tier histogram, guard
@@ -137,6 +143,23 @@ struct ServerOptions {
   JournalSync JournalSyncPolicy = JournalSync::Full;
   uint64_t JournalFlushIntervalMs = 25;
 
+  /// What a persistent journal append failure means for serving
+  /// (--journal-failure): shed new requests (default — the journal is
+  /// load-bearing for crash forensics), degrade (serve on, journal
+  /// marked lost, health degraded), or abort (trip AbortFlag and
+  /// drain). Also applied when the journal cannot be opened at all.
+  JournalFailure JournalFailurePolicy = JournalFailure::Shed;
+
+  /// Raised (when non-null) on persistent journal failure under the
+  /// Abort policy; jslice_serve points this at the same flag its
+  /// SIGTERM handler sets, so the abort rides the graceful-drain path.
+  std::atomic<bool> *AbortFlag = nullptr;
+
+  /// Journal I/O seam override; null = real syscalls. The disk-chaos
+  /// soak and tests inject a FaultyJournalIo here. Not owned; must
+  /// outlive the server.
+  JournalIo *JournalIoHook = nullptr;
+
   /// Server generation for zero-downtime restart (0 = not generation-
   /// managed). Stamped onto every journal record and reported by
   /// {"health"}; recovery uses it to attribute unmatched begins to
@@ -214,9 +237,22 @@ struct ServerStats {
   std::map<std::string, uint64_t> TierHistogram; ///< served tier -> count.
   /// Shed refusals broken down by cause ("queue-full",
   /// "queue-deadline", "rss-watermark", "draining", "breaker-open",
-  /// "line-cap") so soak assertions read counters instead of scraping
-  /// stderr.
+  /// "line-cap", "journal-failed") so soak assertions read counters
+  /// instead of scraping stderr.
   std::map<std::string, uint64_t> ShedByCause;
+  /// Poison reproducers that could not be written to the quarantine
+  /// dir (e.g. ENOSPC): the journal begin stays unmatched so the next
+  /// boot retries — this counter is the operator's only sign.
+  uint64_t QuarantineFailures = 0;
+  /// Journal self-health (JournalCounters + the lost latch), so a
+  /// dying disk is visible in {"stats"} long before it kills the
+  /// process.
+  uint64_t JournalAppendFailures = 0;
+  uint64_t JournalReopens = 0;
+  uint64_t JournalCorruption = 0; ///< Corrupt records found at boot.
+  uint64_t JournalTornTails = 0;  ///< Torn tails truncated at boot.
+  uint64_t JournalRotationFailures = 0;
+  bool JournalLost = false; ///< Persistent failure latched.
   double P50Ms = 0;
   double P95Ms = 0;
   bool ProcessIsolation = false;
@@ -333,6 +369,19 @@ public:
   /// accepting because of it, not EOF).
   bool drained() const { return Draining.load(std::memory_order_relaxed); }
 
+  /// True once the journal failed persistently (or never opened) and
+  /// the failure policy took effect. {"health"} reports this as
+  /// "journal":"lost" + degraded.
+  bool journalLost() const {
+    return JournalLost.load(std::memory_order_relaxed);
+  }
+
+  /// True when a journal failure under the Abort policy tripped the
+  /// abort flag; jslice_serve exits 3 after the drain.
+  bool journalAborted() const {
+    return JournalAborted.load(std::memory_order_relaxed);
+  }
+
   /// The sandbox supervisor, or null in thread mode. The crash-matrix
   /// soak reaches through this for the chaos-kill hook and restart
   /// counters.
@@ -346,6 +395,7 @@ private:
   };
 
   unsigned recoverNow(bool OnlyEarlierGenerations);
+  void noteJournalFailure();
   void handleSlice(ServiceRequest R, const ResponseSink &Sink);
   void handleSliceInProcess(ServiceRequest R, ServiceResponse &Resp,
                             const std::shared_ptr<InFlight> &Flight,
@@ -354,7 +404,7 @@ private:
                             std::string &RawResponse, uint64_t &RungTrips);
   void quarantineCrashed(const ServiceRequest &R, ServiceResponse &Resp);
   void handleCancel(const ServiceRequest &R, const ResponseSink &Sink);
-  void shedResponse(const ServiceRequest &R, const char *Why,
+  void shedResponse(const ServiceRequest &R, const std::string &Why,
                     const char *Cause, const ResponseSink &Sink);
   void writeResponse(const ServiceResponse &R, const ResponseSink &Sink);
   void recordOutcome(ResponseStatus Status, const std::string &ServedTier,
@@ -375,6 +425,8 @@ private:
 
   std::atomic<uint64_t> QueueDepth{0};
   std::atomic<bool> Draining{false};
+  std::atomic<bool> JournalLost{false};
+  std::atomic<bool> JournalAborted{false};
 
   std::mutex OutM; ///< Serializes response lines; never held with StateM.
   mutable std::mutex StateM;

@@ -13,12 +13,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/Journal.h"
+#include "service/JournalIo.h"
 #include "service/Server.h"
 #include "support/Pipe.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -492,6 +495,397 @@ TEST(JournalTest, SyncPolicyNamesRoundTrip) {
   EXPECT_FALSE(parseJournalSyncName("", Out));
 }
 
+TEST(JournalTest, FailurePolicyNamesRoundTrip) {
+  for (JournalFailure F :
+       {JournalFailure::Shed, JournalFailure::Degrade, JournalFailure::Abort}) {
+    JournalFailure Back = JournalFailure::Shed;
+    ASSERT_TRUE(parseJournalFailureName(journalFailureName(F), Back));
+    EXPECT_EQ(Back, F);
+  }
+  JournalFailure Out;
+  EXPECT_FALSE(parseJournalFailureName("panic", Out));
+  EXPECT_FALSE(parseJournalFailureName("", Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Journal: checksummed framing and fault tolerance
+//===----------------------------------------------------------------------===//
+
+/// Writes a small journal — one bracketed pair, one unmatched begin —
+/// and returns its path.
+std::string writeSmallJournal(const std::string &Name,
+                              bool WithShutdown = false) {
+  std::string Path = ::testing::TempDir() + Name;
+  std::remove(Path.c_str());
+  Journal J;
+  EXPECT_TRUE(J.open(Path));
+  ServiceRequest R;
+  R.Id = "done";
+  R.Program = TinyProgram;
+  R.Line = 2;
+  R.Vars = {"a"};
+  J.begin(R);
+  J.end("done", "ok");
+  R.Id = "stuck";
+  J.begin(R);
+  if (WithShutdown)
+    J.shutdownRecord();
+  return Path;
+}
+
+TEST(JournalTest, Crc32MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 check vector: any polynomial mix-up or
+  // reflection bug changes this constant.
+  EXPECT_EQ(journalCrc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(journalCrc32(""), 0u);
+}
+
+TEST(JournalTest, RecordsAreChecksummedAndSequenced) {
+  std::string Path = writeSmallJournal("jslice_journal_crc.jsonl");
+  std::ifstream In(Path);
+  std::string Line;
+  uint64_t LastSeq = 0, Lines = 0;
+  while (std::getline(In, Line)) {
+    uint64_t Seq = 0;
+    EXPECT_EQ(verifyJournalLine(Line, &Seq), JournalLineCheck::Valid) << Line;
+    EXPECT_GT(Seq, LastSeq) << "sequence must be strictly monotonic";
+    LastSeq = Seq;
+    ++Lines;
+  }
+  EXPECT_EQ(Lines, 3u);
+
+  JournalScan Scan = scanJournalDetailed(Path);
+  EXPECT_TRUE(Scan.Exists);
+  EXPECT_EQ(Scan.Records, 3u);
+  EXPECT_EQ(Scan.LegacyRecords, 0u);
+  EXPECT_EQ(Scan.CorruptRecords, 0u);
+  EXPECT_EQ(Scan.SeqRegressions, 0u);
+  EXPECT_FALSE(Scan.TornTail);
+  ASSERT_EQ(Scan.InFlight.size(), 1u);
+  EXPECT_EQ(Scan.InFlight.front().Id, "stuck");
+  std::remove(Path.c_str());
+}
+
+TEST(JournalTest, FlippingAnyByteFailsVerification) {
+  std::string Path = writeSmallJournal("jslice_journal_flip.jsonl");
+  std::ifstream In(Path);
+  std::string Line;
+  ASSERT_TRUE(std::getline(In, Line));
+  for (size_t I = 0; I != Line.size(); ++I) {
+    std::string Mutated = Line;
+    Mutated[I] ^= 0x01;
+    EXPECT_NE(verifyJournalLine(Mutated), JournalLineCheck::Valid)
+        << "byte " << I << " flip went undetected: " << Mutated;
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(JournalTest, LegacyUnchecksummedJournalStaysReadable) {
+  // A journal written before checksums: no crc, no seq. Recovery and
+  // the appender must both accept it (upgrade compatibility).
+  std::string Path = ::testing::TempDir() + "jslice_journal_legacy.jsonl";
+  std::remove(Path.c_str());
+  ServiceRequest R;
+  R.Id = "old-stuck";
+  R.Program = TinyProgram;
+  R.Line = 2;
+  {
+    std::ofstream Out(Path);
+    JsonValue Done = JsonValue::object();
+    Done.set("event", "begin");
+    Done.set("id", "old-done");
+    ServiceRequest D = R;
+    D.Id = "old-done";
+    Done.set("request", D.toJson());
+    Out << Done.str() << "\n";
+    JsonValue End = JsonValue::object();
+    End.set("event", "end");
+    End.set("id", "old-done");
+    End.set("status", "ok");
+    Out << End.str() << "\n";
+    JsonValue Begin = JsonValue::object();
+    Begin.set("event", "begin");
+    Begin.set("id", "old-stuck");
+    Begin.set("request", R.toJson());
+    Out << Begin.str() << "\n";
+  }
+
+  JournalScan Scan = scanJournalDetailed(Path);
+  EXPECT_EQ(Scan.LegacyRecords, 3u);
+  EXPECT_EQ(Scan.Records, 0u);
+  EXPECT_EQ(Scan.CorruptRecords, 0u);
+  ASSERT_EQ(Scan.InFlight.size(), 1u);
+  EXPECT_EQ(Scan.InFlight.front().Id, "old-stuck");
+
+  // A new-format writer appends checksummed records to the same file
+  // and both generations of record coexist in one scan.
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(Path));
+    ServiceRequest N = R;
+    N.Id = "new-stuck";
+    J.begin(N);
+  }
+  Scan = scanJournalDetailed(Path);
+  EXPECT_EQ(Scan.LegacyRecords, 3u);
+  EXPECT_EQ(Scan.Records, 1u);
+  EXPECT_EQ(Scan.InFlight.size(), 2u);
+  std::remove(Path.c_str());
+}
+
+TEST(JournalTest, TornTailAtEveryByteOffsetNeverMisattributes) {
+  // kill -9 / power loss can cut the final append at any byte. For
+  // every possible cut point the scan must classify the damage as a
+  // torn tail (never mid-file corruption), keep every record before
+  // the cut, and point GoodBytes at the last intact boundary.
+  std::string Path = writeSmallJournal("jslice_journal_torn.jsonl");
+  std::ifstream In(Path, std::ios::binary);
+  std::stringstream Whole;
+  Whole << In.rdbuf();
+  std::string Full = Whole.str();
+  In.close();
+
+  // Boundary offsets: after each complete record (line + newline).
+  std::vector<size_t> Boundaries = {0};
+  for (size_t I = 0; I != Full.size(); ++I)
+    if (Full[I] == '\n')
+      Boundaries.push_back(I + 1);
+  ASSERT_EQ(Boundaries.size(), 4u); // Empty + three records.
+  size_t LastBoundary = Boundaries[Boundaries.size() - 2];
+
+  std::string Torn = ::testing::TempDir() + "jslice_journal_torn_cut.jsonl";
+  for (size_t Cut = 0; Cut <= Full.size(); ++Cut) {
+    {
+      std::ofstream Out(Torn, std::ios::binary | std::ios::trunc);
+      Out.write(Full.data(), static_cast<std::streamsize>(Cut));
+    }
+    JournalScan Scan = scanJournalDetailed(Torn);
+    EXPECT_EQ(Scan.CorruptRecords, 0u)
+        << "cut at " << Cut << " misread a torn tail as corruption";
+    // The last intact point at or before the cut: a record boundary, or
+    // the cut itself when it landed exactly at a record's final content
+    // byte (all the bytes verified; only the newline is missing).
+    size_t Expect = 0;
+    for (size_t B : Boundaries) {
+      if (B <= Cut)
+        Expect = B;
+      if (B == Cut + 1 && Cut > 0)
+        Expect = Cut; // Complete record, missing only its '\n'.
+    }
+    EXPECT_EQ(Scan.GoodBytes, Expect) << "cut at " << Cut;
+    bool Intact = Scan.GoodBytes == Cut;
+    EXPECT_EQ(Scan.TornTail, !Intact) << "cut at " << Cut;
+    EXPECT_FALSE(journalEndsWithCleanShutdown(Torn)) << "cut at " << Cut;
+    // In-flight attribution never invents or loses a begin: a record
+    // counts exactly when every content byte survived the cut.
+    bool StuckIntact = Cut + 1 >= Full.size();
+    bool DonePairIntact = Cut + 1 >= LastBoundary;
+    size_t WantInFlight = StuckIntact ? 1u : (DonePairIntact ? 0u : 1u);
+    if (Cut + 1 < Boundaries[1])
+      WantInFlight = 0; // Nothing intact at all.
+    EXPECT_EQ(Scan.InFlight.size(), WantInFlight) << "cut at " << Cut;
+
+    // Opening the torn file repairs it — truncating a partial tail,
+    // or completing the framing of a newline-less final record — and
+    // the survivor appends cleanly from there.
+    bool MissingNewline =
+        Cut > 0 && std::find(Boundaries.begin(), Boundaries.end(), Cut + 1) !=
+                       Boundaries.end();
+    size_t WantBytes = MissingNewline ? Cut + 1 : Expect;
+    {
+      Journal J;
+      ASSERT_TRUE(J.open(Torn)) << "cut at " << Cut;
+      EXPECT_EQ(J.counters().TornTails, Intact ? 0u : 1u)
+          << "cut at " << Cut;
+      EXPECT_EQ(J.bytes(), WantBytes) << "cut at " << Cut;
+      ServiceRequest R;
+      R.Id = "after";
+      R.Program = TinyProgram;
+      R.Line = 2;
+      EXPECT_TRUE(J.begin(R));
+    }
+    JournalScan Healed = scanJournalDetailed(Torn);
+    EXPECT_EQ(Healed.CorruptRecords, 0u) << "cut at " << Cut;
+    EXPECT_FALSE(Healed.TornTail) << "cut at " << Cut;
+    EXPECT_EQ(Healed.InFlight.size(), WantInFlight + 1) << "cut at " << Cut;
+  }
+  std::remove(Torn.c_str());
+  std::remove(Path.c_str());
+}
+
+TEST(JournalTest, MidFileCorruptionQuarantinesAndSalvages) {
+  // Damage in the middle of the file — intact records after it — is
+  // not a torn tail: something rewrote history. open() must set the
+  // damaged file aside as <path>.corrupt and salvage what verifies.
+  std::string Path = writeSmallJournal("jslice_journal_midfile.jsonl");
+  std::string Corrupt = Path + ".corrupt";
+  std::remove(Corrupt.c_str());
+  {
+    std::fstream F(Path, std::ios::in | std::ios::out | std::ios::binary);
+    F.seekp(20);
+    F.put('#'); // Smash a byte inside the first record.
+  }
+
+  JournalScan Scan = scanJournalDetailed(Path);
+  EXPECT_GE(Scan.CorruptRecords, 1u);
+  EXPECT_FALSE(Scan.TornTail) << "mid-file damage is not a torn tail";
+  ASSERT_EQ(Scan.InFlight.size(), 1u) << "records after the damage count";
+  EXPECT_EQ(Scan.InFlight.front().Id, "stuck");
+
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(Path));
+    EXPECT_GE(J.counters().CorruptRecords, 1u);
+    EXPECT_GE(J.counters().SalvagedRecords, 2u);
+    EXPECT_FALSE(J.failed());
+  }
+  // The damaged original is preserved for forensics...
+  std::ifstream Aside(Corrupt);
+  EXPECT_TRUE(Aside.good()) << "damaged journal was not quarantined aside";
+  // ...and the rebuilt journal is fully verifiable with the salvage
+  // intact.
+  JournalScan Healed = scanJournalDetailed(Path);
+  EXPECT_EQ(Healed.CorruptRecords, 0u);
+  ASSERT_EQ(Healed.InFlight.size(), 1u);
+  EXPECT_EQ(Healed.InFlight.front().Id, "stuck");
+  EXPECT_EQ(Healed.InFlight.front().Request.Program, TinyProgram);
+  std::remove(Path.c_str());
+  std::remove(Corrupt.c_str());
+}
+
+TEST(JournalTest, FailedFsyncReopensOnceAndRetries) {
+  // The fsyncgate rule: after a failed fsync the same handle's dirty
+  // pages may be gone, so the retry must go through a fresh handle.
+  std::string Path = ::testing::TempDir() + "jslice_journal_fsyncgate.jsonl";
+  std::remove(Path.c_str());
+  FaultyJournalIo Io;
+  Journal J;
+  J.setIo(&Io);
+  ASSERT_TRUE(J.open(Path));
+  ServiceRequest R;
+  R.Id = "r1";
+  R.Program = TinyProgram;
+  R.Line = 2;
+  Io.arm(JournalFault::FsyncFail, 1);
+  EXPECT_TRUE(J.begin(R)) << "one fault must be absorbed by the retry";
+  EXPECT_TRUE(Io.injected());
+  JournalCounters C = J.counters();
+  EXPECT_EQ(C.AppendFailures, 1u);
+  EXPECT_EQ(C.Reopens, 1u);
+  EXPECT_FALSE(J.failed());
+
+  // The record that survived via the retry is durable and verifiable.
+  JournalScan Scan = scanJournalDetailed(Path);
+  EXPECT_EQ(Scan.CorruptRecords, 0u);
+  ASSERT_EQ(Scan.InFlight.size(), 1u);
+  EXPECT_EQ(Scan.InFlight.front().Id, "r1");
+
+  // A disk that stays broken latches the failure instead of lying.
+  Io.armEvery(JournalFault::FsyncFail, 1);
+  EXPECT_FALSE(J.end("r1", "ok"));
+  EXPECT_TRUE(J.failed());
+  EXPECT_TRUE(J.counters().Failed);
+  EXPECT_FALSE(J.begin(R)) << "a failed journal must not claim durability";
+
+  // Whatever the broken disk kept, the framing never corrupts: false
+  // from append means "durability unproven", not "garbage written".
+  EXPECT_EQ(scanJournalDetailed(Path).CorruptRecords, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(JournalTest, ShortWriteIsRepairedByTheRetry) {
+  std::string Path = ::testing::TempDir() + "jslice_journal_short.jsonl";
+  std::remove(Path.c_str());
+  FaultyJournalIo Io;
+  Journal J;
+  J.setIo(&Io);
+  ASSERT_TRUE(J.open(Path));
+  ServiceRequest R;
+  R.Id = "r1";
+  R.Program = TinyProgram;
+  R.Line = 2;
+  J.begin(R);
+  // The next write lands only half its bytes; the reopen truncates the
+  // torn prefix back to the last good boundary before retrying.
+  // (arm() counts from the arming point, so ordinal 1 is this append.)
+  Io.arm(JournalFault::ShortWrite, 1);
+  EXPECT_TRUE(J.end("r1", "ok"));
+  EXPECT_TRUE(Io.injected());
+  JournalScan Scan = scanJournalDetailed(Path);
+  EXPECT_EQ(Scan.CorruptRecords, 0u);
+  EXPECT_FALSE(Scan.TornTail) << "the torn prefix must not reach the disk";
+  EXPECT_TRUE(Scan.InFlight.empty());
+  std::remove(Path.c_str());
+}
+
+TEST(JournalTest, RotationCrashEitherSideOfRenameLosesNothing) {
+  ServiceRequest Stuck;
+  Stuck.Id = "stuck";
+  Stuck.Program = TinyProgram;
+  Stuck.Line = 2;
+  for (JournalFault Crash : {JournalFault::CrashBeforeRename,
+                             JournalFault::CrashAfterRename}) {
+    std::string Path = ::testing::TempDir() + "jslice_journal_rotcrash.jsonl";
+    std::remove(Path.c_str());
+    std::remove((Path + ".rotate").c_str());
+    FaultyJournalIo Io;
+    {
+      Journal J;
+      J.setIo(&Io);
+      ASSERT_TRUE(J.open(Path, /*RotateBytes=*/512));
+      J.begin(Stuck);
+      Io.arm(Crash, 1);
+      // Bracketed pairs until the rotation attempt hits the crash.
+      for (unsigned I = 0; I != 50 && !Io.injected(); ++I) {
+        ServiceRequest R = Stuck;
+        R.Id = "r" + std::to_string(I);
+        J.begin(R);
+        J.end(R.Id, "ok");
+      }
+      ASSERT_TRUE(Io.injected()) << journalFaultName(Crash);
+    }
+    // Whichever side of the rename the crash landed on, the next boot
+    // must see the stuck begin (plus at most the one pair that was
+    // mid-flight when the disk froze) and clean up the temp.
+    std::vector<PoisonedRequest> Poisoned = scanJournal(Path);
+    ASSERT_GE(Poisoned.size(), 1u) << journalFaultName(Crash);
+    ASSERT_LE(Poisoned.size(), 2u) << journalFaultName(Crash);
+    bool FoundStuck = false;
+    for (const PoisonedRequest &P : Poisoned)
+      if (P.Id == "stuck") {
+        FoundStuck = true;
+        EXPECT_EQ(P.Request.Program, TinyProgram);
+      }
+    EXPECT_TRUE(FoundStuck) << journalFaultName(Crash);
+    {
+      Journal J;
+      ASSERT_TRUE(J.open(Path));
+    }
+    std::error_code Ec;
+    EXPECT_FALSE(std::filesystem::exists(Path + ".rotate", Ec))
+        << journalFaultName(Crash) << ": stale rotation temp survived open()";
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(JournalTest, QuarantineFailureReturnsEmptyPath) {
+  // quarantinePoisoned must report failure ("") instead of pretending:
+  // the dir path collides with an existing regular file.
+  std::string Blocker = ::testing::TempDir() + "jslice_quarantine_blocked";
+  std::remove(Blocker.c_str());
+  {
+    std::ofstream Out(Blocker);
+    Out << "not a directory\n";
+  }
+  PoisonedRequest P;
+  P.Id = "victim";
+  P.Request.Id = "victim";
+  P.Request.Program = TinyProgram;
+  P.Request.Line = 2;
+  EXPECT_EQ(quarantinePoisoned(Blocker, P), "");
+  std::remove(Blocker.c_str());
+}
+
 //===----------------------------------------------------------------------===//
 // Server end to end (in-memory streams)
 //===----------------------------------------------------------------------===//
@@ -641,6 +1035,167 @@ TEST(ServerTest, HealthJsonIsAStandaloneLivenessAnswer) {
   EXPECT_TRUE(Wedged.find("degraded")->asBool());
   ASSERT_TRUE(Wedged.find("transport"));
   S.finish();
+}
+
+TEST(ServerTest, QuarantineFailureKeepsThePoisonInTheJournal) {
+  // Recovery finds an unmatched begin but cannot write the reproducer
+  // (the quarantine dir path is an existing regular file). The poison
+  // must not vanish: the failure is counted, the begin stays unmatched
+  // so the next boot retries, and resubmission is still refused.
+  std::string Tmp = ::testing::TempDir();
+  std::string JournalPath = Tmp + "jslice_server_qfail.jsonl";
+  std::string Blocker = Tmp + "jslice_server_qfail_blocked";
+  std::remove(JournalPath.c_str());
+  std::remove(Blocker.c_str());
+  {
+    std::ofstream Out(Blocker);
+    Out << "not a directory\n";
+  }
+  ServiceRequest Stuck;
+  Stuck.Id = "stuck";
+  Stuck.Program = TinyProgram;
+  Stuck.Line = 2;
+  Stuck.Vars = {"a"};
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(JournalPath));
+    J.begin(Stuck);
+  }
+
+  std::istringstream In("");
+  std::ostringstream Out, Log;
+  ServerOptions Opts;
+  Opts.Threads = 1;
+  Opts.JournalPath = JournalPath;
+  Opts.QuarantineDir = Blocker;
+  Server S(Opts, Out, Log);
+  // recover() counts successful quarantines; this one failed.
+  EXPECT_EQ(S.recover(), 0u);
+  S.finish();
+  EXPECT_EQ(S.stats().QuarantineFailures, 1u);
+
+  // The begin survived recovery's compaction: a later boot (with a
+  // writable quarantine dir) still sees it.
+  std::vector<PoisonedRequest> Left = scanJournal(JournalPath);
+  ASSERT_EQ(Left.size(), 1u);
+  EXPECT_EQ(Left.front().Id, "stuck");
+  std::remove(JournalPath.c_str());
+  std::remove(Blocker.c_str());
+}
+
+TEST(ServerTest, JournalFailureShedPolicyRefusesInsteadOfForgetting) {
+  std::string Tmp = ::testing::TempDir();
+  std::string JournalPath = Tmp + "jslice_server_jfail_shed.jsonl";
+  std::remove(JournalPath.c_str());
+  FaultyJournalIo Io;
+  Io.armEvery(JournalFault::WriteEio, 1); // Dead on arrival.
+
+  std::istringstream In(
+      "{\"id\":\"r1\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2,"
+      "\"vars\":[\"a\"]}\n");
+  std::ostringstream Out, Log;
+  ServerOptions Opts;
+  Opts.Threads = 1;
+  Opts.JournalPath = JournalPath;
+  Opts.JournalIoHook = &Io;
+  Opts.JournalFailurePolicy = JournalFailure::Shed;
+  Server S(Opts, Out, Log);
+  S.recover();
+  S.serve(In);
+  S.finish();
+
+  std::optional<JsonValue> R = JsonValue::parse(Out.str());
+  ASSERT_TRUE(R.has_value()) << Out.str();
+  EXPECT_EQ(R->find("status")->asString(), "shed");
+  EXPECT_NE(R->find("error")->asString().find("journal"), std::string::npos);
+  EXPECT_TRUE(S.journalLost());
+  ServerStats Stats = S.stats();
+  EXPECT_EQ(Stats.ShedByCause["journal-failed"], 1u);
+  EXPECT_TRUE(Stats.JournalLost);
+  EXPECT_GE(Stats.JournalAppendFailures, 1u);
+  std::remove(JournalPath.c_str());
+}
+
+TEST(ServerTest, JournalFailureDegradePolicyServesAndTellsHealth) {
+  std::string Tmp = ::testing::TempDir();
+  std::string JournalPath = Tmp + "jslice_server_jfail_degrade.jsonl";
+  std::remove(JournalPath.c_str());
+  FaultyJournalIo Io;
+  Io.armEvery(JournalFault::WriteEio, 1);
+
+  std::istringstream In(
+      "{\"id\":\"r1\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2,"
+      "\"vars\":[\"a\"]}\n");
+  std::ostringstream Out, Log;
+  ServerOptions Opts;
+  Opts.Threads = 1;
+  Opts.JournalPath = JournalPath;
+  Opts.JournalIoHook = &Io;
+  Opts.JournalFailurePolicy = JournalFailure::Degrade;
+  Server S(Opts, Out, Log);
+  S.recover();
+  S.serve(In);
+
+  std::optional<JsonValue> R = JsonValue::parse(Out.str());
+  ASSERT_TRUE(R.has_value()) << Out.str();
+  EXPECT_EQ(R->find("status")->asString(), "ok")
+      << "degrade mode keeps serving";
+  EXPECT_TRUE(S.journalLost());
+  JsonValue H = S.healthJson();
+  ASSERT_TRUE(H.find("journal"));
+  EXPECT_EQ(H.find("journal")->asString(), "lost");
+  ASSERT_TRUE(H.find("degraded"));
+  EXPECT_TRUE(H.find("degraded")->asBool())
+      << "a lost journal must degrade health, never hide";
+  S.finish();
+  std::remove(JournalPath.c_str());
+}
+
+TEST(ServerTest, JournalFailureAbortPolicyTripsTheAbortFlag) {
+  std::string Tmp = ::testing::TempDir();
+  std::string JournalPath = Tmp + "jslice_server_jfail_abort.jsonl";
+  std::remove(JournalPath.c_str());
+  FaultyJournalIo Io;
+  Io.armEvery(JournalFault::WriteEio, 1);
+
+  // Several requests queued: abort must answer what it started and
+  // stop the loop, not serve the whole stream journal-less.
+  std::string Req =
+      "{\"id\":\"r%\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2,"
+      "\"vars\":[\"a\"]}\n";
+  std::string Input;
+  for (int I = 0; I != 8; ++I) {
+    std::string Line = Req;
+    Line.replace(Line.find('%'), 1, std::to_string(I));
+    Input += Line;
+  }
+  std::istringstream In(Input);
+  std::ostringstream Out, Log;
+  std::atomic<bool> Stop{false};
+  ServerOptions Opts;
+  Opts.Threads = 1;
+  Opts.JournalPath = JournalPath;
+  Opts.JournalIoHook = &Io;
+  Opts.JournalFailurePolicy = JournalFailure::Abort;
+  Opts.ShutdownFlag = &Stop;
+  Opts.AbortFlag = &Stop;
+  Server S(Opts, Out, Log);
+  S.recover();
+  S.serve(In);
+  S.finish();
+
+  EXPECT_TRUE(S.journalAborted());
+  EXPECT_TRUE(Stop.load());
+  // The loop stopped early: not every queued request was answered.
+  std::istringstream Text(Out.str());
+  std::string Line;
+  unsigned Answered = 0;
+  while (std::getline(Text, Line))
+    if (!Line.empty())
+      ++Answered;
+  EXPECT_GE(Answered, 1u);
+  EXPECT_LT(Answered, 8u) << "abort must stop accepting, not serve on";
+  std::remove(JournalPath.c_str());
 }
 
 #ifdef JSLICE_HAVE_POSIX_PROCESS

@@ -26,8 +26,8 @@
 ///                [--read-deadline-ms N] [--write-buffer-bytes N]
 ///                [--drain-grace-ms N] [--send-buffer-bytes N]
 ///                [--shards N] [--journal-sync full|batch|off]
-///                [--journal-flush-ms N] [--upgrade on|off]
-///                [--wedge-threshold-ms N]
+///                [--journal-flush-ms N] [--journal-failure shed|degrade|abort]
+///                [--upgrade on|off] [--wedge-threshold-ms N]
 ///
 ///   --input FILE      read requests from FILE instead of stdin
 ///   --listen HOST:PORT serve over TCP instead of stdin (see
@@ -68,6 +68,17 @@
 ///                     append); `off` never fsyncs
 ///   --journal-flush-ms N  batch-mode group-commit interval
 ///                     (default 25)
+///   --journal-failure MODE what to do when the journal fails
+///                     persistently (append still failing after a
+///                     reopen-and-retry): `shed` (default) keeps the
+///                     process up but refuses new slice requests with a
+///                     deterministic "journal-failed" shed — crash
+///                     recovery stays trustworthy; `degrade` keeps
+///                     serving with the journal marked lost — {"health"}
+///                     reports degraded ("journal":"lost") and
+///                     jslice_client --health exits 1; `abort` drains
+///                     in-flight requests and exits 3. Never serves on
+///                     while silently recording nothing
 ///   --upgrade on|off  TCP: accept SIGUSR2 / {"upgrade"} requests for a
 ///                     zero-downtime generation handoff (default on;
 ///                     implies SO_REUSEPORT listeners where available
@@ -135,7 +146,9 @@
 /// the readiness probe).
 ///
 /// Exit codes: 0 — stream served to EOF or drained on signal;
-/// 2 — usage error.
+/// 2 — usage error; 3 — the write-ahead journal failed persistently
+/// under --journal-failure=abort (in-flight requests were drained and
+/// answered first).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -193,6 +206,7 @@ int usage() {
                "[--cache-audit-seed N]\n"
                "                    [--journal-sync full|batch|off] "
                "[--journal-flush-ms N]\n"
+               "                    [--journal-failure shed|degrade|abort]\n"
                "                    [--upgrade on|off] "
                "[--wedge-threshold-ms N]\n");
   return 2;
@@ -531,6 +545,7 @@ int main(int argc, char **argv) {
   long ReadyFd = -1;            // --ready-fd (internal plumbing)
   uint64_t ReadyDelayMs = 0;    // --ready-delay-ms (test hook)
   Opts.ShutdownFlag = &ShutdownRequested;
+  Opts.AbortFlag = &ShutdownRequested;
   TcpOpts.ShutdownFlag = &ShutdownRequested;
 
   for (int I = 1; I < argc; ++I) {
@@ -561,6 +576,15 @@ int main(int argc, char **argv) {
         std::fprintf(stderr,
                      "error: --journal-sync expects 'full', 'batch', or "
                      "'off'\n");
+        return usage();
+      }
+    } else if (Arg == "--journal-failure") {
+      std::optional<std::string> Value = NextValue();
+      if (!Value ||
+          !parseJournalFailureName(*Value, Opts.JournalFailurePolicy)) {
+        std::fprintf(stderr,
+                     "error: --journal-failure expects 'shed', 'degrade', "
+                     "or 'abort'\n");
         return usage();
       }
     } else if (Arg == "--input" || Arg == "--listen" || Arg == "--journal" ||
@@ -881,6 +905,11 @@ int main(int argc, char **argv) {
     T.run();
 #endif
     S.finish();
+    if (S.journalAborted()) {
+      std::fprintf(stderr, "jslice_serve: journal failed; drained and "
+                           "exiting (--journal-failure=abort)\n");
+      return 3;
+    }
     if (ShutdownRequested.load(std::memory_order_relaxed))
       std::fprintf(stderr, "jslice_serve: drained and shut down cleanly\n");
     return 0;
@@ -910,6 +939,11 @@ int main(int argc, char **argv) {
   }
 
   S.finish();
+  if (S.journalAborted()) {
+    std::fprintf(stderr, "jslice_serve: journal failed; drained and "
+                         "exiting (--journal-failure=abort)\n");
+    return 3;
+  }
   if (ShutdownRequested.load(std::memory_order_relaxed))
     std::fprintf(stderr, "jslice_serve: drained and shut down cleanly\n");
   return 0;

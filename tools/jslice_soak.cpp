@@ -44,6 +44,25 @@
 /// proven, not assumed). `--net --crash-matrix` layers the SIGKILL
 /// chaos on top of the network chaos.
 ///
+/// With --disk-chaos it sweeps the journal's injectable I/O seam
+/// (service/JournalIo.h): one clean pass sizes each fault kind's
+/// ordinal space (writes, flushes, fsyncs, rotation renames), then a
+/// fresh server re-serves the same script with that kind armed at every
+/// sampled ordinal — short writes, EIO, ENOSPC, flush and fsync
+/// failures, and crash-before/-after-rename during rotation (the
+/// injected "process death" freezes the on-disk state exactly as a
+/// kill -9 would). After every faulted run the surviving journal must
+/// scan clean (checksummed records only; torn bytes truncated, never
+/// misread), and a reboot on the real filesystem must quarantine
+/// exactly the begins the faulted run left unmatched — zero lost
+/// responses, zero silently dropped records. The sweep ends with the
+/// --journal-failure policy triad under a persistently dead disk
+/// (shed refuses deterministically, degrade serves with health marked
+/// lost, abort drains and latches the exit flag) and a sharded TCP
+/// pass (--shards) whose journal dies mid-load under degrade: every
+/// request still answered exactly once and {"health"} honestly
+/// degraded.
+///
 /// With --upgrade-matrix it drives a *real* `jslice_serve` process
 /// (--serve-bin) through N zero-downtime hot restarts under full
 /// client load, cycling chaos scenarios: a clean SIGUSR2 handoff, a
@@ -92,7 +111,7 @@
 ///               [--isolate thread|process] [--workers N]
 ///               [--crash-matrix] [--kill-interval-ms N]
 ///               [--quarantine DIR] [--bench] [--out FILE]
-///               [--net] [--net-clients N] [--shards N]
+///               [--net] [--net-clients N] [--shards N] [--disk-chaos]
 ///               [--upgrade-matrix --serve-bin PATH] [--upgrades N]
 ///               [--cache on|off] [--cache-entries N] [--cache-bytes N]
 ///               [--cache-audit-every N] [--audit-seeds N] [--verbose]
@@ -107,6 +126,8 @@
 #include "net/Client.h"
 #include "net/Socket.h"
 #include "net/TcpServer.h"
+#include "service/Journal.h"
+#include "service/JournalIo.h"
 #include "service/Server.h"
 #include "support/Pipe.h"
 
@@ -156,6 +177,7 @@ struct SoakOptions {
   bool Net = false;
   unsigned NetClients = 4;
   unsigned Shards = 0; ///< Transport reactor shards; 0 = hardware.
+  bool DiskChaos = false;
   bool UpgradeMatrix = false;
   std::string ServeBin;   ///< jslice_serve binary for the upgrade matrix.
   uint64_t Upgrades = 20; ///< Hot restarts the matrix must complete.
@@ -200,6 +222,7 @@ int usage() {
                "[--quarantine DIR]\n"
                "                   [--bench] [--out FILE] [--net] "
                "[--net-clients N] [--shards N]\n"
+               "                   [--disk-chaos]\n"
                "                   [--upgrade-matrix --serve-bin PATH] "
                "[--upgrades N]\n"
                "                   [--cache on|off] [--cache-entries N] "
@@ -745,6 +768,469 @@ int runCrashMatrix(const SoakOptions &Opts) {
   std::printf("               violations         %llu\n",
               static_cast<unsigned long long>(A.Violations));
   return A.Violations ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Disk-fault chaos matrix: the journal's I/O seam under injected faults
+//===----------------------------------------------------------------------===//
+
+/// What one faulted serve pass produced, beyond the response audit.
+struct DiskRun {
+  Audit A;
+  ServerStats Final;
+  bool JournalLost = false;
+  bool Aborted = false;
+  unsigned Recovered = 0; ///< recover()'s quarantine count.
+};
+
+/// One serve pass with the journal's I/O routed through \p Io. Worker
+/// threads are forced to 1 so a run's journal traffic is a single
+/// bounded stream of I/O ordinals; a small rotation threshold keeps
+/// compaction renames inside the swept space.
+DiskRun serveDiskChaos(const SoakOptions &Opts, const std::string &Input,
+                       const std::string &JPath, JournalIo *Io,
+                       JournalFailure Policy,
+                       std::atomic<bool> *Stop = nullptr) {
+  std::istringstream In(Input);
+  std::ostringstream Out, Log;
+  ServerOptions SOpts;
+  SOpts.Threads = 1;
+  SOpts.JournalPath = JPath;
+  SOpts.JournalRotateBytes = 2048;
+  SOpts.QuarantineDir = Opts.QuarantineDir;
+  SOpts.JournalFailurePolicy = Policy;
+  SOpts.JournalIoHook = Io;
+  SOpts.Cache = cacheOptions(Opts);
+  SOpts.ShutdownFlag = Stop;
+  SOpts.AbortFlag = Stop;
+  Server S(SOpts, Out, Log);
+  DiskRun R;
+  R.Recovered = S.recover();
+  S.serve(In);
+  S.finish();
+  R.Final = S.stats();
+  R.JournalLost = S.journalLost();
+  R.Aborted = S.journalAborted();
+  std::istringstream Lines(Out.str());
+  std::string Line;
+  while (std::getline(Lines, Line))
+    if (!Line.empty())
+      auditLine(Line, R.A);
+  if (Opts.Verbose && !Log.str().empty())
+    std::fputs(Log.str().c_str(), stderr);
+  return R;
+}
+
+/// Exactly-once over one disk-chaos pass: \p Slices requests in, each
+/// answered exactly once (served or deterministically refused — the
+/// status legality was already checked line by line).
+uint64_t diskExactlyOnce(const Audit &A, uint64_t Slices,
+                         const std::string &Tag) {
+  uint64_t Violations = 0;
+  for (const auto &[Id, N] : A.SliceResponses)
+    if (N != 1) {
+      ++Violations;
+      std::fprintf(stderr, "VIOLATION: %s: id %s answered %llu times\n",
+                   Tag.c_str(), Id.c_str(),
+                   static_cast<unsigned long long>(N));
+    }
+  if (A.SliceResponses.size() != Slices) {
+    ++Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: %s: %llu requests, %zu distinct responses — "
+                 "responses were lost\n",
+                 Tag.c_str(), static_cast<unsigned long long>(Slices),
+                 A.SliceResponses.size());
+  }
+  return Violations;
+}
+
+/// Post-run disk forensics shared by every sweep ordinal: the surviving
+/// journal must scan clean (no mid-file corruption, no sequence
+/// regression — torn tails and quarantined .corrupt files are legal
+/// residue), and a reboot on the *real* filesystem must recover without
+/// incident: exactly the unmatched begins quarantined, no quarantine
+/// write failures, no stale rotation temp left behind.
+uint64_t auditDiskState(const SoakOptions &Opts, const std::string &JPath,
+                        const std::string &Tag) {
+  uint64_t Violations = 0;
+  JournalScan Scan = scanJournalDetailed(JPath);
+  if (Scan.Exists && (Scan.CorruptRecords || Scan.SeqRegressions)) {
+    ++Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: %s: surviving journal has %llu corrupt "
+                 "records, %llu seq regressions\n",
+                 Tag.c_str(),
+                 static_cast<unsigned long long>(Scan.CorruptRecords),
+                 static_cast<unsigned long long>(Scan.SeqRegressions));
+  }
+  uint64_t InFlight = Scan.Exists ? Scan.InFlight.size() : 0;
+
+  std::ostringstream Out, Log;
+  ServerOptions BootOpts;
+  BootOpts.Threads = 1;
+  BootOpts.JournalPath = JPath;
+  BootOpts.QuarantineDir = Opts.QuarantineDir;
+  BootOpts.Cache = cacheOptions(Opts);
+  Server Boot(BootOpts, Out, Log);
+  unsigned Quarantined = Boot.recover();
+  Boot.finish();
+  ServerStats BS = Boot.stats();
+  if (Quarantined != InFlight) {
+    ++Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: %s: journal held %llu in-flight begins but "
+                 "reboot quarantined %u\n",
+                 Tag.c_str(), static_cast<unsigned long long>(InFlight),
+                 Quarantined);
+  }
+  if (BS.QuarantineFailures) {
+    ++Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: %s: reboot dropped %llu poisons it could "
+                 "not quarantine\n",
+                 Tag.c_str(),
+                 static_cast<unsigned long long>(BS.QuarantineFailures));
+  }
+  std::error_code Ec;
+  if (std::filesystem::exists(JPath + ".rotate", Ec)) {
+    ++Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: %s: stale rotation temp survived the "
+                 "reboot's open()\n",
+                 Tag.c_str());
+  }
+  return Violations;
+}
+
+int runDiskChaos(const SoakOptions &CliOpts) {
+  SoakOptions Opts = CliOpts;
+  Opts.Programs = std::min(Opts.Programs, 6u);
+  // Keyed off the quarantine dir so concurrent ctest variants (the
+  // 1-shard and 4-shard runs share a working directory) never collide.
+  const std::string JPath = Opts.QuarantineDir + ".journal.jsonl";
+  std::error_code Ec;
+  std::filesystem::remove_all(Opts.QuarantineDir, Ec);
+
+  // A small fixed script, reserved to --requests for CI scaling: the
+  // per-ordinal repetition is what costs, not the script length.
+  std::vector<SoakProgram> Programs = buildPrograms(Opts);
+  unsigned ScriptN = static_cast<unsigned>(
+      std::max<uint64_t>(8, std::min<uint64_t>(32, Opts.Requests / 50)));
+  std::ostringstream Script;
+  uint64_t Slices = 0;
+  for (unsigned I = 0; I != ScriptN; ++I) {
+    const SoakProgram &P = Programs[I % Programs.size()];
+    ServiceRequest R;
+    R.Id = "d" + std::to_string(I);
+    R.Program = P.Source;
+    const Criterion &C = P.Criteria[I % P.Criteria.size()];
+    R.Line = C.Line;
+    R.Vars = C.Vars;
+    R.Algorithm = AllAlgorithms[I % (sizeof(AllAlgorithms) /
+                                     sizeof(AllAlgorithms[0]))];
+    Script << R.toJson().str() << "\n";
+    ++Slices;
+  }
+  std::string Input = Script.str();
+
+  uint64_t Violations = 0, FaultRuns = 0, InjectedRuns = 0;
+
+  const JournalFault Kinds[] = {
+      JournalFault::ShortWrite,        JournalFault::WriteEio,
+      JournalFault::WriteEnospc,       JournalFault::FlushFail,
+      JournalFault::FsyncFail,         JournalFault::CrashBeforeRename,
+      JournalFault::CrashAfterRename,
+  };
+  constexpr size_t NKinds = sizeof(Kinds) / sizeof(Kinds[0]);
+
+  // One clean pass sizes each kind's ordinal space.
+  uint64_t Totals[NKinds] = {};
+  {
+    std::filesystem::remove(JPath, Ec);
+    FaultyJournalIo Io;
+    DiskRun R =
+        serveDiskChaos(Opts, Input, JPath, &Io, JournalFailure::Shed);
+    Violations += R.A.Violations;
+    Violations += diskExactlyOnce(R.A, Slices, "counting pass");
+    for (size_t K = 0; K != NKinds; ++K)
+      Totals[K] = Io.observed(Kinds[K]);
+  }
+
+  for (size_t K = 0; K != NKinds; ++K) {
+    uint64_t Total = Totals[K];
+    if (!Total) {
+      ++Violations;
+      std::fprintf(stderr,
+                   "VIOLATION: the clean pass performed no %s I/O — the "
+                   "sweep proved nothing for that fault\n",
+                   journalFaultName(Kinds[K]));
+      continue;
+    }
+    // Sample ~10 ordinals per kind; ordinal 1 and the last always run.
+    uint64_t Stride = std::max<uint64_t>(1, Total / 10);
+    for (uint64_t At = 1; At <= Total; At += Stride) {
+      ++FaultRuns;
+      std::string Tag = std::string(journalFaultName(Kinds[K])) + "@" +
+                        std::to_string(At);
+      std::filesystem::remove(JPath, Ec);
+      std::filesystem::remove(JPath + ".rotate", Ec);
+      std::filesystem::remove(JPath + ".corrupt", Ec);
+      std::filesystem::remove_all(Opts.QuarantineDir, Ec);
+
+      FaultyJournalIo Io;
+      Io.arm(Kinds[K], At);
+      DiskRun R =
+          serveDiskChaos(Opts, Input, JPath, &Io, JournalFailure::Shed);
+      if (Io.injected())
+        ++InjectedRuns;
+      Violations += R.A.Violations;
+      Violations += diskExactlyOnce(R.A, Slices, Tag);
+      Violations += auditDiskState(Opts, JPath, Tag);
+      if (Opts.Verbose)
+        std::fprintf(stderr,
+                     "disk chaos %s: injected=%d lost=%d shed=%llu\n",
+                     Tag.c_str(), Io.injected() ? 1 : 0,
+                     R.JournalLost ? 1 : 0,
+                     static_cast<unsigned long long>(
+                         R.A.ByStatus.count("shed")
+                             ? R.A.ByStatus.at("shed")
+                             : 0));
+    }
+  }
+  if (FaultRuns && !InjectedRuns) {
+    ++Violations;
+    std::fprintf(stderr, "VIOLATION: no armed fault ever fired — the "
+                         "sweep proved nothing\n");
+  }
+
+  // The --journal-failure policy triad under a disk that stays dead
+  // (every write fails, so the very first append latches the loss).
+  {
+    std::filesystem::remove(JPath, Ec);
+    FaultyJournalIo Io;
+    Io.armEvery(JournalFault::WriteEio, 1);
+    DiskRun R =
+        serveDiskChaos(Opts, Input, JPath, &Io, JournalFailure::Shed);
+    Violations += R.A.Violations;
+    Violations += diskExactlyOnce(R.A, Slices, "policy shed");
+    if (!R.JournalLost || !R.Final.JournalLost) {
+      ++Violations;
+      std::fprintf(stderr, "VIOLATION: policy shed: dead disk never "
+                           "latched journal_lost\n");
+    }
+    ServerStats Final = R.Final;
+    if (Final.ShedByCause["journal-failed"] != Slices) {
+      ++Violations;
+      std::fprintf(stderr,
+                   "VIOLATION: policy shed: %llu of %llu requests refused "
+                   "as journal-failed — the rest were served with no "
+                   "journal record\n",
+                   static_cast<unsigned long long>(
+                       Final.ShedByCause["journal-failed"]),
+                   static_cast<unsigned long long>(Slices));
+    }
+  }
+  {
+    std::filesystem::remove(JPath, Ec);
+    FaultyJournalIo Io;
+    Io.armEvery(JournalFault::WriteEio, 1);
+    DiskRun R =
+        serveDiskChaos(Opts, Input, JPath, &Io, JournalFailure::Degrade);
+    Violations += R.A.Violations;
+    Violations += diskExactlyOnce(R.A, Slices, "policy degrade");
+    if (!R.JournalLost || !R.Final.JournalLost) {
+      ++Violations;
+      std::fprintf(stderr, "VIOLATION: policy degrade: dead disk never "
+                           "latched journal_lost\n");
+    }
+    if (R.A.ByStatus.count("shed")) {
+      ++Violations;
+      std::fprintf(stderr, "VIOLATION: policy degrade: requests were "
+                           "shed instead of served\n");
+    }
+  }
+  {
+    std::filesystem::remove(JPath, Ec);
+    FaultyJournalIo Io;
+    Io.armEvery(JournalFault::WriteEio, 1);
+    std::atomic<bool> Stop{false};
+    DiskRun R = serveDiskChaos(Opts, Input, JPath, &Io,
+                               JournalFailure::Abort, &Stop);
+    Violations += R.A.Violations;
+    if (!R.Aborted || !Stop.load(std::memory_order_relaxed)) {
+      ++Violations;
+      std::fprintf(stderr, "VIOLATION: policy abort: dead disk never "
+                           "tripped the abort flag\n");
+    }
+    for (const auto &[Id, N] : R.A.SliceResponses)
+      if (N != 1) {
+        ++Violations;
+        std::fprintf(stderr,
+                     "VIOLATION: policy abort: id %s answered %llu "
+                     "times\n",
+                     Id.c_str(), static_cast<unsigned long long>(N));
+      }
+    if (R.A.SliceResponses.empty() ||
+        R.A.SliceResponses.size() >= Slices) {
+      ++Violations;
+      std::fprintf(stderr,
+                   "VIOLATION: policy abort: %zu of %llu requests "
+                   "answered — abort must answer the failing request and "
+                   "then stop accepting\n",
+                   R.A.SliceResponses.size(),
+                   static_cast<unsigned long long>(Slices));
+    }
+  }
+
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  // The sharded transport pass: journal healthy at first, then the
+  // disk dies under live TCP load (--shards reactor shards). Degrade
+  // policy: every request still answered exactly once, and {"health"}
+  // must honestly report the loss.
+  {
+    std::filesystem::remove(JPath, Ec);
+    FaultyJournalIo Io;
+    ServerOptions SOpts;
+    SOpts.Threads = Opts.Threads;
+    SOpts.JournalPath = JPath;
+    SOpts.JournalRotateBytes = 8192;
+    SOpts.QuarantineDir = Opts.QuarantineDir;
+    SOpts.JournalFailurePolicy = JournalFailure::Degrade;
+    SOpts.JournalIoHook = &Io;
+    SOpts.Cache = cacheOptions(Opts);
+    std::ostringstream Unused, Log;
+    Server S(SOpts, Unused, Log);
+    S.recover();
+    TcpServerOptions TOpts;
+    TOpts.Shards = Opts.Shards;
+    TcpServer T(S, TOpts, Log);
+    std::string Err;
+    if (!T.start(Err)) {
+      ++Violations;
+      std::fprintf(stderr, "VIOLATION: disk chaos TCP pass cannot "
+                           "listen: %s\n",
+                   Err.c_str());
+    } else {
+      std::thread Loop([&] { T.run(); });
+      uint16_t Port = T.port();
+
+      uint64_t NetReq = std::min<uint64_t>(Opts.Requests, 400);
+      unsigned NClients = Opts.NetClients ? Opts.NetClients : 1;
+      std::mutex AuditM;
+      std::vector<std::string> Responses;
+      uint64_t Lost = 0;
+      std::vector<std::thread> Clients;
+      for (unsigned CI = 0; CI != NClients; ++CI) {
+        Clients.emplace_back([&, CI] {
+          ClientOptions CliOpt;
+          CliOpt.Port = Port;
+          CliOpt.MaxAttempts = 8;
+          CliOpt.ResponseTimeoutMs = 60000;
+          CliOpt.JitterSeed = Opts.Seed + CI + 1;
+          ClientConnection Conn(CliOpt);
+          std::vector<std::string> Local;
+          uint64_t LocalLost = 0;
+          for (uint64_t I = CI; I < NetReq; I += NClients) {
+            const SoakProgram &P = Programs[I % Programs.size()];
+            ServiceRequest R;
+            R.Id = "t" + std::to_string(I);
+            R.Program = P.Source;
+            const Criterion &C = P.Criteria[I % P.Criteria.size()];
+            R.Line = C.Line;
+            R.Vars = C.Vars;
+            ClientResult Res = Conn.request(R.toJson().str());
+            if (!Res.Ok) {
+              ++LocalLost;
+              std::lock_guard<std::mutex> Lock(AuditM);
+              std::fprintf(stderr,
+                           "VIOLATION: request lost under disk chaos "
+                           "(%s)\n",
+                           Res.TransportError.c_str());
+            } else {
+              Local.push_back(std::move(Res.Response));
+            }
+          }
+          std::lock_guard<std::mutex> Lock(AuditM);
+          for (auto &L : Local)
+            Responses.push_back(std::move(L));
+          Lost += LocalLost;
+        });
+      }
+
+      // Let a few records land cleanly, then kill the disk under load.
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      Io.armEvery(JournalFault::FsyncFail, 1);
+      for (auto &C : Clients)
+        C.join();
+
+      // The stream may have drained before the armed fault ever fired;
+      // force appends until it does, so the health assertion below is
+      // never vacuous.
+      {
+        ClientOptions CliOpt;
+        CliOpt.Port = Port;
+        CliOpt.MaxAttempts = 8;
+        ClientConnection Conn(CliOpt);
+        for (int I = 0; I != 50 && !Io.injected(); ++I) {
+          ServiceRequest R;
+          R.Id = "tx" + std::to_string(I);
+          R.Program = "read(a);\nwrite(a);\n";
+          R.Line = 2;
+          R.Vars = {"a"};
+          (void)Conn.request(R.toJson().str());
+        }
+        ClientResult Health = Conn.request("{\"health\": true}");
+        bool Degraded =
+            Health.Ok &&
+            Health.Response.find("\"degraded\":true") != std::string::npos &&
+            Health.Response.find("\"journal\":\"lost\"") !=
+                std::string::npos;
+        if (!Degraded) {
+          ++Violations;
+          std::fprintf(stderr,
+                       "VIOLATION: journal died under load but health "
+                       "says: %s\n",
+                       Health.Ok ? Health.Response.c_str()
+                                 : Health.TransportError.c_str());
+        }
+      }
+
+      T.requestStop();
+      Loop.join();
+      S.finish();
+      if (!S.journalLost()) {
+        ++Violations;
+        std::fprintf(stderr, "VIOLATION: TCP pass never latched "
+                             "journal_lost despite a dead fsync\n");
+      }
+
+      Audit A;
+      for (const std::string &L : Responses)
+        auditLine(L, A);
+      Violations += A.Violations + Lost;
+      Violations += diskExactlyOnce(A, NetReq, "tcp degrade pass");
+      if (A.ByStatus.count("shed")) {
+        ++Violations;
+        std::fprintf(stderr, "VIOLATION: tcp degrade pass shed requests "
+                             "instead of serving\n");
+      }
+    }
+  }
+#endif
+
+  std::filesystem::remove(JPath, Ec);
+  std::filesystem::remove(JPath + ".rotate", Ec);
+  std::filesystem::remove(JPath + ".corrupt", Ec);
+
+  std::printf("jslice_soak: disk chaos — %llu faulted serves over %llu "
+              "fault kinds (%llu injected), %u-request script, %llu "
+              "violations\n",
+              static_cast<unsigned long long>(FaultRuns),
+              static_cast<unsigned long long>(NKinds),
+              static_cast<unsigned long long>(InjectedRuns), ScriptN,
+              static_cast<unsigned long long>(Violations));
+  return Violations ? 1 : 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -2347,6 +2833,8 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--crash-matrix") {
       Opts.CrashMatrix = true;
+    } else if (Arg == "--disk-chaos") {
+      Opts.DiskChaos = true;
     } else if (Arg == "--upgrade-matrix") {
       Opts.UpgradeMatrix = true;
     } else if (Arg == "--bench") {
@@ -2363,6 +2851,8 @@ int main(int argc, char **argv) {
 
   if (Opts.AuditSeeds)
     return runAuditSweep(Opts);
+  if (Opts.DiskChaos)
+    return runDiskChaos(Opts);
   if (Opts.UpgradeMatrix)
     return runUpgradeMatrix(Opts);
   if (Opts.Net)

@@ -22,7 +22,8 @@
 ///                 [--dialect structured|goto|both] [--stmts N]
 ///                 [--max-criteria N] [--trials N] [--fault-stride N]
 ///                 [--no-batch-check] [--replay-journal FILE]
-///                 [--corpus DIR] [--out DIR] [--verbose]
+///                 [--verify-journal FILE] [--corpus DIR] [--out DIR]
+///                 [--verbose]
 ///
 ///   --seeds A..B     generator seed range, inclusive (default 1..50;
 ///                    a bare N means 1..N)
@@ -43,6 +44,16 @@
 ///                    flight in FILE (its write-ahead journal) through
 ///                    the differential triage + ddmin reducer — the
 ///                    poison-quarantine-to-root-cause path
+///   --verify-journal FILE
+///                    scrub mode: verify every record checksum in FILE
+///                    (see Journal.h's framing) and report records,
+///                    legacy (pre-checksum) records, in-flight begins,
+///                    sequence regressions, and whether the file ends in
+///                    a clean shutdown, a torn tail, or mid-file
+///                    corruption; runs nothing else. Exit 0 when every
+///                    record verifies (a torn tail — the expected
+///                    kill -9 residue — is reported but still clean),
+///                    1 on mid-file corruption or a sequence regression
 ///   --corpus DIR     also push every file under DIR through the
 ///                    pipeline (the checked-in fuzz seeds)
 ///   --out DIR        where minimized repros are written
@@ -91,6 +102,7 @@ struct StressOptions {
   uint64_t FaultStride = 0;
   bool BatchCheck = true;
   std::string ReplayJournal;
+  std::string VerifyJournal;
   std::string CorpusDir;
   std::string OutDir = "stress-repros";
   bool Verbose = false;
@@ -141,7 +153,9 @@ int usage() {
       "                     [--max-criteria N] [--trials N] "
       "[--fault-stride N]\n"
       "                     [--no-batch-check] [--replay-journal FILE]\n"
-      "                     [--corpus DIR] [--out DIR] [--verbose]\n");
+      "                     [--verify-journal FILE] [--corpus DIR] "
+      "[--out DIR]\n"
+      "                     [--verbose]\n");
   return 2;
 }
 
@@ -631,6 +645,13 @@ int main(int argc, char **argv) {
         return usage();
       }
       Opts.ReplayJournal = *Value;
+    } else if (Arg == "--verify-journal") {
+      std::optional<std::string> Value = NextValue();
+      if (!Value) {
+        std::fprintf(stderr, "error: --verify-journal requires a file\n");
+        return usage();
+      }
+      Opts.VerifyJournal = *Value;
     } else if (Arg == "--corpus") {
       std::optional<std::string> Value = NextValue();
       if (!Value) {
@@ -653,6 +674,43 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return usage();
     }
+  }
+
+  // Scrub mode: verify the journal's record checksums and classify its
+  // ending, nothing else. A torn tail is the normal residue of a kill
+  // -9 mid-append (recovery truncates it); mid-file corruption means
+  // the disk or a foreign writer damaged records recovery depends on.
+  if (!Opts.VerifyJournal.empty()) {
+    JournalScan Scan = scanJournalDetailed(Opts.VerifyJournal);
+    if (!Scan.Exists) {
+      std::fprintf(stderr, "error: cannot read journal %s\n",
+                   Opts.VerifyJournal.c_str());
+      return 2;
+    }
+    const char *Ending = Scan.CleanShutdown ? "clean shutdown"
+                         : Scan.TornTail    ? "torn tail"
+                                            : "no shutdown record";
+    std::printf("jslice_stress: %s — %llu records (%llu legacy), "
+                "%llu in flight, ends: %s\n",
+                Opts.VerifyJournal.c_str(),
+                static_cast<unsigned long long>(Scan.Records),
+                static_cast<unsigned long long>(Scan.LegacyRecords),
+                static_cast<unsigned long long>(Scan.InFlight.size()),
+                Ending);
+    if (Scan.CorruptRecords || Scan.SeqRegressions) {
+      std::printf("               CORRUPT: %llu damaged record%s mid-file, "
+                  "%llu sequence regression%s\n",
+                  static_cast<unsigned long long>(Scan.CorruptRecords),
+                  Scan.CorruptRecords == 1 ? "" : "s",
+                  static_cast<unsigned long long>(Scan.SeqRegressions),
+                  Scan.SeqRegressions == 1 ? "" : "s");
+      return 1;
+    }
+    if (Scan.TornTail)
+      std::printf("               torn tail after byte %llu (normal after "
+                  "a crash mid-append; recovery truncates it)\n",
+                  static_cast<unsigned long long>(Scan.GoodBytes));
+    return 0;
   }
 
   Tally Counts;
