@@ -53,10 +53,30 @@ void ClientConnection::disconnect() {
   RecvBuf.clear();
 }
 
+std::string ClientConnection::currentEndpoint() const {
+  if (Opts.Endpoints.empty())
+    return Opts.Host + ":" + std::to_string(Opts.Port);
+  return Opts.Endpoints[EndpointIdx % Opts.Endpoints.size()];
+}
+
+void ClientConnection::rotateEndpoint() {
+  if (Opts.Endpoints.size() < 2)
+    return;
+  EndpointIdx = (EndpointIdx + 1) % Opts.Endpoints.size();
+  ++Failovers;
+}
+
 bool ClientConnection::ensureConnected(std::string &Err) {
   if (Fd >= 0)
     return true;
-  Fd = connectTcp(Opts.Host, Opts.Port, Opts.ConnectTimeoutMs, Err);
+  std::string Host = Opts.Host;
+  uint16_t Port = Opts.Port;
+  if (!Opts.Endpoints.empty() &&
+      !parseHostPort(currentEndpoint(), Host, Port)) {
+    Err = "bad endpoint: " + currentEndpoint();
+    return false;
+  }
+  Fd = connectTcp(Host, Port, Opts.ConnectTimeoutMs, Err);
   if (Fd < 0)
     return false;
   RecvBuf.clear();
@@ -67,7 +87,7 @@ bool ClientConnection::ensureConnected(std::string &Err) {
   return true;
 }
 
-void ClientConnection::backoff(unsigned Attempt) {
+void ClientConnection::backoff(unsigned Attempt, uint64_t MaxSleepMs) {
   uint64_t Shift = Attempt > 10 ? 10 : Attempt;
   uint64_t Delay = Opts.BackoffBaseMs << (Shift ? Shift - 1 : 0);
   if (Opts.BackoffCapMs && Delay > Opts.BackoffCapMs)
@@ -79,6 +99,8 @@ void ClientConnection::backoff(unsigned Attempt) {
   JitterState ^= JitterState << 17;
   if (Delay)
     Delay += JitterState % (Delay / 2 + 1);
+  if (Delay > MaxSleepMs)
+    Delay = MaxSleepMs; // Never sleep past the retry budget.
   if (Delay)
     std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
 }
@@ -179,15 +201,34 @@ ClientResult ClientConnection::requestOnce(const std::string &Line) {
 
 ClientResult ClientConnection::request(const std::string &Line) {
   ClientResult R;
+  BudgetExhausted = false;
   unsigned Max = Opts.MaxAttempts ? Opts.MaxAttempts : 1;
+  Clock::time_point Start = Clock::now();
+  // Milliseconds of retry budget left; UINT64_MAX = unbounded.
+  auto BudgetLeft = [&]() -> uint64_t {
+    if (!Opts.RetryBudgetMs)
+      return UINT64_MAX;
+    uint64_t Spent = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                              Start)
+            .count());
+    return Spent >= Opts.RetryBudgetMs ? 0 : Opts.RetryBudgetMs - Spent;
+  };
   for (unsigned A = 1; A <= Max; ++A) {
     R.Attempts = A;
     std::string Err, Response;
     if (attempt(Line, Response, Err)) {
       if (isRetriableInFlight(Response) && A < Max) {
+        uint64_t Left = BudgetLeft();
+        if (!Left) {
+          BudgetExhausted = true;
+          R.Ok = true; // The in-flight verdict is a real response.
+          R.Response = Response;
+          return R;
+        }
         // Our earlier submission is still being served; give it time
         // and resubmit to collect its verdict.
-        backoff(A);
+        backoff(A, Left);
         continue;
       }
       R.Ok = true;
@@ -195,8 +236,17 @@ ClientResult ClientConnection::request(const std::string &Line) {
       return R;
     }
     R.TransportError = Err;
+    // A transport failure may be one dead endpoint, not a dead
+    // service: rotate to the next endpoint before retrying.
+    rotateEndpoint();
+    uint64_t Left = BudgetLeft();
+    if (!Left) {
+      BudgetExhausted = true;
+      R.TransportError += " (retry budget exhausted)";
+      return R;
+    }
     if (A < Max)
-      backoff(A);
+      backoff(A, Left);
   }
   return R;
 }

@@ -36,12 +36,23 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace jslice {
 
 struct ClientOptions {
   std::string Host = "127.0.0.1";
   uint16_t Port = 0;
+
+  /// Failover set: "host:port" endpoints tried in order. When
+  /// non-empty this overrides Host/Port; a transport failure rotates
+  /// to the next endpoint before the retry reconnects, so a request
+  /// that dies with the primary is resubmitted to the standby.
+  /// Resubmission across endpoints is idempotent for the same reason
+  /// same-endpoint retries are: the server dedups crashed work by the
+  /// journal's content key, and slicing is a pure function of the
+  /// request (DESIGN.md, "Replication & failover").
+  std::vector<std::string> Endpoints;
 
   int ConnectTimeoutMs = 5000;
   /// Deadline for the full response line, measured from the moment the
@@ -54,6 +65,13 @@ struct ClientOptions {
   /// plus up to half that again in jitter.
   uint64_t BackoffBaseMs = 50;
   uint64_t BackoffCapMs = 2000;
+  /// Total retry wall-clock budget per request() call, in
+  /// milliseconds: once elapsed time crosses it no further attempt
+  /// starts and the sleep before a retry is clipped to what remains.
+  /// A dead endpoint then costs a bounded, deterministic failure
+  /// instead of the full backoff ladder. 0 = unbounded (the historical
+  /// behavior).
+  uint64_t RetryBudgetMs = 0;
   /// Seed for the jitter PRNG; 0 = derived from this object's address
   /// (distinct across concurrent clients, which is all jitter needs).
   uint64_t JitterSeed = 0;
@@ -91,19 +109,33 @@ public:
   /// Total reconnects performed across the connection's lifetime.
   uint64_t reconnects() const { return Reconnects; }
 
+  /// Endpoint failovers performed (rotations through Opts.Endpoints).
+  uint64_t failovers() const { return Failovers; }
+
+  /// The "host:port" the next attempt will connect to.
+  std::string currentEndpoint() const;
+
+  /// True when the last request() stopped because RetryBudgetMs ran
+  /// out rather than because attempts were exhausted.
+  bool budgetExhausted() const { return BudgetExhausted; }
+
 private:
   bool ensureConnected(std::string &Err);
   /// One attempt: send + read one line. False = transport failure (the
   /// connection is closed on the way out).
   bool attempt(const std::string &Line, std::string &Response,
                std::string &Err);
-  void backoff(unsigned Attempt);
+  void backoff(unsigned Attempt, uint64_t MaxSleepMs);
+  void rotateEndpoint();
 
   ClientOptions Opts;
   int Fd = -1;
   std::string RecvBuf; ///< Bytes past the last consumed newline.
   bool EverConnected = false;
   uint64_t Reconnects = 0;
+  uint64_t Failovers = 0;
+  size_t EndpointIdx = 0; ///< Index into Opts.Endpoints (when set).
+  bool BudgetExhausted = false;
   uint64_t JitterState;
 };
 

@@ -1,0 +1,124 @@
+//===- net/StandbyTail.h - Replication stream consumer ---------------------===//
+//
+// Part of the jslice project: a reproduction of H. Agrawal, "On Slicing
+// Programs with Jump Statements", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standby side of journal shipping (service/Replication.h): a
+/// background thread that connects to the primary like any client,
+/// sends `{"repl_subscribe": <last applied seq>}`, and tails the
+/// record stream into a local replica journal. Every record frame is
+/// CRC32-verified on the exact bytes the primary journaled — a corrupt
+/// frame is dropped and counted, never applied — and applied through
+/// Journal::appendReplica, which keeps the replica's in-flight index
+/// warm: at promotion the standby recovers from its own journal with
+/// the same quarantine-exactly-the-casualties guarantee a reboot has.
+///
+/// Acks carry the standby's *durable* high-water mark: the tail only
+/// acks a sequence after appendReplica returned (the replica journal's
+/// fsync policy has run), which is what lets the primary's
+/// --repl-ack=sync prove "zero acknowledged-but-lost records" in the
+/// failover matrix. One ack per drained read burst, not per record —
+/// the ack names the highest contiguous applied seq, so batching loses
+/// nothing.
+///
+/// Reconnects are the tail's job: a torn stream (primary restart,
+/// partition, chaos-proxy truncation) backs off and resubscribes from
+/// the last applied sequence. The primary decides resume-vs-snapshot
+/// (hello "snapshot":true means compaction ate the gap; the tail
+/// resets the replica and applies the full stream). The tail never
+/// promotes itself — promotion is the server's decision
+/// (Server::promote), driven by an operator or the watchdog.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSLICE_NET_STANDBYTAIL_H
+#define JSLICE_NET_STANDBYTAIL_H
+
+#include "service/Journal.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace jslice {
+
+struct StandbyTailOptions {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+
+  int ConnectTimeoutMs = 5000;
+  /// Backoff between reconnect attempts: min(Cap, Base << (n-1)).
+  uint64_t ReconnectBaseMs = 100;
+  uint64_t ReconnectCapMs = 2000;
+};
+
+/// Counter snapshot for {"health"} / the failover matrix.
+struct StandbyTailStats {
+  bool Connected = false;
+  uint64_t Connects = 0;       ///< Successful subscribes.
+  uint64_t Disconnects = 0;    ///< Streams torn (EOF, reset, bad frame).
+  uint64_t Snapshots = 0;      ///< Full-snapshot catch-ups applied.
+  uint64_t Applied = 0;        ///< Records durably applied.
+  uint64_t Duplicates = 0;     ///< Records skipped by the seq high-water
+                               ///< mark (catch-up overlap; expected).
+  uint64_t CorruptFrames = 0;  ///< Frames failing CRC/framing; dropped.
+  uint64_t AppliedSeq = 0;     ///< Durable high-water mark (what we ack).
+  uint64_t PrimarySeq = 0;     ///< Primary's last_seq from the newest
+                               ///< hello, advanced by streamed records.
+  uint64_t PrimaryEpoch = 0;   ///< Primary's epoch from the hello.
+};
+
+/// Tails a primary's replication stream into \p Replica. Thread-safe
+/// observers; start()/stop() from one thread.
+class StandbyTail {
+public:
+  StandbyTail(const StandbyTailOptions &Opts, Journal &Replica);
+  ~StandbyTail();
+
+  StandbyTail(const StandbyTail &) = delete;
+  StandbyTail &operator=(const StandbyTail &) = delete;
+
+  /// Spawns the tailing thread. False (with \p Err) only when already
+  /// started — connection failures are retried forever in-thread, a
+  /// standby seeded before its primary is a supported boot order.
+  bool start(std::string &Err);
+
+  /// Stops tailing and joins. Safe to call twice; the destructor calls
+  /// it. After stop() the replica journal is quiescent — promotion can
+  /// recover from it without racing appends.
+  void stop();
+
+  StandbyTailStats stats() const;
+
+  /// Replication lag in records: how far the primary's known sequence
+  /// runs ahead of what this standby has durably applied.
+  uint64_t lagRecords() const;
+
+private:
+  void tailMain();
+  /// One connected session: subscribe, stream, apply. Returns when the
+  /// stream tears or stop() is requested.
+  void runSession(int Fd);
+  /// Applies one frame line. False = protocol damage (tear the
+  /// stream and resubscribe; never apply a suspect record).
+  bool applyFrame(const std::string &Frame, uint64_t &AckOut);
+
+  StandbyTailOptions Opts;
+  Journal &Replica;
+
+  std::thread Tailer;
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Started{false};
+
+  mutable std::mutex M;
+  StandbyTailStats Stats;
+};
+
+} // namespace jslice
+
+#endif // JSLICE_NET_STANDBYTAIL_H

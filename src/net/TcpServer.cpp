@@ -484,8 +484,15 @@ void TcpServer::dispatchLine(Shard &S, Conn &C, const std::string &Line) {
   S.LinesDispatched.fetch_add(1, std::memory_order_relaxed);
   // Control lines answer synchronously through the sink; slice lines
   // journal + enqueue and answer later from a pool thread. Either way
-  // exactly one response line lands per dispatched line.
-  Srv.serveLine(Line, C.Sink);
+  // exactly one response line lands per dispatched line — except the
+  // one-way replication ack, which serveLine flags by returning false
+  // so the pending slot goes back and a standby's subscriber
+  // connection still reads as idle at drain time.
+  if (!Srv.serveLine(Line, C.Sink)) {
+    std::lock_guard<std::mutex> L(C.Shared->M);
+    if (C.Shared->Pending)
+      --C.Shared->Pending;
+  }
 }
 
 void TcpServer::processInput(Shard &S, Conn &C) {

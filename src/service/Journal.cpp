@@ -96,9 +96,10 @@ std::string crcHex(uint32_t C) {
   return Buf;
 }
 
-/// Minimal record probe: event + id, without materializing requests.
+/// Minimal record probe: event + id (+ epoch stamp when asked), without
+/// materializing requests.
 bool probeRecord(const std::string &Line, std::string &Event,
-                 std::string &Id) {
+                 std::string &Id, uint64_t *EpochOut = nullptr) {
   std::optional<JsonValue> V = JsonValue::parse(Line);
   if (!V || !V->isObject())
     return false;
@@ -108,6 +109,12 @@ bool probeRecord(const std::string &Line, std::string &Event,
   Event = E->asString();
   const JsonValue *I = V->find("id");
   Id = (I && I->isString()) ? I->asString() : "";
+  if (EpochOut) {
+    *EpochOut = 0;
+    const JsonValue *Ep = V->find("epoch");
+    if (Ep && Ep->isNumber() && Ep->asInt() > 0)
+      *EpochOut = static_cast<uint64_t>(Ep->asInt());
+  }
   return true;
 }
 
@@ -176,6 +183,7 @@ bool Journal::open(const std::string &P, uint64_t Rotate, JournalSync S,
   OpenBegins.clear();
   Bytes = 0;
   NextSeq = 1;
+  LastCompactSeq = 0;
   Dirty = false;
   Failed = false;
   SyncBroken = false;
@@ -270,8 +278,10 @@ bool Journal::open(const std::string &P, uint64_t Rotate, JournalSync S,
       if (Seq >= NextSeq)
         NextSeq = Seq + 1;
       std::string Event, Id;
-      if (!probeRecord(Line, Event, Id))
+      uint64_t RecEpoch = 0;
+      if (!probeRecord(Line, Event, Id, &RecEpoch))
         continue;
+      MaxEpoch = std::max(MaxEpoch, RecEpoch);
       if (Event == "begin" && !Id.empty())
         OpenBegins[Id] = OpenBegin{Seq, Line};
       else if (Event == "end")
@@ -313,6 +323,37 @@ void Journal::setGeneration(uint64_t G) {
 uint64_t Journal::generation() const {
   std::lock_guard<std::mutex> Lock(M);
   return Gen;
+}
+
+void Journal::setEpoch(uint64_t E) {
+  std::lock_guard<std::mutex> Lock(M);
+  Epoch = E;
+  MaxEpoch = std::max(MaxEpoch, E);
+}
+
+uint64_t Journal::epoch() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Epoch;
+}
+
+uint64_t Journal::maxEpochSeen() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return MaxEpoch;
+}
+
+uint64_t Journal::lastSeq() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return NextSeq - 1;
+}
+
+uint64_t Journal::lastCompactSeq() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return LastCompactSeq;
+}
+
+void Journal::setTap(Tap T) {
+  std::lock_guard<std::mutex> Lock(M);
+  ShipTap = std::move(T);
 }
 
 void Journal::holdRotation(bool Hold) {
@@ -447,23 +488,30 @@ bool Journal::appendLocked(const std::string &Line) {
   return false;
 }
 
-/// Stamps gen + seq + crc onto \p Rec and appends it. The caller
-/// passes the record without those fields; serialization order is
-/// deterministic, so the crc is computed over the record minus the crc
-/// member itself.
+/// Stamps gen + epoch + seq + crc onto \p Rec and appends it. The
+/// caller passes the record without those fields; serialization order
+/// is deterministic, so the crc is computed over the record minus the
+/// crc member itself. The ship tap fires outside the mutex.
 bool Journal::appendRecord(JsonValue Rec) {
   std::lock_guard<std::mutex> Lock(M);
   if (!File)
     return false;
   if (Gen)
     Rec.set("gen", Gen);
-  Rec.set("seq", NextSeq);
-  ++NextSeq;
+  if (Epoch)
+    Rec.set("epoch", Epoch);
+  uint64_t Seq = NextSeq++;
+  Rec.set("seq", Seq);
   Rec.set("crc", crcHex(journalCrc32(Rec.str())));
-  return appendLocked(Rec.str());
+  std::string Line = Rec.str();
+  if (!appendLocked(Line))
+    return false;
+  if (ShipTap)
+    ShipTap(Line, Seq); // Under the mutex: taps stay in seq order.
+  return true;
 }
 
-bool Journal::begin(const ServiceRequest &R) {
+bool Journal::begin(const ServiceRequest &R, uint64_t *SeqOut) {
   JsonValue Rec = JsonValue::object();
   Rec.set("event", "begin");
   Rec.set("id", R.Id);
@@ -473,12 +521,20 @@ bool Journal::begin(const ServiceRequest &R) {
     return false;
   if (Gen)
     Rec.set("gen", Gen);
+  if (Epoch)
+    Rec.set("epoch", Epoch);
   uint64_t Seq = NextSeq++;
   Rec.set("seq", Seq);
   Rec.set("crc", crcHex(journalCrc32(Rec.str())));
   std::string Line = Rec.str();
   OpenBegins[R.Id] = OpenBegin{Seq, Line};
-  return appendLocked(Line);
+  if (!appendLocked(Line))
+    return false;
+  if (SeqOut)
+    *SeqOut = Seq;
+  if (ShipTap)
+    ShipTap(Line, Seq); // Under the mutex: taps stay in seq order.
+  return true;
 }
 
 bool Journal::end(const std::string &Id, const std::string &Status) {
@@ -492,10 +548,103 @@ bool Journal::end(const std::string &Id, const std::string &Status) {
   OpenBegins.erase(Id);
   if (Gen)
     Rec.set("gen", Gen);
+  if (Epoch)
+    Rec.set("epoch", Epoch);
+  uint64_t Seq = NextSeq++;
+  Rec.set("seq", Seq);
+  Rec.set("crc", crcHex(journalCrc32(Rec.str())));
+  std::string Line = Rec.str();
+  if (!appendLocked(Line))
+    return false;
+  if (ShipTap)
+    ShipTap(Line, Seq); // Under the mutex: taps stay in seq order.
+  return true;
+}
+
+bool Journal::appendReplica(const std::string &Line) {
+  uint64_t Seq = 0;
+  JournalLineCheck C = verifyJournalLine(Line, &Seq);
+  if (C == JournalLineCheck::Corrupt)
+    return false;
+  std::string Event, Id;
+  uint64_t RecEpoch = 0;
+  if (!probeRecord(Line, Event, Id, &RecEpoch))
+    return false;
+  std::lock_guard<std::mutex> Lock(M);
+  if (!File)
+    return false;
+  MaxEpoch = std::max(MaxEpoch, RecEpoch);
+  if (Seq >= NextSeq)
+    NextSeq = Seq + 1;
+  if (Event == "begin" && !Id.empty())
+    OpenBegins[Id] = OpenBegin{Seq, Line};
+  else if (Event == "end")
+    OpenBegins.erase(Id);
+  return appendLocked(Line);
+}
+
+std::vector<std::string>
+Journal::snapshotRecords(uint64_t &ThroughSeq) const {
+  std::lock_guard<std::mutex> Lock(M);
+  ThroughSeq = NextSeq - 1;
+  std::vector<std::string> Records;
+  // Every append fflushes before returning, so a plain read of the
+  // path sees everything appended so far; holding the mutex keeps the
+  // file from rotating or growing underneath the read.
+  std::ifstream In(Path, std::ios::binary);
+  std::string Line;
+  while (In && std::getline(In, Line)) {
+    if (isBlank(Line) ||
+        verifyJournalLine(Line) == JournalLineCheck::Corrupt)
+      continue;
+    Records.push_back(Line);
+  }
+  return Records;
+}
+
+bool Journal::resetForSnapshot() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (!File)
+    return false;
+  Io->close(File);
+  File = nullptr;
+  Io->remove(Path);
+  File = Io->open(Path, "ab");
+  if (!File) {
+    Failed = true;
+    return false;
+  }
+  OpenBegins.clear();
+  Bytes = 0;
+  NextSeq = 1;
+  Dirty = false;
+  return true;
+}
+
+bool Journal::tryReattach() {
+  JsonValue Rec = JsonValue::object();
+  Rec.set("event", "reattach");
+  std::lock_guard<std::mutex> Lock(M);
+  if (!Failed)
+    return File != nullptr;
+  // The latch exists because the last fresh-handle retry failed too;
+  // probe with a real durable append, not just an open() — a disk that
+  // mounts read-only opens fine and still cannot journal.
+  Failed = false;
+  if (!reopenLocked()) {
+    Failed = true;
+    return false;
+  }
+  ++Stats.Reopens;
+  SyncBroken = false;
+  if (Gen)
+    Rec.set("gen", Gen);
+  if (Epoch)
+    Rec.set("epoch", Epoch);
   Rec.set("seq", NextSeq);
   ++NextSeq;
   Rec.set("crc", crcHex(journalCrc32(Rec.str())));
-  return appendLocked(Rec.str());
+  return appendLocked(Rec.str()); // Re-latches Failed on failure.
 }
 
 bool Journal::shutdownRecord() {
@@ -550,6 +699,10 @@ bool Journal::rewriteLocked() {
     return false;
   }
   Io->syncDir(Path); // And the rename itself must survive power loss.
+  // Records below this sequence may now be gone from the file; a
+  // replication subscriber resuming from an older ack needs a fresh
+  // snapshot, not an incremental tail.
+  LastCompactSeq = NextSeq;
   // The old handle now points at an unlinked inode; reopen the new
   // file. A failed reopen latches the failure rather than silently
   // appending into the void.
@@ -632,6 +785,13 @@ JournalScan jslice::scanJournalDetailed(const std::string &Path) {
     const JsonValue *G = V->find("gen");
     if (G && G->isNumber() && G->asInt() > 0)
       Gen = static_cast<uint64_t>(G->asInt());
+    uint64_t Epoch = 0;
+    const JsonValue *Ep = V->find("epoch");
+    if (Ep && Ep->isNumber() && Ep->asInt() > 0)
+      Epoch = static_cast<uint64_t>(Ep->asInt());
+    S.MaxEpoch = std::max(S.MaxEpoch, Epoch);
+    if (C == JournalLineCheck::Valid)
+      S.MaxSeq = std::max(S.MaxSeq, Seq);
     if (C == JournalLineCheck::Valid) {
       // Strict regressions only: a rotation rewrite can legally emit a
       // begin the appender then re-appends, duplicating one sequence
@@ -654,6 +814,7 @@ JournalScan jslice::scanJournalDetailed(const std::string &Path) {
         P.Id = Id->asString();
         P.Request = std::move(R);
         P.Gen = Gen;
+        P.Epoch = Epoch;
         Open[P.Id] = std::move(P);
       }
     } else if (LastEvent == "end") {

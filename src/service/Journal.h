@@ -98,6 +98,7 @@
 
 #include <condition_variable>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -199,6 +200,63 @@ public:
   void setGeneration(uint64_t G);
   uint64_t generation() const;
 
+  /// Stamps every subsequent record with `"epoch":E` — the replication
+  /// fencing token (DESIGN.md, "Replication & failover"). 0 = no stamp,
+  /// matching pre-replication record shape. Monotonic across
+  /// promotions: a resurrected ex-primary still stamps its old epoch,
+  /// which is how a post-mortem scan convicts a split-brain write.
+  void setEpoch(uint64_t E);
+  uint64_t epoch() const;
+
+  /// Highest `"epoch"` stamp seen in replicated records (appendReplica)
+  /// plus our own setEpoch — the base a promotion increments past.
+  uint64_t maxEpochSeen() const;
+
+  /// Sequence number of the last record appended (0 before the first).
+  uint64_t lastSeq() const;
+
+  /// Sequence the last compaction/rotation rewrite happened at: records
+  /// with seq below this may no longer be in the file (a subscriber
+  /// resuming from an older ack needs a fresh snapshot, not a tail).
+  uint64_t lastCompactSeq() const;
+
+  /// Observer called after every successfully appended record with the
+  /// raw line and its sequence number — the replication ship hook.
+  /// Invoked while the journal mutex is held, so invocations arrive in
+  /// strict sequence order (a standby can dedup with a high-water
+  /// mark); the tap must therefore never call back into this journal.
+  /// A null tap detaches.
+  using Tap = std::function<void(const std::string &Line, uint64_t Seq)>;
+  void setTap(Tap T);
+
+  /// Appends a pre-formed record line received from a replication
+  /// stream verbatim: verifies it, folds its begin/end into the
+  /// in-flight index, advances the sequence counter past it, and
+  /// tracks its epoch stamp. Returns false on a corrupt line or when
+  /// the append did not become durable. Does not invoke the tap
+  /// (replicas do not re-ship).
+  bool appendReplica(const std::string &Line);
+
+  /// Snapshot of every verifiable record currently in the file, plus
+  /// the sequence the snapshot is complete through (records with
+  /// higher seq were appended after). The replication hub's catch-up
+  /// source.
+  std::vector<std::string> snapshotRecords(uint64_t &ThroughSeq) const;
+
+  /// Standby side: empties the replica journal before applying a full
+  /// snapshot stream (replaying a compacted file over stale records
+  /// would resurrect completed begins as in-flight). Keeps the epoch/
+  /// generation stamps; resets the sequence counter — the snapshot's
+  /// records re-seed it. False when the file cannot be recreated.
+  bool resetForSnapshot();
+
+  /// Recovery probe for a latched failed() journal: reopens through a
+  /// fresh handle and appends a `reattach` record through the normal
+  /// retry path. True (and failed() clears) when the disk took the
+  /// record durably — the --journal-failure=degrade reopen probe.
+  /// No-op returning true when the journal never failed.
+  bool tryReattach();
+
   /// While held, size-triggered rotation and compact() are suppressed.
   /// Both generations hold during an upgrade overlap window; the
   /// survivor releases once the other process is gone.
@@ -206,7 +264,9 @@ public:
 
   /// Appends the write-ahead record for \p R. False when the record
   /// did not become durable (the journal is disabled or failed).
-  bool begin(const ServiceRequest &R);
+  /// \p SeqOut (when non-null) receives the record's sequence number —
+  /// what a sync-ack replication policy waits on.
+  bool begin(const ServiceRequest &R, uint64_t *SeqOut = nullptr);
 
   /// Appends the completion record for \p Id. Same contract.
   bool end(const std::string &Id, const std::string &Status);
@@ -239,7 +299,11 @@ private:
   uint64_t RotateBytes = 0;
   uint64_t Bytes = 0;
   uint64_t Gen = 0;
+  uint64_t Epoch = 0;
+  uint64_t MaxEpoch = 0;       ///< Highest epoch stamped or replicated.
   uint64_t NextSeq = 1;
+  uint64_t LastCompactSeq = 0; ///< NextSeq when the file was last rewritten.
+  Tap ShipTap;                 ///< Post-append observer (replication).
   bool RotationHeld = false;
   bool Failed = false;     ///< Persistent append failure; latched.
   bool SyncBroken = false; ///< Batch flusher saw a failed fsync; the
@@ -268,6 +332,8 @@ struct PoisonedRequest {
   ServiceRequest Request;
   /// Generation stamp of the begin record (0 for unstamped records).
   uint64_t Gen = 0;
+  /// Epoch stamp of the begin record (0 for unstamped records).
+  uint64_t Epoch = 0;
 };
 
 /// How one journal line verified.
@@ -304,6 +370,10 @@ struct JournalScan {
   bool CleanShutdown = false;  ///< Last verifiable record is the
                                ///< graceful-drain marker.
   bool Exists = false;         ///< The file could be opened at all.
+  uint64_t MaxEpoch = 0;       ///< Highest `"epoch"` fencing stamp seen
+                               ///< (0 when no record carries one).
+  uint64_t MaxSeq = 0;         ///< Highest verified sequence number —
+                               ///< what a replica provably holds.
 };
 
 /// Scans \p Path, verifying every record. Missing or empty files yield

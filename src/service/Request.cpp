@@ -73,6 +73,8 @@ JsonValue ServiceRequest::toJson() const {
       Out.set("budget_ms", BudgetMs);
     if (MaxSteps)
       Out.set("max_steps", MaxSteps);
+    if (MinEpoch)
+      Out.set("min_epoch", MinEpoch);
     break;
   }
   case RequestKind::Cancel:
@@ -86,6 +88,15 @@ JsonValue ServiceRequest::toJson() const {
     break;
   case RequestKind::Upgrade:
     Out.set("upgrade", true);
+    break;
+  case RequestKind::Promote:
+    Out.set("promote", true);
+    break;
+  case RequestKind::ReplSubscribe:
+    Out.set("repl_subscribe", ReplFromSeq);
+    break;
+  case RequestKind::ReplAck:
+    Out.set("repl_ack", AckSeq);
     break;
   }
   return Out;
@@ -125,11 +136,15 @@ bool jslice::requestFromJson(const JsonValue &V, ServiceRequest &Out) {
   }
   Out.BudgetMs = 0;
   Out.MaxSteps = 0;
+  Out.MinEpoch = 0;
   if (const JsonValue *B = V.find("budget_ms"))
     if (!readCount(*B, Out.BudgetMs))
       return false;
   if (const JsonValue *S = V.find("max_steps"))
     if (!readCount(*S, Out.MaxSteps))
+      return false;
+  if (const JsonValue *E = V.find("min_epoch"))
+    if (!readCount(*E, Out.MinEpoch))
       return false;
   return true;
 }
@@ -173,6 +188,29 @@ ParsedRequest jslice::parseRequestLine(const std::string &Line) {
   if (V->find("upgrade")) {
     Out.Ok = true;
     Out.Request.Kind = RequestKind::Upgrade;
+    return Out;
+  }
+  if (V->find("promote")) {
+    Out.Ok = true;
+    Out.Request.Kind = RequestKind::Promote;
+    return Out;
+  }
+  if (const JsonValue *Sub = V->find("repl_subscribe")) {
+    if (!readCount(*Sub, Out.Request.ReplFromSeq)) {
+      Out.Error = "\"repl_subscribe\" must be a non-negative sequence";
+      return Out;
+    }
+    Out.Ok = true;
+    Out.Request.Kind = RequestKind::ReplSubscribe;
+    return Out;
+  }
+  if (const JsonValue *Ack = V->find("repl_ack")) {
+    if (!readCount(*Ack, Out.Request.AckSeq)) {
+      Out.Error = "\"repl_ack\" must be a non-negative sequence";
+      return Out;
+    }
+    Out.Ok = true;
+    Out.Request.Kind = RequestKind::ReplAck;
     return Out;
   }
 

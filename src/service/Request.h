@@ -16,6 +16,17 @@
 ///   {"stats": true}
 ///   {"health": true}
 ///   {"upgrade": true}
+///   {"promote": true}
+///   {"repl_subscribe": 0}
+///   {"repl_ack": 42}
+///
+/// The last three belong to the replication/failover protocol
+/// (DESIGN.md, "Replication & failover"): `promote` turns a warm
+/// standby into the primary under a fresh fencing epoch;
+/// `repl_subscribe` turns the connection into a journal-record stream
+/// resuming past the given sequence; `repl_ack` reports the standby's
+/// durable high-water mark. Slice requests may carry `"min_epoch"`: a
+/// server whose epoch is lower sheds the request ("fenced").
 ///
 /// and one JSON response line per request. Response `status` mirrors
 /// the library's DiagKind taxonomy plus the service-level outcomes:
@@ -46,7 +57,10 @@
 ///                      draining for shutdown, or the write-ahead
 ///                      journal failed persistently under
 ///                      --journal-failure=shed|abort ("journal-failed"
-///                      in the shed_by_cause stats breakdown)
+///                      in the shed_by_cause stats breakdown), the
+///                      server is an unpromoted standby ("standby"),
+///                      or the request's min_epoch outranks the
+///                      server's epoch ("fenced")
 ///
 //===----------------------------------------------------------------------===//
 
@@ -64,11 +78,14 @@ namespace jslice {
 
 /// What one parsed request line asks for.
 enum class RequestKind {
-  Slice,   ///< Analyze + slice one (program, criterion).
-  Cancel,  ///< Cancel an earlier slice request by id.
-  Stats,   ///< Full snapshot: counters, tier histogram, latencies.
-  Health,  ///< Lock-free liveness/readiness probe (LB-friendly).
-  Upgrade, ///< Request a zero-downtime generation handoff.
+  Slice,         ///< Analyze + slice one (program, criterion).
+  Cancel,        ///< Cancel an earlier slice request by id.
+  Stats,         ///< Full snapshot: counters, tier histogram, latencies.
+  Health,        ///< Lock-free liveness/readiness probe (LB-friendly).
+  Upgrade,       ///< Request a zero-downtime generation handoff.
+  Promote,       ///< Promote a warm standby to primary (fenced by epoch).
+  ReplSubscribe, ///< Standby: stream journal records from a sequence.
+  ReplAck,       ///< Standby: records durable through this sequence.
 };
 
 /// One parsed request.
@@ -83,7 +100,15 @@ struct ServiceRequest {
   uint64_t BudgetMs = 0; ///< 0 = server default deadline.
   uint64_t MaxSteps = 0; ///< 0 = server default step budget.
 
+  /// Slice: fencing token. A server whose replication epoch is below
+  /// this sheds the request ("fenced") — how a client that has seen a
+  /// promotion keeps a resurrected ex-primary from double-serving.
+  uint64_t MinEpoch = 0;
+
   std::string CancelTarget; ///< Cancel: the id to stop.
+
+  uint64_t ReplFromSeq = 0; ///< ReplSubscribe: resume past this seq.
+  uint64_t AckSeq = 0;      ///< ReplAck: durable through this seq.
 
   /// Content key for poison matching: identical program + criterion +
   /// algorithm hash to the same key regardless of id, so a crashing

@@ -56,6 +56,22 @@ JsonValue ServerStats::toJson() const {
   Out.set("latency_p95_ms", P95Ms);
   if (Generation)
     Out.set("generation", Generation);
+  if (Epoch)
+    Out.set("epoch", Epoch);
+  if (Standby)
+    Out.set("standby", true);
+  {
+    JsonValue R = JsonValue::object();
+    R.set("shipped", Repl.Shipped);
+    R.set("subscribes", Repl.Subscribes);
+    R.set("snapshots", Repl.Snapshots);
+    R.set("resumes", Repl.Resumes);
+    R.set("sync_waits", Repl.SyncWaits);
+    R.set("sync_timeouts", Repl.SyncTimeouts);
+    R.set("acked_seq", ReplAckedSeq);
+    R.set("last_shipped_seq", ReplLastShippedSeq);
+    Out.set("replication", std::move(R));
+  }
   Out.set("uptime_ms", UptimeMs);
   Out.set("rss_bytes", RssBytes);
   if (MaxRssBytes) {
@@ -96,6 +112,8 @@ Server::Server(const ServerOptions &Opts, std::ostream &Out, std::ostream &Log)
       }),
       StartTime(std::chrono::steady_clock::now()),
       Pool(Opts.Threads ? Opts.Threads : BatchSlicer::defaultThreads()) {
+  StandbyMode.store(Opts.Standby, std::memory_order_relaxed);
+  EpochA.store(Opts.Epoch, std::memory_order_relaxed);
   if (!Opts.JournalPath.empty()) {
     Wal.setIo(Opts.JournalIoHook);
     // No on-disk repair while a predecessor generation may still be
@@ -109,6 +127,16 @@ Server::Server(const ServerOptions &Opts, std::ostream &Out, std::ostream &Log)
       noteJournalFailure();
     } else {
       Wal.setGeneration(Opts.Generation);
+      // Fencing epoch: a restarting primary *resumes* its on-disk
+      // epoch (never bumps it — only promotion does, which is what
+      // lets a promoted standby outrank a resurrected ex-primary
+      // forever). A standby stays at 0 until promote().
+      uint64_t E = Opts.Epoch;
+      if (!E && !Opts.Standby)
+        E = std::max<uint64_t>(Wal.maxEpochSeen(), 1);
+      Wal.setEpoch(E);
+      EpochA.store(E, std::memory_order_relaxed);
+      Repl = std::make_unique<ReplicationHub>(Wal, Opts.ReplAck);
       JournalCounters JC = Wal.counters();
       if (JC.TornTails)
         Log << "jslice_serve: journal: truncated a torn tail record "
@@ -302,12 +330,12 @@ void Server::refuseOversizedLine(const ResponseSink &Sink) {
   recordOutcome(Resp.Status, "", false, -1, 0, "line-cap");
 }
 
-void Server::serveLine(const std::string &Line, ResponseSink Sink) {
+bool Server::serveLine(const std::string &Line, ResponseSink Sink) {
   if (Line.empty() || Line.find_first_not_of(" \t\r") == std::string::npos)
-    return;
+    return true;
   if (Opts.MaxLineBytes && Line.size() > Opts.MaxLineBytes) {
     refuseOversizedLine(Sink);
-    return;
+    return true;
   }
   ParsedRequest P = parseRequestLine(Line);
 
@@ -317,7 +345,7 @@ void Server::serveLine(const std::string &Line, ResponseSink Sink) {
   // absent from the Received counter.
   if (P.Ok && P.Request.Kind == RequestKind::Health) {
     Sink(healthJson().str());
-    return;
+    return true;
   }
 
   {
@@ -332,7 +360,7 @@ void Server::serveLine(const std::string &Line, ResponseSink Sink) {
     R.Error = P.Error;
     writeResponse(R, Sink);
     recordOutcome(R.Status, "", false, -1, 0);
-    return;
+    return true;
   }
 
   switch (P.Request.Kind) {
@@ -365,15 +393,76 @@ void Server::serveLine(const std::string &Line, ResponseSink Sink) {
   case RequestKind::Cancel:
     handleCancel(P.Request, Sink);
     break;
+  case RequestKind::Promote: {
+    bool WasStandby = standby();
+    unsigned Quarantined = 0;
+    uint64_t E = promote(&Quarantined);
+    JsonValue V = JsonValue::object();
+    V.set("status", "ok");
+    V.set("promoted", WasStandby);
+    V.set("epoch", E);
+    if (WasStandby)
+      V.set("quarantined", static_cast<uint64_t>(Quarantined));
+    else
+      V.set("note", "already primary");
+    Sink(V.str());
+    break;
+  }
+  case RequestKind::ReplSubscribe: {
+    if (!Repl) {
+      JsonValue V = JsonValue::object();
+      V.set("status", "error");
+      V.set("error", "replication requires a journal (--journal)");
+      Sink(V.str());
+      break;
+    }
+    // The sink becomes a long-lived record stream; the hello frame the
+    // hub writes during catch-up is this line's response. TCP sinks
+    // hold their connection state by shared_ptr, so a standby that
+    // disconnects just swallows late frames until eviction.
+    Repl->subscribe(P.Request.ReplFromSeq, Sink);
+    break;
+  }
+  case RequestKind::ReplAck:
+    // One-way by design: an ack response would interleave with record
+    // frames on the replication connection. Tell the transport no
+    // response is coming so its pending-response count stays honest.
+    if (Repl)
+      Repl->ack(P.Request.AckSeq);
+    return false;
   case RequestKind::Slice: {
     ServiceRequest R = std::move(P.Request);
 
     // Overload control first: a shed must be cheap — no registry
     // entry, no journal record, no worker.
+    if (StandbyMode.load(std::memory_order_relaxed)) {
+      shedResponse(R,
+                   "standby: warm but not serving until promoted "
+                   "(failover target)",
+                   "standby", Sink);
+      break;
+    }
+    if (R.MinEpoch &&
+        EpochA.load(std::memory_order_relaxed) < R.MinEpoch) {
+      // The client has already failed over to a higher-epoch
+      // successor; a resurrected ex-primary must refuse, not
+      // double-serve (split brain).
+      shedResponse(R,
+                   "fenced: server epoch " + std::to_string(epoch()) +
+                       " is below the request's min_epoch " +
+                       std::to_string(R.MinEpoch),
+                   "fenced", Sink);
+      break;
+    }
     if (Draining.load(std::memory_order_relaxed)) {
       shedResponse(R, "server draining for shutdown", "draining", Sink);
       break;
     }
+    if (!Opts.JournalPath.empty() &&
+        JournalLost.load(std::memory_order_relaxed) &&
+        Opts.JournalFailurePolicy == JournalFailure::Degrade &&
+        Opts.JournalReattachIntervalMs)
+      maybeReattachJournal();
     if (!Opts.JournalPath.empty() &&
         JournalLost.load(std::memory_order_relaxed) &&
         Opts.JournalFailurePolicy != JournalFailure::Degrade) {
@@ -456,8 +545,10 @@ void Server::serveLine(const std::string &Line, ResponseSink Sink) {
     // Write-ahead: the begin record must be durable before any
     // slicing work can crash the process. An append failure here is
     // the disk speaking; the --journal-failure policy answers.
+    uint64_t BeginSeq = 0;
     if (!Opts.JournalPath.empty() &&
-        !JournalLost.load(std::memory_order_relaxed) && !Wal.begin(R)) {
+        !JournalLost.load(std::memory_order_relaxed) &&
+        !Wal.begin(R, &BeginSeq)) {
       noteJournalFailure();
       if (Opts.JournalFailurePolicy != JournalFailure::Degrade) {
         {
@@ -479,15 +570,26 @@ void Server::serveLine(const std::string &Line, ResponseSink Sink) {
     QueueDepth.fetch_add(1, std::memory_order_relaxed);
     bool Hang = !Opts.HangAfterBeginId.empty() &&
                 R.Id == Opts.HangAfterBeginId;
-    Pool.submit([this, R = std::move(R), Hang,
+    // --repl-ack=sync: hold the response (bounded) until a standby has
+    // durably applied the begin record. The wait runs on the pool
+    // thread, never the reactor — the reactor must stay free to read
+    // the subscriber connection that delivers the very ack being
+    // waited on. A timeout or missing standby opens a counted loss
+    // window; it never blocks serving.
+    bool AwaitAck =
+        BeginSeq != 0 && Repl && Repl->policy() == ReplAckPolicy::Sync;
+    Pool.submit([this, R = std::move(R), Hang, AwaitAck, BeginSeq,
                  Sink = std::move(Sink)]() mutable {
       if (Hang)
         std::this_thread::sleep_for(std::chrono::hours(1));
+      if (AwaitAck)
+        Repl->waitAcked(BeginSeq, Opts.ReplAckTimeoutMs);
       handleSlice(std::move(R), Sink);
     });
     break;
   }
   }
+  return true;
 }
 
 void Server::finish() {
@@ -506,6 +608,55 @@ void Server::shedResponse(const ServiceRequest &R, const std::string &Why,
   Resp.Error = Why;
   writeResponse(Resp, Sink);
   recordOutcome(Resp.Status, "", false, -1, 0, Cause);
+}
+
+uint64_t Server::promote(unsigned *QuarantinedOut) {
+  if (QuarantinedOut)
+    *QuarantinedOut = 0;
+  std::lock_guard<std::mutex> Lock(PromoteM);
+  if (!StandbyMode.load(std::memory_order_relaxed))
+    return EpochA.load(std::memory_order_relaxed);
+  // Quiesce the tail first: recovery must scan a replica journal that
+  // nothing is appending to.
+  if (PromoteHook)
+    PromoteHook();
+  // Fence the old primary: outrank every epoch this replica ever saw.
+  // A resurrected ex-primary resumes its old (lower) epoch and sheds
+  // any request carrying our epoch as min_epoch.
+  uint64_t E = std::max(Wal.maxEpochSeen(),
+                        EpochA.load(std::memory_order_relaxed)) +
+               1;
+  Wal.setEpoch(E);
+  EpochA.store(E, std::memory_order_relaxed);
+  unsigned N = 0;
+  if (!Opts.JournalPath.empty() &&
+      !JournalLost.load(std::memory_order_relaxed))
+    N = recoverNow(/*OnlyEarlierGenerations=*/false);
+  StandbyMode.store(false, std::memory_order_relaxed);
+  Log << "jslice_serve: promoted to primary at epoch " << E << " (" << N
+      << " in-flight request(s) quarantined from the dead primary)\n";
+  if (QuarantinedOut)
+    *QuarantinedOut = N;
+  return E;
+}
+
+void Server::maybeReattachJournal() {
+  uint64_t Now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  uint64_t Last = LastReattachMs.load(std::memory_order_relaxed);
+  if (Last && Now - Last < Opts.JournalReattachIntervalMs)
+    return;
+  // One probe per interval across all serving threads.
+  if (!LastReattachMs.compare_exchange_strong(Last, Now,
+                                              std::memory_order_relaxed))
+    return;
+  if (Wal.tryReattach()) {
+    JournalLost.store(false, std::memory_order_relaxed);
+    Log << "jslice_serve: journal " << Opts.JournalPath
+        << " reattached after failure; resuming journaling\n";
+  }
 }
 
 void Server::noteJournalFailure() {
@@ -807,6 +958,11 @@ JsonValue Server::healthJson() const {
                 .count()));
   if (Opts.Generation)
     V.set("generation", Opts.Generation);
+  bool Standby = StandbyMode.load(std::memory_order_relaxed);
+  V.set("role", Standby ? "standby" : "primary");
+  uint64_t E = EpochA.load(std::memory_order_relaxed);
+  if (E)
+    V.set("epoch", E);
   bool Drain = Draining.load(std::memory_order_relaxed);
   V.set("draining", Drain);
   Degraded |= Drain;
@@ -819,6 +975,8 @@ JsonValue Server::healthJson() const {
     Degraded |= Lost;
   }
   V.set("handoff_pending", HandoffPending.load(std::memory_order_relaxed));
+  if (ReplProbeFn)
+    V.set("replication", ReplProbeFn());
   if (HealthProbeFn) {
     JsonValue T = HealthProbeFn();
     if (const JsonValue *W = T.find("wedged"))
@@ -835,6 +993,13 @@ ServerStats Server::stats() const {
   std::lock_guard<std::mutex> Lock(StateM);
   ServerStats S = Counters;
   S.Generation = Opts.Generation;
+  S.Epoch = EpochA.load(std::memory_order_relaxed);
+  S.Standby = StandbyMode.load(std::memory_order_relaxed);
+  if (Repl) {
+    S.Repl = Repl->counters();
+    S.ReplAckedSeq = Repl->ackedSeq();
+    S.ReplLastShippedSeq = Repl->lastShippedSeq();
+  }
   S.UptimeMs = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - StartTime)

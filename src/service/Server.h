@@ -65,6 +65,7 @@
 #include "service/AnalysisCache.h"
 #include "service/Journal.h"
 #include "service/Ladder.h"
+#include "service/Replication.h"
 #include "service/Request.h"
 #include "service/Supervisor.h"
 #include "support/WorkerPool.h"
@@ -205,6 +206,40 @@ struct ServerOptions {
   /// rebuilt per request from DefaultBudget and the request fields).
   LadderOptions Ladder;
 
+  /// Warm-standby mode (--standby-of): the server boots refusing
+  /// slice requests with a deterministic `shed` (cause "standby") and
+  /// stays that way until promote() runs. The tool that owns this
+  /// server also runs a net::StandbyTail against journal() so the
+  /// replica journal — and with it the recovered poison set — stays
+  /// warm for the moment of promotion.
+  bool Standby = false;
+
+  /// Initial fencing epoch stamped (with the generation) onto every
+  /// journal record. 0 = derive: primaries resume at
+  /// max(on-disk epoch, 1); standbys stay at 0 until promotion
+  /// assigns max-seen + 1. A request carrying "min_epoch" above this
+  /// server's epoch is shed (cause "fenced") — that is what makes a
+  /// resurrected ex-primary deterministically refuse traffic that has
+  /// already failed over.
+  uint64_t Epoch = 0;
+
+  /// Replication acknowledgement policy (--repl-ack). Async ships
+  /// records on a background thread; Flush hands them to subscriber
+  /// sinks before the journal append returns; Sync additionally blocks
+  /// the slice admission path until a standby acks the begin record
+  /// (bounded by ReplAckTimeoutMs — a missing or slow standby costs
+  /// latency and a counted loss-window, never a hang).
+  ReplAckPolicy ReplAck = ReplAckPolicy::Async;
+  uint64_t ReplAckTimeoutMs = 2000;
+
+  /// Under --journal-failure=degrade, how often (ms) the serving path
+  /// probes a lost journal with Journal::tryReattach. A recovered disk
+  /// flips {"health"} back from "journal":"lost" to "journal":"ok" and
+  /// journaling resumes; 0 disables the probe (the old latch-forever
+  /// behavior). Shed/Abort never probe: their contract is that a lost
+  /// journal stops serving until an operator intervenes.
+  uint64_t JournalReattachIntervalMs = 500;
+
   /// Test hook for the crash-recovery test: the worker picking up the
   /// request with this id sleeps forever after its journal `begin`
   /// record is durable, giving a kill -9 a deterministic in-flight
@@ -237,8 +272,8 @@ struct ServerStats {
   std::map<std::string, uint64_t> TierHistogram; ///< served tier -> count.
   /// Shed refusals broken down by cause ("queue-full",
   /// "queue-deadline", "rss-watermark", "draining", "breaker-open",
-  /// "line-cap", "journal-failed") so soak assertions read counters
-  /// instead of scraping stderr.
+  /// "line-cap", "journal-failed", "standby", "fenced") so soak
+  /// assertions read counters instead of scraping stderr.
   std::map<std::string, uint64_t> ShedByCause;
   /// Poison reproducers that could not be written to the quarantine
   /// dir (e.g. ENOSPC): the journal begin stays unmatched so the next
@@ -259,6 +294,12 @@ struct ServerStats {
   SupervisorStats Super; ///< Zeroed in thread mode.
 
   uint64_t Generation = 0;  ///< ServerOptions::Generation (0 = unmanaged).
+  uint64_t Epoch = 0;       ///< Current fencing epoch (0 = standby,
+                            ///< never promoted).
+  bool Standby = false;     ///< Still refusing slices as a standby.
+  ReplicationCounters Repl; ///< Journal-shipping counters (primary side).
+  uint64_t ReplAckedSeq = 0;      ///< Standby's durable high-water mark.
+  uint64_t ReplLastShippedSeq = 0; ///< Last record handed to a subscriber.
   uint64_t UptimeMs = 0;    ///< Since construction.
   uint64_t RssBytes = 0;    ///< Process RSS at snapshot time.
   uint64_t MaxRssBytes = 0; ///< The watermark (0 = none); toJson also
@@ -322,8 +363,15 @@ public:
 
   /// Same, but the response line(s) go to \p Sink instead of the
   /// shared output stream — the TCP transport's per-connection entry
-  /// point. Every non-blank line produces exactly one response line.
-  void serveLine(const std::string &Line, ResponseSink Sink);
+  /// point. Every non-blank line produces exactly one response line,
+  /// with two replication exceptions: {"repl_subscribe"} turns the
+  /// sink into a long-lived record stream (the hello frame is its
+  /// response), and {"repl_ack"} is one-way (a response line would
+  /// interleave with the record frames on the same connection).
+  /// Returns false for the one-way case — no response was or will be
+  /// delivered for this line — so transports that count a pending
+  /// response per dispatched line can give the slot back.
+  bool serveLine(const std::string &Line, ResponseSink Sink);
 
   /// Answers an input line that blew past MaxLineBytes with the
   /// deterministic `shed` refusal (cause "line-cap"). Transports call
@@ -387,6 +435,50 @@ public:
   /// counters.
   Supervisor *supervisor() { return Super.get(); }
 
+  /// The server's journal. A standby tool hands this to its
+  /// net::StandbyTail so the tail and the (post-promotion) server
+  /// share one replica journal — one file, one in-flight index, one
+  /// recovery story.
+  Journal &journal() { return Wal; }
+
+  /// The journal-shipping hub, or null when journaling is disabled.
+  /// {"repl_subscribe"} lines are routed here; tests reach through for
+  /// counters.
+  ReplicationHub *replication() { return Repl.get(); }
+
+  /// True while this server is a warm standby refusing slice traffic.
+  bool standby() const {
+    return StandbyMode.load(std::memory_order_relaxed);
+  }
+
+  /// The current fencing epoch (0 = unpromoted standby).
+  uint64_t epoch() const {
+    return EpochA.load(std::memory_order_relaxed);
+  }
+
+  /// Runs immediately before promote() recovers: the owning tool stops
+  /// its StandbyTail here so the replica journal is quiescent while
+  /// recovery scans it. Set before traffic starts.
+  void setPromoteHook(std::function<void()> Fn) {
+    PromoteHook = std::move(Fn);
+  }
+
+  /// Registers a replication-telemetry provider (the standby tool's
+  /// tail stats); folded into {"health"} as "replication". Must be
+  /// cheap — it runs on the health path. Set before traffic starts.
+  void setReplProbe(std::function<JsonValue()> Fn) {
+    ReplProbeFn = std::move(Fn);
+  }
+
+  /// Promotes a standby to primary: quiesces the tail (PromoteHook),
+  /// fences the old primary by adopting epoch max-seen + 1, recovers
+  /// the replica journal (quarantining whatever the dead primary left
+  /// in flight), and starts accepting slices. Returns the new epoch.
+  /// On a server that is already primary this is a no-op returning the
+  /// current epoch — fencing must never move backwards. \p
+  /// QuarantinedOut (when non-null) receives the recovery count.
+  uint64_t promote(unsigned *QuarantinedOut = nullptr);
+
 private:
   struct InFlight {
     std::atomic<bool> Cancel{false};
@@ -396,6 +488,9 @@ private:
 
   unsigned recoverNow(bool OnlyEarlierGenerations);
   void noteJournalFailure();
+  /// Degrade-policy disk-recovery probe: rate-limited
+  /// Journal::tryReattach; clears the lost latch on success.
+  void maybeReattachJournal();
   void handleSlice(ServiceRequest R, const ResponseSink &Sink);
   void handleSliceInProcess(ServiceRequest R, ServiceResponse &Resp,
                             const std::shared_ptr<InFlight> &Flight,
@@ -420,6 +515,11 @@ private:
   std::chrono::steady_clock::time_point StartTime;
   std::atomic<bool> HandoffPending{false};
   Journal Wal;
+  /// Declared after Wal: destroyed first, so the hub detaches its tap
+  /// before the journal it observes goes away.
+  std::unique_ptr<ReplicationHub> Repl;
+  std::function<void()> PromoteHook;
+  std::function<JsonValue()> ReplProbeFn;
   WorkerPool Pool;
   std::unique_ptr<Supervisor> Super; ///< Process mode only.
 
@@ -427,6 +527,13 @@ private:
   std::atomic<bool> Draining{false};
   std::atomic<bool> JournalLost{false};
   std::atomic<bool> JournalAborted{false};
+  std::atomic<bool> StandbyMode{false};
+  std::atomic<uint64_t> EpochA{0}; ///< Mirror of Wal.epoch() for the
+                                   ///< lock-free health/fencing paths.
+  /// Steady-clock ms of the last Degrade-policy reattach probe; rate
+  /// limits tryReattach to JournalReattachIntervalMs.
+  std::atomic<uint64_t> LastReattachMs{0};
+  std::mutex PromoteM; ///< Serializes concurrent promote() calls.
 
   std::mutex OutM; ///< Serializes response lines; never held with StateM.
   mutable std::mutex StateM;

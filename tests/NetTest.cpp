@@ -20,9 +20,12 @@
 #include "net/ChaosProxy.h"
 #include "net/Client.h"
 #include "net/Socket.h"
+#include "net/StandbyTail.h"
 #include "net/TcpServer.h"
 #include "net/WriteBuffer.h"
 #include "service/Ipc.h"
+#include "service/Journal.h"
+#include "service/Replication.h"
 #include "service/Server.h"
 #include "support/Pipe.h"
 
@@ -1134,6 +1137,153 @@ TEST(ClientTest, MagicStringsInsideBodiesAreNotRetriable) {
   EXPECT_FALSE(isRetriableInFlight(
       "request id already in flight bad-request"));
   EXPECT_FALSE(isRetriableInFlight(""));
+}
+
+TEST(ClientTest, RetryBudgetBoundsTheBackoffLadder) {
+  // A dead endpoint with a generous attempt count but a small wall-
+  // clock budget: the request must fail fast, clipped by the budget,
+  // not sleep through the whole exponential ladder.
+  std::string Err;
+  int Fd = listenTcp("127.0.0.1", 0, 1, Err);
+  ASSERT_GE(Fd, 0) << Err;
+  uint16_t DeadPort = tcpLocalPort(Fd);
+  closeQuietly(Fd);
+
+  ClientOptions COpts;
+  COpts.Port = DeadPort;
+  COpts.MaxAttempts = 64;
+  COpts.ConnectTimeoutMs = 500;
+  COpts.BackoffBaseMs = 200;
+  COpts.BackoffCapMs = 2000;
+  COpts.RetryBudgetMs = 250;
+  COpts.JitterSeed = 7;
+  ClientConnection CC(COpts);
+  auto T0 = std::chrono::steady_clock::now();
+  ClientResult R = CC.request("{\"probe\":1}");
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(CC.budgetExhausted());
+  EXPECT_LT(R.Attempts, 64u) << "the budget, not the attempt count, "
+                                "must stop the ladder";
+  // Refused local connects are immediate, so the spend is backoff
+  // sleeps: budget plus one clipped sleep plus slack, well under the
+  // unbounded ladder's multi-second total.
+  EXPECT_LT(ElapsedMs, 2000);
+
+  // Budget 0 restores the legacy contract: attempts bound the ladder
+  // and the budget flag stays clear.
+  COpts.RetryBudgetMs = 0;
+  COpts.MaxAttempts = 3;
+  COpts.BackoffBaseMs = 1;
+  COpts.BackoffCapMs = 2;
+  ClientConnection Legacy(COpts);
+  ClientResult R2 = Legacy.request("{\"probe\":2}");
+  EXPECT_FALSE(R2.Ok);
+  EXPECT_EQ(R2.Attempts, 3u);
+  EXPECT_FALSE(Legacy.budgetExhausted());
+}
+
+TEST(ClientTest, FailsOverToTheNextEndpointAndServes) {
+  // Endpoint failover: the primary in the list is dead, the standby is
+  // live. The transport failure must rotate, resubmit, and succeed —
+  // the jslice_client --connect A --connect B contract.
+  std::string Err;
+  int Fd = listenTcp("127.0.0.1", 0, 1, Err);
+  ASSERT_GE(Fd, 0) << Err;
+  uint16_t DeadPort = tcpLocalPort(Fd);
+  closeQuietly(Fd);
+
+  LiveServer L({});
+  ASSERT_TRUE(L.Started);
+
+  ClientOptions COpts;
+  COpts.Endpoints = {"127.0.0.1:" + std::to_string(DeadPort),
+                     "127.0.0.1:" + std::to_string(L.port())};
+  COpts.MaxAttempts = 4;
+  COpts.ConnectTimeoutMs = 500;
+  COpts.BackoffBaseMs = 1;
+  COpts.BackoffCapMs = 5;
+  COpts.JitterSeed = 7;
+  ClientConnection CC(COpts);
+  EXPECT_EQ(CC.currentEndpoint(),
+            "127.0.0.1:" + std::to_string(DeadPort));
+  std::string Line = sliceRequest("fo-1");
+  Line.pop_back(); // request() appends the newline.
+  ClientResult R = CC.request(Line);
+  ASSERT_TRUE(R.Ok) << R.TransportError;
+  EXPECT_NE(R.Response.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_GE(CC.failovers(), 1u);
+  EXPECT_EQ(CC.currentEndpoint(),
+            "127.0.0.1:" + std::to_string(L.port()));
+
+  // Subsequent requests stick to the endpoint that worked.
+  ClientResult R2 = CC.request(Line);
+  EXPECT_TRUE(R2.Ok) << R2.TransportError;
+  EXPECT_EQ(R2.Attempts, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// StandbyTail: replication stream consumer against a live primary
+//===----------------------------------------------------------------------===//
+
+TEST(StandbyTailTest, TailsALivePrimaryIntoAVerifiableReplica) {
+  // End to end over real sockets: a journaled primary with a sync-ack
+  // hub, a StandbyTail applying into a replica journal, and the
+  // primary's admission released by the tail's durable ack.
+  std::string JPath = ::testing::TempDir() + "jslice_tail_primary.jsonl";
+  std::string RPath = ::testing::TempDir() + "jslice_tail_replica.jsonl";
+  std::remove(JPath.c_str());
+  std::remove(RPath.c_str());
+
+  ServerOptions SOpts;
+  SOpts.JournalPath = JPath;
+  SOpts.ReplAck = ReplAckPolicy::Sync;
+  SOpts.ReplAckTimeoutMs = 8000;
+  LiveServer L({}, SOpts);
+  ASSERT_TRUE(L.Started);
+
+  Journal Replica;
+  ASSERT_TRUE(Replica.open(RPath));
+  StandbyTailOptions TOpts;
+  TOpts.Port = L.port();
+  StandbyTail Tail(TOpts, Replica);
+  std::string Err;
+  ASSERT_TRUE(Tail.start(Err)) << Err;
+  ASSERT_TRUE(waitForCount(
+                  [&] { return Tail.stats().Connected ? 1u : 0u; }, 1) == 1)
+      << "tail never subscribed";
+
+  // A slice served under sync policy proves the ack round-trip: the
+  // response cannot have been released before the replica acked, and
+  // the stats must show a wait that did NOT time out.
+  RawClient C(L.port());
+  ASSERT_TRUE(C.sendAll(sliceRequest("tail-1")));
+  std::optional<std::string> Resp = C.readLine(10000);
+  ASSERT_TRUE(Resp.has_value());
+  EXPECT_NE(Resp->find("\"status\":\"ok\""), std::string::npos);
+
+  // Both records (begin + end) land durably in the replica.
+  waitForCount([&] { return Tail.stats().Applied; }, 2);
+  StandbyTailStats TS = Tail.stats();
+  EXPECT_GE(TS.Applied, 2u);
+  EXPECT_EQ(TS.CorruptFrames, 0u);
+  EXPECT_EQ(TS.PrimaryEpoch, 1u);
+  EXPECT_EQ(Tail.lagRecords(), 0u);
+
+  ReplicationCounters RC = L.S.stats().Repl;
+  EXPECT_GE(RC.SyncWaits, 1u);
+  EXPECT_EQ(RC.SyncTimeouts, 0u)
+      << "a healthy standby must ack within the admission wait";
+
+  Tail.stop();
+  JournalScan Scan = scanJournalDetailed(RPath);
+  EXPECT_EQ(Scan.CorruptRecords, 0u);
+  EXPECT_TRUE(Scan.InFlight.empty())
+      << "the end record must have replicated too";
+  std::remove(JPath.c_str());
+  std::remove(RPath.c_str());
 }
 
 //===----------------------------------------------------------------------===//

@@ -14,6 +14,7 @@
 
 #include "service/Journal.h"
 #include "service/JournalIo.h"
+#include "service/Replication.h"
 #include "service/Server.h"
 #include "support/Pipe.h"
 
@@ -21,9 +22,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 using namespace jslice;
 
@@ -1472,6 +1476,353 @@ TEST(ServerStatsTest, HistogramAndLatenciesAccumulate) {
   EXPECT_EQ(Stats.TierHistogram["agrawal-fig7"], 1u);
   EXPECT_EQ(Stats.TierHistogram["lyle"], 1u);
   EXPECT_GE(Stats.P95Ms, Stats.P50Ms);
+}
+
+//===----------------------------------------------------------------------===//
+// Journal vintages: legacy, checksummed, and stamped records coexist
+//===----------------------------------------------------------------------===//
+
+TEST(JournalTest, MixedVintageScanCountsEveryGeneration) {
+  // One file, three eras interleaved: pre-checksum legacy lines, plain
+  // CRC records, and records stamped with an upgrade generation and a
+  // replication epoch. The scan must classify each era, attribute
+  // in-flight begins across all of them, and report the fencing
+  // high-water mark — a warm standby's replica journal looks exactly
+  // like this after surviving an upgrade and a failover.
+  std::string Path = ::testing::TempDir() + "jslice_journal_vintages.jsonl";
+  std::remove(Path.c_str());
+  ServiceRequest R;
+  R.Program = TinyProgram;
+  R.Line = 2;
+  {
+    // Era 1: a legacy writer — no crc, no seq.
+    std::ofstream Out(Path);
+    JsonValue Begin = JsonValue::object();
+    Begin.set("event", "begin");
+    Begin.set("id", "legacy-done");
+    ServiceRequest L = R;
+    L.Id = "legacy-done";
+    Begin.set("request", L.toJson());
+    Out << Begin.str() << "\n";
+    JsonValue End = JsonValue::object();
+    End.set("event", "end");
+    End.set("id", "legacy-done");
+    End.set("status", "ok");
+    Out << End.str() << "\n";
+  }
+  {
+    // Era 2: a checksummed writer, unstamped.
+    Journal J;
+    ASSERT_TRUE(J.open(Path));
+    R.Id = "crc-stuck";
+    ASSERT_TRUE(J.begin(R));
+  }
+  {
+    // Era 3: a post-upgrade, post-promotion writer stamping both a
+    // generation and a fencing epoch.
+    Journal J;
+    ASSERT_TRUE(J.open(Path));
+    J.setGeneration(2);
+    J.setEpoch(3);
+    R.Id = "stamped-done";
+    ASSERT_TRUE(J.begin(R));
+    ASSERT_TRUE(J.end("stamped-done", "ok"));
+    R.Id = "stamped-stuck";
+    ASSERT_TRUE(J.begin(R));
+  }
+
+  JournalScan Scan = scanJournalDetailed(Path);
+  EXPECT_TRUE(Scan.Exists);
+  EXPECT_EQ(Scan.LegacyRecords, 2u);
+  EXPECT_EQ(Scan.Records, 4u);
+  EXPECT_EQ(Scan.CorruptRecords, 0u);
+  EXPECT_FALSE(Scan.TornTail);
+  EXPECT_EQ(Scan.MaxEpoch, 3u);
+  EXPECT_GE(Scan.MaxSeq, 4u);
+  ASSERT_EQ(Scan.InFlight.size(), 2u);
+  std::vector<std::string> Ids;
+  for (const PoisonedRequest &P : Scan.InFlight)
+    Ids.push_back(P.Id);
+  EXPECT_NE(std::find(Ids.begin(), Ids.end(), "crc-stuck"), Ids.end());
+  EXPECT_NE(std::find(Ids.begin(), Ids.end(), "stamped-stuck"), Ids.end());
+
+  // A fourth writer appends past all three eras without repairs.
+  {
+    Journal J;
+    ASSERT_TRUE(J.open(Path));
+    EXPECT_EQ(J.counters().CorruptRecords, 0u);
+    EXPECT_EQ(J.maxEpochSeen(), 3u);
+    R.Id = "after";
+    EXPECT_TRUE(J.begin(R));
+  }
+  EXPECT_EQ(scanJournalDetailed(Path).InFlight.size(), 3u);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Replication: hub shipping, ack policies, standby fencing
+//===----------------------------------------------------------------------===//
+
+/// Unwraps a {"repl":"rec","line":...} frame; "" when it is not one.
+std::string frameLine(const std::string &Frame) {
+  std::optional<JsonValue> V = JsonValue::parse(Frame);
+  if (!V || !V->isObject())
+    return "";
+  const JsonValue *Kind = V->find("repl");
+  if (!Kind || Kind->asString() != "rec")
+    return "";
+  const JsonValue *Line = V->find("line");
+  return Line ? Line->asString() : "";
+}
+
+TEST(ReplicationHubTest, FlushPolicyShipsEveryAppendInOrder) {
+  std::string Path = ::testing::TempDir() + "jslice_repl_primary.jsonl";
+  std::string RPath = ::testing::TempDir() + "jslice_repl_replica.jsonl";
+  std::remove(Path.c_str());
+  std::remove(RPath.c_str());
+  Journal J;
+  ASSERT_TRUE(J.open(Path));
+  J.setEpoch(2);
+  ReplicationHub Hub(J, ReplAckPolicy::Flush);
+
+  std::vector<std::string> Frames;
+  Hub.subscribe(0, [&](const std::string &F) { Frames.push_back(F); });
+
+  // The hello leads and names the primary's epoch; an empty journal is
+  // a resume (nothing was compacted away), not a snapshot.
+  ASSERT_GE(Frames.size(), 1u);
+  JsonValue Hello = parsed(Frames[0]);
+  EXPECT_EQ(Hello.find("repl")->asString(), "hello");
+  EXPECT_EQ(Hello.find("epoch")->asInt(), 2);
+  EXPECT_FALSE(Hello.find("snapshot")->asBool());
+  ReplicationCounters C = Hub.counters();
+  EXPECT_EQ(C.Subscribes, 1u);
+  EXPECT_EQ(C.Resumes, 1u);
+  EXPECT_EQ(C.Snapshots, 0u);
+
+  // Flush policy: the frame is in the subscriber's hands before the
+  // append returns — no thread to wait for.
+  ServiceRequest R;
+  R.Id = "r1";
+  R.Program = TinyProgram;
+  R.Line = 2;
+  uint64_t Seq = 0;
+  ASSERT_TRUE(J.begin(R, &Seq));
+  ASSERT_TRUE(J.end("r1", "ok"));
+  ASSERT_EQ(Frames.size(), 3u);
+
+  // The shipped bytes are the exact journaled records: a replica
+  // journal built from them verifies end to end and folds the pair
+  // out of the in-flight index.
+  Journal Replica;
+  ASSERT_TRUE(Replica.open(RPath));
+  for (size_t I = 1; I != Frames.size(); ++I) {
+    std::string Line = frameLine(Frames[I]);
+    ASSERT_FALSE(Line.empty()) << Frames[I];
+    EXPECT_TRUE(Replica.appendReplica(Line));
+  }
+  EXPECT_EQ(Replica.lastSeq(), J.lastSeq());
+  EXPECT_EQ(Replica.maxEpochSeen(), 2u);
+  JournalScan Scan = scanJournalDetailed(RPath);
+  EXPECT_EQ(Scan.CorruptRecords, 0u);
+  EXPECT_TRUE(Scan.InFlight.empty());
+  EXPECT_EQ(Scan.MaxEpoch, 2u);
+
+  // The ack path: the standby's durable high-water mark wakes sync
+  // waiters instantly.
+  Hub.ack(Replica.lastSeq());
+  EXPECT_EQ(Hub.ackedSeq(), Replica.lastSeq());
+  EXPECT_TRUE(Hub.waitAcked(Seq, 1000));
+  EXPECT_EQ(Hub.counters().SyncTimeouts, 0u);
+  std::remove(Path.c_str());
+  std::remove(RPath.c_str());
+}
+
+TEST(ReplicationHubTest, WaitAckedFailsFastWithNoSubscriber) {
+  // A primary without a standby must not hang admissions for the
+  // timeout: the loss window is open and counted, not hidden behind a
+  // stall.
+  std::string Path = ::testing::TempDir() + "jslice_repl_lonely.jsonl";
+  std::remove(Path.c_str());
+  Journal J;
+  ASSERT_TRUE(J.open(Path));
+  ReplicationHub Hub(J, ReplAckPolicy::Sync);
+  auto T0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(Hub.waitAcked(1, 5000));
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  EXPECT_LT(ElapsedMs, 1000) << "no-subscriber wait must not consume "
+                                "the timeout";
+  std::remove(Path.c_str());
+}
+
+TEST(ReplicationHubTest, CompactionGapForcesASnapshotCatchUp) {
+  // A subscriber resuming from before the last compaction point would
+  // miss `end` records the rewrite dropped; the hub must resend the
+  // whole file and say so in the hello.
+  std::string Path = ::testing::TempDir() + "jslice_repl_snapshot.jsonl";
+  std::remove(Path.c_str());
+  Journal J;
+  // A tiny rotation threshold so bracketed pairs trigger compaction.
+  ASSERT_TRUE(J.open(Path, /*RotateBytes=*/512));
+  ServiceRequest R;
+  R.Program = TinyProgram;
+  R.Line = 2;
+  for (unsigned I = 0; J.lastCompactSeq() == 0 && I != 64; ++I) {
+    R.Id = "p" + std::to_string(I);
+    ASSERT_TRUE(J.begin(R));
+    ASSERT_TRUE(J.end(R.Id, "ok"));
+  }
+  ASSERT_GT(J.lastCompactSeq(), 0u) << "rotation never compacted";
+
+  ReplicationHub Hub(J, ReplAckPolicy::Flush);
+  std::vector<std::string> Frames;
+  Hub.subscribe(1, [&](const std::string &F) { Frames.push_back(F); });
+  ASSERT_GE(Frames.size(), 1u);
+  EXPECT_TRUE(parsed(Frames[0]).find("snapshot")->asBool());
+  ReplicationCounters C = Hub.counters();
+  EXPECT_EQ(C.Snapshots, 1u);
+  EXPECT_EQ(C.Resumes, 0u);
+  std::remove(Path.c_str());
+}
+
+/// Thread-safe sink log: slice responses arrive from pool threads,
+/// control responses synchronously — waitFor() serializes both.
+class SinkLog {
+public:
+  void push(const std::string &L) {
+    std::lock_guard<std::mutex> G(M);
+    Lines.push_back(L);
+  }
+  /// The \p N-th line (1-based), waiting up to ~5s for it; "" on
+  /// timeout.
+  std::string waitFor(size_t N) {
+    for (int Spin = 0; Spin != 5000; ++Spin) {
+      {
+        std::lock_guard<std::mutex> G(M);
+        if (Lines.size() >= N)
+          return Lines[N - 1];
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return "";
+  }
+
+private:
+  std::mutex M;
+  std::vector<std::string> Lines;
+};
+
+TEST(ServerTest, StandbyShedsUntilPromotedThenFencesStaleClients) {
+  // One server walked through the failover life cycle in-memory:
+  // standby (sheds), promoted (serves), then fencing a request whose
+  // min_epoch outranks it (split-brain refusal).
+  ServerOptions Opts;
+  Opts.Threads = 1;
+  Opts.Standby = true;
+  std::ostringstream Out, Log;
+  Server S(Opts, Out, Log);
+  EXPECT_TRUE(S.standby());
+
+  std::string Slice =
+      "{\"id\":\"r1\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2,"
+      "\"vars\":[\"a\"]}";
+  SinkLog Got;
+  auto Sink = [&](const std::string &L) { Got.push(L); };
+
+  S.serveLine(Slice, Sink);
+  std::string Shed = Got.waitFor(1);
+  EXPECT_EQ(parsed(Shed).find("status")->asString(), "shed");
+  EXPECT_NE(Shed.find("standby"), std::string::npos);
+
+  S.serveLine("{\"promote\": true}", Sink);
+  JsonValue P = parsed(Got.waitFor(2));
+  EXPECT_EQ(P.find("status")->asString(), "ok");
+  EXPECT_TRUE(P.find("promoted")->asBool());
+  EXPECT_GE(P.find("epoch")->asInt(), 1);
+  EXPECT_FALSE(S.standby());
+  uint64_t Epoch = S.epoch();
+
+  S.serveLine(Slice, Sink);
+  EXPECT_EQ(parsed(Got.waitFor(3)).find("status")->asString(), "ok");
+
+  // A promote on a live primary is an idempotent no-op at the same
+  // epoch — it must NOT fence anyone.
+  S.serveLine("{\"promote\": true}", Sink);
+  EXPECT_FALSE(parsed(Got.waitFor(4)).find("promoted")->asBool());
+  EXPECT_EQ(S.epoch(), Epoch);
+
+  // A client that failed over to a higher-epoch successor carries that
+  // epoch back here as min_epoch; this stale server must refuse.
+  std::string Fenced =
+      "{\"id\":\"r2\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2,"
+      "\"vars\":[\"a\"],\"min_epoch\":" +
+      std::to_string(Epoch + 1) + "}";
+  S.serveLine(Fenced, Sink);
+  std::string Refused = Got.waitFor(5);
+  EXPECT_EQ(parsed(Refused).find("status")->asString(), "shed");
+  EXPECT_NE(Refused.find("fenced"), std::string::npos);
+
+  // An equal-or-lower min_epoch passes.
+  std::string Current =
+      "{\"id\":\"r3\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2,"
+      "\"vars\":[\"a\"],\"min_epoch\":" +
+      std::to_string(Epoch) + "}";
+  S.serveLine(Current, Sink);
+  EXPECT_EQ(parsed(Got.waitFor(6)).find("status")->asString(), "ok");
+  S.finish();
+}
+
+TEST(ServerTest, DegradedJournalReattachesWhenTheDiskHeals) {
+  // --journal-failure=degrade with a reattach interval: the server
+  // serves through a dead disk with {"health"} saying journal:lost,
+  // then quietly resumes journaling once a probe lands.
+  std::string Path = ::testing::TempDir() + "jslice_journal_heal.jsonl";
+  std::remove(Path.c_str());
+  FaultyJournalIo Io;
+  ServerOptions Opts;
+  Opts.Threads = 1;
+  Opts.JournalPath = Path;
+  Opts.JournalFailurePolicy = JournalFailure::Degrade;
+  Opts.JournalReattachIntervalMs = 1;
+  Opts.JournalIoHook = &Io;
+  std::ostringstream Out, Log;
+  Server S(Opts, Out, Log);
+  S.recover();
+
+  SinkLog Got;
+  auto Sink = [&](const std::string &L) { Got.push(L); };
+  std::string Slice =
+      "{\"id\":\"h1\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2,"
+      "\"vars\":[\"a\"]}";
+
+  // Kill the disk persistently; degrade serves on and latches "lost".
+  Io.armEvery(JournalFault::FsyncFail, 1);
+  S.serveLine(Slice, Sink);
+  EXPECT_EQ(parsed(Got.waitFor(1)).find("status")->asString(), "ok");
+  S.serveLine("{\"health\": true}", Sink);
+  EXPECT_EQ(parsed(Got.waitFor(2)).find("journal")->asString(), "lost");
+
+  // Heal the disk; the next admission past the probe interval runs
+  // tryReattach and journaling resumes.
+  Io.disarm();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  std::string Slice2 =
+      "{\"id\":\"h2\",\"program\":\"read(a);\\nwrite(a);\\n\",\"line\":2,"
+      "\"vars\":[\"a\"]}";
+  S.serveLine(Slice2, Sink);
+  EXPECT_EQ(parsed(Got.waitFor(3)).find("status")->asString(), "ok");
+  S.serveLine("{\"health\": true}", Sink);
+  EXPECT_EQ(parsed(Got.waitFor(4)).find("journal")->asString(), "ok");
+
+  // The healed journal carries the reattach probe and h2's records,
+  // all verifiable.
+  S.finish();
+  JournalScan Scan = scanJournalDetailed(Path);
+  EXPECT_EQ(Scan.CorruptRecords, 0u);
+  EXPECT_GE(Scan.Records, 2u);
+  std::remove(Path.c_str());
 }
 
 } // namespace

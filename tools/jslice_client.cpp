@@ -17,7 +17,13 @@
 ///   jslice_client --connect HOST:PORT --request LINE
 ///   jslice_client --connect HOST:PORT --stats
 ///   jslice_client --connect HOST:PORT --health
+///   jslice_client --connect HOST:PORT --promote
 ///   jslice_client --connect HOST:PORT --input FILE   (- = stdin)
+///
+/// --connect may repeat: extra endpoints are failover targets, rotated
+/// on any transport failure. Resubmitting after a failover is safe for
+/// the same reason retrying is — the service dedups by content key and
+/// slicing is a pure function of the request.
 ///
 ///   --request LINE    send one raw protocol line
 ///   --stats           send {"stats": true} and pretty-print the
@@ -29,12 +35,19 @@
 ///                     heartbeats, breaker). LB-probe exit discipline:
 ///                     0 healthy, 1 degraded (draining, breaker open,
 ///                     or a wedged shard), 4 unreachable
+///   --promote         send {"promote": true}: turn a warm standby
+///                     into the primary (exit 0 on "ok"; promoting a
+///                     server that is already primary is an ok no-op)
 ///   --input FILE      send every line of FILE in order ("-" = stdin)
 ///   --connect-timeout-ms N  per-connect deadline (default 5000)
 ///   --timeout-ms N    per-response deadline (default 30000)
 ///   --attempts N      total attempts per request (default 4)
 ///   --backoff-ms N    backoff base, doubling per attempt (default 50)
 ///   --backoff-cap-ms N  backoff ceiling (default 2000)
+///   --retry-budget-ms N  total retry wall-clock per request; once
+///                     spent, fail fast with exit 4 instead of
+///                     sleeping through more backoff (default 30000;
+///                     0 = unbounded, the old behavior)
 ///   --seed N          jitter PRNG seed (0 = per-process)
 ///
 /// Exit taxonomy (machine-readable, mirrors slicer exit discipline):
@@ -59,6 +72,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 using namespace jslice;
 
@@ -67,12 +81,13 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: jslice_client --connect HOST:PORT\n"
+      "usage: jslice_client --connect HOST:PORT [--connect HOST:PORT ...]\n"
       "                     (--request LINE | --stats | --health | "
-      "--input FILE)\n"
+      "--promote | --input FILE)\n"
       "                     [--connect-timeout-ms N] [--timeout-ms N]\n"
       "                     [--attempts N] [--backoff-ms N]\n"
-      "                     [--backoff-cap-ms N] [--seed N]\n");
+      "                     [--backoff-cap-ms N] [--retry-budget-ms N] "
+      "[--seed N]\n");
   return 2;
 }
 
@@ -158,8 +173,11 @@ bool printHealthPretty(const std::string &Line) {
 
 int main(int argc, char **argv) {
   ClientOptions Opts;
-  std::string ConnectSpec, RequestLine, InputPath;
+  Opts.RetryBudgetMs = 30000; // Bounded by default; 0 restores legacy.
+  std::vector<std::string> Connects;
+  std::string RequestLine, InputPath;
   bool HaveRequest = false, WantStats = false, WantHealth = false;
+  bool WantPromote = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -173,6 +191,8 @@ int main(int argc, char **argv) {
       WantStats = true;
     } else if (Arg == "--health") {
       WantHealth = true;
+    } else if (Arg == "--promote") {
+      WantPromote = true;
     } else if (Arg == "--connect" || Arg == "--request" ||
                Arg == "--input") {
       std::optional<std::string> Value = NextValue();
@@ -182,7 +202,7 @@ int main(int argc, char **argv) {
         return usage();
       }
       if (Arg == "--connect")
-        ConnectSpec = *Value;
+        Connects.push_back(*Value);
       else if (Arg == "--request") {
         RequestLine = *Value;
         HaveRequest = true;
@@ -190,7 +210,8 @@ int main(int argc, char **argv) {
         InputPath = *Value;
     } else if (Arg == "--connect-timeout-ms" || Arg == "--timeout-ms" ||
                Arg == "--attempts" || Arg == "--backoff-ms" ||
-               Arg == "--backoff-cap-ms" || Arg == "--seed") {
+               Arg == "--backoff-cap-ms" || Arg == "--retry-budget-ms" ||
+               Arg == "--seed") {
       std::optional<std::string> Value = NextValue();
       std::optional<uint64_t> N = Value ? parseCount(*Value) : std::nullopt;
       if (!N) {
@@ -207,6 +228,8 @@ int main(int argc, char **argv) {
         Opts.BackoffBaseMs = *N;
       else if (Arg == "--backoff-cap-ms")
         Opts.BackoffCapMs = *N;
+      else if (Arg == "--retry-budget-ms")
+        Opts.RetryBudgetMs = *N;
       else
         Opts.JitterSeed = *N;
     } else {
@@ -215,21 +238,32 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (ConnectSpec.empty() ||
-      (HaveRequest + WantStats + WantHealth + !InputPath.empty()) != 1) {
+  if (Connects.empty() ||
+      (HaveRequest + WantStats + WantHealth + WantPromote +
+       !InputPath.empty()) != 1) {
     std::fprintf(stderr, "error: need --connect and exactly one of "
-                         "--request / --stats / --health / --input\n");
+                         "--request / --stats / --health / --promote / "
+                         "--input\n");
     return usage();
   }
-  if (!parseHostPort(ConnectSpec, Opts.Host, Opts.Port) || Opts.Port == 0) {
-    std::fprintf(stderr, "error: --connect expects HOST:PORT, got '%s'\n",
-                 ConnectSpec.c_str());
-    return usage();
+  for (const std::string &Spec : Connects) {
+    std::string Host;
+    uint16_t Port = 0;
+    if (!parseHostPort(Spec, Host, Port) || Port == 0) {
+      std::fprintf(stderr, "error: --connect expects HOST:PORT, got '%s'\n",
+                   Spec.c_str());
+      return usage();
+    }
   }
+  parseHostPort(Connects.front(), Opts.Host, Opts.Port);
+  if (Connects.size() > 1)
+    Opts.Endpoints = Connects;
   if (WantStats)
     RequestLine = "{\"stats\": true}";
   if (WantHealth)
     RequestLine = "{\"health\": true}";
+  if (WantPromote)
+    RequestLine = "{\"promote\": true}";
 
   ClientConnection Conn(Opts);
 

@@ -27,7 +27,10 @@
 ///                [--drain-grace-ms N] [--send-buffer-bytes N]
 ///                [--shards N] [--journal-sync full|batch|off]
 ///                [--journal-flush-ms N] [--journal-failure shed|degrade|abort]
+///                [--journal-reattach-ms N]
 ///                [--upgrade on|off] [--wedge-threshold-ms N]
+///                [--standby-of HOST:PORT] [--repl-ack async|flush|sync]
+///                [--repl-ack-timeout-ms N] [--epoch N]
 ///
 ///   --input FILE      read requests from FILE instead of stdin
 ///   --listen HOST:PORT serve over TCP instead of stdin (see
@@ -79,6 +82,35 @@
 ///                     jslice_client --health exits 1; `abort` drains
 ///                     in-flight requests and exits 3. Never serves on
 ///                     while silently recording nothing
+///   --journal-reattach-ms N  under --journal-failure=degrade, probe a
+///                     lost journal for recovery every N ms; a healed
+///                     disk resumes journaling and {"health"} flips
+///                     back to "journal":"ok" (default 500; 0 keeps the
+///                     old latch-forever behavior)
+///   --standby-of HOST:PORT  boot as a warm standby of the primary at
+///                     HOST:PORT: tail its replication stream into the
+///                     local --journal (required), refuse slice
+///                     requests with a deterministic "standby" shed,
+///                     and report replication lag in {"health"}. A
+///                     {"promote": true} request (jslice_client
+///                     --promote) or the watchdog turns this process
+///                     into the primary: the tail stops, the replica
+///                     journal is recovered (the dead primary's
+///                     in-flight requests are quarantined), and the
+///                     epoch is bumped past everything the old primary
+///                     ever stamped — the fence that keeps a
+///                     resurrected ex-primary from double-serving
+///   --repl-ack MODE   how hard a journal append pushes toward the
+///                     standby before admitting the request: `async`
+///                     (default; background shipper), `flush` (record
+///                     handed to the standby's transport buffer
+///                     inline), `sync` (wait bounded for the standby's
+///                     durable ack — zero acknowledged-but-lost
+///                     records on failover)
+///   --repl-ack-timeout-ms N  sync-mode ack wait bound (default 2000)
+///   --epoch N         initial fencing epoch (test/ops override;
+///                     default: primaries resume the on-disk epoch,
+///                     standbys wait for promotion)
 ///   --upgrade on|off  TCP: accept SIGUSR2 / {"upgrade"} requests for a
 ///                     zero-downtime generation handoff (default on;
 ///                     implies SO_REUSEPORT listeners where available
@@ -153,10 +185,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "net/Socket.h"
+#include "net/StandbyTail.h"
 #include "net/TcpServer.h"
 #include "service/Json.h"
 #include "service/Server.h"
 #include "support/Pipe.h"
+
+#include <memory>
 
 #include <atomic>
 #include <cerrno>
@@ -206,9 +241,13 @@ int usage() {
                "[--cache-audit-seed N]\n"
                "                    [--journal-sync full|batch|off] "
                "[--journal-flush-ms N]\n"
-               "                    [--journal-failure shed|degrade|abort]\n"
+               "                    [--journal-failure shed|degrade|abort] "
+               "[--journal-reattach-ms N]\n"
                "                    [--upgrade on|off] "
-               "[--wedge-threshold-ms N]\n");
+               "[--wedge-threshold-ms N]\n"
+               "                    [--standby-of HOST:PORT] "
+               "[--repl-ack async|flush|sync]\n"
+               "                    [--repl-ack-timeout-ms N] [--epoch N]\n");
   return 2;
 }
 
@@ -540,6 +579,7 @@ int main(int argc, char **argv) {
   TcpServerOptions TcpOpts;
   std::string InputPath;
   std::string ListenSpec;
+  std::string StandbySpec; // --standby-of HOST:PORT
   bool UpgradeEnabled = true;   // --upgrade on|off
   long ListenerSocketFd = -1;   // --listener-socket (internal plumbing)
   long ReadyFd = -1;            // --ready-fd (internal plumbing)
@@ -587,6 +627,25 @@ int main(int argc, char **argv) {
                      "or 'abort'\n");
         return usage();
       }
+    } else if (Arg == "--repl-ack") {
+      std::optional<std::string> Value = NextValue();
+      if (!Value || !parseReplAckPolicyName(*Value, Opts.ReplAck)) {
+        std::fprintf(stderr,
+                     "error: --repl-ack expects 'async', 'flush', or "
+                     "'sync'\n");
+        return usage();
+      }
+    } else if (Arg == "--standby-of") {
+      std::optional<std::string> Value = NextValue();
+      std::string Host;
+      uint16_t Port = 0;
+      if (!Value || !parseHostPort(*Value, Host, Port) || !Port) {
+        std::fprintf(stderr,
+                     "error: --standby-of expects HOST:PORT (port != 0)\n");
+        return usage();
+      }
+      StandbySpec = *Value;
+      Opts.Standby = true;
     } else if (Arg == "--input" || Arg == "--listen" || Arg == "--journal" ||
         Arg == "--quarantine" || Arg == "--hang-after-begin" ||
         Arg == "--isolate") {
@@ -635,7 +694,9 @@ int main(int argc, char **argv) {
                Arg == "--upgrade-from" || Arg == "--ready-fd" ||
                Arg == "--listener-socket" || Arg == "--ready-delay-ms" ||
                Arg == "--cache-entries" || Arg == "--cache-bytes" ||
-               Arg == "--cache-audit-every" || Arg == "--cache-audit-seed") {
+               Arg == "--cache-audit-every" || Arg == "--cache-audit-seed" ||
+               Arg == "--journal-reattach-ms" || Arg == "--epoch" ||
+               Arg == "--repl-ack-timeout-ms") {
       std::optional<std::string> Value = NextValue();
       std::optional<uint64_t> N = Value ? parseCount(*Value) : std::nullopt;
       if (!N) {
@@ -700,6 +761,12 @@ int main(int argc, char **argv) {
         Opts.Cache.AuditEvery = static_cast<unsigned>(*N);
       else if (Arg == "--cache-audit-seed")
         Opts.Cache.AuditSeed = *N;
+      else if (Arg == "--journal-reattach-ms")
+        Opts.JournalReattachIntervalMs = *N;
+      else if (Arg == "--epoch")
+        Opts.Epoch = *N;
+      else if (Arg == "--repl-ack-timeout-ms")
+        Opts.ReplAckTimeoutMs = *N;
       else
         Opts.Ladder.BackoffMs = static_cast<unsigned>(*N);
     } else if (Arg == "--no-degrade") {
@@ -747,14 +814,71 @@ int main(int argc, char **argv) {
   }
 #endif
 
-  Server S(Opts, std::cout, std::cerr);
-  unsigned Quarantined = S.recover();
-  if (Quarantined)
+  if (Opts.Standby && Opts.JournalPath.empty()) {
     std::fprintf(stderr,
-                 "jslice_serve: recovered journal; %u poisoned request%s "
-                 "quarantined under %s\n",
-                 Quarantined, Quarantined == 1 ? "" : "s",
-                 Opts.QuarantineDir.c_str());
+                 "error: --standby-of requires --journal (the replica "
+                 "journal is the warm state)\n");
+    return usage();
+  }
+
+  Server S(Opts, std::cout, std::cerr);
+  if (!Opts.Standby) {
+    unsigned Quarantined = S.recover();
+    if (Quarantined)
+      std::fprintf(stderr,
+                   "jslice_serve: recovered journal; %u poisoned request%s "
+                   "quarantined under %s\n",
+                   Quarantined, Quarantined == 1 ? "" : "s",
+                   Opts.QuarantineDir.c_str());
+  }
+
+  // Warm standby: tail the primary's replication stream into our
+  // journal. The replica starts empty — the subscribe from seq 0 makes
+  // the primary send its full backlog (or a snapshot), so a standby
+  // restarted mid-life just re-seeds. Recovery happens at promotion,
+  // never at standby boot: the replicated unmatched begins are the
+  // *primary's* live requests, not casualties.
+  std::unique_ptr<StandbyTail> Tail;
+  if (Opts.Standby) {
+    StandbyTailOptions TailOpts;
+    if (!parseHostPort(StandbySpec, TailOpts.Host, TailOpts.Port)) {
+      std::fprintf(stderr, "error: bad --standby-of '%s'\n",
+                   StandbySpec.c_str());
+      return usage();
+    }
+    if (!S.journal().resetForSnapshot()) {
+      std::fprintf(stderr,
+                   "error: cannot initialize replica journal %s\n",
+                   Opts.JournalPath.c_str());
+      return 2;
+    }
+    Tail = std::make_unique<StandbyTail>(TailOpts, S.journal());
+    StandbyTail *TP = Tail.get();
+    S.setPromoteHook([TP] { TP->stop(); });
+    S.setReplProbe([TP] {
+      StandbyTailStats St = TP->stats();
+      JsonValue R = JsonValue::object();
+      R.set("connected", St.Connected);
+      R.set("lag_records", St.PrimarySeq > St.AppliedSeq
+                               ? St.PrimarySeq - St.AppliedSeq
+                               : 0);
+      R.set("applied_seq", St.AppliedSeq);
+      R.set("primary_seq", St.PrimarySeq);
+      R.set("primary_epoch", St.PrimaryEpoch);
+      R.set("connects", St.Connects);
+      R.set("snapshots", St.Snapshots);
+      R.set("duplicates", St.Duplicates);
+      R.set("corrupt_frames", St.CorruptFrames);
+      return R;
+    });
+    std::string TailErr;
+    if (!Tail->start(TailErr)) {
+      std::fprintf(stderr, "error: standby tail: %s\n", TailErr.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "jslice_serve: standby of %s\n",
+                 StandbySpec.c_str());
+  }
 
   if (!ListenSpec.empty()) {
     if (!InputPath.empty()) {

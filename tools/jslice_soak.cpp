@@ -78,6 +78,25 @@
 /// one observed rollback and one observed refusal (a matrix that never
 /// exercised them proved nothing).
 ///
+/// With --failover-matrix it drives a *real* primary/standby pair of
+/// `jslice_serve` processes (--serve-bin) under full client load, the
+/// replication link routed through the chaos proxy, sweeping five
+/// failure scenarios: kill -9 of the primary mid-request followed by
+/// promotion; kill -9 of the standby followed by a fresh re-seed from
+/// snapshot; a partitioned replication link that heals and must
+/// re-attach the stream — a resume from the last acked sequence when
+/// the primary retains it, a snapshot when rotation compacted past it
+/// during the outage, never silence; a promotion while the old primary
+/// still lives, where the epoch fence must deterministically refuse
+/// the ex-primary (zero split-brain serves); and a torn replication
+/// stream that must re-attach from the ack high-water mark over a
+/// clean link. Clients carry both endpoints and fail over
+/// on transport errors; the acceptance bar is the exactly-once audit
+/// plus, for --repl-ack=sync, an acked-durability audit: a tail batch
+/// of responses served over a healthy link, then kill -9 of the
+/// primary, must be fully recoverable from the standby's replica
+/// journal — zero acknowledged-but-lost records.
+///
 /// With --bench it times an identical request stream through thread
 /// and process isolation — and, where the platform has sockets, a
 /// pipelined TCP connection — and writes a benchmark JSON (--out) with
@@ -113,6 +132,7 @@
 ///               [--quarantine DIR] [--bench] [--out FILE]
 ///               [--net] [--net-clients N] [--shards N] [--disk-chaos]
 ///               [--upgrade-matrix --serve-bin PATH] [--upgrades N]
+///               [--failover-matrix --serve-bin PATH] [--repl-ack P]
 ///               [--cache on|off] [--cache-entries N] [--cache-bytes N]
 ///               [--cache-audit-every N] [--audit-seeds N] [--verbose]
 ///
@@ -125,9 +145,11 @@
 #include "net/ChaosProxy.h"
 #include "net/Client.h"
 #include "net/Socket.h"
+#include "net/StandbyTail.h"
 #include "net/TcpServer.h"
 #include "service/Journal.h"
 #include "service/JournalIo.h"
+#include "service/Replication.h"
 #include "service/Server.h"
 #include "support/Pipe.h"
 
@@ -139,8 +161,10 @@
 #include <fstream>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -179,8 +203,12 @@ struct SoakOptions {
   unsigned Shards = 0; ///< Transport reactor shards; 0 = hardware.
   bool DiskChaos = false;
   bool UpgradeMatrix = false;
-  std::string ServeBin;   ///< jslice_serve binary for the upgrade matrix.
+  bool FailoverMatrix = false;
+  std::string ServeBin;   ///< jslice_serve binary for the process matrices.
   uint64_t Upgrades = 20; ///< Hot restarts the matrix must complete.
+  /// Replication ack policy for the failover matrix (sync is the
+  /// strictest: it arms the acked-durability audit).
+  ReplAckPolicy ReplAck = ReplAckPolicy::Sync;
   bool CacheEnabled = true;
   uint64_t CacheEntries = 0;    ///< 0 = CacheOptions default.
   uint64_t CacheBytes = 0;      ///< 0 = CacheOptions default.
@@ -225,6 +253,8 @@ int usage() {
                "                   [--disk-chaos]\n"
                "                   [--upgrade-matrix --serve-bin PATH] "
                "[--upgrades N]\n"
+               "                   [--failover-matrix --serve-bin PATH] "
+               "[--repl-ack async|flush|sync]\n"
                "                   [--cache on|off] [--cache-entries N] "
                "[--cache-bytes N]\n"
                "                   [--cache-audit-every N] [--audit-seeds N] "
@@ -2098,6 +2128,713 @@ int runUpgradeMatrix(const SoakOptions &CliOpts) {
   return A.Violations ? 1 : 0;
 }
 
+//===----------------------------------------------------------------------===//
+// Failover matrix: warm-standby chaos over a real primary/standby pair
+//===----------------------------------------------------------------------===//
+
+/// One real serve process in the failover pair, with a private stderr
+/// scraper that learns the port it bound. Unlike the upgrade matrix's
+/// dynasty pipe, each node gets its own pipe: both processes are alive
+/// at once and their log streams must not be conflated.
+class FailoverNode {
+public:
+  bool spawn(const std::vector<std::string> &Args, bool Verbose) {
+    int P[2];
+    if (::pipe(P) != 0)
+      return false;
+    Pid = spawnServe(Args, P[1], P[0]);
+    // Only the child holds the write end, so EOF tracks its death.
+    ::close(P[1]);
+    if (Pid < 0) {
+      ::close(P[0]);
+      return false;
+    }
+    R = P[0];
+    Scraper = std::thread([this, Verbose] {
+      std::string Partial;
+      char Buf[4096];
+      for (;;) {
+        int64_t N = readSome(R, Buf, sizeof(Buf));
+        if (N <= 0)
+          break;
+        for (int64_t I = 0; I != N; ++I) {
+          if (Buf[I] != '\n') {
+            Partial.push_back(Buf[I]);
+            continue;
+          }
+          scrape(Partial);
+          if (Verbose)
+            std::fprintf(stderr, "%s\n", Partial.c_str());
+          Partial.clear();
+        }
+      }
+    });
+    return true;
+  }
+
+  uint16_t port() const { return Port.load(std::memory_order_relaxed); }
+  long pid() const { return Pid; }
+
+  void kill9() {
+    if (Pid > 0)
+      ::kill(static_cast<pid_t>(Pid), SIGKILL);
+  }
+
+  /// SIGTERM and wait for the drain to finish.
+  bool term(uint64_t TimeoutMs) {
+    if (Pid <= 0)
+      return true;
+    ::kill(static_cast<pid_t>(Pid), SIGTERM);
+    return waitMatrix([this] { return processGone(Pid); }, TimeoutMs);
+  }
+
+  ~FailoverNode() {
+    if (Pid > 0 && !processGone(Pid))
+      ::kill(static_cast<pid_t>(Pid), SIGKILL);
+    if (Scraper.joinable())
+      Scraper.join();
+    if (R >= 0)
+      ::close(R);
+    while (::waitpid(-1, nullptr, WNOHANG) > 0)
+      ;
+  }
+
+private:
+  void scrape(const std::string &Line) {
+    if (Line.find("listening on ") == std::string::npos)
+      return;
+    size_t Colon = Line.rfind(':');
+    if (Colon != std::string::npos)
+      Port.store(static_cast<uint16_t>(
+                     std::strtoul(Line.c_str() + Colon + 1, nullptr, 10)),
+                 std::memory_order_relaxed);
+  }
+
+  long Pid = -1;
+  int R = -1;
+  std::thread Scraper;
+  std::atomic<uint16_t> Port{0};
+};
+
+/// One request against a single endpoint; empty on transport failure.
+std::string failoverAsk(uint16_t Port, const std::string &Line,
+                        unsigned Attempts = 4) {
+  ClientOptions CO;
+  CO.Port = Port;
+  CO.MaxAttempts = Attempts;
+  CO.BackoffBaseMs = 20;
+  CO.BackoffCapMs = 200;
+  CO.ResponseTimeoutMs = 10000;
+  ClientConnection Conn(CO);
+  ClientResult R = Conn.request(Line);
+  return R.Ok ? R.Response : std::string();
+}
+
+/// The standby's replication telemetry out of {"health"}.
+struct StandbyView {
+  bool Reachable = false;
+  bool Connected = false;
+  uint64_t AppliedSeq = 0;
+  uint64_t PrimarySeq = 0;
+  uint64_t Lag = 0;
+};
+
+StandbyView standbyView(uint16_t Port) {
+  StandbyView Out;
+  std::string Resp = failoverAsk(Port, "{\"health\": true}", 2);
+  if (Resp.empty())
+    return Out;
+  std::optional<JsonValue> V = JsonValue::parse(Resp);
+  if (!V || !V->isObject())
+    return Out;
+  Out.Reachable = true;
+  const JsonValue *Repl = V->find("replication");
+  if (!Repl || !Repl->isObject())
+    return Out;
+  if (const JsonValue *C = Repl->find("connected"))
+    Out.Connected = C->isBool() && C->asBool();
+  if (const JsonValue *A = Repl->find("applied_seq"))
+    if (A->isNumber())
+      Out.AppliedSeq = static_cast<uint64_t>(A->asInt());
+  if (const JsonValue *P = Repl->find("primary_seq"))
+    if (P->isNumber())
+      Out.PrimarySeq = static_cast<uint64_t>(P->asInt());
+  if (const JsonValue *L = Repl->find("lag_records"))
+    if (L->isNumber())
+      Out.Lag = static_cast<uint64_t>(L->asInt());
+  return Out;
+}
+
+/// Waits until the standby has reconnected and applied past the
+/// primary's position advertised when the stream reattached. Absolute
+/// lag never has to reach zero — under async load the primary keeps
+/// outrunning the stream — so the catch-up goal is the seq the fresh
+/// hello carried, which proves the gap opened by the fault was
+/// replayed.
+bool standbyCaughtUp(uint16_t Port, uint64_t TimeoutMs) {
+  uint64_t Goal = 0;
+  return waitMatrix(
+      [&] {
+        StandbyView V = standbyView(Port);
+        if (!V.Connected)
+          return false;
+        if (!Goal)
+          Goal = V.PrimarySeq ? V.PrimarySeq : 1;
+        return V.AppliedSeq >= Goal;
+      },
+      TimeoutMs);
+}
+
+/// The primary's replication counters out of {"stats"}.
+struct PrimaryReplView {
+  bool Reachable = false;
+  uint64_t Resumes = 0;
+  uint64_t Snapshots = 0;
+  uint64_t SyncTimeouts = 0;
+  uint64_t AckedSeq = 0;
+};
+
+PrimaryReplView primaryReplView(uint16_t Port) {
+  PrimaryReplView Out;
+  std::string Resp = failoverAsk(Port, "{\"stats\": true}", 2);
+  if (Resp.empty())
+    return Out;
+  std::optional<JsonValue> V = JsonValue::parse(Resp);
+  if (!V || !V->isObject())
+    return Out;
+  const JsonValue *S = V->find("stats");
+  const JsonValue *R = S && S->isObject() ? S->find("replication") : nullptr;
+  if (!R || !R->isObject())
+    return Out;
+  Out.Reachable = true;
+  auto Count = [&](const char *Key, uint64_t &Dst) {
+    if (const JsonValue *N = R->find(Key))
+      if (N->isNumber())
+        Dst = static_cast<uint64_t>(N->asInt());
+  };
+  Count("resumes", Out.Resumes);
+  Count("snapshots", Out.Snapshots);
+  Count("sync_timeouts", Out.SyncTimeouts);
+  Count("acked_seq", Out.AckedSeq);
+  return Out;
+}
+
+/// Waits for the primary-side proof that the standby re-subscribed
+/// after a link fault: the hub's resume/snapshot counters advancing
+/// past their pre-fault values. The standby's own health is no use for
+/// this — right after a reconnect it reports Connected with seqs left
+/// over from before the fault, while its subscribe line is still in
+/// flight to the hub — so racing it reads "re-attached" off a stream
+/// that has not reached the primary yet.
+bool streamReattached(uint16_t PriPort, const PrimaryReplView &Before,
+                      uint64_t TimeoutMs) {
+  if (!Before.Reachable)
+    return true; // No baseline to compare against; the catch-up and
+                 // end-of-run audits still apply.
+  return waitMatrix(
+      [&] {
+        PrimaryReplView Now = primaryReplView(PriPort);
+        return Now.Reachable && Now.Resumes + Now.Snapshots >
+                                    Before.Resumes + Before.Snapshots;
+      },
+      TimeoutMs);
+}
+
+/// Sends {"promote": true}; returns the new epoch, 0 on failure.
+uint64_t failoverPromote(uint16_t Port) {
+  std::string Resp = failoverAsk(Port, "{\"promote\": true}", 4);
+  if (Resp.empty())
+    return 0;
+  std::optional<JsonValue> V = JsonValue::parse(Resp);
+  if (!V || !V->isObject())
+    return 0;
+  const JsonValue *St = V->find("status");
+  if (!St || !St->isString() || St->asString() != "ok")
+    return 0;
+  const JsonValue *E = V->find("epoch");
+  return E && E->isNumber() ? static_cast<uint64_t>(E->asInt()) : 0;
+}
+
+/// (Re)builds the replication link's chaos proxy: same listen port
+/// every time (the standby's --standby-of target is fixed), retargeted
+/// at whichever node is currently primary.
+std::unique_ptr<ChaosProxy> replProxy(uint16_t ListenPort,
+                                      uint16_t Upstream, uint64_t Seed,
+                                      bool Faulty, std::string &Err) {
+  ChaosOptions CO;
+  CO.ListenPort = ListenPort;
+  CO.UpstreamPort = Upstream;
+  if (Faulty) {
+    // Torn frames and mid-stream resets are scenario 5 running
+    // continuously: every reconnect must resume from the acked seq.
+    CO.ResetPermille = 15;
+    CO.TruncatePermille = 15;
+    CO.DelayPermille = 30;
+    CO.DelayMs = 1;
+  }
+  CO.Seed = Seed;
+  auto P = std::make_unique<ChaosProxy>(CO);
+  if (!P->start(Err))
+    return nullptr;
+  return P;
+}
+
+/// Ids of every verifiable begin record in \p Path — the replica-side
+/// evidence for the acked-durability audit.
+std::set<std::string> journalBeginIds(const std::string &Path) {
+  std::set<std::string> Out;
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty() ||
+        verifyJournalLine(Line) == JournalLineCheck::Corrupt)
+      continue;
+    std::optional<JsonValue> V = JsonValue::parse(Line);
+    if (!V || !V->isObject())
+      continue;
+    const JsonValue *Ev = V->find("event");
+    const JsonValue *Id = V->find("id");
+    if (Ev && Ev->isString() && Ev->asString() == "begin" && Id &&
+        Id->isString())
+      Out.insert(Id->asString());
+  }
+  return Out;
+}
+
+int runFailoverMatrix(const SoakOptions &CliOpts) {
+  SoakOptions Opts = CliOpts;
+  if (Opts.ServeBin.empty()) {
+    std::fprintf(stderr,
+                 "error: --failover-matrix requires --serve-bin PATH\n");
+    return 2;
+  }
+
+  // Journals and quarantine dirs belong to the node *slot* (the listen
+  // port), not the role: a promoted standby keeps appending to what
+  // was its replica journal.
+  std::string Stem = Opts.JournalPath.empty()
+                         ? std::string("failover-matrix")
+                         : Opts.JournalPath;
+  const std::string JPath[2] = {Stem + "-a.jsonl", Stem + "-b.jsonl"};
+  const std::string QDir[2] = {Opts.QuarantineDir + "-a",
+                               Opts.QuarantineDir + "-b"};
+  std::error_code Ec;
+  for (int I = 0; I != 2; ++I) {
+    std::filesystem::remove(JPath[I], Ec);
+    std::filesystem::remove(JPath[I] + ".rotate", Ec);
+    std::filesystem::remove(JPath[I] + ".corrupt", Ec);
+    std::filesystem::remove_all(QDir[I], Ec);
+  }
+
+  uint64_t MatrixViolations = 0;
+  auto violate = [&](const std::string &Why) {
+    ++MatrixViolations;
+    std::fprintf(stderr, "VIOLATION: %s\n", Why.c_str());
+  };
+
+  auto serveArgs = [&](int Slot, uint16_t Port, uint16_t StandbyOfPort) {
+    std::vector<std::string> A = {
+        Opts.ServeBin,  "--listen",   "127.0.0.1:" + std::to_string(Port),
+        "--journal",    JPath[Slot], "--quarantine",
+        QDir[Slot],     "--repl-ack", replAckPolicyName(Opts.ReplAck)};
+    if (Opts.Shards) {
+      A.push_back("--shards");
+      A.push_back(std::to_string(Opts.Shards));
+    }
+    if (StandbyOfPort) {
+      A.push_back("--standby-of");
+      A.push_back("127.0.0.1:" + std::to_string(StandbyOfPort));
+    }
+    return A;
+  };
+
+  // Boot the initial primary on an ephemeral port.
+  int PriSlot = 0, StbSlot = 1;
+  auto Pri = std::make_unique<FailoverNode>();
+  if (!Pri->spawn(serveArgs(PriSlot, 0, 0), Opts.Verbose) ||
+      !waitMatrix([&] { return Pri->port() != 0; }, 15000)) {
+    violate("initial primary never announced itself");
+    return 1;
+  }
+  uint16_t PriPort = Pri->port();
+
+  // The replication link goes through the chaos proxy so the matrix
+  // can tear, partition, and heal it on demand.
+  std::string Err;
+  std::unique_ptr<ChaosProxy> Proxy =
+      replProxy(0, PriPort, Opts.Seed, /*Faulty=*/true, Err);
+  if (!Proxy) {
+    violate("cannot start the replication chaos proxy: " + Err);
+    return 1;
+  }
+  const uint16_t ProxyPort = Proxy->port();
+
+  // Seeds (or re-seeds) a standby in \p Slot; Port = 0 takes an
+  // ephemeral port, nonzero rebinds a dead predecessor's port so the
+  // clients' endpoint list stays valid across the whole matrix.
+  auto seedStandby =
+      [&](int Slot, uint16_t Port) -> std::unique_ptr<FailoverNode> {
+    std::filesystem::remove(JPath[Slot], Ec);
+    std::filesystem::remove(JPath[Slot] + ".corrupt", Ec);
+    auto N = std::make_unique<FailoverNode>();
+    if (!N->spawn(serveArgs(Slot, Port, ProxyPort), Opts.Verbose) ||
+        !waitMatrix([&] { return N->port() != 0; }, 15000))
+      return nullptr;
+    uint16_t P = N->port();
+    if (!waitMatrix([&] { return standbyView(P).Connected; }, 30000))
+      return nullptr;
+    return N;
+  };
+
+  auto Stb = seedStandby(StbSlot, 0);
+  if (!Stb) {
+    violate("initial standby never connected to the primary");
+    return 1;
+  }
+  uint16_t StbPort = Stb->port();
+
+  // Client load: both endpoints, rotated on transport failure — the
+  // Client failover machinery under test. Sheds (standby refusing
+  // pre-promotion, the fence, drains) are retried at the outer level
+  // until a terminal status lands; ids keep flowing past --requests
+  // until the scenarios finish so every failover happens under load.
+  std::vector<SoakProgram> Programs = buildPrograms(Opts);
+  std::atomic<bool> ScenariosDone{false};
+  std::atomic<uint64_t> NextId{0};
+  std::atomic<uint64_t> Answered{0};
+  std::mutex AuditM;
+  std::vector<std::string> Responses;
+  uint64_t Sent = 0, Lost = 0, Retried = 0, EndpointFailovers = 0;
+  unsigned NClients = Opts.NetClients ? Opts.NetClients : 1;
+  std::vector<std::thread> Clients;
+  for (unsigned CI = 0; CI != NClients; ++CI) {
+    Clients.emplace_back([&, CI, PriPort, StbPort] {
+      ClientOptions CliOpt;
+      CliOpt.Port = PriPort;
+      CliOpt.Endpoints = {"127.0.0.1:" + std::to_string(PriPort),
+                          "127.0.0.1:" + std::to_string(StbPort)};
+      CliOpt.MaxAttempts = 64;
+      CliOpt.BackoffBaseMs = 2;
+      CliOpt.BackoffCapMs = 100;
+      CliOpt.ResponseTimeoutMs = 60000;
+      CliOpt.JitterSeed = Opts.Seed + CI + 1;
+      ClientConnection Conn(CliOpt);
+      std::vector<std::string> Local;
+      uint64_t LocalSent = 0, LocalLost = 0, LocalRetried = 0;
+      for (;;) {
+        uint64_t I = NextId.fetch_add(1, std::memory_order_relaxed);
+        if (I >= Opts.Requests &&
+            ScenariosDone.load(std::memory_order_relaxed))
+          break;
+        const SoakProgram &P = Programs[I % Programs.size()];
+        ServiceRequest R;
+        R.Id = "f" + std::to_string(I);
+        R.Program = P.Source;
+        const Criterion &C = P.Criteria[I % P.Criteria.size()];
+        R.Line = C.Line;
+        R.Vars = C.Vars;
+        R.Algorithm = AllAlgorithms[I % (sizeof(AllAlgorithms) /
+                                         sizeof(AllAlgorithms[0]))];
+        std::string Line = R.toJson().str();
+        ++LocalSent;
+        bool Done = false, WasRetried = false;
+        for (unsigned Try = 0; Try != 120 && !Done; ++Try) {
+          ClientResult Res = Conn.request(Line);
+          if (Try || Res.Attempts > 1)
+            WasRetried = true;
+          if (!Res.Ok) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(250));
+            continue;
+          }
+          if (Res.Response.find("\"status\":\"shed\"") !=
+              std::string::npos) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            continue;
+          }
+          Local.push_back(std::move(Res.Response));
+          Answered.fetch_add(1, std::memory_order_relaxed);
+          Done = true;
+        }
+        if (WasRetried)
+          ++LocalRetried;
+        if (!Done) {
+          ++LocalLost;
+          std::lock_guard<std::mutex> Lock(AuditM);
+          std::fprintf(stderr,
+                       "VIOLATION: request lost across the failover "
+                       "matrix: %.80s\n",
+                       Line.c_str());
+        }
+      }
+      std::lock_guard<std::mutex> Lock(AuditM);
+      for (auto &L : Local)
+        Responses.push_back(std::move(L));
+      Sent += LocalSent;
+      Lost += LocalLost;
+      Retried += LocalRetried;
+      EndpointFailovers += Conn.failovers();
+    });
+  }
+
+  // Let the pair serve real traffic before the first kill, so the
+  // SIGKILL lands mid-request, not on an idle server.
+  waitMatrix([&] { return Answered.load(std::memory_order_relaxed) >=
+                          NClients * 2; },
+             30000);
+
+  uint64_t Epoch = 0;
+
+  // Scenario 1 — kill -9 the primary mid-request; explicit promotion.
+  // Clients must fail over to the standby and stall only until the
+  // promotion lands.
+  {
+    Pri->kill9();
+    uint64_t E = 0;
+    for (unsigned Try = 0; Try != 25 && !E; ++Try) {
+      E = failoverPromote(StbPort);
+      if (!E)
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    if (!E)
+      violate("standby never promoted after the primary's kill -9");
+    else if (E < 2)
+      violate("promotion did not advance the epoch past the dead "
+              "primary's");
+    Epoch = E;
+    // Roles swap; the freed slot re-seeds as the new standby behind a
+    // retargeted proxy.
+    std::swap(PriSlot, StbSlot);
+    std::swap(PriPort, StbPort);
+    Pri = std::move(Stb);
+    Proxy->stop();
+    Proxy = replProxy(ProxyPort, PriPort, Opts.Seed + 2, true, Err);
+    if (!Proxy)
+      violate("cannot retarget the replication proxy: " + Err);
+    else if (!(Stb = seedStandby(StbSlot, StbPort)))
+      violate("cannot re-seed a standby after the first failover");
+  }
+
+  // Scenario 2 — kill -9 the standby. The primary must keep answering
+  // (a sync ack policy must not wedge admission with no subscriber),
+  // then a fresh standby re-seeds from a full snapshot.
+  if (!MatrixViolations) {
+    Stb->kill9();
+    Stb.reset();
+    const SoakProgram &P = Programs[0];
+    ServiceRequest R;
+    R.Id = "s2-probe";
+    R.Program = P.Source;
+    R.Line = P.Criteria[0].Line;
+    R.Vars = P.Criteria[0].Vars;
+    std::string Resp = failoverAsk(PriPort, R.toJson().str(), 8);
+    if (Resp.empty() ||
+        Resp.find("\"status\":") == std::string::npos)
+      violate("primary stopped answering while the standby was down");
+    if (!(Stb = seedStandby(StbSlot, StbPort)))
+      violate("cannot re-seed the standby after its kill -9");
+  }
+
+  // Scenario 3 — partition the replication link, let the standby fall
+  // behind under load, heal, and require the stream to re-attach
+  // through the subscribe protocol and catch up. Both hub answers are
+  // legal here: a *resume* from the last acked seq when the primary
+  // still retains that range, or a *snapshot* when rotation compacted
+  // past it while the link was down (under full load the partition
+  // window is long enough for either). What is not legal is silence —
+  // neither counter advancing means the standby never re-attached.
+  if (!MatrixViolations) {
+    PrimaryReplView Before = primaryReplView(PriPort);
+    Proxy->stop();
+    std::this_thread::sleep_for(std::chrono::milliseconds(750));
+    Proxy = replProxy(ProxyPort, PriPort, Opts.Seed + 3, true, Err);
+    if (!Proxy)
+      violate("cannot heal the replication partition: " + Err);
+    else if (!streamReattached(PriPort, Before, 30000))
+      violate("healed partition never re-attached the stream (no "
+              "resume, no snapshot)");
+    else if (!standbyCaughtUp(StbPort, 30000))
+      violate("standby never caught up after the partition healed");
+  }
+
+  // Scenario 4 — promote the standby while the old primary still
+  // lives. The epoch fence must deterministically refuse the
+  // ex-primary: zero split-brain serves.
+  if (!MatrixViolations) {
+    uint64_t E = failoverPromote(StbPort);
+    if (E <= Epoch)
+      violate("live-primary promotion did not advance the epoch");
+    else
+      Epoch = E;
+    for (unsigned I = 0; I != 8 && E; ++I) {
+      const SoakProgram &P = Programs[I % Programs.size()];
+      ServiceRequest R;
+      R.Id = "fence" + std::to_string(I);
+      R.Program = P.Source;
+      const Criterion &C = P.Criteria[I % P.Criteria.size()];
+      R.Line = C.Line;
+      R.Vars = C.Vars;
+      R.MinEpoch = Epoch;
+      std::string Resp = failoverAsk(PriPort, R.toJson().str());
+      if (Resp.empty())
+        continue; // Unreachable is also a refusal.
+      if (Resp.find("\"status\":\"shed\"") == std::string::npos ||
+          Resp.find("fenced") == std::string::npos)
+        violate("ex-primary served a request fenced at epoch " +
+                std::to_string(Epoch) + ": " + Resp);
+    }
+    // Resolve the split brain the way the watchdog does: the fenced
+    // ex-primary dies, the promoted standby is the primary.
+    Pri->kill9();
+    std::swap(PriSlot, StbSlot);
+    std::swap(PriPort, StbPort);
+    Pri = std::move(Stb);
+    Proxy->stop();
+    Proxy = replProxy(ProxyPort, PriPort, Opts.Seed + 4, true, Err);
+    if (!Proxy)
+      violate("cannot retarget the proxy after the fenced failover: " +
+              Err);
+    else if (!(Stb = seedStandby(StbSlot, StbPort)))
+      violate("cannot re-seed the standby after the fenced failover");
+  }
+
+  // Scenario 5 — tear the replication stream mid-flight; the standby
+  // must resume from its ack high-water mark over a now-clean link
+  // (the endgame link is fault-free so the acked-durability audit
+  // below measures the policy, not the chaos).
+  if (!MatrixViolations) {
+    // Quiesce first: with the freshly re-seeded standby caught up to
+    // the primary's tip, the post-tear re-subscribe lands inside the
+    // retained tail and the hub's answer is deterministically a
+    // resume — unless a rotation crosses the ack high-water during
+    // the sub-second tear window, in which case a snapshot is the
+    // correct (and audited-equivalent) catch-up.
+    if (!standbyCaughtUp(StbPort, 30000))
+      violate("standby never caught up before the stream tear");
+    PrimaryReplView Before = primaryReplView(PriPort);
+    Proxy->stop(); // Severs the stream mid-frame.
+    Proxy = replProxy(ProxyPort, PriPort, Opts.Seed + 5,
+                      /*Faulty=*/false, Err);
+    if (!Proxy)
+      violate("cannot rebuild the replication link after the tear: " +
+              Err);
+    else if (!streamReattached(PriPort, Before, 30000))
+      violate("torn stream never re-attached from the last acked seq "
+              "(no resume, no snapshot)");
+    else if (!standbyCaughtUp(StbPort, 30000))
+      violate("standby never resumed after the torn stream");
+  }
+
+  ScenariosDone.store(true, std::memory_order_relaxed);
+  for (auto &C : Clients)
+    C.join();
+
+  // The acked-durability audit: with --repl-ack=sync every response
+  // released to a client is preceded by the standby's durable ack of
+  // its begin record, so a tail batch served over the healthy endgame
+  // link, followed by kill -9 of the primary, must be fully present in
+  // the replica journal — zero acknowledged-but-lost records. (If any
+  // ack wait timed out during the batch, the guarantee was legally
+  // waived for those requests and the strict check is skipped.)
+  uint64_t TailOk = 0;
+  if (!MatrixViolations && Opts.ReplAck == ReplAckPolicy::Sync && Stb) {
+    PrimaryReplView Before = primaryReplView(PriPort);
+    std::vector<std::string> TailIds;
+    for (unsigned I = 0; I != 16; ++I) {
+      const SoakProgram &P = Programs[I % Programs.size()];
+      ServiceRequest R;
+      R.Id = "tail" + std::to_string(I);
+      R.Program = P.Source;
+      const Criterion &C = P.Criteria[I % P.Criteria.size()];
+      R.Line = C.Line;
+      R.Vars = C.Vars;
+      std::string Resp = failoverAsk(PriPort, R.toJson().str(), 8);
+      if (Resp.find("\"status\":\"ok\"") != std::string::npos) {
+        ++TailOk;
+        TailIds.push_back(R.Id);
+      }
+    }
+    PrimaryReplView After = primaryReplView(PriPort);
+    bool Strict = Before.Reachable && After.Reachable &&
+                  After.SyncTimeouts == Before.SyncTimeouts;
+    Pri->kill9();
+    Pri.reset();
+    if (!Stb->term(30000))
+      violate("standby never drained for the post-matrix scan");
+    Stb.reset();
+    JournalScan Scan = scanJournalDetailed(JPath[StbSlot]);
+    if (Scan.CorruptRecords)
+      violate("replica journal holds mid-file corruption after the "
+              "matrix");
+    if (Scan.MaxEpoch < Epoch)
+      violate("replica journal never saw the final fencing epoch " +
+              std::to_string(Epoch));
+    if (!TailOk)
+      violate("acked-durability tail batch produced no ok responses — "
+              "the audit proved nothing");
+    if (Strict) {
+      std::set<std::string> Begins = journalBeginIds(JPath[StbSlot]);
+      for (const std::string &Id : TailIds)
+        if (!Begins.count(Id))
+          violate("acknowledged-but-lost: response for id " + Id +
+                  " has no replica-journal record");
+    } else {
+      std::fprintf(stderr,
+                   "jslice_soak: sync ack timeouts during the tail "
+                   "batch; acked-durability audit skipped\n");
+    }
+  } else {
+    if (Pri)
+      Pri->kill9();
+    Pri.reset();
+    if (Stb)
+      Stb->term(15000);
+    Stb.reset();
+  }
+  Proxy.reset();
+
+  // Coverage: two promotions means the final epoch is at least 3 — a
+  // matrix that never failed over proved nothing.
+  if (Epoch < 3)
+    violate("matrix finished at epoch " + std::to_string(Epoch) +
+            " — both promotions must land");
+
+  Audit A;
+  for (const std::string &L : Responses)
+    auditLine(L, A);
+  A.Violations += Lost + MatrixViolations;
+  for (const auto &[Id, N] : A.SliceResponses)
+    if (N != 1) {
+      ++A.Violations;
+      std::fprintf(stderr, "VIOLATION: id %s answered %llu times\n",
+                   Id.c_str(), static_cast<unsigned long long>(N));
+    }
+  if (A.SliceResponses.size() != Sent - Lost) {
+    ++A.Violations;
+    std::fprintf(stderr,
+                 "VIOLATION: %llu requests sent, %zu distinct terminal "
+                 "statuses — responses were lost\n",
+                 static_cast<unsigned long long>(Sent),
+                 A.SliceResponses.size());
+  }
+
+  std::printf("jslice_soak: failover matrix — %llu requests over %u "
+              "clients, final epoch %llu, %llu endpoint failovers, "
+              "%llu tail-audited, ack=%s\n",
+              static_cast<unsigned long long>(Sent), NClients,
+              static_cast<unsigned long long>(Epoch),
+              static_cast<unsigned long long>(EndpointFailovers),
+              static_cast<unsigned long long>(TailOk),
+              replAckPolicyName(Opts.ReplAck));
+  std::printf("               retried requests   %llu\n",
+              static_cast<unsigned long long>(Retried));
+  for (const auto &[StName, N] : A.ByStatus)
+    std::printf("               %-18s %llu\n", StName.c_str(),
+                static_cast<unsigned long long>(N));
+  std::printf("               violations         %llu\n",
+              static_cast<unsigned long long>(A.Violations));
+  return A.Violations ? 1 : 0;
+}
+
 #else // !JSLICE_HAVE_POSIX_PROCESS
 
 int runNetSoak(const SoakOptions &) {
@@ -2109,6 +2846,12 @@ int runNetSoak(const SoakOptions &) {
 int runUpgradeMatrix(const SoakOptions &) {
   std::fprintf(stderr, "jslice_soak: process control unavailable; "
                        "--upgrade-matrix skipped\n");
+  return 0;
+}
+
+int runFailoverMatrix(const SoakOptions &) {
+  std::fprintf(stderr, "jslice_soak: process control unavailable; "
+                       "--failover-matrix skipped\n");
   return 0;
 }
 
@@ -2400,6 +3143,107 @@ std::optional<BenchRun> benchTcpMulti(const SoakOptions &Opts,
   R.ThroughputRps = R.WallMs > 0 ? Answered / (R.WallMs / 1000.0) : 0;
   return R;
 }
+
+/// One bench pass with the journal on and — when \p WithStandby — a
+/// real StandbyTail subscribed over TCP at \p Policy, so the measured
+/// ladder prices what each ack policy costs on the hot path against
+/// the journal-only baseline. The subscription is established before
+/// the clock starts; sync rows therefore wait on a live ack for every
+/// admission, never on the no-subscriber fast path.
+std::optional<BenchRun> benchReplicated(const SoakOptions &Opts,
+                                        const std::string &Input,
+                                        uint64_t Slices,
+                                        const CacheOptions &Cache,
+                                        ReplAckPolicy Policy,
+                                        bool WithStandby) {
+  const std::string JPath = "bench-repl-journal.jsonl";
+  const std::string RPath = "bench-repl-replica.jsonl";
+  std::error_code Ec;
+  std::filesystem::remove(JPath, Ec);
+  std::filesystem::remove(RPath, Ec);
+
+  std::ostringstream Unused, Log;
+  ServerOptions SOpts;
+  SOpts.Threads = Opts.Threads;
+  SOpts.QuarantineDir = Opts.QuarantineDir;
+  SOpts.Cache = Cache;
+  SOpts.JournalPath = JPath;
+  SOpts.ReplAck = Policy;
+  Server S(SOpts, Unused, Log);
+  TcpServerOptions TOpts;
+  TOpts.Shards = Opts.Shards;
+  TcpServer T(S, TOpts, Log);
+  std::string Err;
+  if (!T.start(Err))
+    return std::nullopt;
+  std::thread Loop([&] { T.run(); });
+
+  Journal Replica;
+  std::unique_ptr<StandbyTail> Tail;
+  auto Teardown = [&] {
+    if (Tail)
+      Tail->stop();
+    T.requestStop();
+    Loop.join();
+    S.finish();
+  };
+  if (WithStandby) {
+    StandbyTailOptions TO;
+    TO.Port = T.port();
+    bool Up = Replica.open(RPath);
+    if (Up) {
+      Tail = std::make_unique<StandbyTail>(TO, Replica);
+      Up = Tail->start(Err);
+    }
+    for (int I = 0; Up && I != 500 && !Tail->stats().Connected; ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (!Up || !Tail->stats().Connected) {
+      Teardown();
+      return std::nullopt;
+    }
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  BenchRun R;
+  {
+    int Fd = connectTcp("127.0.0.1", T.port(), 5000, Err);
+    if (Fd < 0) {
+      Teardown();
+      return std::nullopt;
+    }
+    std::thread Writer([&] {
+      size_t Sent = 0;
+      while (Sent < Input.size()) {
+        int64_t W = sendSome(Fd, Input.data() + Sent, Input.size() - Sent);
+        if (W <= 0)
+          break;
+        Sent += static_cast<size_t>(W);
+      }
+    });
+    uint64_t Got = 0;
+    char Chunk[65536];
+    while (Got < Slices) {
+      int64_t N = recvSome(Fd, Chunk, sizeof(Chunk));
+      if (N <= 0)
+        break;
+      for (int64_t I = 0; I != N; ++I)
+        if (Chunk[I] == '\n')
+          ++Got;
+    }
+    Writer.join();
+    closeQuietly(Fd);
+  }
+  R.WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - Start)
+                 .count();
+  Teardown();
+  R.Stats = S.stats();
+  uint64_t Answered = R.Stats.Served + R.Stats.Refused + R.Stats.Errors;
+  R.ThroughputRps = R.WallMs > 0 ? Answered / (R.WallMs / 1000.0) : 0;
+  std::filesystem::remove(JPath, Ec);
+  std::filesystem::remove(RPath, Ec);
+  return R;
+}
 #endif
 
 JsonValue benchJson(const BenchRun &R) {
@@ -2486,6 +3330,43 @@ int runBench(const SoakOptions &Opts) {
     std::error_code Ec;
     std::filesystem::remove(JPath, Ec);
   }
+
+  // The replication ladder: the same stream with the journal on and a
+  // real standby tailing the stream over TCP, at each ack policy.
+  // `no_replica` is the baseline price of journal + transport alone;
+  // the async -> flush -> sync spread is what each narrowing of the
+  // acknowledged-loss window costs on the hot path (DESIGN.md,
+  // "Replication & failover" tabulates the windows).
+#ifdef JSLICE_HAVE_POSIX_PROCESS
+  {
+    JsonValue Repl = JsonValue::object();
+    std::printf("jslice_soak: replication —");
+    double Baseline = 0;
+    if (std::optional<BenchRun> Base =
+            benchReplicated(Opts, Input, Slices, CacheOff,
+                            ReplAckPolicy::Async, /*WithStandby=*/false)) {
+      Baseline = Base->ThroughputRps;
+      Repl.set("no_replica", benchJson(*Base));
+      std::printf(" no-replica %.0f req/s |", Baseline);
+    }
+    const ReplAckPolicy Policies[] = {
+        ReplAckPolicy::Async, ReplAckPolicy::Flush, ReplAckPolicy::Sync};
+    for (ReplAckPolicy Policy : Policies) {
+      std::optional<BenchRun> R = benchReplicated(
+          Opts, Input, Slices, CacheOff, Policy, /*WithStandby=*/true);
+      if (!R)
+        continue;
+      JsonValue Row = benchJson(*R);
+      if (Baseline > 0 && R->ThroughputRps > 0)
+        Row.set("slowdown_vs_no_replica", Baseline / R->ThroughputRps);
+      Repl.set(replAckPolicyName(Policy), std::move(Row));
+      std::printf(" %s %.0f req/s%s", replAckPolicyName(Policy),
+                  R->ThroughputRps,
+                  Policy == ReplAckPolicy::Sync ? "\n" : " |");
+    }
+    Root.set("replication", std::move(Repl));
+  }
+#endif
 
   // The cache benchmark: the same corpus under a Zipf draw, through
   // TCP, cache-off then cache-on with self-audit sampling. Both passes
@@ -2806,6 +3687,13 @@ int main(int argc, char **argv) {
         return usage();
       }
       Opts.CacheEnabled = *Value == "on";
+    } else if (Arg == "--repl-ack") {
+      std::optional<std::string> Value = NextValue();
+      if (!Value || !parseReplAckPolicyName(*Value, Opts.ReplAck)) {
+        std::fprintf(stderr,
+                     "error: --repl-ack expects async, flush, or sync\n");
+        return usage();
+      }
     } else if (Arg == "--journal" || Arg == "--quarantine" ||
                Arg == "--out" || Arg == "--isolate" ||
                Arg == "--serve-bin") {
@@ -2837,6 +3725,8 @@ int main(int argc, char **argv) {
       Opts.DiskChaos = true;
     } else if (Arg == "--upgrade-matrix") {
       Opts.UpgradeMatrix = true;
+    } else if (Arg == "--failover-matrix") {
+      Opts.FailoverMatrix = true;
     } else if (Arg == "--bench") {
       Opts.Bench = true;
     } else if (Arg == "--net") {
@@ -2855,6 +3745,8 @@ int main(int argc, char **argv) {
     return runDiskChaos(Opts);
   if (Opts.UpgradeMatrix)
     return runUpgradeMatrix(Opts);
+  if (Opts.FailoverMatrix)
+    return runFailoverMatrix(Opts);
   if (Opts.Net)
     return runNetSoak(Opts); // --crash-matrix layers kills on top.
   if (Opts.CrashMatrix)

@@ -25,6 +25,19 @@
 ///   --restart-window-ms N    breaker window (default 30000)
 ///   --restart-cooldown-ms N  pause before respawning once the breaker
 ///                            trips (default 5000)
+///   --standby HOST:PORT      failover mode: when the leader dies or
+///                            fails K consecutive probes, do NOT
+///                            restart it — kill whatever is left of
+///                            it, send {"promote": true} to the warm
+///                            standby at HOST:PORT, and exit 0 once
+///                            the promotion is acknowledged. The
+///                            kill-before-promote order matters: the
+///                            old primary must be dead (or fenced by
+///                            the promotion epoch) before the standby
+///                            starts serving, so there is no window
+///                            where both serve. Exit 1 if the standby
+///                            cannot be promoted — the operator's cue
+///                            that the service is down for real
 ///
 /// The leader's stderr flows through the watchdog (teed to its own
 /// stderr), which scrapes three things from it: the bound port
@@ -49,7 +62,9 @@
 /// wait for the drain, exit 0. SIGUSR2 forwards to the leader to
 /// trigger an upgrade.
 ///
-/// Exit codes: 0 — shut down on signal; 2 — usage error.
+/// Exit codes: 0 — shut down on signal, or (--standby) failover
+/// complete; 1 — (--standby) the standby could not be promoted;
+/// 2 — usage error.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -87,6 +102,7 @@ int usage() {
       "                       [--grace-ms N] [--restart-threshold N]\n"
       "                       [--restart-window-ms N] "
       "[--restart-cooldown-ms N]\n"
+      "                       [--standby HOST:PORT]\n"
       "                       -- jslice_serve --listen HOST:PORT ...\n");
   return 2;
 }
@@ -239,7 +255,40 @@ struct WatchdogOptions {
   unsigned RestartThreshold = 5;
   uint64_t RestartWindowMs = 30000;
   uint64_t RestartCooldownMs = 5000;
+  std::string StandbyHost; ///< --standby: promote instead of restart.
+  uint16_t StandbyPort = 0;
 };
+
+/// Sends {"promote": true} to the standby and waits for the one-line
+/// answer. True when the standby acknowledged with "status":"ok".
+bool promoteStandby(const std::string &Host, uint16_t Port) {
+  std::string Err;
+  int Fd = connectTcp(Host, Port, /*TimeoutMs=*/2000, Err);
+  if (Fd < 0)
+    return false;
+  static const char Line[] = "{\"promote\": true}\n";
+  size_t Off = 0;
+  while (Off < sizeof(Line) - 1) {
+    int64_t W = sendSome(Fd, Line + Off, sizeof(Line) - 1 - Off);
+    if (W <= 0) {
+      ::close(Fd);
+      return false;
+    }
+    Off += static_cast<size_t>(W);
+  }
+  std::string Resp;
+  char C;
+  while (Resp.size() < 65536) {
+    int64_t R = recvSome(Fd, &C, 1);
+    if (R <= 0 || C == '\n')
+      break;
+    Resp.push_back(C);
+  }
+  ::close(Fd);
+  std::optional<JsonValue> V = JsonValue::parse(Resp, nullptr);
+  const JsonValue *S = V ? V->find("status") : nullptr;
+  return S && S->isString() && S->asString() == "ok";
+}
 
 /// True when \p Pid still exists (EPERM counts as alive).
 bool processAlive(long Pid) {
@@ -316,7 +365,16 @@ int main(int argc, char **argv) {
         return std::nullopt;
       return std::string(argv[++I]);
     };
-    if (Arg == "--health-interval-ms" || Arg == "--health-failures" ||
+    if (Arg == "--standby") {
+      std::optional<std::string> Value = NextValue();
+      if (!Value ||
+          !parseHostPort(*Value, Opts.StandbyHost, Opts.StandbyPort) ||
+          !Opts.StandbyPort) {
+        std::fprintf(stderr,
+                     "error: --standby expects HOST:PORT (port != 0)\n");
+        return usage();
+      }
+    } else if (Arg == "--health-interval-ms" || Arg == "--health-failures" ||
         Arg == "--grace-ms" || Arg == "--restart-threshold" ||
         Arg == "--restart-window-ms" || Arg == "--restart-cooldown-ms") {
       std::optional<std::string> Value = NextValue();
@@ -438,6 +496,40 @@ int main(int argc, char **argv) {
   unsigned ConsecutiveFailures = 0;
   uint64_t NextProbeAt = steadyMs() + Opts.HealthIntervalMs;
 
+  // Failover mode: the leader is not restarted — whatever is left of
+  // it is killed (no split-brain window), the standby is promoted, and
+  // the watchdog's job is done. The promotion is retried briefly: a
+  // standby mid-reconnect still answers {"promote"} on the next try.
+  auto failOver = [&](const char *Why) -> int {
+    std::fprintf(stderr,
+                 "jslice_watchdog: %s; failing over to standby %s:%u\n",
+                 Why, Opts.StandbyHost.c_str(), Opts.StandbyPort);
+    if (L.Pid > 0)
+      stopProcess(L.Pid, Opts.GraceMs, L.Pid == L.DirectChild);
+    bool Promoted = false;
+    for (int A = 0; A < 10 && !Promoted; ++A) {
+      Promoted = promoteStandby(Opts.StandbyHost, Opts.StandbyPort);
+      if (!Promoted)
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    ScraperStop.store(true, std::memory_order_relaxed);
+    Scraper.join();
+    ::close(StderrPipe[0]);
+    ::close(StderrPipe[1]);
+    if (Promoted) {
+      std::fprintf(stderr,
+                   "jslice_watchdog: standby %s:%u promoted; failover "
+                   "complete\n",
+                   Opts.StandbyHost.c_str(), Opts.StandbyPort);
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "jslice_watchdog: standby %s:%u could not be promoted; "
+                 "service is down\n",
+                 Opts.StandbyHost.c_str(), Opts.StandbyPort);
+    return 1;
+  };
+
   while (!ShutdownRequested.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
@@ -483,6 +575,8 @@ int main(int argc, char **argv) {
       LeaderDied = true;
     }
     if (LeaderDied) {
+      if (Opts.StandbyPort)
+        return failOver("leader died");
       if (!respawn())
         break;
       ConsecutiveFailures = 0;
@@ -502,6 +596,8 @@ int main(int argc, char **argv) {
       if (probeHealthy(Host, Port)) {
         ConsecutiveFailures = 0;
       } else if (++ConsecutiveFailures >= Opts.HealthFailures) {
+        if (Opts.StandbyPort)
+          return failOver("health probe failed repeatedly");
         std::fprintf(stderr,
                      "jslice_watchdog: health probe failed %u times; "
                      "restarting leader pid %ld\n",
